@@ -1,0 +1,59 @@
+// Ablation: the NVML board sensor's low-pass behaviour.
+//
+// Fig 4's ~5 s level-off comes from the sensor's internal filtering, not
+// the silicon (the SMs clock up in microseconds).  Sweeping the filter
+// time constant shows how the visible ramp scales with tau, and how much
+// of a short transient the sensor hides — why NVML data is a poor tool
+// for kernel-scale power attribution.
+
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "analysis/series_ops.hpp"
+#include "common/strings.hpp"
+#include "nvml/device.hpp"
+#include "power/sensor.hpp"
+#include "workloads/library.hpp"
+
+int main() {
+  using namespace envmon;
+
+  std::printf("== Ablation: NVML sensor filter constant vs visible ramp ==\n\n");
+
+  analysis::TableRenderer table({"tau (s)", "settle time to +/-1 W (s)",
+                                 "peak of a 0.5 s / 100 W transient seen (W)"});
+  for (const double tau_s : {0.0, 0.25, 0.85, 1.7, 3.4, 6.8}) {
+    power::SensorOptions o;
+    if (tau_s > 0.0) o.slew_tau = sim::Duration::from_seconds(tau_s);
+    o.update_period = sim::Duration::millis(60);
+
+    // Step response 44 -> 144 W, sampled at 100 ms like the paper.
+    power::SensorPipeline step_sensor(o, Rng(1));
+    std::vector<sim::TracePoint> series;
+    (void)step_sensor.sample(sim::SimTime::zero(), 44.0);
+    for (double t = 0.1; t < 30.0; t += 0.1) {
+      series.push_back({sim::SimTime::from_seconds(t),
+                        step_sensor.sample(sim::SimTime::from_seconds(t), 144.0)});
+    }
+    const auto settle = analysis::settle_time(series, 1.0);
+
+    // A 0.5 s, +100 W transient on the idle floor.
+    power::SensorPipeline pulse_sensor(o, Rng(2));
+    (void)pulse_sensor.sample(sim::SimTime::zero(), 44.0);
+    double peak = 0.0;
+    for (double t = 0.05; t < 5.0; t += 0.05) {
+      const double truth = (t >= 1.0 && t < 1.5) ? 144.0 : 44.0;
+      peak = std::max(peak, pulse_sensor.sample(sim::SimTime::from_seconds(t), truth));
+    }
+
+    table.add_row({format_double(tau_s, 2),
+                   settle.found ? format_double(settle.t.to_seconds(), 1) : "-",
+                   format_double(peak, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("The shipped K20 model uses tau = 1.7 s: settle ~5 s (the paper's Fig 4\n"
+              "'about 5 seconds'), and a 0.5 s kernel burst shows barely a quarter of\n"
+              "its true amplitude. With tau = 0 the sensor would track instantly --\n"
+              "the ramp in Fig 4 is a measurement artifact, not GPU physics.\n");
+  return 0;
+}

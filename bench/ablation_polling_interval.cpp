@@ -1,0 +1,102 @@
+// Ablation: MonEQ polling interval vs overhead and data volume.
+//
+// MonEQ defaults to "the lowest polling interval possible for the given
+// hardware"; users may set anything valid.  This sweep quantifies the
+// trade-off the paper discusses: faster polling means more data points
+// and more collection overhead, with per-platform floors (560 ms EMON,
+// 60 ms RAPL/NVML) and a RAPL-only ceiling (60 s overfill).
+
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "common/strings.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_rapl.hpp"
+#include "moneq/profiler.hpp"
+#include "rapl/reader.hpp"
+#include "workloads/library.hpp"
+
+namespace {
+
+using namespace envmon;
+
+void sweep_bgq() {
+  std::printf("-- BG/Q EMON backend, 202.7 s toy app --\n");
+  analysis::TableRenderer table({"interval", "accepted", "polls", "samples",
+                                 "collection (s)", "overhead"});
+  for (const double interval_ms : {100.0, 560.0, 1000.0, 5000.0, 30000.0}) {
+    sim::Engine engine;
+    bgq::BgqMachine machine;
+    const auto w = workloads::dgemm({sim::Duration::from_seconds(202.7), 0.9, 0.5});
+    machine.run_workload(&w, engine.now());
+    bgq::EmonSession emon(machine.board(0));
+    moneq::BgqBackend backend(emon);
+    smpi::World world(32);
+    moneq::NodeProfiler profiler(engine, world, 0);
+    (void)profiler.add_backend(backend);
+    const Status s =
+        profiler.set_polling_interval(sim::Duration::from_seconds(interval_ms / 1000.0));
+    if (!s.is_ok()) {
+      table.add_row({format_double(interval_ms / 1000.0, 2) + " s", "REJECTED (" +
+                     std::string(to_string(s.code())) + ")", "-", "-", "-", "-"});
+      continue;
+    }
+    (void)profiler.initialize();
+    engine.run_until(engine.now() + sim::Duration::from_seconds(202.7));
+    (void)profiler.finalize();
+    const auto report = profiler.overhead();
+    table.add_row({format_double(interval_ms / 1000.0, 2) + " s", "yes",
+                   std::to_string(report.polls), std::to_string(profiler.samples().size()),
+                   format_double(report.collection.to_seconds(), 4),
+                   format_double(100.0 * report.collection.to_seconds() / 202.7, 3) + " %"});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void sweep_rapl() {
+  std::printf("-- RAPL msr backend, 202.7 s toy app --\n");
+  analysis::TableRenderer table({"interval", "accepted", "polls", "samples",
+                                 "collection (s)", "overhead"});
+  for (const double interval_s : {0.01, 0.06, 0.1, 1.0, 10.0, 59.0, 61.0}) {
+    sim::Engine engine;
+    rapl::CpuPackage pkg(engine);
+    const auto w = workloads::dgemm({sim::Duration::from_seconds(202.7), 0.9, 0.5});
+    pkg.run_workload(&w, engine.now());
+    rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+    moneq::RaplBackend backend(reader);
+    smpi::World world(1);
+    moneq::NodeProfiler profiler(engine, world, 0);
+    (void)profiler.add_backend(backend);
+    const Status s = profiler.set_polling_interval(sim::Duration::from_seconds(interval_s));
+    if (!s.is_ok()) {
+      table.add_row({format_double(interval_s, 2) + " s",
+                     "REJECTED (" + std::string(to_string(s.code())) + ")", "-", "-", "-",
+                     "-"});
+      continue;
+    }
+    (void)profiler.initialize();
+    engine.run_until(engine.now() + sim::Duration::from_seconds(202.7));
+    (void)profiler.finalize();
+    const auto report = profiler.overhead();
+    table.add_row({format_double(interval_s, 2) + " s", "yes", std::to_string(report.polls),
+                   std::to_string(profiler.samples().size()),
+                   format_double(report.collection.to_seconds(), 4),
+                   format_double(100.0 * report.collection.to_seconds() / 202.7, 4) + " %"});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: polling interval vs overhead and data volume ==\n\n");
+  sweep_bgq();
+  sweep_rapl();
+  std::printf("Notes: the 0.10 s BG/Q request and the 0.01 s RAPL request are rejected\n"
+              "(below the hardware floor); the 61 s RAPL request is rejected (counter\n"
+              "overfill ceiling). The 560 ms default costs ~0.2%% on BG/Q -- the\n"
+              "paper's 0.19%% collection overhead.\n");
+  return 0;
+}

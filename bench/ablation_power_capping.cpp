@@ -1,0 +1,71 @@
+// Ablation: on-peak power budget vs electricity cost vs wait time.
+//
+// The paper's motivating use of environmental data (§I, ref [2]):
+// power-aware scheduling that trades job wait time for cheaper energy.
+// Sweeping the on-peak power budget maps the trade-off curve — from
+// FCFS-equivalent (budget = infinity) to "defer everything to off-peak"
+// (budget = 0).
+
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "common/strings.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using namespace envmon;
+
+sched::Scheduler::Summary run_with_budget(double budget_watts) {
+  sim::Engine engine;
+  sched::SchedulerOptions options;
+  options.policy = sched::Policy::kPowerAware;
+  options.peak_power_budget_watts = budget_watts;
+  sched::Scheduler scheduler(engine, sched::ElectricityPricing::default_day_ahead(),
+                             options);
+  // A morning's worth of work arriving during on-peak hours: a mix of
+  // half-rack computations and small debug jobs.
+  int id = 0;
+  for (int wave = 0; wave < 3; ++wave) {
+    const double t = 7.0 + wave * 2.0;
+    (void)scheduler.submit({++id, "prod", 16, sim::Duration::from_seconds(2.0 * 3600),
+                            1800.0, sim::SimTime::from_seconds(t * 3600)});
+    (void)scheduler.submit({++id, "prod", 16, sim::Duration::from_seconds(1.5 * 3600),
+                            1600.0, sim::SimTime::from_seconds((t + 0.5) * 3600)});
+    (void)scheduler.submit({++id, "debug", 2, sim::Duration::from_seconds(0.5 * 3600),
+                            1200.0, sim::SimTime::from_seconds((t + 0.75) * 3600)});
+  }
+  scheduler.run_to_completion();
+  return scheduler.summary();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: on-peak power budget vs cost vs wait ==\n\n");
+  std::printf("Workload: 9 jobs (6 half-rack production + 3 debug) arriving 07:00-12:00\n"
+              "Tariff: $34/MWh off-peak, $88/MWh on-peak (06:00-22:00)\n\n");
+
+  analysis::TableRenderer table({"on-peak budget", "job energy cost ($)", "mean wait (h)",
+                                 "makespan (h)", "peak on-peak job power (kW)"});
+  const double budgets[] = {1e9, 60'000.0, 30'000.0, 12'000.0, 0.0};
+  double fcfs_cost = 0.0;
+  for (const double budget : budgets) {
+    const auto s = run_with_budget(budget);
+    if (budget == 1e9) fcfs_cost = s.total_job_cost_usd;
+    table.add_row({budget >= 1e9 ? "unlimited (=FCFS)"
+                                 : format_double(budget / 1000.0, 0) + " kW",
+                   format_double(s.total_job_cost_usd, 2),
+                   format_double(s.mean_wait.to_seconds() / 3600.0, 2),
+                   format_double(s.makespan.to_seconds() / 3600.0, 2),
+                   format_double(s.peak_on_peak_watts / 1000.0, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto zero = run_with_budget(0.0);
+  std::printf("Savings at budget 0 vs FCFS: %.1f%% of the job energy bill (the SC'13\n"
+              "system the paper cites reported up to 23%% including idle power and\n"
+              "smarter partial deferral).\n",
+              100.0 * (fcfs_cost - zero.total_job_cost_usd) / fcfs_cost);
+  return 0;
+}

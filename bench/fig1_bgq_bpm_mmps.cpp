@@ -1,0 +1,68 @@
+// Figure 1: power as observed from the data collected at the bulk power
+// supplies while the MMPS benchmark runs — environmental-database
+// samples every ~2.5 minutes (the cadence of the paper's timestamp axis),
+// with the idle period before and after the job clearly observable.
+//
+// The job occupies one midplane (16 node boards); the y-axis is the
+// per-BPM share of the rack's AC input, which is what the environmental
+// database reports per supply.
+
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "analysis/series_ops.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace {
+// Modeled BPM population of one rack (shared AC->48V shelves).
+constexpr double kBpmsPerRack = 36.0;
+}  // namespace
+
+int main() {
+  using namespace envmon;
+
+  std::printf("== Figure 1: BPM input power, MMPS job, environmental database ==\n\n");
+
+  scenarios::BgqMmpsOptions options;
+  options.job_duration = sim::Duration::seconds(1500);
+  options.idle_margin = sim::Duration::seconds(600);
+  options.env_poll_interval = sim::Duration::seconds(150);
+  options.job_boards = 16;  // one midplane
+  const auto result = scenarios::run_bgq_mmps(options);
+
+  std::vector<sim::TracePoint> per_bpm;
+  per_bpm.reserve(result.bpm_input_power.size());
+  for (const auto& p : result.bpm_input_power) {
+    per_bpm.push_back({p.t, p.value / kBpmsPerRack});
+  }
+
+  analysis::ChartOptions chart;
+  chart.title = "Per-BPM input power (W) vs time -- idle / MMPS on one midplane / idle";
+  chart.y_label = "Input Power (Watts)";
+  std::printf("%s\n", analysis::render_chart(per_bpm, chart).c_str());
+
+  std::printf("samples collected by the environmental database: %zu\n", per_bpm.size());
+  const double idle = analysis::mean_in_window(per_bpm, sim::SimTime::zero(),
+                                               sim::SimTime::from_seconds(590));
+  const double active =
+      analysis::mean_in_window(per_bpm, sim::SimTime::from_seconds(700),
+                               sim::SimTime::from_seconds(2090));
+  const double idle_after = analysis::mean_in_window(
+      per_bpm, sim::SimTime::from_seconds(2250), sim::SimTime::from_seconds(2700));
+  std::printf("idle plateau (before) : %8.1f W   (paper figure floor:   ~850 W)\n", idle);
+  std::printf("MMPS plateau          : %8.1f W   (paper figure plateau: ~1600-1700 W)\n",
+              active);
+  std::printf("idle plateau (after)  : %8.1f W\n", idle_after);
+  std::printf("shape check           : idle visible before AND after the job [%s]\n",
+              active > idle * 1.3 && idle_after < active / 1.3 ? "ok" : "FAIL");
+  std::printf("\nNote: absolute watts depend on how many supplies share the load; the\n"
+              "reproduced result is the shape -- sparse ~2.5-minute samples, visible\n"
+              "idle shoulders, flat job plateau (compare the dense 560 ms MonEQ view\n"
+              "of the same job in Figure 2).\n");
+
+  std::printf("\ncsv:time_s,per_bpm_input_power_w\n");
+  for (const auto& p : per_bpm) {
+    std::printf("csv:%.0f,%.1f\n", p.t.to_seconds(), p.value);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 3: power consumption of a Gaussian elimination workload
+// captured at 100 ms for the whole CPU package via RAPL.  Capture starts
+// before and terminates after program execution; the workload shows a
+// rhythmic ~5 W drop with tiny spikes between drops.
+
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "analysis/series_ops.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main() {
+  using namespace envmon;
+
+  std::printf("== Figure 3: RAPL PKG power, Gaussian elimination at 100 ms ==\n\n");
+
+  scenarios::RaplGaussOptions options;  // 8 s idle, 50 s workload, 10 s idle
+  const auto result = scenarios::run_rapl_gauss(options);
+
+  analysis::ChartOptions chart;
+  chart.title = "RAPL package power (W) vs time -- idle / GE / idle";
+  chart.y_label = "Power (Watts)";
+  chart.height = 18;
+  std::printf("%s\n", analysis::render_chart(result.pkg_power, chart).c_str());
+
+  const double idle = analysis::mean_in_window(result.pkg_power, sim::SimTime::from_seconds(2),
+                                               sim::SimTime::from_seconds(7));
+  // The GE profile builds whole pivot cycles (3.65 s each): 13 cycles =
+  // 47.45 s of active workload starting at the 8 s idle lead.
+  const double active = analysis::mean_in_window(
+      result.pkg_power, sim::SimTime::from_seconds(10), sim::SimTime::from_seconds(54));
+  // Dip depth as median minus 5th percentile of the active window: the
+  // pivot dips occupy ~14% of each cycle, so p5 lands inside them while
+  // the median sits on the compute plateau (robust to sensor noise).
+  std::vector<double> active_watts;
+  for (const auto& p : result.pkg_power) {
+    const double t = p.t.to_seconds();
+    if (t > 9.0 && t < 54.0) active_watts.push_back(p.value);
+  }
+  const std::vector<double> qs = {0.05, 0.5};
+  const auto q = quantiles(active_watts, qs);
+  const double dip = q[0], plateau = q[1];
+  std::printf("idle package power : %6.2f W   (paper figure: a few watts)\n", idle);
+  std::printf("active mean        : %6.2f W   (paper figure: ~45-50 W)\n", active);
+  std::printf("rhythmic drop depth: %6.2f W   (paper: 'rhythmic drop of about 5 Watts')\n",
+              plateau - dip);
+  std::printf("per-query cost     : %6.3f ms  (paper: 'about 0.03 ms per query')\n",
+              result.mean_query_cost_ms);
+
+  std::printf("\ncsv:time_s,pkg_power_w\n");
+  for (std::size_t i = 0; i < result.pkg_power.size(); i += 5) {
+    std::printf("csv:%.1f,%.2f\n", result.pkg_power[i].t.to_seconds(),
+                result.pkg_power[i].value);
+  }
+  return 0;
+}

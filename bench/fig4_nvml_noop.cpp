@@ -1,0 +1,42 @@
+// Figure 4: power consumption of a NOOP workload on a NVIDIA K20 GPU
+// captured at 100 ms — a gradual increase until finally leveling off
+// (about 5 seconds), then constant for the rest of the run.
+
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "analysis/series_ops.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main() {
+  using namespace envmon;
+
+  std::printf("== Figure 4: NVML board power, NOOP kernels on a K20 at 100 ms ==\n\n");
+
+  const auto result = scenarios::run_nvml_noop();  // 12.5 s, as plotted
+
+  analysis::ChartOptions chart;
+  chart.title = "NVML board power (W) vs time since start";
+  chart.y_label = "Power (Watts)";
+  std::printf("%s\n", analysis::render_chart(result.board_power, chart).c_str());
+
+  const double start = result.board_power.empty() ? 0.0 : result.board_power.front().value;
+  const double plateau = analysis::mean_in_window(
+      result.board_power, sim::SimTime::from_seconds(9), sim::SimTime::from_seconds(12.4));
+  const auto smoothed =
+      analysis::resample_mean(result.board_power, sim::Duration::seconds(1));
+  const auto settle = analysis::settle_time(smoothed, 2.0);
+  std::printf("starting power : %6.2f W  (paper figure: ~44 W)\n", start);
+  std::printf("plateau        : %6.2f W  (paper figure: ~55-56 W)\n", plateau);
+  std::printf("level-off time : %6.2f s  (paper: 'about 5 seconds before the power\n"
+              "                            consumption levels off')\n",
+              settle.found ? settle.t.to_seconds() : -1.0);
+  std::printf("per-query cost : %6.3f ms (paper: 'about 1.3 ms')\n",
+              result.mean_query_cost_ms);
+
+  std::printf("\ncsv:time_s,board_power_w\n");
+  for (const auto& p : result.board_power) {
+    std::printf("csv:%.1f,%.2f\n", p.t.to_seconds(), p.value);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 5: power consumption and temperature of a vector add workload
+// on the K20 — the same gradual ramp for the first few seconds while the
+// host generates data, a rapid increase once the kernel starts, and a
+// steadily increasing die temperature.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/render.hpp"
+#include "analysis/series_ops.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main() {
+  using namespace envmon;
+
+  std::printf("== Figure 5: NVML power + temperature, vector add on a K20 ==\n\n");
+
+  const auto result = scenarios::run_nvml_vecadd();  // 10 s gen + 2 s xfer + 88 s compute
+
+  std::vector<analysis::NamedSeries> series(2);
+  series[0].name = "power_w";
+  for (std::size_t i = 0; i < result.board_power.size(); i += 5) {
+    series[0].points.push_back(result.board_power[i]);
+  }
+  series[1].name = "temp_c";
+  for (std::size_t i = 0; i < result.die_temp.size(); i += 5) {
+    series[1].points.push_back(result.die_temp[i]);
+  }
+  analysis::ChartOptions chart;
+  chart.title = "Board power (W, *) and die temperature (C, +) vs time";
+  chart.height = 18;
+  std::printf("%s\n", analysis::render_chart_multi(series, chart).c_str());
+
+  const double gen = analysis::mean_in_window(result.board_power, sim::SimTime::from_seconds(5),
+                                              sim::SimTime::from_seconds(9));
+  const double compute = analysis::mean_in_window(
+      result.board_power, sim::SimTime::from_seconds(30), sim::SimTime::from_seconds(95));
+  const double t0 = analysis::mean_in_window(result.die_temp, sim::SimTime::from_seconds(1),
+                                             sim::SimTime::from_seconds(5));
+  const double t1 = analysis::mean_in_window(result.die_temp, sim::SimTime::from_seconds(90),
+                                             sim::SimTime::from_seconds(100));
+  std::printf("host-generation plateau : %6.1f W (paper: 'level value of about 55 Watts')\n",
+              gen);
+  std::printf("compute plateau         : %6.1f W (paper figure: ~125-150 W)\n", compute);
+  std::printf("temperature rise        : %5.1f C -> %5.1f C (paper figure: ~40 -> ~65 C,\n"
+              "                          'Temperature shows steady increase')\n",
+              t0, t1);
+
+  std::printf("\ncsv:time_s,board_power_w,die_temp_c\n");
+  const std::size_t n = std::min(result.board_power.size(), result.die_temp.size());
+  for (std::size_t i = 0; i < n; i += 10) {
+    std::printf("csv:%.1f,%.2f,%.1f\n", result.board_power[i].t.to_seconds(),
+                result.board_power[i].value, result.die_temp[i].value);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 8: sum of power consumption for a Gaussian elimination workload
+// running on 128 Xeon Phi cards on Stampede.  Data generation takes
+// place for about the first 100 seconds; after the transfer, computation
+// begins and the summed power jumps.
+
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "analysis/series_ops.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main() {
+  using namespace envmon;
+
+  std::printf("== Figure 8: sum power, Gaussian elimination on 128 Xeon Phis ==\n\n");
+
+  const auto result = scenarios::run_phi_stampede_gauss(128);
+
+  analysis::ChartOptions chart;
+  chart.title = "Sum of card power (W) across 128 Xeon Phis vs time since start";
+  chart.y_label = "Sum Power (Watts)";
+  chart.height = 18;
+  // Thin for the ASCII chart.
+  std::vector<sim::TracePoint> thinned;
+  for (std::size_t i = 0; i < result.sum_power.size(); i += 4) {
+    thinned.push_back(result.sum_power[i]);
+  }
+  std::printf("%s\n", analysis::render_chart(thinned, chart).c_str());
+
+  const double datagen = analysis::mean_in_window(
+      result.sum_power, sim::SimTime::from_seconds(20), sim::SimTime::from_seconds(90));
+  const double compute = analysis::mean_in_window(
+      result.sum_power, sim::SimTime::from_seconds(120), sim::SimTime::from_seconds(245));
+  const auto rise = analysis::first_rise_above(result.sum_power, (datagen + compute) / 2.0);
+  std::printf("data-generation plateau : %8.0f W  (paper figure: ~5,000-7,000 W)\n", datagen);
+  std::printf("compute plateau         : %8.0f W  (paper figure: ~22,000-25,000 W)\n",
+              compute);
+  std::printf("jump at                 : %8.1f s  (paper: 'for about the first 100"
+              " seconds')\n",
+              rise.found ? rise.t.to_seconds() : -1.0);
+  std::printf("cards                   : %8d\n", result.cards);
+
+  std::printf("\ncsv:time_s,sum_power_w\n");
+  for (std::size_t i = 0; i < result.sum_power.size(); i += 2) {
+    std::printf("csv:%.1f,%.0f\n", result.sum_power[i].t.to_seconds(),
+                result.sum_power[i].value);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The Section IV "looking forward" feature, implemented: every backend
+// publishes its limitations programmatically, so none of them "had to be
+// deduced from careful experimentation".
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/render.hpp"
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "common/strings.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/backend_rapl.hpp"
+#include "rapl/reader.hpp"
+
+int main() {
+  using namespace envmon;
+
+  std::printf("== Stated limitations of every collection mechanism (Section IV ask) ==\n\n");
+
+  sim::Engine engine;
+
+  bgq::BgqMachine machine;
+  bgq::EmonSession emon(machine.board(0));
+  moneq::BgqBackend bgq_backend(emon);
+
+  rapl::CpuPackage pkg(engine);
+  rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+  moneq::RaplBackend rapl_backend(reader);
+
+  nvml::NvmlLibrary nvml_lib(engine);
+  nvml_lib.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)nvml_lib.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)nvml_lib.device_get_handle_by_index(0, &handle);
+  moneq::NvmlBackend nvml_backend(nvml_lib, handle);
+
+  mic::PhiCard card(engine);
+  mic::ScifNetwork net;
+  mic::SysMgmtService service(card, net, 1);
+  auto client = mic::SysMgmtClient::connect(net, 1);
+  moneq::MicInbandBackend mic_api_backend(client.value());
+  mic::MicrasDaemon daemon(card);
+  daemon.start();
+  moneq::MicDaemonBackend mic_daemon_backend(daemon);
+
+  const moneq::Backend* backends[] = {&bgq_backend, &rapl_backend, &nvml_backend,
+                                      &mic_api_backend, &mic_daemon_backend};
+
+  analysis::TableRenderer table({"Backend", "Scope", "Access", "Min poll", "Max poll",
+                                 "Staleness", "Perturbs?", "Root?"});
+  for (const auto* b : backends) {
+    const auto l = b->limitations();
+    const auto max = b->max_polling_interval();
+    table.add_row({std::string(b->name()), l.scope, l.access_path,
+                   format_double(b->min_polling_interval().to_millis(), 0) + " ms",
+                   max.ns() > 0 ? format_double(max.to_seconds(), 0) + " s" : "none",
+                   format_double(l.worst_case_staleness.to_millis(), 0) + " ms",
+                   l.perturbs_measurement ? "YES" : "no",
+                   l.requires_privilege ? "YES" : "no"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Caveats on record:\n");
+  for (const auto* b : backends) {
+    const auto l = b->limitations();
+    if (!l.caveats.empty()) {
+      std::printf("  %-18s %s\n", std::string(b->name()).c_str(), l.caveats.c_str());
+    }
+    if (!l.accuracy_note.empty()) {
+      std::printf("  %-18s accuracy: %s\n", "", l.accuracy_note.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,184 @@
+// The Section II cross-platform collection-cost comparison:
+//
+//   mechanism        paper's per-query cost    overhead
+//   RAPL MSR         0.03 ms                   --
+//   MICRAS daemon    0.04 ms                   ~= RAPL
+//   BG/Q EMON        1.10 ms                   0.19%
+//   NVML             1.3 ms                    1.25%
+//   Phi SCIF API     14.2 ms                   14%
+//
+// Two measurements per mechanism:
+//   * the modeled virtual-time cost charged to the profiled application
+//     (printed as a table; this is the paper's number), and
+//   * the real host wall-clock of our emulated query path, via
+//     google-benchmark (how expensive the simulation itself is).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/render.hpp"
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "common/strings.hpp"
+#include "ipmi/bmc.hpp"
+#include "mic/micras.hpp"
+#include "mic/smc.hpp"
+#include "mic/sysmgmt.hpp"
+#include "nvml/api.hpp"
+#include "rapl/reader.hpp"
+
+namespace {
+
+using namespace envmon;
+
+void print_virtual_cost_table() {
+  sim::Engine engine;
+
+  bgq::BgqMachine machine;
+  bgq::EmonSession emon(machine.board(0));
+  (void)emon.read(sim::SimTime::from_seconds(2));
+
+  rapl::CpuPackage pkg(engine);
+  rapl::MsrRaplReader msr(pkg, rapl::Credentials{true, 0});
+  (void)msr.read_energy(rapl::RaplDomain::kPackage, sim::SimTime::from_seconds(1));
+
+  nvml::NvmlLibrary nvml_lib(engine);
+  nvml_lib.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)nvml_lib.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)nvml_lib.device_get_handle_by_index(0, &handle);
+  unsigned mw = 0;
+  (void)nvml_lib.device_get_power_usage(handle, &mw);
+
+  mic::PhiCard card(engine);
+  mic::ScifNetwork net;
+  mic::SysMgmtService service(card, net, 1);
+  auto scif_client = mic::SysMgmtClient::connect(net, 1);
+  (void)scif_client.value().power(engine.now());
+  mic::MicrasDaemon daemon(card);
+  daemon.start();
+  sim::CostMeter daemon_meter;
+  (void)daemon.read_file(mic::kPowerFile, engine.now(), &daemon_meter);
+
+  std::printf("== Per-query collection cost charged to the application ==\n\n");
+  analysis::TableRenderer table(
+      {"Mechanism", "measured (ms)", "paper (ms)", "overhead at paper's rate"});
+  table.add_row({"RAPL MSR read", format_double(msr.cost().mean_per_query().to_millis(), 3),
+                 "0.03", "--"});
+  table.add_row({"Phi MICRAS daemon read",
+                 format_double(daemon_meter.mean_per_query().to_millis(), 3), "0.04",
+                 "~= RAPL"});
+  table.add_row({"BG/Q EMON read", format_double(emon.cost().mean_per_query().to_millis(), 3),
+                 "1.10", "0.19% at 560 ms"});
+  table.add_row({"NVML device query",
+                 format_double(nvml_lib.cost().mean_per_query().to_millis(), 3), "1.3",
+                 "1.25% at ~100 ms"});
+  table.add_row({"Phi SysMgmt API (SCIF)",
+                 format_double(scif_client.value().cost().mean_per_query().to_millis(), 3),
+                 "14.2", "14% at ~100 ms"});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Ordering check: MSR < daemon << EMON < NVML << SCIF API [%s]\n\n",
+              msr.cost().mean_per_query() < daemon_meter.mean_per_query() &&
+                      daemon_meter.mean_per_query() < emon.cost().mean_per_query() &&
+                      emon.cost().mean_per_query() < nvml_lib.cost().mean_per_query() &&
+                      nvml_lib.cost().mean_per_query() <
+                          scif_client.value().cost().mean_per_query()
+                  ? "ok"
+                  : "FAIL");
+}
+
+// --- host wall-clock of the emulated query paths ---
+
+void BM_EmonRead(benchmark::State& state) {
+  bgq::BgqMachine machine;
+  bgq::EmonSession emon(machine.board(0));
+  std::int64_t t = 2'000'000'000;
+  for (auto _ : state) {
+    auto r = emon.read(sim::SimTime::from_ns(t));
+    benchmark::DoNotOptimize(r);
+    t += 560'000'000;
+  }
+}
+BENCHMARK(BM_EmonRead);
+
+void BM_MsrRead(benchmark::State& state) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+  std::int64_t t = 1'000'000'000;
+  for (auto _ : state) {
+    auto r = reader.read_energy(rapl::RaplDomain::kPackage, sim::SimTime::from_ns(t));
+    benchmark::DoNotOptimize(r);
+    t += 100'000'000;
+  }
+}
+BENCHMARK(BM_MsrRead);
+
+void BM_NvmlPowerQuery(benchmark::State& state) {
+  sim::Engine engine;
+  nvml::NvmlLibrary lib(engine);
+  lib.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)lib.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)lib.device_get_handle_by_index(0, &handle);
+  engine.run_until(sim::SimTime::from_seconds(1));
+  for (auto _ : state) {
+    unsigned mw = 0;
+    benchmark::DoNotOptimize(lib.device_get_power_usage(handle, &mw));
+    benchmark::DoNotOptimize(mw);
+  }
+}
+BENCHMARK(BM_NvmlPowerQuery);
+
+void BM_ScifApiQuery(benchmark::State& state) {
+  sim::Engine engine;
+  mic::PhiCard card(engine);
+  mic::ScifNetwork net;
+  mic::SysMgmtService service(card, net, 1);
+  auto client = mic::SysMgmtClient::connect(net, 1);
+  engine.run_until(sim::SimTime::from_seconds(1));
+  for (auto _ : state) {
+    auto r = client.value().power(engine.now());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ScifApiQuery);
+
+void BM_MicrasFileRead(benchmark::State& state) {
+  sim::Engine engine;
+  mic::PhiCard card(engine);
+  mic::MicrasDaemon daemon(card);
+  daemon.start();
+  engine.run_until(sim::SimTime::from_seconds(1));
+  for (auto _ : state) {
+    auto text = daemon.read_file(mic::kPowerFile, engine.now());
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_MicrasFileRead);
+
+void BM_IpmbSensorRead(benchmark::State& state) {
+  sim::Engine engine;
+  mic::PhiCard card(engine);
+  ipmi::Bmc bmc;
+  mic::Smc smc(card);
+  smc.attach_to_bmc(bmc);
+  ipmi::IpmbClient client(bmc, 0x81);
+  for (auto _ : state) {
+    auto r = client.read_sensor(smc, mic::kSmcSensorPower);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IpmbSensorRead);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_virtual_cost_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

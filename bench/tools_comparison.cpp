@@ -1,0 +1,163 @@
+// The Section III tool comparison: MonEQ vs PAPI vs TAU vs PowerPack.
+//
+// Regenerates the support matrix the paper walks through in prose, then
+// runs the same Gaussian-elimination workload under each tool on the
+// same simulated package and compares what they report and what they
+// cost.
+
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "common/strings.hpp"
+#include "moneq/backend_rapl.hpp"
+#include "moneq/profiler.hpp"
+#include "rapl/reader.hpp"
+#include "tools/papi.hpp"
+#include "tools/powerpack.hpp"
+#include "tools/tau.hpp"
+#include "workloads/library.hpp"
+
+namespace {
+
+using namespace envmon;
+
+void print_support_matrix() {
+  analysis::TableRenderer table({"Tool", "BG/Q", "RAPL", "NVML", "Xeon Phi", "Notes"});
+  table.add_row({"MonEQ (this work)", "yes", "yes", "yes", "yes",
+                 "2-line API, SIGALRM polling, tagging, per-node files"});
+  table.add_row({"PAPI 5", "no", "yes", "yes", "yes",
+                 "event sets; caller polls at designated intervals"});
+  table.add_row({"TAU 2.23", "no", "yes", "no", "no",
+                 "RAPL through the MSR drivers only"});
+  table.add_row({"PowerPack 3.0", "no", "no", "no", "no",
+                 "WattsUp + NI meters; no new-generation interfaces"});
+  std::printf("%s\n", table.render().c_str());
+}
+
+void run_comparison() {
+  const auto workload =
+      workloads::gaussian_elimination({sim::Duration::seconds(40),
+                                       sim::Duration::from_seconds(3.0),
+                                       sim::Duration::from_seconds(0.5),
+                                       sim::Duration::from_seconds(0.15), 0.14});
+  const auto interval = sim::Duration::millis(100);
+  const auto span = sim::Duration::seconds(40);
+
+  analysis::TableRenderer table({"Tool", "mean PKG power (W)", "queries",
+                                 "collection cost (ms)", "notes"});
+
+  {  // MonEQ
+    sim::Engine engine;
+    rapl::CpuPackage pkg(engine);
+    pkg.run_workload(&workload, engine.now());
+    rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+    moneq::RaplBackend backend(reader);
+    smpi::World world(1);
+    moneq::NodeProfiler profiler(engine, world, 0);
+    (void)profiler.add_backend(backend);
+    (void)profiler.set_polling_interval(interval);
+    (void)profiler.initialize();
+    engine.run_until(engine.now() + span);
+    (void)profiler.finalize();
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& s : profiler.samples()) {
+      if (s.domain == "PKG" && s.quantity == moneq::Quantity::kPowerWatts) {
+        sum += s.value;
+        ++n;
+      }
+    }
+    table.add_row({"MonEQ", format_double(sum / static_cast<double>(n), 2),
+                   std::to_string(profiler.overhead().polls),
+                   format_double(profiler.overhead().collection.to_millis(), 2),
+                   "timer-driven; also wrote the per-node file"});
+  }
+
+  {  // PAPI-style caller polling
+    sim::Engine engine;
+    rapl::CpuPackage pkg(engine);
+    pkg.run_workload(&workload, engine.now());
+    tools::PapiLibrary papi(engine);
+    papi.add_rapl_component(pkg, rapl::Credentials{true, 0});
+    (void)papi.library_init();
+    int eventset = 0;
+    (void)papi.create_eventset(&eventset);
+    (void)papi.add_event(eventset, "rapl:::PACKAGE_ENERGY:PACKAGE0");
+    (void)papi.start(eventset);
+    std::vector<long long> values;
+    long long last_nj = 0;
+    double sum_w = 0.0;
+    std::size_t n = 0;
+    const auto steps = span / interval;
+    for (std::int64_t i = 1; i <= steps; ++i) {
+      engine.run_until(sim::SimTime::zero() + i * interval);
+      if (papi.read(eventset, &values) == tools::kPapiOk) {
+        sum_w += static_cast<double>(values[0] - last_nj) * 1e-9 / interval.to_seconds();
+        last_nj = values[0];
+        ++n;
+      }
+    }
+    (void)papi.stop(eventset, &values);
+    table.add_row({"PAPI (rapl component)", format_double(sum_w / static_cast<double>(n), 2),
+                   std::to_string(n + 2),
+                   format_double(papi.cost().total().to_millis(), 2),
+                   "caller-driven reads; energy in nJ"});
+  }
+
+  {  // TAU region profiling
+    sim::Engine engine;
+    rapl::CpuPackage pkg(engine);
+    pkg.run_workload(&workload, engine.now());
+    tools::TauPowerProfiler tau(engine, pkg, rapl::Credentials{true, 0}, interval);
+    (void)tau.start();
+    (void)tau.region_start("gauss_elim");
+    engine.run_until(engine.now() + span);
+    (void)tau.region_stop("gauss_elim");
+    (void)tau.stop();
+    for (const auto& p : tau.profiles()) {
+      if (p.name != "gauss_elim") continue;
+      table.add_row({"TAU (RAPL via MSR)", format_double(p.mean_power().value(), 2),
+                     std::to_string(p.samples),
+                     format_double(tau.cost().total().to_millis(), 2),
+                     "attributed to the instrumented region"});
+    }
+  }
+
+  {  // PowerPack-style wall meter
+    sim::Engine engine;
+    rapl::CpuPackage pkg(engine);
+    pkg.run_workload(&workload, engine.now());
+    // The WattsUp sees the whole node behind the PSU; the node model here
+    // is CPU + DRAM + a 38 W rest-of-node floor folded into a device.
+    power::DevicePowerModel node;
+    node.set_rail(power::Rail::kCpuCore, power::RailModel{Watts{1.6}, Watts{42.0}, Volts{1.0}});
+    node.set_rail(power::Rail::kDram, power::RailModel{Watts{1.3}, Watts{9.5}, Volts{1.35}});
+    node.set_rail(power::Rail::kBoard, power::RailModel{Watts{38.0}, Watts{0.0}, Volts{12.0}});
+    node.run_workload(&workload, engine.now());
+    tools::WattsUpMeter meter(engine, node);
+    meter.start();
+    engine.run_until(engine.now() + span);
+    meter.stop();
+    double sum = 0.0;
+    for (const auto& p : meter.log()) sum += p.value;
+    table.add_row({"PowerPack (WattsUp)",
+                   format_double(sum / static_cast<double>(meter.log().size()), 2),
+                   std::to_string(meter.log().size()), "0.00",
+                   "AC wall power incl. PSU loss; 1 Hz; no component split"});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section III: power profiling tools compared ==\n\n");
+  print_support_matrix();
+  run_comparison();
+  std::printf("Readings: the three RAPL-based tools agree on mean package power; the\n"
+              "wall meter reads ~2x higher because it sees the whole node through the\n"
+              "PSU. PowerPack needs no software access at all -- and can attribute\n"
+              "nothing below the plug.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// The Section IV unification prototype in action: the same DGEMM-class
+// compute load on all four platforms, compared on one metric schema.
+// "In certain cases, it's not possible to gather the exact same type of
+// data between two devices" (§II) — the unified view makes both the
+// comparison and the gaps explicit.
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/render.hpp"
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "common/strings.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/backend_rapl.hpp"
+#include "moneq/unified.hpp"
+#include "rapl/reader.hpp"
+#include "workloads/library.hpp"
+
+int main() {
+  using namespace envmon;
+  using moneq::UnifiedMetric;
+  using moneq::UnifiedSampler;
+
+  std::printf("== Unified cross-platform view under compute load ==\n\n");
+
+  sim::Engine engine;
+  const auto cpu_load = workloads::dgemm({sim::Duration::seconds(120), 0.9, 0.5});
+  const auto gpu_load = workloads::gpu_vector_add(
+      {sim::Duration::seconds(2), sim::Duration::seconds(1), sim::Duration::seconds(117)});
+  const auto phi_load = workloads::offload_gauss(
+      {sim::Duration::seconds(2), sim::Duration::seconds(1), sim::Duration::seconds(117)});
+  const auto bgq_load = workloads::dgemm({sim::Duration::seconds(120), 0.9, 0.5});
+
+  bgq::BgqMachine machine;
+  machine.run_workload(&bgq_load, sim::SimTime::zero());
+  bgq::EmonSession emon(machine.board(0));
+  moneq::BgqBackend bgq_backend(emon);
+
+  rapl::CpuPackage pkg(engine);
+  pkg.run_workload(&cpu_load, sim::SimTime::zero());
+  rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+  moneq::RaplBackend rapl_backend(reader);
+
+  nvml::NvmlLibrary lib(engine);
+  lib.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)lib.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)lib.device_get_handle_by_index(0, &handle);
+  lib.device_for_testing(0)->run_workload(&gpu_load, sim::SimTime::zero());
+  moneq::NvmlBackend nvml_backend(lib, handle);
+
+  mic::PhiCard card(engine);
+  card.run_workload(&phi_load, sim::SimTime::zero());
+  mic::MicrasDaemon daemon(card);
+  daemon.start();
+  moneq::MicDaemonBackend mic_backend(daemon);
+
+  UnifiedSampler samplers[] = {UnifiedSampler(bgq_backend), UnifiedSampler(rapl_backend),
+                               UnifiedSampler(nvml_backend), UnifiedSampler(mic_backend)};
+  const char* labels[] = {"Blue Gene/Q (node card)", "RAPL (socket)", "NVML (K20)",
+                          "Xeon Phi (card)"};
+
+  sim::CostMeter meter;
+  // Warm the differencing backends, then snapshot mid-load.
+  engine.run_until(sim::SimTime::from_seconds(30));
+  for (auto& s : samplers) (void)s.sample(engine.now(), meter);
+  engine.run_until(sim::SimTime::from_seconds(60));
+
+  const UnifiedMetric metrics[] = {
+      UnifiedMetric::kTotalPowerWatts,    UnifiedMetric::kProcessorPowerWatts,
+      UnifiedMetric::kMemoryPowerWatts,   UnifiedMetric::kDieTempCelsius,
+      UnifiedMetric::kMemoryUsedBytes,    UnifiedMetric::kFanPercentOrRpm,
+  };
+  analysis::TableRenderer table({"Metric", labels[0], labels[1], labels[2], labels[3]});
+  std::vector<std::map<UnifiedMetric, double>> values;
+  for (auto& s : samplers) {
+    auto snap = s.sample(engine.now(), meter);
+    values.push_back(snap.is_ok() ? snap.value() : std::map<UnifiedMetric, double>{});
+  }
+  for (const auto metric : metrics) {
+    std::vector<std::string> row{std::string(to_string(metric))};
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (!samplers[i].supports(metric)) {
+        row.push_back("unavailable");
+      } else if (!values[i].contains(metric)) {
+        row.push_back("(no data)");
+      } else {
+        row.push_back(format_double(values[i].at(metric), 1));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Collection cost for the two unified snapshots: %.2f ms total.\n\n",
+              meter.total().to_millis());
+  std::printf("Exactly the paper's conclusion in one table: total power is the only\n"
+              "row with four numbers; the BG/Q splits planes but has no temperature;\n"
+              "the accelerators have temperatures but fold memory into the board.\n");
+  return 0;
+}

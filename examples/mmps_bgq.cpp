@@ -1,0 +1,59 @@
+// The Figs 1-2 story end to end: the MMPS messaging benchmark on a Blue
+// Gene/Q rack, observed two ways at once —
+//   * by the control system's environmental monitor, polling the bulk
+//     power modules into the environmental database every ~5 minutes,
+//   * by MonEQ over EMON at 560 ms on one node card (32 nodes).
+// The two views agree on totals; only MonEQ resolves the domains, and
+// only the database sees the idle shoulders around the job.
+
+#include <cstdio>
+
+#include "analysis/series_ops.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main() {
+  using namespace envmon;
+
+  scenarios::BgqMmpsOptions options;
+  options.job_duration = sim::Duration::seconds(900);
+  options.idle_margin = sim::Duration::seconds(240);
+  options.env_poll_interval = sim::Duration::seconds(240);
+
+  std::printf("Running MMPS on 1 BG/Q rack (1,024 nodes) for %.0f s with %.0f s idle"
+              " margins...\n\n",
+              options.job_duration.to_seconds(), options.idle_margin.to_seconds());
+  const auto result = scenarios::run_bgq_mmps(options);
+
+  std::printf("Environmental database view (BPM input power, rack R00):\n");
+  for (const auto& p : result.bpm_input_power) {
+    std::printf("  t=%6.0f s  %8.1f W\n", p.t.to_seconds(), p.value);
+  }
+
+  std::printf("\nMonEQ view (one node card, %zu series):\n", result.moneq_domains.size());
+  for (const auto& d : result.moneq_domains) {
+    analysis::Crossing start = analysis::first_rise_above(d.points, 0.0);
+    double mean = analysis::mean_in_window(
+        d.points, sim::SimTime::zero(),
+        sim::SimTime::zero() + options.job_duration);
+    std::printf("  %-16s %5zu samples, mean %8.1f W%s\n", d.name.c_str(), d.points.size(),
+                mean, start.found ? "" : " (no data)");
+  }
+
+  const auto report = result.moneq_overhead;
+  std::printf("\nMonEQ overhead: %llu polls, collection %.3f s (%.2f%% of the job),\n"
+              "finalize %.3f s across the 32-rank node card\n",
+              static_cast<unsigned long long>(report.polls),
+              report.collection.to_seconds(),
+              100.0 * report.collection.to_seconds() / options.job_duration.to_seconds(),
+              report.finalize.to_seconds());
+  std::printf("\nWhat to notice (the paper's Figs 1-2 contrast):\n"
+              "  * the database saw ~%zu points; MonEQ saw ~%zu per domain\n"
+              "  * the database shows the idle floor before/after; MonEQ starts at\n"
+              "    job power because it runs inside the job\n"
+              "  * EMON's scope limit: everything above is per node card -- 32 nodes\n"
+              "    -- 'part of the design of the system and it is not possible to\n"
+              "    overcome in software'\n",
+              result.bpm_input_power.size(),
+              result.moneq_domains.empty() ? 0 : result.moneq_domains.front().points.size());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Multi-device profiling: "if a system has both a NVIDIA GPU as well as
+// an Intel Xeon Phi, profiling is possible for both of these devices at
+// the same time" (paper §III) — plus the host CPU through RAPL, all in
+// one MonEQ profiler with a single polling timer.
+
+#include <cstdio>
+#include <map>
+
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/backend_rapl.hpp"
+#include "moneq/profiler.hpp"
+#include "rapl/reader.hpp"
+#include "workloads/library.hpp"
+
+int main() {
+  using namespace envmon;
+
+  sim::Engine engine;
+
+  // Host CPU (RAPL).
+  rapl::CpuPackage package(engine);
+  rapl::MsrRaplReader reader(package, rapl::Credentials{true, 0});
+  moneq::RaplBackend cpu_backend(reader);
+
+  // GPU (NVML).
+  nvml::NvmlLibrary library(engine);
+  library.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)library.init();
+  nvml::NvmlDeviceHandle gpu;
+  (void)library.device_get_handle_by_index(0, &gpu);
+  moneq::NvmlBackend gpu_backend(library, gpu, "gpu_board");
+
+  // Xeon Phi (MICRAS daemon path).
+  mic::PhiCard card(engine);
+  mic::MicrasDaemon daemon(card);
+  daemon.start();
+  moneq::MicDaemonBackend phi_backend(daemon);
+
+  // One profiler, three vendor mechanisms.
+  smpi::World world(1);
+  moneq::NodeProfiler profiler(engine, world, 0);
+  if (!profiler.add_backend(cpu_backend).is_ok()) return 1;
+  if (!profiler.add_backend(gpu_backend).is_ok()) return 1;
+  if (!profiler.add_backend(phi_backend).is_ok()) return 1;
+  if (!profiler.set_polling_interval(sim::Duration::millis(200)).is_ok()) return 1;
+  if (!profiler.initialize().is_ok()) return 1;
+
+  // Heterogeneous job: CPU assembles work, GPU runs vector add, Phi runs
+  // offloaded Gaussian elimination — overlapping in time.
+  const auto cpu_work = workloads::dgemm({sim::Duration::seconds(40), 0.7, 0.5});
+  const auto gpu_work = workloads::gpu_vector_add(
+      {sim::Duration::seconds(5), sim::Duration::seconds(1), sim::Duration::seconds(30)});
+  const auto phi_work = workloads::offload_gauss(
+      {sim::Duration::seconds(10), sim::Duration::seconds(2), sim::Duration::seconds(25)});
+  package.run_workload(&cpu_work, engine.now());
+  library.device_for_testing(0)->run_workload(&gpu_work, engine.now());
+  card.run_workload(&phi_work, engine.now());
+
+  engine.run_until(engine.now() + sim::Duration::seconds(40));
+  if (!profiler.finalize().is_ok()) return 1;
+
+  // Per-device summary from the single merged sample stream: the
+  // "accounted for individually within the file produced for the node"
+  // behaviour.
+  struct Acc {
+    double sum = 0.0;
+    std::size_t n = 0;
+  };
+  std::map<std::string, Acc> by_domain;
+  for (const auto& s : profiler.samples()) {
+    if (s.quantity != moneq::Quantity::kPowerWatts) continue;
+    auto& a = by_domain[s.domain];
+    a.sum += s.value;
+    ++a.n;
+  }
+  std::printf("One MonEQ profiler, three mechanisms, one node (40 s job):\n");
+  for (const auto& [domain, acc] : by_domain) {
+    std::printf("  %-12s mean %7.2f W over %3zu samples\n", domain.c_str(),
+                acc.sum / static_cast<double>(acc.n), acc.n);
+  }
+  const auto report = profiler.overhead();
+  std::printf("\ntotal samples: %zu; polls: %llu; collection overhead %.2f%%\n",
+              profiler.samples().size(),
+              static_cast<unsigned long long>(report.polls),
+              100.0 * report.collection.to_seconds() / 40.0);
+  std::printf("note: the mixed per-poll cost is dominated by NVML's 1.3 ms x 4 queries;\n"
+              "swap the daemon path for the in-band API and it would be 14.2 ms each.\n");
+  return 0;
+}

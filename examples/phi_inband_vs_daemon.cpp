@@ -1,0 +1,48 @@
+// The Fig 7 trade-off, interactively: the same no-op workload on one
+// Xeon Phi collected through all THREE paths the paper describes —
+//   1. in-band SysMgmt API over SCIF from the host,
+//   2. the MICRAS daemon's pseudo-files on the card,
+//   3. out-of-band through the SMC -> BMC over IPMB.
+// Prints the distributions, the Welch test, and the cost table.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main() {
+  using namespace envmon;
+  using scenarios::PhiCollector;
+
+  const auto total = sim::Duration::seconds(120);
+  std::printf("Polling one Xeon Phi (no-op workload) every 500 ms for %.0f s via three"
+              " paths...\n\n",
+              total.to_seconds());
+
+  const auto api = scenarios::run_phi_noop(PhiCollector::kInbandApi, total);
+  const auto daemon = scenarios::run_phi_noop(PhiCollector::kMicrasDaemon, total);
+  const auto oob = scenarios::run_phi_noop(PhiCollector::kOutOfBandIpmb, total);
+
+  const auto summarize = [](const char* name, const std::vector<double>& samples,
+                            double cost_ms) {
+    RunningStats s;
+    for (const double v : samples) s.add(v);
+    std::printf("  %-22s n=%3zu  mean=%7.2f W  sd=%5.2f  min=%7.2f  max=%7.2f"
+                "  cost/query=%7.3f ms\n",
+                name, samples.size(), s.mean(), s.stddev(), s.min(), s.max(), cost_ms);
+  };
+  summarize("SysMgmt API (in-band)", api.power_samples, api.mean_query_cost_ms);
+  summarize("MICRAS daemon", daemon.power_samples, daemon.mean_query_cost_ms);
+  summarize("SMC->BMC IPMB (OOB)", oob.power_samples, 0.0);
+
+  const auto t = welch_t_test(api.power_samples, daemon.power_samples);
+  std::printf("\nAPI vs daemon Welch t-test: t=%.1f, p=%.2e -> %s\n", t.t, t.p_value,
+              t.p_value < 0.001 ? "statistically significant (the Fig 7 result)"
+                                : "not significant");
+  std::printf("\nWhy the API reads higher: 'code that wasn't already executing on the\n"
+              "device before the call was made must run, collect, and return' -- each\n"
+              "in-band query wakes cores. The daemon reads registers in the app's own\n"
+              "time slice; the IPMB path never touches the cores at all but returns\n"
+              "8-bit readings (2 W resolution).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The paper's motivating application (§I): "we proposed a power aware
+// scheduling design which using power data from IBM Blue Gene/Q resulted
+// in savings of up to 23% on the electricity bill."
+//
+// This example closes that loop on the simulated substrate: the
+// environmental database supplies per-rack power, a dynamic electricity
+// price alternates between on-peak and off-peak, and a scheduler decides
+// when to launch the power-hungry job.  The comparison is naive
+// (run immediately) vs power-aware (defer the heavy job to the off-peak
+// window), costed from the BPM data the environmental monitor recorded.
+
+#include <cstdio>
+
+#include "bgq/env_monitor.hpp"
+#include "bgq/machine.hpp"
+#include "tsdb/database.hpp"
+#include "workloads/library.hpp"
+
+namespace {
+
+using namespace envmon;
+
+// Day-ahead price: on-peak for the first 6 h of the (compressed) day,
+// off-peak afterwards.
+double price_per_mwh(sim::SimTime t) {
+  const double hours = t.to_seconds() / 3600.0;
+  return (hours < 6.0) ? 95.0 : 38.0;  // USD/MWh
+}
+
+struct RunCost {
+  double energy_mwh = 0.0;
+  double dollars = 0.0;
+};
+
+// Runs a 4-hour DGEMM job on one rack starting at `job_start` and costs
+// the rack's metered power over a 12-hour window.
+RunCost run_day(sim::Duration job_start) {
+  sim::Engine engine;
+  bgq::BgqMachine machine;
+  tsdb::EnvDatabase db;
+  bgq::EnvMonitorOptions monitor_options;
+  monitor_options.interval = sim::Duration::seconds(240);
+  monitor_options.record_board_voltages = false;
+  auto monitor = bgq::EnvMonitor::create(engine, machine, db, monitor_options);
+  monitor.value()->start();
+
+  const auto job = workloads::dgemm({sim::Duration::seconds(4 * 3600), 0.95, 0.5});
+  machine.run_workload(&job, sim::SimTime::zero() + job_start);
+  engine.run_until(sim::SimTime::from_seconds(12 * 3600));
+
+  RunCost cost;
+  tsdb::QueryFilter f;
+  f.metric = bgq::kMetricBpmInputPower;
+  sim::SimTime prev;
+  bool first = true;
+  for (const auto& rec : db.query(f)) {
+    if (!first) {
+      const double hours = (rec.timestamp - prev).to_seconds() / 3600.0;
+      const double mwh = rec.value * 1e-6 * hours;
+      cost.energy_mwh += mwh;
+      cost.dollars += mwh * price_per_mwh(rec.timestamp);
+    }
+    prev = rec.timestamp;
+    first = false;
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Power-aware scheduling on the simulated BG/Q rack\n");
+  std::printf("(4 h DGEMM job; on-peak $95/MWh for hours 0-6, off-peak $38/MWh after)\n\n");
+
+  const RunCost naive = run_day(sim::Duration::seconds(0));         // launch at 00:00
+  const RunCost aware = run_day(sim::Duration::seconds(6 * 3600));  // defer to off-peak
+
+  std::printf("  naive (run at arrival)   : %6.3f MWh, $%8.2f\n", naive.energy_mwh,
+              naive.dollars);
+  std::printf("  power-aware (defer 6 h)  : %6.3f MWh, $%8.2f\n", aware.energy_mwh,
+              aware.dollars);
+  const double savings = 100.0 * (naive.dollars - aware.dollars) / naive.dollars;
+  std::printf("  electricity-bill savings : %5.1f%%  (the paper's prior work reported"
+              " up to 23%%)\n\n",
+              savings);
+  std::printf("Note how little instrumentation this took: the decision input is just\n"
+              "the BPM input power that the environmental database already collects\n"
+              "every 4 minutes -- exactly the 'useful, actionable information' the\n"
+              "SC'11 state-of-the-practice report asked the monitoring stack to feed.\n");
+  return savings > 5.0 ? 0 : 1;
+}

@@ -1,0 +1,193 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace envmon::analysis {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+struct Extent {
+  double tmin = 0.0, tmax = 1.0, vmin = 0.0, vmax = 1.0;
+};
+
+Extent compute_extent(std::span<const NamedSeries> series) {
+  Extent e;
+  bool first = true;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      const double t = p.t.to_seconds();
+      if (first) {
+        e.tmin = e.tmax = t;
+        e.vmin = e.vmax = p.value;
+        first = false;
+      } else {
+        e.tmin = std::min(e.tmin, t);
+        e.tmax = std::max(e.tmax, t);
+        e.vmin = std::min(e.vmin, p.value);
+        e.vmax = std::max(e.vmax, p.value);
+      }
+    }
+  }
+  if (e.tmax <= e.tmin) e.tmax = e.tmin + 1.0;
+  if (e.vmax <= e.vmin) e.vmax = e.vmin + 1.0;
+  // Pad the value range slightly so extremes stay visible.
+  const double pad = 0.04 * (e.vmax - e.vmin);
+  e.vmin -= pad;
+  e.vmax += pad;
+  return e;
+}
+
+}  // namespace
+
+std::string render_chart_multi(std::span<const NamedSeries> series,
+                               const ChartOptions& options) {
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << "\n";
+  const Extent e = compute_extent(series);
+  const int w = std::max(16, options.width);
+  const int h = std::max(4, options.height);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (const auto& p : series[si].points) {
+      const double tx = (p.t.to_seconds() - e.tmin) / (e.tmax - e.tmin);
+      const double ty = (p.value - e.vmin) / (e.vmax - e.vmin);
+      const int col = std::clamp(static_cast<int>(tx * (w - 1)), 0, w - 1);
+      const int row = std::clamp(static_cast<int>((1.0 - ty) * (h - 1)), 0, h - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  const std::string top = format_double(e.vmax, 1);
+  const std::string bottom = format_double(e.vmin, 1);
+  const std::size_t label_w = std::max(top.size(), bottom.size());
+  for (int row = 0; row < h; ++row) {
+    std::string label(label_w, ' ');
+    if (row == 0) label = top;
+    if (row == h - 1) label = bottom;
+    label.resize(label_w, ' ');
+    os << label << " |" << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  os << std::string(label_w, ' ') << " +" << std::string(static_cast<std::size_t>(w), '-')
+     << "\n";
+  os << std::string(label_w, ' ') << "  " << format_double(e.tmin, 1) << " .. "
+     << format_double(e.tmax, 1) << " " << options.x_label;
+  if (!options.y_label.empty()) os << "   [y: " << options.y_label << "]";
+  os << "\n";
+  if (series.size() > 1) {
+    os << "legend:";
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      os << "  " << kGlyphs[si % sizeof(kGlyphs)] << "=" << series[si].name;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_chart(std::span<const sim::TracePoint> points, const ChartOptions& options) {
+  NamedSeries s;
+  s.name = options.y_label.empty() ? "series" : options.y_label;
+  s.points.assign(points.begin(), points.end());
+  return render_chart_multi(std::span<const NamedSeries>(&s, 1), options);
+}
+
+std::string TableRenderer::render() const {
+  std::vector<std::size_t> widths;
+  const auto account = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& r : rows_) account(r);
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << (i == 0 ? "| " : " | ") << cell
+         << std::string(widths[i] - cell.size(), ' ');
+    }
+    os << " |\n";
+  };
+  const auto rule = [&] {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      os << (i == 0 ? "+-" : "-+-") << std::string(widths[i], '-');
+    }
+    os << "-+\n";
+  };
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& r : rows_) emit(r);
+  rule();
+  return os.str();
+}
+
+std::string render_boxplot(std::span<const BoxplotSeries> series, int width) {
+  double lo = 0.0, hi = 1.0;
+  bool first = true;
+  for (const auto& s : series) {
+    const double smin = s.stats.outliers.empty()
+                            ? s.stats.whisker_low
+                            : std::min(s.stats.min, s.stats.whisker_low);
+    const double smax = s.stats.outliers.empty()
+                            ? s.stats.whisker_high
+                            : std::max(s.stats.max, s.stats.whisker_high);
+    if (first) {
+      lo = smin;
+      hi = smax;
+      first = false;
+    } else {
+      lo = std::min(lo, smin);
+      hi = std::max(hi, smax);
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  const double pad = 0.05 * (hi - lo);
+  lo -= pad;
+  hi += pad;
+
+  std::size_t name_w = 0;
+  for (const auto& s : series) name_w = std::max(name_w, s.name.size());
+
+  const int w = std::max(24, width);
+  const auto col = [&](double v) {
+    return std::clamp(static_cast<int>((v - lo) / (hi - lo) * (w - 1)), 0, w - 1);
+  };
+
+  std::ostringstream os;
+  for (const auto& s : series) {
+    std::string line(static_cast<std::size_t>(w), ' ');
+    const int wl = col(s.stats.whisker_low);
+    const int q1 = col(s.stats.q1);
+    const int med = col(s.stats.median);
+    const int q3 = col(s.stats.q3);
+    const int wh = col(s.stats.whisker_high);
+    for (int i = wl; i <= wh; ++i) line[static_cast<std::size_t>(i)] = '-';
+    for (int i = q1; i <= q3; ++i) line[static_cast<std::size_t>(i)] = '=';
+    line[static_cast<std::size_t>(wl)] = '|';
+    line[static_cast<std::size_t>(wh)] = '|';
+    line[static_cast<std::size_t>(med)] = 'M';
+    for (const double o : s.stats.outliers) line[static_cast<std::size_t>(col(o))] = 'o';
+    std::string name = s.name;
+    name.resize(name_w, ' ');
+    os << name << " [" << line << "]  median=" << format_double(s.stats.median, 2)
+       << " IQR=[" << format_double(s.stats.q1, 2) << ", " << format_double(s.stats.q3, 2)
+       << "]\n";
+  }
+  os << std::string(name_w, ' ') << "  scale: " << format_double(lo, 2) << " .. "
+     << format_double(hi, 2) << "\n";
+  return os.str();
+}
+
+}  // namespace envmon::analysis

@@ -1,0 +1,53 @@
+#pragma once
+// Text renderers for the bench harness: ASCII line charts (the figures),
+// aligned tables (the tables), and boxplots (Fig 7).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace envmon::analysis {
+
+struct ChartOptions {
+  int width = 78;
+  int height = 16;
+  std::string title;
+  std::string y_label;
+  std::string x_label = "time (s)";
+};
+
+// Single-series line chart.
+[[nodiscard]] std::string render_chart(std::span<const sim::TracePoint> points,
+                                       const ChartOptions& options);
+
+// Multi-series chart; each series gets a distinct glyph and a legend row.
+struct NamedSeries {
+  std::string name;
+  std::vector<sim::TracePoint> points;
+};
+[[nodiscard]] std::string render_chart_multi(std::span<const NamedSeries> series,
+                                             const ChartOptions& options);
+
+// Aligned monospace table.
+class TableRenderer {
+ public:
+  explicit TableRenderer(std::vector<std::string> header) : header_(std::move(header)) {}
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal ASCII boxplot over a labeled set of samples.
+struct BoxplotSeries {
+  std::string name;
+  BoxplotStats stats;
+};
+[[nodiscard]] std::string render_boxplot(std::span<const BoxplotSeries> series, int width = 72);
+
+}  // namespace envmon::analysis

@@ -1,0 +1,103 @@
+#include "analysis/series_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace envmon::analysis {
+
+std::vector<TracePoint> resample_mean(std::span<const TracePoint> points,
+                                      sim::Duration bucket) {
+  std::vector<TracePoint> out;
+  if (points.empty() || bucket.ns() <= 0) return out;
+  std::int64_t current_idx = points.front().t.ns() / bucket.ns();
+  double sum = 0.0;
+  std::size_t count = 0;
+  const auto flush = [&] {
+    if (count > 0) {
+      out.push_back(TracePoint{sim::SimTime::from_ns(current_idx * bucket.ns()),
+                               sum / static_cast<double>(count)});
+    } else if (!out.empty()) {
+      out.push_back(TracePoint{sim::SimTime::from_ns(current_idx * bucket.ns()),
+                               out.back().value});
+    }
+  };
+  for (const auto& p : points) {
+    const std::int64_t idx = p.t.ns() / bucket.ns();
+    while (idx != current_idx) {
+      flush();
+      ++current_idx;
+      sum = 0.0;
+      count = 0;
+    }
+    sum += p.value;
+    ++count;
+  }
+  flush();
+  return out;
+}
+
+double integrate(std::span<const TracePoint> points) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dt = (points[i].t - points[i - 1].t).to_seconds();
+    total += 0.5 * (points[i].value + points[i - 1].value) * dt;
+  }
+  return total;
+}
+
+double mean_in_window(std::span<const TracePoint> points, sim::SimTime from, sim::SimTime to) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points) {
+    if (p.t >= from && p.t <= to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+Crossing first_rise_above(std::span<const TracePoint> points, double threshold) {
+  for (const auto& p : points) {
+    if (p.value > threshold) return Crossing{true, p.t};
+  }
+  return {};
+}
+
+Crossing settle_time(std::span<const TracePoint> points, double band, double tail_fraction) {
+  if (points.size() < 4) return {};
+  const auto tail_start =
+      points.size() - std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                   static_cast<double>(points.size()) *
+                                                   tail_fraction));
+  double plateau = 0.0;
+  for (std::size_t i = tail_start; i < points.size(); ++i) plateau += points[i].value;
+  plateau /= static_cast<double>(points.size() - tail_start);
+
+  // Last time the series was outside the band; settle is the next point.
+  for (std::size_t i = points.size(); i-- > 0;) {
+    if (std::fabs(points[i].value - plateau) > band) {
+      const std::size_t next = i + 1;
+      if (next < points.size()) return Crossing{true, points[next].t};
+      return {};
+    }
+  }
+  // Never left the band: settled from the start.
+  return Crossing{true, points.front().t};
+}
+
+std::vector<TracePoint> sum_series(const std::vector<std::vector<TracePoint>>& series) {
+  std::vector<TracePoint> out;
+  if (series.empty()) return out;
+  std::size_t n = series.front().size();
+  for (const auto& s : series) n = std::min(n, s.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (const auto& s : series) sum += s[i].value;
+    out.push_back(TracePoint{series.front()[i].t, sum});
+  }
+  return out;
+}
+
+}  // namespace envmon::analysis

@@ -1,0 +1,46 @@
+#pragma once
+// Operations on sampled time series: the post-processing every figure in
+// the paper needs (resampling, integration, phase detection).
+
+#include <span>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace envmon::analysis {
+
+using sim::TracePoint;
+
+// Mean value in fixed-width buckets; empty buckets carry the previous
+// value (sample-and-hold), matching how the paper's plots render sparse
+// environmental-database data.
+[[nodiscard]] std::vector<TracePoint> resample_mean(std::span<const TracePoint> points,
+                                                    sim::Duration bucket);
+
+// Trapezoidal integral (value * seconds) — energy when values are watts.
+[[nodiscard]] double integrate(std::span<const TracePoint> points);
+
+// Mean of values in [from, to].
+[[nodiscard]] double mean_in_window(std::span<const TracePoint> points, sim::SimTime from,
+                                    sim::SimTime to);
+
+// First time the series crosses `threshold` upward, if any.
+struct Crossing {
+  bool found = false;
+  sim::SimTime t;
+};
+[[nodiscard]] Crossing first_rise_above(std::span<const TracePoint> points, double threshold);
+
+// Time to settle within `band` of the final plateau (the Fig 4 "takes
+// about 5 seconds before the power consumption levels off" metric).
+// The plateau is the mean of the last `tail_fraction` of the series.
+[[nodiscard]] Crossing settle_time(std::span<const TracePoint> points, double band,
+                                   double tail_fraction = 0.2);
+
+// Sum several series point-wise on a common grid (Fig 8's "sum power of
+// 128 cards").  Series are sampled on identical grids in our harness;
+// mismatched lengths are truncated to the shortest.
+[[nodiscard]] std::vector<TracePoint> sum_series(
+    const std::vector<std::vector<TracePoint>>& series);
+
+}  // namespace envmon::analysis

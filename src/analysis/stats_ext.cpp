@@ -1,0 +1,103 @@
+#include "analysis/stats_ext.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace envmon::analysis {
+
+std::size_t Histogram::total() const {
+  std::size_t n = 0;
+  for (const auto c : counts) n += c;
+  return n;
+}
+
+Histogram histogram(std::span<const double> values, std::size_t bins) {
+  Histogram h;
+  if (values.empty() || bins == 0) return h;
+  h.lo = *std::min_element(values.begin(), values.end());
+  h.hi = *std::max_element(values.begin(), values.end());
+  if (h.hi <= h.lo) h.hi = h.lo + 1.0;
+  h.counts.assign(bins, 0);
+  for (const double v : values) {
+    auto idx = static_cast<std::size_t>((v - h.lo) / (h.hi - h.lo) *
+                                        static_cast<double>(bins));
+    idx = std::min(idx, bins - 1);
+    ++h.counts[idx];
+  }
+  return h;
+}
+
+std::string render_histogram(const Histogram& h, int width) {
+  std::ostringstream os;
+  if (h.counts.empty()) return "(empty histogram)\n";
+  const std::size_t peak = *std::max_element(h.counts.begin(), h.counts.end());
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const double bin_lo = h.lo + static_cast<double>(i) * h.bin_width();
+    const auto bar_len =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(h.counts[i]) /
+                                     static_cast<double>(peak) * width);
+    os << format_double(bin_lo, 2) << " | "
+       << std::string(static_cast<std::size_t>(bar_len), '#') << " " << h.counts[i] << "\n";
+  }
+  return os.str();
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  RunningStats sa, sb;
+  for (std::size_t i = 0; i < n; ++i) {
+    sa.add(a[i]);
+    sb.add(b[i]);
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  }
+  cov /= static_cast<double>(n - 1);
+  const double denom = sa.stddev() * sb.stddev();
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+double trace_correlation(std::span<const sim::TracePoint> a,
+                         std::span<const sim::TracePoint> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::vector<double> va, vb;
+  va.reserve(n);
+  vb.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    va.push_back(a[i].value);
+    vb.push_back(b[i].value);
+  }
+  return pearson(va, vb);
+}
+
+int best_lag(std::span<const double> a, std::span<const double> b, int max_lag) {
+  int best = 0;
+  double best_r = -2.0;
+  const auto n = static_cast<int>(std::min(a.size(), b.size()));
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    // Compare a[i] with b[i + lag] over the valid overlap.
+    std::vector<double> va, vb;
+    for (int i = 0; i < n; ++i) {
+      const int j = i + lag;
+      if (j < 0 || j >= n) continue;
+      va.push_back(a[static_cast<std::size_t>(i)]);
+      vb.push_back(b[static_cast<std::size_t>(j)]);
+    }
+    if (va.size() < 8) continue;
+    const double r = pearson(va, vb);
+    if (r > best_r) {
+      best_r = r;
+      best = lag;
+    }
+  }
+  return best;
+}
+
+}  // namespace envmon::analysis

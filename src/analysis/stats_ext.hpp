@@ -1,0 +1,43 @@
+#pragma once
+// Additional statistics on traces: histograms, correlation, and lag
+// estimation.  Used by the ablation benches (e.g. quantifying the EMON
+// domain-stagger inconsistency and the Fig 5 power/temperature coupling).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace envmon::analysis {
+
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] double bin_width() const {
+    return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+  }
+};
+
+// Equal-width histogram over [min, max] of the sample.
+[[nodiscard]] Histogram histogram(std::span<const double> values, std::size_t bins);
+
+// ASCII rendering (one row per bin with a proportional bar).
+[[nodiscard]] std::string render_histogram(const Histogram& h, int width = 50);
+
+// Pearson correlation of two equally-long value sequences.
+[[nodiscard]] double pearson(std::span<const double> a, std::span<const double> b);
+
+// Pearson correlation of two traces sampled on the same grid (truncates
+// to the shorter).
+[[nodiscard]] double trace_correlation(std::span<const sim::TracePoint> a,
+                                       std::span<const sim::TracePoint> b);
+
+// Lag (in samples) that maximizes cross-correlation of b relative to a,
+// searched over [-max_lag, +max_lag].  Positive result: b lags a.
+[[nodiscard]] int best_lag(std::span<const double> a, std::span<const double> b, int max_lag);
+
+}  // namespace envmon::analysis

@@ -1,0 +1,64 @@
+#pragma once
+// The seven Blue Gene/Q power domains.
+//
+// MonEQ reads "the individual voltage and current data points for each of
+// the 7 BG/Q domains" (paper §II-A, Fig 2): chip core, DRAM, link chip
+// core, HSS network, optics, PCI Express, and SRAM.  Each domain maps to
+// one rail of the generic device power model.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "power/rail.hpp"
+
+namespace envmon::bgq {
+
+enum class Domain : std::uint8_t {
+  kChipCore = 0,
+  kDram,
+  kLinkChipCore,
+  kHssNetwork,
+  kOptics,
+  kPciExpress,
+  kSram,
+};
+
+inline constexpr std::size_t kDomainCount = 7;
+
+inline constexpr std::array<Domain, kDomainCount> kAllDomains = {
+    Domain::kChipCore,   Domain::kDram,   Domain::kLinkChipCore, Domain::kHssNetwork,
+    Domain::kOptics,     Domain::kPciExpress, Domain::kSram,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Domain d) {
+  switch (d) {
+    case Domain::kChipCore: return "chip_core";
+    case Domain::kDram: return "dram";
+    case Domain::kLinkChipCore: return "link_chip_core";
+    case Domain::kHssNetwork: return "hss_network";
+    case Domain::kOptics: return "optics";
+    case Domain::kPciExpress: return "pci_express";
+    case Domain::kSram: return "sram";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr power::Rail to_rail(Domain d) {
+  switch (d) {
+    case Domain::kChipCore: return power::Rail::kCpuCore;
+    case Domain::kDram: return power::Rail::kDram;
+    case Domain::kLinkChipCore: return power::Rail::kLink;
+    case Domain::kHssNetwork: return power::Rail::kNetwork;
+    case Domain::kOptics: return power::Rail::kOptics;
+    case Domain::kPciExpress: return power::Rail::kPcie;
+    case Domain::kSram: return power::Rail::kSram;
+  }
+  return power::Rail::kBoard;
+}
+
+[[nodiscard]] constexpr std::size_t domain_index(Domain d) {
+  return static_cast<std::size_t>(d);
+}
+
+}  // namespace envmon::bgq

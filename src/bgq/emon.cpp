@@ -1,0 +1,44 @@
+#include "bgq/emon.hpp"
+
+namespace envmon::bgq {
+
+EmonSession::EmonSession(const NodeBoard& board, EmonOptions options)
+    : board_(&board), options_(options) {
+  // Domains are measured one after another across the generation window;
+  // spread them over the first ~70% of the period in a fixed order.
+  const std::int64_t step =
+      options_.generation_period.ns() * 7 / (10 * static_cast<std::int64_t>(kDomainCount));
+  for (std::size_t i = 0; i < kDomainCount; ++i) {
+    stagger_[i] = sim::Duration::nanos(static_cast<std::int64_t>(i) * step);
+  }
+}
+
+Result<EmonReading> EmonSession::read(sim::SimTime now) {
+  cost_.charge(options_.query_cost);
+
+  const std::int64_t period = options_.generation_period.ns();
+  // Generation k covers [k*period, (k+1)*period); data becomes available
+  // when the generation completes.  The most recent completed generation
+  // at time `now` is floor(now/period) - 1.
+  const std::int64_t completed = now.ns() / period - 1;
+  if (completed < 0) {
+    return Status(StatusCode::kUnavailable,
+                  "no completed EMON generation yet (first data after " +
+                      std::to_string(2.0 * options_.generation_period.to_seconds()) + " s)");
+  }
+  EmonReading reading;
+  reading.generation_start = sim::SimTime::from_ns(completed * period);
+  for (const Domain d : kAllDomains) {
+    const std::size_t i = domain_index(d);
+    const sim::SimTime sampled = reading.generation_start + stagger_[i];
+    reading.domains[i] = DomainReading{
+        d,
+        board_->domain_voltage(d),
+        board_->domain_current(d, sampled),
+        sampled,
+    };
+  }
+  return reading;
+}
+
+}  // namespace envmon::bgq

@@ -1,0 +1,82 @@
+#include "bgq/env_monitor.hpp"
+
+namespace envmon::bgq {
+
+Result<std::unique_ptr<EnvMonitor>> EnvMonitor::create(sim::Engine& engine,
+                                                       const BgqMachine& machine,
+                                                       tsdb::EnvDatabase& db,
+                                                       EnvMonitorOptions options) {
+  if (options.interval < kMinEnvInterval || options.interval > kMaxEnvInterval) {
+    return Status(StatusCode::kOutOfRange,
+                  "environmental polling interval must be within 60-1800 s");
+  }
+  return std::unique_ptr<EnvMonitor>(new EnvMonitor(engine, machine, db, options));
+}
+
+EnvMonitor::EnvMonitor(sim::Engine& engine, const BgqMachine& machine, tsdb::EnvDatabase& db,
+                       EnvMonitorOptions options)
+    : engine_(&engine), machine_(&machine), db_(&db), options_(options), rng_(options.seed) {
+  const int racks = machine_->topology().racks;
+  power_sensors_.reserve(static_cast<std::size_t>(racks));
+  coolant_.reserve(static_cast<std::size_t>(racks));
+  for (int r = 0; r < racks; ++r) {
+    power::SensorOptions sensor;
+    sensor.noise_sigma = 6.0;   // watts, BPM metering noise
+    sensor.quantum = 1.0;       // the database stores integral watts
+    sensor.min_value = 0.0;
+    power_sensors_.emplace_back(sensor, rng_.fork());
+
+    power::ThermalOptions thermal;
+    thermal.ambient = Celsius{18.0};            // facility chilled water
+    thermal.resistance_c_per_w = 2.2e-4;        // rack-scale coolant loop
+    thermal.capacity_j_per_c = 5.0e5;
+    thermal.initial = Celsius{19.0};
+    coolant_.emplace_back(thermal);
+  }
+}
+
+void EnvMonitor::start() {
+  if (timer_.active()) return;
+  timer_ = engine_->schedule_periodic(options_.interval, [this] { poll_once(); });
+}
+
+void EnvMonitor::stop() { timer_.cancel(); }
+
+void EnvMonitor::poll_once() {
+  const sim::SimTime now = engine_->now();
+  for (int r = 0; r < machine_->topology().racks; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    const tsdb::Location rack_loc = tsdb::rack_location(r);
+    const Watts true_input = machine_->bpm_input_power(r, now);
+    const double measured = power_sensors_[ri].sample(now, true_input.value());
+
+    (void)db_->insert({now, rack_loc, kMetricBpmInputPower, measured});
+    (void)db_->insert({now, rack_loc, kMetricBpmInputCurrent, measured / 480.0});
+    (void)db_->insert(
+        {now, rack_loc, kMetricBpmOutputPower, machine_->bpm_output_power(r, now).value()});
+
+    const Celsius coolant = coolant_[ri].step(now, true_input);
+    (void)db_->insert({now, rack_loc, kMetricCoolantTempC, coolant.value()});
+    // Flow tracks pump speed, which the control system raises with load.
+    const double flow_lpm = 95.0 + 0.0006 * true_input.value();
+    (void)db_->insert({now, rack_loc, kMetricCoolantFlowLpm, flow_lpm});
+    const double fan_rpm = 2400.0 + 0.05 * true_input.value() + rng_.normal(0.0, 15.0);
+    (void)db_->insert({now, rack_loc, kMetricFanSpeedRpm, fan_rpm});
+  }
+
+  if (options_.record_board_voltages) {
+    for (std::size_t b = 0; b < machine_->board_count(); ++b) {
+      const NodeBoard& board = machine_->board(b);
+      const tsdb::Location loc =
+          tsdb::board_location(board.rack(), board.midplane(), board.board());
+      for (const Domain d : kAllDomains) {
+        (void)db_->insert({now, loc, std::string(kMetricDomainVoltage) + "." +
+                                         std::string(to_string(d)),
+                           board.domain_voltage(d).value()});
+      }
+    }
+  }
+  ++polls_;
+}
+
+}  // namespace envmon::bgq

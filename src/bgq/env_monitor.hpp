@@ -1,0 +1,77 @@
+#pragma once
+// The Blue Gene environmental monitor: the control-system daemon that
+// "periodically samples and gathers environmental data from various
+// sensors and stores this collected information together with the
+// timestamp and location information" in the environmental database
+// (paper §II-A).
+//
+// Polling interval: ~4 minutes by default, configurable within
+// 60-1800 s (the paper's stated range); values outside are rejected.
+// Sensors recorded per poll: BPM input/output power and input current
+// per rack, per-board domain voltages, coolant temperature and flow,
+// and fan speeds — the sensor classes §II-A enumerates.
+
+#include <vector>
+
+#include "bgq/machine.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "power/sensor.hpp"
+#include "power/thermal.hpp"
+#include "sim/engine.hpp"
+#include "tsdb/database.hpp"
+
+namespace envmon::bgq {
+
+// Metric names written to the environmental database.
+inline constexpr const char* kMetricBpmInputPower = "bpm_input_power_watts";
+inline constexpr const char* kMetricBpmInputCurrent = "bpm_input_current_amps";
+inline constexpr const char* kMetricBpmOutputPower = "bpm_output_power_watts";
+inline constexpr const char* kMetricCoolantTempC = "coolant_temp_celsius";
+inline constexpr const char* kMetricCoolantFlowLpm = "coolant_flow_lpm";
+inline constexpr const char* kMetricFanSpeedRpm = "fan_speed_rpm";
+inline constexpr const char* kMetricDomainVoltage = "domain_voltage_volts";
+
+struct EnvMonitorOptions {
+  sim::Duration interval = sim::Duration::seconds(240);  // "about 4 minutes"
+  std::uint64_t seed = 0x5eed0001;
+  bool record_board_voltages = true;
+};
+
+inline constexpr sim::Duration kMinEnvInterval = sim::Duration::seconds(60);
+inline constexpr sim::Duration kMaxEnvInterval = sim::Duration::seconds(1800);
+
+class EnvMonitor {
+ public:
+  // Fails with kOutOfRange if the interval is outside [60 s, 1800 s].
+  static Result<std::unique_ptr<EnvMonitor>> create(sim::Engine& engine,
+                                                    const BgqMachine& machine,
+                                                    tsdb::EnvDatabase& db,
+                                                    EnvMonitorOptions options = {});
+
+  // Starts periodic polling (first sample after one interval).
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t polls_completed() const { return polls_; }
+
+ private:
+  EnvMonitor(sim::Engine& engine, const BgqMachine& machine, tsdb::EnvDatabase& db,
+             EnvMonitorOptions options);
+
+  void poll_once();
+
+  sim::Engine* engine_;
+  const BgqMachine* machine_;
+  tsdb::EnvDatabase* db_;
+  EnvMonitorOptions options_;
+  sim::TimerHandle timer_;
+  std::size_t polls_ = 0;
+
+  Rng rng_;
+  // Per-rack sensor state.
+  std::vector<power::SensorPipeline> power_sensors_;
+  std::vector<power::ThermalModel> coolant_;
+};
+
+}  // namespace envmon::bgq

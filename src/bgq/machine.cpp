@@ -1,0 +1,93 @@
+#include "bgq/machine.hpp"
+
+#include <stdexcept>
+
+namespace envmon::bgq {
+
+power::RailTable<power::RailModel> node_board_rails() {
+  using power::Rail;
+  using power::RailModel;
+  power::RailTable<RailModel> rails{};
+  // Idle/dynamic watts for 32 nodes; voltages are the domain rail levels.
+  rails[power::rail_index(Rail::kCpuCore)] = RailModel{Watts{340.0}, Watts{980.0}, Volts{0.9}};
+  rails[power::rail_index(Rail::kDram)] = RailModel{Watts{150.0}, Watts{620.0}, Volts{1.35}};
+  rails[power::rail_index(Rail::kLink)] = RailModel{Watts{58.0}, Watts{210.0}, Volts{1.0}};
+  rails[power::rail_index(Rail::kNetwork)] = RailModel{Watts{52.0}, Watts{175.0}, Volts{1.5}};
+  rails[power::rail_index(Rail::kOptics)] = RailModel{Watts{42.0}, Watts{130.0}, Volts{2.5}};
+  rails[power::rail_index(Rail::kPcie)] = RailModel{Watts{34.0}, Watts{85.0}, Volts{3.3}};
+  rails[power::rail_index(Rail::kSram)] = RailModel{Watts{22.0}, Watts{64.0}, Volts{0.8}};
+  return rails;
+}
+
+NodeBoard::NodeBoard(int rack, int midplane, int board)
+    : rack_(rack), midplane_(midplane), board_(board) {
+  const auto rails = node_board_rails();
+  for (const power::Rail r : power::kAllRails) {
+    model_.set_rail(r, rails[power::rail_index(r)]);
+  }
+}
+
+Watts NodeBoard::total_power(sim::SimTime t) const {
+  Watts total{0.0};
+  for (const Domain d : kAllDomains) total += domain_power(d, t);
+  return total;
+}
+
+BgqMachine::BgqMachine(Topology topology, BpmOptions bpm) : topology_(topology), bpm_(bpm) {
+  if (topology_.racks <= 0 || topology_.midplanes_per_rack <= 0 ||
+      topology_.boards_per_midplane <= 0 || topology_.nodes_per_board <= 0) {
+    throw std::invalid_argument("BgqMachine: topology dimensions must be positive");
+  }
+  if (bpm_.conversion_efficiency <= 0.0 || bpm_.conversion_efficiency > 1.0) {
+    throw std::invalid_argument("BgqMachine: conversion efficiency must be in (0,1]");
+  }
+  boards_.reserve(static_cast<std::size_t>(topology_.total_boards()));
+  for (int r = 0; r < topology_.racks; ++r) {
+    for (int m = 0; m < topology_.midplanes_per_rack; ++m) {
+      for (int n = 0; n < topology_.boards_per_midplane; ++n) {
+        boards_.push_back(std::make_unique<NodeBoard>(r, m, n));
+      }
+    }
+  }
+}
+
+void BgqMachine::run_workload(const power::UtilizationProfile* profile, sim::SimTime start,
+                              std::size_t first_board, std::size_t count) {
+  if (first_board >= boards_.size()) {
+    throw std::out_of_range("BgqMachine::run_workload: first_board out of range");
+  }
+  const std::size_t last = (count == SIZE_MAX || first_board + count > boards_.size())
+                               ? boards_.size()
+                               : first_board + count;
+  for (std::size_t i = first_board; i < last; ++i) {
+    boards_[i]->model().run_workload(profile, start);
+  }
+}
+
+Watts BgqMachine::rack_dc_power(int rack, sim::SimTime t) const {
+  if (rack < 0 || rack >= topology_.racks) {
+    throw std::out_of_range("BgqMachine::rack_dc_power: bad rack index");
+  }
+  Watts total{0.0};
+  const auto per_rack = static_cast<std::size_t>(topology_.boards_per_rack());
+  const std::size_t begin = static_cast<std::size_t>(rack) * per_rack;
+  for (std::size_t i = begin; i < begin + per_rack; ++i) {
+    total += boards_[i]->total_power(t);
+  }
+  return total;
+}
+
+Watts BgqMachine::bpm_output_power(int rack, sim::SimTime t) const {
+  return rack_dc_power(rack, t) + bpm_.rack_fixed_overhead;
+}
+
+Watts BgqMachine::bpm_input_power(int rack, sim::SimTime t) const {
+  return bpm_output_power(rack, t) / bpm_.conversion_efficiency;
+}
+
+Amps BgqMachine::bpm_input_current(int rack, sim::SimTime t) const {
+  // BPMs are fed at 480 VAC (three-phase, treated as a single equivalent).
+  return bpm_input_power(rack, t) / Volts{480.0};
+}
+
+}  // namespace envmon::bgq

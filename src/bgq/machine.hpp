@@ -1,0 +1,105 @@
+#pragma once
+// The Blue Gene/Q machine model.
+//
+// Topology as described in paper §II-A (and the BG/Q redbooks): a rack is
+// two midplanes + link cards + service cards; a midplane is 16 node
+// boards; a node board carries 32 compute cards (one 18-core A2 chip
+// each), so 1,024 nodes per rack.  Power sensing exists at two levels:
+//   * bulk power modules (BPMs) convert 480 VAC to 48 VDC per rack and
+//     report input/output power into the environmental database;
+//   * per node board, the seven power domains are instrumented (EMON's
+//     finest granularity — 32 nodes, the paper's key limitation).
+//
+// Rail calibration targets the paper's plotted magnitudes: a node board
+// idles around 0.7 kW and reaches ~2 kW under MMPS (Fig 2).
+
+#include <memory>
+#include <vector>
+
+#include "bgq/domains.hpp"
+#include "power/component.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::bgq {
+
+struct Topology {
+  int racks = 1;
+  int midplanes_per_rack = 2;
+  int boards_per_midplane = 16;
+  int nodes_per_board = 32;
+
+  [[nodiscard]] int boards_per_rack() const { return midplanes_per_rack * boards_per_midplane; }
+  [[nodiscard]] int total_boards() const { return racks * boards_per_rack(); }
+  [[nodiscard]] int total_nodes() const { return total_boards() * nodes_per_board; }
+};
+
+// One node board: the EMON measurement unit (32 nodes).
+class NodeBoard {
+ public:
+  NodeBoard(int rack, int midplane, int board);
+
+  [[nodiscard]] int rack() const { return rack_; }
+  [[nodiscard]] int midplane() const { return midplane_; }
+  [[nodiscard]] int board() const { return board_; }
+
+  [[nodiscard]] power::DevicePowerModel& model() { return model_; }
+  [[nodiscard]] const power::DevicePowerModel& model() const { return model_; }
+
+  [[nodiscard]] Watts domain_power(Domain d, sim::SimTime t) const {
+    return model_.rail_power_at(to_rail(d), t);
+  }
+  [[nodiscard]] Watts total_power(sim::SimTime t) const;
+  [[nodiscard]] Volts domain_voltage(Domain d) const {
+    return model_.rail_voltage(to_rail(d));
+  }
+  [[nodiscard]] Amps domain_current(Domain d, sim::SimTime t) const {
+    return model_.rail_current_at(to_rail(d), t);
+  }
+
+ private:
+  int rack_, midplane_, board_;
+  power::DevicePowerModel model_;
+};
+
+// Bulk power module view of a rack: AC input power for the DC the boards
+// draw, plus the rack's fixed overhead (fans, service cards, link cards,
+// coolant pumps), divided by conversion efficiency.
+struct BpmOptions {
+  double conversion_efficiency = 0.92;
+  Watts rack_fixed_overhead{4200.0};  // fans, service/link cards, clocks
+};
+
+class BgqMachine {
+ public:
+  explicit BgqMachine(Topology topology = {}, BpmOptions bpm = {});
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] std::size_t board_count() const { return boards_.size(); }
+  [[nodiscard]] NodeBoard& board(std::size_t i) { return *boards_[i]; }
+  [[nodiscard]] const NodeBoard& board(std::size_t i) const { return *boards_[i]; }
+
+  // Runs a workload on boards [first, first+count), starting at `start`.
+  void run_workload(const power::UtilizationProfile* profile, sim::SimTime start,
+                    std::size_t first_board = 0, std::size_t count = SIZE_MAX);
+
+  // DC power drawn by all boards of one rack.
+  [[nodiscard]] Watts rack_dc_power(int rack, sim::SimTime t) const;
+
+  // AC input power measured at the rack's BPMs (what the environmental
+  // database records in the "input" direction, Fig 1).
+  [[nodiscard]] Watts bpm_input_power(int rack, sim::SimTime t) const;
+  [[nodiscard]] Amps bpm_input_current(int rack, sim::SimTime t) const;
+
+  // BPM output (DC side): boards + overhead, before conversion loss.
+  [[nodiscard]] Watts bpm_output_power(int rack, sim::SimTime t) const;
+
+ private:
+  Topology topology_;
+  BpmOptions bpm_;
+  std::vector<std::unique_ptr<NodeBoard>> boards_;
+};
+
+// The published rail calibration for one node board (32 nodes).
+[[nodiscard]] power::RailTable<power::RailModel> node_board_rails();
+
+}  // namespace envmon::bgq

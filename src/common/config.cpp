@@ -1,0 +1,113 @@
+#include "common/config.hpp"
+
+#include "common/strings.hpp"
+
+namespace envmon {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config config;
+  std::string section;  // keys before any [section] live in ""
+  int line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return Status(StatusCode::kInvalidArgument,
+                      "malformed section header at line " + std::to_string(line_no));
+      }
+      section = std::string(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status(StatusCode::kInvalidArgument,
+                    "expected key=value at line " + std::to_string(line_no));
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    // Inline comments: a '#' or ';' preceded by whitespace ends the value.
+    std::string_view value_part = line.substr(eq + 1);
+    for (std::size_t i = 0; i < value_part.size(); ++i) {
+      if ((value_part[i] == '#' || value_part[i] == ';') &&
+          (i == 0 || value_part[i - 1] == ' ' || value_part[i - 1] == '\t')) {
+        value_part = value_part.substr(0, i);
+        break;
+      }
+    }
+    const std::string value{trim(value_part)};
+    if (key.empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "empty key at line " + std::to_string(line_no));
+    }
+    config.data_[section][key] = value;
+  }
+  return config;
+}
+
+bool Config::has(std::string_view section, std::string_view key) const {
+  return get(section, key).has_value();
+}
+
+std::optional<std::string> Config::get(std::string_view section, std::string_view key) const {
+  const auto sec = data_.find(section);
+  if (sec == data_.end()) return std::nullopt;
+  const auto it = sec->second.find(std::string(key));
+  if (it == sec->second.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::string> Config::get_string(std::string_view section, std::string_view key,
+                                       std::string default_value) const {
+  const auto v = get(section, key);
+  return v ? *v : std::move(default_value);
+}
+
+Result<double> Config::get_double(std::string_view section, std::string_view key,
+                                  double default_value) const {
+  const auto v = get(section, key);
+  if (!v) return default_value;
+  double out = 0.0;
+  if (!parse_double(*v, out)) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string(section) + "." + std::string(key) + ": not a number: " + *v);
+  }
+  return out;
+}
+
+Result<long long> Config::get_int(std::string_view section, std::string_view key,
+                                  long long default_value) const {
+  const auto d = get_double(section, key, static_cast<double>(default_value));
+  if (!d) return d.status();
+  const auto rounded = static_cast<long long>(d.value());
+  if (static_cast<double>(rounded) != d.value()) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string(section) + "." + std::string(key) + ": not an integer");
+  }
+  return rounded;
+}
+
+Result<bool> Config::get_bool(std::string_view section, std::string_view key,
+                              bool default_value) const {
+  const auto v = get(section, key);
+  if (!v) return default_value;
+  const std::string lower = to_lower(*v);
+  if (lower == "true" || lower == "yes" || lower == "on" || lower == "1") return true;
+  if (lower == "false" || lower == "no" || lower == "off" || lower == "0") return false;
+  return Status(StatusCode::kInvalidArgument,
+                std::string(section) + "." + std::string(key) + ": not a boolean: " + *v);
+}
+
+std::vector<std::string> Config::sections() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : data_) out.push_back(name);
+  return out;
+}
+
+std::size_t Config::size() const {
+  std::size_t n = 0;
+  for (const auto& [_, kv] : data_) n += kv.size();
+  return n;
+}
+
+}  // namespace envmon

@@ -1,0 +1,51 @@
+#pragma once
+// Minimal INI-style configuration parsing.
+//
+// Used by the scenario-runner example so experiments can be driven from
+// a text file (workload choice, durations, polling intervals) without
+// recompiling — the kind of knob file a facility's monitoring deployment
+// actually ships with.
+//
+// Format: `[section]` headers, `key = value` pairs, `#` or `;` comments,
+// blank lines ignored.  Keys are unique per section (later wins).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace envmon {
+
+class Config {
+ public:
+  // Parses INI text; fails on malformed section headers or lines that
+  // are neither comments, blanks, sections, nor key=value.
+  [[nodiscard]] static Result<Config> parse(std::string_view text);
+
+  [[nodiscard]] bool has(std::string_view section, std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> get(std::string_view section,
+                                               std::string_view key) const;
+
+  // Typed getters with defaults; wrong-typed values produce an error.
+  [[nodiscard]] Result<std::string> get_string(std::string_view section,
+                                               std::string_view key,
+                                               std::string default_value) const;
+  [[nodiscard]] Result<double> get_double(std::string_view section, std::string_view key,
+                                          double default_value) const;
+  [[nodiscard]] Result<long long> get_int(std::string_view section, std::string_view key,
+                                          long long default_value) const;
+  [[nodiscard]] Result<bool> get_bool(std::string_view section, std::string_view key,
+                                      bool default_value) const;
+
+  [[nodiscard]] std::vector<std::string> sections() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  // section -> key -> value
+  std::map<std::string, std::map<std::string, std::string>, std::less<>> data_;
+};
+
+}  // namespace envmon

@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace envmon {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+constexpr std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view msg) {
+  if (level < log_level()) return;
+  const std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(level_tag(level).size()),
+               level_tag(level).data(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace detail
+}  // namespace envmon

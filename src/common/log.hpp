@@ -1,0 +1,47 @@
+#pragma once
+// Minimal leveled logger.  Defaults to warnings only so tests and benches
+// stay quiet; examples turn on info to narrate the run.
+
+#include <sstream>
+#include <string_view>
+
+namespace envmon {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+}
+
+// Usage: ENVMON_LOG(kInfo) << "rack " << id << " powered on";
+#define ENVMON_LOG(level_suffix)                                             \
+  for (bool envmon_log_once =                                                \
+           ::envmon::LogLevel::level_suffix >= ::envmon::log_level();        \
+       envmon_log_once; envmon_log_once = false)                             \
+  ::envmon::detail::LogStream(::envmon::LogLevel::level_suffix)
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace detail
+}  // namespace envmon

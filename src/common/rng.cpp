@@ -1,0 +1,42 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace envmon {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+Rng Rng::fork() {
+  Rng child(0);
+  // Use four raw draws to decorrelate child state from parent sequence.
+  SplitMix64 sm(next_u64() ^ 0xa0761d6478bd642fULL);
+  child.state_ = {sm.next(), sm.next(), sm.next(), sm.next()};
+  return child;
+}
+
+}  // namespace envmon

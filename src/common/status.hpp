@@ -1,0 +1,104 @@
+#pragma once
+// Error handling: Status / Result<T>.
+//
+// The vendor APIs the paper studies report errors by integer codes (NVML
+// return codes, errno from the msr device, SCIF status).  We mirror that
+// style at the simulation boundary but use a typed Status internally so
+// call sites cannot ignore failures accidentally ([[nodiscard]]).
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace envmon {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kPermissionDenied,   // e.g. reading /dev/cpu/*/msr without root
+  kUnavailable,        // e.g. daemon not running, device lost
+  kOutOfRange,         // e.g. polling interval outside vendor limits
+  kFailedPrecondition, // e.g. collect before initialize
+  kResourceExhausted,  // e.g. sample buffer full
+  kUnsupported,        // e.g. power query on a pre-Kepler GPU
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s{envmon::to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.to_string(); }
+
+// Minimal expected-like result type (the toolchain here predates
+// std::expected being universally available).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(data_); }
+  [[nodiscard]] T& value() & { return std::get<T>(data_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(data_)); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace envmon

@@ -1,0 +1,109 @@
+#pragma once
+// Strong unit types for environmental quantities.
+//
+// The paper compares mechanisms that report watts, joules, volts, amperes,
+// degrees Celsius, RPM, and bytes.  Mixing these up silently is the classic
+// failure mode of monitoring glue code, so each quantity gets its own type.
+// The types are thin wrappers over double with explicit constructors and
+// only the physically meaningful cross-type operations defined
+// (power * time = energy, power = voltage * current, ...).
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace envmon {
+
+namespace detail {
+
+// CRTP base providing the arithmetic shared by all scalar unit wrappers.
+template <typename Derived>
+struct UnitBase {
+  double v{0.0};
+
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double value) : v(value) {}
+
+  [[nodiscard]] constexpr double value() const { return v; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.v + b.v}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.v - b.v}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.v * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.v * s}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.v / s}; }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.v}; }
+
+  Derived& operator+=(Derived o) {
+    v += o.v;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(Derived o) {
+    v -= o.v;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator*=(double s) {
+    v *= s;
+    return static_cast<Derived&>(*this);
+  }
+
+  friend constexpr auto operator<=>(UnitBase a, UnitBase b) = default;
+};
+
+}  // namespace detail
+
+struct Watts : detail::UnitBase<Watts> {
+  using UnitBase::UnitBase;
+};
+struct Joules : detail::UnitBase<Joules> {
+  using UnitBase::UnitBase;
+};
+struct Volts : detail::UnitBase<Volts> {
+  using UnitBase::UnitBase;
+};
+struct Amps : detail::UnitBase<Amps> {
+  using UnitBase::UnitBase;
+};
+struct Celsius : detail::UnitBase<Celsius> {
+  using UnitBase::UnitBase;
+};
+struct Rpm : detail::UnitBase<Rpm> {
+  using UnitBase::UnitBase;
+};
+struct Hertz : detail::UnitBase<Hertz> {
+  using UnitBase::UnitBase;
+};
+struct Seconds : detail::UnitBase<Seconds> {
+  using UnitBase::UnitBase;
+};
+struct Bytes : detail::UnitBase<Bytes> {
+  using UnitBase::UnitBase;
+};
+
+// Physically meaningful cross-type products.
+[[nodiscard]] constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.value() * t.value()}; }
+[[nodiscard]] constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+[[nodiscard]] constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.value() / t.value()}; }
+[[nodiscard]] constexpr Watts operator*(Volts v, Amps i) { return Watts{v.value() * i.value()}; }
+[[nodiscard]] constexpr Watts operator*(Amps i, Volts v) { return v * i; }
+[[nodiscard]] constexpr Amps operator/(Watts p, Volts v) { return Amps{p.value() / v.value()}; }
+
+[[nodiscard]] constexpr Bytes kibibytes(double n) { return Bytes{n * 1024.0}; }
+[[nodiscard]] constexpr Bytes mebibytes(double n) { return Bytes{n * 1024.0 * 1024.0}; }
+[[nodiscard]] constexpr Bytes gibibytes(double n) { return Bytes{n * 1024.0 * 1024.0 * 1024.0}; }
+[[nodiscard]] constexpr Hertz megahertz(double n) { return Hertz{n * 1e6}; }
+[[nodiscard]] constexpr Hertz gigahertz(double n) { return Hertz{n * 1e9}; }
+
+inline std::ostream& operator<<(std::ostream& os, Watts w) { return os << w.value() << " W"; }
+inline std::ostream& operator<<(std::ostream& os, Joules j) { return os << j.value() << " J"; }
+inline std::ostream& operator<<(std::ostream& os, Volts v) { return os << v.value() << " V"; }
+inline std::ostream& operator<<(std::ostream& os, Amps a) { return os << a.value() << " A"; }
+inline std::ostream& operator<<(std::ostream& os, Celsius c) { return os << c.value() << " C"; }
+inline std::ostream& operator<<(std::ostream& os, Rpm r) { return os << r.value() << " RPM"; }
+inline std::ostream& operator<<(std::ostream& os, Hertz h) { return os << h.value() << " Hz"; }
+inline std::ostream& operator<<(std::ostream& os, Seconds s) { return os << s.value() << " s"; }
+inline std::ostream& operator<<(std::ostream& os, Bytes b) { return os << b.value() << " B"; }
+
+}  // namespace envmon

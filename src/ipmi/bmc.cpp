@@ -1,0 +1,114 @@
+#include "ipmi/bmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace envmon::ipmi {
+
+namespace {
+double pow10i(int e) { return std::pow(10.0, e); }
+}  // namespace
+
+double SensorFactors::decode(std::uint8_t raw) const {
+  return (m * static_cast<double>(raw) + b * pow10i(b_exp)) * pow10i(r_exp);
+}
+
+std::uint8_t SensorFactors::encode(double value) const {
+  if (m == 0.0) return 0;
+  const double raw = (value / pow10i(r_exp) - b * pow10i(b_exp)) / m;
+  return static_cast<std::uint8_t>(std::clamp(std::lround(raw), 0L, 255L));
+}
+
+Status SensorController::add_sensor(SensorDef def) {
+  if (!def.read) {
+    return Status(StatusCode::kInvalidArgument, "sensor has no read callback");
+  }
+  const auto [_, inserted] = sensors_.emplace(def.number, std::move(def));
+  if (!inserted) {
+    return Status(StatusCode::kInvalidArgument, "duplicate sensor number");
+  }
+  return Status::ok();
+}
+
+std::optional<SensorFactors> SensorController::factors(std::uint8_t sensor) const {
+  const auto it = sensors_.find(sensor);
+  if (it == sensors_.end()) return std::nullopt;
+  return it->second.factors;
+}
+
+IpmbMessage SensorController::handle(const IpmbMessage& request) {
+  if (request.net_fn == static_cast<std::uint8_t>(NetFn::kApp) &&
+      request.cmd == kCmdGetDeviceId) {
+    // Minimal GetDeviceId response: device id, revision, fw 1.0, IPMI 1.5.
+    return request.make_response(kCcOk, {device_id_, 0x00, 0x01, 0x00, 0x51});
+  }
+  if (request.net_fn == static_cast<std::uint8_t>(NetFn::kSensorEvent) &&
+      request.cmd == kCmdGetSensorReading) {
+    if (request.data.empty()) return request.make_response(kCcInvalidSensor);
+    const auto it = sensors_.find(request.data[0]);
+    if (it == sensors_.end()) return request.make_response(kCcInvalidSensor);
+    const double value = it->second.read();
+    const std::uint8_t raw = it->second.factors.encode(value);
+    // reading, "scanning enabled" flags, thresholds byte.
+    return request.make_response(kCcOk, {raw, 0x40, 0x00});
+  }
+  return request.make_response(kCcInvalidCommand);
+}
+
+void Bmc::register_satellite(ManagementController* controller, std::uint8_t addr) {
+  satellites_[addr] = controller;
+}
+
+Result<std::vector<std::uint8_t>> Bmc::submit(const std::vector<std::uint8_t>& frame) {
+  auto decoded = decode(frame);
+  if (!decoded) return decoded.status();
+  const IpmbMessage& msg = decoded.value();
+
+  IpmbMessage response;
+  if (msg.rs_addr == slave_addr()) {
+    response = handle(msg);
+  } else {
+    const auto it = satellites_.find(msg.rs_addr);
+    if (it == satellites_.end()) {
+      return Status(StatusCode::kNotFound,
+                    "no controller at slave address " + std::to_string(msg.rs_addr));
+    }
+    response = it->second->handle(msg);
+  }
+  return encode(response);
+}
+
+Result<double> IpmbClient::read_sensor(const SensorController& target,
+                                       std::uint8_t sensor_number) {
+  IpmbMessage req;
+  req.rs_addr = target.slave_addr();
+  req.net_fn = static_cast<std::uint8_t>(NetFn::kSensorEvent);
+  req.rq_addr = own_addr_;
+  req.rq_seq = next_seq_;
+  next_seq_ = static_cast<std::uint8_t>((next_seq_ + 1) & 0x3f);
+  req.cmd = kCmdGetSensorReading;
+  req.data = {sensor_number};
+
+  auto frame = bmc_->submit(encode(req));
+  if (!frame) return frame.status();
+  auto resp = decode(frame.value());
+  if (!resp) return resp.status();
+  const auto& data = resp.value().data;
+  if (data.empty()) {
+    return Status(StatusCode::kInternal, "empty IPMB response");
+  }
+  if (data[0] != kCcOk) {
+    return Status(StatusCode::kUnavailable,
+                  "IPMB completion code " + std::to_string(data[0]));
+  }
+  if (data.size() < 2) {
+    return Status(StatusCode::kInternal, "truncated sensor reading response");
+  }
+  const auto f = target.factors(sensor_number);
+  if (!f) {
+    return Status(StatusCode::kNotFound, "unknown sensor on target controller");
+  }
+  return f->decode(data[1]);
+}
+
+}  // namespace envmon::ipmi

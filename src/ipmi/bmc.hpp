@@ -1,0 +1,103 @@
+#pragma once
+// Baseboard Management Controller with an IPMB face.
+//
+// The BMC owns a routing table of satellite management controllers (for
+// us: the Xeon Phi's SMC) keyed by slave address, plus its own sensor
+// repository.  Sensor readings use the IPMI linear conversion
+//   value = (M * raw + B * 10^Bexp) * 10^Rexp
+// with 8-bit raw readings, which is why out-of-band data is coarser than
+// the in-band paths the paper measures.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.hpp"
+#include "ipmi/ipmb.hpp"
+
+namespace envmon::ipmi {
+
+// IPMI sensor-data-record-style linear conversion factors.
+struct SensorFactors {
+  double m = 1.0;
+  double b = 0.0;
+  int b_exp = 0;
+  int r_exp = 0;
+
+  [[nodiscard]] double decode(std::uint8_t raw) const;
+  // Nearest raw code for a physical value, clamped to [0, 255].
+  [[nodiscard]] std::uint8_t encode(double value) const;
+};
+
+struct SensorDef {
+  std::uint8_t number = 0;
+  std::string name;
+  SensorFactors factors;
+  // Pull-based: invoked at request time with no argument; the owner
+  // closure captures whatever device state it needs.
+  std::function<double()> read;
+};
+
+// Anything that can answer IPMB requests (the BMC itself, an SMC, ...).
+class ManagementController {
+ public:
+  virtual ~ManagementController() = default;
+  [[nodiscard]] virtual IpmbMessage handle(const IpmbMessage& request) = 0;
+};
+
+// A sensor-owning controller: implements GetDeviceId and GetSensorReading
+// over its registered sensors.  Both the platform BMC and the card SMC
+// are instances of this.
+class SensorController : public ManagementController {
+ public:
+  SensorController(std::uint8_t slave_addr, std::uint8_t device_id)
+      : slave_addr_(slave_addr), device_id_(device_id) {}
+
+  Status add_sensor(SensorDef def);
+  [[nodiscard]] std::uint8_t slave_addr() const { return slave_addr_; }
+  [[nodiscard]] std::optional<SensorFactors> factors(std::uint8_t sensor) const;
+
+  [[nodiscard]] IpmbMessage handle(const IpmbMessage& request) override;
+
+ private:
+  std::uint8_t slave_addr_;
+  std::uint8_t device_id_;
+  std::map<std::uint8_t, SensorDef> sensors_;
+};
+
+// The platform BMC: routes requests whose responder address is not its
+// own to the registered satellite controller (bridging, as the host-side
+// tools do when they query the Phi's SMC through the BMC).
+class Bmc : public SensorController {
+ public:
+  explicit Bmc(std::uint8_t slave_addr = 0x20) : SensorController(slave_addr, 0x01) {}
+
+  void register_satellite(ManagementController* controller, std::uint8_t addr);
+
+  // Entry point for host-side requests: encoded frames in, frames out.
+  // Malformed frames yield an error status (a real BMC would drop them).
+  [[nodiscard]] Result<std::vector<std::uint8_t>> submit(
+      const std::vector<std::uint8_t>& frame);
+
+ private:
+  std::map<std::uint8_t, ManagementController*> satellites_;
+};
+
+// Convenience client: builds a GetSensorReading request, runs it through
+// the BMC, and decodes the reading with the controller's factors.
+class IpmbClient {
+ public:
+  IpmbClient(Bmc& bmc, std::uint8_t own_addr) : bmc_(&bmc), own_addr_(own_addr) {}
+
+  [[nodiscard]] Result<double> read_sensor(const SensorController& target,
+                                           std::uint8_t sensor_number);
+
+ private:
+  Bmc* bmc_;
+  std::uint8_t own_addr_;
+  std::uint8_t next_seq_ = 0;
+};
+
+}  // namespace envmon::ipmi

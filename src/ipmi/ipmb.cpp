@@ -1,0 +1,64 @@
+#include "ipmi/ipmb.hpp"
+
+namespace envmon::ipmi {
+
+std::uint8_t ipmb_checksum(const std::uint8_t* bytes, std::size_t n) {
+  std::uint8_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) sum = static_cast<std::uint8_t>(sum + bytes[i]);
+  return static_cast<std::uint8_t>(-sum);
+}
+
+IpmbMessage IpmbMessage::make_response(std::uint8_t completion_code,
+                                       std::vector<std::uint8_t> payload) const {
+  IpmbMessage resp;
+  resp.rs_addr = rq_addr;
+  resp.net_fn = static_cast<std::uint8_t>(net_fn | 0x01);
+  resp.rs_lun = rq_lun;
+  resp.rq_addr = rs_addr;
+  resp.rq_seq = rq_seq;
+  resp.rq_lun = rs_lun;
+  resp.cmd = cmd;
+  resp.data.reserve(payload.size() + 1);
+  resp.data.push_back(completion_code);
+  resp.data.insert(resp.data.end(), payload.begin(), payload.end());
+  return resp;
+}
+
+std::vector<std::uint8_t> encode(const IpmbMessage& msg) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(7 + msg.data.size());
+  frame.push_back(msg.rs_addr);
+  frame.push_back(static_cast<std::uint8_t>((msg.net_fn << 2) | (msg.rs_lun & 0x03)));
+  frame.push_back(ipmb_checksum(frame.data(), 2));
+  frame.push_back(msg.rq_addr);
+  frame.push_back(static_cast<std::uint8_t>((msg.rq_seq << 2) | (msg.rq_lun & 0x03)));
+  frame.push_back(msg.cmd);
+  frame.insert(frame.end(), msg.data.begin(), msg.data.end());
+  frame.push_back(ipmb_checksum(frame.data() + 3, frame.size() - 3));
+  return frame;
+}
+
+Result<IpmbMessage> decode(const std::vector<std::uint8_t>& frame) {
+  if (frame.size() < 7) {
+    return Status(StatusCode::kInvalidArgument, "IPMB frame shorter than 7 bytes");
+  }
+  if (ipmb_checksum(frame.data(), 2) != frame[2]) {
+    return Status(StatusCode::kInvalidArgument, "IPMB header checksum mismatch");
+  }
+  const std::size_t body_len = frame.size() - 3 - 1;  // after cksum1, before cksum2
+  if (ipmb_checksum(frame.data() + 3, body_len) != frame.back()) {
+    return Status(StatusCode::kInvalidArgument, "IPMB body checksum mismatch");
+  }
+  IpmbMessage msg;
+  msg.rs_addr = frame[0];
+  msg.net_fn = static_cast<std::uint8_t>(frame[1] >> 2);
+  msg.rs_lun = static_cast<std::uint8_t>(frame[1] & 0x03);
+  msg.rq_addr = frame[3];
+  msg.rq_seq = static_cast<std::uint8_t>(frame[4] >> 2);
+  msg.rq_lun = static_cast<std::uint8_t>(frame[4] & 0x03);
+  msg.cmd = frame[5];
+  msg.data.assign(frame.begin() + 6, frame.end() - 1);
+  return msg;
+}
+
+}  // namespace envmon::ipmi

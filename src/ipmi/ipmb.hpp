@@ -1,0 +1,70 @@
+#pragma once
+// IPMB (Intelligent Platform Management Bus) message codec.
+//
+// The Xeon Phi's out-of-band path sends environmental readings from the
+// card's System Management Controller (SMC) to the platform's Baseboard
+// Management Controller (BMC) "using the intelligent platform management
+// bus (IPMB) protocol" (paper §II-D).  We implement the IPMB v1.0 framing:
+//
+//   byte 0: rsSA        responder slave address
+//   byte 1: netFn<<2 | rsLUN
+//   byte 2: checksum1   (covers bytes 0-1)
+//   byte 3: rqSA        requester slave address
+//   byte 4: rqSeq<<2 | rqLUN
+//   byte 5: cmd
+//   byte 6..n-2: data
+//   byte n-1: checksum2 (covers bytes 3..n-2)
+//
+// Checksums are 2's-complement: the sum of the covered bytes plus the
+// checksum is 0 mod 256.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace envmon::ipmi {
+
+// Network function codes (request forms; responses are code | 1).
+enum class NetFn : std::uint8_t {
+  kChassis = 0x00,
+  kSensorEvent = 0x04,
+  kApp = 0x06,
+  kStorage = 0x0a,
+  kTransport = 0x0c,
+};
+
+// Commands used by the environmental path.
+inline constexpr std::uint8_t kCmdGetDeviceId = 0x01;       // NetFn App
+inline constexpr std::uint8_t kCmdGetSensorReading = 0x2d;  // NetFn Sensor/Event
+
+// IPMI completion codes.
+inline constexpr std::uint8_t kCcOk = 0x00;
+inline constexpr std::uint8_t kCcInvalidSensor = 0xcb;
+inline constexpr std::uint8_t kCcInvalidCommand = 0xc1;
+inline constexpr std::uint8_t kCcBusy = 0xc0;
+
+struct IpmbMessage {
+  std::uint8_t rs_addr = 0;
+  std::uint8_t net_fn = 0;  // 6-bit
+  std::uint8_t rs_lun = 0;  // 2-bit
+  std::uint8_t rq_addr = 0;
+  std::uint8_t rq_seq = 0;  // 6-bit
+  std::uint8_t rq_lun = 0;  // 2-bit
+  std::uint8_t cmd = 0;
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] bool is_response() const { return (net_fn & 0x01) != 0; }
+
+  // Builds the matching response frame (netFn|1, addresses swapped, same
+  // seq/cmd) with `data` starting with the completion code.
+  [[nodiscard]] IpmbMessage make_response(std::uint8_t completion_code,
+                                          std::vector<std::uint8_t> payload = {}) const;
+};
+
+[[nodiscard]] std::uint8_t ipmb_checksum(const std::uint8_t* bytes, std::size_t n);
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const IpmbMessage& msg);
+[[nodiscard]] Result<IpmbMessage> decode(const std::vector<std::uint8_t>& frame);
+
+}  // namespace envmon::ipmi

@@ -1,0 +1,81 @@
+#include "mic/card.hpp"
+
+namespace envmon::mic {
+
+namespace {
+
+power::SensorOptions make_sensor_options(const PhiPowerConfig& config) {
+  power::SensorOptions o;
+  o.update_period = config.sensor_update;
+  o.update_jitter = sim::Duration::millis(3);
+  o.noise_sigma = config.sensor_noise_sigma;
+  o.quantum = config.sensor_quantum;
+  o.min_value = 0.0;
+  return o;
+}
+
+power::ThermalOptions make_thermal_options() {
+  power::ThermalOptions t;
+  t.ambient = Celsius{32.0};
+  t.resistance_c_per_w = 0.18;
+  t.capacity_j_per_c = 300.0;
+  t.initial = Celsius{38.0};
+  return t;
+}
+
+}  // namespace
+
+PhiCard::PhiCard(sim::Engine& engine, PhiSpec spec, PhiPowerConfig config)
+    : engine_(&engine),
+      spec_(spec),
+      config_(config),
+      sensor_(make_sensor_options(config), Rng(config.seed)),
+      thermal_(make_thermal_options()) {
+  using power::Rail;
+  model_.set_rail(Rail::kCpuCore, config_.cores);
+  model_.set_rail(Rail::kDram, config_.gddr);
+  model_.set_rail(Rail::kBoard, config_.board);
+  model_.set_rail(Rail::kPcie, config_.pcie);
+}
+
+Watts PhiCard::management_power(sim::SimTime t) const {
+  Watts total{0.0};
+  for (const sim::SimTime start : pulses_) {
+    if (t >= start && t - start < config_.query_pulse_width) {
+      total += config_.query_pulse;
+    }
+  }
+  return total;
+}
+
+void PhiCard::purge_old_pulses(sim::SimTime t) {
+  while (!pulses_.empty() && t - pulses_.front() >= config_.query_pulse_width) {
+    pulses_.pop_front();
+  }
+}
+
+Watts PhiCard::true_power(sim::SimTime t) const {
+  return model_.total_power_at(t) + management_power(t);
+}
+
+Watts PhiCard::sensed_power(sim::SimTime t) {
+  purge_old_pulses(t);
+  return Watts{sensor_.sample(t, true_power(t).value())};
+}
+
+Celsius PhiCard::die_temperature(sim::SimTime t) { return thermal_.step(t, true_power(t)); }
+
+double PhiCard::fan_speed_rpm(sim::SimTime t) {
+  // Passively cooled SKUs exist, but the Stampede cards are actively
+  // cooled: firmware curve off die temperature.
+  const double temp = die_temperature(t).value();
+  return 1800.0 + std::max(0.0, temp - 40.0) * 55.0;
+}
+
+void PhiCard::register_inband_query(sim::SimTime t) {
+  purge_old_pulses(t);
+  pulses_.push_back(t);
+  ++inband_queries_;
+}
+
+}  // namespace envmon::mic

@@ -1,0 +1,102 @@
+#include "mic/micras.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace envmon::mic {
+
+MicrasDaemon::MicrasDaemon(PhiCard& card, MicrasCosts costs) : card_(&card), costs_(costs) {}
+
+Result<std::string> MicrasDaemon::read_file(std::string_view path, sim::SimTime now,
+                                            sim::CostMeter* meter) {
+  if (!running_) {
+    return Status(StatusCode::kUnavailable, "MICRAS daemon is not running");
+  }
+  if (meter != nullptr) meter->charge(costs_.per_read);
+  ++reads_;
+
+  char buf[256];
+  if (path == kPowerFile) {
+    const double total_uw = card_->sensed_power(now).value() * 1e6;
+    // Split across the physical connectors the way the real file does:
+    // PCIe slot up to 75 W, the rest over the 2x3/2x4 aux connectors.
+    const double pcie_uw = std::min(total_uw, 75e6);
+    const double rest = total_uw - pcie_uw;
+    std::snprintf(buf, sizeof(buf), "%.0f\n%.0f\n%.0f\n%.0f\n%.0f\n", total_uw, total_uw,
+                  pcie_uw, rest * 0.5, rest * 0.5);
+    return std::string(buf);
+  }
+  if (path == kThermalFile) {
+    const double die = card_->die_temperature(now).value();
+    std::snprintf(buf, sizeof(buf), "%.0f\n%.0f\n%.0f\n%.0f\n", die, die - 8.0, die - 16.0,
+                  die - 4.0);
+    return std::string(buf);
+  }
+  if (path == kMemFile) {
+    const double total = card_->spec().memory.value();
+    const double used = card_->memory_used().value();
+    std::snprintf(buf, sizeof(buf), "total: %.0f\nused: %.0f\nfree: %.0f\n", total, used,
+                  total - used);
+    return std::string(buf);
+  }
+  if (path == kFanFile) {
+    std::snprintf(buf, sizeof(buf), "%.0f\n", card_->fan_speed_rpm(now));
+    return std::string(buf);
+  }
+  return Status(StatusCode::kNotFound, std::string(path) + ": no such pseudo-file");
+}
+
+namespace {
+
+Result<std::vector<double>> parse_lines(std::string_view content, std::size_t expect) {
+  std::vector<double> values;
+  for (const auto& line : split(content, '\n')) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    // Accept both bare numbers and "key: value" lines.
+    const auto colon = trimmed.find(':');
+    const std::string_view num =
+        colon == std::string_view::npos ? trimmed : trim(trimmed.substr(colon + 1));
+    double v = 0.0;
+    if (!parse_double(num, v)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "unparseable pseudo-file line: " + std::string(line));
+    }
+    values.push_back(v);
+  }
+  if (values.size() < expect) {
+    return Status(StatusCode::kInvalidArgument, "pseudo-file has too few fields");
+  }
+  return values;
+}
+
+}  // namespace
+
+Result<MicrasPowerReading> parse_power_file(std::string_view content) {
+  auto values = parse_lines(content, 5);
+  if (!values) return values.status();
+  const auto& v = values.value();
+  MicrasPowerReading r;
+  r.total = Watts{v[0] * 1e-6};
+  r.inst = Watts{v[1] * 1e-6};
+  r.pcie = Watts{v[2] * 1e-6};
+  r.c2x3 = Watts{v[3] * 1e-6};
+  r.c2x4 = Watts{v[4] * 1e-6};
+  return r;
+}
+
+Result<MicrasThermalReading> parse_thermal_file(std::string_view content) {
+  auto values = parse_lines(content, 4);
+  if (!values) return values.status();
+  const auto& v = values.value();
+  MicrasThermalReading r;
+  r.die = Celsius{v[0]};
+  r.gddr = Celsius{v[1]};
+  r.intake = Celsius{v[2]};
+  r.exhaust = Celsius{v[3]};
+  return r;
+}
+
+}  // namespace envmon::mic

@@ -1,0 +1,86 @@
+#pragma once
+// The MICRAS daemon and its pseudo-file interface.
+//
+// Paper §II-D: "the MICRAS daemon is a tool which runs on both the host
+// and device platforms. ... On the device ... this daemon exposes access
+// to environmental data through pseudo-files mounted on a virtual file
+// system.  In this way, when one wishes to collect data, it's simply a
+// process of reading the appropriate file and parsing the data."
+//
+// Key properties the paper measures:
+//   * reads cost ~0.04 ms — nearly identical to a host RAPL MSR read,
+//     "because the implementation on both is essentially the same; the
+//     Xeon Phi actually uses RAPL internally";
+//   * the data is only reachable from code running *on the card*, so
+//     collection contends with the application;
+//   * unlike the in-band path, reading does not wake extra cores, so the
+//     measured power baseline stays lower (Fig 7).
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "mic/card.hpp"
+#include "sim/cost.hpp"
+
+namespace envmon::mic {
+
+// Canonical pseudo-file paths (modeled on /sys/class/micras/*).
+inline constexpr const char* kPowerFile = "/sys/class/micras/power";
+inline constexpr const char* kThermalFile = "/sys/class/micras/thermal";
+inline constexpr const char* kMemFile = "/sys/class/micras/mem";
+inline constexpr const char* kFanFile = "/sys/class/micras/fan";
+
+struct MicrasCosts {
+  // "about 0.04 ms per query".
+  sim::Duration per_read = sim::Duration::micros(40);
+};
+
+// The card-side virtual filesystem the daemon mounts.  Contents are
+// rendered at open() time from the card's current sensor state, exactly
+// like a sysfs show() callback.
+class MicrasDaemon {
+ public:
+  explicit MicrasDaemon(PhiCard& card, MicrasCosts costs = {});
+
+  void start() { running_ = true; }
+  void stop() { running_ = false; }
+  [[nodiscard]] bool running() const { return running_; }
+
+  // open() + read() + close() of one pseudo-file at virtual time `now`.
+  // Fails kUnavailable when the daemon is not running, kNotFound for an
+  // unknown path.  Charges per_read to `meter` (the application's time —
+  // this code runs on the card, in the app's shadow).
+  [[nodiscard]] Result<std::string> read_file(std::string_view path, sim::SimTime now,
+                                              sim::CostMeter* meter = nullptr);
+
+  [[nodiscard]] std::uint64_t reads_served() const { return reads_; }
+
+ private:
+  PhiCard* card_;
+  MicrasCosts costs_;
+  bool running_ = false;
+  std::uint64_t reads_ = 0;
+};
+
+// Parsers for the pseudo-file formats (micro-watt integer fields, like
+// the real MICRAS power file).
+struct MicrasPowerReading {
+  Watts total{};     // tot0: averaged window
+  Watts inst{};      // instantaneous
+  Watts pcie{};      // PCIe connector rail
+  Watts c2x3{};      // 2x3 aux connector
+  Watts c2x4{};      // 2x4 aux connector
+};
+[[nodiscard]] Result<MicrasPowerReading> parse_power_file(std::string_view content);
+
+struct MicrasThermalReading {
+  Celsius die{};
+  Celsius gddr{};
+  Celsius intake{};   // fan-in
+  Celsius exhaust{};  // fan-out
+};
+[[nodiscard]] Result<MicrasThermalReading> parse_thermal_file(std::string_view content);
+
+}  // namespace envmon::mic

@@ -1,0 +1,89 @@
+#include "mic/mpss.hpp"
+
+#include <cstdio>
+
+namespace envmon::mic {
+
+Status MpssHost::add_card(ScifNodeId node, const PhiSpec& spec) {
+  if (!network_->has_listener(node, kSysMgmtPort)) {
+    return Status(StatusCode::kUnavailable,
+                  "no SysMgmt agent on SCIF node " + std::to_string(node) +
+                      " (is the coprocessor OS booted?)");
+  }
+  for (const auto& c : cards_) {
+    if (c.node == node) {
+      return Status(StatusCode::kInvalidArgument, "card already registered");
+    }
+  }
+  cards_.push_back(ManagedCard{node, spec});
+  return Status::ok();
+}
+
+Result<CardStatus> MpssHost::status(std::size_t index, sim::SimTime now) {
+  if (index >= cards_.size()) {
+    return Status(StatusCode::kNotFound, "no card at index " + std::to_string(index));
+  }
+  const ManagedCard& card = cards_[index];
+  auto client = SysMgmtClient::connect(*network_, card.node);
+  if (!client) return client.status();
+
+  CardStatus status;
+  status.index = static_cast<int>(index);
+  const auto before = client.value().cost().total();
+  auto power = client.value().power(now);
+  if (!power) return power.status();
+  auto temp = client.value().die_temperature(now);
+  if (!temp) return temp.status();
+  auto mem = client.value().memory_used(now);
+  if (!mem) return mem.status();
+  auto fan = client.value().fan_speed(now);
+  if (!fan) return fan.status();
+  meter_.charge(client.value().cost().total() - before);
+
+  status.state = "online";
+  status.power = power.value();
+  status.die_temp = temp.value();
+  status.memory_total = card.spec.memory;
+  status.memory_used = mem.value();
+  status.fan_rpm = fan.value().value();
+  return status;
+}
+
+std::vector<CardStatus> MpssHost::sweep(sim::SimTime now) {
+  std::vector<CardStatus> out;
+  out.reserve(cards_.size());
+  for (std::size_t i = 0; i < cards_.size(); ++i) {
+    auto s = status(i, now);
+    if (s.is_ok()) {
+      out.push_back(s.value());
+    } else {
+      CardStatus lost;
+      lost.index = static_cast<int>(i);
+      lost.state = "lost";
+      out.push_back(lost);
+    }
+  }
+  return out;
+}
+
+Result<std::string> MpssHost::info(std::size_t index) const {
+  if (index >= cards_.size()) {
+    return Status(StatusCode::kNotFound, "no card at index " + std::to_string(index));
+  }
+  const PhiSpec& spec = cards_[index].spec;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "mic%zu:\n"
+                "  Cores            : %d\n"
+                "  Threads          : %d\n"
+                "  Peak DP          : %.2f TFLOPS\n"
+                "  GDDR capacity    : %.0f MiB\n"
+                "  TDP              : %.0f W\n"
+                "  SCIF node        : %d\n",
+                index, spec.cores, spec.total_threads(), spec.peak_tflops_fp64,
+                spec.memory.value() / (1024.0 * 1024.0), spec.tdp.value(),
+                cards_[index].node);
+  return std::string(buf);
+}
+
+}  // namespace envmon::mic

@@ -1,0 +1,63 @@
+#pragma once
+// MPSS-style host tooling for the Xeon Phi.
+//
+// The Manycore Platform Software Stack ships host utilities (micinfo,
+// micsmc) layered on the same in-band plumbing the paper measures.  We
+// implement the read-only inventory/status slice: per-card identity,
+// live power/thermal/memory readings through the SysMgmt path, and an
+// aggregate fleet view — what an operator greps before blaming a card.
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mic/card.hpp"
+#include "mic/sysmgmt.hpp"
+
+namespace envmon::mic {
+
+struct CardStatus {
+  int index = -1;
+  std::string state;  // "online", "lost"
+  Watts power{};
+  Celsius die_temp{};
+  Bytes memory_total{};
+  Bytes memory_used{};
+  double fan_rpm = 0.0;
+};
+
+// Host-side manager over a set of cards reachable through SCIF.
+class MpssHost {
+ public:
+  explicit MpssHost(ScifNetwork& network) : network_(&network) {}
+
+  // Registers a card's SCIF node for management.  The card must already
+  // run a SysMgmtService on that node.
+  Status add_card(ScifNodeId node, const PhiSpec& spec);
+
+  [[nodiscard]] std::size_t card_count() const { return cards_.size(); }
+
+  // micsmc-style live status of one card (four in-band queries).
+  [[nodiscard]] Result<CardStatus> status(std::size_t index, sim::SimTime now);
+
+  // Whole-fleet sweep; unreachable cards are reported as "lost" rather
+  // than failing the sweep.
+  [[nodiscard]] std::vector<CardStatus> sweep(sim::SimTime now);
+
+  // micinfo-style identity text for one card.
+  [[nodiscard]] Result<std::string> info(std::size_t index) const;
+
+  [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
+
+ private:
+  struct ManagedCard {
+    ScifNodeId node;
+    PhiSpec spec;
+  };
+
+  ScifNetwork* network_;
+  std::vector<ManagedCard> cards_;
+  sim::CostMeter meter_;
+};
+
+}  // namespace envmon::mic

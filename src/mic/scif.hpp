@@ -1,0 +1,92 @@
+#pragma once
+// SCIF: the Symmetric Communication Interface.
+//
+// Paper §II-D / Fig 6: SCIF "enables communication between the host and
+// the Xeon Phi as well as between Xeon Phi cards within the host.  Its
+// primary goal is to provide a uniform API for all communication across
+// the PCI Express buses. ... all drivers should expose the same
+// interfaces on both the host and on the Xeon Phi", with a user-mode
+// library and a kernel-mode driver on each side.
+//
+// We reproduce the connection-oriented part the SysMgmt path needs:
+// nodes (host = 0, cards = 1..N), ports, listeners, connect, and
+// synchronous send/recv.  Latency is charged per message segment so that
+// a full SysMgmt round trip — user lib, kernel driver, PCIe, card kernel,
+// register access, and back — totals the paper's measured 14.2 ms.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/cost.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::mic {
+
+using ScifNodeId = int;
+inline constexpr ScifNodeId kHostNode = 0;
+
+using ScifPort = std::uint16_t;
+// Well-known port of the card-side system-management agent.
+inline constexpr ScifPort kSysMgmtPort = 130;
+
+struct ScifCosts {
+  // Host user library <-> host kernel driver (ioctl).
+  sim::Duration host_kernel_hop = sim::Duration::micros(900);
+  // DMA/doorbell across PCIe, per direction.
+  sim::Duration pcie_transit = sim::Duration::micros(1800);
+  // Card-side kernel driver + waking the service thread.
+  sim::Duration card_kernel_hop = sim::Duration::micros(4200);
+  // Register collection on the card once awake.
+  sim::Duration card_collection = sim::Duration::micros(400);
+
+  [[nodiscard]] sim::Duration round_trip() const {
+    // request: host kernel, pcie, card kernel; collection; reply back.
+    return 2 * host_kernel_hop + 2 * pcie_transit + 2 * card_kernel_hop + card_collection;
+  }
+};
+
+// A service bound to (node, port): takes request bytes, returns reply.
+using ScifService = std::function<std::vector<std::uint8_t>(const std::vector<std::uint8_t>&)>;
+
+class ScifNetwork {
+ public:
+  // scif_bind + scif_listen equivalent.
+  Status listen(ScifNodeId node, ScifPort port, ScifService service);
+  void close(ScifNodeId node, ScifPort port);
+
+  [[nodiscard]] bool has_listener(ScifNodeId node, ScifPort port) const;
+
+ private:
+  friend class ScifEndpoint;
+  std::map<std::pair<ScifNodeId, ScifPort>, ScifService> listeners_;
+};
+
+// A connected endpoint (scif_open + scif_connect).  Synchronous
+// request/response; each call charges the full round-trip cost to the
+// caller's meter.
+class ScifEndpoint {
+ public:
+  static Result<ScifEndpoint> connect(ScifNetwork& network, ScifNodeId node, ScifPort port,
+                                      ScifCosts costs = {});
+
+  // scif_send + scif_recv pair.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> call(const std::vector<std::uint8_t>& request,
+                                                       sim::CostMeter* meter = nullptr);
+
+  [[nodiscard]] const ScifCosts& costs() const { return costs_; }
+
+ private:
+  ScifEndpoint(ScifNetwork& network, ScifNodeId node, ScifPort port, ScifCosts costs)
+      : network_(&network), node_(node), port_(port), costs_(costs) {}
+
+  ScifNetwork* network_;
+  ScifNodeId node_;
+  ScifPort port_;
+  ScifCosts costs_;
+};
+
+}  // namespace envmon::mic

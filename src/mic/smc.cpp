@@ -1,0 +1,39 @@
+#include "mic/smc.hpp"
+
+namespace envmon::mic {
+
+Smc::Smc(PhiCard& card, std::uint8_t slave_addr)
+    : ipmi::SensorController(slave_addr, 0x2c), card_(&card) {
+  using ipmi::SensorDef;
+  using ipmi::SensorFactors;
+
+  // Power: 2 W per count covers 0-510 W (the card's TDP with margin).
+  (void)add_sensor(SensorDef{
+      kSmcSensorPower,
+      "card_power_watts",
+      SensorFactors{2.0, 0.0, 0, 0},
+      [card = card_] { return card->sensed_power(card->engine().now()).value(); },
+  });
+  (void)add_sensor(SensorDef{
+      kSmcSensorDieTemp,
+      "die_temp_celsius",
+      SensorFactors{1.0, 0.0, 0, 0},
+      [card = card_] { return card->die_temperature(card->engine().now()).value(); },
+  });
+  (void)add_sensor(SensorDef{
+      kSmcSensorFan,
+      "fan_speed_rpm",
+      SensorFactors{50.0, 0.0, 0, 0},
+      [card = card_] { return card->fan_speed_rpm(card->engine().now()); },
+  });
+  (void)add_sensor(SensorDef{
+      kSmcSensorMemUsed,
+      "memory_used_mib",
+      SensorFactors{64.0, 0.0, 0, 0},
+      [card = card_] { return card->memory_used().value() / (1024.0 * 1024.0); },
+  });
+}
+
+void Smc::attach_to_bmc(ipmi::Bmc& bmc) { bmc.register_satellite(this, slave_addr()); }
+
+}  // namespace envmon::mic

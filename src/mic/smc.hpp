@@ -1,0 +1,42 @@
+#pragma once
+// The Xeon Phi System Management Controller and the out-of-band path.
+//
+// Paper §II-D: the out-of-band method "starts with the same capabilities
+// in the coprocessors, but sends the information to the Xeon Phi's
+// System Management Controller (SMC).  The SMC can then respond to
+// queries from the platform's Baseboard Management Controller (BMC)
+// using the intelligent platform management bus (IPMB) protocol to pass
+// the information upstream to the user."
+//
+// The SMC is a SensorController (ipmi module) whose sensors read the
+// card's state without disturbing it — out-of-band queries never wake
+// application cores, at the price of 8-bit IPMI sensor resolution.
+
+#include <memory>
+
+#include "ipmi/bmc.hpp"
+#include "mic/card.hpp"
+
+namespace envmon::mic {
+
+// IPMI sensor numbers exposed by the SMC.
+inline constexpr std::uint8_t kSmcSensorPower = 0x10;      // watts, 2 W/count
+inline constexpr std::uint8_t kSmcSensorDieTemp = 0x11;    // degrees C, 1 C/count
+inline constexpr std::uint8_t kSmcSensorFan = 0x12;        // RPM, 50 RPM/count
+inline constexpr std::uint8_t kSmcSensorMemUsed = 0x13;    // MiB, 64 MiB/count
+
+class Smc : public ipmi::SensorController {
+ public:
+  // The SMC samples the card's sensor state at request time via the
+  // engine the card is attached to (pull model: BMC bridges a request,
+  // SMC reads registers, responds).
+  Smc(PhiCard& card, std::uint8_t slave_addr = 0x30);
+
+  // Registers this SMC as a satellite controller on the platform BMC.
+  void attach_to_bmc(ipmi::Bmc& bmc);
+
+ private:
+  PhiCard* card_;
+};
+
+}  // namespace envmon::mic

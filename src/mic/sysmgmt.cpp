@@ -1,0 +1,99 @@
+#include "mic/sysmgmt.hpp"
+
+#include <cstring>
+
+namespace envmon::mic {
+
+std::vector<std::uint8_t> encode_request(SysMgmtRequest op) {
+  return {static_cast<std::uint8_t>(op)};
+}
+
+std::vector<std::uint8_t> encode_response(std::uint8_t status, double value) {
+  std::vector<std::uint8_t> out(1 + sizeof(double));
+  out[0] = status;
+  std::memcpy(out.data() + 1, &value, sizeof(double));
+  return out;
+}
+
+Result<double> decode_response(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() != 1 + sizeof(double)) {
+    return Status(StatusCode::kInternal, "malformed SysMgmt response");
+  }
+  if (bytes[0] != 0) {
+    return Status(StatusCode::kUnavailable,
+                  "SysMgmt agent error code " + std::to_string(bytes[0]));
+  }
+  double value;
+  std::memcpy(&value, bytes.data() + 1, sizeof(double));
+  return value;
+}
+
+SysMgmtService::SysMgmtService(PhiCard& card, ScifNetwork& network, ScifNodeId node)
+    : card_(&card), network_(&network), node_(node) {
+  const Status s = network_->listen(
+      node_, kSysMgmtPort,
+      [this](const std::vector<std::uint8_t>& req) { return handle(req); });
+  if (!s.is_ok()) {
+    throw std::invalid_argument("SysMgmtService: " + s.to_string());
+  }
+}
+
+SysMgmtService::~SysMgmtService() { network_->close(node_, kSysMgmtPort); }
+
+std::vector<std::uint8_t> SysMgmtService::handle(const std::vector<std::uint8_t>& request) {
+  if (request.size() != 1) return encode_response(1, 0.0);
+  const sim::SimTime now = card_->engine().now();
+  // Servicing the request runs collection code on the card: the power
+  // perturbation the paper observes for the in-band path.
+  card_->register_inband_query(now);
+  switch (static_cast<SysMgmtRequest>(request[0])) {
+    case SysMgmtRequest::kGetPowerReading:
+      return encode_response(0, card_->sensed_power(now).value());
+    case SysMgmtRequest::kGetDieTemp:
+      return encode_response(0, card_->die_temperature(now).value());
+    case SysMgmtRequest::kGetMemoryUsage:
+      return encode_response(0, card_->memory_used().value());
+    case SysMgmtRequest::kGetFanSpeed:
+      return encode_response(0, card_->fan_speed_rpm(now));
+  }
+  return encode_response(2, 0.0);
+}
+
+Result<SysMgmtClient> SysMgmtClient::connect(ScifNetwork& network, ScifNodeId card_node,
+                                             ScifCosts costs) {
+  auto endpoint = ScifEndpoint::connect(network, card_node, kSysMgmtPort, costs);
+  if (!endpoint) return endpoint.status();
+  return SysMgmtClient(std::move(endpoint).value());
+}
+
+Result<double> SysMgmtClient::query(SysMgmtRequest op) {
+  auto reply = endpoint_.call(encode_request(op), &meter_);
+  if (!reply) return reply.status();
+  return decode_response(reply.value());
+}
+
+Result<Watts> SysMgmtClient::power(sim::SimTime /*now*/) {
+  auto v = query(SysMgmtRequest::kGetPowerReading);
+  if (!v) return v.status();
+  return Watts{v.value()};
+}
+
+Result<Celsius> SysMgmtClient::die_temperature(sim::SimTime /*now*/) {
+  auto v = query(SysMgmtRequest::kGetDieTemp);
+  if (!v) return v.status();
+  return Celsius{v.value()};
+}
+
+Result<Bytes> SysMgmtClient::memory_used(sim::SimTime /*now*/) {
+  auto v = query(SysMgmtRequest::kGetMemoryUsage);
+  if (!v) return v.status();
+  return Bytes{v.value()};
+}
+
+Result<Rpm> SysMgmtClient::fan_speed(sim::SimTime /*now*/) {
+  auto v = query(SysMgmtRequest::kGetFanSpeed);
+  if (!v) return v.status();
+  return Rpm{v.value()};
+}
+
+}  // namespace envmon::mic

@@ -1,0 +1,75 @@
+#pragma once
+// The in-band SysMgmt interface over SCIF.
+//
+// Paper §II-D: the "in-band" method "uses the symmetric communication
+// interface (SCIF) network and the capabilities designed into the
+// coprocessor OS and the host driver".  The host-side client opens a
+// SCIF connection to the card's system-management agent; every query
+// crosses to the card, wakes cores to run collection code (raising the
+// card's power — the Fig 7 effect), and returns the reading.  Measured
+// cost: ~14.2 ms per query, ~14% overhead when polled at the default
+// rate.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mic/card.hpp"
+#include "mic/scif.hpp"
+#include "sim/cost.hpp"
+
+namespace envmon::mic {
+
+enum class SysMgmtRequest : std::uint8_t {
+  kGetPowerReading = 1,
+  kGetDieTemp = 2,
+  kGetMemoryUsage = 3,
+  kGetFanSpeed = 4,
+};
+
+// Wire format: request = [opcode]; response = [status, f64 little-endian].
+[[nodiscard]] std::vector<std::uint8_t> encode_request(SysMgmtRequest op);
+[[nodiscard]] std::vector<std::uint8_t> encode_response(std::uint8_t status, double value);
+[[nodiscard]] Result<double> decode_response(const std::vector<std::uint8_t>& bytes);
+
+// Card-side agent: binds the SysMgmt port on the card's SCIF node.
+class SysMgmtService {
+ public:
+  SysMgmtService(PhiCard& card, ScifNetwork& network, ScifNodeId node);
+  ~SysMgmtService();
+  SysMgmtService(const SysMgmtService&) = delete;
+  SysMgmtService& operator=(const SysMgmtService&) = delete;
+
+  [[nodiscard]] ScifNodeId node() const { return node_; }
+
+ private:
+  [[nodiscard]] std::vector<std::uint8_t> handle(const std::vector<std::uint8_t>& request);
+
+  PhiCard* card_;
+  ScifNetwork* network_;
+  ScifNodeId node_;
+};
+
+// Host-side client.
+class SysMgmtClient {
+ public:
+  static Result<SysMgmtClient> connect(ScifNetwork& network, ScifNodeId card_node,
+                                       ScifCosts costs = {});
+
+  [[nodiscard]] Result<Watts> power(sim::SimTime now);
+  [[nodiscard]] Result<Celsius> die_temperature(sim::SimTime now);
+  [[nodiscard]] Result<Bytes> memory_used(sim::SimTime now);
+  [[nodiscard]] Result<Rpm> fan_speed(sim::SimTime now);
+
+  [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
+
+ private:
+  explicit SysMgmtClient(ScifEndpoint endpoint) : endpoint_(std::move(endpoint)) {}
+
+  [[nodiscard]] Result<double> query(SysMgmtRequest op);
+
+  ScifEndpoint endpoint_;
+  sim::CostMeter meter_;
+};
+
+}  // namespace envmon::mic

@@ -1,0 +1,74 @@
+#pragma once
+// The MonEQ backend interface.
+//
+// "One wishing to profile data with MonEQ simply needs to link with the
+// appropriate libraries for the hardware which they are running on"
+// (paper §III).  A Backend wraps one vendor mechanism behind a uniform
+// collect() call; the profiler composes any number of them (a node with
+// a GPU and a Xeon Phi profiles both at once).
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "moneq/capability.hpp"
+#include "moneq/sample.hpp"
+#include "sim/cost.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::moneq {
+
+// Machine-readable statement of a mechanism's limitations — the paper's
+// first "looking forward" ask (§IV): "The first and perhaps most
+// important is stated limitations of the data and the collection of
+// this data.  For many of the devices discussed, the limitations in
+// collection had to be deduced from careful experimentation."  Here no
+// experimentation is needed: every backend publishes them.
+struct BackendLimitations {
+  // Finest measurable unit ("node card (32 nodes)", "socket", ...).
+  std::string scope;
+  // How the data is reached ("EMON API", "/dev/cpu/*/msr", ...).
+  std::string access_path;
+  // Worst-case age of a returned reading (stale generations, holds).
+  sim::Duration worst_case_staleness{};
+  // Reported accuracy, as a +/- band in the primary unit, if published.
+  double accuracy_band = 0.0;
+  std::string accuracy_note;
+  // Whether collecting disturbs the quantity being measured (the Phi's
+  // in-band path) and whether access needs elevated privilege (msr).
+  bool perturbs_measurement = false;
+  bool requires_privilege = false;
+  // Free-form caveats ("counter overfills past 60 s", ...).
+  std::string caveats;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual PlatformId platform() const = 0;
+
+  // The lowest polling interval the mechanism supports with reliable
+  // data (560 ms EMON generations on BG/Q; ~60 ms sensor updates on
+  // RAPL/NVML; ~50 ms register refresh on the Phi).  MonEQ's default
+  // mode polls at exactly this value.
+  [[nodiscard]] virtual sim::Duration min_polling_interval() const = 0;
+
+  // Longest interval before data degrades; only RAPL has one (counter
+  // overfill past ~60 s).  Zero duration means "no limit".
+  [[nodiscard]] virtual sim::Duration max_polling_interval() const {
+    return sim::Duration{};
+  }
+
+  // Collects the latest generation of data.  Collection cost (virtual
+  // time stolen from the application) accrues on `meter`.
+  [[nodiscard]] virtual Result<std::vector<Sample>> collect(sim::SimTime now,
+                                                            sim::CostMeter& meter) = 0;
+
+  // The mechanism's stated limitations (§IV's unification ask).
+  [[nodiscard]] virtual BackendLimitations limitations() const = 0;
+};
+
+}  // namespace envmon::moneq

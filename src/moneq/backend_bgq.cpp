@@ -1,0 +1,40 @@
+#include "moneq/backend_bgq.hpp"
+
+namespace envmon::moneq {
+
+Result<std::vector<Sample>> BgqBackend::collect(sim::SimTime now, sim::CostMeter& meter) {
+  const auto cost_before = session_->cost().total();
+  auto reading = session_->read(now);
+  meter.charge(session_->cost().total() - cost_before);
+  if (!reading) return reading.status();
+
+  std::vector<Sample> samples;
+  samples.reserve(3 * bgq::kDomainCount + 1);
+  Watts total{0.0};
+  for (const auto& d : reading.value().domains) {
+    const std::string domain{bgq::to_string(d.domain)};
+    samples.push_back({now, domain, Quantity::kPowerWatts, d.power().value()});
+    samples.push_back({now, domain, Quantity::kVoltageVolts, d.voltage.value()});
+    samples.push_back({now, domain, Quantity::kCurrentAmps, d.current.value()});
+    total += d.power();
+  }
+  // The node-card line of Fig 2: the sum of the seven domains.
+  samples.push_back({now, "node_card", Quantity::kPowerWatts, total.value()});
+  return samples;
+}
+
+BackendLimitations BgqBackend::limitations() const {
+  BackendLimitations l;
+  l.scope = "node card (32 nodes)";
+  l.access_path = "EMON API from compute-node code";
+  // A read returns the previous generation; worst case the data is two
+  // generation periods old.
+  l.worst_case_staleness = 2 * session_->options().generation_period;
+  l.accuracy_note = "domains sampled at staggered instants within a generation";
+  l.caveats =
+      "scope limit is structural ('not possible to overcome in software'); "
+      "no temperature below rack-level environmental data";
+  return l;
+}
+
+}  // namespace envmon::moneq

@@ -1,0 +1,31 @@
+#pragma once
+// MonEQ backend for Blue Gene/Q via EMON.
+
+#include "bgq/emon.hpp"
+#include "moneq/backend.hpp"
+
+namespace envmon::moneq {
+
+class BgqBackend final : public Backend {
+ public:
+  explicit BgqBackend(bgq::EmonSession& session) : session_(&session) {}
+
+  [[nodiscard]] std::string_view name() const override { return "bgq_emon"; }
+  [[nodiscard]] PlatformId platform() const override { return PlatformId::kBgq; }
+
+  // EMON produces a new generation every 560 ms; polling faster only
+  // re-reads the same data.
+  [[nodiscard]] sim::Duration min_polling_interval() const override {
+    return session_->options().generation_period;
+  }
+
+  [[nodiscard]] Result<std::vector<Sample>> collect(sim::SimTime now,
+                                                    sim::CostMeter& meter) override;
+
+  [[nodiscard]] BackendLimitations limitations() const override;
+
+ private:
+  bgq::EmonSession* session_;
+};
+
+}  // namespace envmon::moneq

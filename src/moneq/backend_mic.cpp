@@ -1,0 +1,76 @@
+#include "moneq/backend_mic.hpp"
+
+namespace envmon::moneq {
+
+Result<std::vector<Sample>> MicInbandBackend::collect(sim::SimTime now,
+                                                      sim::CostMeter& meter) {
+  const auto cost_before = client_->cost().total();
+  auto power = client_->power(now);
+  if (!power) {
+    meter.charge(client_->cost().total() - cost_before);
+    return power.status();
+  }
+  auto temp = client_->die_temperature(now);
+  meter.charge(client_->cost().total() - cost_before);
+
+  std::vector<Sample> samples;
+  samples.push_back({now, "card", Quantity::kPowerWatts, power.value().value()});
+  if (temp) {
+    samples.push_back(
+        {now, "die_temp", Quantity::kTemperatureCelsius, temp.value().value()});
+  }
+  return samples;
+}
+
+BackendLimitations MicInbandBackend::limitations() const {
+  BackendLimitations l;
+  l.scope = "whole card";
+  l.access_path = "SysMgmt SCIF interface from the host";
+  l.worst_case_staleness = sim::Duration::millis(50);  // card sensor refresh
+  l.perturbs_measurement = true;  // queries wake cores: the Fig 7 bias
+  l.caveats =
+      "each query costs ~14.2 ms and raises card power; 'it's not necessarily "
+      "intuitive that the API would have a greater base overhead than the daemon'";
+  return l;
+}
+
+Result<std::vector<Sample>> MicDaemonBackend::collect(sim::SimTime now,
+                                                      sim::CostMeter& meter) {
+  auto power_text = daemon_->read_file(mic::kPowerFile, now, &meter);
+  if (!power_text) return power_text.status();
+  auto power = mic::parse_power_file(power_text.value());
+  if (!power) return power.status();
+
+  std::vector<Sample> samples;
+  samples.push_back({now, "card", Quantity::kPowerWatts, power.value().total.value()});
+  samples.push_back({now, "pcie_rail", Quantity::kPowerWatts, power.value().pcie.value()});
+  samples.push_back({now, "aux_2x3", Quantity::kPowerWatts, power.value().c2x3.value()});
+  samples.push_back({now, "aux_2x4", Quantity::kPowerWatts, power.value().c2x4.value()});
+
+  if (auto thermal_text = daemon_->read_file(mic::kThermalFile, now, &meter); thermal_text) {
+    if (auto thermal = mic::parse_thermal_file(thermal_text.value()); thermal) {
+      samples.push_back(
+          {now, "die_temp", Quantity::kTemperatureCelsius, thermal.value().die.value()});
+      samples.push_back(
+          {now, "gddr_temp", Quantity::kTemperatureCelsius, thermal.value().gddr.value()});
+      samples.push_back({now, "intake_temp", Quantity::kTemperatureCelsius,
+                         thermal.value().intake.value()});
+      samples.push_back({now, "exhaust_temp", Quantity::kTemperatureCelsius,
+                         thermal.value().exhaust.value()});
+    }
+  }
+  return samples;
+}
+
+BackendLimitations MicDaemonBackend::limitations() const {
+  BackendLimitations l;
+  l.scope = "whole card (connector rails broken out)";
+  l.access_path = "MICRAS pseudo-files on the card's virtual filesystem";
+  l.worst_case_staleness = sim::Duration::millis(50);
+  l.caveats =
+      "only reachable from code running on the card, so collection contends "
+      "with the application; daemon must be running";
+  return l;
+}
+
+}  // namespace envmon::moneq

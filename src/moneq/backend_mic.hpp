@@ -1,0 +1,55 @@
+#pragma once
+// MonEQ backends for the Intel Xeon Phi: the in-band SysMgmt/SCIF path
+// and the on-card MICRAS daemon path.  The paper profiles both and finds
+// the trade-off of Fig 7: the API perturbs the card's power; the daemon
+// is cheap but only reachable from code running on the card.
+
+#include "mic/micras.hpp"
+#include "mic/sysmgmt.hpp"
+#include "moneq/backend.hpp"
+
+namespace envmon::moneq {
+
+class MicInbandBackend final : public Backend {
+ public:
+  explicit MicInbandBackend(mic::SysMgmtClient& client) : client_(&client) {}
+
+  [[nodiscard]] std::string_view name() const override { return "mic_sysmgmt_api"; }
+  [[nodiscard]] PlatformId platform() const override { return PlatformId::kXeonPhi; }
+
+  // The card's internal sensor refreshes every ~50 ms; a 14.2 ms query
+  // cost makes polling much below ~100 ms pure overhead anyway.
+  [[nodiscard]] sim::Duration min_polling_interval() const override {
+    return sim::Duration::millis(50);
+  }
+
+  [[nodiscard]] Result<std::vector<Sample>> collect(sim::SimTime now,
+                                                    sim::CostMeter& meter) override;
+
+  [[nodiscard]] BackendLimitations limitations() const override;
+
+ private:
+  mic::SysMgmtClient* client_;
+};
+
+class MicDaemonBackend final : public Backend {
+ public:
+  explicit MicDaemonBackend(mic::MicrasDaemon& daemon) : daemon_(&daemon) {}
+
+  [[nodiscard]] std::string_view name() const override { return "mic_micras_daemon"; }
+  [[nodiscard]] PlatformId platform() const override { return PlatformId::kXeonPhi; }
+
+  [[nodiscard]] sim::Duration min_polling_interval() const override {
+    return sim::Duration::millis(50);
+  }
+
+  [[nodiscard]] Result<std::vector<Sample>> collect(sim::SimTime now,
+                                                    sim::CostMeter& meter) override;
+
+  [[nodiscard]] BackendLimitations limitations() const override;
+
+ private:
+  mic::MicrasDaemon* daemon_;
+};
+
+}  // namespace envmon::moneq

@@ -1,0 +1,64 @@
+#include "moneq/backend_nvml.hpp"
+
+namespace envmon::moneq {
+
+namespace {
+
+Status from_nvml(nvml::NvmlReturn r, const char* what) {
+  if (r == nvml::NvmlReturn::kSuccess) return Status::ok();
+  const StatusCode code = r == nvml::NvmlReturn::kNotSupported ? StatusCode::kUnsupported
+                          : r == nvml::NvmlReturn::kUninitialized
+                              ? StatusCode::kFailedPrecondition
+                              : StatusCode::kUnavailable;
+  return Status(code, std::string(what) + ": " + nvml::nvml_error_string(r));
+}
+
+}  // namespace
+
+Result<std::vector<Sample>> NvmlBackend::collect(sim::SimTime now, sim::CostMeter& meter) {
+  const auto cost_before = library_->cost().total();
+  std::vector<Sample> samples;
+
+  unsigned milliwatts = 0;
+  if (const auto r = library_->device_get_power_usage(handle_, &milliwatts);
+      r != nvml::NvmlReturn::kSuccess) {
+    meter.charge(library_->cost().total() - cost_before);
+    return from_nvml(r, "nvmlDeviceGetPowerUsage");
+  }
+  samples.push_back(
+      {now, label_, Quantity::kPowerWatts, static_cast<double>(milliwatts) / 1000.0});
+
+  unsigned celsius = 0;
+  if (library_->device_get_temperature(handle_, nvml::TemperatureSensor::kGpuDie, &celsius) ==
+      nvml::NvmlReturn::kSuccess) {
+    samples.push_back({now, "die_temp", Quantity::kTemperatureCelsius,
+                       static_cast<double>(celsius)});
+  }
+  nvml::NvmlMemoryInfo mem;
+  if (library_->device_get_memory_info(handle_, &mem) == nvml::NvmlReturn::kSuccess) {
+    samples.push_back(
+        {now, "mem_used", Quantity::kMemoryBytes, static_cast<double>(mem.used_bytes)});
+    samples.push_back(
+        {now, "mem_free", Quantity::kMemoryBytes, static_cast<double>(mem.free_bytes)});
+  }
+  unsigned fan = 0;
+  if (library_->device_get_fan_speed(handle_, &fan) == nvml::NvmlReturn::kSuccess) {
+    samples.push_back({now, "fan", Quantity::kFanPercent, static_cast<double>(fan)});
+  }
+
+  meter.charge(library_->cost().total() - cost_before);
+  return samples;
+}
+
+BackendLimitations NvmlBackend::limitations() const {
+  BackendLimitations l;
+  l.scope = "entire board including memory (no GPU/memory split)";
+  l.access_path = "NVML C API across the PCI bus";
+  l.worst_case_staleness = sim::Duration::millis(60);  // sensor update time
+  l.accuracy_band = 5.0;
+  l.accuracy_note = "+/-5 W reported accuracy; several-second ramp after load steps";
+  l.caveats = "power readings only on Kepler-class boards (K20/K40)";
+  return l;
+}
+
+}  // namespace envmon::moneq

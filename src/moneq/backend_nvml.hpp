@@ -1,0 +1,34 @@
+#pragma once
+// MonEQ backend for NVIDIA GPUs via NVML.
+
+#include "moneq/backend.hpp"
+#include "nvml/api.hpp"
+
+namespace envmon::moneq {
+
+class NvmlBackend final : public Backend {
+ public:
+  NvmlBackend(nvml::NvmlLibrary& library, nvml::NvmlDeviceHandle handle,
+              std::string device_label = "board")
+      : library_(&library), handle_(handle), label_(std::move(device_label)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "nvml"; }
+  [[nodiscard]] PlatformId platform() const override { return PlatformId::kNvml; }
+
+  // The board sensor refreshes about every 60 ms (paper §II-C).
+  [[nodiscard]] sim::Duration min_polling_interval() const override {
+    return sim::Duration::millis(60);
+  }
+
+  [[nodiscard]] Result<std::vector<Sample>> collect(sim::SimTime now,
+                                                    sim::CostMeter& meter) override;
+
+  [[nodiscard]] BackendLimitations limitations() const override;
+
+ private:
+  nvml::NvmlLibrary* library_;
+  nvml::NvmlDeviceHandle handle_;
+  std::string label_;
+};
+
+}  // namespace envmon::moneq

@@ -1,0 +1,56 @@
+#include "moneq/backend_rapl.hpp"
+
+namespace envmon::moneq {
+
+RaplBackend::RaplBackend(rapl::MsrRaplReader& reader, std::vector<rapl::RaplDomain> domains)
+    : reader_(&reader) {
+  domains_.reserve(domains.size());
+  for (const auto d : domains) domains_.push_back(DomainState{d, std::nullopt, std::nullopt});
+}
+
+Result<std::vector<Sample>> RaplBackend::collect(sim::SimTime now, sim::CostMeter& meter) {
+  const auto cost_before = reader_->cost().total();
+  auto units = reader_->read_units();
+  if (!units) {
+    meter.charge(reader_->cost().total() - cost_before);
+    return units.status();
+  }
+  std::vector<Sample> samples;
+  samples.reserve(domains_.size() * 2);
+  for (auto& state : domains_) {
+    auto sample = reader_->read_energy(state.domain, now);
+    if (!sample) {
+      meter.charge(reader_->cost().total() - cost_before);
+      return sample.status();
+    }
+    if (!state.accountant) {
+      state.accountant.emplace(units.value().joules_per_unit());
+    }
+    const Joules delta = state.accountant->advance(sample.value().raw);
+    const std::string domain{rapl::to_string(state.domain)};
+    samples.push_back(
+        {now, domain, Quantity::kEnergyJoules, state.accountant->total().value()});
+    if (state.last_t) {
+      const double dt = (now - *state.last_t).to_seconds();
+      if (dt > 0.0) {
+        samples.push_back({now, domain, Quantity::kPowerWatts, delta.value() / dt});
+      }
+    }
+    state.last_t = now;
+  }
+  meter.charge(reader_->cost().total() - cost_before);
+  return samples;
+}
+
+BackendLimitations RaplBackend::limitations() const {
+  BackendLimitations l;
+  l.scope = "socket (no per-core counters; DRAM channels not distinguished)";
+  l.access_path = "/dev/cpu/*/msr (or perf_event on Linux >= 3.14)";
+  l.worst_case_staleness = sim::Duration::millis(1);  // counter update cadence
+  l.accuracy_note = "updates within +/-50,000 cycles; reliable at >= 60 ms sampling";
+  l.requires_privilege = true;  // root-only msr device by default
+  l.caveats = "32-bit energy counter overfills when sampled less often than ~60 s";
+  return l;
+}
+
+}  // namespace envmon::moneq

@@ -1,0 +1,53 @@
+#pragma once
+// MonEQ backend for Intel RAPL via the msr driver.
+//
+// RAPL exposes energy, not power; this backend differences successive
+// counter readings (wrap-aware) and reports average power over the
+// polling interval — what every RAPL-based tool (PAPI, TAU, MonEQ) does.
+
+#include <array>
+#include <optional>
+
+#include "moneq/backend.hpp"
+#include "rapl/reader.hpp"
+
+namespace envmon::moneq {
+
+class RaplBackend final : public Backend {
+ public:
+  RaplBackend(rapl::MsrRaplReader& reader,
+              std::vector<rapl::RaplDomain> domains = {rapl::RaplDomain::kPackage,
+                                                       rapl::RaplDomain::kPp0,
+                                                       rapl::RaplDomain::kDram});
+
+  [[nodiscard]] std::string_view name() const override { return "rapl_msr"; }
+  [[nodiscard]] PlatformId platform() const override { return PlatformId::kRapl; }
+
+  // "the RAPL interface [is] relatively accurate for data collection at
+  // about 60ms" (paper §II-B).
+  [[nodiscard]] sim::Duration min_polling_interval() const override {
+    return sim::Duration::millis(60);
+  }
+  // "a sampling of more than about 60 seconds will result in erroneous
+  // data" — the counter overfill limit.
+  [[nodiscard]] sim::Duration max_polling_interval() const override {
+    return sim::Duration::seconds(60);
+  }
+
+  [[nodiscard]] Result<std::vector<Sample>> collect(sim::SimTime now,
+                                                    sim::CostMeter& meter) override;
+
+  [[nodiscard]] BackendLimitations limitations() const override;
+
+ private:
+  struct DomainState {
+    rapl::RaplDomain domain;
+    std::optional<rapl::EnergyAccountant> accountant;  // built after units read
+    std::optional<sim::SimTime> last_t;
+  };
+
+  rapl::MsrRaplReader* reader_;
+  std::vector<DomainState> domains_;
+};
+
+}  // namespace envmon::moneq

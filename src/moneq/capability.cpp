@@ -1,0 +1,152 @@
+#include "moneq/capability.hpp"
+
+namespace envmon::moneq {
+
+std::string_view row_group(SensorRow row) {
+  switch (row) {
+    case SensorRow::kTotalPower:
+    case SensorRow::kTotalVoltage:
+    case SensorRow::kTotalCurrent:
+    case SensorRow::kPciExpressPower:
+    case SensorRow::kMainMemoryPower:
+      return "Total Power Consumption (Watts)";
+    case SensorRow::kTempDie:
+    case SensorRow::kTempMemory:
+    case SensorRow::kTempDevice:
+    case SensorRow::kTempIntake:
+    case SensorRow::kTempExhaust:
+      return "Temperature";
+    case SensorRow::kMemUsed:
+    case SensorRow::kMemFree:
+    case SensorRow::kMemSpeed:
+    case SensorRow::kMemFrequency:
+    case SensorRow::kMemVoltage:
+    case SensorRow::kMemClockRate:
+      return "Main Memory";
+    case SensorRow::kProcVoltage:
+    case SensorRow::kProcFrequency:
+    case SensorRow::kProcClockRate:
+      return "Processor";
+    case SensorRow::kFanSpeed:
+      return "Fans";
+    case SensorRow::kPowerLimit:
+      return "Limits";
+  }
+  return "?";
+}
+
+std::string_view row_label(SensorRow row) {
+  switch (row) {
+    case SensorRow::kTotalPower: return "Total Power Consumption (Watts)";
+    case SensorRow::kTotalVoltage: return "Voltage";
+    case SensorRow::kTotalCurrent: return "Current";
+    case SensorRow::kPciExpressPower: return "PCI Express";
+    case SensorRow::kMainMemoryPower: return "Main Memory";
+    case SensorRow::kTempDie: return "Die";
+    case SensorRow::kTempMemory: return "DDR/GDDR";
+    case SensorRow::kTempDevice: return "Device";
+    case SensorRow::kTempIntake: return "Intake (Fan-In)";
+    case SensorRow::kTempExhaust: return "Exhaust (Fan-Out)";
+    case SensorRow::kMemUsed: return "Used";
+    case SensorRow::kMemFree: return "Free";
+    case SensorRow::kMemSpeed: return "Speed (kT/sec)";
+    case SensorRow::kMemFrequency: return "Frequency";
+    case SensorRow::kMemVoltage: return "Voltage";
+    case SensorRow::kMemClockRate: return "Clock Rate";
+    case SensorRow::kProcVoltage: return "Voltage";
+    case SensorRow::kProcFrequency: return "Frequency";
+    case SensorRow::kProcClockRate: return "Clock Rate";
+    case SensorRow::kFanSpeed: return "Speed (In RPM)";
+    case SensorRow::kPowerLimit: return "Get/Set Power Limit";
+  }
+  return "?";
+}
+
+Availability availability(PlatformId platform, SensorRow row) {
+  using A = Availability;
+  using P = PlatformId;
+  using R = SensorRow;
+  switch (row) {
+    case R::kTotalPower:
+      // "Just about the only data point which is collectible on all of
+      // these platforms is total power consumption" (§IV).
+      return A::kYes;
+    case R::kTotalVoltage:
+    case R::kTotalCurrent:
+      // Phi rails and BG/Q domains expose V/I pairs; NVML reports only
+      // board watts; RAPL reports only energy counts.
+      return (platform == P::kXeonPhi || platform == P::kBgq) ? A::kYes : A::kNo;
+    case R::kPciExpressPower:
+      // Phi: connector rails; BG/Q: a dedicated domain; NVML: folded
+      // into board power; RAPL: outside the socket — not applicable.
+      switch (platform) {
+        case P::kXeonPhi: return A::kYes;
+        case P::kBgq: return A::kYes;
+        case P::kNvml: return A::kNo;
+        case P::kRapl: return A::kNotApplicable;
+      }
+      return A::kNo;
+    case R::kMainMemoryPower:
+      // BG/Q DRAM domain and RAPL DRAM plane; Phi and NVML fold memory
+      // into the card total (§IV laments exactly this for NVML).
+      return (platform == P::kBgq || platform == P::kRapl) ? A::kYes : A::kNo;
+    case R::kTempDie:
+      // Phi thermal file and NVML expose die temperature; BG/Q exposes
+      // temperature only in the rack-level environmental data (§IV);
+      // RAPL has no thermal sensor.
+      return (platform == P::kXeonPhi || platform == P::kNvml) ? A::kYes : A::kNo;
+    case R::kTempMemory:
+      return platform == P::kXeonPhi ? A::kYes : A::kNo;
+    case R::kTempDevice:
+      return (platform == P::kXeonPhi || platform == P::kNvml) ? A::kYes : A::kNo;
+    case R::kTempIntake:
+    case R::kTempExhaust:
+      // Air path sensors exist on the actively cooled accelerators; the
+      // water-cooled BG/Q node and a bare CPU socket have no such thing.
+      switch (platform) {
+        case P::kXeonPhi: return A::kYes;
+        case P::kNvml: return row == R::kTempIntake ? A::kNo : A::kNo;
+        case P::kBgq: return A::kNotApplicable;
+        case P::kRapl: return A::kNotApplicable;
+      }
+      return A::kNo;
+    case R::kMemUsed:
+    case R::kMemFree:
+      return (platform == P::kXeonPhi || platform == P::kNvml) ? A::kYes : A::kNo;
+    case R::kMemSpeed:
+      return platform == P::kXeonPhi ? A::kYes : A::kNo;
+    case R::kMemFrequency:
+    case R::kMemClockRate:
+      return (platform == P::kXeonPhi || platform == P::kNvml) ? A::kYes : A::kNo;
+    case R::kMemVoltage:
+      return platform == P::kBgq ? A::kYes : A::kNo;
+    case R::kProcVoltage:
+      return (platform == P::kXeonPhi || platform == P::kBgq) ? A::kYes : A::kNo;
+    case R::kProcFrequency:
+    case R::kProcClockRate:
+      return (platform == P::kXeonPhi || platform == P::kNvml) ? A::kYes : A::kNo;
+    case R::kFanSpeed:
+      switch (platform) {
+        case P::kXeonPhi: return A::kYes;
+        case P::kNvml: return A::kYes;
+        case P::kBgq: return A::kNotApplicable;   // water cooled
+        case P::kRapl: return A::kNotApplicable;  // no fan in a socket
+      }
+      return A::kNo;
+    case R::kPowerLimit:
+      // Phi (via MPSS), NVML, and RAPL expose limit get/set; BG/Q does not.
+      return platform == P::kBgq ? A::kNo : A::kYes;
+  }
+  return A::kNo;
+}
+
+std::vector<SensorRow> all_sensor_rows() {
+  std::vector<SensorRow> rows;
+  rows.reserve(kSensorRowCount);
+  for (std::size_t i = 0; i < kSensorRowCount; ++i) {
+    rows.push_back(static_cast<SensorRow>(i));
+  }
+  return rows;
+}
+
+}  // namespace envmon::moneq

@@ -1,0 +1,80 @@
+#pragma once
+// The sensor-availability matrix of Table I.
+//
+// "COMPARISON OF ENVIRONMENTAL DATA AVAILABLE FOR THE INTEL XEON PHI,
+// NVIDIA GPUS, BLUE GENE/Q, AND RAPL."  Each cell is available / not
+// available / not applicable (e.g. fan sensors on the water-cooled BG/Q,
+// PCI Express power for a mechanism scoped to a socket).
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+namespace envmon::moneq {
+
+enum class PlatformId : std::uint8_t { kXeonPhi = 0, kNvml, kBgq, kRapl };
+inline constexpr std::size_t kPlatformCount = 4;
+
+[[nodiscard]] constexpr std::string_view to_string(PlatformId p) {
+  switch (p) {
+    case PlatformId::kXeonPhi: return "Xeon Phi";
+    case PlatformId::kNvml: return "NVML";
+    case PlatformId::kBgq: return "Blue Gene/Q";
+    case PlatformId::kRapl: return "RAPL";
+  }
+  return "?";
+}
+
+// The rows of Table I, grouped as in the paper.
+enum class SensorRow : std::uint8_t {
+  // Total Power Consumption (Watts)
+  kTotalPower = 0,
+  kTotalVoltage,
+  kTotalCurrent,
+  kPciExpressPower,
+  kMainMemoryPower,
+  // Temperature
+  kTempDie,
+  kTempMemory,  // DDR/GDDR
+  kTempDevice,
+  kTempIntake,   // fan-in
+  kTempExhaust,  // fan-out
+  // Main Memory
+  kMemUsed,
+  kMemFree,
+  kMemSpeed,      // kT/sec
+  kMemFrequency,
+  kMemVoltage,
+  kMemClockRate,
+  // Processor
+  kProcVoltage,
+  kProcFrequency,
+  kProcClockRate,
+  // Fans
+  kFanSpeed,
+  // Limits
+  kPowerLimit,  // get/set
+};
+inline constexpr std::size_t kSensorRowCount = 21;
+
+[[nodiscard]] std::string_view row_group(SensorRow row);
+[[nodiscard]] std::string_view row_label(SensorRow row);
+
+enum class Availability : std::uint8_t { kNo = 0, kYes, kNotApplicable };
+
+[[nodiscard]] constexpr std::string_view to_string(Availability a) {
+  switch (a) {
+    case Availability::kYes: return "yes";
+    case Availability::kNo: return "no";
+    case Availability::kNotApplicable: return "N/A";
+  }
+  return "?";
+}
+
+// The matrix, reconstructed from Table I and the §II prose.
+[[nodiscard]] Availability availability(PlatformId platform, SensorRow row);
+
+// All rows in table order (for the Table I bench renderer).
+[[nodiscard]] std::vector<SensorRow> all_sensor_rows();
+
+}  // namespace envmon::moneq

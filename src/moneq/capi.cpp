@@ -1,0 +1,66 @@
+#include "moneq/capi.hpp"
+
+namespace envmon::moneq::capi {
+
+namespace {
+
+struct Binding {
+  NodeProfiler* profiler = nullptr;
+  const smpi::FileSystemModel* fs = nullptr;
+  OutputTarget* output = nullptr;
+};
+
+Binding& binding() {
+  static Binding b;
+  return b;
+}
+
+int from_status(const Status& s) {
+  if (s.is_ok()) return kMonEQOk;
+  switch (s.code()) {
+    case StatusCode::kFailedPrecondition: return kMonEQErrState;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange: return kMonEQErrInvalid;
+    default: return kMonEQErrBackend;
+  }
+}
+
+}  // namespace
+
+void MonEQ_Bind(NodeProfiler* profiler, const smpi::FileSystemModel* fs,
+                OutputTarget* output) {
+  binding() = Binding{profiler, fs, output};
+}
+
+NodeProfiler* MonEQ_BoundProfiler() { return binding().profiler; }
+
+int MonEQ_Initialize() {
+  if (binding().profiler == nullptr) return kMonEQErrNotBound;
+  return from_status(binding().profiler->initialize());
+}
+
+int MonEQ_Finalize() {
+  if (binding().profiler == nullptr) return kMonEQErrNotBound;
+  return from_status(binding().profiler->finalize(binding().fs, binding().output));
+}
+
+int MonEQ_SetPollingInterval(double seconds) {
+  if (binding().profiler == nullptr) return kMonEQErrNotBound;
+  if (seconds <= 0.0) return kMonEQErrInvalid;
+  return from_status(
+      binding().profiler->set_polling_interval(sim::Duration::from_seconds(seconds)));
+}
+
+int MonEQ_StartTag(const char* name) {
+  if (binding().profiler == nullptr) return kMonEQErrNotBound;
+  if (name == nullptr) return kMonEQErrInvalid;
+  return from_status(binding().profiler->start_tag(name));
+}
+
+int MonEQ_EndTag(const char* name) {
+  if (binding().profiler == nullptr) return kMonEQErrNotBound;
+  if (name == nullptr) return kMonEQErrInvalid;
+  return from_status(binding().profiler->end_tag(name));
+}
+
+}  // namespace envmon::moneq::capi

@@ -1,0 +1,42 @@
+#pragma once
+// The MonEQ C API — the paper's Listing 1 surface.
+//
+//   status = MonEQ_Initialize();  // Setup Power
+//   /* User code */
+//   status = MonEQ_Finalize();    // Finalize Power
+//
+// Two lines of code on any platform.  The C entry points operate on a
+// bound NodeProfiler (per "process"); MonEQ_Bind* plays the role that
+// linking against the platform library + MPI rank context plays on real
+// hardware.  Examples use exactly this surface.
+
+#include "moneq/profiler.hpp"
+
+namespace envmon::moneq::capi {
+
+// MonEQ status codes (0 = success, negative = failure).
+inline constexpr int kMonEQOk = 0;
+inline constexpr int kMonEQErrNotBound = -1;
+inline constexpr int kMonEQErrState = -2;
+inline constexpr int kMonEQErrInvalid = -3;
+inline constexpr int kMonEQErrBackend = -4;
+
+// Binds the calling context to a profiler (and optionally the shared
+// filesystem + output target used at finalize).  Pass nullptr to unbind.
+void MonEQ_Bind(NodeProfiler* profiler, const smpi::FileSystemModel* fs = nullptr,
+                OutputTarget* output = nullptr);
+
+[[nodiscard]] int MonEQ_Initialize();
+[[nodiscard]] int MonEQ_Finalize();
+
+// Valid values are validated against the attached hardware; must be
+// called between Bind and Initialize.
+[[nodiscard]] int MonEQ_SetPollingInterval(double seconds);
+
+[[nodiscard]] int MonEQ_StartTag(const char* name);
+[[nodiscard]] int MonEQ_EndTag(const char* name);
+
+// Introspection used by examples to report what happened.
+[[nodiscard]] NodeProfiler* MonEQ_BoundProfiler();
+
+}  // namespace envmon::moneq::capi

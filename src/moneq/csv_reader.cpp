@@ -1,0 +1,86 @@
+#include "moneq/csv_reader.hpp"
+
+#include <optional>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace envmon::moneq {
+
+Result<NodeFileData> parse_node_file(std::string_view text) {
+  auto table = parse_csv(text);
+  if (!table) return table.status();
+  const auto& header = table.value().header;
+  if (header.size() < 5 || header[0] != "time_s" || header[1] != "domain") {
+    return Status(StatusCode::kInvalidArgument, "not a MonEQ node file (bad header)");
+  }
+
+  NodeFileData data;
+  for (const auto& row : table.value().rows) {
+    if (row.size() < 3) {
+      return Status(StatusCode::kInvalidArgument, "truncated row in MonEQ node file");
+    }
+    double t = 0.0;
+    if (!parse_double(row[0], t)) {
+      return Status(StatusCode::kInvalidArgument, "bad timestamp: " + row[0]);
+    }
+    if (row[2] == "#TAG_START" || row[2] == "#TAG_END") {
+      data.tags.push_back(
+          TagMarker{sim::SimTime::from_seconds(t), row[1], row[2] == "#TAG_START"});
+      continue;
+    }
+    if (row.size() < 5) {
+      return Status(StatusCode::kInvalidArgument, "truncated sample row");
+    }
+    unsigned long long quantity_raw = 0;
+    double value = 0.0;
+    if (!parse_u64(row[2], quantity_raw) || !parse_double(row[4], value)) {
+      return Status(StatusCode::kInvalidArgument, "bad sample row fields");
+    }
+    Sample s;
+    s.t = sim::SimTime::from_seconds(t);
+    s.domain = row[1];
+    s.quantity = static_cast<Quantity>(quantity_raw);
+    s.value = value;
+    data.samples.push_back(std::move(s));
+  }
+  return data;
+}
+
+std::vector<SeriesPoint> extract_series(const NodeFileData& data, std::string_view domain,
+                                        Quantity quantity) {
+  std::vector<SeriesPoint> out;
+  for (const auto& s : data.samples) {
+    if (s.domain == domain && s.quantity == quantity) {
+      out.push_back(SeriesPoint{s.t.to_seconds(), s.value});
+    }
+  }
+  return out;
+}
+
+Result<double> mean_between_tags(const NodeFileData& data, std::string_view tag,
+                                 std::string_view domain, Quantity quantity) {
+  std::optional<sim::SimTime> start, end;
+  for (const auto& marker : data.tags) {
+    if (marker.name != tag) continue;
+    if (marker.is_start && !start) start = marker.t;
+    if (!marker.is_start && start && !end) end = marker.t;
+  }
+  if (!start || !end) {
+    return Status(StatusCode::kNotFound, "tag not found or unbalanced: " + std::string(tag));
+  }
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : data.samples) {
+    if (s.domain == domain && s.quantity == quantity && s.t >= *start && s.t <= *end) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  if (n == 0) {
+    return Status(StatusCode::kNotFound, "no samples inside the tagged region");
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace envmon::moneq

@@ -1,0 +1,39 @@
+#pragma once
+// Reader for MonEQ node output files — the post-processing side the
+// paper alludes to ("inject special markers in the output files for
+// later processing").  Downstream analysis loads a node file back into
+// samples + tag markers.
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "moneq/sample.hpp"
+
+namespace envmon::moneq {
+
+struct NodeFileData {
+  std::vector<Sample> samples;
+  std::vector<TagMarker> tags;
+};
+
+// Parses the CSV produced by render_node_file().  Rejects files with a
+// wrong header or unparseable rows.
+[[nodiscard]] Result<NodeFileData> parse_node_file(std::string_view text);
+
+// Convenience: the samples of one domain/quantity as (t, value) pairs.
+struct SeriesPoint {
+  double t_seconds;
+  double value;
+};
+[[nodiscard]] std::vector<SeriesPoint> extract_series(const NodeFileData& data,
+                                                      std::string_view domain,
+                                                      Quantity quantity);
+
+// Mean of a series between a tag's start and end markers (first matching
+// pair); returns kNotFound if the tag is absent or unbalanced.
+[[nodiscard]] Result<double> mean_between_tags(const NodeFileData& data,
+                                               std::string_view tag,
+                                               std::string_view domain, Quantity quantity);
+
+}  // namespace envmon::moneq

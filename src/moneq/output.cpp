@@ -1,0 +1,50 @@
+#include "moneq/output.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace envmon::moneq {
+
+Status DiskOutput::write(const std::string& filename, const std::string& content) {
+  const std::string path = directory_.empty() ? filename : directory_ + "/" + filename;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "cannot open " + path + " for writing");
+  }
+  out << content;
+  if (!out) {
+    return Status(StatusCode::kInternal, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+std::string render_node_file(std::span<const Sample> samples,
+                             std::span<const TagMarker> tags) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("time_s", "domain", "quantity", "unit", "value");
+  for (const auto& s : samples) {
+    csv.row(format_double(s.t.to_seconds(), 6), s.domain,
+            static_cast<int>(s.quantity), unit_string(s.quantity),
+            format_double(s.value, 6));
+  }
+  // Tag markers are appended post-run ("the injection happens after the
+  // program has completed").
+  for (const auto& tag : tags) {
+    csv.row(format_double(tag.t.to_seconds(), 6), tag.name,
+            tag.is_start ? "#TAG_START" : "#TAG_END", "", "");
+  }
+  return os.str();
+}
+
+std::string node_file_name(int rank) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "moneq_node_%05d.csv", rank);
+  return buf;
+}
+
+}  // namespace envmon::moneq

@@ -1,0 +1,55 @@
+#pragma once
+// MonEQ output files.
+//
+// MonEQ produces one file per node; accelerators on a node are
+// "accounted for individually within the file produced for the node"
+// (paper §III).  Tag markers are injected when the file is written,
+// after the program has completed — which is why tagging costs almost
+// nothing at run time.
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+#include "moneq/sample.hpp"
+
+namespace envmon::moneq {
+
+// Where rendered files go.  Tests and benches use the in-memory target;
+// examples write real files.
+class OutputTarget {
+ public:
+  virtual ~OutputTarget() = default;
+  virtual Status write(const std::string& filename, const std::string& content) = 0;
+};
+
+class MemoryOutput final : public OutputTarget {
+ public:
+  Status write(const std::string& filename, const std::string& content) override {
+    files_[filename] = content;
+    return Status::ok();
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& files() const { return files_; }
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+class DiskOutput final : public OutputTarget {
+ public:
+  explicit DiskOutput(std::string directory) : directory_(std::move(directory)) {}
+  Status write(const std::string& filename, const std::string& content) override;
+
+ private:
+  std::string directory_;
+};
+
+// Renders samples + tags as the per-node CSV.
+[[nodiscard]] std::string render_node_file(std::span<const Sample> samples,
+                                           std::span<const TagMarker> tags);
+
+// Conventional file name for a rank's output.
+[[nodiscard]] std::string node_file_name(int rank);
+
+}  // namespace envmon::moneq

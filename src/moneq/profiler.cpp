@@ -1,0 +1,158 @@
+#include "moneq/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace envmon::moneq {
+
+NodeProfiler::NodeProfiler(sim::Engine& engine, const smpi::World& world, int rank,
+                           ProfilerOptions options)
+    : engine_(&engine), world_(&world), rank_(rank), options_(options) {}
+
+Status NodeProfiler::add_backend(Backend& backend) {
+  if (initialized_) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "backends must be attached before MonEQ_Initialize");
+  }
+  backends_.push_back(&backend);
+  return Status::ok();
+}
+
+sim::Duration NodeProfiler::effective_interval() const {
+  if (options_.polling_interval) return *options_.polling_interval;
+  // Default mode: "the lowest polling interval possible for the given
+  // hardware" — across everything attached, the largest minimum wins so
+  // no backend is polled below its floor.
+  sim::Duration floor = sim::Duration::millis(1);
+  for (const Backend* b : backends_) {
+    floor = std::max(floor, b->min_polling_interval());
+  }
+  return floor;
+}
+
+Status NodeProfiler::set_polling_interval(sim::Duration interval) {
+  if (initialized_) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "polling interval must be set before MonEQ_Initialize");
+  }
+  if (interval.ns() <= 0) {
+    return Status(StatusCode::kInvalidArgument, "polling interval must be positive");
+  }
+  for (const Backend* b : backends_) {
+    if (interval < b->min_polling_interval()) {
+      return Status(StatusCode::kOutOfRange,
+                    std::string(b->name()) + ": interval below the hardware floor of " +
+                        std::to_string(b->min_polling_interval().to_millis()) + " ms");
+    }
+    const sim::Duration max = b->max_polling_interval();
+    if (max.ns() > 0 && interval > max) {
+      return Status(StatusCode::kOutOfRange,
+                    std::string(b->name()) + ": interval above " +
+                        std::to_string(max.to_seconds()) +
+                        " s would corrupt the data (counter overfill)");
+    }
+  }
+  options_.polling_interval = interval;
+  return Status::ok();
+}
+
+Status NodeProfiler::initialize() {
+  if (initialized_) {
+    return Status(StatusCode::kFailedPrecondition, "MonEQ already initialized");
+  }
+  if (backends_.empty()) {
+    return Status(StatusCode::kFailedPrecondition, "no collection backend attached");
+  }
+  interval_ = effective_interval();
+
+  // Memory overhead is constant with respect to scale: the whole sample
+  // array is allocated here, once.
+  samples_.reserve(options_.max_samples);
+
+  int levels = 0;
+  for (int n = world_->size() - 1; n > 0; n >>= 1) ++levels;
+  init_cost_ = options_.init_base_cost + levels * options_.init_per_level_cost;
+
+  timer_ = engine_->schedule_periodic(interval_, [this] { collect_now(); });
+  initialized_ = true;
+  return Status::ok();
+}
+
+void NodeProfiler::collect_now() {
+  ++polls_;
+  for (Backend* backend : backends_) {
+    auto result = backend->collect(engine_->now(), collect_cost_);
+    if (!result) {
+      if (errors_.size() < 64) errors_.push_back(result.status());
+      continue;
+    }
+    for (auto& sample : result.value()) {
+      if (samples_.size() >= options_.max_samples) {
+        ++dropped_;
+        continue;
+      }
+      samples_.push_back(std::move(sample));
+    }
+  }
+}
+
+Status NodeProfiler::start_tag(const std::string& name) {
+  if (!initialized_ || finalized_) {
+    return Status(StatusCode::kFailedPrecondition, "tagging requires an active profiler");
+  }
+  tags_.push_back(TagMarker{engine_->now(), name, true});
+  return Status::ok();
+}
+
+Status NodeProfiler::end_tag(const std::string& name) {
+  if (!initialized_ || finalized_) {
+    return Status(StatusCode::kFailedPrecondition, "tagging requires an active profiler");
+  }
+  // An end tag must close an open start tag of the same name.
+  const auto open = std::count_if(tags_.begin(), tags_.end(), [&](const TagMarker& t) {
+    return t.name == name && t.is_start;
+  });
+  const auto closed = std::count_if(tags_.begin(), tags_.end(), [&](const TagMarker& t) {
+    return t.name == name && !t.is_start;
+  });
+  if (open <= closed) {
+    return Status(StatusCode::kFailedPrecondition, "end tag without start: " + name);
+  }
+  tags_.push_back(TagMarker{engine_->now(), name, false});
+  return Status::ok();
+}
+
+Status NodeProfiler::finalize(const smpi::FileSystemModel* fs, OutputTarget* target) {
+  if (!initialized_) {
+    return Status(StatusCode::kFailedPrecondition, "MonEQ_Finalize before MonEQ_Initialize");
+  }
+  if (finalized_) {
+    return Status(StatusCode::kFailedPrecondition, "MonEQ already finalized");
+  }
+  timer_.cancel();
+  finalized_ = true;
+
+  // Every node writes its own file; the collective completes when the
+  // slowest write does, so the same duration lands on every rank.
+  const Bytes file_bytes{static_cast<double>(samples_.size()) * options_.bytes_per_sample};
+  finalize_cost_ = world_->barrier_cost();
+  if (fs != nullptr) {
+    finalize_cost_ += fs->time_to_write(world_->size(), file_bytes);
+  }
+  if (target != nullptr) {
+    const Status s = target->write(node_file_name(rank_), render_node_file(samples_, tags_));
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+OverheadReport NodeProfiler::overhead() const {
+  OverheadReport report;
+  report.initialize = init_cost_;
+  report.collection = collect_cost_.total();
+  report.finalize = finalize_cost_;
+  report.polls = polls_;
+  return report;
+}
+
+}  // namespace envmon::moneq

@@ -1,0 +1,129 @@
+#pragma once
+// The MonEQ profiler.
+//
+// Lifecycle mirrors the paper's Listing 1:
+//
+//   MonEQ_Initialize()  — allocates the sample array up front (memory
+//                         overhead is a scale-independent constant),
+//                         registers the SIGALRM-equivalent periodic
+//                         timer at the chosen polling interval;
+//   <user code>         — the only runtime overhead is the periodic
+//                         collection call into the vendor mechanism;
+//   MonEQ_Finalize()    — cancels the timer, gathers, and writes one
+//                         file per node through the shared filesystem
+//                         (the only phase whose cost scales with nodes,
+//                         Table III).
+//
+// In its default mode the profiler polls at the lowest interval the
+// attached backends support; users may set any valid interval.  Tagging
+// wraps code regions with markers injected into the output post-run.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "moneq/backend.hpp"
+#include "moneq/output.hpp"
+#include "moneq/sample.hpp"
+#include "sim/cost.hpp"
+#include "sim/engine.hpp"
+#include "smpi/smpi.hpp"
+
+namespace envmon::moneq {
+
+struct ProfilerOptions {
+  // Default: the minimum across attached backends.
+  std::optional<sim::Duration> polling_interval;
+  // The pre-allocated sample buffer ("allocated to a reasonably large
+  // number", §III) — when full, further samples are dropped and counted.
+  std::size_t max_samples = 1u << 20;
+  // Initialization cost model: set up data structures and register
+  // timers, plus a small per-tree-level term for the collective that
+  // agrees on start time (fits Table III's 2.7 -> 3.3 ms growth).
+  sim::Duration init_base_cost = sim::Duration::micros(2200);
+  sim::Duration init_per_level_cost = sim::Duration::micros(100);
+  // Estimated bytes per recorded sample in the output file (sizing the
+  // finalize write).
+  double bytes_per_sample = 34.0;
+};
+
+struct OverheadReport {
+  sim::Duration initialize;
+  sim::Duration collection;
+  sim::Duration finalize;
+  std::uint64_t polls = 0;
+
+  [[nodiscard]] sim::Duration total() const { return initialize + collection + finalize; }
+  [[nodiscard]] double overhead_fraction(sim::Duration app_runtime) const {
+    if (app_runtime.ns() <= 0) return 0.0;
+    return static_cast<double>(total().ns()) / static_cast<double>(app_runtime.ns());
+  }
+};
+
+class NodeProfiler {
+ public:
+  // `world` scales the init/finalize cost models; `rank` names the
+  // output file.  The engine drives the virtual clock.
+  NodeProfiler(sim::Engine& engine, const smpi::World& world, int rank,
+               ProfilerOptions options = {});
+
+  // Backends are non-owning: the vendor sessions they wrap belong to the
+  // caller (you "link with the appropriate libraries").  Must be called
+  // before initialize().
+  Status add_backend(Backend& backend);
+
+  // Must be called before initialize(); validated against every attached
+  // backend's min/max interval.
+  Status set_polling_interval(sim::Duration interval);
+
+  Status initialize();
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+  // Tagging (6 lines of code for 3 work loops, per the paper).
+  Status start_tag(const std::string& name);
+  Status end_tag(const std::string& name);
+
+  // Finalize: stop collection, account the write-out, render the file.
+  // `fs` models the shared filesystem (nullptr = free writes); `target`
+  // receives the rendered file (nullptr = discard).
+  Status finalize(const smpi::FileSystemModel* fs = nullptr, OutputTarget* target = nullptr);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] const std::vector<TagMarker>& tags() const { return tags_; }
+  [[nodiscard]] std::size_t dropped_samples() const { return dropped_; }
+  [[nodiscard]] sim::Duration polling_interval() const { return interval_; }
+  [[nodiscard]] OverheadReport overhead() const;
+
+  // Collection failures are remembered (e.g. EMON before its first
+  // generation) but do not abort profiling.
+  [[nodiscard]] const std::vector<Status>& collection_errors() const { return errors_; }
+
+ private:
+  void collect_now();
+  [[nodiscard]] sim::Duration effective_interval() const;
+
+  sim::Engine* engine_;
+  const smpi::World* world_;
+  int rank_;
+  ProfilerOptions options_;
+
+  std::vector<Backend*> backends_;
+  std::vector<Sample> samples_;
+  std::vector<TagMarker> tags_;
+  std::vector<Status> errors_;
+  std::size_t dropped_ = 0;
+
+  bool initialized_ = false;
+  bool finalized_ = false;
+  sim::Duration interval_{};
+  sim::TimerHandle timer_;
+
+  sim::Duration init_cost_{};
+  sim::CostMeter collect_cost_;
+  sim::Duration finalize_cost_{};
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace envmon::moneq

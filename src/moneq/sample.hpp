@@ -1,0 +1,56 @@
+#pragma once
+// Sample and tag types shared by all MonEQ backends.
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace envmon::moneq {
+
+// What a sampled quantity measures; determines the unit column in the
+// output files.
+enum class Quantity : std::uint8_t {
+  kPowerWatts,
+  kEnergyJoules,
+  kVoltageVolts,
+  kCurrentAmps,
+  kTemperatureCelsius,
+  kMemoryBytes,
+  kFanRpm,
+  kFanPercent,
+  kClockMhz,
+};
+
+[[nodiscard]] constexpr const char* unit_string(Quantity q) {
+  switch (q) {
+    case Quantity::kPowerWatts: return "W";
+    case Quantity::kEnergyJoules: return "J";
+    case Quantity::kVoltageVolts: return "V";
+    case Quantity::kCurrentAmps: return "A";
+    case Quantity::kTemperatureCelsius: return "C";
+    case Quantity::kMemoryBytes: return "B";
+    case Quantity::kFanRpm: return "RPM";
+    case Quantity::kFanPercent: return "%";
+    case Quantity::kClockMhz: return "MHz";
+  }
+  return "?";
+}
+
+struct Sample {
+  sim::SimTime t;
+  // Domain/channel name, e.g. "chip_core", "PKG", "board", "die_temp".
+  std::string domain;
+  Quantity quantity = Quantity::kPowerWatts;
+  double value = 0.0;
+};
+
+// Code-region tag markers (paper §III: "sections of code ... wrapped in
+// start/end tags which inject special markers in the output files").
+struct TagMarker {
+  sim::SimTime t;
+  std::string name;
+  bool is_start = true;
+};
+
+}  // namespace envmon::moneq

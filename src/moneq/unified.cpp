@@ -1,0 +1,81 @@
+#include "moneq/unified.hpp"
+
+namespace envmon::moneq {
+
+namespace {
+
+// Maps one native sample to its unified metric, if any.
+std::optional<UnifiedMetric> classify(PlatformId platform, const Sample& s) {
+  using U = UnifiedMetric;
+  switch (platform) {
+    case PlatformId::kBgq:
+      if (s.quantity != Quantity::kPowerWatts) return std::nullopt;
+      if (s.domain == "node_card") return U::kTotalPowerWatts;
+      if (s.domain == "chip_core") return U::kProcessorPowerWatts;
+      if (s.domain == "dram") return U::kMemoryPowerWatts;
+      return std::nullopt;
+    case PlatformId::kRapl:
+      if (s.quantity != Quantity::kPowerWatts) return std::nullopt;
+      if (s.domain == "PKG") return U::kTotalPowerWatts;
+      if (s.domain == "PP0") return U::kProcessorPowerWatts;
+      if (s.domain == "DRAM") return U::kMemoryPowerWatts;
+      return std::nullopt;
+    case PlatformId::kNvml:
+      if (s.domain == "board" && s.quantity == Quantity::kPowerWatts) {
+        return U::kTotalPowerWatts;
+      }
+      if (s.domain == "die_temp") return U::kDieTempCelsius;
+      if (s.domain == "mem_used") return U::kMemoryUsedBytes;
+      if (s.domain == "fan") return U::kFanPercentOrRpm;
+      return std::nullopt;
+    case PlatformId::kXeonPhi:
+      if (s.domain == "card" && s.quantity == Quantity::kPowerWatts) {
+        return U::kTotalPowerWatts;
+      }
+      if (s.domain == "die_temp") return U::kDieTempCelsius;
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool UnifiedSampler::supports(UnifiedMetric metric) const {
+  using U = UnifiedMetric;
+  switch (backend_->platform()) {
+    case PlatformId::kBgq:
+      return metric == U::kTotalPowerWatts || metric == U::kProcessorPowerWatts ||
+             metric == U::kMemoryPowerWatts;
+    case PlatformId::kRapl:
+      return metric == U::kTotalPowerWatts || metric == U::kProcessorPowerWatts ||
+             metric == U::kMemoryPowerWatts;
+    case PlatformId::kNvml:
+      return metric == U::kTotalPowerWatts || metric == U::kDieTempCelsius ||
+             metric == U::kMemoryUsedBytes || metric == U::kFanPercentOrRpm;
+    case PlatformId::kXeonPhi:
+      return metric == U::kTotalPowerWatts || metric == U::kDieTempCelsius;
+  }
+  return false;
+}
+
+Result<std::map<UnifiedMetric, double>> UnifiedSampler::sample(sim::SimTime now,
+                                                               sim::CostMeter& meter) {
+  auto native = backend_->collect(now, meter);
+  if (!native) return native.status();
+
+  std::map<UnifiedMetric, double> out;
+  for (const auto& s : native.value()) {
+    if (const auto metric = classify(backend_->platform(), s)) {
+      out[*metric] = s.value;
+    }
+  }
+  // Total power is the universal datum; a snapshot without it means the
+  // mechanism is still warming up (e.g. RAPL's first differencing read).
+  if (!out.contains(UnifiedMetric::kTotalPowerWatts)) {
+    return Status(StatusCode::kUnavailable,
+                  "no total-power reading in this generation (warm-up)");
+  }
+  return out;
+}
+
+}  // namespace envmon::moneq

@@ -1,0 +1,59 @@
+#pragma once
+// The Section IV unification prototype.
+//
+// "Secondly, unification of available data is of the utmost of
+// importance if this data is to be used for comparison of platforms."
+// (paper §IV).  UnifiedSampler maps every backend's native domains onto
+// one cross-platform schema, so two devices can be compared on the same
+// metric — with explicit unavailability (kUnsupported) where Table I has
+// no check mark, rather than silently missing data.
+
+#include <map>
+#include <optional>
+
+#include "moneq/backend.hpp"
+
+namespace envmon::moneq {
+
+enum class UnifiedMetric : std::uint8_t {
+  kTotalPowerWatts,      // available everywhere (the paper's one universal)
+  kProcessorPowerWatts,  // cores/SMs plane, where separable
+  kMemoryPowerWatts,     // DRAM/GDDR plane, where separable
+  kDieTempCelsius,
+  kMemoryUsedBytes,
+  kFanPercentOrRpm,
+};
+
+[[nodiscard]] constexpr const char* to_string(UnifiedMetric m) {
+  switch (m) {
+    case UnifiedMetric::kTotalPowerWatts: return "total_power_w";
+    case UnifiedMetric::kProcessorPowerWatts: return "processor_power_w";
+    case UnifiedMetric::kMemoryPowerWatts: return "memory_power_w";
+    case UnifiedMetric::kDieTempCelsius: return "die_temp_c";
+    case UnifiedMetric::kMemoryUsedBytes: return "memory_used_b";
+    case UnifiedMetric::kFanPercentOrRpm: return "fan_speed";
+  }
+  return "?";
+}
+
+class UnifiedSampler {
+ public:
+  explicit UnifiedSampler(Backend& backend) : backend_(&backend) {}
+
+  // Whether the wrapped platform can serve the metric at all (derived
+  // from what its collect() emits — the live equivalent of Table I).
+  [[nodiscard]] bool supports(UnifiedMetric metric) const;
+
+  // One unified snapshot.  Metrics the platform cannot provide are
+  // absent from the map; a metric that is supported but failed to read
+  // fails the whole sample (callers must not mix generations).
+  [[nodiscard]] Result<std::map<UnifiedMetric, double>> sample(sim::SimTime now,
+                                                               sim::CostMeter& meter);
+
+  [[nodiscard]] Backend& backend() { return *backend_; }
+
+ private:
+  Backend* backend_;
+};
+
+}  // namespace envmon::moneq

@@ -1,0 +1,168 @@
+#include "nvml/api.hpp"
+
+#include <cmath>
+
+namespace envmon::nvml {
+
+const char* nvml_error_string(NvmlReturn r) {
+  switch (r) {
+    case NvmlReturn::kSuccess: return "Success";
+    case NvmlReturn::kUninitialized: return "Uninitialized";
+    case NvmlReturn::kInvalidArgument: return "Invalid argument";
+    case NvmlReturn::kNotSupported: return "Not supported";
+    case NvmlReturn::kNotFound: return "Not found";
+    case NvmlReturn::kInsufficientpower: return "Insufficient external power";
+    case NvmlReturn::kGpuIsLost: return "GPU is lost";
+  }
+  return "Unknown error";
+}
+
+NvmlLibrary::NvmlLibrary(sim::Engine& engine, NvmlCosts costs)
+    : engine_(&engine), costs_(costs) {}
+
+void NvmlLibrary::attach_device(std::shared_ptr<GpuDevice> device) {
+  devices_.push_back(std::move(device));
+  lost_.push_back(false);
+}
+
+void NvmlLibrary::mark_device_lost(std::size_t index) {
+  if (index < lost_.size()) lost_[index] = true;
+}
+
+NvmlReturn NvmlLibrary::init() {
+  initialized_ = true;
+  ++epoch_;
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::shutdown() {
+  if (!initialized_) return NvmlReturn::kUninitialized;
+  initialized_ = false;
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::device_get_count(unsigned* count) {
+  if (!initialized_) return NvmlReturn::kUninitialized;
+  if (count == nullptr) return NvmlReturn::kInvalidArgument;
+  *count = static_cast<unsigned>(devices_.size());
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::device_get_handle_by_index(unsigned index, NvmlDeviceHandle* handle) {
+  if (!initialized_) return NvmlReturn::kUninitialized;
+  if (handle == nullptr) return NvmlReturn::kInvalidArgument;
+  if (index >= devices_.size()) return NvmlReturn::kNotFound;
+  *handle = NvmlDeviceHandle{index, epoch_};
+  return NvmlReturn::kSuccess;
+}
+
+GpuDevice* NvmlLibrary::resolve(NvmlDeviceHandle handle, NvmlReturn* error) {
+  if (!initialized_) {
+    *error = NvmlReturn::kUninitialized;
+    return nullptr;
+  }
+  if (handle.epoch != epoch_ || handle.index >= devices_.size()) {
+    *error = NvmlReturn::kInvalidArgument;
+    return nullptr;
+  }
+  if (lost_[handle.index]) {
+    *error = NvmlReturn::kGpuIsLost;
+    return nullptr;
+  }
+  *error = NvmlReturn::kSuccess;
+  return devices_[handle.index].get();
+}
+
+NvmlReturn NvmlLibrary::device_get_name(NvmlDeviceHandle handle, std::string* name) {
+  NvmlReturn err;
+  GpuDevice* dev = resolve(handle, &err);
+  if (dev == nullptr) return err;
+  if (name == nullptr) return NvmlReturn::kInvalidArgument;
+  *name = dev->spec().name;
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::device_get_power_usage(NvmlDeviceHandle handle, unsigned* milliwatts) {
+  NvmlReturn err;
+  GpuDevice* dev = resolve(handle, &err);
+  if (dev == nullptr) return err;
+  if (milliwatts == nullptr) return NvmlReturn::kInvalidArgument;
+  // Power readings only exist on Kepler boards (K20/K40 in 2015).
+  if (!dev->spec().supports_power_readings()) return NvmlReturn::kNotSupported;
+  meter_.charge(costs_.per_query);
+  const Watts w = dev->sensed_board_power(engine_->now());
+  *milliwatts = static_cast<unsigned>(std::lround(w.value() * 1000.0));
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::device_get_temperature(NvmlDeviceHandle handle,
+                                               TemperatureSensor /*sensor*/,
+                                               unsigned* celsius) {
+  NvmlReturn err;
+  GpuDevice* dev = resolve(handle, &err);
+  if (dev == nullptr) return err;
+  if (celsius == nullptr) return NvmlReturn::kInvalidArgument;
+  meter_.charge(costs_.per_query);
+  *celsius = static_cast<unsigned>(
+      std::lround(std::max(0.0, dev->die_temperature(engine_->now()).value())));
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::device_get_memory_info(NvmlDeviceHandle handle, NvmlMemoryInfo* info) {
+  NvmlReturn err;
+  GpuDevice* dev = resolve(handle, &err);
+  if (dev == nullptr) return err;
+  if (info == nullptr) return NvmlReturn::kInvalidArgument;
+  meter_.charge(costs_.per_query);
+  info->total_bytes = static_cast<std::uint64_t>(dev->spec().memory.value());
+  info->used_bytes = static_cast<std::uint64_t>(dev->memory_used().value());
+  info->free_bytes = info->total_bytes - info->used_bytes;
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::device_get_fan_speed(NvmlDeviceHandle handle, unsigned* percent) {
+  NvmlReturn err;
+  GpuDevice* dev = resolve(handle, &err);
+  if (dev == nullptr) return err;
+  if (percent == nullptr) return NvmlReturn::kInvalidArgument;
+  meter_.charge(costs_.per_query);
+  *percent = static_cast<unsigned>(std::lround(dev->fan_speed_percent(engine_->now())));
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::device_get_clock_info(NvmlDeviceHandle handle, ClockType type,
+                                              unsigned* mhz) {
+  NvmlReturn err;
+  GpuDevice* dev = resolve(handle, &err);
+  if (dev == nullptr) return err;
+  if (mhz == nullptr) return NvmlReturn::kInvalidArgument;
+  meter_.charge(costs_.per_query);
+  const Hertz clock = type == ClockType::kSm ? dev->spec().sm_clock : dev->spec().mem_clock;
+  *mhz = static_cast<unsigned>(std::lround(clock.value() / 1e6));
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::device_get_power_management_limit(NvmlDeviceHandle handle,
+                                                          unsigned* milliwatts) {
+  NvmlReturn err;
+  GpuDevice* dev = resolve(handle, &err);
+  if (dev == nullptr) return err;
+  if (milliwatts == nullptr) return NvmlReturn::kInvalidArgument;
+  *milliwatts = static_cast<unsigned>(std::lround(dev->power_limit().value() * 1000.0));
+  return NvmlReturn::kSuccess;
+}
+
+NvmlReturn NvmlLibrary::device_set_power_management_limit(NvmlDeviceHandle handle,
+                                                          unsigned milliwatts) {
+  NvmlReturn err;
+  GpuDevice* dev = resolve(handle, &err);
+  if (dev == nullptr) return err;
+  const Watts requested{static_cast<double>(milliwatts) / 1000.0};
+  if (requested.value() <= 0.0 || requested > dev->spec().tdp) {
+    return NvmlReturn::kInvalidArgument;
+  }
+  dev->set_power_limit(requested);
+  return NvmlReturn::kSuccess;
+}
+
+}  // namespace envmon::nvml

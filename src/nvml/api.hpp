@@ -1,0 +1,108 @@
+#pragma once
+// The NVIDIA Management Library surface.
+//
+// "NVML is a C-based API which allows for the monitoring and
+// configuration of NVIDIA GPUs" (paper §II-C).  We reproduce the calling
+// conventions of the real library — integer return codes, out-parameters,
+// opaque device handles, init/shutdown lifecycle — over the simulated
+// devices.  Every device query pays the measured PCI-bus round trip of
+// ~1.3 ms (the highest per-query cost of the four in-band mechanisms
+// except the Phi's SCIF path).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nvml/device.hpp"
+#include "sim/cost.hpp"
+#include "sim/engine.hpp"
+
+namespace envmon::nvml {
+
+enum class NvmlReturn : int {
+  kSuccess = 0,
+  kUninitialized = 1,
+  kInvalidArgument = 2,
+  kNotSupported = 3,
+  kNotFound = 6,
+  kInsufficientpower = 8,
+  kGpuIsLost = 15,
+};
+
+[[nodiscard]] const char* nvml_error_string(NvmlReturn r);
+
+// Opaque handle, as in the real API.
+struct NvmlDeviceHandle {
+  std::size_t index = SIZE_MAX;
+  std::uint64_t epoch = 0;  // invalidated by shutdown/init cycles
+};
+
+struct NvmlMemoryInfo {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t free_bytes = 0;
+  std::uint64_t used_bytes = 0;
+};
+
+enum class ClockType { kSm, kMem };
+enum class TemperatureSensor { kGpuDie };
+
+struct NvmlCosts {
+  // "Each collection takes about 1.3 ms" (library + PCI transfer).
+  sim::Duration per_query = sim::Duration::micros(1300);
+};
+
+// The library instance.  The real NVML is a process-global; keeping it an
+// object makes tests hermetic while the method set mirrors the C API
+// one-to-one.
+class NvmlLibrary {
+ public:
+  NvmlLibrary(sim::Engine& engine, NvmlCosts costs = {});
+
+  // Device registration happens before init (simulating attached boards).
+  void attach_device(std::shared_ptr<GpuDevice> device);
+
+  // Failure injection: the board falls off the bus (XID-style error).
+  // Subsequent queries on its handles return kGpuIsLost.
+  void mark_device_lost(std::size_t index);
+
+  // --- lifecycle ---
+  NvmlReturn init();
+  NvmlReturn shutdown();
+
+  // --- discovery ---
+  NvmlReturn device_get_count(unsigned* count);
+  NvmlReturn device_get_handle_by_index(unsigned index, NvmlDeviceHandle* handle);
+  NvmlReturn device_get_name(NvmlDeviceHandle handle, std::string* name);
+
+  // --- environmental queries (each costs per_query of virtual time) ---
+  // Power in milliwatts, as the real nvmlDeviceGetPowerUsage.
+  NvmlReturn device_get_power_usage(NvmlDeviceHandle handle, unsigned* milliwatts);
+  NvmlReturn device_get_temperature(NvmlDeviceHandle handle, TemperatureSensor sensor,
+                                    unsigned* celsius);
+  NvmlReturn device_get_memory_info(NvmlDeviceHandle handle, NvmlMemoryInfo* info);
+  NvmlReturn device_get_fan_speed(NvmlDeviceHandle handle, unsigned* percent);
+  NvmlReturn device_get_clock_info(NvmlDeviceHandle handle, ClockType type, unsigned* mhz);
+
+  // --- power management limits ---
+  NvmlReturn device_get_power_management_limit(NvmlDeviceHandle handle, unsigned* milliwatts);
+  NvmlReturn device_set_power_management_limit(NvmlDeviceHandle handle, unsigned milliwatts);
+
+  [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
+  [[nodiscard]] GpuDevice* device_for_testing(std::size_t index) {
+    return index < devices_.size() ? devices_[index].get() : nullptr;
+  }
+
+ private:
+  [[nodiscard]] GpuDevice* resolve(NvmlDeviceHandle handle, NvmlReturn* error);
+
+  sim::Engine* engine_;
+  NvmlCosts costs_;
+  bool initialized_ = false;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::shared_ptr<GpuDevice>> devices_;
+  std::vector<bool> lost_;
+  sim::CostMeter meter_;
+};
+
+}  // namespace envmon::nvml

@@ -1,0 +1,120 @@
+#include "nvml/device.hpp"
+
+#include <algorithm>
+
+namespace envmon::nvml {
+
+GpuSpec k20_spec() {
+  GpuSpec s;
+  s.name = "Tesla K20";
+  s.arch = Architecture::kKepler;
+  s.peak_tflops_fp64 = 1.17;
+  s.memory = gibibytes(5.0);
+  s.cuda_cores = 2496;
+  s.tdp = Watts{225.0};
+  s.sm_clock = megahertz(706);
+  s.mem_clock = megahertz(2600);
+  return s;
+}
+
+GpuSpec k40_spec() {
+  GpuSpec s;
+  s.name = "Tesla K40";
+  s.arch = Architecture::kKepler;
+  s.peak_tflops_fp64 = 1.43;
+  s.memory = gibibytes(12.0);
+  s.cuda_cores = 2880;
+  s.tdp = Watts{235.0};
+  s.sm_clock = megahertz(745);
+  s.mem_clock = megahertz(3004);
+  return s;
+}
+
+GpuSpec m2090_spec() {
+  GpuSpec s;
+  s.name = "Tesla M2090";
+  s.arch = Architecture::kFermi;
+  s.peak_tflops_fp64 = 0.665;
+  s.memory = gibibytes(6.0);
+  s.cuda_cores = 512;
+  s.tdp = Watts{225.0};
+  s.sm_clock = megahertz(650);
+  s.mem_clock = megahertz(1848);
+  return s;
+}
+
+namespace {
+
+power::SensorOptions board_power_sensor_options() {
+  power::SensorOptions o;
+  // The several-second level-off of Fig 4.  With tau ~= 1.7 s the sensor
+  // reaches ~95% of a step in ~5 s, matching "it takes about 5 seconds
+  // before the power consumption levels off".
+  o.slew_tau = sim::Duration::millis(1700);
+  // "an update time of about 60ms" (paper §II-C).
+  o.update_period = sim::Duration::millis(60);
+  o.update_jitter = sim::Duration::millis(4);
+  // "the reported accuracy by NVIDIA is +/-5W": treat as a 3-sigma band.
+  o.noise_sigma = 5.0 / 3.0;
+  // NVML reports milliwatts.
+  o.quantum = 0.001;
+  o.min_value = 0.0;
+  return o;
+}
+
+power::ThermalOptions die_thermal_options() {
+  power::ThermalOptions t;
+  t.ambient = Celsius{36.0};        // chassis air at the GPU inlet
+  t.resistance_c_per_w = 0.22;      // ~65 C at ~130 W (Fig 5)
+  t.capacity_j_per_c = 260.0;       // minutes-scale rise, like Fig 5
+  t.initial = Celsius{40.0};
+  return t;
+}
+
+}  // namespace
+
+GpuDevice::GpuDevice(GpuSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      power_sensor_(board_power_sensor_options(), Rng(seed)),
+      thermal_(die_thermal_options()),
+      power_limit_(spec_.tdp) {
+  using power::Rail;
+  using power::RailModel;
+  // Calibrated against the paper's K20 plots: idle board ~44 W, NOOP
+  // plateau ~55 W, bandwidth-bound vector add ~130 W, peak ~150 W.
+  model_.set_rail(Rail::kCpuCore, RailModel{Watts{10.0}, Watts{60.0}, Volts{1.0}});  // SMs
+  model_.set_rail(Rail::kDram, RailModel{Watts{6.0}, Watts{38.0}, Volts{1.5}});      // GDDR5
+  model_.set_rail(Rail::kPcie, RailModel{Watts{2.0}, Watts{8.0}, Volts{3.3}});
+  model_.set_rail(Rail::kBoard, RailModel{Watts{26.0}, Watts{0.0}, Volts{12.0}});    // VRs, fan
+  // Prime the board sensor at the idle draw: the card has been sitting
+  // idle before any workload is attached, so the first post-launch read
+  // starts the Fig 4 ramp from the idle floor rather than snapping to
+  // the loaded value.
+  (void)power_sensor_.sample(sim::SimTime::zero(), true_board_power(sim::SimTime::zero()).value());
+}
+
+Watts GpuDevice::true_board_power(sim::SimTime t) const { return model_.total_power_at(t); }
+
+Watts GpuDevice::sensed_board_power(sim::SimTime t) {
+  return Watts{power_sensor_.sample(t, true_board_power(t).value())};
+}
+
+Celsius GpuDevice::die_temperature(sim::SimTime t) {
+  return thermal_.step(t, true_board_power(t));
+}
+
+double GpuDevice::fan_speed_percent(sim::SimTime t) {
+  // Firmware fan curve: 30% floor, ramping above 45 C.
+  const double temp = die_temperature(t).value();
+  if (temp <= 45.0) return 30.0;
+  return std::min(100.0, 30.0 + (temp - 45.0) * 2.2);
+}
+
+void GpuDevice::set_memory_used(Bytes used) {
+  if (used.value() < 0.0 || used > spec_.memory) {
+    used = Bytes{std::clamp(used.value(), 0.0, spec_.memory.value())};
+  }
+  memory_used_ = used;
+}
+
+}  // namespace envmon::nvml

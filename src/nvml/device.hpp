@@ -1,0 +1,85 @@
+#pragma once
+// NVIDIA GPU device models.
+//
+// The paper's K20 experiments (Figs 4-5): board-level power only ("the
+// power consumption reported is for the entire board including memory"),
+// +/-5 W accuracy, ~60 ms sensor update, and a distinctive several-second
+// ramp after a kernel starts ("it takes about 5 seconds before the power
+// consumption levels off") which we model as a slew stage on the board
+// power sensor.  Die temperature follows a first-order thermal model
+// (the steady rise of Fig 5).
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "power/component.hpp"
+#include "power/sensor.hpp"
+#include "power/thermal.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::nvml {
+
+enum class Architecture : std::uint8_t { kTesla, kFermi, kKepler };
+
+struct GpuSpec {
+  std::string name;
+  Architecture arch = Architecture::kKepler;
+  double peak_tflops_fp64 = 0.0;
+  Bytes memory{};
+  int cuda_cores = 0;
+  Watts tdp{};
+  Hertz sm_clock{};
+  Hertz mem_clock{};
+
+  // Power monitoring exists only on Kepler boards (K20/K40 at the time).
+  [[nodiscard]] bool supports_power_readings() const { return arch == Architecture::kKepler; }
+};
+
+[[nodiscard]] GpuSpec k20_spec();   // 1.17 TF fp64, 5 GB GDDR5, 2496 cores
+[[nodiscard]] GpuSpec k40_spec();
+[[nodiscard]] GpuSpec m2090_spec();  // Fermi: no power sensor — error-path tests
+
+class GpuDevice {
+ public:
+  GpuDevice(GpuSpec spec, std::uint64_t seed = 0x6b20);
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+  [[nodiscard]] power::DevicePowerModel& model() { return model_; }
+
+  void run_workload(const power::UtilizationProfile* profile, sim::SimTime start) {
+    model_.run_workload(profile, start);
+  }
+
+  // True instantaneous board power (everything on the board, incl. memory).
+  [[nodiscard]] Watts true_board_power(sim::SimTime t) const;
+
+  // What the on-board sensor reports (slew + 60 ms hold + +/-5 W band).
+  // Must be sampled with non-decreasing t.
+  [[nodiscard]] Watts sensed_board_power(sim::SimTime t);
+
+  // Die temperature; advances the thermal state to t.
+  [[nodiscard]] Celsius die_temperature(sim::SimTime t);
+
+  // Fan duty derived from die temperature (percent).
+  [[nodiscard]] double fan_speed_percent(sim::SimTime t);
+
+  // Memory accounting (driven by whoever simulates allocations).
+  void set_memory_used(Bytes used);
+  [[nodiscard]] Bytes memory_used() const { return memory_used_; }
+  [[nodiscard]] Bytes memory_free() const { return spec_.memory - memory_used_; }
+
+  // Software power cap (nvmlDeviceSetPowerManagementLimit).
+  void set_power_limit(Watts w) { power_limit_ = w; }
+  [[nodiscard]] Watts power_limit() const { return power_limit_; }
+
+ private:
+  GpuSpec spec_;
+  power::DevicePowerModel model_;
+  power::SensorPipeline power_sensor_;
+  power::ThermalModel thermal_;
+  Bytes memory_used_{};
+  Watts power_limit_;
+};
+
+}  // namespace envmon::nvml

@@ -1,0 +1,43 @@
+#include "power/component.hpp"
+
+namespace envmon::power {
+
+double DevicePowerModel::util_at(Rail rail, sim::SimTime t) const {
+  if (profile_ == nullptr) return 0.0;
+  return profile_->util(rail, t - workload_start_);
+}
+
+Watts DevicePowerModel::rail_power_at(Rail rail, sim::SimTime t) const {
+  return rails_[rail_index(rail)].at_util(util_at(rail, t));
+}
+
+Watts DevicePowerModel::total_power_at(sim::SimTime t) const {
+  Watts total{0.0};
+  for (const Rail r : kAllRails) total += rail_power_at(r, t);
+  return total;
+}
+
+Joules DevicePowerModel::rail_energy_between(Rail rail, sim::SimTime t0, sim::SimTime t1) const {
+  if (t1 <= t0) return Joules{0.0};
+  const Seconds dt{(t1 - t0).to_seconds()};
+  const RailModel& m = rails_[rail_index(rail)];
+  double mean_u = 0.0;
+  if (profile_ != nullptr) {
+    mean_u = profile_->mean_util(rail, t0 - workload_start_, t1 - workload_start_);
+  }
+  return m.at_util(mean_u) * dt;
+}
+
+Joules DevicePowerModel::total_energy_between(sim::SimTime t0, sim::SimTime t1) const {
+  Joules total{0.0};
+  for (const Rail r : kAllRails) total += rail_energy_between(r, t0, t1);
+  return total;
+}
+
+Amps DevicePowerModel::rail_current_at(Rail rail, sim::SimTime t) const {
+  const Volts v = rail_voltage(rail);
+  if (v.value() <= 0.0) return Amps{0.0};
+  return rail_power_at(rail, t) / v;
+}
+
+}  // namespace envmon::power

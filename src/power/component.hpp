@@ -1,0 +1,64 @@
+#pragma once
+// Component (rail) power models and the device-level power source.
+//
+// Each rail draws idle_watts + utilization * dynamic_watts; a device's
+// true power is the sum over its rails driven by a workload profile.
+// True power is what the physical sensors observe; every vendor mechanism
+// then degrades it differently (see sensor.hpp).
+
+#include <optional>
+
+#include "common/units.hpp"
+#include "power/profile.hpp"
+#include "power/rail.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::power {
+
+struct RailModel {
+  Watts idle{0.0};
+  Watts dynamic{0.0};  // additional draw at utilization 1.0
+  Volts nominal_voltage{0.0};
+
+  [[nodiscard]] Watts at_util(double u) const { return idle + dynamic * u; }
+};
+
+// A device: a set of rail models plus an attached workload profile that
+// starts at some simulation time.  True power is exact and analytic.
+class DevicePowerModel {
+ public:
+  void set_rail(Rail rail, RailModel model) { rails_[rail_index(rail)] = model; }
+  [[nodiscard]] const RailModel& rail(Rail r) const { return rails_[rail_index(r)]; }
+
+  // Attach a workload starting at `start`.  Replaces any previous one.
+  void run_workload(const UtilizationProfile* profile, sim::SimTime start) {
+    profile_ = profile;
+    workload_start_ = start;
+  }
+  [[nodiscard]] bool has_workload() const { return profile_ != nullptr; }
+  [[nodiscard]] sim::SimTime workload_start() const { return workload_start_; }
+  [[nodiscard]] const UtilizationProfile* workload() const { return profile_; }
+
+  // Utilization of a rail at absolute sim time t (0 when no workload).
+  [[nodiscard]] double util_at(Rail rail, sim::SimTime t) const;
+
+  // Instantaneous true power of one rail / the whole device.
+  [[nodiscard]] Watts rail_power_at(Rail rail, sim::SimTime t) const;
+  [[nodiscard]] Watts total_power_at(sim::SimTime t) const;
+
+  // Exact energy over [t0, t1) — piecewise-constant integration.
+  [[nodiscard]] Joules rail_energy_between(Rail rail, sim::SimTime t0, sim::SimTime t1) const;
+  [[nodiscard]] Joules total_energy_between(sim::SimTime t0, sim::SimTime t1) const;
+
+  // Nominal voltage/current view of a rail (current = power / voltage),
+  // which is the raw form MonEQ reads from BG/Q domains (paper §II-A).
+  [[nodiscard]] Volts rail_voltage(Rail rail) const { return rails_[rail_index(rail)].nominal_voltage; }
+  [[nodiscard]] Amps rail_current_at(Rail rail, sim::SimTime t) const;
+
+ private:
+  RailTable<RailModel> rails_{};
+  const UtilizationProfile* profile_ = nullptr;
+  sim::SimTime workload_start_;
+};
+
+}  // namespace envmon::power

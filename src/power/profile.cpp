@@ -1,0 +1,84 @@
+#include "power/profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace envmon::power {
+
+UtilizationProfile::UtilizationProfile(std::vector<Phase> phases) : phases_(std::move(phases)) {
+  starts_.reserve(phases_.size());
+  sim::Duration t{};
+  for (const auto& p : phases_) {
+    if (p.duration.ns() <= 0) {
+      throw std::invalid_argument("UtilizationProfile: phase duration must be positive");
+    }
+    for (const double u : p.util) {
+      if (u < 0.0 || u > 1.0) {
+        throw std::invalid_argument("UtilizationProfile: utilization outside [0,1]");
+      }
+    }
+    starts_.push_back(t);
+    t += p.duration;
+  }
+  total_ = t;
+}
+
+const Phase* UtilizationProfile::phase_at(sim::Duration t) const {
+  if (phases_.empty() || t.ns() < 0 || t >= total_) return nullptr;
+  // Last phase whose start is <= t.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
+  const auto idx = static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
+  return &phases_[idx];
+}
+
+double UtilizationProfile::util(Rail rail, sim::Duration t) const {
+  const Phase* p = phase_at(t);
+  return p == nullptr ? 0.0 : p->util[rail_index(rail)];
+}
+
+double UtilizationProfile::mean_util(Rail rail, sim::Duration t0, sim::Duration t1) const {
+  if (t1 <= t0) return 0.0;
+  // Clamp the integration range to the profile; outside it util is 0.
+  const sim::Duration lo = std::max(t0, sim::Duration{});
+  const sim::Duration hi = std::min(t1, total_);
+  double integral_ns = 0.0;  // util * ns
+  if (lo < hi && !phases_.empty()) {
+    auto it = std::upper_bound(starts_.begin(), starts_.end(), lo);
+    auto idx = static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
+    sim::Duration cursor = lo;
+    while (cursor < hi && idx < phases_.size()) {
+      const sim::Duration phase_end = starts_[idx] + phases_[idx].duration;
+      const sim::Duration seg_end = std::min(phase_end, hi);
+      integral_ns += phases_[idx].util[rail_index(rail)] *
+                     static_cast<double>((seg_end - cursor).ns());
+      cursor = seg_end;
+      ++idx;
+    }
+  }
+  return integral_ns / static_cast<double>((t1 - t0).ns());
+}
+
+ProfileBuilder& ProfileBuilder::phase(sim::Duration duration, const char* label,
+                                      std::initializer_list<std::pair<Rail, double>> utils) {
+  Phase p;
+  p.duration = duration;
+  p.label = label;
+  for (const auto& [rail, u] : utils) p.util[rail_index(rail)] = u;
+  phases_.push_back(p);
+  return *this;
+}
+
+ProfileBuilder& ProfileBuilder::repeat_last(std::size_t count, std::size_t times) {
+  if (count == 0 || count > phases_.size()) {
+    throw std::invalid_argument("ProfileBuilder::repeat_last: bad count");
+  }
+  const std::size_t begin = phases_.size() - count;
+  for (std::size_t rep = 0; rep < times; ++rep) {
+    for (std::size_t i = 0; i < count; ++i) phases_.push_back(phases_[begin + i]);
+  }
+  return *this;
+}
+
+UtilizationProfile ProfileBuilder::build() && { return UtilizationProfile(std::move(phases_)); }
+
+}  // namespace envmon::power

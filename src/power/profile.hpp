@@ -1,0 +1,64 @@
+#pragma once
+// Piecewise-constant utilization profiles.
+//
+// A workload is modeled as a sequence of phases; within a phase each rail
+// has a constant utilization in [0, 1].  Piecewise-constant utilization
+// makes energy integration exact (RAPL's energy-status registers integrate
+// true power; we must not accumulate numerical drift over a 200 s run).
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "power/rail.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::power {
+
+struct Phase {
+  sim::Duration duration;
+  RailTable<double> util{};  // zero-initialized: idle
+  // Optional label for tagging/tracing (e.g. "datagen", "compute").
+  const char* label = "";
+};
+
+class UtilizationProfile {
+ public:
+  UtilizationProfile() = default;
+  explicit UtilizationProfile(std::vector<Phase> phases);
+
+  // Utilization of `rail` at absolute profile time t (t=0 is profile
+  // start).  Outside [0, total_duration) every rail reads 0 (idle).
+  [[nodiscard]] double util(Rail rail, sim::Duration t) const;
+
+  // Exact mean utilization over [t0, t1) — the analytic integral divided
+  // by the interval, used for energy accounting.
+  [[nodiscard]] double mean_util(Rail rail, sim::Duration t0, sim::Duration t1) const;
+
+  [[nodiscard]] const Phase* phase_at(sim::Duration t) const;
+  [[nodiscard]] sim::Duration total_duration() const { return total_; }
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+  [[nodiscard]] bool empty() const { return phases_.empty(); }
+
+ private:
+  std::vector<Phase> phases_;
+  std::vector<sim::Duration> starts_;  // phase start offsets, ascending
+  sim::Duration total_;
+};
+
+// Fluent builder so workload definitions read like the paper's
+// descriptions ("data generation for ~100 s, then compute").
+class ProfileBuilder {
+ public:
+  ProfileBuilder& phase(sim::Duration duration, const char* label,
+                        std::initializer_list<std::pair<Rail, double>> utils);
+  // Repeats the previous `count` phases `times` additional times.
+  ProfileBuilder& repeat_last(std::size_t count, std::size_t times);
+
+  [[nodiscard]] UtilizationProfile build() &&;
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+}  // namespace envmon::power

@@ -1,0 +1,54 @@
+#pragma once
+// Power rails: the component classes whose draw the vendor mechanisms
+// expose.  The union of what Table I lists across platforms — BG/Q's seven
+// domains, RAPL's package/cores/uncore/DRAM planes, a GPU board's
+// core/memory split, a Phi card's core/memory/board rails.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace envmon::power {
+
+enum class Rail : std::uint8_t {
+  kCpuCore = 0,  // chip core / PP0 / GPU SMs / Phi cores
+  kDram,         // main memory (DDR/GDDR)
+  kNetwork,      // HSS network (BG/Q)
+  kLink,         // link chip core (BG/Q)
+  kOptics,       // optical modules (BG/Q)
+  kPcie,         // PCI Express interface
+  kSram,         // on-chip SRAM (BG/Q)
+  kUncore,       // RAPL PP1 / uncore plane
+  kBoard,        // everything else on the board (VRs, fans, misc logic)
+};
+
+inline constexpr std::size_t kRailCount = 9;
+
+inline constexpr std::array<Rail, kRailCount> kAllRails = {
+    Rail::kCpuCore, Rail::kDram, Rail::kNetwork, Rail::kLink, Rail::kOptics,
+    Rail::kPcie,    Rail::kSram, Rail::kUncore,  Rail::kBoard,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Rail r) {
+  switch (r) {
+    case Rail::kCpuCore: return "cpu_core";
+    case Rail::kDram: return "dram";
+    case Rail::kNetwork: return "network";
+    case Rail::kLink: return "link";
+    case Rail::kOptics: return "optics";
+    case Rail::kPcie: return "pcie";
+    case Rail::kSram: return "sram";
+    case Rail::kUncore: return "uncore";
+    case Rail::kBoard: return "board";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr std::size_t rail_index(Rail r) { return static_cast<std::size_t>(r); }
+
+// Fixed-size per-rail value table; cheaper and clearer than a map in the
+// hot sampling path (Core Guidelines Per.16: use compact data structures).
+template <typename T>
+using RailTable = std::array<T, kRailCount>;
+
+}  // namespace envmon::power

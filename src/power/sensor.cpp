@@ -1,0 +1,76 @@
+#include "power/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace envmon::power {
+
+double SensorPipeline::slew(sim::SimTime t, double x) {
+  if (!options_.slew_tau) return x;
+  if (!last_slew_t_) {
+    // First observation: assume the device has been at x long enough.
+    slew_value_ = x;
+    last_slew_t_ = t;
+    return slew_value_;
+  }
+  const double dt = (t - *last_slew_t_).to_seconds();
+  const double tau = options_.slew_tau->to_seconds();
+  if (dt > 0.0 && tau > 0.0) {
+    const double alpha = 1.0 - std::exp(-dt / tau);
+    slew_value_ += alpha * (x - slew_value_);
+  }
+  last_slew_t_ = t;
+  return slew_value_;
+}
+
+double SensorPipeline::hold(sim::SimTime t, double x) {
+  if (!options_.update_period) return x;
+  const auto period = *options_.update_period;
+  if (!next_refresh_) {
+    // Sensor refreshes for the first time at the first sampling instant.
+    held_value_ = x;
+    last_refresh_ = t;
+    next_refresh_ = t + period;
+    return held_value_;
+  }
+  // Catch up on any refresh instants that have passed.  The refreshed
+  // value is the (slewed) input at sampling time; with refresh periods
+  // far below workload phase lengths this is indistinguishable from
+  // evaluating at the exact refresh instant, and keeps the pipeline pull-
+  // based.
+  while (*next_refresh_ <= t) {
+    held_value_ = x;
+    last_refresh_ = *next_refresh_;
+    sim::Duration jitter{};
+    if (options_.update_jitter.ns() > 0) {
+      const auto half = options_.update_jitter.ns();
+      jitter = sim::Duration::nanos(
+          static_cast<std::int64_t>(rng_.uniform(-static_cast<double>(half),
+                                                 static_cast<double>(half))));
+    }
+    *next_refresh_ = *next_refresh_ + period + jitter;
+  }
+  return held_value_;
+}
+
+double SensorPipeline::degrade(double x) {
+  if (options_.noise_sigma > 0.0) x += rng_.normal(0.0, options_.noise_sigma);
+  if (options_.quantum > 0.0) x = std::round(x / options_.quantum) * options_.quantum;
+  if (options_.min_value) x = std::max(x, *options_.min_value);
+  if (options_.max_value) x = std::min(x, *options_.max_value);
+  return x;
+}
+
+double SensorPipeline::sample(sim::SimTime t, double true_value) {
+  return degrade(hold(t, slew(t, true_value)));
+}
+
+void SensorPipeline::reset() {
+  last_slew_t_.reset();
+  slew_value_ = 0.0;
+  next_refresh_.reset();
+  last_refresh_.reset();
+  held_value_ = 0.0;
+}
+
+}  // namespace envmon::power

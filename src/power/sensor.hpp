@@ -1,0 +1,78 @@
+#pragma once
+// The sensor pipeline: how each vendor mechanism degrades true power.
+//
+// The paper's per-platform observations map onto four orthogonal effects:
+//   * slew      — the measured quantity approaches the true value with a
+//                 time constant (the ~5 s ramp NVML shows on the K20 when
+//                 a kernel starts, Fig 4);
+//   * hold      — the sensor refreshes on its own schedule and reads
+//                 return the last refreshed value (RAPL updates every
+//                 ~1 ms with +/-50k-cycle jitter; NVML ~60 ms; EMON
+//                 returns "the oldest generation of power data");
+//   * noise     — additive measurement noise;
+//   * quantize  — finite reporting resolution (NVML reports milliwatts
+//                 but is only accurate to +/-5 W; RAPL counts in 15.26 uJ
+//                 units).
+//
+// A SensorPipeline composes these stages in a fixed order
+// (slew -> hold -> noise -> quantize -> clamp); stages not configured are
+// skipped.  Pipelines are stateful (slew memory, hold schedule) and must
+// be sampled with non-decreasing timestamps.
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::power {
+
+struct SensorOptions {
+  // First-order low-pass time constant; nullopt = track instantly.
+  std::optional<sim::Duration> slew_tau;
+  // Refresh period of the sensor's internal value; nullopt = continuous.
+  std::optional<sim::Duration> update_period;
+  // Uniform jitter applied to each refresh instant (+/- jitter).
+  sim::Duration update_jitter{};
+  // Gaussian noise sigma, in the measured unit.
+  double noise_sigma = 0.0;
+  // Reporting resolution; values are rounded to a multiple of this.
+  double quantum = 0.0;
+  // Physical clamp.
+  std::optional<double> min_value;
+  std::optional<double> max_value;
+};
+
+class SensorPipeline {
+ public:
+  SensorPipeline(SensorOptions options, Rng rng)
+      : options_(options), rng_(rng) {}
+
+  // Samples the sensor at time t given the instantaneous true value.
+  // t must be non-decreasing across calls.
+  double sample(sim::SimTime t, double true_value);
+
+  // Exposes when the held value was last refreshed (age of the data) —
+  // the paper cares about staleness explicitly.
+  [[nodiscard]] std::optional<sim::SimTime> last_refresh() const { return last_refresh_; }
+
+  void reset();
+
+ private:
+  double slew(sim::SimTime t, double x);
+  double hold(sim::SimTime t, double x);
+  double degrade(double x);  // noise + quantize + clamp
+
+  SensorOptions options_;
+  Rng rng_;
+
+  // Slew state.
+  std::optional<sim::SimTime> last_slew_t_;
+  double slew_value_ = 0.0;
+
+  // Hold state.
+  std::optional<sim::SimTime> next_refresh_;
+  std::optional<sim::SimTime> last_refresh_;
+  double held_value_ = 0.0;
+};
+
+}  // namespace envmon::power

@@ -1,0 +1,25 @@
+#include "power/thermal.hpp"
+
+#include <cmath>
+
+namespace envmon::power {
+
+Celsius ThermalModel::step(sim::SimTime t, Watts dissipated) {
+  if (!started_) {
+    // First observation: integrate from the epoch assuming the current
+    // dissipation held, so a late observer sees the accumulated history
+    // rather than the cold-start temperature.
+    started_ = true;
+    last_t_ = sim::SimTime::zero();
+  }
+  const double dt = (t - last_t_).to_seconds();
+  last_t_ = t;
+  if (dt <= 0.0) return temp_;
+  const double tau = options_.resistance_c_per_w * options_.capacity_j_per_c;
+  const Celsius target = steady_state(dissipated);
+  const double alpha = 1.0 - std::exp(-dt / tau);
+  temp_ += Celsius{alpha * (target.value() - temp_.value())};
+  return temp_;
+}
+
+}  // namespace envmon::power

@@ -1,0 +1,42 @@
+#pragma once
+// First-order thermal RC model.
+//
+// Fig 5 of the paper shows GPU die temperature climbing steadily while the
+// vector-add kernel runs.  A single RC node — ambient temperature, thermal
+// resistance (C/W) to ambient, heat capacity (J/C) — reproduces exactly
+// that shape: exponential approach to T_ambient + R * P.
+
+#include "common/units.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::power {
+
+struct ThermalOptions {
+  Celsius ambient{25.0};
+  double resistance_c_per_w = 0.25;  // steady-state rise per watt
+  double capacity_j_per_c = 400.0;   // thermal mass
+  Celsius initial{25.0};
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalOptions options)
+      : options_(options), temp_(options.initial) {}
+
+  // Advances the model assuming constant dissipation `power` over the
+  // interval since the last step (exact solution of the RC ODE).
+  Celsius step(sim::SimTime t, Watts dissipated);
+
+  [[nodiscard]] Celsius temperature() const { return temp_; }
+  [[nodiscard]] Celsius steady_state(Watts p) const {
+    return options_.ambient + Celsius{options_.resistance_c_per_w * p.value()};
+  }
+
+ private:
+  ThermalOptions options_;
+  Celsius temp_;
+  bool started_ = false;
+  sim::SimTime last_t_;
+};
+
+}  // namespace envmon::power

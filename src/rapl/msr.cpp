@@ -1,0 +1,56 @@
+#include "rapl/msr.hpp"
+
+#include "rapl/registers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace envmon::rapl {
+
+Result<std::uint64_t> MsrFile::read(std::uint32_t reg) const {
+  const auto it = regs_.find(reg);
+  if (it == regs_.end()) {
+    return Status(StatusCode::kNotFound, "no such MSR 0x" + std::to_string(reg));
+  }
+  return it->second;
+}
+
+void MsrFile::write(std::uint32_t reg, std::uint64_t value) { regs_[reg] = value; }
+
+Result<std::uint64_t> MsrDevice::pread(std::uint32_t reg, const Credentials& creds,
+                                       sim::CostMeter* meter) const {
+  const bool allowed = (creds.root && mode_.owner_read) || mode_.other_read ||
+                       (creds.uid == 0 && mode_.owner_read);
+  if (!allowed) {
+    return Status(StatusCode::kPermissionDenied,
+                  path_ + ": read requires root (or a relaxed device mode)");
+  }
+  if (meter != nullptr) meter->charge(cost_.per_read);
+  return file_->read(reg);
+}
+
+std::uint64_t encode_power_limit(const PowerLimit& limit, const PowerUnits& units) {
+  const auto power_raw = static_cast<std::uint64_t>(
+      std::clamp(std::lround(limit.watts / units.watts_per_unit()), 0L, 0x7fffL));
+  // Time window encoding: SDM uses Y + Z/4 mantissa form; we keep the
+  // simpler pure-exponent form (Z=0), which the decoder mirrors.
+  std::uint64_t window_raw = 0;
+  if (limit.window_seconds > 0.0) {
+    const double ratio = limit.window_seconds / units.seconds_per_unit();
+    window_raw = static_cast<std::uint64_t>(
+                     std::clamp(std::lround(std::log2(std::max(ratio, 1.0))), 0L, 0x1fL))
+                 << 17;
+  }
+  return power_raw | (limit.enabled ? (1ULL << 15) : 0) | window_raw;
+}
+
+PowerLimit decode_power_limit(std::uint64_t raw, const PowerUnits& units) {
+  PowerLimit limit;
+  limit.watts = static_cast<double>(raw & 0x7fff) * units.watts_per_unit();
+  limit.enabled = (raw & (1ULL << 15)) != 0;
+  const auto window_exp = static_cast<unsigned>((raw >> 17) & 0x1f);
+  limit.window_seconds = static_cast<double>(1ULL << window_exp) * units.seconds_per_unit();
+  return limit;
+}
+
+}  // namespace envmon::rapl

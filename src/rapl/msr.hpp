@@ -1,0 +1,80 @@
+#pragma once
+// The Linux MSR driver emulation.
+//
+// Paper §II-B: "the only way to get around this problem is to use the
+// Linux MSR driver which exports MSR access to userspace.  Once the MSR
+// driver is built and loaded, it creates a character device for each
+// logical processor under /dev/cpu/*/msr. ... The MSR driver must be
+// given the correct read-only, root-only access before it is accessible
+// by any process running on the system."
+//
+// We model: a register file per package, a character device per logical
+// CPU routed to its package, POSIX-ish permission bits on the device
+// node, and a per-read virtual-time cost (the paper's measured 0.03 ms).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/cost.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::rapl {
+
+// A bank of 64-bit model-specific registers.
+class MsrFile {
+ public:
+  [[nodiscard]] Result<std::uint64_t> read(std::uint32_t reg) const;
+  void write(std::uint32_t reg, std::uint64_t value);
+  [[nodiscard]] bool has(std::uint32_t reg) const { return regs_.contains(reg); }
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> regs_;
+};
+
+struct Credentials {
+  bool root = false;
+  int uid = 1000;
+};
+
+// Per-device permission bits (only the read bits matter here).
+struct DeviceMode {
+  bool owner_read = true;   // root
+  bool group_read = false;
+  bool other_read = false;
+};
+
+struct MsrReadCost {
+  // The paper's measured direct-MSR access time.
+  sim::Duration per_read = sim::Duration::nanos(30'000);  // 0.03 ms
+};
+
+// The /dev/cpu/N/msr node for one logical CPU.  All logical CPUs of a
+// package share the package's register bank (RAPL counters are
+// package-scoped — the paper's "biggest limitation ... that of scope").
+class MsrDevice {
+ public:
+  MsrDevice(std::string path, MsrFile& file, MsrReadCost cost)
+      : path_(std::move(path)), file_(&file), cost_(cost) {}
+
+  // chmod 0444-style relaxation ("read-only, root-only access" by
+  // default; operators may widen it as the paper describes).
+  void set_mode(DeviceMode mode) { mode_ = mode; }
+
+  // pread(fd, &val, 8, reg) equivalent.  Checks permissions first.
+  [[nodiscard]] Result<std::uint64_t> pread(std::uint32_t reg, const Credentials& creds,
+                                            sim::CostMeter* meter = nullptr) const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  MsrFile* file_;
+  MsrReadCost cost_;
+  DeviceMode mode_{};
+};
+
+}  // namespace envmon::rapl

@@ -1,0 +1,133 @@
+#include "rapl/package.hpp"
+
+#include <cmath>
+
+namespace envmon::rapl {
+
+namespace {
+
+// Deterministic per-instant jitter: hash the instant index.
+std::int64_t jitter_ns(std::uint64_t k, double jitter_cycles, double freq_ghz,
+                       std::uint64_t seed) {
+  SplitMix64 sm(seed ^ (k * 0x9e3779b97f4a7c15ULL));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0,1)
+  const double cycles = (2.0 * u - 1.0) * jitter_cycles;
+  return static_cast<std::int64_t>(cycles / freq_ghz);  // cycles / (GHz) = ns
+}
+
+}  // namespace
+
+CpuPackage::CpuPackage(sim::Engine& engine, PackageConfig config)
+    : engine_(&engine), config_(config) {
+  using power::Rail;
+  model_.set_rail(Rail::kCpuCore, config_.cores);
+  model_.set_rail(Rail::kUncore, config_.pp1);
+  model_.set_rail(Rail::kBoard, config_.uncore);
+  model_.set_rail(Rail::kDram, config_.dram);
+
+  msrs_.write(kMsrRaplPowerUnit, config_.units.encode());
+  msrs_.write(kMsrPkgPowerLimit, 0);
+  msrs_.write(kMsrPkgEnergyStatus, 0);
+  msrs_.write(kMsrPp0EnergyStatus, 0);
+  msrs_.write(kMsrPp1EnergyStatus, 0);
+  msrs_.write(kMsrDramEnergyStatus, 0);
+  // MSR_PKG_POWER_INFO: thermal spec power in power units (bits 14:0).
+  const double tdp =
+      config_.cores.idle.value() + config_.cores.dynamic.value() +
+      config_.uncore.idle.value() + config_.uncore.dynamic.value();
+  msrs_.write(kMsrPkgPowerInfo,
+              static_cast<std::uint64_t>(tdp / config_.units.watts_per_unit()));
+}
+
+Watts CpuPackage::domain_power(RaplDomain d, sim::SimTime t) const {
+  using power::Rail;
+  switch (d) {
+    case RaplDomain::kPp0:
+      return model_.rail_power_at(Rail::kCpuCore, t);
+    case RaplDomain::kPp1:
+      return model_.rail_power_at(Rail::kUncore, t);
+    case RaplDomain::kDram:
+      return model_.rail_power_at(Rail::kDram, t);
+    case RaplDomain::kPackage: {
+      // Uncore logic activity tracks memory traffic.
+      const double dram_util = model_.util_at(Rail::kDram, t);
+      const Watts uncore = config_.uncore.at_util(dram_util);
+      return model_.rail_power_at(Rail::kCpuCore, t) +
+             model_.rail_power_at(Rail::kUncore, t) + uncore;
+    }
+  }
+  return Watts{0.0};
+}
+
+Joules CpuPackage::domain_energy_since_start(RaplDomain d, sim::SimTime t) const {
+  using power::Rail;
+  const sim::SimTime t0 = sim::SimTime::zero();
+  switch (d) {
+    case RaplDomain::kPp0:
+      return model_.rail_energy_between(Rail::kCpuCore, t0, t);
+    case RaplDomain::kPp1:
+      return model_.rail_energy_between(Rail::kUncore, t0, t);
+    case RaplDomain::kDram: {
+      // DRAM rail model lives on the dram rail but with package-config
+      // parameters; rail_energy_between already uses them.
+      return model_.rail_energy_between(Rail::kDram, t0, t);
+    }
+    case RaplDomain::kPackage: {
+      const double span = (t - t0).to_seconds();
+      if (span <= 0.0) return Joules{0.0};
+      double mean_dram = 0.0;
+      if (model_.has_workload()) {
+        mean_dram = model_.workload()->mean_util(Rail::kDram, t0 - model_.workload_start(),
+                                                 t - model_.workload_start());
+      }
+      const Joules uncore = config_.uncore.at_util(mean_dram) * Seconds{span};
+      return model_.rail_energy_between(Rail::kCpuCore, t0, t) +
+             model_.rail_energy_between(Rail::kUncore, t0, t) + uncore;
+    }
+  }
+  return Joules{0.0};
+}
+
+sim::SimTime CpuPackage::latest_update_instant(sim::SimTime now) const {
+  const std::int64_t period = config_.counter_update_period.ns();
+  std::int64_t k = now.ns() / period;
+  // The jittered instant for index k may land after `now`; step back.
+  while (k > 0) {
+    const std::int64_t instant =
+        k * period + jitter_ns(static_cast<std::uint64_t>(k), config_.update_jitter_cycles,
+                               config_.frequency_ghz, config_.seed);
+    if (instant <= now.ns()) return sim::SimTime::from_ns(instant);
+    --k;
+  }
+  return sim::SimTime::zero();
+}
+
+void CpuPackage::refresh(sim::SimTime now) {
+  const sim::SimTime effective = latest_update_instant(now);
+  const double unit = config_.units.joules_per_unit();
+  for (const RaplDomain d :
+       {RaplDomain::kPackage, RaplDomain::kPp0, RaplDomain::kPp1, RaplDomain::kDram}) {
+    const double joules = domain_energy_since_start(d, effective).value();
+    const auto units_total = static_cast<std::uint64_t>(joules / unit);
+    msrs_.write(energy_status_msr(d), units_total & 0xffffffffULL);  // 32-bit wrap
+  }
+}
+
+std::uint32_t CpuPackage::raw_counter(RaplDomain d) const {
+  const auto r = msrs_.read(energy_status_msr(d));
+  return static_cast<std::uint32_t>(r.value_or(0));
+}
+
+MsrDevice CpuPackage::make_device(int logical_cpu, MsrReadCost cost) {
+  return MsrDevice("/dev/cpu/" + std::to_string(logical_cpu) + "/msr", msrs_, cost);
+}
+
+void CpuPackage::set_power_limit(const PowerLimit& limit) {
+  msrs_.write(kMsrPkgPowerLimit, encode_power_limit(limit, config_.units));
+}
+
+PowerLimit CpuPackage::power_limit() const {
+  return decode_power_limit(msrs_.read(kMsrPkgPowerLimit).value_or(0), config_.units);
+}
+
+}  // namespace envmon::rapl

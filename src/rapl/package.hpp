@@ -1,0 +1,93 @@
+#pragma once
+// The CPU package model behind the RAPL interface.
+//
+// "The circuitry of the chip is capable of providing estimated energy
+// consumption based on hardware counters" (paper §II-B).  We model each
+// RAPL domain as an energy integrator over the package's true power:
+//
+//   * counters hold 32 bits of energy in units of 1/2^ESU J (default
+//     15.26 uJ) and silently wrap — the "overfill" that corrupts
+//     measurements when sampled less often than ~every minute;
+//   * the visible counter value refreshes on an internal ~1 ms cadence
+//     with +/-50,000-cycle jitter (few updates deviate beyond 100,000
+//     cycles — the accuracy analysis the paper cites);
+//   * scope is the whole socket: PKG, PP0 (cores), PP1 (client uncore
+//     device), DRAM.  No per-core counters exist, which is the paper's
+//     "biggest limitation" of RAPL.
+//
+// Registers are materialized lazily: the emulated msr device calls
+// refresh() before serving a read, computing the exact analytic energy
+// integral at the most recent internal update instant.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "power/component.hpp"
+#include "rapl/msr.hpp"
+#include "rapl/registers.hpp"
+#include "sim/engine.hpp"
+
+namespace envmon::rapl {
+
+struct PackageConfig {
+  // Core plane (PP0), driven by cpu_core utilization.
+  power::RailModel cores{Watts{1.6}, Watts{42.0}, Volts{1.0}};
+  // Client uncore plane (PP1) — zero on server parts (Table II's note
+  // that PP1 is "not useful in server platforms").
+  power::RailModel pp1{Watts{0.0}, Watts{0.0}, Volts{1.0}};
+  // Non-PP0/PP1 package logic (LLC, memory controller, IO), driven by
+  // DRAM-side utilization.
+  power::RailModel uncore{Watts{1.9}, Watts{6.5}, Volts{1.0}};
+  // DRAM DIMMs, driven by dram utilization.
+  power::RailModel dram{Watts{1.3}, Watts{9.5}, Volts{1.35}};
+
+  PowerUnits units{};
+  double frequency_ghz = 2.6;  // converts the cycle jitter to time
+  sim::Duration counter_update_period = sim::Duration::micros(976);
+  // Update-instant jitter in cycles (uniform in +/- this).
+  double update_jitter_cycles = 50'000.0;
+  std::uint64_t seed = 0xc0ffee;
+};
+
+class CpuPackage {
+ public:
+  CpuPackage(sim::Engine& engine, PackageConfig config = {});
+
+  // Attach a workload (per-rail utilization) starting at `start`.
+  void run_workload(const power::UtilizationProfile* profile, sim::SimTime start) {
+    model_.run_workload(profile, start);
+  }
+
+  // --- ground truth (what a perfect external meter would see) ---
+  [[nodiscard]] Watts domain_power(RaplDomain d, sim::SimTime t) const;
+  [[nodiscard]] Joules domain_energy_since_start(RaplDomain d, sim::SimTime t) const;
+
+  // --- the emulated hardware surface ---
+  // Creates the /dev/cpu/<cpu>/msr device for one logical CPU.  All
+  // logical CPUs resolve to this package's registers.
+  [[nodiscard]] MsrDevice make_device(int logical_cpu, MsrReadCost cost = {});
+
+  // Materializes the registers as of the last internal update <= now.
+  void refresh(sim::SimTime now);
+
+  // Raw 32-bit counter view after refresh (test hook).
+  [[nodiscard]] std::uint32_t raw_counter(RaplDomain d) const;
+
+  // Power-limit plumbing (get/set, Table I's "Get/Set Power Limit" row).
+  void set_power_limit(const PowerLimit& limit);
+  [[nodiscard]] PowerLimit power_limit() const;
+
+  [[nodiscard]] const PackageConfig& config() const { return config_; }
+  [[nodiscard]] MsrFile& msr_file() { return msrs_; }
+
+ private:
+  // The update instant grid: instant k is k*period + jitter(k).
+  [[nodiscard]] sim::SimTime latest_update_instant(sim::SimTime now) const;
+
+  sim::Engine* engine_;
+  PackageConfig config_;
+  power::DevicePowerModel model_;
+  MsrFile msrs_;
+};
+
+}  // namespace envmon::rapl

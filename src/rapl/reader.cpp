@@ -1,0 +1,70 @@
+#include "rapl/reader.hpp"
+
+namespace envmon::rapl {
+
+Joules EnergyAccountant::advance(std::uint32_t raw) {
+  Joules delta{};
+  if (last_) {
+    std::uint64_t diff;
+    if (raw >= *last_) {
+      diff = raw - *last_;
+    } else {
+      diff = (1ULL << 32) - *last_ + raw;  // assume exactly one wrap
+      ++wraps_;
+    }
+    delta = Joules{static_cast<double>(diff) * unit_};
+    total_ += delta;
+  }
+  last_ = raw;
+  return delta;
+}
+
+MsrRaplReader::MsrRaplReader(CpuPackage& package, Credentials creds, int logical_cpu,
+                             MsrReadCost cost)
+    : package_(&package), device_(package.make_device(logical_cpu, cost)), creds_(creds) {}
+
+void MsrRaplReader::allow_unprivileged_read() {
+  device_.set_mode(DeviceMode{true, true, true});
+}
+
+Result<PowerUnits> MsrRaplReader::read_units() {
+  if (units_) return *units_;
+  auto raw = device_.pread(kMsrRaplPowerUnit, creds_, &meter_);
+  if (!raw) return raw.status();
+  units_ = PowerUnits::decode(raw.value());
+  return *units_;
+}
+
+Result<EnergySample> MsrRaplReader::read_energy(RaplDomain domain, sim::SimTime now) {
+  auto units = read_units();
+  if (!units) return units.status();
+  package_->refresh(now);  // hardware updates continuously; materialize
+  auto raw = device_.pread(energy_status_msr(domain), creds_, &meter_);
+  if (!raw) return raw.status();
+  const auto counter = static_cast<std::uint32_t>(raw.value());
+  return EnergySample{
+      Joules{static_cast<double>(counter) * units.value().joules_per_unit()},
+      counter,
+      now,
+  };
+}
+
+Result<PerfRaplReader> PerfRaplReader::open(CpuPackage& package, KernelVersion kernel,
+                                            sim::Duration per_read_cost) {
+  if (!kernel.has_rapl_perf()) {
+    return Status(StatusCode::kUnavailable,
+                  "perf_event RAPL support requires Linux >= 3.14 (running " +
+                      std::to_string(kernel.major) + "." + std::to_string(kernel.minor) + ")");
+  }
+  return PerfRaplReader(package, per_read_cost);
+}
+
+Result<Joules> PerfRaplReader::read_energy(RaplDomain domain, sim::SimTime now) {
+  meter_.charge(per_read_);
+  // The kernel side reads the MSR on our behalf and extends to 64 bits;
+  // the exact analytic integral at the latest update instant models that.
+  package_->refresh(now);
+  return package_->domain_energy_since_start(domain, now);
+}
+
+}  // namespace envmon::rapl

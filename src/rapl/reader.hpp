@@ -1,0 +1,107 @@
+#pragma once
+// Userspace RAPL readers.
+//
+// Two access paths exist (paper §II-B):
+//   * the msr driver: read the energy-status MSRs directly from
+//     /dev/cpu/*/msr (root-only; ~0.03 ms per query; 32-bit counters
+//     that wrap — "overfill" — when sampled too rarely);
+//   * perf_event: kernel >= 3.14 exposes RAPL through perf; the kernel
+//     accumulates into 64 bits (no wraparound for the client) but each
+//     query crosses the kernel boundary, so per-query cost is higher —
+//     the paper expected this but had no new-enough kernel to measure.
+//
+// MsrRaplReader implements the first, PerfRaplReader the second, both
+// over the same CpuPackage model.
+
+#include <array>
+#include <optional>
+
+#include "common/status.hpp"
+#include "rapl/package.hpp"
+#include "sim/cost.hpp"
+
+namespace envmon::rapl {
+
+// Energy sample decoded to joules, plus the raw counter for diagnostics.
+struct EnergySample {
+  Joules energy{};          // decoded from the (possibly wrapped) counter
+  std::uint32_t raw = 0;
+  sim::SimTime at;
+};
+
+// Wrap-aware accumulation: turns successive 32-bit counter readings into
+// a monotonically increasing energy total.  If more than one wrap occurs
+// between readings the result silently undercounts — exactly the failure
+// mode the paper warns about for sampling intervals beyond ~60 s; the
+// ablation bench quantifies it.
+class EnergyAccountant {
+ public:
+  explicit EnergyAccountant(double joules_per_unit) : unit_(joules_per_unit) {}
+
+  // Feeds a raw counter reading; returns energy since the previous one.
+  Joules advance(std::uint32_t raw);
+
+  [[nodiscard]] Joules total() const { return total_; }
+  [[nodiscard]] std::uint64_t wraps_assumed() const { return wraps_; }
+
+ private:
+  double unit_;
+  std::optional<std::uint32_t> last_;
+  Joules total_{};
+  std::uint64_t wraps_ = 0;
+};
+
+class MsrRaplReader {
+ public:
+  // Opens the device for one logical CPU.  Fails kPermissionDenied at
+  // read time when the credentials cannot pass the device mode.
+  MsrRaplReader(CpuPackage& package, Credentials creds, int logical_cpu = 0,
+                MsrReadCost cost = {});
+
+  // Relax the device node for non-root read access (what an operator
+  // does with chmod so tools like MonEQ can run unprivileged).
+  void allow_unprivileged_read();
+
+  [[nodiscard]] Result<EnergySample> read_energy(RaplDomain domain, sim::SimTime now);
+  [[nodiscard]] Result<PowerUnits> read_units();
+
+  [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
+
+ private:
+  CpuPackage* package_;
+  MsrDevice device_;
+  Credentials creds_;
+  std::optional<PowerUnits> units_;
+  sim::CostMeter meter_;
+};
+
+struct KernelVersion {
+  int major = 3;
+  int minor = 13;  // one short of RAPL perf support, like the paper's testbed
+
+  [[nodiscard]] bool has_rapl_perf() const {
+    return major > 3 || (major == 3 && minor >= 14);
+  }
+};
+
+class PerfRaplReader {
+ public:
+  // Fails kUnavailable when the kernel predates 3.14.
+  static Result<PerfRaplReader> open(CpuPackage& package, KernelVersion kernel,
+                                     sim::Duration per_read_cost = sim::Duration::micros(250));
+
+  // perf accumulates in the kernel: 64-bit, no client-visible wrap.
+  [[nodiscard]] Result<Joules> read_energy(RaplDomain domain, sim::SimTime now);
+
+  [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
+
+ private:
+  PerfRaplReader(CpuPackage& package, sim::Duration per_read_cost)
+      : package_(&package), per_read_(per_read_cost) {}
+
+  CpuPackage* package_;
+  sim::Duration per_read_;
+  sim::CostMeter meter_;
+};
+
+}  // namespace envmon::rapl

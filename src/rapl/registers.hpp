@@ -1,0 +1,101 @@
+#pragma once
+// Intel RAPL model-specific register addresses and bitfield layouts
+// (Intel SDM vol. 3B, ch. 14.9 — the paper's reference [10]).
+
+#include <cstdint>
+
+namespace envmon::rapl {
+
+// MSR addresses (Sandy Bridge and later).
+inline constexpr std::uint32_t kMsrRaplPowerUnit = 0x606;
+inline constexpr std::uint32_t kMsrPkgPowerLimit = 0x610;
+inline constexpr std::uint32_t kMsrPkgEnergyStatus = 0x611;
+inline constexpr std::uint32_t kMsrPkgPowerInfo = 0x614;
+inline constexpr std::uint32_t kMsrDramEnergyStatus = 0x619;
+inline constexpr std::uint32_t kMsrPp0EnergyStatus = 0x639;
+inline constexpr std::uint32_t kMsrPp1EnergyStatus = 0x641;
+
+// MSR_RAPL_POWER_UNIT fields: power unit = 1/2^PU W (bits 3:0), energy
+// unit = 1/2^ESU J (bits 12:8), time unit = 1/2^TU s (bits 19:16).
+struct PowerUnits {
+  unsigned power_exp = 3;    // 1/8 W
+  unsigned energy_exp = 16;  // 15.26 uJ — the granularity the paper cites
+  unsigned time_exp = 10;    // ~0.98 ms
+
+  [[nodiscard]] double watts_per_unit() const { return 1.0 / static_cast<double>(1u << power_exp); }
+  [[nodiscard]] double joules_per_unit() const {
+    return 1.0 / static_cast<double>(1u << energy_exp);
+  }
+  [[nodiscard]] double seconds_per_unit() const {
+    return 1.0 / static_cast<double>(1u << time_exp);
+  }
+
+  [[nodiscard]] std::uint64_t encode() const {
+    return (static_cast<std::uint64_t>(power_exp) & 0xf) |
+           ((static_cast<std::uint64_t>(energy_exp) & 0x1f) << 8) |
+           ((static_cast<std::uint64_t>(time_exp) & 0xf) << 16);
+  }
+  [[nodiscard]] static PowerUnits decode(std::uint64_t raw) {
+    PowerUnits u;
+    u.power_exp = static_cast<unsigned>(raw & 0xf);
+    u.energy_exp = static_cast<unsigned>((raw >> 8) & 0x1f);
+    u.time_exp = static_cast<unsigned>((raw >> 16) & 0xf);
+    return u;
+  }
+};
+
+// The RAPL domains of Table II.
+enum class RaplDomain : std::uint8_t {
+  kPackage = 0,  // PKG: whole CPU package
+  kPp0,          // Power Plane 0: processor cores
+  kPp1,          // Power Plane 1: uncore device (integrated GPU)
+  kDram,         // sum of the socket's DIMM power
+};
+
+inline constexpr std::size_t kRaplDomainCount = 4;
+
+[[nodiscard]] constexpr const char* to_string(RaplDomain d) {
+  switch (d) {
+    case RaplDomain::kPackage: return "PKG";
+    case RaplDomain::kPp0: return "PP0";
+    case RaplDomain::kPp1: return "PP1";
+    case RaplDomain::kDram: return "DRAM";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* description(RaplDomain d) {
+  switch (d) {
+    case RaplDomain::kPackage: return "Whole CPU package.";
+    case RaplDomain::kPp0: return "Processor cores.";
+    case RaplDomain::kPp1:
+      return "The power plane of a specific device in the uncore (such as a "
+             "integrated GPU--not useful in server platforms).";
+    case RaplDomain::kDram: return "Sum of socket's DIMM power(s).";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::uint32_t energy_status_msr(RaplDomain d) {
+  switch (d) {
+    case RaplDomain::kPackage: return kMsrPkgEnergyStatus;
+    case RaplDomain::kPp0: return kMsrPp0EnergyStatus;
+    case RaplDomain::kPp1: return kMsrPp1EnergyStatus;
+    case RaplDomain::kDram: return kMsrDramEnergyStatus;
+  }
+  return 0;
+}
+
+// MSR_PKG_POWER_LIMIT: two power limits with enable bits and time
+// windows.  We model limit #1 only (bits 14:0 power, 15 enable, 23:17
+// time window).
+struct PowerLimit {
+  double watts = 0.0;
+  double window_seconds = 0.0;
+  bool enabled = false;
+};
+
+[[nodiscard]] std::uint64_t encode_power_limit(const PowerLimit& limit, const PowerUnits& units);
+[[nodiscard]] PowerLimit decode_power_limit(std::uint64_t raw, const PowerUnits& units);
+
+}  // namespace envmon::rapl

@@ -1,0 +1,315 @@
+#include "scenarios/scenarios.hpp"
+
+#include <map>
+
+#include "analysis/series_ops.hpp"
+#include "bgq/emon.hpp"
+#include "bgq/env_monitor.hpp"
+#include "bgq/machine.hpp"
+#include "ipmi/bmc.hpp"
+#include "mic/card.hpp"
+#include "mic/micras.hpp"
+#include "mic/smc.hpp"
+#include "mic/sysmgmt.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/backend_rapl.hpp"
+#include "nvml/api.hpp"
+#include "rapl/reader.hpp"
+#include "tsdb/database.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon::scenarios {
+
+namespace {
+
+// Throws on failure: scenario assembly errors are programming errors in
+// the harness, not conditions a bench should handle.
+void check(const Status& s, const char* what) {
+  if (!s.is_ok()) throw std::runtime_error(std::string(what) + ": " + s.to_string());
+}
+
+}  // namespace
+
+BgqRunResult run_bgq_mmps(const BgqMmpsOptions& options) {
+  sim::Engine engine;
+  bgq::BgqMachine machine;  // one rack
+  tsdb::EnvDatabase db;
+
+  auto monitor =
+      bgq::EnvMonitor::create(engine, machine, db,
+                              bgq::EnvMonitorOptions{options.env_poll_interval, 0x1234, false});
+  if (!monitor.is_ok()) throw std::runtime_error(monitor.status().to_string());
+  monitor.value()->start();
+
+  // The job starts after an idle margin (so Fig 1 shows the idle floor).
+  const auto workload = workloads::mmps({options.job_duration, 6});
+  const sim::SimTime job_start = sim::SimTime::zero() + options.idle_margin;
+  machine.run_workload(&workload, job_start, 0, options.job_boards);
+
+  // MonEQ profiles one node board, job time only (it runs with the job).
+  bgq::EmonSession emon(machine.board(0));
+  moneq::BgqBackend backend(emon);
+  smpi::World world(32);  // one rank per node of the board
+  moneq::NodeProfiler profiler(engine, world, 0);
+  check(profiler.add_backend(backend), "add_backend");
+  check(profiler.set_polling_interval(options.moneq_interval), "set_polling_interval");
+
+  engine.run_until(job_start);
+  check(profiler.initialize(), "MonEQ_Initialize");
+  engine.run_until(job_start + options.job_duration);
+  smpi::FileSystemModel fs;
+  check(profiler.finalize(&fs, nullptr), "MonEQ_Finalize");
+
+  // Let the environmental monitor record the idle tail as well.
+  engine.run_until(job_start + options.job_duration + options.idle_margin);
+
+  BgqRunResult result;
+  result.job_duration = options.job_duration;
+  result.moneq_overhead = profiler.overhead();
+
+  for (const auto& rec : db.query({std::nullopt, std::string(bgq::kMetricBpmInputPower),
+                                   std::nullopt, std::nullopt})) {
+    result.bpm_input_power.push_back(TracePoint{rec.timestamp, rec.value});
+  }
+
+  // Regroup MonEQ's samples into per-domain power series, relative to
+  // the job start (Fig 2's x-axis is seconds since launch).
+  std::map<std::string, std::vector<TracePoint>> by_domain;
+  for (const auto& s : profiler.samples()) {
+    if (s.quantity != moneq::Quantity::kPowerWatts) continue;
+    by_domain[s.domain].push_back(
+        TracePoint{sim::SimTime::zero() + (s.t - job_start), s.value});
+  }
+  for (auto& [name, points] : by_domain) {
+    result.moneq_domains.push_back(DomainSeries{name, std::move(points)});
+  }
+  return result;
+}
+
+MoneqOverheadRow run_moneq_overhead(int nodes, sim::Duration app_runtime) {
+  sim::Engine engine;
+  bgq::Topology topo;
+  topo.racks = std::max(1, nodes / 1024);
+  bgq::BgqMachine machine(topo);
+
+  // The toy application runs for the same wall time at every scale.
+  const auto workload = workloads::dgemm({app_runtime, 0.9, 0.5});
+  machine.run_workload(&workload, engine.now());
+
+  bgq::EmonSession emon(machine.board(0));
+  moneq::BgqBackend backend(emon);
+  smpi::World world(nodes);
+  moneq::NodeProfiler profiler(engine, world, 0);
+  check(profiler.add_backend(backend), "add_backend");
+  // Most frequent interval possible on BG/Q: the 560 ms EMON generation.
+  check(profiler.initialize(), "MonEQ_Initialize");
+  engine.run_until(engine.now() + app_runtime);
+  smpi::FileSystemModel fs;
+  check(profiler.finalize(&fs, nullptr), "MonEQ_Finalize");
+
+  const auto report = profiler.overhead();
+  MoneqOverheadRow row;
+  row.nodes = nodes;
+  row.app_runtime_s = app_runtime.to_seconds();
+  row.init_s = report.initialize.to_seconds();
+  row.finalize_s = report.finalize.to_seconds();
+  row.collection_s = report.collection.to_seconds();
+  row.total_s = report.total().to_seconds();
+  return row;
+}
+
+RaplGaussResult run_rapl_gauss(const RaplGaussOptions& options) {
+  sim::Engine engine;
+  rapl::CpuPackage package(engine);
+  const auto workload = workloads::gaussian_elimination({options.workload,
+                                                         sim::Duration::from_seconds(3.0),
+                                                         sim::Duration::from_seconds(0.5),
+                                                         sim::Duration::from_seconds(0.15),
+                                                         0.14});
+  package.run_workload(&workload, sim::SimTime::zero() + options.idle_lead);
+
+  rapl::MsrRaplReader reader(package, rapl::Credentials{true, 0});
+  rapl::EnergyAccountant pkg_energy(package.config().units.joules_per_unit());
+
+  RaplGaussResult result;
+  const sim::SimTime end =
+      sim::SimTime::zero() + options.idle_lead + options.workload + options.idle_tail;
+  std::optional<sim::SimTime> last_t;
+  sim::TimerHandle timer = engine.schedule_periodic(options.sampling, [&] {
+    const sim::SimTime now = engine.now();
+    auto sample = reader.read_energy(rapl::RaplDomain::kPackage, now);
+    if (!sample) return;
+    const Joules delta = pkg_energy.advance(sample.value().raw);
+    if (last_t) {
+      const double dt = (now - *last_t).to_seconds();
+      if (dt > 0.0) {
+        result.pkg_power.push_back(TracePoint{now, delta.value() / dt});
+      }
+    }
+    last_t = now;
+  });
+  engine.run_until(end);
+  timer.cancel();
+
+  result.mean_query_cost_ms = reader.cost().mean_per_query().to_millis();
+  return result;
+}
+
+namespace {
+
+NvmlRunResult run_nvml_profile(const power::UtilizationProfile& workload,
+                               sim::Duration total) {
+  sim::Engine engine;
+  nvml::NvmlLibrary library(engine);
+  library.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  if (library.init() != nvml::NvmlReturn::kSuccess) {
+    throw std::runtime_error("nvmlInit failed");
+  }
+  nvml::NvmlDeviceHandle handle;
+  if (library.device_get_handle_by_index(0, &handle) != nvml::NvmlReturn::kSuccess) {
+    throw std::runtime_error("nvmlDeviceGetHandleByIndex failed");
+  }
+  library.device_for_testing(0)->run_workload(&workload, sim::SimTime::zero());
+
+  NvmlRunResult result;
+  sim::TimerHandle timer =
+      engine.schedule_periodic(sim::Duration::millis(100), [&] {  // Fig 4/5 capture rate
+        unsigned mw = 0;
+        if (library.device_get_power_usage(handle, &mw) == nvml::NvmlReturn::kSuccess) {
+          result.board_power.push_back(
+              TracePoint{engine.now(), static_cast<double>(mw) / 1000.0});
+        }
+        unsigned celsius = 0;
+        if (library.device_get_temperature(handle, nvml::TemperatureSensor::kGpuDie,
+                                           &celsius) == nvml::NvmlReturn::kSuccess) {
+          result.die_temp.push_back(TracePoint{engine.now(), static_cast<double>(celsius)});
+        }
+      });
+  engine.run_until(sim::SimTime::zero() + total);
+  timer.cancel();
+  result.mean_query_cost_ms = library.cost().mean_per_query().to_millis();
+  return result;
+}
+
+}  // namespace
+
+NvmlRunResult run_nvml_noop(sim::Duration total) {
+  const auto workload = workloads::gpu_noop({total});
+  return run_nvml_profile(workload, total);
+}
+
+NvmlRunResult run_nvml_vecadd(sim::Duration compute) {
+  workloads::GpuVectorAddOptions options;
+  options.compute = compute;
+  const auto workload = workloads::gpu_vector_add(options);
+  return run_nvml_profile(workload, workload.total_duration() + sim::Duration::seconds(2));
+}
+
+PhiNoopResult run_phi_noop(PhiCollector collector, sim::Duration total,
+                           sim::Duration interval) {
+  sim::Engine engine;
+  mic::PhiCard card(engine);
+  const auto workload = workloads::noop_busyloop(total);
+  card.run_workload(&workload, sim::SimTime::zero());
+
+  PhiNoopResult result;
+  sim::CostMeter meter;
+
+  mic::ScifNetwork network;
+  const mic::ScifNodeId card_node = 1;
+  mic::SysMgmtService service(card, network, card_node);
+  mic::MicrasDaemon daemon(card);
+  daemon.start();
+  ipmi::Bmc bmc;
+  mic::Smc smc(card);
+  smc.attach_to_bmc(bmc);
+  ipmi::IpmbClient ipmb(bmc, 0x81);
+
+  std::optional<mic::SysMgmtClient> api_client;
+  if (collector == PhiCollector::kInbandApi) {
+    auto client = mic::SysMgmtClient::connect(network, card_node);
+    if (!client.is_ok()) throw std::runtime_error(client.status().to_string());
+    api_client.emplace(std::move(client).value());
+  }
+
+  sim::TimerHandle timer = engine.schedule_periodic(interval, [&] {
+    switch (collector) {
+      case PhiCollector::kInbandApi: {
+        if (auto p = api_client->power(engine.now()); p) {
+          result.power_samples.push_back(p.value().value());
+        }
+        break;
+      }
+      case PhiCollector::kMicrasDaemon: {
+        if (auto text = daemon.read_file(mic::kPowerFile, engine.now(), &meter); text) {
+          if (auto p = mic::parse_power_file(text.value()); p) {
+            result.power_samples.push_back(p.value().total.value());
+          }
+        }
+        break;
+      }
+      case PhiCollector::kOutOfBandIpmb: {
+        if (auto p = ipmb.read_sensor(smc, mic::kSmcSensorPower); p) {
+          result.power_samples.push_back(p.value());
+        }
+        break;
+      }
+    }
+  });
+  // Skip the initial warm-up so the distribution reflects steady state.
+  engine.run_until(sim::SimTime::zero() + sim::Duration::seconds(5));
+  result.power_samples.clear();
+  engine.run_until(sim::SimTime::zero() + total);
+  timer.cancel();
+
+  if (collector == PhiCollector::kInbandApi && api_client) {
+    result.mean_query_cost_ms = api_client->cost().mean_per_query().to_millis();
+  } else if (collector == PhiCollector::kMicrasDaemon) {
+    result.mean_query_cost_ms = meter.mean_per_query().to_millis();
+  }
+  return result;
+}
+
+PhiStampedeResult run_phi_stampede_gauss(int cards) {
+  sim::Engine engine;
+  const auto workload = workloads::offload_gauss({});
+  const sim::Duration total = workload.total_duration();
+
+  std::vector<std::unique_ptr<mic::PhiCard>> fleet;
+  std::vector<std::unique_ptr<mic::MicrasDaemon>> daemons;
+  fleet.reserve(static_cast<std::size_t>(cards));
+  for (int i = 0; i < cards; ++i) {
+    mic::PhiPowerConfig config;
+    // Stampede's cards idle in a deeper package state while the hosts
+    // generate data; per-card seeds decorrelate sensor noise.
+    config.cores = power::RailModel{Watts{32.0}, Watts{150.0}, Volts{1.0}};
+    config.seed = 0x9d11u + static_cast<std::uint64_t>(i) * 7919u;
+    auto card = std::make_unique<mic::PhiCard>(engine, mic::PhiSpec{}, config);
+    card->run_workload(&workload, sim::SimTime::zero());
+    daemons.push_back(std::make_unique<mic::MicrasDaemon>(*card));
+    daemons.back()->start();
+    fleet.push_back(std::move(card));
+  }
+
+  std::vector<std::vector<TracePoint>> per_card(fleet.size());
+  sim::TimerHandle timer = engine.schedule_periodic(sim::Duration::millis(500), [&] {
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (auto text = daemons[i]->read_file(mic::kPowerFile, engine.now()); text) {
+        if (auto p = mic::parse_power_file(text.value()); p) {
+          per_card[i].push_back(TracePoint{engine.now(), p.value().total.value()});
+        }
+      }
+    }
+  });
+  engine.run_until(sim::SimTime::zero() + total);
+  timer.cancel();
+
+  PhiStampedeResult result;
+  result.cards = cards;
+  result.sum_power = analysis::sum_series(per_card);
+  return result;
+}
+
+}  // namespace envmon::scenarios

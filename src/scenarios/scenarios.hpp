@@ -1,0 +1,107 @@
+#pragma once
+// End-to-end experiment assemblies.
+//
+// Each function stands up one of the paper's measurement scenarios on
+// the simulated substrate and returns the resulting series/reports.
+// The bench harness renders them as the corresponding table or figure;
+// the integration tests assert their shapes; the examples narrate them.
+
+#include <string>
+#include <vector>
+
+#include "moneq/profiler.hpp"
+#include "sim/trace.hpp"
+
+namespace envmon::scenarios {
+
+using sim::TracePoint;
+
+// ---------------------------------------------------------------- BG/Q --
+
+struct BgqMmpsOptions {
+  sim::Duration job_duration = sim::Duration::seconds(1500);
+  sim::Duration idle_margin = sim::Duration::seconds(300);
+  sim::Duration env_poll_interval = sim::Duration::seconds(302);
+  sim::Duration moneq_interval = sim::Duration::millis(560);
+  // How many node boards the job occupies (SIZE_MAX = the whole rack).
+  // MonEQ always profiles board 0, which must be inside the job.
+  std::size_t job_boards = SIZE_MAX;
+};
+
+struct DomainSeries {
+  std::string name;
+  std::vector<TracePoint> points;
+};
+
+struct BgqRunResult {
+  std::vector<TracePoint> bpm_input_power;       // env DB view (Fig 1)
+  std::vector<DomainSeries> moneq_domains;       // EMON/MonEQ view (Fig 2)
+  moneq::OverheadReport moneq_overhead;
+  sim::Duration job_duration;
+};
+
+[[nodiscard]] BgqRunResult run_bgq_mmps(const BgqMmpsOptions& options = {});
+
+// Table III: the fixed-runtime toy application at several scales.
+struct MoneqOverheadRow {
+  int nodes = 0;
+  double app_runtime_s = 0.0;
+  double init_s = 0.0;
+  double finalize_s = 0.0;
+  double collection_s = 0.0;
+  double total_s = 0.0;
+};
+[[nodiscard]] MoneqOverheadRow run_moneq_overhead(int nodes,
+                                                  sim::Duration app_runtime =
+                                                      sim::Duration::from_seconds(202.74));
+
+// ---------------------------------------------------------------- RAPL --
+
+struct RaplGaussOptions {
+  sim::Duration idle_lead = sim::Duration::seconds(8);
+  sim::Duration workload = sim::Duration::seconds(50);
+  sim::Duration idle_tail = sim::Duration::seconds(10);
+  sim::Duration sampling = sim::Duration::millis(100);  // Fig 3's capture rate
+};
+
+struct RaplGaussResult {
+  std::vector<TracePoint> pkg_power;  // Fig 3
+  double mean_query_cost_ms = 0.0;
+};
+[[nodiscard]] RaplGaussResult run_rapl_gauss(const RaplGaussOptions& options = {});
+
+// ---------------------------------------------------------------- NVML --
+
+struct NvmlRunResult {
+  std::vector<TracePoint> board_power;  // Figs 4/5
+  std::vector<TracePoint> die_temp;     // Fig 5 right axis
+  double mean_query_cost_ms = 0.0;
+};
+
+// Fig 4: NOOP kernels on a K20, sampled at 100 ms.
+[[nodiscard]] NvmlRunResult run_nvml_noop(sim::Duration total = sim::Duration::from_seconds(12.5));
+
+// Fig 5: vector add (10 s host generation, transfer, long compute).
+[[nodiscard]] NvmlRunResult run_nvml_vecadd(sim::Duration compute = sim::Duration::seconds(88));
+
+// ----------------------------------------------------------------- Phi --
+
+enum class PhiCollector { kInbandApi, kMicrasDaemon, kOutOfBandIpmb };
+
+struct PhiNoopResult {
+  std::vector<double> power_samples;  // Fig 7 distribution
+  double mean_query_cost_ms = 0.0;
+};
+[[nodiscard]] PhiNoopResult run_phi_noop(PhiCollector collector,
+                                         sim::Duration total = sim::Duration::seconds(120),
+                                         sim::Duration interval = sim::Duration::millis(500));
+
+// Fig 8: Gaussian elimination offloaded to `cards` Xeon Phis; returns the
+// summed card power.
+struct PhiStampedeResult {
+  std::vector<TracePoint> sum_power;
+  int cards = 0;
+};
+[[nodiscard]] PhiStampedeResult run_phi_stampede_gauss(int cards = 128);
+
+}  // namespace envmon::scenarios

@@ -1,0 +1,107 @@
+#include "sched/pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace envmon::sched {
+
+namespace {
+constexpr double kHoursPerDay = 24.0;
+
+double hour_of_day(sim::SimTime t) {
+  const double hours = t.to_seconds() / 3600.0;
+  return hours - std::floor(hours / kHoursPerDay) * kHoursPerDay;
+}
+}  // namespace
+
+Result<ElectricityPricing> ElectricityPricing::create(std::vector<TariffPeriod> periods) {
+  if (periods.empty()) {
+    return Status(StatusCode::kInvalidArgument, "tariff needs at least one period");
+  }
+  if (periods.front().start_hour != 0.0) {
+    return Status(StatusCode::kInvalidArgument, "first tariff period must start at hour 0");
+  }
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    if (periods[i].start_hour < 0.0 || periods[i].start_hour >= kHoursPerDay) {
+      return Status(StatusCode::kInvalidArgument, "tariff start hour outside [0,24)");
+    }
+    if (i > 0 && periods[i].start_hour <= periods[i - 1].start_hour) {
+      return Status(StatusCode::kInvalidArgument, "tariff periods must be ascending");
+    }
+    if (periods[i].usd_per_mwh < 0.0) {
+      return Status(StatusCode::kInvalidArgument, "negative price");
+    }
+  }
+  return ElectricityPricing(std::move(periods));
+}
+
+ElectricityPricing ElectricityPricing::default_day_ahead() {
+  auto pricing = create({
+      {0.0, 34.0, "off-peak"},
+      {6.0, 88.0, "on-peak"},
+      {22.0, 34.0, "off-peak"},
+  });
+  return pricing.value();
+}
+
+std::size_t ElectricityPricing::period_index(double hour) const {
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < periods_.size(); ++i) {
+    if (periods_[i].start_hour <= hour) idx = i;
+  }
+  return idx;
+}
+
+const TariffPeriod& ElectricityPricing::period_at(sim::SimTime t) const {
+  return periods_[period_index(hour_of_day(t))];
+}
+
+double ElectricityPricing::usd_per_mwh_at(sim::SimTime t) const {
+  return period_at(t).usd_per_mwh;
+}
+
+bool ElectricityPricing::is_peak_at(sim::SimTime t) const {
+  // "Peak" = the most expensive rate in the tariff.
+  double max_rate = 0.0;
+  for (const auto& p : periods_) max_rate = std::max(max_rate, p.usd_per_mwh);
+  return usd_per_mwh_at(t) >= max_rate;
+}
+
+double ElectricityPricing::cost_usd(double watts, sim::SimTime t0, sim::SimTime t1) const {
+  if (t1 <= t0 || watts <= 0.0) return 0.0;
+  // Step through period boundaries.
+  double cost = 0.0;
+  sim::SimTime cursor = t0;
+  while (cursor < t1) {
+    const double hour = hour_of_day(cursor);
+    const std::size_t idx = period_index(hour);
+    const double next_boundary_hour =
+        idx + 1 < periods_.size() ? periods_[idx + 1].start_hour : kHoursPerDay;
+    const double hours_left_in_period = next_boundary_hour - hour;
+    const sim::SimTime period_end =
+        cursor + sim::Duration::from_seconds(hours_left_in_period * 3600.0);
+    const sim::SimTime seg_end = std::min(period_end, t1);
+    const double mwh = watts * 1e-6 * (seg_end - cursor).to_seconds() / 3600.0;
+    cost += mwh * periods_[idx].usd_per_mwh;
+    if (seg_end == cursor) break;  // defensive: avoid infinite loop
+    cursor = seg_end;
+  }
+  return cost;
+}
+
+sim::SimTime ElectricityPricing::next_cheaper_time(sim::SimTime t) const {
+  const double now_rate = usd_per_mwh_at(t);
+  sim::SimTime cursor = t;
+  const sim::SimTime horizon = t + sim::Duration::from_seconds(kHoursPerDay * 3600.0);
+  while (cursor < horizon) {
+    const double hour = hour_of_day(cursor);
+    const std::size_t idx = period_index(hour);
+    const double next_boundary_hour =
+        idx + 1 < periods_.size() ? periods_[idx + 1].start_hour : kHoursPerDay;
+    cursor = cursor + sim::Duration::from_seconds((next_boundary_hour - hour) * 3600.0);
+    if (usd_per_mwh_at(cursor) < now_rate) return cursor;
+  }
+  return t;  // no cheaper period exists (flat tariff)
+}
+
+}  // namespace envmon::sched

@@ -1,0 +1,54 @@
+#pragma once
+// Dynamic electricity pricing.
+//
+// The paper's motivation (§I) cites the authors' SC'13 work "Integrating
+// dynamic pricing of electricity into energy aware scheduling for HPC
+// systems", which used BG/Q power data to cut the electricity bill by up
+// to 23%.  This models the price signal: a repeating daily tariff of
+// named periods, each with a $/MWh rate.
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::sched {
+
+struct TariffPeriod {
+  double start_hour = 0.0;  // within the day, [0, 24)
+  double usd_per_mwh = 0.0;
+  std::string name;         // "off-peak", "on-peak", ...
+};
+
+class ElectricityPricing {
+ public:
+  // Periods must be sorted by start_hour, first at 0.0.
+  static Result<ElectricityPricing> create(std::vector<TariffPeriod> periods);
+
+  // A typical day-ahead shape: off-peak until 6h, on-peak 6-22h, off-peak
+  // after (rates roughly matching mid-2010s PJM averages).
+  [[nodiscard]] static ElectricityPricing default_day_ahead();
+
+  [[nodiscard]] double usd_per_mwh_at(sim::SimTime t) const;
+  [[nodiscard]] const TariffPeriod& period_at(sim::SimTime t) const;
+  [[nodiscard]] bool is_peak_at(sim::SimTime t) const;
+
+  // Cost of drawing `watts` continuously over [t0, t1), integrating the
+  // tariff exactly across period boundaries.
+  [[nodiscard]] double cost_usd(double watts, sim::SimTime t0, sim::SimTime t1) const;
+
+  // Next instant at or after t where the price becomes cheaper than at t
+  // (used by deferring schedulers).  Never more than one day ahead.
+  [[nodiscard]] sim::SimTime next_cheaper_time(sim::SimTime t) const;
+
+ private:
+  explicit ElectricityPricing(std::vector<TariffPeriod> periods)
+      : periods_(std::move(periods)) {}
+
+  [[nodiscard]] std::size_t period_index(double hour_of_day) const;
+
+  std::vector<TariffPeriod> periods_;
+};
+
+}  // namespace envmon::sched

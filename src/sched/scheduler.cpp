@@ -1,0 +1,123 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+namespace envmon::sched {
+
+Scheduler::Scheduler(sim::Engine& engine, ElectricityPricing pricing,
+                     SchedulerOptions options)
+    : engine_(&engine), pricing_(std::move(pricing)), options_(options) {}
+
+Status Scheduler::submit(Job job) {
+  if (job.boards <= 0 || job.boards > options_.total_boards) {
+    return Status(StatusCode::kInvalidArgument,
+                  "job requests " + std::to_string(job.boards) + " of " +
+                      std::to_string(options_.total_boards) + " boards");
+  }
+  if (job.duration.ns() <= 0) {
+    return Status(StatusCode::kInvalidArgument, "job duration must be positive");
+  }
+  if (job.submit < engine_->now()) {
+    return Status(StatusCode::kInvalidArgument, "job submitted in the past");
+  }
+  ++pending_;
+  engine_->schedule_at(job.submit, [this, job] {
+    queue_.push_back(job);
+    try_start_jobs();
+  });
+  return Status::ok();
+}
+
+bool Scheduler::power_budget_allows(const Job& job) const {
+  if (options_.policy != Policy::kPowerAware) return true;
+  if (!pricing_.is_peak_at(engine_->now())) return true;
+  const double projected =
+      jobs_power_watts_ + job.watts_per_board * static_cast<double>(job.boards);
+  return projected <= options_.peak_power_budget_watts;
+}
+
+void Scheduler::try_start_jobs() {
+  // Strict FIFO: the head blocks the queue (no backfill), which keeps
+  // the policy comparison clean.
+  bool deferred_for_power = false;
+  while (!queue_.empty()) {
+    const Job& head = queue_.front();
+    if (head.boards > options_.total_boards - boards_in_use_) break;
+    if (!power_budget_allows(head)) {
+      deferred_for_power = true;
+      break;
+    }
+    start_job(head);
+    queue_.pop_front();
+  }
+  if (deferred_for_power && !retry_timer_.active()) {
+    // Wake when the tariff next gets cheaper and re-evaluate.
+    const sim::SimTime retry = pricing_.next_cheaper_time(engine_->now());
+    if (retry > engine_->now()) {
+      retry_timer_ = engine_->schedule_at(retry, [this] {
+        retry_timer_.cancel();
+        try_start_jobs();
+      });
+    }
+  }
+}
+
+void Scheduler::start_job(const Job& job) {
+  const sim::SimTime start = engine_->now();
+  const sim::SimTime end = start + job.duration;
+  const double watts = job.watts_per_board * static_cast<double>(job.boards);
+
+  boards_in_use_ += job.boards;
+  jobs_power_watts_ += watts;
+  if (pricing_.is_peak_at(start)) {
+    peak_on_peak_watts_ = std::max(peak_on_peak_watts_, jobs_power_watts_);
+  }
+
+  JobRecord record;
+  record.job = job;
+  record.start = start;
+  record.end = end;
+  record.energy_mwh = watts * 1e-6 * job.duration.to_seconds() / 3600.0;
+  record.cost_usd = pricing_.cost_usd(watts, start, end);
+  completed_.push_back(record);
+  const std::size_t index = completed_.size() - 1;
+
+  engine_->schedule_at(end, [this, index] { finish_job(index); });
+}
+
+void Scheduler::finish_job(std::size_t record_index) {
+  const JobRecord& record = completed_[record_index];
+  boards_in_use_ -= record.job.boards;
+  jobs_power_watts_ -=
+      record.job.watts_per_board * static_cast<double>(record.job.boards);
+  --pending_;
+  try_start_jobs();
+}
+
+void Scheduler::run_to_completion() {
+  while (pending_ > 0 && (engine_->pending_events() > 0 || !queue_.empty())) {
+    if (engine_->pending_events() == 0) break;  // stuck: nothing can start
+    engine_->run_until(engine_->now() + sim::Duration::seconds(60));
+  }
+}
+
+Scheduler::Summary Scheduler::summary() const {
+  Summary s;
+  sim::SimTime last_end;
+  sim::Duration wait_sum{};
+  for (const auto& r : completed_) {
+    s.total_job_cost_usd += r.cost_usd;
+    s.total_energy_mwh += r.energy_mwh;
+    last_end = std::max(last_end, r.end);
+    wait_sum += r.wait();
+  }
+  s.makespan = last_end - sim::SimTime::zero();
+  if (!completed_.empty()) {
+    s.mean_wait =
+        sim::Duration::nanos(wait_sum.ns() / static_cast<std::int64_t>(completed_.size()));
+  }
+  s.peak_on_peak_watts = peak_on_peak_watts_;
+  return s;
+}
+
+}  // namespace envmon::sched

@@ -1,0 +1,72 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace envmon::sim {
+
+void TimerHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool TimerHandle::active() const { return cancelled_ && !*cancelled_; }
+
+TimerHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::logic_error("Engine::schedule_at: event scheduled in the past");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return TimerHandle{std::move(cancelled)};
+}
+
+TimerHandle Engine::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerHandle Engine::schedule_periodic(Duration interval, std::function<void()> fn) {
+  if (interval.ns() <= 0) {
+    throw std::invalid_argument("Engine::schedule_periodic: interval must be positive");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  // The repeating closure reschedules itself while not cancelled.
+  auto repeat = std::make_shared<std::function<void(SimTime)>>();
+  *repeat = [this, interval, fn = std::move(fn), cancelled, repeat](SimTime fire_at) {
+    if (*cancelled) return;
+    fn();
+    if (*cancelled) return;  // fn may cancel its own timer
+    const SimTime next = fire_at + interval;
+    auto chain = Event{next, next_seq_++, [repeat, next] { (*repeat)(next); }, cancelled};
+    queue_.push(std::move(chain));
+  };
+  const SimTime first = now_ + interval;
+  queue_.push(Event{first, next_seq_++, [repeat, first] { (*repeat)(first); }, cancelled});
+  return TimerHandle{std::move(cancelled)};
+}
+
+void Engine::pop_and_run() {
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  if (ev.cancelled && *ev.cancelled) return;
+  ++events_executed_;
+  ev.fn();
+}
+
+void Engine::run_until(SimTime until) {
+  if (until < now_) {
+    throw std::logic_error("Engine::run_until: horizon is in the past");
+  }
+  while (!queue_.empty() && queue_.top().when <= until) {
+    pop_and_run();
+  }
+  now_ = until;
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    pop_and_run();
+  }
+}
+
+}  // namespace envmon::sim

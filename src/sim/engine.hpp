@@ -1,0 +1,87 @@
+#pragma once
+// The discrete-event engine: a virtual clock plus an event queue.
+//
+// All vendor mechanisms in this reproduction are modeled against this
+// clock: RAPL energy-status registers update on ~1 ms events, the BG/Q
+// environmental monitor polls on 60-1800 s events, MonEQ's SIGALRM-driven
+// sampler is a periodic timer.  Events at equal timestamps run in
+// insertion order (stable), which keeps runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace envmon::sim {
+
+class Engine;
+
+// Cancellable handle for a scheduled or periodic event.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  void cancel();
+  [[nodiscard]] bool active() const;
+
+ private:
+  friend class Engine;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // One-shot events.
+  TimerHandle schedule_at(SimTime when, std::function<void()> fn);
+  TimerHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  // Periodic timer; first fires at now + interval.  This is the simulation
+  // stand-in for the SIGALRM delivery MonEQ registers for (paper §III).
+  TimerHandle schedule_periodic(Duration interval, std::function<void()> fn);
+
+  // Runs events until the queue is empty or the horizon is reached; the
+  // clock ends at exactly `until` even if no event lands there.
+  void run_until(SimTime until);
+
+  // Runs until the queue drains completely.
+  void run();
+
+  // Advances the clock with no event processing in between being skipped:
+  // equivalent to run_until(now + d).
+  void advance(Duration d) { run_until(now_ + d); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-breaker for stable ordering
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace envmon::sim

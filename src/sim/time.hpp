@@ -1,0 +1,88 @@
+#pragma once
+// Virtual time for the discrete-event simulation.
+//
+// Integer nanoseconds since simulation start.  Nanoseconds cover the full
+// dynamic range the paper needs in one 64-bit integer: MSR reads of 0.03 ms
+// at the small end, BG/Q environmental-database polling intervals of up to
+// 1800 s at the large end (~292 years of range).
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/units.hpp"
+
+namespace envmon::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) { return Duration{us * 1'000}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) {
+    return Duration{ms * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) {
+    return Duration{s * 1'000'000'000};
+  }
+  [[nodiscard]] static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr Seconds as_unit() const { return Seconds{to_seconds()}; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  friend constexpr std::int64_t operator/(Duration a, Duration b) { return a.ns_ / b.ns_; }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  [[nodiscard]] static constexpr SimTime zero() { return {}; }
+  [[nodiscard]] static constexpr SimTime from_ns(std::int64_t n) { return SimTime{n}; }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.ns_ + d.ns()};
+  }
+  friend constexpr SimTime operator+(Duration d, SimTime t) { return t + d; }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime{t.ns_ - d.ns()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.to_seconds() << " s";
+}
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << "t=" << t.to_seconds() << " s";
+}
+
+}  // namespace envmon::sim

@@ -1,0 +1,44 @@
+#include "sim/trace.hpp"
+
+namespace envmon::sim {
+
+void TraceSink::record(std::string_view name, SimTime t, double value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(name), std::vector<TracePoint>{}).first;
+  }
+  it->second.push_back(TracePoint{t, value});
+}
+
+bool TraceSink::has_series(std::string_view name) const {
+  return series_.find(name) != series_.end();
+}
+
+std::span<const TracePoint> TraceSink::series(std::string_view name) const {
+  const auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::string> TraceSink::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, _] : series_) names.push_back(name);
+  return names;
+}
+
+std::size_t TraceSink::total_points() const {
+  std::size_t n = 0;
+  for (const auto& [_, pts] : series_) n += pts.size();
+  return n;
+}
+
+std::vector<double> TraceSink::values(std::string_view name) const {
+  std::vector<double> out;
+  for (const auto& p : series(name)) out.push_back(p.value);
+  return out;
+}
+
+void TraceSink::clear() { series_.clear(); }
+
+}  // namespace envmon::sim

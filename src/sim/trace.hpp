@@ -1,0 +1,41 @@
+#pragma once
+// Trace recording: timestamped (series, value) samples.
+//
+// Every figure in the paper is a trace of some sensor over time; the bench
+// harness records into a TraceSink and the analysis module renders it.
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace envmon::sim {
+
+struct TracePoint {
+  SimTime t;
+  double value;
+};
+
+class TraceSink {
+ public:
+  void record(std::string_view series, SimTime t, double value);
+
+  [[nodiscard]] bool has_series(std::string_view series) const;
+  [[nodiscard]] std::span<const TracePoint> series(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  [[nodiscard]] std::size_t total_points() const;
+
+  // Values only, in time order (appends are already time-ordered per series).
+  [[nodiscard]] std::vector<double> values(std::string_view series) const;
+
+  void clear();
+
+ private:
+  std::map<std::string, std::vector<TracePoint>, std::less<>> series_;
+};
+
+}  // namespace envmon::sim

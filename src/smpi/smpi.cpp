@@ -1,0 +1,66 @@
+#include "smpi/smpi.hpp"
+
+#include <cmath>
+
+namespace envmon::smpi {
+
+World::World(int size, CollectiveCosts costs) : size_(size), costs_(costs) {
+  if (size <= 0) throw std::invalid_argument("World: size must be positive");
+  if (costs_.bandwidth_bytes_per_sec <= 0.0) {
+    throw std::invalid_argument("World: bandwidth must be positive");
+  }
+}
+
+int World::tree_depth() const {
+  int depth = 0;
+  for (int n = size_ - 1; n > 0; n >>= 1) ++depth;
+  return depth;
+}
+
+sim::Duration World::barrier_cost() const {
+  return 2 * tree_depth() * costs_.per_hop;  // up-sweep + down-sweep
+}
+
+sim::Duration World::reduce_cost(Bytes payload) const {
+  const double transfer_s = payload.value() / costs_.bandwidth_bytes_per_sec;
+  return tree_depth() * (costs_.per_hop + sim::Duration::from_seconds(transfer_s));
+}
+
+sim::Duration World::gather_cost(Bytes per_rank_payload) const {
+  // Rank 0 ultimately receives size * payload bytes; the tree overlaps
+  // transfers, so the root's ingest dominates.
+  const double total_bytes = per_rank_payload.value() * static_cast<double>(size_);
+  const double transfer_s = total_bytes / costs_.bandwidth_bytes_per_sec;
+  return tree_depth() * costs_.per_hop + sim::Duration::from_seconds(transfer_s);
+}
+
+void World::for_each_rank(const std::function<void(int)>& fn) const {
+  for (int r = 0; r < size_; ++r) fn(r);
+}
+
+FileSystemModel::FileSystemModel(FileSystemOptions options) : options_(options) {
+  if (options_.concurrent_capacity <= 0) {
+    throw std::invalid_argument("FileSystemModel: capacity must be positive");
+  }
+  if (options_.stream_bandwidth_bytes_per_sec <= 0.0) {
+    throw std::invalid_argument("FileSystemModel: bandwidth must be positive");
+  }
+}
+
+sim::Duration FileSystemModel::time_to_write(int n_files, Bytes per_file_bytes) const {
+  if (n_files <= 0) return sim::Duration{};
+  const int waves =
+      (n_files + options_.concurrent_capacity - 1) / options_.concurrent_capacity;
+  double wave_seconds = 0.0;
+  double factor = 1.0;
+  for (int w = 0; w < waves; ++w) {
+    wave_seconds += options_.wave_cost.to_seconds() * factor;
+    factor *= options_.wave_contention_factor;
+  }
+  const double metadata_s =
+      options_.per_file_metadata.to_seconds() * static_cast<double>(n_files);
+  const double stream_s = per_file_bytes.value() / options_.stream_bandwidth_bytes_per_sec;
+  return sim::Duration::from_seconds(wave_seconds + metadata_s + stream_s);
+}
+
+}  // namespace envmon::smpi

@@ -1,0 +1,80 @@
+#pragma once
+// smpi: a simulated MPI facade.
+//
+// MonEQ's public API is MPI-shaped (paper Listing 1: MPI_Init,
+// MPI_Comm_size/rank, MonEQ_Initialize, user code, MonEQ_Finalize,
+// MPI_Finalize).  Real MPI is not part of this reproduction's substrate;
+// ranks here are actors that share the discrete-event virtual clock, and
+// collectives are *cost models* (log-tree latency + payload/bandwidth)
+// rather than message exchanges.  That is sufficient — and honest — for
+// everything the paper measures: MonEQ's initialization, collection, and
+// finalization times as a function of node count (Table III).
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::smpi {
+
+struct CollectiveCosts {
+  // Per tree level of a barrier/reduction (network hop + software).
+  sim::Duration per_hop = sim::Duration::micros(3);
+  // Point-to-point payload bandwidth.
+  double bandwidth_bytes_per_sec = 1.8e9;
+};
+
+class World {
+ public:
+  explicit World(int size, CollectiveCosts costs = {});
+
+  [[nodiscard]] int size() const { return size_; }
+
+  // Latency of a full barrier (log2 tree, up and down).
+  [[nodiscard]] sim::Duration barrier_cost() const;
+
+  // Reduce/gather of `payload` bytes per rank to rank 0.
+  [[nodiscard]] sim::Duration reduce_cost(Bytes payload) const;
+  [[nodiscard]] sim::Duration gather_cost(Bytes per_rank_payload) const;
+
+  // Convenience for per-rank setup loops in examples.
+  void for_each_rank(const std::function<void(int rank)>& fn) const;
+
+ private:
+  [[nodiscard]] int tree_depth() const;
+
+  int size_;
+  CollectiveCosts costs_;
+};
+
+// The shared parallel filesystem MonEQ's finalize writes into (GPFS on
+// Mira).  Writing one file per node is metadata-bound: up to
+// `concurrent_capacity` creates proceed in one "wave"; beyond that the
+// metadata servers serialize additional waves, each slower than the last
+// (lock contention) — which reproduces Table III's jump from 512 to
+// 1024 nodes while 32 -> 512 stays nearly flat.
+struct FileSystemOptions {
+  int concurrent_capacity = 512;
+  sim::Duration wave_cost = sim::Duration::micros(146'500);  // create+sync
+  double wave_contention_factor = 1.25;
+  sim::Duration per_file_metadata = sim::Duration::micros(13);
+  double stream_bandwidth_bytes_per_sec = 5.0e8;  // per-file write stream
+};
+
+class FileSystemModel {
+ public:
+  explicit FileSystemModel(FileSystemOptions options = {});
+
+  // Time for `n_files` ranks to each create and write one file of
+  // `per_file_bytes`, concurrently, measured at the slowest rank.
+  [[nodiscard]] sim::Duration time_to_write(int n_files, Bytes per_file_bytes) const;
+
+  [[nodiscard]] const FileSystemOptions& options() const { return options_; }
+
+ private:
+  FileSystemOptions options_;
+};
+
+}  // namespace envmon::smpi

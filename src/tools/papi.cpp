@@ -1,0 +1,220 @@
+#include "tools/papi.hpp"
+
+#include <cmath>
+
+namespace envmon::tools {
+
+const char* papi_strerror(int code) {
+  switch (code) {
+    case kPapiOk: return "No error";
+    case kPapiEinval: return "Invalid argument";
+    case kPapiEnoevnt: return "Event does not exist";
+    case kPapiEnocmp: return "Component not found";
+    case kPapiEisrun: return "EventSet is currently counting";
+    case kPapiEnotrun: return "EventSet is currently not running";
+    case kPapiEperm: return "Permission level does not permit operation";
+  }
+  return "Unknown error";
+}
+
+void PapiLibrary::add_rapl_component(rapl::CpuPackage& package, rapl::Credentials creds) {
+  pending_.push_back([this, &package, creds] { enumerate_rapl(package, creds); });
+}
+
+void PapiLibrary::add_nvml_component(nvml::NvmlLibrary& library) {
+  pending_.push_back([this, &library] { enumerate_nvml(library); });
+}
+
+void PapiLibrary::add_micpower_component(mic::MicrasDaemon& daemon) {
+  pending_.push_back([this, &daemon] { enumerate_micpower(daemon); });
+}
+
+int PapiLibrary::library_init() {
+  if (initialized_) return kPapiOk;  // PAPI tolerates double init
+  for (auto& enumerate : pending_) enumerate();
+  pending_.clear();
+  initialized_ = true;
+  return kPapiOk;
+}
+
+void PapiLibrary::enumerate_rapl(rapl::CpuPackage& package, rapl::Credentials creds) {
+  auto reader = std::make_unique<rapl::MsrRaplReader>(package, creds);
+  rapl::MsrRaplReader* r = reader.get();
+  rapl_readers_.push_back(std::move(reader));
+
+  const double unit = package.config().units.joules_per_unit();
+  for (const auto domain : {rapl::RaplDomain::kPackage, rapl::RaplDomain::kPp0,
+                            rapl::RaplDomain::kPp1, rapl::RaplDomain::kDram}) {
+    Event ev;
+    ev.info.component = "rapl";
+    ev.info.units = "nJ";
+    ev.info.name = std::string("rapl:::") +
+                   (domain == rapl::RaplDomain::kPackage ? "PACKAGE_ENERGY:PACKAGE0"
+                    : domain == rapl::RaplDomain::kPp0   ? "PP0_ENERGY:PACKAGE0"
+                    : domain == rapl::RaplDomain::kPp1   ? "PP1_ENERGY:PACKAGE0"
+                                                         : "DRAM_ENERGY:PACKAGE0");
+    ev.info.description =
+        std::string("Energy used by ") + rapl::description(domain);
+    // PAPI's rapl component maintains its own wrap-aware accumulation;
+    // one accountant per event, captured by the sampler closure.
+    auto accountant = std::make_shared<rapl::EnergyAccountant>(unit);
+    ev.sample = [r, domain, accountant](sim::SimTime now,
+                                        sim::CostMeter& meter) -> Result<long long> {
+      const auto before = r->cost().total();
+      auto sample = r->read_energy(domain, now);
+      meter.charge(r->cost().total() - before);
+      if (!sample) return sample.status();
+      (void)accountant->advance(sample.value().raw);
+      return static_cast<long long>(accountant->total().value() * 1e9);
+    };
+    events_by_name_[ev.info.name] = events_.size();
+    events_.push_back(std::move(ev));
+  }
+}
+
+void PapiLibrary::enumerate_nvml(nvml::NvmlLibrary& library) {
+  unsigned count = 0;
+  if (library.device_get_count(&count) != nvml::NvmlReturn::kSuccess) return;
+  for (unsigned i = 0; i < count; ++i) {
+    nvml::NvmlDeviceHandle handle;
+    if (library.device_get_handle_by_index(i, &handle) != nvml::NvmlReturn::kSuccess) {
+      continue;
+    }
+    std::string name;
+    (void)library.device_get_name(handle, &name);
+    for (auto& c : name) {
+      if (c == ' ') c = '_';
+    }
+
+    Event power;
+    power.info.component = "nvml";
+    power.info.units = "mW";
+    power.info.name = "nvml:::" + name + ":device_" + std::to_string(i) + ":power";
+    power.info.description = "Power usage readings for the device in milliwatts";
+    power.sample = [&library, handle](sim::SimTime, sim::CostMeter& meter)
+        -> Result<long long> {
+      const auto before = library.cost().total();
+      unsigned mw = 0;
+      const auto rc = library.device_get_power_usage(handle, &mw);
+      meter.charge(library.cost().total() - before);
+      if (rc != nvml::NvmlReturn::kSuccess) {
+        return Status(StatusCode::kUnavailable, nvml::nvml_error_string(rc));
+      }
+      return static_cast<long long>(mw);
+    };
+    events_by_name_[power.info.name] = events_.size();
+    events_.push_back(std::move(power));
+
+    Event temp;
+    temp.info.component = "nvml";
+    temp.info.units = "C";
+    temp.info.name = "nvml:::" + name + ":device_" + std::to_string(i) + ":temperature";
+    temp.info.description = "GPU die temperature";
+    temp.sample = [&library, handle](sim::SimTime, sim::CostMeter& meter)
+        -> Result<long long> {
+      const auto before = library.cost().total();
+      unsigned celsius = 0;
+      const auto rc = library.device_get_temperature(
+          handle, nvml::TemperatureSensor::kGpuDie, &celsius);
+      meter.charge(library.cost().total() - before);
+      if (rc != nvml::NvmlReturn::kSuccess) {
+        return Status(StatusCode::kUnavailable, nvml::nvml_error_string(rc));
+      }
+      return static_cast<long long>(celsius);
+    };
+    events_by_name_[temp.info.name] = events_.size();
+    events_.push_back(std::move(temp));
+  }
+}
+
+void PapiLibrary::enumerate_micpower(mic::MicrasDaemon& daemon) {
+  Event ev;
+  ev.info.component = "micpower";
+  ev.info.units = "mW";
+  ev.info.name = "micpower:::tot0";
+  ev.info.description = "Total card power (averaged window) from /sys/class/micras/power";
+  ev.sample = [&daemon](sim::SimTime now, sim::CostMeter& meter) -> Result<long long> {
+    auto text = daemon.read_file(mic::kPowerFile, now, &meter);
+    if (!text) return text.status();
+    auto reading = mic::parse_power_file(text.value());
+    if (!reading) return reading.status();
+    return static_cast<long long>(reading.value().total.value() * 1000.0);
+  };
+  events_by_name_[ev.info.name] = events_.size();
+  events_.push_back(std::move(ev));
+}
+
+std::vector<PapiEventInfo> PapiLibrary::enum_events() const {
+  std::vector<PapiEventInfo> out;
+  out.reserve(events_.size());
+  for (const auto& ev : events_) out.push_back(ev.info);
+  return out;
+}
+
+int PapiLibrary::create_eventset(int* eventset) {
+  if (!initialized_ || eventset == nullptr) return kPapiEinval;
+  *eventset = next_eventset_++;
+  eventsets_[*eventset] = EventSet{};
+  return kPapiOk;
+}
+
+int PapiLibrary::add_event(int eventset, const std::string& name) {
+  const auto set = eventsets_.find(eventset);
+  if (set == eventsets_.end()) return kPapiEinval;
+  if (set->second.running) return kPapiEisrun;
+  const auto ev = events_by_name_.find(name);
+  if (ev == events_by_name_.end()) return kPapiEnoevnt;
+  set->second.event_indices.push_back(ev->second);
+  return kPapiOk;
+}
+
+int PapiLibrary::start(int eventset) {
+  const auto set = eventsets_.find(eventset);
+  if (set == eventsets_.end()) return kPapiEinval;
+  if (set->second.running) return kPapiEisrun;
+  set->second.start_values.clear();
+  for (const std::size_t idx : set->second.event_indices) {
+    auto v = events_[idx].sample(engine_->now(), meter_);
+    if (!v) {
+      return v.status().code() == StatusCode::kPermissionDenied ? kPapiEperm : kPapiEnoevnt;
+    }
+    set->second.start_values.push_back(v.value());
+  }
+  set->second.running = true;
+  return kPapiOk;
+}
+
+int PapiLibrary::read(int eventset, std::vector<long long>* values) {
+  if (values == nullptr) return kPapiEinval;
+  const auto set = eventsets_.find(eventset);
+  if (set == eventsets_.end()) return kPapiEinval;
+  if (!set->second.running) return kPapiEnotrun;
+  values->clear();
+  for (std::size_t i = 0; i < set->second.event_indices.size(); ++i) {
+    const std::size_t idx = set->second.event_indices[i];
+    auto v = events_[idx].sample(engine_->now(), meter_);
+    if (!v) return kPapiEnoevnt;
+    // Counter-like units report deltas since start; instantaneous ones
+    // report the current value (PAPI's rapl vs nvml behaviour).
+    const bool accumulating = events_[idx].info.units == "nJ";
+    values->push_back(accumulating ? v.value() - set->second.start_values[i] : v.value());
+  }
+  return kPapiOk;
+}
+
+int PapiLibrary::stop(int eventset, std::vector<long long>* values) {
+  const int rc = read(eventset, values);
+  if (rc != kPapiOk) return rc;
+  eventsets_[eventset].running = false;
+  return kPapiOk;
+}
+
+int PapiLibrary::cleanup_eventset(int eventset) {
+  const auto set = eventsets_.find(eventset);
+  if (set == eventsets_.end()) return kPapiEinval;
+  if (set->second.running) return kPapiEisrun;
+  eventsets_.erase(set);
+  return kPapiOk;
+}
+
+}  // namespace envmon::tools

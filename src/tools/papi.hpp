@@ -1,0 +1,108 @@
+#pragma once
+// A PAPI-style component API over the simulated vendor mechanisms.
+//
+// Paper §III: "PAPI is traditionally known for its ability to gather
+// performance data, however the authors have recently begun including
+// the ability to collect power data.  PAPI supports collecting power
+// consumption information for Intel RAPL, NVML, and the Xeon Phi."
+//
+// We reproduce the PAPI 5 calling conventions that matter for the
+// comparison: components discovered at init, colon-separated event names
+// ("rapl:::PACKAGE_ENERGY:PACKAGE0"), event sets that are created,
+// populated, started, read, and stopped, and long long sample values
+// (energy in nanojoules, power in milliwatts — PAPI's units).  Unlike
+// MonEQ there is no built-in timer or output file: the caller polls.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mic/micras.hpp"
+#include "nvml/api.hpp"
+#include "rapl/reader.hpp"
+#include "sim/cost.hpp"
+#include "sim/engine.hpp"
+
+namespace envmon::tools {
+
+// PAPI-style return codes.
+inline constexpr int kPapiOk = 0;
+inline constexpr int kPapiEinval = -1;   // invalid argument
+inline constexpr int kPapiEnoevnt = -7;  // event does not exist
+inline constexpr int kPapiEnocmp = -8;   // component not found
+inline constexpr int kPapiEisrun = -10;  // event set already running
+inline constexpr int kPapiEnotrun = -11; // event set not running
+inline constexpr int kPapiEperm = -26;   // permission denied (msr access)
+
+[[nodiscard]] const char* papi_strerror(int code);
+
+struct PapiEventInfo {
+  std::string name;        // e.g. "rapl:::PACKAGE_ENERGY:PACKAGE0"
+  std::string component;   // "rapl", "nvml", "micpower"
+  std::string units;       // "nJ", "mW", "C"
+  std::string description;
+};
+
+class PapiLibrary {
+ public:
+  explicit PapiLibrary(sim::Engine& engine) : engine_(&engine) {}
+
+  // Component registration (what linking PAPI with a component does).
+  void add_rapl_component(rapl::CpuPackage& package, rapl::Credentials creds);
+  void add_nvml_component(nvml::NvmlLibrary& library);
+  void add_micpower_component(mic::MicrasDaemon& daemon);
+
+  // PAPI_library_init: enumerates events on the registered components.
+  int library_init();
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+  [[nodiscard]] std::vector<PapiEventInfo> enum_events() const;
+
+  // Event sets.
+  int create_eventset(int* eventset);
+  int add_event(int eventset, const std::string& name);
+  int start(int eventset);
+  // Reads current values in event order (energy counters accumulate
+  // since start; instantaneous metrics report the latest reading).
+  int read(int eventset, std::vector<long long>* values);
+  int stop(int eventset, std::vector<long long>* values);
+  int cleanup_eventset(int eventset);
+
+  [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
+
+ private:
+  struct Event {
+    PapiEventInfo info;
+    // Returns the current value in PAPI units, charging `meter`.
+    std::function<Result<long long>(sim::SimTime, sim::CostMeter&)> sample;
+  };
+  struct EventSet {
+    std::vector<std::size_t> event_indices;
+    std::vector<long long> start_values;
+    bool running = false;
+  };
+
+  void enumerate_rapl(rapl::CpuPackage& package, rapl::Credentials creds);
+  void enumerate_nvml(nvml::NvmlLibrary& library);
+  void enumerate_micpower(mic::MicrasDaemon& daemon);
+
+  sim::Engine* engine_;
+  bool initialized_ = false;
+
+  // Pending component registrations consumed by library_init().
+  std::vector<std::function<void()>> pending_;
+
+  std::vector<Event> events_;
+  std::map<std::string, std::size_t> events_by_name_;
+  std::map<int, EventSet> eventsets_;
+  int next_eventset_ = 1;
+  sim::CostMeter meter_;
+
+  // Readers owned per component registration.
+  std::vector<std::unique_ptr<rapl::MsrRaplReader>> rapl_readers_;
+};
+
+}  // namespace envmon::tools

@@ -1,0 +1,82 @@
+#include "tools/powerpack.hpp"
+
+namespace envmon::tools {
+
+double PsuModel::efficiency(Watts dc_load) const {
+  const double f = std::max(0.0, dc_load.value() / rated.value());
+  // Piecewise-linear through the three published points, flat outside.
+  if (f <= 0.2) return efficiency_at_20pct;
+  if (f <= 0.5) {
+    const double t = (f - 0.2) / 0.3;
+    return efficiency_at_20pct + t * (efficiency_at_50pct - efficiency_at_20pct);
+  }
+  if (f <= 1.0) {
+    const double t = (f - 0.5) / 0.5;
+    return efficiency_at_50pct + t * (efficiency_at_100pct - efficiency_at_50pct);
+  }
+  return efficiency_at_100pct;
+}
+
+namespace {
+
+power::SensorOptions wattsup_sensor_options() {
+  power::SensorOptions o;
+  // +/-1.5% of a ~200 W typical reading, as a 3-sigma band; the display
+  // shows integral watts (actually tenths — we keep 0.1 W).
+  o.noise_sigma = 1.0;
+  o.quantum = 0.1;
+  o.min_value = 0.0;
+  return o;
+}
+
+power::SensorOptions daq_sensor_options() {
+  power::SensorOptions o;
+  o.noise_sigma = 0.02;  // millivolt-accurate sense channel
+  o.quantum = 0.001;
+  o.min_value = 0.0;
+  return o;
+}
+
+}  // namespace
+
+WattsUpMeter::WattsUpMeter(sim::Engine& engine, const power::DevicePowerModel& device,
+                           PsuModel psu, std::uint64_t seed)
+    : engine_(&engine),
+      device_(&device),
+      psu_(psu),
+      sensor_(wattsup_sensor_options(), Rng(seed)) {}
+
+void WattsUpMeter::start() {
+  if (timer_.active()) return;
+  timer_ = engine_->schedule_periodic(sim::Duration::seconds(1), [this] { tick(); });
+}
+
+void WattsUpMeter::stop() { timer_.cancel(); }
+
+void WattsUpMeter::tick() {
+  const Watts dc = device_->total_power_at(engine_->now());
+  const Watts ac = psu_.ac_input(dc);
+  log_.push_back({engine_->now(), sensor_.sample(engine_->now(), ac.value())});
+}
+
+NiDaqChannel::NiDaqChannel(sim::Engine& engine, const power::DevicePowerModel& device,
+                           power::Rail rail, sim::Duration sample_period, std::uint64_t seed)
+    : engine_(&engine),
+      device_(&device),
+      rail_(rail),
+      period_(sample_period),
+      sensor_(daq_sensor_options(), Rng(seed)) {}
+
+void NiDaqChannel::start() {
+  if (timer_.active()) return;
+  timer_ = engine_->schedule_periodic(period_, [this] { tick(); });
+}
+
+void NiDaqChannel::stop() { timer_.cancel(); }
+
+void NiDaqChannel::tick() {
+  const Watts w = device_->rail_power_at(rail_, engine_->now());
+  log_.push_back({engine_->now(), sensor_.sample(engine_->now(), w.value())});
+}
+
+}  // namespace envmon::tools

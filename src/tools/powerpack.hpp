@@ -1,0 +1,94 @@
+#pragma once
+// PowerPack-style external metering.
+//
+// Paper §III: "PowerPack is a well-known power profiling tool which
+// historically gathered data from hardware tools such as a WattsUp Pro
+// meter connected to the power supply and a NI meter connected to the
+// CPU/memory/motherboard/etc. ... even as of this latest version
+// PowerPack does not allow for the collection of power data from newer
+// generation hardware such as Intel RAPL, NVML, or the Xeon Phi."
+//
+// We model both instruments:
+//   * WattsUpMeter — wall-plug AC power of the whole node: everything
+//     behind the PSU (its efficiency curve included), 1 Hz sampling,
+//     +/-1.5% accuracy, integer-watt display.  Sees everything, resolves
+//     nothing.
+//   * NiDaqChannel — a sense-resistor channel on one DC rail, kilohertz-
+//     capable, millivolt-accurate: resolves one component but requires
+//     physically instrumenting the board.
+// The comparison bench shows the trade against the vendor mechanisms.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "power/component.hpp"
+#include "power/sensor.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace envmon::tools {
+
+struct PsuModel {
+  // Efficiency at load fraction f (of rated power): a flat-top curve,
+  // lower at light load — an 80 PLUS-like shape.
+  Watts rated{800.0};
+  double efficiency_at_20pct = 0.85;
+  double efficiency_at_50pct = 0.90;
+  double efficiency_at_100pct = 0.87;
+
+  [[nodiscard]] double efficiency(Watts dc_load) const;
+  [[nodiscard]] Watts ac_input(Watts dc_load) const {
+    return dc_load / efficiency(dc_load);
+  }
+};
+
+class WattsUpMeter {
+ public:
+  WattsUpMeter(sim::Engine& engine, const power::DevicePowerModel& device,
+               PsuModel psu = {}, std::uint64_t seed = 0x3a77);
+
+  // Starts 1 Hz logging into the internal record (the real device logs
+  // to its USB host once per second).
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<sim::TracePoint>& log() const { return log_; }
+  [[nodiscard]] const PsuModel& psu() const { return psu_; }
+
+ private:
+  void tick();
+
+  sim::Engine* engine_;
+  const power::DevicePowerModel* device_;
+  PsuModel psu_;
+  power::SensorPipeline sensor_;
+  sim::TimerHandle timer_;
+  std::vector<sim::TracePoint> log_;
+};
+
+class NiDaqChannel {
+ public:
+  // Instruments one rail of a device; sample_rate up to kilohertz.
+  NiDaqChannel(sim::Engine& engine, const power::DevicePowerModel& device,
+               power::Rail rail, sim::Duration sample_period = sim::Duration::millis(1),
+               std::uint64_t seed = 0xda9);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<sim::TracePoint>& log() const { return log_; }
+  [[nodiscard]] power::Rail rail() const { return rail_; }
+
+ private:
+  void tick();
+
+  sim::Engine* engine_;
+  const power::DevicePowerModel* device_;
+  power::Rail rail_;
+  sim::Duration period_;
+  power::SensorPipeline sensor_;
+  sim::TimerHandle timer_;
+  std::vector<sim::TracePoint> log_;
+};
+
+}  // namespace envmon::tools

@@ -1,0 +1,86 @@
+#include "tools/tau.hpp"
+
+namespace envmon::tools {
+
+TauPowerProfiler::TauPowerProfiler(sim::Engine& engine, rapl::CpuPackage& package,
+                                   rapl::Credentials creds, sim::Duration interval)
+    : engine_(&engine),
+      reader_(package, creds),
+      accountant_(package.config().units.joules_per_unit()),
+      interval_(interval) {}
+
+Status TauPowerProfiler::start() {
+  if (running_) {
+    return Status(StatusCode::kFailedPrecondition, "TAU profiler already running");
+  }
+  // Baseline read; surfaces permission problems immediately.
+  const auto before = reader_.cost().total();
+  auto sample = reader_.read_energy(rapl::RaplDomain::kPackage, engine_->now());
+  meter_.charge(reader_.cost().total() - before);
+  if (!sample) return sample.status();
+  (void)accountant_.advance(sample.value().raw);
+  last_sample_ = engine_->now();
+  timer_ = engine_->schedule_periodic(interval_, [this] { sample_tick(); });
+  running_ = true;
+  return Status::ok();
+}
+
+Status TauPowerProfiler::stop() {
+  if (!running_) {
+    return Status(StatusCode::kFailedPrecondition, "TAU profiler not running");
+  }
+  sample_tick();  // flush the final partial interval
+  timer_.cancel();
+  running_ = false;
+  if (!stack_.empty()) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "TAU region still open at stop: " + stack_.back());
+  }
+  return Status::ok();
+}
+
+void TauPowerProfiler::sample_tick() {
+  const auto before = reader_.cost().total();
+  auto sample = reader_.read_energy(rapl::RaplDomain::kPackage, engine_->now());
+  meter_.charge(reader_.cost().total() - before);
+  if (!sample) return;
+  const Joules delta = accountant_.advance(sample.value().raw);
+  const sim::SimTime now = engine_->now();
+
+  TauRegionProfile& region = regions_[current_region()];
+  region.name = current_region();
+  region.pkg_energy += delta;
+  region.inclusive_time += now - last_sample_;
+  ++region.samples;
+  last_sample_ = now;
+}
+
+Status TauPowerProfiler::region_start(const std::string& name) {
+  if (!running_) {
+    return Status(StatusCode::kFailedPrecondition, "TAU profiler not running");
+  }
+  // Attribute the partial interval so far to the enclosing region.
+  sample_tick();
+  stack_.push_back(name);
+  region_entry_[name] = engine_->now();
+  return Status::ok();
+}
+
+Status TauPowerProfiler::region_stop(const std::string& name) {
+  if (stack_.empty() || stack_.back() != name) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "TAU region stop does not match innermost start: " + name);
+  }
+  sample_tick();  // attribute the tail of the region
+  stack_.pop_back();
+  return Status::ok();
+}
+
+std::vector<TauRegionProfile> TauPowerProfiler::profiles() const {
+  std::vector<TauRegionProfile> out;
+  out.reserve(regions_.size());
+  for (const auto& [_, profile] : regions_) out.push_back(profile);
+  return out;
+}
+
+}  // namespace envmon::tools

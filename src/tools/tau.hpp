@@ -1,0 +1,72 @@
+#pragma once
+// A TAU-style power profiler.
+//
+// Paper §III: "as of version 2.23, TAU also supports power profiling
+// collection of RAPL through the MSR drivers.  To the best of our
+// knowledge this is the only system that TAU supports for power
+// profiling."
+//
+// We model exactly that: interval-driven RAPL-only collection attributed
+// to the currently active timer region (TAU's defining feature is
+// attribution to instrumented regions, so the profile is per-region).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "rapl/reader.hpp"
+#include "sim/engine.hpp"
+
+namespace envmon::tools {
+
+struct TauRegionProfile {
+  std::string name;
+  sim::Duration inclusive_time{};
+  Joules pkg_energy{};
+  std::size_t samples = 0;
+
+  [[nodiscard]] Watts mean_power() const {
+    const double s = inclusive_time.to_seconds();
+    return s > 0.0 ? Watts{pkg_energy.value() / s} : Watts{0.0};
+  }
+};
+
+class TauPowerProfiler {
+ public:
+  // RAPL is the only supported mechanism; anything else is the caller's
+  // problem (that is the point of the comparison).
+  TauPowerProfiler(sim::Engine& engine, rapl::CpuPackage& package, rapl::Credentials creds,
+                   sim::Duration interval = sim::Duration::millis(100));
+
+  Status start();
+  Status stop();
+
+  // TAU_START / TAU_STOP region timers; regions may nest (a stack).
+  Status region_start(const std::string& name);
+  Status region_stop(const std::string& name);
+
+  [[nodiscard]] std::vector<TauRegionProfile> profiles() const;
+  [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
+
+ private:
+  void sample_tick();
+  [[nodiscard]] std::string current_region() const {
+    return stack_.empty() ? ".TAU application" : stack_.back();
+  }
+
+  sim::Engine* engine_;
+  rapl::MsrRaplReader reader_;
+  rapl::EnergyAccountant accountant_;
+  sim::Duration interval_;
+  sim::TimerHandle timer_;
+  bool running_ = false;
+
+  std::vector<std::string> stack_;
+  std::map<std::string, TauRegionProfile> regions_;
+  std::map<std::string, sim::SimTime> region_entry_;
+  sim::SimTime last_sample_;
+  sim::CostMeter meter_;
+};
+
+}  // namespace envmon::tools

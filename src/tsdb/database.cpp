@@ -1,0 +1,81 @@
+#include "tsdb/database.hpp"
+
+#include <algorithm>
+
+namespace envmon::tsdb {
+
+namespace {
+
+bool matches(const Record& r, const QueryFilter& f) {
+  if (f.location_prefix && !f.location_prefix->contains(r.location)) return false;
+  if (f.metric && r.metric != *f.metric) return false;
+  if (f.from && r.timestamp < *f.from) return false;
+  if (f.to && r.timestamp > *f.to) return false;
+  return true;
+}
+
+}  // namespace
+
+bool EnvDatabase::over_ingest_rate(sim::SimTime now) const {
+  if (options_.max_insert_rate_per_second <= 0.0) return false;
+  const sim::SimTime window_start = now - options_.rate_window;
+  // records_ is timestamp-ordered, so binary search for the window start.
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), window_start,
+      [](const Record& r, sim::SimTime t) { return r.timestamp < t; });
+  const auto in_window = static_cast<double>(std::distance(it, records_.end()));
+  const double window_seconds = options_.rate_window.to_seconds();
+  return in_window >= options_.max_insert_rate_per_second * window_seconds;
+}
+
+Status EnvDatabase::insert(const Record& record) {
+  if (!records_.empty() && record.timestamp < records_.back().timestamp) {
+    return Status(StatusCode::kInvalidArgument,
+                  "out-of-order insert at " + std::to_string(record.timestamp.to_seconds()) + " s");
+  }
+  if (over_ingest_rate(record.timestamp)) {
+    ++rejected_;
+    return Status(StatusCode::kResourceExhausted,
+                  "environmental database ingest rate ceiling exceeded");
+  }
+  records_.push_back(record);
+  if (options_.retention) vacuum();
+  return Status::ok();
+}
+
+std::vector<Record> EnvDatabase::query(const QueryFilter& filter) const {
+  std::vector<Record> out;
+  for (const auto& r : records_) {
+    if (matches(r, filter)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<EnvDatabase::Bucket> EnvDatabase::downsample(const QueryFilter& filter,
+                                                         sim::Duration bucket_width) const {
+  std::vector<Bucket> buckets;
+  if (bucket_width.ns() <= 0) return buckets;
+  for (const auto& r : records_) {
+    if (!matches(r, filter)) continue;
+    const std::int64_t idx = r.timestamp.ns() / bucket_width.ns();
+    const sim::SimTime start = sim::SimTime::from_ns(idx * bucket_width.ns());
+    if (buckets.empty() || buckets.back().start != start) {
+      buckets.push_back(Bucket{start, 0.0, 0});
+    }
+    Bucket& b = buckets.back();
+    b.mean += (r.value - b.mean) / static_cast<double>(b.count + 1);
+    ++b.count;
+  }
+  return buckets;
+}
+
+void EnvDatabase::vacuum() {
+  if (!options_.retention || records_.empty()) return;
+  const sim::SimTime cutoff = records_.back().timestamp - *options_.retention;
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), cutoff,
+      [](const Record& r, sim::SimTime t) { return r.timestamp < t; });
+  records_.erase(records_.begin(), it);
+}
+
+}  // namespace envmon::tsdb

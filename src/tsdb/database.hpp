@@ -1,0 +1,84 @@
+#pragma once
+// The environmental database.
+//
+// Blue Gene systems store periodically sampled sensor data, with timestamp
+// and location, in an IBM DB2 relational database (the "environmental
+// database", paper §II-A).  We stand in for DB2 with an in-memory tagged
+// time-series store supporting the queries the study needs: range scans
+// filtered by location prefix and metric, downsampling, and retention.
+// The paper's observation that "a shorter polling interval ... would
+// exceed the server's processing capacity" is modeled via an ingest-rate
+// capacity check.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/time.hpp"
+#include "tsdb/location.hpp"
+
+namespace envmon::tsdb {
+
+struct Record {
+  sim::SimTime timestamp;
+  Location location;
+  std::string metric;  // e.g. "input_power_watts", "coolant_flow_lpm"
+  double value = 0.0;
+};
+
+struct QueryFilter {
+  std::optional<Location> location_prefix;  // ancestor location
+  std::optional<std::string> metric;
+  std::optional<sim::SimTime> from;  // inclusive
+  std::optional<sim::SimTime> to;    // inclusive
+};
+
+struct DatabaseOptions {
+  // Maximum sustained ingest rate; beyond this inserts are rejected,
+  // modeling the DB2 server's processing-capacity ceiling.
+  double max_insert_rate_per_second = 10'000.0;
+  // Sliding window over which the rate is evaluated.
+  sim::Duration rate_window = sim::Duration::seconds(60);
+  // Records older than this (relative to the newest record) are dropped.
+  std::optional<sim::Duration> retention;
+};
+
+class EnvDatabase {
+ public:
+  explicit EnvDatabase(DatabaseOptions options = {}) : options_(options) {}
+
+  // Inserts one record.  Fails with kResourceExhausted when the ingest
+  // rate ceiling is exceeded.
+  Status insert(const Record& record);
+
+  // Range scan; results ordered by (timestamp, insert order).
+  [[nodiscard]] std::vector<Record> query(const QueryFilter& filter) const;
+
+  // Average of `metric` under `location_prefix` in fixed-width buckets.
+  struct Bucket {
+    sim::SimTime start;
+    double mean = 0.0;
+    std::size_t count = 0;
+  };
+  [[nodiscard]] std::vector<Bucket> downsample(const QueryFilter& filter,
+                                               sim::Duration bucket_width) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::size_t rejected_inserts() const { return rejected_; }
+
+  // Applies retention; normally called internally on insert.
+  void vacuum();
+
+ private:
+  [[nodiscard]] bool over_ingest_rate(sim::SimTime now) const;
+
+  DatabaseOptions options_;
+  std::vector<Record> records_;  // append-only, timestamp-ordered
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace envmon::tsdb

@@ -1,0 +1,49 @@
+#include "tsdb/export.hpp"
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace envmon::tsdb {
+
+std::string export_csv(const EnvDatabase& db, const QueryFilter& filter) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("timestamp_s", "location", "metric", "value");
+  for (const auto& record : db.query(filter)) {
+    csv.row(format_double(record.timestamp.to_seconds(), 6), record.location.to_string(),
+            record.metric, format_double(record.value, 6));
+  }
+  return os.str();
+}
+
+Result<std::size_t> import_csv(std::string_view text, EnvDatabase& db) {
+  auto table = parse_csv(text);
+  if (!table) return table.status();
+  const auto& header = table.value().header;
+  if (header.size() != 4 || header[0] != "timestamp_s") {
+    return Status(StatusCode::kInvalidArgument, "not an environmental database export");
+  }
+  std::size_t inserted = 0;
+  for (const auto& row : table.value().rows) {
+    if (row.size() != 4) {
+      return Status(StatusCode::kInvalidArgument, "malformed export row");
+    }
+    double t = 0.0, value = 0.0;
+    if (!parse_double(row[0], t) || !parse_double(row[3], value)) {
+      return Status(StatusCode::kInvalidArgument, "unparseable numeric field");
+    }
+    const auto location = parse_location(row[1]);
+    if (!location) {
+      return Status(StatusCode::kInvalidArgument, "bad location: " + row[1]);
+    }
+    const Status s =
+        db.insert(Record{sim::SimTime::from_seconds(t), *location, row[2], value});
+    if (!s.is_ok()) return s;
+    ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace envmon::tsdb

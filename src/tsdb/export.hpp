@@ -1,0 +1,23 @@
+#pragma once
+// CSV export/import for the environmental database — the practical
+// interchange path: on the real system, administrators pull slices of
+// the DB2 environmental tables into CSV for offline analysis.
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "tsdb/database.hpp"
+
+namespace envmon::tsdb {
+
+// Renders the records matching `filter` as CSV with header
+// timestamp_s,location,metric,value.
+[[nodiscard]] std::string export_csv(const EnvDatabase& db, const QueryFilter& filter = {});
+
+// Parses an exported CSV back into records and inserts them into `db`
+// (which must accept them in timestamp order).  Returns the number of
+// records inserted; fails on malformed rows or rejected inserts.
+[[nodiscard]] Result<std::size_t> import_csv(std::string_view text, EnvDatabase& db);
+
+}  // namespace envmon::tsdb

@@ -1,0 +1,61 @@
+#include "tsdb/location.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace envmon::tsdb {
+
+std::string Location::to_string() const {
+  char buf[48];
+  int len = 0;
+  if (rack >= 0) len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len), "R%02d", rack);
+  if (midplane >= 0) len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len), "-M%d", midplane);
+  if (board >= 0) len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len), "-N%02d", board);
+  if (card >= 0) len += std::snprintf(buf + len, sizeof(buf) - static_cast<std::size_t>(len), "-J%02d", card);
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+bool Location::contains(const Location& other) const {
+  if (rack >= 0 && rack != other.rack) return false;
+  if (midplane >= 0 && midplane != other.midplane) return false;
+  if (board >= 0 && board != other.board) return false;
+  if (card >= 0 && card != other.card) return false;
+  return true;
+}
+
+namespace {
+
+bool parse_component(std::string_view part, char tag, int& out) {
+  if (part.size() < 2 || part[0] != tag) return false;
+  int v = 0;
+  const auto [ptr, ec] = std::from_chars(part.data() + 1, part.data() + part.size(), v);
+  if (ec != std::errc{} || ptr != part.data() + part.size() || v < 0) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Location> parse_location(std::string_view s) {
+  const auto parts = split(s, '-');
+  if (parts.empty() || parts.size() > 4) return std::nullopt;
+  Location loc;
+  if (!parse_component(parts[0], 'R', loc.rack)) return std::nullopt;
+  if (parts.size() > 1 && !parse_component(parts[1], 'M', loc.midplane)) return std::nullopt;
+  if (parts.size() > 2 && !parse_component(parts[2], 'N', loc.board)) return std::nullopt;
+  if (parts.size() > 3 && !parse_component(parts[3], 'J', loc.card)) return std::nullopt;
+  return loc;
+}
+
+Location rack_location(int rack) { return Location{rack, -1, -1, -1}; }
+Location midplane_location(int rack, int midplane) { return Location{rack, midplane, -1, -1}; }
+Location board_location(int rack, int midplane, int board) {
+  return Location{rack, midplane, board, -1};
+}
+Location card_location(int rack, int midplane, int board, int card) {
+  return Location{rack, midplane, board, card};
+}
+
+}  // namespace envmon::tsdb

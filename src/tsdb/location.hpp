@@ -1,0 +1,39 @@
+#pragma once
+// Location keys for environmental records.
+//
+// The BG/Q environmental database keys every sensor sample by its physical
+// location ("R00-M0-N04-J17" = rack 0, midplane 0, node board 4, compute
+// card 17 — the scheme IBM documents in the BG/Q system administration
+// redbook).  We parse and generate that scheme, and reuse it loosely for
+// the other platforms ("HOST-S0" for a CPU socket, "HOST-GPU0", ...).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace envmon::tsdb {
+
+struct Location {
+  int rack = -1;      // Rxx
+  int midplane = -1;  // Mx
+  int board = -1;     // Nxx (node board)
+  int card = -1;      // Jxx (compute card)
+
+  [[nodiscard]] std::string to_string() const;
+
+  // Hierarchy tests: a location "contains" another if it is an ancestor
+  // (e.g. R00-M0 contains R00-M0-N04-J17).
+  [[nodiscard]] bool contains(const Location& other) const;
+
+  friend bool operator==(const Location&, const Location&) = default;
+};
+
+// Parses strings like "R00", "R00-M1", "R00-M1-N04", "R00-M1-N04-J17".
+[[nodiscard]] std::optional<Location> parse_location(std::string_view s);
+
+[[nodiscard]] Location rack_location(int rack);
+[[nodiscard]] Location midplane_location(int rack, int midplane);
+[[nodiscard]] Location board_location(int rack, int midplane, int board);
+[[nodiscard]] Location card_location(int rack, int midplane, int board, int card);
+
+}  // namespace envmon::tsdb

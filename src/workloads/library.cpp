@@ -1,0 +1,113 @@
+#include "workloads/library.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace envmon::workloads {
+
+using power::ProfileBuilder;
+using power::Rail;
+
+UtilizationProfile mmps(const MmpsOptions& options) {
+  if (options.sweep_segments <= 0) {
+    throw std::invalid_argument("mmps: sweep_segments must be positive");
+  }
+  ProfileBuilder b;
+  const Duration seg = Duration::nanos(options.total.ns() / options.sweep_segments);
+  for (int i = 0; i < options.sweep_segments; ++i) {
+    // Small message sizes stress injection rate (cores + network equally);
+    // larger sizes shift the load toward links and optics.
+    const double f = options.sweep_segments == 1
+                         ? 0.0
+                         : static_cast<double>(i) / (options.sweep_segments - 1);
+    b.phase(seg, "mmps_sweep",
+            {{Rail::kCpuCore, 0.72 - 0.10 * f},
+             {Rail::kDram, 0.35},
+             {Rail::kNetwork, 0.80 + 0.15 * f},
+             {Rail::kLink, 0.75 + 0.20 * f},
+             {Rail::kOptics, 0.70 + 0.25 * f},
+             {Rail::kPcie, 0.20},
+             {Rail::kSram, 0.50}});
+  }
+  return std::move(b).build();
+}
+
+UtilizationProfile gaussian_elimination(const GaussianEliminationOptions& options) {
+  const Duration cycle = options.block + options.dip + options.spike;
+  if (cycle.ns() <= 0 || options.total < cycle) {
+    throw std::invalid_argument("gaussian_elimination: total shorter than one cycle");
+  }
+  const auto cycles = static_cast<std::size_t>(options.total / cycle);
+  const double dip_cpu = std::max(0.0, 0.95 * (1.0 - options.dip_depth));
+
+  ProfileBuilder b;
+  // Elimination block: compute-bound with significant memory traffic.
+  b.phase(options.block, "eliminate", {{Rail::kCpuCore, 0.95}, {Rail::kDram, 0.45}});
+  // Pivot selection / row swap: the rhythmic ~5 W dip of Fig 3.
+  b.phase(options.dip, "pivot", {{Rail::kCpuCore, dip_cpu}, {Rail::kDram, 0.65}});
+  // Tiny spike between drops (paper: "tiny spikes in power at regular
+  // intervals", cause unknown — we model them as a short burst where the
+  // next block's pages are touched).
+  b.phase(options.spike, "prefetch", {{Rail::kCpuCore, 0.99}, {Rail::kDram, 0.70}});
+  if (cycles > 1) b.repeat_last(3, cycles - 1);
+  return std::move(b).build();
+}
+
+UtilizationProfile gpu_noop(const GpuNoopOptions& options) {
+  // The kernel does nothing, but launching it keeps the SMs clocked up at
+  // a light duty cycle; memory stays almost untouched.
+  ProfileBuilder b;
+  b.phase(options.total, "noop_kernels",
+          {{Rail::kCpuCore, 0.18}, {Rail::kDram, 0.05}, {Rail::kPcie, 0.05}});
+  return std::move(b).build();
+}
+
+UtilizationProfile gpu_vector_add(const GpuVectorAddOptions& options) {
+  ProfileBuilder b;
+  // Host generates the vectors: the board is idle but kept awake by the
+  // process holding the context (slight clock-up, like the noop case).
+  b.phase(options.host_generation, "host_datagen",
+          {{Rail::kCpuCore, 0.15}, {Rail::kPcie, 0.02}});
+  b.phase(options.transfer, "h2d_transfer",
+          {{Rail::kCpuCore, 0.25}, {Rail::kDram, 0.40}, {Rail::kPcie, 0.95}});
+  // Vector add is bandwidth-bound: GDDR near peak, SMs high.
+  b.phase(options.compute, "vecadd_compute",
+          {{Rail::kCpuCore, 0.85}, {Rail::kDram, 0.90}, {Rail::kPcie, 0.10}});
+  return std::move(b).build();
+}
+
+UtilizationProfile offload_gauss(const OffloadGaussOptions& options) {
+  ProfileBuilder b;
+  b.phase(options.host_generation, "host_datagen", {{Rail::kCpuCore, 0.03}});
+  b.phase(options.transfer, "h2d_transfer", {{Rail::kCpuCore, 0.10}, {Rail::kPcie, 0.90}});
+  b.phase(options.compute, "ge_compute",
+          {{Rail::kCpuCore, 0.92}, {Rail::kDram, 0.55}, {Rail::kPcie, 0.05}});
+  return std::move(b).build();
+}
+
+UtilizationProfile noop_busyloop(Duration total) {
+  ProfileBuilder b;
+  b.phase(total, "noop", {{Rail::kCpuCore, 0.10}});
+  return std::move(b).build();
+}
+
+UtilizationProfile idle(Duration total) {
+  ProfileBuilder b;
+  b.phase(total, "idle", {});
+  return std::move(b).build();
+}
+
+UtilizationProfile dgemm(const DgemmOptions& options) {
+  ProfileBuilder b;
+  b.phase(options.total, "dgemm",
+          {{Rail::kCpuCore, options.cpu_util}, {Rail::kDram, options.dram_util}});
+  return std::move(b).build();
+}
+
+UtilizationProfile stream(const StreamOptions& options) {
+  ProfileBuilder b;
+  b.phase(options.total, "stream", {{Rail::kCpuCore, 0.45}, {Rail::kDram, 0.95}});
+  return std::move(b).build();
+}
+
+}  // namespace envmon::workloads

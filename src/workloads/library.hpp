@@ -1,0 +1,89 @@
+#pragma once
+// The workloads the paper runs on each platform, as utilization profiles.
+//
+//   * MMPS (million messages per second) — the ALCF MPI messaging-rate
+//     benchmark driven on BG/Q (Figs 1-2): interconnect-dominated.
+//   * Gaussian elimination — the CPU workload behind Fig 3 (RAPL) and
+//     Fig 8 (128 Xeon Phis on Stampede): compute blocks separated by
+//     rhythmic pivot/synchronization dips of a few watts with small
+//     communication spikes in between.
+//   * GPU NOOP — Fig 4: a do-nothing kernel launched repeatedly.
+//   * GPU vector add — Fig 5: ~10 s host-side data generation, transfer,
+//     then a long device compute plateau.
+//   * no-op / idle — the Fig 7 Xeon Phi baseline.
+//
+// Durations are parameters so the bench harness can match the paper's
+// figure time spans exactly while tests use short versions.
+
+#include "power/profile.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::workloads {
+
+using power::UtilizationProfile;
+using sim::Duration;
+
+struct MmpsOptions {
+  Duration total = Duration::seconds(1500);  // Fig 2 spans ~1500 s
+  // Messaging-rate tests sweep message sizes; each sweep segment shifts
+  // load slightly between the network and the cores.
+  int sweep_segments = 6;
+};
+[[nodiscard]] UtilizationProfile mmps(const MmpsOptions& options = {});
+
+struct GaussianEliminationOptions {
+  Duration total = Duration::seconds(50);      // Fig 3 active span
+  Duration block = Duration::from_seconds(3.0);   // compute block length
+  Duration dip = Duration::from_seconds(0.5);     // pivot/sync dip length
+  Duration spike = Duration::from_seconds(0.15);  // comm spike length
+  // Fraction of CPU utilization lost during a dip (the ~5 W drop of a
+  // ~45 W package shows up as ~0.12 of dynamic range).
+  double dip_depth = 0.14;
+};
+[[nodiscard]] UtilizationProfile gaussian_elimination(
+    const GaussianEliminationOptions& options = {});
+
+struct GpuNoopOptions {
+  Duration total = Duration::from_seconds(12.5);  // Fig 4 span
+};
+[[nodiscard]] UtilizationProfile gpu_noop(const GpuNoopOptions& options = {});
+
+struct GpuVectorAddOptions {
+  Duration host_generation = Duration::seconds(10);  // host busy, GPU idle
+  Duration transfer = Duration::from_seconds(2.0);   // PCIe burst
+  Duration compute = Duration::seconds(88);          // device compute
+};
+[[nodiscard]] UtilizationProfile gpu_vector_add(const GpuVectorAddOptions& options = {});
+
+// Distributed Gaussian elimination as offloaded to accelerator cards on
+// Stampede (Fig 8): ~100 s host-side data generation with the cards
+// near-idle, then transfer and a compute plateau.
+struct OffloadGaussOptions {
+  Duration host_generation = Duration::seconds(100);
+  Duration transfer = Duration::from_seconds(5.0);
+  Duration compute = Duration::seconds(145);
+};
+[[nodiscard]] UtilizationProfile offload_gauss(const OffloadGaussOptions& options = {});
+
+// Card-resident no-op busy loop (Fig 7): constant light load.
+[[nodiscard]] UtilizationProfile noop_busyloop(Duration total);
+
+// True idle for a given span.
+[[nodiscard]] UtilizationProfile idle(Duration total);
+
+// Dense matrix multiply: steady high CPU+DRAM (used by extra examples
+// and the ablation benches).
+struct DgemmOptions {
+  Duration total = Duration::seconds(60);
+  double cpu_util = 0.97;
+  double dram_util = 0.55;
+};
+[[nodiscard]] UtilizationProfile dgemm(const DgemmOptions& options = {});
+
+// STREAM-like: memory-bound, moderate CPU.
+struct StreamOptions {
+  Duration total = Duration::seconds(30);
+};
+[[nodiscard]] UtilizationProfile stream(const StreamOptions& options = {});
+
+}  // namespace envmon::workloads

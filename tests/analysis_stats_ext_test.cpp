@@ -1,0 +1,91 @@
+#include "analysis/stats_ext.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace envmon::analysis {
+namespace {
+
+TEST(Histogram, CountsLandInBins) {
+  const std::vector<double> v = {0.0, 0.1, 0.2, 5.0, 9.9, 10.0};
+  const auto h = histogram(v, 10);
+  EXPECT_EQ(h.total(), v.size());
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 10.0);
+  EXPECT_EQ(h.counts.front(), 3u);  // 0.0, 0.1, 0.2
+  EXPECT_EQ(h.counts.back(), 2u);   // 9.9, 10.0 (max clamps to last bin)
+}
+
+TEST(Histogram, DegenerateInputs) {
+  EXPECT_EQ(histogram({}, 4).total(), 0u);
+  const std::vector<double> v = {1.0};
+  EXPECT_EQ(histogram(v, 0).total(), 0u);
+  const auto h = histogram(v, 4);  // single value: synthetic range
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  const std::vector<double> v = {1, 1, 1, 2, 3};
+  const auto text = render_histogram(histogram(v, 2));
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('3'), std::string::npos);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> neg(b.rbegin(), b.rend());
+  EXPECT_NEAR(pearson(a, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNoiseNearZero) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(a, b), 0.0, 0.05);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+  const std::vector<double> constant = {3, 3, 3, 3};
+  const std::vector<double> varying = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(constant, varying), 0.0);  // zero variance
+}
+
+TEST(TraceCorrelation, PowerTemperatureCoupling) {
+  // A power ramp and its low-passed temperature are strongly positively
+  // correlated — the Fig 5 relationship.
+  std::vector<sim::TracePoint> power, temp;
+  double t_state = 40.0;
+  for (int i = 0; i < 300; ++i) {
+    const double p = i < 100 ? 50.0 : 130.0;
+    t_state += 0.02 * (40.0 + 0.2 * p - t_state);
+    power.push_back({sim::SimTime::from_seconds(i), p});
+    temp.push_back({sim::SimTime::from_seconds(i), t_state});
+  }
+  EXPECT_GT(trace_correlation(power, temp), 0.7);
+}
+
+TEST(BestLag, RecoversKnownShift) {
+  Rng rng(9);
+  std::vector<double> base;
+  for (int i = 0; i < 400; ++i) {
+    base.push_back(std::sin(i * 0.10) + 0.05 * rng.normal());
+  }
+  // b is a shifted into the future by 7 samples: b[i] = a[i - 7].
+  std::vector<double> shifted(base.size(), 0.0);
+  for (std::size_t i = 7; i < base.size(); ++i) shifted[i] = base[i - 7];
+  EXPECT_EQ(best_lag(base, shifted, 20), 7);
+  EXPECT_EQ(best_lag(shifted, base, 20), -7);
+  EXPECT_EQ(best_lag(base, base, 20), 0);
+}
+
+}  // namespace
+}  // namespace envmon::analysis

@@ -1,0 +1,184 @@
+#include "analysis/render.hpp"
+#include "analysis/series_ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace envmon::analysis {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+using sim::TracePoint;
+
+std::vector<TracePoint> ramp(double start_s, double end_s, double step_s, double slope) {
+  std::vector<TracePoint> pts;
+  for (double t = start_s; t < end_s; t += step_s) {
+    pts.push_back({SimTime::from_seconds(t), slope * t});
+  }
+  return pts;
+}
+
+TEST(Resample, AveragesWithinBuckets) {
+  std::vector<TracePoint> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({SimTime::from_seconds(i), i < 5 ? 10.0 : 20.0});
+  }
+  const auto out = resample_mean(pts, Duration::seconds(5));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(out[1].value, 20.0);
+}
+
+TEST(Resample, EmptyBucketsHoldPreviousValue) {
+  std::vector<TracePoint> pts = {{SimTime::from_seconds(0), 5.0},
+                                 {SimTime::from_seconds(10), 9.0}};
+  const auto out = resample_mean(pts, Duration::seconds(2));
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_DOUBLE_EQ(out[1].value, 5.0);  // held
+  EXPECT_DOUBLE_EQ(out[5].value, 9.0);
+}
+
+TEST(Resample, EmptyInput) {
+  EXPECT_TRUE(resample_mean({}, Duration::seconds(1)).empty());
+}
+
+TEST(Integrate, ConstantPower) {
+  std::vector<TracePoint> pts;
+  for (int i = 0; i <= 10; ++i) pts.push_back({SimTime::from_seconds(i), 50.0});
+  EXPECT_DOUBLE_EQ(integrate(pts), 500.0);  // 50 W x 10 s
+}
+
+TEST(Integrate, TrapezoidOnRamp) {
+  const auto pts = ramp(0.0, 10.001, 1.0, 2.0);  // v = 2t, 0..10
+  EXPECT_NEAR(integrate(pts), 100.0, 1e-9);      // integral of 2t = t^2
+}
+
+TEST(Integrate, FewPoints) {
+  EXPECT_DOUBLE_EQ(integrate({}), 0.0);
+  const std::vector<TracePoint> one = {{SimTime::zero(), 5.0}};
+  EXPECT_DOUBLE_EQ(integrate(one), 0.0);
+}
+
+TEST(MeanInWindow, FiltersByTime) {
+  std::vector<TracePoint> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({SimTime::from_seconds(i), double(i)});
+  EXPECT_DOUBLE_EQ(mean_in_window(pts, SimTime::from_seconds(2), SimTime::from_seconds(4)),
+                   3.0);
+  EXPECT_DOUBLE_EQ(mean_in_window(pts, SimTime::from_seconds(50), SimTime::from_seconds(60)),
+                   0.0);
+}
+
+TEST(FirstRiseAbove, FindsCrossing) {
+  const auto pts = ramp(0.0, 10.0, 0.5, 1.0);
+  const auto c = first_rise_above(pts, 4.2);
+  ASSERT_TRUE(c.found);
+  EXPECT_DOUBLE_EQ(c.t.to_seconds(), 4.5);
+  EXPECT_FALSE(first_rise_above(pts, 100.0).found);
+}
+
+TEST(SettleTime, DetectsExponentialSettling) {
+  // Exponential approach to 56 from 44 with tau=1.7 s, sampled at 100 ms:
+  // the Fig 4 measurement.
+  std::vector<TracePoint> pts;
+  for (double t = 0.0; t < 12.5; t += 0.1) {
+    pts.push_back({SimTime::from_seconds(t), 56.0 - 12.0 * std::exp(-t / 1.7)});
+  }
+  const auto c = settle_time(pts, 0.5);
+  ASSERT_TRUE(c.found);
+  // Settles within 0.5 W of plateau around t = tau*ln(12/0.5) ~= 5.4 s.
+  EXPECT_GT(c.t.to_seconds(), 3.5);
+  EXPECT_LT(c.t.to_seconds(), 7.0);
+}
+
+TEST(SettleTime, FlatSeriesSettlesImmediately) {
+  std::vector<TracePoint> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({SimTime::from_seconds(i), 10.0});
+  const auto c = settle_time(pts, 0.5);
+  ASSERT_TRUE(c.found);
+  EXPECT_DOUBLE_EQ(c.t.to_seconds(), 0.0);
+}
+
+TEST(SumSeries, PointwiseSum) {
+  std::vector<std::vector<TracePoint>> series(3);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 5; ++i) {
+      series[static_cast<std::size_t>(s)].push_back(
+          {SimTime::from_seconds(i), 10.0 * (s + 1)});
+    }
+  }
+  const auto sum = sum_series(series);
+  ASSERT_EQ(sum.size(), 5u);
+  EXPECT_DOUBLE_EQ(sum[0].value, 60.0);
+}
+
+TEST(SumSeries, TruncatesToShortest) {
+  std::vector<std::vector<TracePoint>> series(2);
+  series[0] = ramp(0, 10, 1, 1.0);
+  series[1] = ramp(0, 5, 1, 1.0);
+  EXPECT_EQ(sum_series(series).size(), 5u);
+  EXPECT_TRUE(sum_series({}).empty());
+}
+
+TEST(RenderChart, ContainsTitleAxesAndGlyphs) {
+  const auto pts = ramp(0.0, 10.0, 0.5, 5.0);
+  ChartOptions o;
+  o.title = "Fig X";
+  o.y_label = "Watts";
+  const std::string chart = render_chart(pts, o);
+  EXPECT_NE(chart.find("Fig X"), std::string::npos);
+  EXPECT_NE(chart.find("Watts"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("time (s)"), std::string::npos);
+}
+
+TEST(RenderChartMulti, LegendListsSeries) {
+  std::vector<NamedSeries> series(2);
+  series[0] = {"alpha", ramp(0, 10, 1, 1.0)};
+  series[1] = {"beta", ramp(0, 10, 1, 2.0)};
+  const std::string chart = render_chart_multi(series, {});
+  EXPECT_NE(chart.find("legend:"), std::string::npos);
+  EXPECT_NE(chart.find("alpha"), std::string::npos);
+  EXPECT_NE(chart.find("beta"), std::string::npos);
+}
+
+TEST(RenderChart, EmptySeriesDoesNotCrash) {
+  const std::string chart = render_chart({}, {});
+  EXPECT_FALSE(chart.empty());
+}
+
+TEST(TableRenderer, AlignsColumns) {
+  TableRenderer t({"Domain", "Description"});
+  t.add_row({"PKG", "Whole CPU package."});
+  t.add_row({"DRAM", "Sum of socket's DIMM power(s)."});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| PKG "), std::string::npos);
+  EXPECT_NE(out.find("| Domain"), std::string::npos);
+  // Every line has the same width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(RenderBoxplot, ShowsMedianAndScale) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(113.0 + 0.01 * i);
+    b.push_back(116.0 + 0.01 * i);
+  }
+  const std::vector<BoxplotSeries> series = {{"Daemon", boxplot_stats(a)},
+                                             {"API", boxplot_stats(b)}};
+  const std::string out = render_boxplot(series);
+  EXPECT_NE(out.find("Daemon"), std::string::npos);
+  EXPECT_NE(out.find("API"), std::string::npos);
+  EXPECT_NE(out.find('M'), std::string::npos);
+  EXPECT_NE(out.find("scale:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace envmon::analysis

@@ -1,0 +1,222 @@
+#include "bgq/emon.hpp"
+#include "bgq/env_monitor.hpp"
+#include "bgq/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/library.hpp"
+
+namespace envmon::bgq {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(Topology, MiraRackCounts) {
+  const Topology t;
+  EXPECT_EQ(t.boards_per_rack(), 32);
+  EXPECT_EQ(t.total_nodes(), 1024);  // "a total of 1,024 nodes per rack"
+}
+
+TEST(Machine, BoardEnumeration) {
+  BgqMachine m;
+  EXPECT_EQ(m.board_count(), 32u);
+  EXPECT_EQ(m.board(0).midplane(), 0);
+  EXPECT_EQ(m.board(16).midplane(), 1);  // two midplanes of 16 boards
+  EXPECT_EQ(m.board(17).board(), 1);
+}
+
+TEST(Machine, RejectsBadTopology) {
+  Topology t;
+  t.racks = 0;
+  EXPECT_THROW(BgqMachine{t}, std::invalid_argument);
+}
+
+TEST(Machine, IdleBoardPowerInCalibratedRange) {
+  BgqMachine m;
+  const Watts idle = m.board(0).total_power(SimTime::zero());
+  EXPECT_GT(idle.value(), 550.0);
+  EXPECT_LT(idle.value(), 850.0);
+}
+
+TEST(Machine, MmpsRaisesBoardTowardTwoKilowatts) {
+  BgqMachine m;
+  const auto w = workloads::mmps({Duration::seconds(600), 6});
+  m.run_workload(&w, SimTime::zero());
+  const Watts active = m.board(0).total_power(SimTime::from_seconds(300));
+  EXPECT_GT(active.value(), 1700.0);
+  EXPECT_LT(active.value(), 2400.0);
+}
+
+TEST(Machine, ChipCoreIsLargestDomainUnderMmps) {
+  BgqMachine m;
+  const auto w = workloads::mmps({Duration::seconds(600), 6});
+  m.run_workload(&w, SimTime::zero());
+  const auto t = SimTime::from_seconds(300);
+  const Watts chip = m.board(0).domain_power(Domain::kChipCore, t);
+  for (const Domain d : kAllDomains) {
+    if (d == Domain::kChipCore) continue;
+    EXPECT_GT(chip.value(), m.board(0).domain_power(d, t).value()) << to_string(d);
+  }
+}
+
+TEST(Machine, WorkloadOnBoardSubsetOnly) {
+  BgqMachine m;
+  const auto w = workloads::dgemm({Duration::seconds(100), 0.9, 0.5});
+  m.run_workload(&w, SimTime::zero(), 0, 4);
+  const auto t = SimTime::from_seconds(50);
+  EXPECT_GT(m.board(0).total_power(t).value(), m.board(4).total_power(t).value() + 300.0);
+}
+
+TEST(Machine, BpmInputExceedsDcByConversionLoss) {
+  BgqMachine m;
+  const auto t = SimTime::zero();
+  const double dc = m.bpm_output_power(0, t).value();
+  const double ac = m.bpm_input_power(0, t).value();
+  EXPECT_NEAR(ac * 0.92, dc, 1.0);
+  EXPECT_GT(ac, dc);
+}
+
+TEST(Machine, BpmCurrentAt480Volts) {
+  BgqMachine m;
+  const auto t = SimTime::zero();
+  EXPECT_NEAR(m.bpm_input_current(0, t).value() * 480.0, m.bpm_input_power(0, t).value(),
+              1e-6);
+}
+
+TEST(Emon, NoDataBeforeFirstGeneration) {
+  BgqMachine m;
+  EmonSession emon(m.board(0));
+  const auto r = emon.read(SimTime::from_ns(100));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Emon, ReturnsCompletedGenerationOnly) {
+  BgqMachine m;
+  EmonSession emon(m.board(0));
+  // At t = 1.3 s, generation 1 (0.56-1.12 s) is complete; generation 2 is
+  // in flight.  The reading must come from generation 1.
+  const auto r = emon.read(SimTime::from_seconds(1.3));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value().generation_start.to_seconds(), 0.56);
+}
+
+TEST(Emon, StaleDataWithinGeneration) {
+  BgqMachine m;
+  EmonSession emon(m.board(0));
+  const auto a = emon.read(SimTime::from_seconds(1.20));
+  const auto b = emon.read(SimTime::from_seconds(1.60));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  // Both reads land in the same generation window: identical snapshots.
+  EXPECT_EQ(a.value().generation_start.ns(), b.value().generation_start.ns());
+  EXPECT_DOUBLE_EQ(a.value().total_power().value(), b.value().total_power().value());
+}
+
+TEST(Emon, DomainsNotSampledSimultaneously) {
+  BgqMachine m;
+  EmonSession emon(m.board(0));
+  const auto r = emon.read(SimTime::from_seconds(2.0));
+  ASSERT_TRUE(r.is_ok());
+  const auto& domains = r.value().domains;
+  // Staggered sampling: the inconsistency the paper warns about when
+  // "code begins to stress both the CPU and memory at the same time".
+  EXPECT_LT(domains.front().sampled_at, domains.back().sampled_at);
+}
+
+TEST(Emon, ChargesQueryCost) {
+  BgqMachine m;
+  EmonSession emon(m.board(0));
+  (void)emon.read(SimTime::from_seconds(2.0));
+  (void)emon.read(SimTime::from_seconds(3.0));
+  EXPECT_EQ(emon.cost().queries(), 2u);
+  EXPECT_NEAR(emon.cost().mean_per_query().to_millis(), 1.10, 1e-9);
+}
+
+TEST(Emon, TotalMatchesBoardPowerClosely) {
+  BgqMachine m;
+  const auto w = workloads::mmps({Duration::seconds(600), 6});
+  m.run_workload(&w, SimTime::zero());
+  EmonSession emon(m.board(0));
+  const auto r = emon.read(SimTime::from_seconds(300.0));
+  ASSERT_TRUE(r.is_ok());
+  const double direct = m.board(0).total_power(SimTime::from_seconds(300.0)).value();
+  // Within a few percent: staleness + stagger, not systematic error.
+  EXPECT_NEAR(r.value().total_power().value(), direct, 0.05 * direct);
+}
+
+TEST(EnvMonitor, RejectsOutOfRangeInterval) {
+  sim::Engine engine;
+  BgqMachine m;
+  tsdb::EnvDatabase db;
+  EnvMonitorOptions o;
+  o.interval = Duration::seconds(30);  // below the 60 s floor
+  EXPECT_FALSE(EnvMonitor::create(engine, m, db, o).is_ok());
+  o.interval = Duration::seconds(3600);  // above the 1800 s ceiling
+  EXPECT_FALSE(EnvMonitor::create(engine, m, db, o).is_ok());
+  o.interval = Duration::seconds(60);
+  EXPECT_TRUE(EnvMonitor::create(engine, m, db, o).is_ok());
+  o.interval = Duration::seconds(1800);
+  EXPECT_TRUE(EnvMonitor::create(engine, m, db, o).is_ok());
+}
+
+TEST(EnvMonitor, RecordsBpmPowerPerInterval) {
+  sim::Engine engine;
+  BgqMachine m;
+  tsdb::EnvDatabase db;
+  EnvMonitorOptions o;
+  o.interval = Duration::seconds(240);
+  o.record_board_voltages = false;
+  auto monitor = EnvMonitor::create(engine, m, db, o);
+  ASSERT_TRUE(monitor.is_ok());
+  monitor.value()->start();
+  engine.run_until(SimTime::from_seconds(1000));
+  EXPECT_EQ(monitor.value()->polls_completed(), 4u);  // 240, 480, 720, 960
+
+  tsdb::QueryFilter f;
+  f.metric = kMetricBpmInputPower;
+  const auto rows = db.query(f);
+  ASSERT_EQ(rows.size(), 4u);
+  // Idle rack: BPM input around (idle boards + overhead) / efficiency.
+  const double expected = m.bpm_input_power(0, SimTime::zero()).value();
+  for (const auto& rec : rows) {
+    EXPECT_NEAR(rec.value, expected, 0.02 * expected);
+  }
+}
+
+TEST(EnvMonitor, RecordsCoolantAndFans) {
+  sim::Engine engine;
+  BgqMachine m;
+  tsdb::EnvDatabase db;
+  EnvMonitorOptions o;
+  o.interval = Duration::seconds(120);
+  o.record_board_voltages = false;
+  auto monitor = EnvMonitor::create(engine, m, db, o);
+  ASSERT_TRUE(monitor.is_ok());
+  monitor.value()->start();
+  engine.run_until(SimTime::from_seconds(600));
+  for (const char* metric : {kMetricCoolantTempC, kMetricCoolantFlowLpm, kMetricFanSpeedRpm,
+                             kMetricBpmInputCurrent, kMetricBpmOutputPower}) {
+    tsdb::QueryFilter f;
+    f.metric = metric;
+    EXPECT_FALSE(db.query(f).empty()) << metric;
+  }
+}
+
+TEST(EnvMonitor, StopHaltsPolling) {
+  sim::Engine engine;
+  BgqMachine m;
+  tsdb::EnvDatabase db;
+  auto monitor = EnvMonitor::create(engine, m, db, {Duration::seconds(60), 1, false});
+  ASSERT_TRUE(monitor.is_ok());
+  monitor.value()->start();
+  engine.run_until(SimTime::from_seconds(150));
+  monitor.value()->stop();
+  const auto polls = monitor.value()->polls_completed();
+  engine.run_until(SimTime::from_seconds(600));
+  EXPECT_EQ(monitor.value()->polls_completed(), polls);
+}
+
+}  // namespace
+}  // namespace envmon::bgq

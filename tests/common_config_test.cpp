@@ -1,0 +1,88 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace envmon {
+namespace {
+
+constexpr const char* kSample = R"(
+# monitoring deployment knobs
+top_level = ok
+
+[bgq]
+env_poll_seconds = 240
+record_board_voltages = true
+
+[rapl]
+interval_ms = 100.5
+domains = PKG,PP0,DRAM   ; inline comment stripped
+)";
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const auto c = Config::parse(kSample);
+  ASSERT_TRUE(c.is_ok()) << c.status();
+  EXPECT_TRUE(c.value().has("bgq", "env_poll_seconds"));
+  EXPECT_TRUE(c.value().has("rapl", "interval_ms"));
+  EXPECT_FALSE(c.value().has("bgq", "interval_ms"));
+  EXPECT_EQ(c.value().size(), 5u);
+}
+
+TEST(Config, TypedGetters) {
+  const auto c = Config::parse(kSample).value();
+  EXPECT_EQ(c.get_int("bgq", "env_poll_seconds", 0).value(), 240);
+  EXPECT_DOUBLE_EQ(c.get_double("rapl", "interval_ms", 0.0).value(), 100.5);
+  EXPECT_TRUE(c.get_bool("bgq", "record_board_voltages", false).value());
+  EXPECT_EQ(c.get_string("rapl", "domains", "").value(), "PKG,PP0,DRAM");
+}
+
+TEST(Config, DefaultsWhenAbsent) {
+  const auto c = Config::parse(kSample).value();
+  EXPECT_EQ(c.get_int("bgq", "missing", 42).value(), 42);
+  EXPECT_EQ(c.get_string("nope", "missing", "fallback").value(), "fallback");
+  EXPECT_FALSE(c.get_bool("nope", "missing", false).value());
+}
+
+TEST(Config, TypeErrorsSurface) {
+  const auto c = Config::parse("[s]\nk = not_a_number\nf = 1.5\n").value();
+  EXPECT_FALSE(c.get_double("s", "k", 0.0).is_ok());
+  EXPECT_FALSE(c.get_int("s", "f", 0).is_ok());  // non-integral
+  EXPECT_FALSE(c.get_bool("s", "k", false).is_ok());
+}
+
+TEST(Config, BooleanSpellings) {
+  const auto c =
+      Config::parse("[b]\na=true\nb=YES\nc=on\nd=1\ne=false\nf=No\ng=off\nh=0\n").value();
+  for (const char* k : {"a", "b", "c", "d"}) {
+    EXPECT_TRUE(c.get_bool("b", k, false).value()) << k;
+  }
+  for (const char* k : {"e", "f", "g", "h"}) {
+    EXPECT_FALSE(c.get_bool("b", k, true).value()) << k;
+  }
+}
+
+TEST(Config, TopLevelKeysLiveInEmptySection) {
+  const auto c = Config::parse(kSample).value();
+  EXPECT_EQ(c.get_string("", "top_level", "").value(), "ok");
+}
+
+TEST(Config, RejectsMalformedInput) {
+  EXPECT_FALSE(Config::parse("[unclosed\nk=v\n").is_ok());
+  EXPECT_FALSE(Config::parse("[]\n").is_ok());
+  EXPECT_FALSE(Config::parse("just a bare line\n").is_ok());
+  EXPECT_FALSE(Config::parse("[s]\n= value_without_key\n").is_ok());
+}
+
+TEST(Config, LaterKeyWins) {
+  const auto c = Config::parse("[s]\nk = 1\nk = 2\n").value();
+  EXPECT_EQ(c.get_int("s", "k", 0).value(), 2);
+}
+
+TEST(Config, EmptyInputIsEmptyConfig) {
+  const auto c = Config::parse("");
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().size(), 0u);
+  EXPECT_TRUE(c.value().sections().empty());
+}
+
+}  // namespace
+}  // namespace envmon

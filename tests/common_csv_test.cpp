@@ -1,0 +1,118 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace envmon {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("a", "b", "c");
+  EXPECT_EQ(os.str(), "a,b,c\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(CsvWriter, NumericFields) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("power", 42, 3);
+  EXPECT_EQ(os.str(), "power,42,3\n");
+}
+
+TEST(CsvWriter, QuotesFieldWithDelimiter) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("a,b", "plain");
+  EXPECT_EQ(os.str(), "\"a,b\",plain\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("say \"hi\"");
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("line1\nline2");
+  EXPECT_EQ(os.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, CustomDelimiter) {
+  std::ostringstream os;
+  CsvWriter w(os, ';');
+  w.row("a", "b");
+  EXPECT_EQ(os.str(), "a;b\n");
+}
+
+TEST(CsvParse, HeaderAndRows) {
+  const auto r = parse_csv("h1,h2\nv1,v2\nv3,v4\n");
+  ASSERT_TRUE(r.is_ok());
+  const auto& t = r.value();
+  ASSERT_EQ(t.header.size(), 2u);
+  EXPECT_EQ(t.header[0], "h1");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "v4");
+}
+
+TEST(CsvParse, NoHeaderMode) {
+  const auto r = parse_csv("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().header.empty());
+  EXPECT_EQ(r.value().rows.size(), 2u);
+}
+
+TEST(CsvParse, QuotedFieldWithDelimiterAndNewline) {
+  const auto r = parse_csv("h\n\"a,b\nc\"\n");
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0], "a,b\nc");
+}
+
+TEST(CsvParse, DoubledQuoteUnescapes) {
+  const auto r = parse_csv("h\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParse, ToleratesCrLf) {
+  const auto r = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().rows[0][0], "1");
+}
+
+TEST(CsvParse, MissingFinalNewline) {
+  const auto r = parse_csv("h\nlast,row");
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][1], "row");
+}
+
+TEST(CsvParse, UnterminatedQuoteFails) {
+  const auto r = parse_csv("h\n\"open\n");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParse, MidFieldQuoteFails) {
+  const auto r = parse_csv("h\nab\"cd\"\n");
+  ASSERT_FALSE(r.is_ok());
+}
+
+TEST(CsvParse, RoundTripThroughWriter) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("time_s", "domain", "value");
+  w.row("1.5", "chip,core", "42.0");
+  const auto r = parse_csv(os.str());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().rows[0][1], "chip,core");
+}
+
+}  // namespace
+}  // namespace envmon

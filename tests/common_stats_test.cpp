@@ -1,0 +1,151 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace envmon {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStats) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, ExtremesAndClamping) {
+  const std::vector<double> v = {1.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.5), 9.0);
+}
+
+TEST(Quantile, EmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW((void)quantile(v, 0.5), std::invalid_argument);
+}
+
+TEST(Quantiles, UnsortedInputHandled) {
+  const std::vector<double> v = {9.0, 1.0, 5.0};
+  const std::vector<double> qs = {0.0, 0.5, 1.0};
+  const auto result = quantiles(v, qs);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_DOUBLE_EQ(result[0], 1.0);
+  EXPECT_DOUBLE_EQ(result[1], 5.0);
+  EXPECT_DOUBLE_EQ(result[2], 9.0);
+}
+
+TEST(Boxplot, NoOutliersWhiskersAreExtremes) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto b = boxplot_stats(v);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 5.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(Boxplot, DetectsOutliers) {
+  std::vector<double> v;
+  for (int i = 0; i < 20; ++i) v.push_back(10.0 + 0.1 * i);
+  v.push_back(100.0);  // far outlier
+  const auto b = boxplot_stats(v);
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100.0);
+  EXPECT_LT(b.whisker_high, 100.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+}
+
+TEST(Boxplot, EmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW((void)boxplot_stats(v), std::invalid_argument);
+}
+
+TEST(WelchTTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto t = welch_t_test(a, a);
+  EXPECT_NEAR(t.t, 0.0, 1e-12);
+  EXPECT_GT(t.p_value, 0.99);
+}
+
+TEST(WelchTTest, SeparatedSamplesSignificant) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.normal(113.5, 0.8));  // the Fig 7 daemon distribution
+    b.push_back(rng.normal(116.5, 0.8));  // the Fig 7 API distribution
+  }
+  const auto t = welch_t_test(b, a);
+  EXPECT_GT(t.t, 10.0);
+  EXPECT_LT(t.p_value, 1e-6);
+}
+
+TEST(WelchTTest, TinySamplesReturnNeutral) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {2.0};
+  const auto t = welch_t_test(a, b);
+  EXPECT_EQ(t.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace envmon

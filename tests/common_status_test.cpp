@@ -1,0 +1,59 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace envmon {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s(StatusCode::kPermissionDenied, "msr device requires root");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(s.message(), "msr device requires root");
+  EXPECT_EQ(s.to_string(), "PERMISSION_DENIED: msr device requires root");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kPermissionDenied, StatusCode::kUnavailable, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kUnsupported, StatusCode::kInternal}) {
+    EXPECT_NE(to_string(code), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r = Status(StatusCode::kNotFound, "no such sensor");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrPassesThroughOnSuccess) {
+  const Result<double> r = 3.5;
+  EXPECT_DOUBLE_EQ(r.value_or(0.0), 3.5);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("large payload");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "large payload");
+}
+
+}  // namespace
+}  // namespace envmon

@@ -1,0 +1,86 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace envmon {
+namespace {
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_EQ(Watts{}.value(), 0.0);
+  EXPECT_EQ(Joules{}.value(), 0.0);
+  EXPECT_EQ(Seconds{}.value(), 0.0);
+}
+
+TEST(Units, AdditionAndSubtraction) {
+  const Watts a{10.0}, b{2.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 12.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 7.5);
+}
+
+TEST(Units, ScalarMultiplicationBothSides) {
+  const Watts w{3.0};
+  EXPECT_DOUBLE_EQ((w * 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((2.0 * w).value(), 6.0);
+  EXPECT_DOUBLE_EQ((w / 2.0).value(), 1.5);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  const double ratio = Watts{50.0} / Watts{25.0};
+  EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts w{1.0};
+  w += Watts{2.0};
+  EXPECT_DOUBLE_EQ(w.value(), 3.0);
+  w -= Watts{0.5};
+  EXPECT_DOUBLE_EQ(w.value(), 2.5);
+  w *= 4.0;
+  EXPECT_DOUBLE_EQ(w.value(), 10.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Joules e = Watts{100.0} * Seconds{5.0};
+  EXPECT_DOUBLE_EQ(e.value(), 500.0);
+  EXPECT_DOUBLE_EQ((Seconds{5.0} * Watts{100.0}).value(), 500.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower) {
+  EXPECT_DOUBLE_EQ((Joules{500.0} / Seconds{5.0}).value(), 100.0);
+}
+
+TEST(Units, VoltageTimesCurrentIsPower) {
+  EXPECT_DOUBLE_EQ((Volts{48.0} * Amps{2.0}).value(), 96.0);
+  EXPECT_DOUBLE_EQ((Amps{2.0} * Volts{48.0}).value(), 96.0);
+  EXPECT_DOUBLE_EQ((Watts{96.0} / Volts{48.0}).value(), 2.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Watts{1.0}, Watts{2.0});
+  EXPECT_GE(Celsius{40.0}, Celsius{40.0});
+  EXPECT_NE(Volts{1.0}, Volts{1.5});
+}
+
+TEST(Units, ByteHelpers) {
+  EXPECT_DOUBLE_EQ(kibibytes(1.0).value(), 1024.0);
+  EXPECT_DOUBLE_EQ(mebibytes(1.0).value(), 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(gibibytes(5.0).value(), 5.0 * 1024.0 * 1024.0 * 1024.0);
+}
+
+TEST(Units, FrequencyHelpers) {
+  EXPECT_DOUBLE_EQ(megahertz(706).value(), 706e6);
+  EXPECT_DOUBLE_EQ(gigahertz(2.6).value(), 2.6e9);
+}
+
+TEST(Units, Negation) { EXPECT_DOUBLE_EQ((-Watts{5.0}).value(), -5.0); }
+
+TEST(Units, StreamFormatting) {
+  std::ostringstream os;
+  os << Watts{42.0};
+  EXPECT_EQ(os.str(), "42 W");
+}
+
+}  // namespace
+}  // namespace envmon

@@ -1,0 +1,130 @@
+// Failure injection across the stack: devices fall off the bus, daemons
+// die mid-run, permissions get revoked — the profiler must degrade
+// gracefully, never fabricate data, and keep error records.
+
+#include <gtest/gtest.h>
+
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "mic/micras.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/profiler.hpp"
+#include "nvml/api.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(FailureInjection, NvmlDeviceLostMidRun) {
+  sim::Engine engine;
+  nvml::NvmlLibrary library(engine);
+  library.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)library.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)library.device_get_handle_by_index(0, &handle);
+
+  moneq::NvmlBackend backend(library, handle);
+  smpi::World world(1);
+  moneq::NodeProfiler profiler(engine, world, 0);
+  ASSERT_TRUE(profiler.add_backend(backend).is_ok());
+  ASSERT_TRUE(profiler.set_polling_interval(Duration::millis(100)).is_ok());
+  ASSERT_TRUE(profiler.initialize().is_ok());
+
+  engine.run_until(SimTime::from_seconds(2));
+  const std::size_t before_loss = profiler.samples().size();
+  EXPECT_GT(before_loss, 0u);
+
+  library.mark_device_lost(0);  // XID: the board falls off the bus
+  engine.run_until(SimTime::from_seconds(4));
+  ASSERT_TRUE(profiler.finalize().is_ok());
+
+  // No samples fabricated after the loss; errors recorded instead.
+  EXPECT_EQ(profiler.samples().size(), before_loss);
+  ASSERT_FALSE(profiler.collection_errors().empty());
+  EXPECT_EQ(profiler.collection_errors().front().code(), StatusCode::kUnavailable);
+}
+
+TEST(FailureInjection, NvmlLostDeviceApiSurface) {
+  sim::Engine engine;
+  nvml::NvmlLibrary library(engine);
+  library.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)library.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)library.device_get_handle_by_index(0, &handle);
+  library.mark_device_lost(0);
+  unsigned mw = 0;
+  EXPECT_EQ(library.device_get_power_usage(handle, &mw), nvml::NvmlReturn::kGpuIsLost);
+  std::string name;
+  EXPECT_EQ(library.device_get_name(handle, &name), nvml::NvmlReturn::kGpuIsLost);
+}
+
+TEST(FailureInjection, MicrasDaemonDiesAndRestarts) {
+  sim::Engine engine;
+  mic::PhiCard card(engine);
+  mic::MicrasDaemon daemon(card);
+  daemon.start();
+
+  moneq::MicDaemonBackend backend(daemon);
+  smpi::World world(1);
+  moneq::NodeProfiler profiler(engine, world, 0);
+  ASSERT_TRUE(profiler.add_backend(backend).is_ok());
+  ASSERT_TRUE(profiler.set_polling_interval(Duration::millis(200)).is_ok());
+  ASSERT_TRUE(profiler.initialize().is_ok());
+
+  engine.run_until(SimTime::from_seconds(2));
+  const std::size_t healthy = profiler.samples().size();
+  daemon.stop();  // oom-killed, say
+  engine.run_until(SimTime::from_seconds(4));
+  EXPECT_EQ(profiler.samples().size(), healthy);  // nothing fabricated
+  EXPECT_FALSE(profiler.collection_errors().empty());
+
+  daemon.start();  // restarted by init
+  engine.run_until(SimTime::from_seconds(6));
+  ASSERT_TRUE(profiler.finalize().is_ok());
+  EXPECT_GT(profiler.samples().size(), healthy);  // collection resumed
+}
+
+TEST(FailureInjection, ErrorLogIsBounded) {
+  sim::Engine engine;
+  mic::PhiCard card(engine);
+  mic::MicrasDaemon daemon(card);  // never started: every poll fails
+  moneq::MicDaemonBackend backend(daemon);
+  smpi::World world(1);
+  moneq::NodeProfiler profiler(engine, world, 0);
+  ASSERT_TRUE(profiler.add_backend(backend).is_ok());
+  ASSERT_TRUE(profiler.set_polling_interval(Duration::millis(50)).is_ok());
+  ASSERT_TRUE(profiler.initialize().is_ok());
+  engine.run_until(SimTime::from_seconds(30));  // 600 failing polls
+  ASSERT_TRUE(profiler.finalize().is_ok());
+  EXPECT_LE(profiler.collection_errors().size(), 64u);  // capped, not unbounded
+}
+
+TEST(FailureInjection, EmonBeforeFirstGenerationViaProfiler) {
+  // A profiler polling faster than data exists must record the
+  // unavailability, then recover once generations complete.
+  sim::Engine engine;
+  bgq::BgqMachine machine;
+  bgq::EmonOptions options;
+  options.generation_period = Duration::seconds(2);  // slow generations
+  bgq::EmonSession emon(machine.board(0), options);
+  moneq::BgqBackend backend(emon);
+  smpi::World world(32);
+  moneq::NodeProfiler profiler(engine, world, 0);
+  ASSERT_TRUE(profiler.add_backend(backend).is_ok());
+  ASSERT_TRUE(profiler.set_polling_interval(Duration::seconds(2)).is_ok());
+  ASSERT_TRUE(profiler.initialize().is_ok());
+  engine.run_until(SimTime::from_seconds(9));
+  ASSERT_TRUE(profiler.finalize().is_ok());
+  // Poll at t=2 s: generation 0 completes exactly then — data flows from
+  // the first poll; polls at 4, 6, 8 s all succeed.
+  EXPECT_TRUE(profiler.collection_errors().empty());
+  EXPECT_EQ(profiler.samples().size(), 4u * 22u);
+}
+
+}  // namespace
+}  // namespace envmon

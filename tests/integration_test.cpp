@@ -1,0 +1,276 @@
+// End-to-end shape assertions: every figure and table of the paper, run
+// through the scenarios the bench harness renders, with its qualitative
+// claims regression-tested.
+
+#include <gtest/gtest.h>
+
+#include "analysis/series_ops.hpp"
+#include "common/stats.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace envmon::scenarios {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+// Shortened Fig 1/2 run shared by the BG/Q assertions (the full 1500 s
+// version is rendered by the bench).
+const BgqRunResult& short_bgq_run() {
+  static const BgqRunResult result = [] {
+    BgqMmpsOptions o;
+    o.job_duration = Duration::seconds(500);
+    o.idle_margin = Duration::seconds(200);
+    o.env_poll_interval = Duration::seconds(60);
+    return run_bgq_mmps(o);
+  }();
+  return result;
+}
+
+TEST(Fig1, IdleVisibleBeforeAndAfterJob) {
+  const auto& r = short_bgq_run();
+  ASSERT_GT(r.bpm_input_power.size(), 5u);
+  // "The idle period before and after the job is clearly observable."
+  const double idle_before =
+      analysis::mean_in_window(r.bpm_input_power, SimTime::zero(), SimTime::from_seconds(190));
+  const double active = analysis::mean_in_window(
+      r.bpm_input_power, SimTime::from_seconds(260), SimTime::from_seconds(650));
+  const double idle_after = analysis::mean_in_window(
+      r.bpm_input_power, SimTime::from_seconds(760), SimTime::from_seconds(900));
+  EXPECT_GT(active, idle_before + 300.0);
+  EXPECT_NEAR(idle_after, idle_before, 0.05 * idle_before);
+}
+
+TEST(Fig2, MonEqSeesNoIdleAndMorePoints) {
+  const auto& r = short_bgq_run();
+  // MonEQ runs with the job: no idle margin in its series, and far more
+  // points than the environmental database collected.
+  const auto* node_card = [&]() -> const DomainSeries* {
+    for (const auto& d : r.moneq_domains) {
+      if (d.name == "node_card") return &d;
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(node_card, nullptr);
+  EXPECT_GT(node_card->points.size(), 10 * r.bpm_input_power.size());
+  RunningStats stats;
+  for (const auto& p : node_card->points) stats.add(p.value);
+  // The very first sample may mix idle and job readings: EMON returns
+  // the previous generation, whose staggered domain samples straddle the
+  // job launch — the exact inconsistency §II-A warns about.  By the
+  // second poll the data is fully at job power; no idle shoulder exists.
+  ASSERT_GE(node_card->points.size(), 2u);
+  EXPECT_GT(node_card->points[1].value, 0.8 * stats.mean());
+  EXPECT_GT(node_card->points.front().value, 690.0);  // never a pure-idle point
+}
+
+TEST(Fig2, SevenDomainsPlusNodeCardStack) {
+  const auto& r = short_bgq_run();
+  EXPECT_EQ(r.moneq_domains.size(), 8u);  // 7 domains + node_card
+  // The node_card line sits on top of every individual domain.
+  double chip_core_mean = 0.0, node_card_mean = 0.0;
+  for (const auto& d : r.moneq_domains) {
+    RunningStats s;
+    for (const auto& p : d.points) s.add(p.value);
+    if (d.name == "chip_core") chip_core_mean = s.mean();
+    if (d.name == "node_card") node_card_mean = s.mean();
+  }
+  EXPECT_GT(chip_core_mean, 500.0);
+  EXPECT_GT(node_card_mean, chip_core_mean);
+}
+
+TEST(Fig2Fig1, TotalsAgreeBetweenBpmAndMonEq) {
+  const auto& r = short_bgq_run();
+  // "the power consumption of the node card matches that of the data
+  // collected at the BPM in terms of total power consumption" — modulo
+  // rack overhead and conversion, the job delta must agree within ~15%.
+  const double bpm_active = analysis::mean_in_window(
+      r.bpm_input_power, SimTime::from_seconds(260), SimTime::from_seconds(650));
+  const double bpm_idle =
+      analysis::mean_in_window(r.bpm_input_power, SimTime::zero(), SimTime::from_seconds(190));
+  const double bpm_job_delta_dc = (bpm_active - bpm_idle) * 0.92;  // back to DC
+
+  const auto* node_card = [&]() -> const DomainSeries* {
+    for (const auto& d : r.moneq_domains) {
+      if (d.name == "node_card") return &d;
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(node_card, nullptr);
+  RunningStats moneq;
+  for (const auto& p : node_card->points) moneq.add(p.value);
+  // The whole rack ran the job (32 boards); MonEQ sees one board.
+  const double idle_board = 698.0;  // calibrated idle of one board
+  const double moneq_job_delta = (moneq.mean() - idle_board) * 32.0;
+  EXPECT_NEAR(bpm_job_delta_dc, moneq_job_delta, 0.15 * moneq_job_delta);
+}
+
+TEST(TableIII, OverheadRowsMatchPaperShape) {
+  const auto r32 = run_moneq_overhead(32);
+  const auto r512 = run_moneq_overhead(512);
+  const auto r1024 = run_moneq_overhead(1024);
+
+  // Collection identical across scales (same per-node work).
+  EXPECT_DOUBLE_EQ(r32.collection_s, r512.collection_s);
+  EXPECT_DOUBLE_EQ(r512.collection_s, r1024.collection_s);
+  EXPECT_NEAR(r32.collection_s, 0.398, 0.02);  // paper: 0.3871 at 1.10 ms
+
+  // Initialization nearly flat, slightly growing (2.7 -> 3.3 ms).
+  EXPECT_NEAR(r32.init_s, 0.0027, 0.0004);
+  EXPECT_NEAR(r1024.init_s, 0.0032, 0.0004);
+  EXPECT_GT(r1024.init_s, r32.init_s);
+
+  // Finalize flat to 512 then roughly doubles (0.151/0.155/0.335).
+  EXPECT_NEAR(r32.finalize_s, 0.151, 0.02);
+  EXPECT_NEAR(r512.finalize_s, 0.155, 0.02);
+  EXPECT_NEAR(r1024.finalize_s, 0.335, 0.06);
+
+  // Total overhead ~0.4% at the 1K scale (paper: "about 0.4%").
+  EXPECT_NEAR(r1024.total_s / r1024.app_runtime_s, 0.004, 0.001);
+}
+
+TEST(Fig3, RaplGaussShowsIdleActiveAndDips) {
+  RaplGaussOptions o;
+  o.workload = Duration::seconds(30);
+  const auto r = run_rapl_gauss(o);
+  ASSERT_GT(r.pkg_power.size(), 100u);
+
+  const double idle = analysis::mean_in_window(r.pkg_power, SimTime::from_seconds(2),
+                                               SimTime::from_seconds(7));
+  const double active = analysis::mean_in_window(r.pkg_power, SimTime::from_seconds(10),
+                                                 SimTime::from_seconds(36));
+  EXPECT_LT(idle, 6.0);       // a few watts at idle
+  EXPECT_GT(active, 35.0);    // tens of watts under Gaussian elimination
+  EXPECT_LT(active, 60.0);    // Fig 3's axis tops at 60 W
+
+  // The rhythmic ~5 W drops: active-phase minima sit several watts below
+  // the plateau.
+  double plateau = 0.0, dip_floor = 1e9;
+  for (const auto& p : r.pkg_power) {
+    const double t = p.t.to_seconds();
+    if (t > 9.0 && t < 37.0) {
+      plateau = std::max(plateau, p.value);
+      dip_floor = std::min(dip_floor, p.value);
+    }
+  }
+  EXPECT_GT(plateau - dip_floor, 3.0);
+  EXPECT_LT(plateau - dip_floor, 9.0);
+
+  EXPECT_NEAR(r.mean_query_cost_ms, 0.03, 1e-6);  // direct MSR access
+}
+
+TEST(Fig4, NoopRampTakesAboutFiveSeconds) {
+  const auto r = run_nvml_noop();
+  ASSERT_GT(r.board_power.size(), 100u);
+  // Starts near the 44 W idle floor, plateaus in the mid-50s.
+  EXPECT_NEAR(r.board_power.front().value, 44.0, 4.0);
+  const double plateau = analysis::mean_in_window(
+      r.board_power, SimTime::from_seconds(9), SimTime::from_seconds(12.4));
+  EXPECT_NEAR(plateau, 56.0, 3.0);
+  // "it takes about 5 seconds before the power consumption levels off".
+  // Smooth the +/-5 W sensor noise first so the settle detector sees the
+  // ramp, not individual noise spikes.
+  const auto smoothed = analysis::resample_mean(r.board_power, Duration::seconds(1));
+  const auto settle = analysis::settle_time(smoothed, 2.0);
+  ASSERT_TRUE(settle.found);
+  EXPECT_GT(settle.t.to_seconds(), 1.5);
+  EXPECT_LT(settle.t.to_seconds(), 8.0);
+}
+
+TEST(Fig5, VecaddPhasesAndTemperature) {
+  const auto r = run_nvml_vecadd(Duration::seconds(60));
+  // Host generation: power still near the noop plateau (GPU idle-ish).
+  const double during_gen = analysis::mean_in_window(
+      r.board_power, SimTime::from_seconds(6), SimTime::from_seconds(9));
+  EXPECT_LT(during_gen, 70.0);
+  // Compute plateau well above 100 W ("increases dramatically").
+  const double compute = analysis::mean_in_window(
+      r.board_power, SimTime::from_seconds(30), SimTime::from_seconds(65));
+  EXPECT_GT(compute, 110.0);
+  EXPECT_LT(compute, 155.0);
+  // Temperature rises steadily through the run.
+  ASSERT_GT(r.die_temp.size(), 100u);
+  const double t_early = analysis::mean_in_window(r.die_temp, SimTime::from_seconds(1),
+                                                  SimTime::from_seconds(10));
+  const double t_late = analysis::mean_in_window(r.die_temp, SimTime::from_seconds(55),
+                                                 SimTime::from_seconds(70));
+  EXPECT_GT(t_late, t_early + 8.0);
+  EXPECT_LT(t_late, 75.0);  // Fig 5's right axis tops at ~65 C
+
+  EXPECT_NEAR(r.mean_query_cost_ms, 1.3, 1e-6);
+}
+
+TEST(Fig7, ApiDistributionAboveDaemonAndSignificant) {
+  const auto api = run_phi_noop(PhiCollector::kInbandApi, Duration::seconds(60));
+  const auto daemon = run_phi_noop(PhiCollector::kMicrasDaemon, Duration::seconds(60));
+  ASSERT_GT(api.power_samples.size(), 50u);
+  ASSERT_GT(daemon.power_samples.size(), 50u);
+
+  const auto api_box = boxplot_stats(api.power_samples);
+  const auto daemon_box = boxplot_stats(daemon.power_samples);
+  // "while slight, there is a statistically significant difference".
+  EXPECT_GT(api_box.median, daemon_box.median + 1.0);
+  EXPECT_LT(api_box.median, daemon_box.median + 6.0);
+  const auto t = welch_t_test(api.power_samples, daemon.power_samples);
+  EXPECT_LT(t.p_value, 0.001);
+
+  // Both distributions live in the Fig 7 plot range.
+  EXPECT_GT(daemon_box.whisker_low, 108.0);
+  EXPECT_LT(api_box.whisker_high, 124.0);
+
+  // And the per-query costs are the paper's 14.2 ms vs 0.04 ms.
+  EXPECT_NEAR(api.mean_query_cost_ms, 14.2, 1e-6);
+  EXPECT_NEAR(daemon.mean_query_cost_ms, 0.04, 1e-6);
+}
+
+TEST(Fig7, OutOfBandPathDoesNotPerturb) {
+  const auto oob = run_phi_noop(PhiCollector::kOutOfBandIpmb, Duration::seconds(60));
+  const auto daemon = run_phi_noop(PhiCollector::kMicrasDaemon, Duration::seconds(60));
+  ASSERT_GT(oob.power_samples.size(), 50u);
+  RunningStats o, d;
+  for (const double v : oob.power_samples) o.add(v);
+  for (const double v : daemon.power_samples) d.add(v);
+  // IPMB readings are coarse (2 W codes) but unbiased relative to the
+  // daemon baseline.
+  EXPECT_NEAR(o.mean(), d.mean(), 1.5);
+}
+
+TEST(Fig8, StampedeSumShowsDatagenThenComputeJump) {
+  const auto r = run_phi_stampede_gauss(128);
+  ASSERT_GT(r.sum_power.size(), 100u);
+  // ~100 s of data generation at the low plateau...
+  const double datagen = analysis::mean_in_window(r.sum_power, SimTime::from_seconds(20),
+                                                  SimTime::from_seconds(90));
+  // ...then the compute plateau.
+  const double compute = analysis::mean_in_window(r.sum_power, SimTime::from_seconds(120),
+                                                  SimTime::from_seconds(240));
+  EXPECT_GT(compute, 2.5 * datagen);  // "Clearly shown is the point where
+                                      // data generation stops"
+  EXPECT_GT(compute, 20'000.0);       // Fig 8 peaks near 25,000 W
+  EXPECT_LT(compute, 28'000.0);
+  EXPECT_GT(datagen, 4'000.0);        // not zero: cards idle hot
+  EXPECT_LT(datagen, 9'000.0);
+
+  // The jump lands at the end of data generation (~100-110 s).
+  const auto rise = analysis::first_rise_above(r.sum_power, (datagen + compute) / 2.0);
+  ASSERT_TRUE(rise.found);
+  EXPECT_GT(rise.t.to_seconds(), 95.0);
+  EXPECT_LT(rise.t.to_seconds(), 115.0);
+}
+
+TEST(OverheadTable, CostOrderingAcrossMechanisms) {
+  // §II's cross-platform cost comparison:
+  //   MSR (0.03) < MICRAS (0.04) << EMON (1.10) < NVML (1.3) << SCIF (14.2)
+  const auto rapl = run_rapl_gauss({Duration::seconds(2), Duration::seconds(8),
+                                    Duration::seconds(2), Duration::millis(100)});
+  const auto noop = run_nvml_noop(Duration::seconds(3));
+  const auto api = run_phi_noop(PhiCollector::kInbandApi, Duration::seconds(10));
+  const auto daemon = run_phi_noop(PhiCollector::kMicrasDaemon, Duration::seconds(10));
+  EXPECT_LT(rapl.mean_query_cost_ms, daemon.mean_query_cost_ms);
+  EXPECT_LT(daemon.mean_query_cost_ms, 1.10);
+  EXPECT_LT(1.10, noop.mean_query_cost_ms);
+  EXPECT_LT(noop.mean_query_cost_ms, api.mean_query_cost_ms);
+}
+
+}  // namespace
+}  // namespace envmon::scenarios

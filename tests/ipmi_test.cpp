@@ -1,0 +1,219 @@
+#include "ipmi/bmc.hpp"
+#include "ipmi/ipmb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace envmon::ipmi {
+namespace {
+
+IpmbMessage sensor_request(std::uint8_t rs_addr, std::uint8_t sensor) {
+  IpmbMessage req;
+  req.rs_addr = rs_addr;
+  req.net_fn = static_cast<std::uint8_t>(NetFn::kSensorEvent);
+  req.rq_addr = 0x81;
+  req.rq_seq = 5;
+  req.cmd = kCmdGetSensorReading;
+  req.data = {sensor};
+  return req;
+}
+
+TEST(IpmbChecksum, TwosComplementZeroSum) {
+  const std::uint8_t bytes[] = {0x20, 0x18};
+  const std::uint8_t ck = ipmb_checksum(bytes, 2);
+  EXPECT_EQ(static_cast<std::uint8_t>(0x20 + 0x18 + ck), 0);
+}
+
+TEST(IpmbCodec, EncodeDecodeRoundTrip) {
+  const IpmbMessage msg = sensor_request(0x30, 0x10);
+  const auto frame = encode(msg);
+  const auto decoded = decode(frame);
+  ASSERT_TRUE(decoded.is_ok());
+  const auto& d = decoded.value();
+  EXPECT_EQ(d.rs_addr, msg.rs_addr);
+  EXPECT_EQ(d.net_fn, msg.net_fn);
+  EXPECT_EQ(d.rq_addr, msg.rq_addr);
+  EXPECT_EQ(d.rq_seq, msg.rq_seq);
+  EXPECT_EQ(d.cmd, msg.cmd);
+  EXPECT_EQ(d.data, msg.data);
+}
+
+TEST(IpmbCodec, RejectsShortFrame) {
+  const std::vector<std::uint8_t> frame = {1, 2, 3};
+  EXPECT_FALSE(decode(frame).is_ok());
+}
+
+TEST(IpmbCodec, DetectsHeaderCorruption) {
+  auto frame = encode(sensor_request(0x30, 0x10));
+  frame[1] ^= 0x04;  // flip a netFn bit
+  const auto r = decode(frame);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IpmbCodec, DetectsBodyCorruption) {
+  auto frame = encode(sensor_request(0x30, 0x10));
+  frame[frame.size() - 2] ^= 0xff;  // corrupt last data byte
+  EXPECT_FALSE(decode(frame).is_ok());
+}
+
+// Property: random messages survive the codec bit-exactly.
+class IpmbRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IpmbRoundTrip, RandomMessage) {
+  Rng rng(GetParam());
+  IpmbMessage msg;
+  msg.rs_addr = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  msg.net_fn = static_cast<std::uint8_t>(rng.uniform_u64(64));
+  msg.rs_lun = static_cast<std::uint8_t>(rng.uniform_u64(4));
+  msg.rq_addr = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  msg.rq_seq = static_cast<std::uint8_t>(rng.uniform_u64(64));
+  msg.rq_lun = static_cast<std::uint8_t>(rng.uniform_u64(4));
+  msg.cmd = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  const auto len = rng.uniform_u64(32);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    msg.data.push_back(static_cast<std::uint8_t>(rng.uniform_u64(256)));
+  }
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().data, msg.data);
+  EXPECT_EQ(decoded.value().net_fn, msg.net_fn);
+  EXPECT_EQ(decoded.value().rq_seq, msg.rq_seq);
+  EXPECT_EQ(decoded.value().rs_lun, msg.rs_lun);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpmbRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(IpmbMessage, ResponseSwapsAddresses) {
+  const IpmbMessage req = sensor_request(0x30, 0x10);
+  const IpmbMessage resp = req.make_response(kCcOk, {0x42});
+  EXPECT_EQ(resp.rs_addr, req.rq_addr);
+  EXPECT_EQ(resp.rq_addr, req.rs_addr);
+  EXPECT_EQ(resp.net_fn, req.net_fn | 1);
+  EXPECT_TRUE(resp.is_response());
+  EXPECT_EQ(resp.rq_seq, req.rq_seq);
+  ASSERT_EQ(resp.data.size(), 2u);
+  EXPECT_EQ(resp.data[0], kCcOk);
+}
+
+TEST(SensorFactors, LinearDecode) {
+  const SensorFactors f{2.0, 10.0, 0, 0};  // value = 2*raw + 10
+  EXPECT_DOUBLE_EQ(f.decode(0), 10.0);
+  EXPECT_DOUBLE_EQ(f.decode(100), 210.0);
+}
+
+TEST(SensorFactors, EncodeClampsAndRounds) {
+  const SensorFactors f{2.0, 0.0, 0, 0};
+  EXPECT_EQ(f.encode(113.0), 57);   // 56.5 rounds to 57... lround(56.5)=57
+  EXPECT_EQ(f.encode(-5.0), 0);
+  EXPECT_EQ(f.encode(10'000.0), 255);
+}
+
+TEST(SensorFactors, EncodeDecodeWithinHalfStep) {
+  const SensorFactors f{2.0, 0.0, 0, 0};
+  for (double v = 0.0; v < 500.0; v += 7.3) {
+    EXPECT_NEAR(f.decode(f.encode(v)), v, 1.0);  // half of 2 W step
+  }
+}
+
+TEST(SensorController, GetDeviceId) {
+  SensorController smc(0x30, 0x2c);
+  IpmbMessage req;
+  req.rs_addr = 0x30;
+  req.net_fn = static_cast<std::uint8_t>(NetFn::kApp);
+  req.rq_addr = 0x20;
+  req.cmd = kCmdGetDeviceId;
+  const auto resp = smc.handle(req);
+  ASSERT_GE(resp.data.size(), 2u);
+  EXPECT_EQ(resp.data[0], kCcOk);
+  EXPECT_EQ(resp.data[1], 0x2c);
+}
+
+TEST(SensorController, ReadsRegisteredSensor) {
+  SensorController smc(0x30, 0x2c);
+  double value = 120.0;
+  ASSERT_TRUE(smc.add_sensor({0x10, "power", SensorFactors{2.0, 0.0, 0, 0},
+                              [&] { return value; }})
+                  .is_ok());
+  const auto resp = smc.handle(sensor_request(0x30, 0x10));
+  ASSERT_GE(resp.data.size(), 2u);
+  EXPECT_EQ(resp.data[0], kCcOk);
+  EXPECT_EQ(resp.data[1], 60);  // 120 W / 2 W per count
+}
+
+TEST(SensorController, UnknownSensorCompletionCode) {
+  SensorController smc(0x30, 0x2c);
+  const auto resp = smc.handle(sensor_request(0x30, 0x99));
+  ASSERT_FALSE(resp.data.empty());
+  EXPECT_EQ(resp.data[0], kCcInvalidSensor);
+}
+
+TEST(SensorController, UnknownCommandCompletionCode) {
+  SensorController smc(0x30, 0x2c);
+  IpmbMessage req = sensor_request(0x30, 0x10);
+  req.cmd = 0x77;
+  const auto resp = smc.handle(req);
+  EXPECT_EQ(resp.data[0], kCcInvalidCommand);
+}
+
+TEST(SensorController, RejectsDuplicateAndNullSensors) {
+  SensorController smc(0x30, 0x2c);
+  ASSERT_TRUE(smc.add_sensor({0x10, "a", {}, [] { return 0.0; }}).is_ok());
+  EXPECT_FALSE(smc.add_sensor({0x10, "b", {}, [] { return 0.0; }}).is_ok());
+  EXPECT_FALSE(smc.add_sensor({0x11, "c", {}, nullptr}).is_ok());
+}
+
+TEST(Bmc, RoutesToSatellite) {
+  Bmc bmc;
+  SensorController smc(0x30, 0x2c);
+  ASSERT_TRUE(
+      smc.add_sensor({0x10, "power", SensorFactors{2.0, 0.0, 0, 0}, [] { return 116.0; }})
+          .is_ok());
+  bmc.register_satellite(&smc, 0x30);
+
+  IpmbClient client(bmc, 0x81);
+  const auto r = client.read_sensor(smc, 0x10);
+  ASSERT_TRUE(r.is_ok()) << r.status();
+  EXPECT_NEAR(r.value(), 116.0, 1.0);
+}
+
+TEST(Bmc, UnknownSatelliteAddress) {
+  Bmc bmc;
+  const auto frame = encode(sensor_request(0x55, 0x10));
+  const auto r = bmc.submit(frame);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Bmc, AnswersOwnSensors) {
+  Bmc bmc;
+  ASSERT_TRUE(
+      bmc.add_sensor({0x01, "inlet_temp", SensorFactors{1.0, 0.0, 0, 0}, [] { return 22.0; }})
+          .is_ok());
+  IpmbClient client(bmc, 0x81);
+  const auto r = client.read_sensor(bmc, 0x01);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NEAR(r.value(), 22.0, 0.5);
+}
+
+TEST(Bmc, RejectsCorruptFrame) {
+  Bmc bmc;
+  auto frame = encode(sensor_request(0x20, 0x01));
+  frame[2] ^= 0x01;  // break checksum1
+  EXPECT_FALSE(bmc.submit(frame).is_ok());
+}
+
+TEST(IpmbClient, SequenceNumbersAdvance) {
+  Bmc bmc;
+  ASSERT_TRUE(
+      bmc.add_sensor({0x01, "t", SensorFactors{1.0, 0.0, 0, 0}, [] { return 1.0; }}).is_ok());
+  IpmbClient client(bmc, 0x81);
+  for (int i = 0; i < 70; ++i) {  // wraps the 6-bit sequence space
+    EXPECT_TRUE(client.read_sensor(bmc, 0x01).is_ok());
+  }
+}
+
+}  // namespace
+}  // namespace envmon::ipmi

@@ -1,0 +1,89 @@
+#include "mic/mpss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/library.hpp"
+
+namespace envmon::mic {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+struct Fixture {
+  sim::Engine engine;
+  ScifNetwork network;
+  PhiCard card0{engine};
+  PhiCard card1{engine};
+  SysMgmtService service0{card0, network, 1};
+  SysMgmtService service1{card1, network, 2};
+  MpssHost host{network};
+};
+
+TEST(Mpss, AddCardRequiresBootedAgent) {
+  Fixture f;
+  EXPECT_TRUE(f.host.add_card(1, PhiSpec{}).is_ok());
+  EXPECT_TRUE(f.host.add_card(2, PhiSpec{}).is_ok());
+  const Status again = f.host.add_card(1, PhiSpec{});
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+  const Status unbooted = f.host.add_card(9, PhiSpec{});
+  EXPECT_EQ(unbooted.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(f.host.card_count(), 2u);
+}
+
+TEST(Mpss, StatusReflectsCardState) {
+  Fixture f;
+  ASSERT_TRUE(f.host.add_card(1, PhiSpec{}).is_ok());
+  const auto w = workloads::dgemm({Duration::seconds(60), 0.9, 0.5});
+  f.card0.run_workload(&w, SimTime::zero());
+  f.card0.set_memory_used(gibibytes(3.0));
+  f.engine.run_until(SimTime::from_seconds(30));
+
+  const auto s = f.host.status(0, f.engine.now());
+  ASSERT_TRUE(s.is_ok()) << s.status();
+  EXPECT_EQ(s.value().state, "online");
+  EXPECT_GT(s.value().power.value(), 180.0);  // loaded card
+  EXPECT_GT(s.value().die_temp.value(), 45.0);
+  EXPECT_DOUBLE_EQ(s.value().memory_used.value(), gibibytes(3.0).value());
+  EXPECT_GT(s.value().fan_rpm, 1800.0);
+}
+
+TEST(Mpss, StatusChargesInbandCost) {
+  Fixture f;
+  ASSERT_TRUE(f.host.add_card(1, PhiSpec{}).is_ok());
+  (void)f.host.status(0, f.engine.now());
+  // Four SysMgmt queries at 14.2 ms each.
+  EXPECT_NEAR(f.host.cost().total().to_millis(), 4 * 14.2, 1e-6);
+  EXPECT_EQ(f.card0.inband_queries_served(), 4u);
+}
+
+TEST(Mpss, SweepMarksDeadCardsLost) {
+  Fixture f;
+  ASSERT_TRUE(f.host.add_card(1, PhiSpec{}).is_ok());
+  ASSERT_TRUE(f.host.add_card(2, PhiSpec{}).is_ok());
+  f.network.close(2, kSysMgmtPort);  // card 1's OS crashed
+  const auto fleet = f.host.sweep(f.engine.now());
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].state, "online");
+  EXPECT_EQ(fleet[1].state, "lost");
+}
+
+TEST(Mpss, InfoTextListsSpec) {
+  Fixture f;
+  ASSERT_TRUE(f.host.add_card(1, PhiSpec{}).is_ok());
+  const auto info = f.host.info(0);
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_NE(info.value().find("Cores            : 61"), std::string::npos);
+  EXPECT_NE(info.value().find("Threads          : 244"), std::string::npos);
+  EXPECT_FALSE(f.host.info(5).is_ok());
+}
+
+TEST(Mpss, BadIndexStatus) {
+  Fixture f;
+  const auto s = f.host.status(0, f.engine.now());
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace envmon::mic

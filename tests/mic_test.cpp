@@ -1,0 +1,305 @@
+#include "mic/card.hpp"
+#include "mic/micras.hpp"
+#include "mic/scif.hpp"
+#include "mic/smc.hpp"
+#include "mic/sysmgmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "ipmi/bmc.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon::mic {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(PhiSpec, MatchesPaper) {
+  const PhiSpec s;
+  EXPECT_EQ(s.cores, 61);                    // "61 cores"
+  EXPECT_EQ(s.total_threads(), 244);         // "a total of 244 threads"
+  EXPECT_DOUBLE_EQ(s.peak_tflops_fp64, 1.2); // "1.2 teraFLOPS"
+}
+
+TEST(PhiCard, NoopBaselineInFig7Range) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  const auto w = workloads::noop_busyloop(Duration::seconds(100));
+  card.run_workload(&w, SimTime::zero());
+  const double p = card.true_power(SimTime::from_seconds(50)).value();
+  EXPECT_GT(p, 110.0);
+  EXPECT_LT(p, 118.0);
+}
+
+TEST(PhiCard, InbandQueryRaisesPowerTransiently) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  const auto before = card.true_power(SimTime::from_seconds(10)).value();
+  card.register_inband_query(SimTime::from_seconds(10));
+  const auto during = card.true_power(SimTime::from_seconds(10)).value();
+  EXPECT_NEAR(during - before, 3.2, 1e-9);  // the query pulse
+  // After the pulse width the draw returns to baseline.
+  const auto after =
+      card.true_power(SimTime::from_seconds(10) + Duration::millis(300)).value();
+  EXPECT_NEAR(after, before, 1e-9);
+}
+
+TEST(PhiCard, OverlappingPulsesStack) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  card.register_inband_query(SimTime::from_seconds(5));
+  card.register_inband_query(SimTime::from_seconds(5) + Duration::millis(100));
+  const double p =
+      card.true_power(SimTime::from_seconds(5) + Duration::millis(150)).value();
+  const double base = card.true_power(SimTime::from_seconds(4)).value();
+  EXPECT_NEAR(p - base, 6.4, 1e-9);
+}
+
+TEST(Scif, ConnectRequiresListener) {
+  ScifNetwork net;
+  const auto ep = ScifEndpoint::connect(net, 1, kSysMgmtPort);
+  ASSERT_FALSE(ep.is_ok());
+  EXPECT_EQ(ep.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Scif, DuplicateBindRejected) {
+  ScifNetwork net;
+  ASSERT_TRUE(net.listen(1, 200, [](const auto& m) { return m; }).is_ok());
+  EXPECT_FALSE(net.listen(1, 200, [](const auto& m) { return m; }).is_ok());
+  net.close(1, 200);
+  EXPECT_TRUE(net.listen(1, 200, [](const auto& m) { return m; }).is_ok());
+}
+
+TEST(Scif, RoundTripCostIs14Point2Ms) {
+  const ScifCosts costs;
+  EXPECT_NEAR(costs.round_trip().to_millis(), 14.2, 1e-9);
+}
+
+TEST(Scif, CallEchoesThroughServiceAndCharges) {
+  ScifNetwork net;
+  ASSERT_TRUE(net.listen(1, 200, [](const std::vector<std::uint8_t>& m) {
+                    auto copy = m;
+                    copy.push_back(0xff);
+                    return copy;
+                  })
+                  .is_ok());
+  auto ep = ScifEndpoint::connect(net, 1, 200);
+  ASSERT_TRUE(ep.is_ok());
+  sim::CostMeter meter;
+  const auto reply = ep.value().call({1, 2, 3}, &meter);
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().size(), 4u);
+  EXPECT_NEAR(meter.total().to_millis(), 14.2, 1e-9);
+}
+
+TEST(Scif, PeerCloseDetected) {
+  ScifNetwork net;
+  ASSERT_TRUE(net.listen(1, 200, [](const auto& m) { return m; }).is_ok());
+  auto ep = ScifEndpoint::connect(net, 1, 200);
+  ASSERT_TRUE(ep.is_ok());
+  net.close(1, 200);
+  EXPECT_FALSE(ep.value().call({1}).is_ok());
+}
+
+TEST(SysMgmt, PowerQueryEndToEnd) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  ScifNetwork net;
+  SysMgmtService service(card, net, 1);
+  auto client = SysMgmtClient::connect(net, 1);
+  ASSERT_TRUE(client.is_ok());
+  engine.run_until(SimTime::from_seconds(1));
+  const auto p = client.value().power(engine.now());
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_GT(p.value().value(), 90.0);   // idle card floor
+  EXPECT_LT(p.value().value(), 130.0);
+  EXPECT_EQ(card.inband_queries_served(), 1u);
+  EXPECT_NEAR(client.value().cost().mean_per_query().to_millis(), 14.2, 1e-9);
+}
+
+TEST(SysMgmt, OtherQueries) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  card.set_memory_used(gibibytes(2.0));
+  ScifNetwork net;
+  SysMgmtService service(card, net, 1);
+  auto client = SysMgmtClient::connect(net, 1);
+  ASSERT_TRUE(client.is_ok());
+  engine.run_until(SimTime::from_seconds(1));
+  EXPECT_GT(client.value().die_temperature(engine.now()).value().value(), 30.0);
+  EXPECT_DOUBLE_EQ(client.value().memory_used(engine.now()).value().value(),
+                   gibibytes(2.0).value());
+  EXPECT_GT(client.value().fan_speed(engine.now()).value().value(), 1000.0);
+}
+
+TEST(SysMgmt, MalformedRequestYieldsErrorStatus) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  ScifNetwork net;
+  SysMgmtService service(card, net, 1);
+  auto ep = ScifEndpoint::connect(net, 1, kSysMgmtPort);
+  ASSERT_TRUE(ep.is_ok());
+  const auto reply = ep.value().call({9, 9, 9});  // wrong length
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_FALSE(decode_response(reply.value()).is_ok());
+}
+
+TEST(Micras, RequiresRunningDaemon) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  MicrasDaemon daemon(card);
+  const auto r = daemon.read_file(kPowerFile, SimTime::zero());
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Micras, PowerFileParses) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  MicrasDaemon daemon(card);
+  daemon.start();
+  const auto text = daemon.read_file(kPowerFile, SimTime::from_seconds(1));
+  ASSERT_TRUE(text.is_ok());
+  const auto reading = parse_power_file(text.value());
+  ASSERT_TRUE(reading.is_ok());
+  EXPECT_GT(reading.value().total.value(), 90.0);
+  // Connector split sums back to the total.
+  const double sum = reading.value().pcie.value() + reading.value().c2x3.value() +
+                     reading.value().c2x4.value();
+  EXPECT_NEAR(sum, reading.value().total.value(), 0.01);
+  EXPECT_LE(reading.value().pcie.value(), 75.0);  // PCIe slot budget
+}
+
+TEST(Micras, ThermalFileParses) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  MicrasDaemon daemon(card);
+  daemon.start();
+  const auto text = daemon.read_file(kThermalFile, SimTime::from_seconds(1));
+  ASSERT_TRUE(text.is_ok());
+  const auto t = parse_thermal_file(text.value());
+  ASSERT_TRUE(t.is_ok());
+  EXPECT_GT(t.value().die.value(), t.value().gddr.value());
+  EXPECT_GT(t.value().exhaust.value(), t.value().intake.value());
+}
+
+TEST(Micras, UnknownPathNotFound) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  MicrasDaemon daemon(card);
+  daemon.start();
+  EXPECT_EQ(daemon.read_file("/sys/class/micras/nope", SimTime::zero()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Micras, ReadCostIs40Microseconds) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  MicrasDaemon daemon(card);
+  daemon.start();
+  sim::CostMeter meter;
+  (void)daemon.read_file(kPowerFile, SimTime::from_seconds(1), &meter);
+  EXPECT_DOUBLE_EQ(meter.total().to_millis(), 0.04);  // "about 0.04 ms per query"
+}
+
+TEST(Micras, ReadDoesNotPerturbPower) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  MicrasDaemon daemon(card);
+  daemon.start();
+  const double before = card.true_power(SimTime::from_seconds(1)).value();
+  (void)daemon.read_file(kPowerFile, SimTime::from_seconds(1));
+  const double after = card.true_power(SimTime::from_seconds(1)).value();
+  EXPECT_DOUBLE_EQ(before, after);
+  EXPECT_EQ(card.inband_queries_served(), 0u);
+}
+
+TEST(Micras, ParserRejectsGarbage) {
+  EXPECT_FALSE(parse_power_file("not numbers\n").is_ok());
+  EXPECT_FALSE(parse_power_file("1\n2\n").is_ok());  // too few fields
+  EXPECT_FALSE(parse_thermal_file("55\n").is_ok());
+}
+
+TEST(Smc, OutOfBandReadThroughBmc) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  ipmi::Bmc bmc;
+  Smc smc(card);
+  smc.attach_to_bmc(bmc);
+  ipmi::IpmbClient client(bmc, 0x81);
+  engine.run_until(SimTime::from_seconds(1));
+  const auto p = client.read_sensor(smc, kSmcSensorPower);
+  ASSERT_TRUE(p.is_ok()) << p.status();
+  // 8-bit IPMI resolution: within one 2 W count of the card sensor.
+  EXPECT_NEAR(p.value(), card.true_power(engine.now()).value(), 3.0);
+}
+
+TEST(Smc, OutOfBandDoesNotWakeCores) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  ipmi::Bmc bmc;
+  Smc smc(card);
+  smc.attach_to_bmc(bmc);
+  ipmi::IpmbClient client(bmc, 0x81);
+  (void)client.read_sensor(smc, kSmcSensorPower);
+  (void)client.read_sensor(smc, kSmcSensorDieTemp);
+  EXPECT_EQ(card.inband_queries_served(), 0u);
+}
+
+TEST(Smc, AllSensorsRespond) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  card.set_memory_used(mebibytes(640.0));
+  ipmi::Bmc bmc;
+  Smc smc(card);
+  smc.attach_to_bmc(bmc);
+  ipmi::IpmbClient client(bmc, 0x81);
+  engine.run_until(SimTime::from_seconds(1));
+  EXPECT_TRUE(client.read_sensor(smc, kSmcSensorPower).is_ok());
+  EXPECT_TRUE(client.read_sensor(smc, kSmcSensorDieTemp).is_ok());
+  EXPECT_TRUE(client.read_sensor(smc, kSmcSensorFan).is_ok());
+  const auto mem = client.read_sensor(smc, kSmcSensorMemUsed);
+  ASSERT_TRUE(mem.is_ok());
+  EXPECT_NEAR(mem.value(), 640.0, 32.0);  // 64 MiB resolution
+}
+
+// The Fig 7 mechanism at unit scale: sustained API polling shifts the
+// measured distribution upward relative to daemon polling.
+TEST(Fig7Mechanism, ApiPollingRaisesMeasuredPower) {
+  sim::Engine engine;
+  PhiCard card(engine);
+  const auto w = workloads::noop_busyloop(Duration::seconds(60));
+  card.run_workload(&w, SimTime::zero());
+  ScifNetwork net;
+  SysMgmtService service(card, net, 1);
+  MicrasDaemon daemon(card);
+  daemon.start();
+  auto client = SysMgmtClient::connect(net, 1);
+  ASSERT_TRUE(client.is_ok());
+
+  RunningStats api_stats, daemon_stats;
+  // Phase 1: poll via the API every 500 ms.
+  sim::TimerHandle t1 = engine.schedule_periodic(Duration::millis(500), [&] {
+    if (engine.now().to_seconds() > 25.0) return;
+    if (auto p = client.value().power(engine.now()); p) api_stats.add(p.value().value());
+  });
+  engine.run_until(SimTime::from_seconds(25));
+  t1.cancel();
+  // Phase 2: poll via the daemon.
+  sim::TimerHandle t2 = engine.schedule_periodic(Duration::millis(500), [&] {
+    if (auto text = daemon.read_file(kPowerFile, engine.now()); text) {
+      if (auto p = parse_power_file(text.value()); p) {
+        daemon_stats.add(p.value().total.value());
+      }
+    }
+  });
+  engine.run_until(SimTime::from_seconds(50));
+  t2.cancel();
+
+  EXPECT_GT(api_stats.mean(), daemon_stats.mean() + 1.0);
+}
+
+}  // namespace
+}  // namespace envmon::mic

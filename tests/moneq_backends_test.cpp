@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "ipmi/bmc.hpp"
+#include "mic/smc.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/backend_rapl.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon::moneq {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(BgqBackend, EmitsAllDomainsPlusNodeCard) {
+  sim::Engine engine;
+  bgq::BgqMachine machine;
+  bgq::EmonSession emon(machine.board(0));
+  BgqBackend backend(emon);
+  sim::CostMeter meter;
+  const auto r = backend.collect(SimTime::from_seconds(2), meter);
+  ASSERT_TRUE(r.is_ok());
+  // 7 domains x (power, voltage, current) + node_card power.
+  EXPECT_EQ(r.value().size(), 22u);
+  bool found_node_card = false;
+  double domain_sum = 0.0, node_card = 0.0;
+  for (const auto& s : r.value()) {
+    if (s.domain == "node_card") {
+      found_node_card = true;
+      node_card = s.value;
+    } else if (s.quantity == Quantity::kPowerWatts) {
+      domain_sum += s.value;
+    }
+  }
+  ASSERT_TRUE(found_node_card);
+  EXPECT_NEAR(node_card, domain_sum, 1e-6);  // the Fig 2 top line
+  EXPECT_NEAR(meter.total().to_millis(), 1.10, 1e-9);
+}
+
+TEST(BgqBackend, PropagatesEarlyUnavailability) {
+  sim::Engine engine;
+  bgq::BgqMachine machine;
+  bgq::EmonSession emon(machine.board(0));
+  BgqBackend backend(emon);
+  sim::CostMeter meter;
+  const auto r = backend.collect(SimTime::from_ns(1000), meter);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  // The failed query still cost wall time.
+  EXPECT_GT(meter.total().ns(), 0);
+}
+
+TEST(BgqBackend, MinIntervalIsEmonGeneration) {
+  sim::Engine engine;
+  bgq::BgqMachine machine;
+  bgq::EmonSession emon(machine.board(0));
+  BgqBackend backend(emon);
+  EXPECT_EQ(backend.min_polling_interval(), Duration::millis(560));
+  EXPECT_EQ(backend.platform(), PlatformId::kBgq);
+}
+
+TEST(RaplBackend, FirstCollectEnergyOnlyThenPower) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  const auto w = workloads::dgemm({Duration::seconds(100), 0.8, 0.4});
+  pkg.run_workload(&w, SimTime::zero());
+  rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+  RaplBackend backend(reader);
+  sim::CostMeter meter;
+
+  engine.run_until(SimTime::from_seconds(1));
+  const auto first = backend.collect(engine.now(), meter);
+  ASSERT_TRUE(first.is_ok());
+  for (const auto& s : first.value()) {
+    EXPECT_EQ(s.quantity, Quantity::kEnergyJoules) << s.domain;
+  }
+
+  engine.run_until(SimTime::from_seconds(2));
+  const auto second = backend.collect(engine.now(), meter);
+  ASSERT_TRUE(second.is_ok());
+  bool found_pkg_power = false;
+  for (const auto& s : second.value()) {
+    if (s.domain == "PKG" && s.quantity == Quantity::kPowerWatts) {
+      found_pkg_power = true;
+      // DGEMM at 0.8 core / 0.4 dram: pkg ~ 1.6+33.6 + 1.9+2.6 = 39.7 W.
+      EXPECT_NEAR(s.value, 39.7, 1.5);
+    }
+  }
+  EXPECT_TRUE(found_pkg_power);
+}
+
+TEST(RaplBackend, PermissionDeniedSurfaces) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  rapl::MsrRaplReader reader(pkg, rapl::Credentials{false, 1000});
+  RaplBackend backend(reader);
+  sim::CostMeter meter;
+  const auto r = backend.collect(SimTime::from_seconds(1), meter);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(RaplBackend, IntervalLimitsMatchPaper) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+  RaplBackend backend(reader);
+  EXPECT_EQ(backend.min_polling_interval(), Duration::millis(60));
+  EXPECT_EQ(backend.max_polling_interval(), Duration::seconds(60));
+}
+
+TEST(NvmlBackend, CollectsPowerTempMemoryFan) {
+  sim::Engine engine;
+  nvml::NvmlLibrary library(engine);
+  library.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)library.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)library.device_get_handle_by_index(0, &handle);
+  NvmlBackend backend(library, handle);
+  sim::CostMeter meter;
+  engine.run_until(SimTime::from_seconds(1));
+  const auto r = backend.collect(engine.now(), meter);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().size(), 5u);  // power, temp, used, free, fan
+  EXPECT_EQ(r.value()[0].domain, "board");
+  EXPECT_NEAR(r.value()[0].value, 44.0, 6.0);
+  // Four device queries at 1.3 ms each.
+  EXPECT_NEAR(meter.total().to_millis(), 4 * 1.3, 1e-6);
+}
+
+TEST(NvmlBackend, UnsupportedGpuSurfacesError) {
+  sim::Engine engine;
+  nvml::NvmlLibrary library(engine);
+  library.attach_device(std::make_shared<nvml::GpuDevice>(nvml::m2090_spec()));
+  (void)library.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)library.device_get_handle_by_index(0, &handle);
+  NvmlBackend backend(library, handle);
+  sim::CostMeter meter;
+  const auto r = backend.collect(SimTime::from_seconds(1), meter);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+struct PhiFixture {
+  sim::Engine engine;
+  mic::PhiCard card{engine};
+  mic::ScifNetwork net;
+  mic::SysMgmtService service{card, net, 1};
+  mic::MicrasDaemon daemon{card};
+};
+
+TEST(MicInbandBackend, CollectsAndCharges) {
+  PhiFixture f;
+  auto client = mic::SysMgmtClient::connect(f.net, 1);
+  ASSERT_TRUE(client.is_ok());
+  MicInbandBackend backend(client.value());
+  sim::CostMeter meter;
+  f.engine.run_until(SimTime::from_seconds(1));
+  const auto r = backend.collect(f.engine.now(), meter);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().size(), 2u);  // card power + die temp
+  EXPECT_NEAR(meter.total().to_millis(), 2 * 14.2, 1e-6);
+  EXPECT_EQ(f.card.inband_queries_served(), 2u);
+}
+
+TEST(MicDaemonBackend, CollectsRailsAndThermals) {
+  PhiFixture f;
+  f.daemon.start();
+  MicDaemonBackend backend(f.daemon);
+  sim::CostMeter meter;
+  f.engine.run_until(SimTime::from_seconds(1));
+  const auto r = backend.collect(f.engine.now(), meter);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().size(), 8u);  // 4 power rails + 4 temperatures
+  EXPECT_NEAR(meter.total().to_millis(), 2 * 0.04, 1e-6);  // two file reads
+  EXPECT_EQ(f.card.inband_queries_served(), 0u);           // no perturbation
+}
+
+TEST(MicDaemonBackend, DaemonDownSurfaces) {
+  PhiFixture f;  // daemon not started
+  MicDaemonBackend backend(f.daemon);
+  sim::CostMeter meter;
+  const auto r = backend.collect(SimTime::from_seconds(1), meter);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace envmon::moneq

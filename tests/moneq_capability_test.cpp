@@ -1,0 +1,106 @@
+#include "moneq/capability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace envmon::moneq {
+namespace {
+
+using A = Availability;
+using P = PlatformId;
+using R = SensorRow;
+
+constexpr std::array<P, 4> kPlatforms = {P::kXeonPhi, P::kNvml, P::kBgq, P::kRapl};
+
+TEST(TableOne, TotalPowerUniversal) {
+  // "Just about the only data point which is collectible on all of these
+  // platforms is total power consumption" (§IV).
+  for (const P p : kPlatforms) {
+    EXPECT_EQ(availability(p, R::kTotalPower), A::kYes) << to_string(p);
+  }
+}
+
+TEST(TableOne, OnlyTotalPowerIsUniversal) {
+  for (const R row : all_sensor_rows()) {
+    if (row == R::kTotalPower) continue;
+    int yes = 0;
+    for (const P p : kPlatforms) {
+      if (availability(p, row) == A::kYes) ++yes;
+    }
+    EXPECT_LT(yes, 4) << row_label(row);
+  }
+}
+
+TEST(TableOne, MemoryPowerOnlyBgqAndRapl) {
+  // §IV: for NVIDIA "one must settle for total power consumption of the
+  // whole card when clearly the power consumption of both the GPU and
+  // memory would be more beneficial".
+  EXPECT_EQ(availability(P::kNvml, R::kMainMemoryPower), A::kNo);
+  EXPECT_EQ(availability(P::kXeonPhi, R::kMainMemoryPower), A::kNo);
+  EXPECT_EQ(availability(P::kBgq, R::kMainMemoryPower), A::kYes);
+  EXPECT_EQ(availability(P::kRapl, R::kMainMemoryPower), A::kYes);
+}
+
+TEST(TableOne, TemperatureStory) {
+  // §IV: "NVIDIA GPUs support temperature data whereas this data is only
+  // accessible in the environmental data for a Blue Gene/Q and only at
+  // the rack level."
+  EXPECT_EQ(availability(P::kNvml, R::kTempDie), A::kYes);
+  EXPECT_EQ(availability(P::kXeonPhi, R::kTempDie), A::kYes);
+  EXPECT_EQ(availability(P::kBgq, R::kTempDie), A::kNo);
+  EXPECT_EQ(availability(P::kRapl, R::kTempDie), A::kNo);
+}
+
+TEST(TableOne, FansNotApplicableOnBgqAndRapl) {
+  EXPECT_EQ(availability(P::kBgq, R::kFanSpeed), A::kNotApplicable);
+  EXPECT_EQ(availability(P::kRapl, R::kFanSpeed), A::kNotApplicable);
+  EXPECT_EQ(availability(P::kXeonPhi, R::kFanSpeed), A::kYes);
+}
+
+TEST(TableOne, PciExpressNotApplicableForRapl) {
+  // Table I marks the RAPL PCI Express cell N/A: the mechanism's scope
+  // ends at the socket.
+  EXPECT_EQ(availability(P::kRapl, R::kPciExpressPower), A::kNotApplicable);
+}
+
+TEST(TableOne, PowerLimitsEverywhereButBgq) {
+  EXPECT_EQ(availability(P::kBgq, R::kPowerLimit), A::kNo);
+  EXPECT_EQ(availability(P::kXeonPhi, R::kPowerLimit), A::kYes);
+  EXPECT_EQ(availability(P::kNvml, R::kPowerLimit), A::kYes);
+  EXPECT_EQ(availability(P::kRapl, R::kPowerLimit), A::kYes);
+}
+
+TEST(TableOne, VoltageCurrentOnlyWhereRailsAreExposed) {
+  EXPECT_EQ(availability(P::kBgq, R::kTotalVoltage), A::kYes);
+  EXPECT_EQ(availability(P::kBgq, R::kTotalCurrent), A::kYes);
+  EXPECT_EQ(availability(P::kNvml, R::kTotalVoltage), A::kNo);
+  EXPECT_EQ(availability(P::kRapl, R::kTotalCurrent), A::kNo);
+}
+
+TEST(TableOne, RowMetadataComplete) {
+  const auto rows = all_sensor_rows();
+  EXPECT_EQ(rows.size(), kSensorRowCount);
+  for (const R row : rows) {
+    EXPECT_NE(row_label(row), "?");
+    EXPECT_NE(row_group(row), "?");
+  }
+}
+
+TEST(TableOne, GroupsMatchPaperSections) {
+  EXPECT_EQ(row_group(R::kTotalPower), "Total Power Consumption (Watts)");
+  EXPECT_EQ(row_group(R::kTempDie), "Temperature");
+  EXPECT_EQ(row_group(R::kMemUsed), "Main Memory");
+  EXPECT_EQ(row_group(R::kProcVoltage), "Processor");
+  EXPECT_EQ(row_group(R::kFanSpeed), "Fans");
+  EXPECT_EQ(row_group(R::kPowerLimit), "Limits");
+}
+
+TEST(TableOne, PlatformNames) {
+  EXPECT_EQ(to_string(P::kXeonPhi), "Xeon Phi");
+  EXPECT_EQ(to_string(P::kNvml), "NVML");
+  EXPECT_EQ(to_string(P::kBgq), "Blue Gene/Q");
+  EXPECT_EQ(to_string(P::kRapl), "RAPL");
+  EXPECT_EQ(to_string(A::kNotApplicable), "N/A");
+}
+
+}  // namespace
+}  // namespace envmon::moneq

@@ -1,0 +1,87 @@
+#include "moneq/csv_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moneq/output.hpp"
+
+namespace envmon::moneq {
+namespace {
+
+using sim::SimTime;
+
+std::vector<Sample> make_samples() {
+  return {
+      {SimTime::from_seconds(1.0), "PKG", Quantity::kPowerWatts, 40.0},
+      {SimTime::from_seconds(1.0), "die_temp", Quantity::kTemperatureCelsius, 55.0},
+      {SimTime::from_seconds(2.0), "PKG", Quantity::kPowerWatts, 42.0},
+      {SimTime::from_seconds(3.0), "PKG", Quantity::kPowerWatts, 44.0},
+  };
+}
+
+std::vector<TagMarker> make_tags() {
+  return {
+      {SimTime::from_seconds(1.5), "loop", true},
+      {SimTime::from_seconds(2.5), "loop", false},
+  };
+}
+
+TEST(CsvReader, RoundTripThroughRenderer) {
+  const auto samples = make_samples();
+  const auto tags = make_tags();
+  const std::string text = render_node_file(samples, tags);
+  const auto parsed = parse_node_file(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status();
+  const auto& data = parsed.value();
+  ASSERT_EQ(data.samples.size(), samples.size());
+  ASSERT_EQ(data.tags.size(), tags.size());
+  EXPECT_EQ(data.samples[0].domain, "PKG");
+  EXPECT_DOUBLE_EQ(data.samples[0].value, 40.0);
+  EXPECT_EQ(data.samples[1].quantity, Quantity::kTemperatureCelsius);
+  EXPECT_EQ(data.tags[0].name, "loop");
+  EXPECT_TRUE(data.tags[0].is_start);
+  EXPECT_FALSE(data.tags[1].is_start);
+}
+
+TEST(CsvReader, RejectsWrongHeader) {
+  EXPECT_FALSE(parse_node_file("a,b,c\n1,2,3\n").is_ok());
+  EXPECT_FALSE(parse_node_file("").is_ok());
+}
+
+TEST(CsvReader, RejectsMalformedRows) {
+  EXPECT_FALSE(
+      parse_node_file("time_s,domain,quantity,unit,value\nnot_a_number,PKG,0,W,1\n").is_ok());
+  EXPECT_FALSE(
+      parse_node_file("time_s,domain,quantity,unit,value\n1.0,PKG,zero,W,1\n").is_ok());
+}
+
+TEST(CsvReader, ExtractSeriesFiltersDomainAndQuantity) {
+  const auto data = parse_node_file(render_node_file(make_samples(), make_tags())).value();
+  const auto series = extract_series(data, "PKG", Quantity::kPowerWatts);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[2].value, 44.0);
+  EXPECT_TRUE(extract_series(data, "PKG", Quantity::kFanRpm).empty());
+  EXPECT_TRUE(extract_series(data, "nope", Quantity::kPowerWatts).empty());
+}
+
+TEST(CsvReader, MeanBetweenTags) {
+  const auto data = parse_node_file(render_node_file(make_samples(), make_tags())).value();
+  const auto mean = mean_between_tags(data, "loop", "PKG", Quantity::kPowerWatts);
+  ASSERT_TRUE(mean.is_ok());
+  EXPECT_DOUBLE_EQ(mean.value(), 42.0);  // only the t=2.0 sample is inside
+}
+
+TEST(CsvReader, MeanBetweenTagsMissingTag) {
+  const auto data = parse_node_file(render_node_file(make_samples(), {})).value();
+  EXPECT_EQ(mean_between_tags(data, "loop", "PKG", Quantity::kPowerWatts).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvReader, HandlesEmptySampleSet) {
+  const std::string text = render_node_file({}, {});
+  const auto parsed = parse_node_file(text);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed.value().samples.empty());
+}
+
+}  // namespace
+}  // namespace envmon::moneq

@@ -1,0 +1,97 @@
+// Multi-node MonEQ integration: one profiler per node of a midplane job,
+// one output file per node ("each of these is accounted for individually
+// within the file produced for the node"), all parseable and mutually
+// consistent.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/csv_reader.hpp"
+#include "moneq/profiler.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon::moneq {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+struct Fleet {
+  static constexpr int kBoards = 8;
+
+  sim::Engine engine;
+  bgq::BgqMachine machine;
+  workloads::MmpsOptions mmps_options{Duration::seconds(60), 6};
+  power::UtilizationProfile workload = workloads::mmps(mmps_options);
+  smpi::World world{kBoards * 32};
+  smpi::FileSystemModel fs;
+  MemoryOutput output;
+  std::vector<std::unique_ptr<bgq::EmonSession>> sessions;
+  std::vector<std::unique_ptr<BgqBackend>> backends;
+  std::vector<std::unique_ptr<NodeProfiler>> profilers;
+
+  Fleet() {
+    machine.run_workload(&workload, SimTime::zero(), 0, kBoards);
+    // One MonEQ agent per node board (the finest EMON granularity).
+    for (int b = 0; b < kBoards; ++b) {
+      sessions.push_back(std::make_unique<bgq::EmonSession>(machine.board(
+          static_cast<std::size_t>(b))));
+      backends.push_back(std::make_unique<BgqBackend>(*sessions.back()));
+      profilers.push_back(std::make_unique<NodeProfiler>(engine, world, b));
+      EXPECT_TRUE(profilers.back()->add_backend(*backends.back()).is_ok());
+      EXPECT_TRUE(profilers.back()->initialize().is_ok());
+    }
+    engine.run_until(SimTime::from_seconds(60));
+    for (auto& p : profilers) {
+      EXPECT_TRUE(p->finalize(&fs, &output).is_ok());
+    }
+  }
+};
+
+TEST(MoneqFleet, OneFilePerNode) {
+  Fleet fleet;
+  EXPECT_EQ(fleet.output.files().size(), static_cast<std::size_t>(Fleet::kBoards));
+  EXPECT_TRUE(fleet.output.files().contains("moneq_node_00000.csv"));
+  EXPECT_TRUE(fleet.output.files().contains("moneq_node_00007.csv"));
+}
+
+TEST(MoneqFleet, EveryFileParsesAndAgrees) {
+  Fleet fleet;
+  double first_mean = 0.0;
+  for (const auto& [name, content] : fleet.output.files()) {
+    const auto parsed = parse_node_file(content);
+    ASSERT_TRUE(parsed.is_ok()) << name << ": " << parsed.status();
+    const auto series = extract_series(parsed.value(), "node_card", Quantity::kPowerWatts);
+    ASSERT_GT(series.size(), 50u) << name;
+    double mean = 0.0;
+    for (const auto& p : series) mean += p.value;
+    mean /= static_cast<double>(series.size());
+    // All boards run the same workload: node-card means agree closely.
+    if (first_mean == 0.0) {
+      first_mean = mean;
+    } else {
+      EXPECT_NEAR(mean, first_mean, 0.02 * first_mean) << name;
+    }
+  }
+  EXPECT_GT(first_mean, 1500.0);  // MMPS-level power, not idle
+}
+
+TEST(MoneqFleet, IdenticalOverheadAcrossHomogeneousNodes) {
+  Fleet fleet;
+  // "if every node in a system has two GPUs, then every node will spend
+  // the same amount of time collecting data" — homogeneous here too.
+  const auto reference = fleet.profilers.front()->overhead();
+  for (const auto& p : fleet.profilers) {
+    EXPECT_EQ(p->overhead().collection.ns(), reference.collection.ns());
+    EXPECT_EQ(p->overhead().polls, reference.polls);
+    EXPECT_EQ(p->overhead().initialize.ns(), reference.initialize.ns());
+    EXPECT_EQ(p->overhead().finalize.ns(), reference.finalize.ns());
+  }
+}
+
+}  // namespace
+}  // namespace envmon::moneq

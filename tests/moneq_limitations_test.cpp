@@ -1,0 +1,67 @@
+// Tests for the Section IV "stated limitations" introspection.
+
+#include <gtest/gtest.h>
+
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/backend_rapl.hpp"
+
+namespace envmon::moneq {
+namespace {
+
+TEST(Limitations, BgqScopeIsNodeCard) {
+  bgq::BgqMachine machine;
+  bgq::EmonSession emon(machine.board(0));
+  BgqBackend backend(emon);
+  const auto l = backend.limitations();
+  EXPECT_NE(l.scope.find("32 nodes"), std::string::npos);
+  EXPECT_FALSE(l.perturbs_measurement);
+  EXPECT_FALSE(l.requires_privilege);
+  // Stale by up to two generations: 1.12 s.
+  EXPECT_EQ(l.worst_case_staleness.to_millis(), 1120.0);
+}
+
+TEST(Limitations, RaplNeedsRootAndHasCeiling) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+  RaplBackend backend(reader);
+  const auto l = backend.limitations();
+  EXPECT_TRUE(l.requires_privilege);
+  EXPECT_NE(l.caveats.find("overfill"), std::string::npos);
+  EXPECT_EQ(backend.max_polling_interval(), sim::Duration::seconds(60));
+}
+
+TEST(Limitations, NvmlAccuracyBandIsFiveWatts) {
+  sim::Engine engine;
+  nvml::NvmlLibrary lib(engine);
+  lib.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)lib.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)lib.device_get_handle_by_index(0, &handle);
+  NvmlBackend backend(lib, handle);
+  const auto l = backend.limitations();
+  EXPECT_DOUBLE_EQ(l.accuracy_band, 5.0);
+  EXPECT_NE(l.scope.find("including memory"), std::string::npos);
+}
+
+TEST(Limitations, OnlyInbandPhiPerturbs) {
+  sim::Engine engine;
+  mic::PhiCard card(engine);
+  mic::ScifNetwork net;
+  mic::SysMgmtService service(card, net, 1);
+  auto client = mic::SysMgmtClient::connect(net, 1);
+  ASSERT_TRUE(client.is_ok());
+  MicInbandBackend api(client.value());
+  mic::MicrasDaemon daemon(card);
+  MicDaemonBackend dmn(daemon);
+  EXPECT_TRUE(api.limitations().perturbs_measurement);
+  EXPECT_FALSE(dmn.limitations().perturbs_measurement);
+  EXPECT_NE(dmn.limitations().caveats.find("contends"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace envmon::moneq

@@ -1,0 +1,261 @@
+#include "moneq/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/capi.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon::moneq {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+struct Fixture {
+  sim::Engine engine;
+  bgq::BgqMachine machine;
+  bgq::EmonSession emon{machine.board(0)};
+  BgqBackend backend{emon};
+  smpi::World world{32};
+  smpi::FileSystemModel fs;
+  MemoryOutput output;
+  NodeProfiler profiler{engine, world, 0};
+
+  Fixture() { EXPECT_TRUE(profiler.add_backend(backend).is_ok()); }
+};
+
+TEST(Profiler, RequiresBackendBeforeInitialize) {
+  sim::Engine engine;
+  smpi::World world(1);
+  NodeProfiler p(engine, world, 0);
+  const Status s = p.initialize();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Profiler, DefaultsToBackendFloorInterval) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  EXPECT_EQ(f.profiler.polling_interval(), Duration::millis(560));
+}
+
+TEST(Profiler, RejectsIntervalBelowFloor) {
+  Fixture f;
+  const Status s = f.profiler.set_polling_interval(Duration::millis(100));
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(Profiler, AcceptsValidUserInterval) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.set_polling_interval(Duration::seconds(2)).is_ok());
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  EXPECT_EQ(f.profiler.polling_interval(), Duration::seconds(2));
+}
+
+TEST(Profiler, DoubleInitializeFails) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  EXPECT_EQ(f.profiler.initialize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Profiler, FinalizeBeforeInitializeFails) {
+  Fixture f;
+  EXPECT_EQ(f.profiler.finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Profiler, DoubleFinalizeFails) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  f.engine.run_until(SimTime::from_seconds(5));
+  ASSERT_TRUE(f.profiler.finalize().is_ok());
+  EXPECT_EQ(f.profiler.finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Profiler, CollectsAtConfiguredCadence) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  f.engine.run_until(SimTime::from_seconds(10));
+  ASSERT_TRUE(f.profiler.finalize().is_ok());
+  // 10 s / 0.56 s = 17 polls; the first (t = 0.56 s) coincides with the
+  // completion of EMON generation 0, so every poll records data.
+  EXPECT_EQ(f.profiler.overhead().polls, 17u);
+  // 17 polls x (3 per domain x 7 + 1 total) samples.
+  EXPECT_EQ(f.profiler.samples().size(), 17u * 22u);
+}
+
+// A backend that fails its first collects, then recovers — e.g. a daemon
+// still starting up.
+class FlakyBackend final : public Backend {
+ public:
+  explicit FlakyBackend(int failures) : failures_left_(failures) {}
+  [[nodiscard]] std::string_view name() const override { return "flaky"; }
+  [[nodiscard]] PlatformId platform() const override { return PlatformId::kRapl; }
+  [[nodiscard]] sim::Duration min_polling_interval() const override {
+    return Duration::millis(10);
+  }
+  [[nodiscard]] Result<std::vector<Sample>> collect(sim::SimTime now,
+                                                    sim::CostMeter& meter) override {
+    meter.charge(Duration::micros(30));
+    if (failures_left_-- > 0) {
+      return Status(StatusCode::kUnavailable, "collection source not ready");
+    }
+    return std::vector<Sample>{{now, "pkg", Quantity::kPowerWatts, 10.0}};
+  }
+  [[nodiscard]] BackendLimitations limitations() const override { return {}; }
+
+ private:
+  int failures_left_;
+};
+
+TEST(Profiler, EarlyBackendFailureRecordedNotFatal) {
+  sim::Engine engine;
+  smpi::World world(1);
+  FlakyBackend flaky(3);
+  NodeProfiler profiler(engine, world, 0);
+  ASSERT_TRUE(profiler.add_backend(flaky).is_ok());
+  ASSERT_TRUE(profiler.set_polling_interval(Duration::millis(100)).is_ok());
+  ASSERT_TRUE(profiler.initialize().is_ok());
+  engine.run_until(SimTime::from_seconds(1));
+  ASSERT_TRUE(profiler.finalize().is_ok());
+  // Three failures recorded, profiling continued afterwards.
+  ASSERT_EQ(profiler.collection_errors().size(), 3u);
+  EXPECT_EQ(profiler.collection_errors().front().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(profiler.samples().size(), 7u);  // polls 4..10 succeeded
+}
+
+TEST(Profiler, CollectionStopsAfterFinalize) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  f.engine.run_until(SimTime::from_seconds(5));
+  ASSERT_TRUE(f.profiler.finalize().is_ok());
+  const auto n = f.profiler.samples().size();
+  f.engine.run_until(SimTime::from_seconds(20));
+  EXPECT_EQ(f.profiler.samples().size(), n);
+}
+
+TEST(Profiler, BufferExhaustionDropsAndCounts) {
+  Fixture f;
+  ProfilerOptions options;
+  options.max_samples = 50;
+  NodeProfiler small(f.engine, f.world, 0, options);
+  ASSERT_TRUE(small.add_backend(f.backend).is_ok());
+  ASSERT_TRUE(small.initialize().is_ok());
+  f.engine.run_until(SimTime::from_seconds(10));
+  ASSERT_TRUE(small.finalize().is_ok());
+  EXPECT_EQ(small.samples().size(), 50u);
+  EXPECT_GT(small.dropped_samples(), 0u);
+}
+
+TEST(Profiler, TaggingLifecycle) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  f.engine.run_until(SimTime::from_seconds(1));
+  EXPECT_TRUE(f.profiler.start_tag("loop1").is_ok());
+  f.engine.run_until(SimTime::from_seconds(2));
+  EXPECT_TRUE(f.profiler.end_tag("loop1").is_ok());
+  EXPECT_EQ(f.profiler.tags().size(), 2u);
+  EXPECT_TRUE(f.profiler.tags()[0].is_start);
+  EXPECT_DOUBLE_EQ(f.profiler.tags()[1].t.to_seconds(), 2.0);
+}
+
+TEST(Profiler, EndTagWithoutStartFails) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  EXPECT_EQ(f.profiler.end_tag("nope").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(f.profiler.start_tag("a").is_ok());
+  ASSERT_TRUE(f.profiler.end_tag("a").is_ok());
+  EXPECT_EQ(f.profiler.end_tag("a").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Profiler, TagBeforeInitializeFails) {
+  Fixture f;
+  EXPECT_EQ(f.profiler.start_tag("early").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Profiler, NestedAndRepeatedTags) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  ASSERT_TRUE(f.profiler.start_tag("outer").is_ok());
+  ASSERT_TRUE(f.profiler.start_tag("inner").is_ok());
+  ASSERT_TRUE(f.profiler.end_tag("inner").is_ok());
+  ASSERT_TRUE(f.profiler.start_tag("inner").is_ok());
+  ASSERT_TRUE(f.profiler.end_tag("inner").is_ok());
+  ASSERT_TRUE(f.profiler.end_tag("outer").is_ok());
+  EXPECT_EQ(f.profiler.tags().size(), 6u);
+}
+
+TEST(Profiler, OutputFileRendered) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  f.engine.run_until(SimTime::from_seconds(3));
+  ASSERT_TRUE(f.profiler.start_tag("work").is_ok());
+  f.engine.run_until(SimTime::from_seconds(4));
+  ASSERT_TRUE(f.profiler.end_tag("work").is_ok());
+  ASSERT_TRUE(f.profiler.finalize(&f.fs, &f.output).is_ok());
+  ASSERT_EQ(f.output.files().size(), 1u);
+  const auto& [name, content] = *f.output.files().begin();
+  EXPECT_EQ(name, "moneq_node_00000.csv");
+  EXPECT_NE(content.find("time_s,domain,quantity,unit,value"), std::string::npos);
+  EXPECT_NE(content.find("chip_core"), std::string::npos);
+  EXPECT_NE(content.find("#TAG_START"), std::string::npos);
+  EXPECT_NE(content.find("#TAG_END"), std::string::npos);
+}
+
+TEST(Profiler, OverheadAccountsAllPhases) {
+  Fixture f;
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  f.engine.run_until(SimTime::from_seconds(10));
+  ASSERT_TRUE(f.profiler.finalize(&f.fs, nullptr).is_ok());
+  const auto report = f.profiler.overhead();
+  EXPECT_GT(report.initialize.ns(), 0);
+  EXPECT_GT(report.collection.ns(), 0);
+  EXPECT_GT(report.finalize.ns(), 0);
+  EXPECT_EQ(report.total().ns(),
+            report.initialize.ns() + report.collection.ns() + report.finalize.ns());
+  // 17 polls x 1.10 ms.
+  EXPECT_NEAR(report.collection.to_millis(), 17 * 1.10, 0.01);
+}
+
+TEST(CApi, ListingOneFlow) {
+  Fixture f;
+  capi::MonEQ_Bind(&f.profiler, &f.fs, &f.output);
+  EXPECT_EQ(capi::MonEQ_Initialize(), capi::kMonEQOk);   // Setup Power
+  f.engine.run_until(SimTime::from_seconds(5));          // User code
+  EXPECT_EQ(capi::MonEQ_Finalize(), capi::kMonEQOk);     // Finalize Power
+  EXPECT_FALSE(f.output.files().empty());
+  capi::MonEQ_Bind(nullptr);
+}
+
+TEST(CApi, UnboundReturnsError) {
+  capi::MonEQ_Bind(nullptr);
+  EXPECT_EQ(capi::MonEQ_Initialize(), capi::kMonEQErrNotBound);
+  EXPECT_EQ(capi::MonEQ_Finalize(), capi::kMonEQErrNotBound);
+  EXPECT_EQ(capi::MonEQ_StartTag("x"), capi::kMonEQErrNotBound);
+}
+
+TEST(CApi, PollingIntervalValidation) {
+  Fixture f;
+  capi::MonEQ_Bind(&f.profiler);
+  EXPECT_EQ(capi::MonEQ_SetPollingInterval(-1.0), capi::kMonEQErrInvalid);
+  EXPECT_EQ(capi::MonEQ_SetPollingInterval(0.1), capi::kMonEQErrInvalid);  // below floor
+  EXPECT_EQ(capi::MonEQ_SetPollingInterval(1.0), capi::kMonEQOk);
+  EXPECT_EQ(capi::MonEQ_Initialize(), capi::kMonEQOk);
+  EXPECT_EQ(capi::MonEQ_SetPollingInterval(2.0), capi::kMonEQErrState);  // too late
+  capi::MonEQ_Bind(nullptr);
+}
+
+TEST(CApi, TagsAndNullName) {
+  Fixture f;
+  capi::MonEQ_Bind(&f.profiler);
+  ASSERT_EQ(capi::MonEQ_Initialize(), capi::kMonEQOk);
+  EXPECT_EQ(capi::MonEQ_StartTag(nullptr), capi::kMonEQErrInvalid);
+  EXPECT_EQ(capi::MonEQ_StartTag("loop"), capi::kMonEQOk);
+  EXPECT_EQ(capi::MonEQ_EndTag("loop"), capi::kMonEQOk);
+  EXPECT_EQ(capi::MonEQ_EndTag("loop"), capi::kMonEQErrState);
+  capi::MonEQ_Bind(nullptr);
+}
+
+}  // namespace
+}  // namespace envmon::moneq

@@ -1,0 +1,133 @@
+#include "moneq/unified.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/backend_rapl.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon::moneq {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+using U = UnifiedMetric;
+
+TEST(Unified, TotalPowerSupportedEverywhere) {
+  // Static support claims mirror Table I's one universal row.
+  sim::Engine engine;
+  bgq::BgqMachine machine;
+  bgq::EmonSession emon(machine.board(0));
+  BgqBackend bgq_b(emon);
+  rapl::CpuPackage pkg(engine);
+  rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+  RaplBackend rapl_b(reader);
+  mic::PhiCard card(engine);
+  mic::MicrasDaemon daemon(card);
+  MicDaemonBackend mic_b(daemon);
+  nvml::NvmlLibrary lib(engine);
+  lib.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)lib.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)lib.device_get_handle_by_index(0, &handle);
+  NvmlBackend nvml_b(lib, handle);
+
+  for (Backend* b : std::initializer_list<Backend*>{&bgq_b, &rapl_b, &mic_b, &nvml_b}) {
+    EXPECT_TRUE(UnifiedSampler(*b).supports(U::kTotalPowerWatts)) << b->name();
+  }
+  // And the asymmetries: memory power only where Table I says so.
+  EXPECT_TRUE(UnifiedSampler(bgq_b).supports(U::kMemoryPowerWatts));
+  EXPECT_TRUE(UnifiedSampler(rapl_b).supports(U::kMemoryPowerWatts));
+  EXPECT_FALSE(UnifiedSampler(nvml_b).supports(U::kMemoryPowerWatts));
+  EXPECT_FALSE(UnifiedSampler(mic_b).supports(U::kMemoryPowerWatts));
+  EXPECT_TRUE(UnifiedSampler(nvml_b).supports(U::kDieTempCelsius));
+  EXPECT_FALSE(UnifiedSampler(bgq_b).supports(U::kDieTempCelsius));
+}
+
+TEST(Unified, BgqSnapshotSplitsPlanes) {
+  bgq::BgqMachine machine;
+  const auto w = workloads::mmps({Duration::seconds(100), 6});
+  machine.run_workload(&w, SimTime::zero());
+  bgq::EmonSession emon(machine.board(0));
+  BgqBackend backend(emon);
+  UnifiedSampler sampler(backend);
+  sim::CostMeter meter;
+  const auto snapshot = sampler.sample(SimTime::from_seconds(50), meter);
+  ASSERT_TRUE(snapshot.is_ok());
+  const auto& values = snapshot.value();
+  ASSERT_TRUE(values.contains(U::kTotalPowerWatts));
+  ASSERT_TRUE(values.contains(U::kProcessorPowerWatts));
+  ASSERT_TRUE(values.contains(U::kMemoryPowerWatts));
+  EXPECT_GT(values.at(U::kTotalPowerWatts),
+            values.at(U::kProcessorPowerWatts) + values.at(U::kMemoryPowerWatts));
+}
+
+TEST(Unified, RaplWarmupThenData) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  const auto w = workloads::dgemm({Duration::seconds(60), 0.8, 0.4});
+  pkg.run_workload(&w, SimTime::zero());
+  rapl::MsrRaplReader reader(pkg, rapl::Credentials{true, 0});
+  RaplBackend backend(reader);
+  UnifiedSampler sampler(backend);
+  sim::CostMeter meter;
+  engine.run_until(SimTime::from_seconds(1));
+  // First collect only yields energy counters: unified sample warms up.
+  const auto first = sampler.sample(engine.now(), meter);
+  ASSERT_FALSE(first.is_ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+  engine.run_until(SimTime::from_seconds(2));
+  const auto second = sampler.sample(engine.now(), meter);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_NEAR(second.value().at(U::kTotalPowerWatts), 39.7, 1.5);
+}
+
+TEST(Unified, CrossPlatformComparisonOnCommonMetric) {
+  // The Section II wish: "look at two devices in terms of their
+  // environmental data" — here GPU vs Phi total power under their
+  // respective compute workloads, on the same metric key.
+  sim::Engine engine;
+
+  nvml::NvmlLibrary lib(engine);
+  lib.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)lib.init();
+  nvml::NvmlDeviceHandle handle;
+  (void)lib.device_get_handle_by_index(0, &handle);
+  const auto gpu_w = workloads::gpu_vector_add({Duration::seconds(2), Duration::seconds(1),
+                                                Duration::seconds(60)});
+  lib.device_for_testing(0)->run_workload(&gpu_w, SimTime::zero());
+  NvmlBackend gpu_backend(lib, handle);
+
+  mic::PhiCard card(engine);
+  const auto phi_w = workloads::offload_gauss({Duration::seconds(2), Duration::seconds(1),
+                                               Duration::seconds(60)});
+  card.run_workload(&phi_w, SimTime::zero());
+  mic::MicrasDaemon daemon(card);
+  daemon.start();
+  MicDaemonBackend phi_backend(daemon);
+
+  UnifiedSampler gpu(gpu_backend), phi(phi_backend);
+  sim::CostMeter meter;
+  engine.run_until(SimTime::from_seconds(30));
+  const auto gpu_snap = gpu.sample(engine.now(), meter);
+  const auto phi_snap = phi.sample(engine.now(), meter);
+  ASSERT_TRUE(gpu_snap.is_ok());
+  ASSERT_TRUE(phi_snap.is_ok());
+  const double gpu_w_now = gpu_snap.value().at(U::kTotalPowerWatts);
+  const double phi_w_now = phi_snap.value().at(U::kTotalPowerWatts);
+  // Both under compute load; the Phi card draws more at full tilt.
+  EXPECT_GT(gpu_w_now, 100.0);
+  EXPECT_GT(phi_w_now, gpu_w_now);
+}
+
+TEST(Unified, MetricNames) {
+  EXPECT_STREQ(to_string(U::kTotalPowerWatts), "total_power_w");
+  EXPECT_STREQ(to_string(U::kFanPercentOrRpm), "fan_speed");
+}
+
+}  // namespace
+}  // namespace envmon::moneq

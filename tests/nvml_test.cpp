@@ -1,0 +1,211 @@
+#include "nvml/api.hpp"
+#include "nvml/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/library.hpp"
+
+namespace envmon::nvml {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+struct Fixture {
+  sim::Engine engine;
+  NvmlLibrary library{engine};
+  NvmlDeviceHandle handle;
+
+  explicit Fixture(GpuSpec spec = k20_spec()) {
+    library.attach_device(std::make_shared<GpuDevice>(std::move(spec)));
+    EXPECT_EQ(library.init(), NvmlReturn::kSuccess);
+    EXPECT_EQ(library.device_get_handle_by_index(0, &handle), NvmlReturn::kSuccess);
+  }
+};
+
+TEST(GpuSpec, K20MatchesPaper) {
+  const GpuSpec s = k20_spec();
+  EXPECT_DOUBLE_EQ(s.peak_tflops_fp64, 1.17);  // "1.17 teraFLOPS at double precision"
+  EXPECT_DOUBLE_EQ(s.memory.value(), gibibytes(5.0).value());  // "5 GB of GDDR5"
+  EXPECT_EQ(s.cuda_cores, 2496);                               // "2496 CUDA cores"
+  EXPECT_TRUE(s.supports_power_readings());
+}
+
+TEST(GpuDevice, IdleBoardAround44Watts) {
+  GpuDevice dev(k20_spec());
+  EXPECT_NEAR(dev.true_board_power(SimTime::zero()).value(), 44.0, 1.0);
+}
+
+TEST(GpuDevice, VecaddComputeAround130Watts) {
+  GpuDevice dev(k20_spec());
+  const auto w = workloads::gpu_vector_add({});
+  dev.run_workload(&w, SimTime::zero());
+  const double p = dev.true_board_power(SimTime::from_seconds(30)).value();
+  EXPECT_GT(p, 115.0);
+  EXPECT_LT(p, 150.0);
+}
+
+TEST(GpuDevice, MemoryAccountingClamped) {
+  GpuDevice dev(k20_spec());
+  dev.set_memory_used(gibibytes(2.0));
+  EXPECT_DOUBLE_EQ(dev.memory_used().value(), gibibytes(2.0).value());
+  EXPECT_DOUBLE_EQ(dev.memory_free().value(), gibibytes(3.0).value());
+  dev.set_memory_used(gibibytes(100.0));  // over capacity: clamp
+  EXPECT_DOUBLE_EQ(dev.memory_used().value(), gibibytes(5.0).value());
+  dev.set_memory_used(Bytes{-5.0});
+  EXPECT_DOUBLE_EQ(dev.memory_used().value(), 0.0);
+}
+
+TEST(NvmlApi, UninitializedReturnsError) {
+  sim::Engine engine;
+  NvmlLibrary lib(engine);
+  lib.attach_device(std::make_shared<GpuDevice>(k20_spec()));
+  unsigned count = 0;
+  EXPECT_EQ(lib.device_get_count(&count), NvmlReturn::kUninitialized);
+  NvmlDeviceHandle h;
+  EXPECT_EQ(lib.device_get_handle_by_index(0, &h), NvmlReturn::kUninitialized);
+}
+
+TEST(NvmlApi, InitShutdownLifecycle) {
+  Fixture f;
+  EXPECT_EQ(f.library.shutdown(), NvmlReturn::kSuccess);
+  EXPECT_EQ(f.library.shutdown(), NvmlReturn::kUninitialized);
+  unsigned mw = 0;
+  EXPECT_EQ(f.library.device_get_power_usage(f.handle, &mw), NvmlReturn::kUninitialized);
+}
+
+TEST(NvmlApi, HandlesInvalidatedByReinit) {
+  Fixture f;
+  (void)f.library.shutdown();
+  (void)f.library.init();
+  unsigned mw = 0;
+  // The old epoch's handle no longer resolves.
+  EXPECT_EQ(f.library.device_get_power_usage(f.handle, &mw), NvmlReturn::kInvalidArgument);
+}
+
+TEST(NvmlApi, DeviceCountAndName) {
+  Fixture f;
+  unsigned count = 0;
+  EXPECT_EQ(f.library.device_get_count(&count), NvmlReturn::kSuccess);
+  EXPECT_EQ(count, 1u);
+  std::string name;
+  EXPECT_EQ(f.library.device_get_name(f.handle, &name), NvmlReturn::kSuccess);
+  EXPECT_EQ(name, "Tesla K20");
+}
+
+TEST(NvmlApi, BadIndexNotFound) {
+  Fixture f;
+  NvmlDeviceHandle h;
+  EXPECT_EQ(f.library.device_get_handle_by_index(7, &h), NvmlReturn::kNotFound);
+}
+
+TEST(NvmlApi, NullOutParamInvalid) {
+  Fixture f;
+  EXPECT_EQ(f.library.device_get_power_usage(f.handle, nullptr),
+            NvmlReturn::kInvalidArgument);
+  EXPECT_EQ(f.library.device_get_count(nullptr), NvmlReturn::kInvalidArgument);
+}
+
+TEST(NvmlApi, PowerQueryReportsMilliwatts) {
+  Fixture f;
+  f.engine.run_until(SimTime::from_seconds(1));
+  unsigned mw = 0;
+  ASSERT_EQ(f.library.device_get_power_usage(f.handle, &mw), NvmlReturn::kSuccess);
+  EXPECT_NEAR(static_cast<double>(mw) / 1000.0, 44.0, 6.0);  // idle +/- accuracy band
+}
+
+TEST(NvmlApi, PowerUnsupportedOnFermi) {
+  Fixture f(m2090_spec());
+  unsigned mw = 0;
+  // "The only NVIDIA GPUs which support power data collection are those
+  // based on the Kepler architecture."
+  EXPECT_EQ(f.library.device_get_power_usage(f.handle, &mw), NvmlReturn::kNotSupported);
+}
+
+TEST(NvmlApi, QueryCostIsAboutOnePointThreeMs) {
+  Fixture f;
+  f.engine.run_until(SimTime::from_seconds(1));
+  unsigned mw = 0;
+  (void)f.library.device_get_power_usage(f.handle, &mw);
+  (void)f.library.device_get_power_usage(f.handle, &mw);
+  EXPECT_DOUBLE_EQ(f.library.cost().mean_per_query().to_millis(), 1.3);
+}
+
+TEST(NvmlApi, TemperatureAndFan) {
+  Fixture f;
+  f.engine.run_until(SimTime::from_seconds(1));
+  unsigned celsius = 0;
+  ASSERT_EQ(f.library.device_get_temperature(f.handle, TemperatureSensor::kGpuDie, &celsius),
+            NvmlReturn::kSuccess);
+  EXPECT_GT(celsius, 30u);
+  EXPECT_LT(celsius, 70u);
+  unsigned fan = 0;
+  ASSERT_EQ(f.library.device_get_fan_speed(f.handle, &fan), NvmlReturn::kSuccess);
+  EXPECT_GE(fan, 30u);
+  EXPECT_LE(fan, 100u);
+}
+
+TEST(NvmlApi, MemoryInfoConsistent) {
+  Fixture f;
+  f.library.device_for_testing(0)->set_memory_used(gibibytes(1.5));
+  NvmlMemoryInfo info;
+  ASSERT_EQ(f.library.device_get_memory_info(f.handle, &info), NvmlReturn::kSuccess);
+  EXPECT_EQ(info.total_bytes, info.used_bytes + info.free_bytes);
+  EXPECT_EQ(info.used_bytes, static_cast<std::uint64_t>(gibibytes(1.5).value()));
+}
+
+TEST(NvmlApi, ClockInfo) {
+  Fixture f;
+  unsigned mhz = 0;
+  ASSERT_EQ(f.library.device_get_clock_info(f.handle, ClockType::kSm, &mhz),
+            NvmlReturn::kSuccess);
+  EXPECT_EQ(mhz, 706u);
+  ASSERT_EQ(f.library.device_get_clock_info(f.handle, ClockType::kMem, &mhz),
+            NvmlReturn::kSuccess);
+  EXPECT_EQ(mhz, 2600u);
+}
+
+TEST(NvmlApi, PowerManagementLimitRoundTrip) {
+  Fixture f;
+  unsigned mw = 0;
+  ASSERT_EQ(f.library.device_get_power_management_limit(f.handle, &mw), NvmlReturn::kSuccess);
+  EXPECT_EQ(mw, 225'000u);  // defaults to TDP
+  ASSERT_EQ(f.library.device_set_power_management_limit(f.handle, 150'000),
+            NvmlReturn::kSuccess);
+  (void)f.library.device_get_power_management_limit(f.handle, &mw);
+  EXPECT_EQ(mw, 150'000u);
+  // Cannot exceed TDP or be zero.
+  EXPECT_EQ(f.library.device_set_power_management_limit(f.handle, 500'000),
+            NvmlReturn::kInvalidArgument);
+  EXPECT_EQ(f.library.device_set_power_management_limit(f.handle, 0),
+            NvmlReturn::kInvalidArgument);
+}
+
+TEST(NvmlApi, SensorRampTakesSeconds) {
+  Fixture f;
+  const auto w = workloads::dgemm({Duration::seconds(60), 1.0, 1.0});
+  f.library.device_for_testing(0)->run_workload(&w, SimTime::zero());
+  // Right after the step the sensed value lags the true value.
+  f.engine.run_until(SimTime::from_ns(200'000'000));  // 0.2 s in
+  unsigned early_mw = 0;
+  (void)f.library.device_get_power_usage(f.handle, &early_mw);
+  f.engine.run_until(SimTime::from_seconds(10));
+  unsigned late_mw = 0;
+  (void)f.library.device_get_power_usage(f.handle, &late_mw);
+  EXPECT_GT(late_mw, early_mw + 30'000);  // rises by tens of watts over seconds
+}
+
+TEST(NvmlApi, TemperatureRisesUnderLoad) {
+  Fixture f;
+  const auto w = workloads::gpu_vector_add({});
+  f.library.device_for_testing(0)->run_workload(&w, SimTime::zero());
+  unsigned t_early = 0, t_late = 0;
+  f.engine.run_until(SimTime::from_seconds(15));
+  (void)f.library.device_get_temperature(f.handle, TemperatureSensor::kGpuDie, &t_early);
+  f.engine.run_until(SimTime::from_seconds(90));
+  (void)f.library.device_get_temperature(f.handle, TemperatureSensor::kGpuDie, &t_late);
+  EXPECT_GT(t_late, t_early);  // the Fig 5 steady rise
+}
+
+}  // namespace
+}  // namespace envmon::nvml

@@ -1,0 +1,154 @@
+#include "power/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/component.hpp"
+
+namespace envmon::power {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+UtilizationProfile two_phase() {
+  ProfileBuilder b;
+  b.phase(Duration::seconds(10), "low", {{Rail::kCpuCore, 0.2}});
+  b.phase(Duration::seconds(10), "high", {{Rail::kCpuCore, 0.8}, {Rail::kDram, 0.5}});
+  return std::move(b).build();
+}
+
+TEST(Profile, UtilWithinPhases) {
+  const auto p = two_phase();
+  EXPECT_DOUBLE_EQ(p.util(Rail::kCpuCore, Duration::seconds(5)), 0.2);
+  EXPECT_DOUBLE_EQ(p.util(Rail::kCpuCore, Duration::seconds(15)), 0.8);
+  EXPECT_DOUBLE_EQ(p.util(Rail::kDram, Duration::seconds(5)), 0.0);
+  EXPECT_DOUBLE_EQ(p.util(Rail::kDram, Duration::seconds(15)), 0.5);
+}
+
+TEST(Profile, PhaseBoundaryBelongsToNextPhase) {
+  const auto p = two_phase();
+  EXPECT_DOUBLE_EQ(p.util(Rail::kCpuCore, Duration::seconds(10)), 0.8);
+}
+
+TEST(Profile, OutsideProfileIsIdle) {
+  const auto p = two_phase();
+  EXPECT_DOUBLE_EQ(p.util(Rail::kCpuCore, Duration::seconds(-1)), 0.0);
+  EXPECT_DOUBLE_EQ(p.util(Rail::kCpuCore, Duration::seconds(20)), 0.0);
+  EXPECT_DOUBLE_EQ(p.util(Rail::kCpuCore, Duration::seconds(100)), 0.0);
+}
+
+TEST(Profile, TotalDuration) {
+  EXPECT_EQ(two_phase().total_duration(), Duration::seconds(20));
+  EXPECT_TRUE(UtilizationProfile{}.empty());
+}
+
+TEST(Profile, PhaseLabels) {
+  const auto p = two_phase();
+  ASSERT_NE(p.phase_at(Duration::seconds(1)), nullptr);
+  EXPECT_STREQ(p.phase_at(Duration::seconds(1))->label, "low");
+  EXPECT_STREQ(p.phase_at(Duration::seconds(11))->label, "high");
+  EXPECT_EQ(p.phase_at(Duration::seconds(25)), nullptr);
+}
+
+TEST(Profile, MeanUtilExactAcrossBoundary) {
+  const auto p = two_phase();
+  // [5 s, 15 s): 5 s at 0.2 + 5 s at 0.8 = mean 0.5.
+  EXPECT_DOUBLE_EQ(p.mean_util(Rail::kCpuCore, Duration::seconds(5), Duration::seconds(15)),
+                   0.5);
+}
+
+TEST(Profile, MeanUtilIncludesIdleOverhang) {
+  const auto p = two_phase();
+  // [10 s, 30 s): 10 s at 0.8 + 10 s idle = 0.4.
+  EXPECT_DOUBLE_EQ(p.mean_util(Rail::kCpuCore, Duration::seconds(10), Duration::seconds(30)),
+                   0.4);
+}
+
+TEST(Profile, MeanUtilDegenerateWindow) {
+  const auto p = two_phase();
+  EXPECT_DOUBLE_EQ(p.mean_util(Rail::kCpuCore, Duration::seconds(5), Duration::seconds(5)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(p.mean_util(Rail::kCpuCore, Duration::seconds(9), Duration::seconds(3)),
+                   0.0);
+}
+
+TEST(Profile, RejectsBadUtilization) {
+  ProfileBuilder b;
+  b.phase(Duration::seconds(1), "bad", {{Rail::kCpuCore, 1.5}});
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(Profile, RejectsNonPositiveDuration) {
+  ProfileBuilder b;
+  b.phase(Duration::nanos(0), "zero", {});
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(ProfileBuilder, RepeatLastReplicatesCycle) {
+  ProfileBuilder b;
+  b.phase(Duration::seconds(2), "a", {{Rail::kCpuCore, 0.5}});
+  b.phase(Duration::seconds(1), "b", {{Rail::kCpuCore, 0.9}});
+  b.repeat_last(2, 3);  // 4 cycles total
+  const auto p = std::move(b).build();
+  EXPECT_EQ(p.phases().size(), 8u);
+  EXPECT_EQ(p.total_duration(), Duration::seconds(12));
+  EXPECT_DOUBLE_EQ(p.util(Rail::kCpuCore, Duration::seconds(4)), 0.5);  // cycle 2 "a"
+  EXPECT_DOUBLE_EQ(p.util(Rail::kCpuCore, Duration::from_seconds(5.5)), 0.9);  // cycle 2 "b"
+}
+
+TEST(ProfileBuilder, RepeatLastValidatesCount) {
+  ProfileBuilder b;
+  b.phase(Duration::seconds(1), "a", {});
+  EXPECT_THROW(b.repeat_last(2, 1), std::invalid_argument);
+  EXPECT_THROW(b.repeat_last(0, 1), std::invalid_argument);
+}
+
+TEST(DevicePower, RailModelLinearInUtil) {
+  const RailModel m{Watts{10.0}, Watts{40.0}, Volts{1.0}};
+  EXPECT_DOUBLE_EQ(m.at_util(0.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(m.at_util(1.0).value(), 50.0);
+  EXPECT_DOUBLE_EQ(m.at_util(0.5).value(), 30.0);
+}
+
+TEST(DevicePower, IdleWithoutWorkload) {
+  DevicePowerModel dev;
+  dev.set_rail(Rail::kCpuCore, RailModel{Watts{5.0}, Watts{20.0}, Volts{1.0}});
+  dev.set_rail(Rail::kDram, RailModel{Watts{2.0}, Watts{8.0}, Volts{1.35}});
+  EXPECT_DOUBLE_EQ(dev.total_power_at(SimTime::from_seconds(100)).value(), 7.0);
+}
+
+TEST(DevicePower, WorkloadOffsetRespected) {
+  DevicePowerModel dev;
+  dev.set_rail(Rail::kCpuCore, RailModel{Watts{5.0}, Watts{20.0}, Volts{1.0}});
+  const auto p = two_phase();
+  dev.run_workload(&p, SimTime::from_seconds(100));
+  EXPECT_DOUBLE_EQ(dev.rail_power_at(Rail::kCpuCore, SimTime::from_seconds(99)).value(), 5.0);
+  EXPECT_DOUBLE_EQ(dev.rail_power_at(Rail::kCpuCore, SimTime::from_seconds(105)).value(),
+                   5.0 + 0.2 * 20.0);
+  EXPECT_DOUBLE_EQ(dev.rail_power_at(Rail::kCpuCore, SimTime::from_seconds(115)).value(),
+                   5.0 + 0.8 * 20.0);
+  EXPECT_DOUBLE_EQ(dev.rail_power_at(Rail::kCpuCore, SimTime::from_seconds(125)).value(), 5.0);
+}
+
+TEST(DevicePower, EnergyMatchesPowerIntegral) {
+  DevicePowerModel dev;
+  dev.set_rail(Rail::kCpuCore, RailModel{Watts{5.0}, Watts{20.0}, Volts{1.0}});
+  const auto p = two_phase();
+  dev.run_workload(&p, SimTime::zero());
+  // 10 s at 9 W + 10 s at 21 W = 300 J on the core rail.
+  const Joules e =
+      dev.rail_energy_between(Rail::kCpuCore, SimTime::zero(), SimTime::from_seconds(20));
+  EXPECT_DOUBLE_EQ(e.value(), 300.0);
+}
+
+TEST(DevicePower, CurrentFromVoltage) {
+  DevicePowerModel dev;
+  dev.set_rail(Rail::kDram, RailModel{Watts{13.5}, Watts{0.0}, Volts{1.35}});
+  EXPECT_DOUBLE_EQ(dev.rail_current_at(Rail::kDram, SimTime::zero()).value(), 10.0);
+  // Rails without a voltage report zero current rather than dividing by 0.
+  dev.set_rail(Rail::kSram, RailModel{Watts{5.0}, Watts{0.0}, Volts{0.0}});
+  EXPECT_DOUBLE_EQ(dev.rail_current_at(Rail::kSram, SimTime::zero()).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace envmon::power

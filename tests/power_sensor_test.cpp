@@ -1,0 +1,196 @@
+#include "power/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/thermal.hpp"
+
+namespace envmon::power {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+SensorPipeline make(SensorOptions o, std::uint64_t seed = 1) {
+  return SensorPipeline(o, Rng(seed));
+}
+
+TEST(Sensor, PassthroughWhenUnconfigured) {
+  auto s = make({});
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::zero(), 42.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::from_seconds(1), 99.0), 99.0);
+}
+
+TEST(Sensor, SlewApproachesStepExponentially) {
+  SensorOptions o;
+  o.slew_tau = Duration::seconds(1);
+  auto s = make(o);
+  // Initialize at 0, then step input to 100.
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::zero(), 0.0), 0.0);
+  const double after_1tau = s.sample(SimTime::from_seconds(1), 100.0);
+  EXPECT_NEAR(after_1tau, 100.0 * (1.0 - std::exp(-1.0)), 1e-9);
+  const double after_5tau = s.sample(SimTime::from_seconds(5), 100.0);
+  EXPECT_GT(after_5tau, 99.0);
+}
+
+TEST(Sensor, SlewFirstSampleTracksInput) {
+  SensorOptions o;
+  o.slew_tau = Duration::seconds(1);
+  auto s = make(o);
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::zero(), 44.0), 44.0);
+}
+
+TEST(Sensor, FiveSecondRampMatchesNvmlStory) {
+  // tau = 1.7 s (the K20 board sensor): ~95% of the step within 5 s —
+  // "it takes about 5 seconds before the power consumption levels off".
+  SensorOptions o;
+  o.slew_tau = Duration::millis(1700);
+  auto s = make(o);
+  (void)s.sample(SimTime::zero(), 44.0);
+  double v = 0.0;
+  for (double t = 0.1; t <= 5.0; t += 0.1) {
+    v = s.sample(SimTime::from_seconds(t), 56.0);
+  }
+  EXPECT_GT(v, 44.0 + 0.93 * 12.0);
+  EXPECT_LT(v, 56.0);
+}
+
+TEST(Sensor, HoldRefreshesOnSchedule) {
+  SensorOptions o;
+  o.update_period = Duration::millis(60);
+  auto s = make(o);
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::zero(), 10.0), 10.0);
+  // 30 ms later the sensor has not refreshed: still 10.
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::from_ns(30'000'000), 20.0), 10.0);
+  // 70 ms: one refresh has passed.
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::from_ns(70'000'000), 20.0), 20.0);
+}
+
+TEST(Sensor, HoldReportsRefreshAge) {
+  SensorOptions o;
+  o.update_period = Duration::millis(100);
+  auto s = make(o);
+  (void)s.sample(SimTime::zero(), 1.0);
+  (void)s.sample(SimTime::from_ns(250'000'000), 2.0);
+  ASSERT_TRUE(s.last_refresh().has_value());
+  // Last refresh instant is on the 100 ms grid, at or before 250 ms.
+  EXPECT_LE(s.last_refresh()->ns(), 250'000'000);
+  EXPECT_GE(s.last_refresh()->ns(), 150'000'000);
+}
+
+TEST(Sensor, QuantizeRoundsToStep) {
+  SensorOptions o;
+  o.quantum = 0.5;
+  auto s = make(o);
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::zero(), 10.26), 10.5);
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::from_seconds(1), 10.24), 10.0);
+}
+
+TEST(Sensor, ClampBounds) {
+  SensorOptions o;
+  o.min_value = 0.0;
+  o.max_value = 100.0;
+  auto s = make(o);
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::zero(), -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::from_seconds(1), 500.0), 100.0);
+}
+
+TEST(Sensor, NoiseIsZeroMean) {
+  SensorOptions o;
+  o.noise_sigma = 2.0;
+  auto s = make(o, 99);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    sum += s.sample(SimTime::from_ns(static_cast<std::int64_t>(i) * 1'000'000), 50.0);
+  }
+  EXPECT_NEAR(sum / n, 50.0, 0.1);
+}
+
+TEST(Sensor, NoiseWithinAccuracyBand) {
+  // The NVML +/-5 W spec as a 3-sigma band: nearly all samples within.
+  SensorOptions o;
+  o.noise_sigma = 5.0 / 3.0;
+  auto s = make(o, 7);
+  int outside = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = s.sample(SimTime::from_ns(static_cast<std::int64_t>(i) * 1'000'000), 100.0);
+    if (std::fabs(v - 100.0) > 5.0) ++outside;
+  }
+  EXPECT_LT(outside, n / 100);  // < 1% beyond 3 sigma (expect ~0.3%)
+}
+
+TEST(Sensor, DeterministicGivenSeed) {
+  SensorOptions o;
+  o.noise_sigma = 1.0;
+  auto a = make(o, 5);
+  auto b = make(o, 5);
+  for (int i = 0; i < 100; ++i) {
+    const auto t = SimTime::from_ns(static_cast<std::int64_t>(i) * 1'000'000);
+    EXPECT_DOUBLE_EQ(a.sample(t, 10.0), b.sample(t, 10.0));
+  }
+}
+
+TEST(Sensor, ResetClearsState) {
+  SensorOptions o;
+  o.slew_tau = Duration::seconds(10);
+  auto s = make(o);
+  (void)s.sample(SimTime::zero(), 100.0);
+  s.reset();
+  // After reset, the first sample re-initializes to the input value.
+  EXPECT_DOUBLE_EQ(s.sample(SimTime::from_seconds(1), 5.0), 5.0);
+  EXPECT_FALSE(s.last_refresh().has_value());
+}
+
+TEST(Thermal, ApproachesSteadyState) {
+  ThermalOptions o;
+  o.ambient = Celsius{36.0};
+  o.resistance_c_per_w = 0.22;
+  o.capacity_j_per_c = 260.0;
+  o.initial = Celsius{40.0};
+  ThermalModel m(o);
+  (void)m.step(SimTime::zero(), Watts{130.0});
+  Celsius temp{};
+  for (double t = 1.0; t <= 600.0; t += 1.0) {
+    temp = m.step(SimTime::from_seconds(t), Watts{130.0});
+  }
+  EXPECT_NEAR(temp.value(), m.steady_state(Watts{130.0}).value(), 0.5);
+  EXPECT_NEAR(m.steady_state(Watts{130.0}).value(), 36.0 + 0.22 * 130.0, 1e-9);
+}
+
+TEST(Thermal, MonotonicRiseUnderConstantLoad) {
+  ThermalModel m(ThermalOptions{});
+  (void)m.step(SimTime::zero(), Watts{100.0});
+  double prev = m.temperature().value();
+  for (double t = 1.0; t <= 60.0; t += 1.0) {
+    const double cur = m.step(SimTime::from_seconds(t), Watts{100.0}).value();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Thermal, CoolsWhenLoadRemoved) {
+  ThermalModel m(ThermalOptions{});
+  (void)m.step(SimTime::zero(), Watts{200.0});
+  for (double t = 1.0; t <= 120.0; t += 1.0) {
+    (void)m.step(SimTime::from_seconds(t), Watts{200.0});
+  }
+  const double hot = m.temperature().value();
+  for (double t = 121.0; t <= 600.0; t += 1.0) {
+    (void)m.step(SimTime::from_seconds(t), Watts{0.0});
+  }
+  EXPECT_LT(m.temperature().value(), hot);
+  EXPECT_NEAR(m.temperature().value(), 25.0, 1.0);  // back to ambient
+}
+
+TEST(Thermal, ZeroDtIsNoop) {
+  ThermalModel m(ThermalOptions{});
+  const double t0 = m.step(SimTime::from_seconds(1), Watts{100.0}).value();
+  const double t1 = m.step(SimTime::from_seconds(1), Watts{100.0}).value();
+  EXPECT_DOUBLE_EQ(t0, t1);
+}
+
+}  // namespace
+}  // namespace envmon::power

@@ -1,0 +1,265 @@
+// Property-based suites: invariants that must hold across randomized or
+// swept parameter spaces, exercised with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "common/rng.hpp"
+#include "power/profile.hpp"
+#include "power/sensor.hpp"
+#include "rapl/registers.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/engine.hpp"
+#include "smpi/smpi.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon {
+namespace {
+
+using power::Rail;
+using sim::Duration;
+using sim::SimTime;
+
+// ---------------------------------------------------------------------
+// UtilizationProfile: the analytic mean must equal a fine numerical
+// integration for arbitrary random profiles (energy accounting in the
+// RAPL model depends on this being exact).
+class ProfileIntegralProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileIntegralProperty, AnalyticMeanMatchesNumericIntegral) {
+  Rng rng(GetParam());
+  power::ProfileBuilder b;
+  const int phases = 2 + static_cast<int>(rng.uniform_u64(10));
+  for (int i = 0; i < phases; ++i) {
+    b.phase(Duration::millis(50 + static_cast<std::int64_t>(rng.uniform_u64(3000))), "p",
+            {{Rail::kCpuCore, rng.uniform()}, {Rail::kDram, rng.uniform()}});
+  }
+  const auto profile = std::move(b).build();
+
+  // Random window, possibly extending past the profile end.
+  const double total_s = profile.total_duration().to_seconds();
+  const double t0 = rng.uniform(0.0, total_s * 0.8);
+  const double t1 = t0 + rng.uniform(0.01, total_s);
+  const auto d0 = Duration::from_seconds(t0);
+  const auto d1 = Duration::from_seconds(t1);
+
+  for (const Rail rail : {Rail::kCpuCore, Rail::kDram}) {
+    const double analytic = profile.mean_util(rail, d0, d1);
+    // Midpoint rule at 0.1 ms.
+    double sum = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t t = d0.ns() + 50'000; t < d1.ns(); t += 100'000) {
+      sum += profile.util(rail, Duration::nanos(t));
+      ++n;
+    }
+    const double numeric = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(analytic, numeric, 5e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileIntegralProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110, 121,
+                                           132));
+
+// ---------------------------------------------------------------------
+// Sensor hold stage: without noise/quantization, every output value must
+// be a value the input actually took (the sensor cannot fabricate data),
+// and refresh timestamps must be non-decreasing.
+class SensorHoldProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SensorHoldProperty, OutputsComeFromInputs) {
+  const int period_ms = GetParam();
+  power::SensorOptions o;
+  o.update_period = Duration::millis(period_ms);
+  o.update_jitter = Duration::millis(period_ms / 10);
+  power::SensorPipeline sensor(o, Rng(7));
+
+  Rng rng(static_cast<std::uint64_t>(period_ms) * 1337);
+  std::vector<double> inputs;
+  std::optional<SimTime> last_refresh;
+  for (int i = 0; i < 500; ++i) {
+    const auto t = SimTime::from_ns(static_cast<std::int64_t>(i) * 7'000'000);
+    const double input = std::round(rng.uniform(0.0, 100.0) * 8.0);  // distinct-ish values
+    inputs.push_back(input);
+    const double output = sensor.sample(t, input);
+    EXPECT_NE(std::find(inputs.begin(), inputs.end(), output), inputs.end())
+        << "sensor fabricated value " << output;
+    if (sensor.last_refresh()) {
+      if (last_refresh) {
+        EXPECT_GE(sensor.last_refresh()->ns(), last_refresh->ns());
+      }
+      last_refresh = sensor.last_refresh();
+      EXPECT_LE(last_refresh->ns(), t.ns());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, SensorHoldProperty, ::testing::Values(10, 35, 60, 100, 250));
+
+// ---------------------------------------------------------------------
+// EMON generations: for any generation period, a read at time t returns
+// a generation that (a) has completed, (b) is at most two periods old,
+// and (c) whose staggered sample instants all precede t.
+class EmonGenerationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmonGenerationProperty, StalenessBounds) {
+  const int period_ms = GetParam();
+  bgq::BgqMachine machine;
+  bgq::EmonOptions options;
+  options.generation_period = Duration::millis(period_ms);
+  bgq::EmonSession emon(machine.board(0), options);
+
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const double t_s = rng.uniform(0.0, 60.0);
+    const auto now = SimTime::from_seconds(t_s);
+    const auto reading = emon.read(now);
+    if (!reading.is_ok()) {
+      EXPECT_LT(now.ns(), 2 * options.generation_period.ns());
+      continue;
+    }
+    const auto gen_start = reading.value().generation_start;
+    EXPECT_LE(gen_start.ns() + options.generation_period.ns(), now.ns());  // completed
+    EXPECT_GE(gen_start.ns(), now.ns() - 2 * options.generation_period.ns());  // fresh-ish
+    for (const auto& d : reading.value().domains) {
+      EXPECT_LE(d.sampled_at.ns(), now.ns());
+      EXPECT_GE(d.sampled_at.ns(), gen_start.ns());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, EmonGenerationProperty,
+                         ::testing::Values(100, 280, 560, 1000, 5000));
+
+// ---------------------------------------------------------------------
+// FileSystemModel: write time is monotone in file count and in bytes.
+class FilesystemMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilesystemMonotonicity, MonotoneInFilesAndBytes) {
+  smpi::FileSystemModel fs;
+  const int n = GetParam();
+  const auto t_n = fs.time_to_write(n, Bytes{1e5});
+  const auto t_more_files = fs.time_to_write(n * 2, Bytes{1e5});
+  const auto t_more_bytes = fs.time_to_write(n, Bytes{1e7});
+  EXPECT_GE(t_more_files.ns(), t_n.ns());
+  EXPECT_GE(t_more_bytes.ns(), t_n.ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FilesystemMonotonicity,
+                         ::testing::Values(1, 8, 32, 200, 512, 700, 1024, 4096));
+
+// ---------------------------------------------------------------------
+// smpi collectives: costs are monotone in world size.
+TEST(SmpiProperty, CollectiveCostsMonotoneInSize) {
+  int prev_barrier = -1;
+  for (const int size : {1, 2, 8, 64, 512, 4096, 49152}) {
+    const smpi::World w(size);
+    const auto barrier = static_cast<int>(w.barrier_cost().ns());
+    EXPECT_GE(barrier, prev_barrier);
+    prev_barrier = barrier;
+    EXPECT_GE(w.gather_cost(Bytes{1e4}).ns(), w.reduce_cost(Bytes{8}).ns());
+  }
+}
+
+// ---------------------------------------------------------------------
+// RAPL power-limit field: decode(encode(x)) is within one quantum for a
+// sweep of limits.
+class PowerLimitRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLimitRoundTrip, WithinOneQuantum) {
+  const rapl::PowerUnits units;
+  rapl::PowerLimit limit;
+  limit.watts = GetParam();
+  limit.enabled = true;
+  limit.window_seconds = 1.0;
+  const auto round = rapl::decode_power_limit(rapl::encode_power_limit(limit, units), units);
+  EXPECT_NEAR(round.watts, limit.watts, units.watts_per_unit());
+  EXPECT_TRUE(round.enabled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Watts, PowerLimitRoundTrip,
+                         ::testing::Values(1.0, 15.5, 45.0, 95.0, 130.25, 250.0, 400.0));
+
+// ---------------------------------------------------------------------
+// Determinism: an identical scenario run twice produces bit-identical
+// sample streams (the whole simulation is seeded).
+TEST(DeterminismProperty, PhiScenarioIsReproducible) {
+  const auto a = scenarios::run_phi_noop(scenarios::PhiCollector::kMicrasDaemon,
+                                         Duration::seconds(30));
+  const auto b = scenarios::run_phi_noop(scenarios::PhiCollector::kMicrasDaemon,
+                                         Duration::seconds(30));
+  ASSERT_EQ(a.power_samples.size(), b.power_samples.size());
+  for (std::size_t i = 0; i < a.power_samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.power_samples[i], b.power_samples[i]);
+  }
+}
+
+TEST(DeterminismProperty, RaplScenarioIsReproducible) {
+  const auto a = scenarios::run_rapl_gauss({Duration::seconds(2), Duration::seconds(8),
+                                            Duration::seconds(2), Duration::millis(100)});
+  const auto b = scenarios::run_rapl_gauss({Duration::seconds(2), Duration::seconds(8),
+                                            Duration::seconds(2), Duration::millis(100)});
+  ASSERT_EQ(a.pkg_power.size(), b.pkg_power.size());
+  for (std::size_t i = 0; i < a.pkg_power.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.pkg_power[i].value, b.pkg_power[i].value);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Engine: execution order equals timestamp order regardless of insertion
+// order, for random schedules.
+class EngineOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineOrderProperty, ExecutionSortedByTime) {
+  Rng rng(GetParam());
+  sim::Engine engine;
+  std::vector<std::int64_t> fired;
+  for (int i = 0; i < 300; ++i) {
+    const auto when = SimTime::from_ns(static_cast<std::int64_t>(rng.uniform_u64(1'000'000)));
+    engine.schedule_at(when, [&fired, &engine] { fired.push_back(engine.now().ns()); });
+  }
+  engine.run();
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(fired.size(), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineOrderProperty, ::testing::Values(3, 14, 159, 2653));
+
+// ---------------------------------------------------------------------
+// Device energy conservation: total energy over a span equals the sum of
+// the energies over any partition of that span.
+class EnergyPartitionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnergyPartitionProperty, EnergyIsAdditiveOverPartitions) {
+  Rng rng(GetParam());
+  power::DevicePowerModel dev;
+  dev.set_rail(Rail::kCpuCore, power::RailModel{Watts{5.0}, Watts{50.0}, Volts{1.0}});
+  dev.set_rail(Rail::kDram, power::RailModel{Watts{2.0}, Watts{20.0}, Volts{1.35}});
+  const auto w = workloads::gaussian_elimination({Duration::seconds(20)});
+  dev.run_workload(&w, SimTime::from_seconds(1));
+
+  const auto t0 = SimTime::zero();
+  const auto t1 = SimTime::from_seconds(30);
+  const double whole = dev.total_energy_between(t0, t1).value();
+
+  // Random partition into ~10 segments.
+  std::vector<double> cuts = {0.0, 30.0};
+  for (int i = 0; i < 9; ++i) cuts.push_back(rng.uniform(0.0, 30.0));
+  std::sort(cuts.begin(), cuts.end());
+  double parts = 0.0;
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    parts += dev.total_energy_between(SimTime::from_seconds(cuts[i - 1]),
+                                      SimTime::from_seconds(cuts[i]))
+                 .value();
+  }
+  EXPECT_NEAR(parts, whole, 1e-6 * whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnergyPartitionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace envmon

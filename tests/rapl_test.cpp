@@ -1,0 +1,270 @@
+#include "rapl/package.hpp"
+#include "rapl/reader.hpp"
+#include "rapl/registers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/library.hpp"
+
+namespace envmon::rapl {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(PowerUnits, DefaultEncoding) {
+  const PowerUnits u;
+  EXPECT_NEAR(u.joules_per_unit(), 15.26e-6, 0.01e-6);  // the paper's 15.26 uJ
+  EXPECT_DOUBLE_EQ(u.watts_per_unit(), 0.125);
+  const PowerUnits round = PowerUnits::decode(u.encode());
+  EXPECT_EQ(round.power_exp, u.power_exp);
+  EXPECT_EQ(round.energy_exp, u.energy_exp);
+  EXPECT_EQ(round.time_exp, u.time_exp);
+}
+
+TEST(PowerLimit, EncodeDecodeRoundTrip) {
+  const PowerUnits u;
+  PowerLimit limit;
+  limit.watts = 95.0;
+  limit.window_seconds = 1.0;
+  limit.enabled = true;
+  const PowerLimit round = decode_power_limit(encode_power_limit(limit, u), u);
+  EXPECT_NEAR(round.watts, 95.0, u.watts_per_unit());
+  EXPECT_TRUE(round.enabled);
+  EXPECT_NEAR(round.window_seconds, 1.0, 0.5);
+}
+
+TEST(MsrFile, ReadUnknownRegisterFails) {
+  MsrFile f;
+  EXPECT_FALSE(f.read(0x611).is_ok());
+  f.write(0x611, 42);
+  ASSERT_TRUE(f.read(0x611).is_ok());
+  EXPECT_EQ(f.read(0x611).value(), 42u);
+}
+
+TEST(MsrDevice, RootOnlyByDefault) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  MsrDevice dev = pkg.make_device(0);
+  // Unprivileged read fails: "The MSR driver must be given the correct
+  // read-only, root-only access before it is accessible".
+  const auto denied = dev.pread(kMsrRaplPowerUnit, Credentials{false, 1000});
+  ASSERT_FALSE(denied.is_ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  // Root succeeds.
+  EXPECT_TRUE(dev.pread(kMsrRaplPowerUnit, Credentials{true, 0}).is_ok());
+}
+
+TEST(MsrDevice, RelaxedModeAllowsUserRead) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  MsrDevice dev = pkg.make_device(0);
+  dev.set_mode(DeviceMode{true, true, true});
+  EXPECT_TRUE(dev.pread(kMsrRaplPowerUnit, Credentials{false, 1000}).is_ok());
+}
+
+TEST(MsrDevice, ChargesThirtyMicrosecondsPerRead) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  MsrDevice dev = pkg.make_device(0);
+  sim::CostMeter meter;
+  (void)dev.pread(kMsrRaplPowerUnit, Credentials{true, 0}, &meter);
+  EXPECT_DOUBLE_EQ(meter.total().to_millis(), 0.03);  // the paper's figure
+}
+
+TEST(MsrDevice, PathNamesLogicalCpu) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  EXPECT_EQ(pkg.make_device(3).path(), "/dev/cpu/3/msr");
+}
+
+TEST(CpuPackage, IdlePowerIsSumOfIdleRails) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  const double idle = pkg.domain_power(RaplDomain::kPackage, SimTime::zero()).value();
+  EXPECT_NEAR(idle, 1.6 + 1.9, 1e-9);  // cores idle + uncore idle
+}
+
+TEST(CpuPackage, DomainHierarchyPkgGreaterThanParts) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  const auto w = workloads::dgemm({Duration::seconds(100), 0.95, 0.5});
+  pkg.run_workload(&w, SimTime::zero());
+  const auto t = SimTime::from_seconds(50);
+  const double p_pkg = pkg.domain_power(RaplDomain::kPackage, t).value();
+  const double p_pp0 = pkg.domain_power(RaplDomain::kPp0, t).value();
+  const double p_pp1 = pkg.domain_power(RaplDomain::kPp1, t).value();
+  EXPECT_GT(p_pkg, p_pp0 + p_pp1);
+  EXPECT_GT(p_pp0, 0.9 * 0.95 * 42.0);  // cores dominate a DGEMM
+}
+
+TEST(CpuPackage, EnergyIntegralConsistentWithPower) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  const auto w = workloads::dgemm({Duration::seconds(10), 0.5, 0.5});
+  pkg.run_workload(&w, SimTime::zero());
+  const double joules =
+      pkg.domain_energy_since_start(RaplDomain::kPp0, SimTime::from_seconds(10)).value();
+  // Constant power 1.6 + 0.5*42 = 22.6 W over 10 s.
+  EXPECT_NEAR(joules, 226.0, 1e-6);
+}
+
+TEST(CpuPackage, CounterAdvancesMonotonicallyBetweenRefreshes) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  pkg.refresh(SimTime::from_seconds(1.0));
+  const auto a = pkg.raw_counter(RaplDomain::kPackage);
+  pkg.refresh(SimTime::from_seconds(2.0));
+  const auto b = pkg.raw_counter(RaplDomain::kPackage);
+  EXPECT_GT(b, a);
+}
+
+TEST(CpuPackage, UpdateGranularityHoldsCounterStill) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  // Two refreshes a few hundred nanoseconds apart fall inside the same
+  // ~1 ms update window: the visible counter must not move.
+  pkg.refresh(SimTime::from_ns(5'000'000));
+  const auto a = pkg.raw_counter(RaplDomain::kPackage);
+  pkg.refresh(SimTime::from_ns(5'000'400));
+  EXPECT_EQ(pkg.raw_counter(RaplDomain::kPackage), a);
+}
+
+TEST(CpuPackage, PowerLimitRoundTripThroughMsr) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  pkg.set_power_limit(PowerLimit{80.0, 1.0, true});
+  const PowerLimit read = pkg.power_limit();
+  EXPECT_NEAR(read.watts, 80.0, 0.125);
+  EXPECT_TRUE(read.enabled);
+}
+
+TEST(EnergyAccountant, SimpleDelta) {
+  EnergyAccountant acc(15.26e-6);
+  EXPECT_DOUBLE_EQ(acc.advance(1000).value(), 0.0);  // first reading: baseline
+  const Joules d = acc.advance(2000);
+  EXPECT_NEAR(d.value(), 1000 * 15.26e-6, 1e-9);
+  EXPECT_NEAR(acc.total().value(), d.value(), 1e-12);
+}
+
+TEST(EnergyAccountant, HandlesSingleWrap) {
+  EnergyAccountant acc(1.0);
+  (void)acc.advance(0xffffff00u);
+  const Joules d = acc.advance(0x00000100u);
+  EXPECT_DOUBLE_EQ(d.value(), 512.0);  // 256 up to wrap + 256 after
+  EXPECT_EQ(acc.wraps_assumed(), 1u);
+}
+
+TEST(MsrRaplReader, ReadsEnergyAsRoot) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  MsrRaplReader reader(pkg, Credentials{true, 0});
+  engine.run_until(SimTime::from_seconds(1));
+  const auto s = reader.read_energy(RaplDomain::kPackage, engine.now());
+  ASSERT_TRUE(s.is_ok());
+  // ~3.5 W idle for 1 s = ~3.5 J.
+  EXPECT_NEAR(s.value().energy.value(), 3.5, 0.2);
+}
+
+TEST(MsrRaplReader, PermissionDeniedWithoutRoot) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  MsrRaplReader reader(pkg, Credentials{false, 1000});
+  const auto s = reader.read_energy(RaplDomain::kPackage, SimTime::zero());
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kPermissionDenied);
+  // After the operator relaxes the device mode, reads succeed.
+  MsrRaplReader relaxed(pkg, Credentials{false, 1000});
+  relaxed.allow_unprivileged_read();
+  EXPECT_TRUE(relaxed.read_energy(RaplDomain::kPackage, SimTime::zero()).is_ok());
+}
+
+TEST(MsrRaplReader, AveragePowerOverWindowMatchesModel) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  const auto w = workloads::dgemm({Duration::seconds(100), 0.8, 0.4});
+  pkg.run_workload(&w, SimTime::zero());
+  MsrRaplReader reader(pkg, Credentials{true, 0});
+  EnergyAccountant acc(pkg.config().units.joules_per_unit());
+
+  engine.run_until(SimTime::from_seconds(10));
+  (void)acc.advance(reader.read_energy(RaplDomain::kPp0, engine.now()).value().raw);
+  engine.run_until(SimTime::from_seconds(20));
+  const Joules delta =
+      acc.advance(reader.read_energy(RaplDomain::kPp0, engine.now()).value().raw);
+  const double avg_w = delta.value() / 10.0;
+  EXPECT_NEAR(avg_w, 1.6 + 0.8 * 42.0, 0.2);
+}
+
+// Property sweep: wraparound corrupts long sampling intervals but not
+// short ones — the "overfill" rule of §II-B.
+class WrapSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WrapSweep, EnergyAccountingAccuracyByInterval) {
+  const int interval_s = GetParam();
+  sim::Engine engine;
+  PackageConfig config;
+  // A hot server package (~130 W) wraps the 32-bit counter every ~8.4
+  // minutes; intervals beyond that undercount.
+  config.cores = power::RailModel{Watts{30.0}, Watts{100.0}, Volts{1.0}};
+  CpuPackage pkg(engine, config);
+  const auto w = workloads::dgemm({Duration::seconds(3600), 1.0, 0.0});
+  pkg.run_workload(&w, SimTime::zero());
+  MsrRaplReader reader(pkg, Credentials{true, 0});
+  EnergyAccountant acc(pkg.config().units.joules_per_unit());
+
+  const int total_s = 2400;
+  for (int t = 0; t <= total_s; t += interval_s) {
+    engine.run_until(SimTime::from_seconds(t));
+    (void)acc.advance(reader.read_energy(RaplDomain::kPackage, engine.now()).value().raw);
+  }
+  const double truth =
+      pkg.domain_energy_since_start(RaplDomain::kPackage, SimTime::from_seconds(total_s))
+          .value();
+  const double measured = acc.total().value();
+  const double wrap_seconds = 4294967296.0 * pkg.config().units.joules_per_unit() / 131.9;
+  if (interval_s < wrap_seconds * 0.9) {
+    EXPECT_NEAR(measured, truth, 0.01 * truth) << "interval " << interval_s;
+  } else {
+    EXPECT_LT(measured, 0.9 * truth) << "interval " << interval_s;  // corrupted
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, WrapSweep, ::testing::Values(10, 30, 60, 120, 240, 300,
+                                                                 400, 600, 800, 1200));
+
+TEST(PerfRaplReader, RequiresKernel314) {
+  sim::Engine engine;
+  CpuPackage pkg(engine);
+  const auto old = PerfRaplReader::open(pkg, KernelVersion{3, 13});
+  ASSERT_FALSE(old.is_ok());
+  EXPECT_EQ(old.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(PerfRaplReader::open(pkg, KernelVersion{3, 14}).is_ok());
+  EXPECT_TRUE(PerfRaplReader::open(pkg, KernelVersion{4, 0}).is_ok());
+}
+
+TEST(PerfRaplReader, NoWrapAndHigherCost) {
+  sim::Engine engine;
+  PackageConfig config;
+  config.cores = power::RailModel{Watts{30.0}, Watts{100.0}, Volts{1.0}};
+  CpuPackage pkg(engine, config);
+  const auto w = workloads::dgemm({Duration::seconds(3600), 1.0, 0.0});
+  pkg.run_workload(&w, SimTime::zero());
+  auto reader = PerfRaplReader::open(pkg, KernelVersion{3, 14});
+  ASSERT_TRUE(reader.is_ok());
+
+  // A 1200 s gap, far past the MSR wrap horizon, still reads correctly:
+  // the kernel accumulates 64-bit.
+  engine.run_until(SimTime::from_seconds(1200));
+  const auto e = reader.value().read_energy(RaplDomain::kPackage, engine.now());
+  ASSERT_TRUE(e.is_ok());
+  const double truth =
+      pkg.domain_energy_since_start(RaplDomain::kPackage, engine.now()).value();
+  EXPECT_NEAR(e.value().value(), truth, 0.01 * truth);
+  // Going through the kernel costs more than a direct MSR read.
+  EXPECT_GT(reader.value().cost().mean_per_query().ns(),
+            Duration::micros(30).ns());
+}
+
+}  // namespace
+}  // namespace envmon::rapl

@@ -1,0 +1,161 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/pricing.hpp"
+
+namespace envmon::sched {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+SimTime hours(double h) { return SimTime::from_seconds(h * 3600.0); }
+
+TEST(Pricing, ValidatesPeriods) {
+  EXPECT_FALSE(ElectricityPricing::create({}).is_ok());
+  EXPECT_FALSE(ElectricityPricing::create({{1.0, 50.0, "late-start"}}).is_ok());
+  EXPECT_FALSE(ElectricityPricing::create({{0.0, 50.0, "a"}, {0.0, 60.0, "dup"}}).is_ok());
+  EXPECT_FALSE(ElectricityPricing::create({{0.0, -5.0, "neg"}}).is_ok());
+  EXPECT_TRUE(ElectricityPricing::create({{0.0, 40.0, "flat"}}).is_ok());
+}
+
+TEST(Pricing, RatesByHourAndDayWrap) {
+  const auto p = ElectricityPricing::default_day_ahead();
+  EXPECT_DOUBLE_EQ(p.usd_per_mwh_at(hours(3)), 34.0);
+  EXPECT_DOUBLE_EQ(p.usd_per_mwh_at(hours(12)), 88.0);
+  EXPECT_DOUBLE_EQ(p.usd_per_mwh_at(hours(23)), 34.0);
+  EXPECT_DOUBLE_EQ(p.usd_per_mwh_at(hours(24 + 12)), 88.0);  // next day
+  EXPECT_TRUE(p.is_peak_at(hours(12)));
+  EXPECT_FALSE(p.is_peak_at(hours(3)));
+}
+
+TEST(Pricing, CostIntegratesAcrossBoundaries) {
+  const auto p = ElectricityPricing::default_day_ahead();
+  // 1 MW from 5:00 to 7:00: one off-peak hour + one on-peak hour.
+  const double cost = p.cost_usd(1e6, hours(5), hours(7));
+  EXPECT_NEAR(cost, 34.0 + 88.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.cost_usd(1e6, hours(7), hours(5)), 0.0);
+  EXPECT_DOUBLE_EQ(p.cost_usd(0.0, hours(5), hours(7)), 0.0);
+}
+
+TEST(Pricing, NextCheaperTime) {
+  const auto p = ElectricityPricing::default_day_ahead();
+  // At noon (on-peak), the next cheaper time is 22:00.
+  EXPECT_DOUBLE_EQ(p.next_cheaper_time(hours(12)).to_seconds(), hours(22).to_seconds());
+  // At 3:00 (already cheapest), there is no cheaper time.
+  EXPECT_DOUBLE_EQ(p.next_cheaper_time(hours(3)).to_seconds(), hours(3).to_seconds());
+}
+
+Job make_job(int id, int boards, double dur_hours, double watts_per_board,
+             double submit_hours) {
+  Job j;
+  j.id = id;
+  j.name = "job" + std::to_string(id);
+  j.boards = boards;
+  j.duration = Duration::from_seconds(dur_hours * 3600.0);
+  j.watts_per_board = watts_per_board;
+  j.submit = hours(submit_hours);
+  return j;
+}
+
+TEST(Scheduler, ValidatesJobs) {
+  sim::Engine engine;
+  Scheduler sched(engine, ElectricityPricing::default_day_ahead(), {});
+  EXPECT_FALSE(sched.submit(make_job(1, 0, 1.0, 1500.0, 0.0)).is_ok());
+  EXPECT_FALSE(sched.submit(make_job(1, 64, 1.0, 1500.0, 0.0)).is_ok());  // > 32 boards
+  Job zero = make_job(1, 4, 0.0, 1500.0, 0.0);
+  EXPECT_FALSE(sched.submit(zero).is_ok());
+}
+
+TEST(Scheduler, FcfsRunsImmediatelyWhenCapacityFree) {
+  sim::Engine engine;
+  Scheduler sched(engine, ElectricityPricing::default_day_ahead(), {});
+  ASSERT_TRUE(sched.submit(make_job(1, 16, 2.0, 1500.0, 0.0)).is_ok());
+  ASSERT_TRUE(sched.submit(make_job(2, 16, 2.0, 1500.0, 0.0)).is_ok());
+  sched.run_to_completion();
+  ASSERT_EQ(sched.completed().size(), 2u);
+  EXPECT_DOUBLE_EQ(sched.completed()[0].wait().to_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(sched.completed()[1].wait().to_seconds(), 0.0);  // fits alongside
+}
+
+TEST(Scheduler, CapacityQueuesJobs) {
+  sim::Engine engine;
+  Scheduler sched(engine, ElectricityPricing::default_day_ahead(), {});
+  ASSERT_TRUE(sched.submit(make_job(1, 32, 2.0, 1500.0, 0.0)).is_ok());
+  ASSERT_TRUE(sched.submit(make_job(2, 32, 1.0, 1500.0, 0.0)).is_ok());
+  sched.run_to_completion();
+  ASSERT_EQ(sched.completed().size(), 2u);
+  // Job 2 waited for job 1's two hours.
+  EXPECT_DOUBLE_EQ(sched.completed()[1].wait().to_seconds(), 2.0 * 3600.0);
+  const auto s = sched.summary();
+  EXPECT_DOUBLE_EQ(s.makespan.to_seconds(), 3.0 * 3600.0);
+}
+
+TEST(Scheduler, PowerAwareDefersHungryJobOnPeak) {
+  sim::Engine engine;
+  SchedulerOptions options;
+  options.policy = Policy::kPowerAware;
+  options.peak_power_budget_watts = 24'000.0;
+  Scheduler sched(engine, ElectricityPricing::default_day_ahead(), options);
+  // Submitted at noon (on-peak): 32 boards x 1.5 kW = 48 kW > budget.
+  ASSERT_TRUE(sched.submit(make_job(1, 32, 2.0, 1500.0, 12.0)).is_ok());
+  sched.run_to_completion();
+  ASSERT_EQ(sched.completed().size(), 1u);
+  // Deferred to 22:00 when off-peak begins.
+  EXPECT_DOUBLE_EQ(sched.completed()[0].start.to_seconds(), hours(22).to_seconds());
+  EXPECT_DOUBLE_EQ(sched.summary().peak_on_peak_watts, 0.0);
+}
+
+TEST(Scheduler, PowerAwareStartsSmallJobOnPeak) {
+  sim::Engine engine;
+  SchedulerOptions options;
+  options.policy = Policy::kPowerAware;
+  options.peak_power_budget_watts = 24'000.0;
+  Scheduler sched(engine, ElectricityPricing::default_day_ahead(), options);
+  // 8 boards x 1.5 kW = 12 kW <= budget: runs immediately even on-peak.
+  ASSERT_TRUE(sched.submit(make_job(1, 8, 1.0, 1500.0, 12.0)).is_ok());
+  sched.run_to_completion();
+  EXPECT_DOUBLE_EQ(sched.completed()[0].wait().to_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(sched.summary().peak_on_peak_watts, 12'000.0);
+}
+
+TEST(Scheduler, PowerAwareCheaperThanFcfsForPeakArrivals) {
+  const auto run = [](Policy policy) {
+    sim::Engine engine;
+    SchedulerOptions options;
+    options.policy = policy;
+    options.peak_power_budget_watts = 20'000.0;
+    Scheduler sched(engine, ElectricityPricing::default_day_ahead(), options);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(
+          sched.submit(make_job(i, 16, 1.5, 1800.0, 8.0 + 0.25 * i)).is_ok());
+    }
+    sched.run_to_completion();
+    return sched.summary();
+  };
+  const auto fcfs = run(Policy::kFcfs);
+  const auto aware = run(Policy::kPowerAware);
+  EXPECT_LT(aware.total_job_cost_usd, fcfs.total_job_cost_usd * 0.7);
+  EXPECT_NEAR(aware.total_energy_mwh, fcfs.total_energy_mwh, 1e-9);  // same work
+  EXPECT_GT(aware.mean_wait.to_seconds(), fcfs.mean_wait.to_seconds());  // the price
+}
+
+TEST(Scheduler, BudgetReleasedWhenJobsFinish) {
+  sim::Engine engine;
+  SchedulerOptions options;
+  options.policy = Policy::kPowerAware;
+  options.peak_power_budget_watts = 26'000.0;
+  Scheduler sched(engine, ElectricityPricing::default_day_ahead(), options);
+  // First 16-board job (24 kW) fills the budget; second must wait for
+  // the first to finish (its end is still on-peak) — not for off-peak,
+  // because capacity/budget free up at hour 13.
+  ASSERT_TRUE(sched.submit(make_job(1, 16, 1.0, 1500.0, 12.0)).is_ok());
+  ASSERT_TRUE(sched.submit(make_job(2, 16, 1.0, 1500.0, 12.0)).is_ok());
+  sched.run_to_completion();
+  ASSERT_EQ(sched.completed().size(), 2u);
+  EXPECT_DOUBLE_EQ(sched.completed()[1].start.to_seconds(), hours(13).to_seconds());
+}
+
+}  // namespace
+}  // namespace envmon::sched

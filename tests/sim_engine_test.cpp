@@ -1,0 +1,174 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace envmon::sim {
+namespace {
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = SimTime::zero() + Duration::seconds(2);
+  EXPECT_EQ(t.ns(), 2'000'000'000);
+  EXPECT_EQ((t - SimTime::zero()).to_seconds(), 2.0);
+  EXPECT_EQ((t - Duration::millis(500)).ns(), 1'500'000'000);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_EQ(Duration::millis(560).ns(), 560'000'000);
+  EXPECT_DOUBLE_EQ(Duration::micros(30).to_millis(), 0.03);
+  EXPECT_DOUBLE_EQ(Duration::from_seconds(1.5).to_seconds(), 1.5);
+  EXPECT_EQ(Duration::seconds(3) / Duration::seconds(1), 3);
+}
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), SimTime::zero());
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, RunsEventAtScheduledTime) {
+  Engine e;
+  SimTime fired;
+  e.schedule_at(SimTime::from_seconds(1.5), [&] { fired = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(e.now().to_seconds(), 1.5);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  e.schedule_at(SimTime::from_seconds(1.0), [&] {
+    e.schedule_after(Duration::seconds(2), [] {});
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now().to_seconds(), 3.0);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(SimTime::from_seconds(1.0), [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(SimTime::from_seconds(0.5), [] {}), std::logic_error);
+}
+
+TEST(Engine, EqualTimestampsRunInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_seconds(1.0);
+  e.schedule_at(t, [&] { order.push_back(1); });
+  e.schedule_at(t, [&] { order.push_back(2); });
+  e.schedule_at(t, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWithoutEvents) {
+  Engine e;
+  e.run_until(SimTime::from_seconds(10.0));
+  EXPECT_DOUBLE_EQ(e.now().to_seconds(), 10.0);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(SimTime::from_seconds(5.0), [&] { ++fired; });
+  e.run_until(SimTime::from_seconds(2.0));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run_until(SimTime::from_seconds(5.0));  // inclusive horizon
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunUntilPastThrows) {
+  Engine e;
+  e.run_until(SimTime::from_seconds(2.0));
+  EXPECT_THROW(e.run_until(SimTime::from_seconds(1.0)), std::logic_error);
+}
+
+TEST(Engine, CancelledEventDoesNotRun) {
+  Engine e;
+  int fired = 0;
+  TimerHandle h = e.schedule_at(SimTime::from_seconds(1.0), [&] { ++fired; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, PeriodicTimerFiresOnGrid) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule_periodic(Duration::millis(560), [&] { times.push_back(e.now().to_seconds()); });
+  e.run_until(SimTime::from_seconds(2.0));
+  ASSERT_EQ(times.size(), 3u);  // 0.56, 1.12, 1.68
+  EXPECT_DOUBLE_EQ(times[0], 0.56);
+  EXPECT_DOUBLE_EQ(times[2], 1.68);
+}
+
+TEST(Engine, PeriodicTimerCancelStopsFiring) {
+  Engine e;
+  int fired = 0;
+  TimerHandle h = e.schedule_periodic(Duration::seconds(1), [&] { ++fired; });
+  e.run_until(SimTime::from_seconds(3.5));
+  EXPECT_EQ(fired, 3);
+  h.cancel();
+  e.run_until(SimTime::from_seconds(10.0));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, PeriodicTimerCanCancelItself) {
+  Engine e;
+  int fired = 0;
+  TimerHandle h;
+  h = e.schedule_periodic(Duration::seconds(1), [&] {
+    if (++fired == 2) h.cancel();
+  });
+  e.run_until(SimTime::from_seconds(10.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, NonPositivePeriodicIntervalThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_periodic(Duration::nanos(0), [] {}), std::invalid_argument);
+  EXPECT_THROW(e.schedule_periodic(Duration::nanos(-5), [] {}), std::invalid_argument);
+}
+
+TEST(Engine, NestedSchedulingFromEvent) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule_at(SimTime::from_seconds(1.0), [&] {
+    times.push_back(e.now().to_seconds());
+    e.schedule_after(Duration::seconds(1), [&] { times.push_back(e.now().to_seconds()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Engine, EventCountTracksExecution) {
+  Engine e;
+  for (int i = 1; i <= 5; ++i) {
+    e.schedule_at(SimTime::from_seconds(i), [] {});
+  }
+  e.run();
+  EXPECT_EQ(e.events_executed(), 5u);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine e;
+  std::vector<double> times;
+  // Insert out of order; must execute sorted.
+  for (int i = 999; i >= 0; --i) {
+    e.schedule_at(SimTime::from_ns(i * 1000), [&, i] {
+      times.push_back(static_cast<double>(i));
+    });
+  }
+  e.run();
+  ASSERT_EQ(times.size(), 1000u);
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_LT(times[i - 1], times[i]);
+}
+
+}  // namespace
+}  // namespace envmon::sim

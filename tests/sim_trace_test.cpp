@@ -1,0 +1,90 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cost.hpp"
+
+namespace envmon::sim {
+namespace {
+
+TEST(TraceSink, RecordsAndRetrieves) {
+  TraceSink sink;
+  sink.record("power", SimTime::from_seconds(1.0), 42.0);
+  sink.record("power", SimTime::from_seconds(2.0), 43.0);
+  ASSERT_TRUE(sink.has_series("power"));
+  const auto pts = sink.series("power");
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[1].value, 43.0);
+  EXPECT_DOUBLE_EQ(pts[1].t.to_seconds(), 2.0);
+}
+
+TEST(TraceSink, UnknownSeriesIsEmpty) {
+  const TraceSink sink;
+  EXPECT_FALSE(sink.has_series("nope"));
+  EXPECT_TRUE(sink.series("nope").empty());
+}
+
+TEST(TraceSink, MultipleSeriesIndependent) {
+  TraceSink sink;
+  sink.record("a", SimTime::zero(), 1.0);
+  sink.record("b", SimTime::zero(), 2.0);
+  sink.record("a", SimTime::from_seconds(1), 3.0);
+  EXPECT_EQ(sink.series("a").size(), 2u);
+  EXPECT_EQ(sink.series("b").size(), 1u);
+  EXPECT_EQ(sink.total_points(), 3u);
+  const auto names = sink.series_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+}
+
+TEST(TraceSink, ValuesExtraction) {
+  TraceSink sink;
+  sink.record("s", SimTime::zero(), 5.0);
+  sink.record("s", SimTime::from_seconds(1), 7.0);
+  EXPECT_EQ(sink.values("s"), (std::vector<double>{5.0, 7.0}));
+}
+
+TEST(TraceSink, ClearEmpties) {
+  TraceSink sink;
+  sink.record("s", SimTime::zero(), 1.0);
+  sink.clear();
+  EXPECT_EQ(sink.total_points(), 0u);
+}
+
+TEST(CostMeter, AccumulatesChargesAndQueries) {
+  CostMeter m;
+  m.charge(Duration::micros(30));
+  m.charge(Duration::micros(30));
+  m.charge(Duration::micros(30));
+  EXPECT_EQ(m.queries(), 3u);
+  EXPECT_DOUBLE_EQ(m.total().to_millis(), 0.09);
+  EXPECT_DOUBLE_EQ(m.mean_per_query().to_millis(), 0.03);
+}
+
+TEST(CostMeter, OverheadFraction) {
+  CostMeter m;
+  // 362 EMON reads at 1.10 ms against a 202.78 s runtime: the paper's
+  // ~0.19% collection overhead.
+  for (int i = 0; i < 362; ++i) m.charge(Duration::micros(1100));
+  const double frac = m.overhead_fraction(Duration::from_seconds(202.78));
+  EXPECT_NEAR(frac, 0.0019, 0.0002);
+}
+
+TEST(CostMeter, EmptyMeterIsZero) {
+  const CostMeter m;
+  EXPECT_EQ(m.queries(), 0u);
+  EXPECT_EQ(m.total().ns(), 0);
+  EXPECT_EQ(m.mean_per_query().ns(), 0);
+  EXPECT_DOUBLE_EQ(m.overhead_fraction(Duration::seconds(1)), 0.0);
+}
+
+TEST(CostMeter, ResetClears) {
+  CostMeter m;
+  m.charge(Duration::seconds(1));
+  m.reset();
+  EXPECT_EQ(m.queries(), 0u);
+  EXPECT_EQ(m.total().ns(), 0);
+}
+
+}  // namespace
+}  // namespace envmon::sim

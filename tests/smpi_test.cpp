@@ -1,0 +1,84 @@
+#include "smpi/smpi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace envmon::smpi {
+namespace {
+
+using sim::Duration;
+
+TEST(World, SizeValidation) {
+  EXPECT_THROW(World{0}, std::invalid_argument);
+  EXPECT_THROW(World{-4}, std::invalid_argument);
+  EXPECT_EQ(World{32}.size(), 32);
+}
+
+TEST(World, BarrierCostGrowsLogarithmically) {
+  const World w32(32), w1024(1024);
+  EXPECT_GT(w1024.barrier_cost(), w32.barrier_cost());
+  // log2(1024)/log2(32) = 10/5 = exactly 2x for power-of-two sizes.
+  EXPECT_EQ(w1024.barrier_cost().ns(), 2 * w32.barrier_cost().ns());
+}
+
+TEST(World, SingleRankBarrierIsFree) {
+  EXPECT_EQ(World{1}.barrier_cost().ns(), 0);
+}
+
+TEST(World, GatherScalesWithPayloadAndSize) {
+  const World w(512);
+  const auto small = w.gather_cost(Bytes{1024.0});
+  const auto large = w.gather_cost(Bytes{1024.0 * 1024.0});
+  EXPECT_GT(large, small);
+  const World w2(1024);
+  EXPECT_GT(w2.gather_cost(Bytes{1024.0}), w.gather_cost(Bytes{1024.0}));
+}
+
+TEST(World, ReduceCostPositive) {
+  const World w(64);
+  EXPECT_GT(w.reduce_cost(Bytes{8.0}).ns(), 0);
+}
+
+TEST(World, ForEachRankVisitsAll) {
+  const World w(7);
+  int sum = 0;
+  w.for_each_rank([&](int r) { sum += r; });
+  EXPECT_EQ(sum, 21);
+}
+
+TEST(FileSystem, ValidatesOptions) {
+  FileSystemOptions o;
+  o.concurrent_capacity = 0;
+  EXPECT_THROW(FileSystemModel{o}, std::invalid_argument);
+}
+
+TEST(FileSystem, ZeroFilesFree) {
+  const FileSystemModel fs;
+  EXPECT_EQ(fs.time_to_write(0, Bytes{1000.0}).ns(), 0);
+}
+
+TEST(FileSystem, FlatBelowCapacityThenJump) {
+  const FileSystemModel fs;  // capacity 512
+  const double t32 = fs.time_to_write(32, Bytes{100'000.0}).to_seconds();
+  const double t512 = fs.time_to_write(512, Bytes{100'000.0}).to_seconds();
+  const double t1024 = fs.time_to_write(1024, Bytes{100'000.0}).to_seconds();
+  // Table III's shape: 32 -> 512 nearly flat; 512 -> 1024 roughly doubles.
+  EXPECT_NEAR(t512 / t32, 1.0, 0.1);
+  EXPECT_GT(t1024 / t512, 1.9);
+  EXPECT_LT(t1024 / t512, 2.6);
+}
+
+TEST(FileSystem, TableThreeMagnitudes) {
+  const FileSystemModel fs;
+  // Paper: finalize 0.151 / 0.155 / 0.335 s at 32 / 512 / 1024 nodes.
+  EXPECT_NEAR(fs.time_to_write(32, Bytes{100'000.0}).to_seconds(), 0.151, 0.02);
+  EXPECT_NEAR(fs.time_to_write(512, Bytes{100'000.0}).to_seconds(), 0.155, 0.02);
+  EXPECT_NEAR(fs.time_to_write(1024, Bytes{100'000.0}).to_seconds(), 0.335, 0.05);
+}
+
+TEST(FileSystem, StreamTermScalesWithBytes) {
+  const FileSystemModel fs;
+  EXPECT_GT(fs.time_to_write(8, Bytes{1e9}), fs.time_to_write(8, Bytes{1e3}));
+}
+
+}  // namespace
+}  // namespace envmon::smpi

@@ -1,0 +1,187 @@
+#include "tools/papi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/library.hpp"
+
+namespace envmon::tools {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+struct Fixture {
+  sim::Engine engine;
+  rapl::CpuPackage pkg{engine};
+  PapiLibrary papi{engine};
+
+  Fixture() {
+    papi.add_rapl_component(pkg, rapl::Credentials{true, 0});
+    EXPECT_EQ(papi.library_init(), kPapiOk);
+  }
+};
+
+TEST(Papi, InitEnumeratesRaplEvents) {
+  Fixture f;
+  const auto events = f.papi.enum_events();
+  ASSERT_EQ(events.size(), 4u);  // PKG, PP0, PP1, DRAM
+  EXPECT_EQ(events[0].name, "rapl:::PACKAGE_ENERGY:PACKAGE0");
+  EXPECT_EQ(events[0].units, "nJ");
+  EXPECT_EQ(events[0].component, "rapl");
+}
+
+TEST(Papi, DoubleInitIsIdempotent) {
+  Fixture f;
+  EXPECT_EQ(f.papi.library_init(), kPapiOk);
+  EXPECT_EQ(f.papi.enum_events().size(), 4u);
+}
+
+TEST(Papi, EventSetLifecycle) {
+  Fixture f;
+  int es = 0;
+  ASSERT_EQ(f.papi.create_eventset(&es), kPapiOk);
+  ASSERT_EQ(f.papi.add_event(es, "rapl:::PACKAGE_ENERGY:PACKAGE0"), kPapiOk);
+  ASSERT_EQ(f.papi.start(es), kPapiOk);
+  std::vector<long long> values;
+  ASSERT_EQ(f.papi.read(es, &values), kPapiOk);
+  ASSERT_EQ(f.papi.stop(es, &values), kPapiOk);
+  ASSERT_EQ(f.papi.cleanup_eventset(es), kPapiOk);
+  EXPECT_EQ(f.papi.read(es, &values), kPapiEinval);  // gone
+}
+
+TEST(Papi, UnknownEventRejected) {
+  Fixture f;
+  int es = 0;
+  ASSERT_EQ(f.papi.create_eventset(&es), kPapiOk);
+  EXPECT_EQ(f.papi.add_event(es, "rapl:::NOT_A_THING"), kPapiEnoevnt);
+}
+
+TEST(Papi, StateMachineErrors) {
+  Fixture f;
+  int es = 0;
+  ASSERT_EQ(f.papi.create_eventset(&es), kPapiOk);
+  std::vector<long long> values;
+  EXPECT_EQ(f.papi.read(es, &values), kPapiEnotrun);
+  ASSERT_EQ(f.papi.add_event(es, "rapl:::PP0_ENERGY:PACKAGE0"), kPapiOk);
+  ASSERT_EQ(f.papi.start(es), kPapiOk);
+  EXPECT_EQ(f.papi.start(es), kPapiEisrun);
+  EXPECT_EQ(f.papi.add_event(es, "rapl:::DRAM_ENERGY:PACKAGE0"), kPapiEisrun);
+  EXPECT_EQ(f.papi.cleanup_eventset(es), kPapiEisrun);
+  ASSERT_EQ(f.papi.stop(es, &values), kPapiOk);
+}
+
+TEST(Papi, EnergyDeltaMatchesWorkload) {
+  Fixture f;
+  const auto w = workloads::dgemm({Duration::seconds(100), 0.5, 0.0});
+  f.pkg.run_workload(&w, SimTime::zero());
+  int es = 0;
+  (void)f.papi.create_eventset(&es);
+  (void)f.papi.add_event(es, "rapl:::PP0_ENERGY:PACKAGE0");
+  f.engine.run_until(SimTime::from_seconds(10));
+  ASSERT_EQ(f.papi.start(es), kPapiOk);
+  f.engine.run_until(SimTime::from_seconds(20));
+  std::vector<long long> values;
+  ASSERT_EQ(f.papi.read(es, &values), kPapiOk);
+  // PP0 at 1.6 + 0.5*42 = 22.6 W over 10 s = 226 J = 2.26e11 nJ.
+  EXPECT_NEAR(static_cast<double>(values[0]), 2.26e11, 0.02e11);
+}
+
+TEST(Papi, PermissionDeniedMapsToEperm) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  PapiLibrary papi(engine);
+  papi.add_rapl_component(pkg, rapl::Credentials{false, 1000});
+  (void)papi.library_init();
+  int es = 0;
+  (void)papi.create_eventset(&es);
+  (void)papi.add_event(es, "rapl:::PACKAGE_ENERGY:PACKAGE0");
+  EXPECT_EQ(papi.start(es), kPapiEperm);
+}
+
+TEST(Papi, NvmlComponentEvents) {
+  sim::Engine engine;
+  nvml::NvmlLibrary lib(engine);
+  lib.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)lib.init();
+  PapiLibrary papi(engine);
+  papi.add_nvml_component(lib);
+  (void)papi.library_init();
+  const auto events = papi.enum_events();
+  ASSERT_EQ(events.size(), 2u);  // power + temperature
+  EXPECT_EQ(events[0].name, "nvml:::Tesla_K20:device_0:power");
+
+  int es = 0;
+  (void)papi.create_eventset(&es);
+  (void)papi.add_event(es, "nvml:::Tesla_K20:device_0:power");
+  engine.run_until(sim::SimTime::from_seconds(1));
+  ASSERT_EQ(papi.start(es), kPapiOk);
+  std::vector<long long> values;
+  ASSERT_EQ(papi.read(es, &values), kPapiOk);
+  // Instantaneous event: reports current milliwatts, not a delta.
+  EXPECT_NEAR(static_cast<double>(values[0]), 44'000.0, 6'000.0);
+}
+
+TEST(Papi, MicPowerComponent) {
+  sim::Engine engine;
+  mic::PhiCard card(engine);
+  mic::MicrasDaemon daemon(card);
+  daemon.start();
+  PapiLibrary papi(engine);
+  papi.add_micpower_component(daemon);
+  (void)papi.library_init();
+  int es = 0;
+  (void)papi.create_eventset(&es);
+  ASSERT_EQ(papi.add_event(es, "micpower:::tot0"), kPapiOk);
+  engine.run_until(sim::SimTime::from_seconds(1));
+  ASSERT_EQ(papi.start(es), kPapiOk);
+  std::vector<long long> values;
+  ASSERT_EQ(papi.read(es, &values), kPapiOk);
+  EXPECT_GT(values[0], 90'000);  // ~100+ W in mW
+}
+
+TEST(Papi, MultiComponentEventSet) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  nvml::NvmlLibrary lib(engine);
+  lib.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  (void)lib.init();
+  PapiLibrary papi(engine);
+  papi.add_rapl_component(pkg, rapl::Credentials{true, 0});
+  papi.add_nvml_component(lib);
+  (void)papi.library_init();
+  EXPECT_EQ(papi.enum_events().size(), 6u);
+
+  int es = 0;
+  (void)papi.create_eventset(&es);
+  ASSERT_EQ(papi.add_event(es, "rapl:::PACKAGE_ENERGY:PACKAGE0"), kPapiOk);
+  ASSERT_EQ(papi.add_event(es, "nvml:::Tesla_K20:device_0:temperature"), kPapiOk);
+  engine.run_until(sim::SimTime::from_seconds(1));
+  ASSERT_EQ(papi.start(es), kPapiOk);
+  std::vector<long long> values;
+  ASSERT_EQ(papi.read(es, &values), kPapiOk);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_GE(values[0], 0);   // energy delta since start (nJ)
+  EXPECT_GT(values[1], 30);  // die temperature (C)
+}
+
+TEST(Papi, CostAccountingAccrues) {
+  Fixture f;
+  int es = 0;
+  (void)f.papi.create_eventset(&es);
+  (void)f.papi.add_event(es, "rapl:::PACKAGE_ENERGY:PACKAGE0");
+  (void)f.papi.start(es);
+  std::vector<long long> values;
+  f.engine.run_until(sim::SimTime::from_seconds(1));
+  (void)f.papi.read(es, &values);
+  // Each energy read costs one MSR access plus the units read on open.
+  EXPECT_GT(f.papi.cost().total().ns(), 0);
+}
+
+TEST(Papi, ErrorStrings) {
+  EXPECT_STREQ(papi_strerror(kPapiOk), "No error");
+  EXPECT_STREQ(papi_strerror(kPapiEnoevnt), "Event does not exist");
+  EXPECT_STREQ(papi_strerror(-999), "Unknown error");
+}
+
+}  // namespace
+}  // namespace envmon::tools

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "tools/powerpack.hpp"
+#include "tools/tau.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon::tools {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(Tau, StartStopLifecycle) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  TauPowerProfiler tau(engine, pkg, rapl::Credentials{true, 0});
+  ASSERT_TRUE(tau.start().is_ok());
+  EXPECT_EQ(tau.start().code(), StatusCode::kFailedPrecondition);
+  engine.run_until(SimTime::from_seconds(1));
+  ASSERT_TRUE(tau.stop().is_ok());
+  EXPECT_EQ(tau.stop().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Tau, RaplOnlyPermissionSurfacesAtStart) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  TauPowerProfiler tau(engine, pkg, rapl::Credentials{false, 1000});
+  const Status s = tau.start();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(Tau, AttributesEnergyToRegions) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  // Low phase then high phase, each 10 s.
+  power::ProfileBuilder b;
+  b.phase(Duration::seconds(10), "low", {{power::Rail::kCpuCore, 0.1}});
+  b.phase(Duration::seconds(10), "high", {{power::Rail::kCpuCore, 0.9}});
+  const auto w = std::move(b).build();
+  pkg.run_workload(&w, SimTime::zero());
+
+  TauPowerProfiler tau(engine, pkg, rapl::Credentials{true, 0});
+  ASSERT_TRUE(tau.start().is_ok());
+  ASSERT_TRUE(tau.region_start("low_region").is_ok());
+  engine.run_until(SimTime::from_seconds(10));
+  ASSERT_TRUE(tau.region_stop("low_region").is_ok());
+  ASSERT_TRUE(tau.region_start("high_region").is_ok());
+  engine.run_until(SimTime::from_seconds(20));
+  ASSERT_TRUE(tau.region_stop("high_region").is_ok());
+  ASSERT_TRUE(tau.stop().is_ok());
+
+  double low_w = 0.0, high_w = 0.0;
+  for (const auto& p : tau.profiles()) {
+    if (p.name == "low_region") low_w = p.mean_power().value();
+    if (p.name == "high_region") high_w = p.mean_power().value();
+  }
+  EXPECT_NEAR(low_w, 1.6 + 0.1 * 42.0 + 1.9, 1.0);
+  EXPECT_NEAR(high_w, 1.6 + 0.9 * 42.0 + 1.9, 1.0);
+  EXPECT_GT(high_w, low_w + 25.0);
+}
+
+TEST(Tau, MismatchedRegionStopFails) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  TauPowerProfiler tau(engine, pkg, rapl::Credentials{true, 0});
+  ASSERT_TRUE(tau.start().is_ok());
+  ASSERT_TRUE(tau.region_start("a").is_ok());
+  EXPECT_FALSE(tau.region_stop("b").is_ok());
+  ASSERT_TRUE(tau.region_stop("a").is_ok());
+}
+
+TEST(Tau, OpenRegionAtStopReported) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  TauPowerProfiler tau(engine, pkg, rapl::Credentials{true, 0});
+  ASSERT_TRUE(tau.start().is_ok());
+  ASSERT_TRUE(tau.region_start("never_closed").is_ok());
+  engine.run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(tau.stop().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Tau, RegionRequiresRunningProfiler) {
+  sim::Engine engine;
+  rapl::CpuPackage pkg(engine);
+  TauPowerProfiler tau(engine, pkg, rapl::Credentials{true, 0});
+  EXPECT_EQ(tau.region_start("x").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Psu, EfficiencyCurveShape) {
+  const PsuModel psu;
+  EXPECT_DOUBLE_EQ(psu.efficiency(Watts{0.0}), 0.85);
+  EXPECT_DOUBLE_EQ(psu.efficiency(Watts{400.0}), 0.90);  // 50% of 800 W
+  EXPECT_DOUBLE_EQ(psu.efficiency(Watts{800.0}), 0.87);
+  EXPECT_DOUBLE_EQ(psu.efficiency(Watts{2000.0}), 0.87);  // clamped
+  // AC input always exceeds DC load.
+  for (double w = 10.0; w < 800.0; w += 50.0) {
+    EXPECT_GT(psu.ac_input(Watts{w}).value(), w);
+  }
+}
+
+TEST(WattsUp, OneHertzLogOfWallPower) {
+  sim::Engine engine;
+  power::DevicePowerModel node;
+  node.set_rail(power::Rail::kCpuCore, power::RailModel{Watts{40.0}, Watts{80.0}, Volts{1.0}});
+  const auto w = workloads::dgemm({Duration::seconds(30), 1.0, 0.0});
+  node.run_workload(&w, SimTime::zero());
+
+  WattsUpMeter meter(engine, node);
+  meter.start();
+  engine.run_until(SimTime::from_seconds(30));
+  meter.stop();
+  ASSERT_EQ(meter.log().size(), 30u);
+  // DC 120 W through the PSU: ~133-141 W AC.  The final tick lands at
+  // the workload's end boundary (idle again), so skip it.
+  for (std::size_t i = 0; i + 1 < meter.log().size(); ++i) {
+    EXPECT_GT(meter.log()[i].value, 125.0);
+    EXPECT_LT(meter.log()[i].value, 150.0);
+  }
+  // Stopped meter stops logging.
+  engine.run_until(SimTime::from_seconds(60));
+  EXPECT_EQ(meter.log().size(), 30u);
+}
+
+TEST(WattsUp, SeesPsuLossVendorMechanismsDoNot) {
+  sim::Engine engine;
+  power::DevicePowerModel node;
+  node.set_rail(power::Rail::kCpuCore, power::RailModel{Watts{100.0}, Watts{0.0}, Volts{1.0}});
+  WattsUpMeter meter(engine, node);
+  meter.start();
+  engine.run_until(SimTime::from_seconds(5));
+  double mean = 0.0;
+  for (const auto& p : meter.log()) mean += p.value;
+  mean /= static_cast<double>(meter.log().size());
+  const double dc = node.total_power_at(engine.now()).value();
+  EXPECT_GT(mean, dc * 1.05);  // conversion loss visible at the wall
+}
+
+TEST(NiDaq, ResolvesSingleRailAtKilohertz) {
+  sim::Engine engine;
+  power::DevicePowerModel node;
+  node.set_rail(power::Rail::kCpuCore, power::RailModel{Watts{10.0}, Watts{40.0}, Volts{1.0}});
+  node.set_rail(power::Rail::kDram, power::RailModel{Watts{5.0}, Watts{20.0}, Volts{1.35}});
+  const auto w = workloads::stream({Duration::seconds(2)});
+  node.run_workload(&w, SimTime::zero());
+
+  NiDaqChannel dram_channel(engine, node, power::Rail::kDram);
+  dram_channel.start();
+  engine.run_until(SimTime::from_seconds(2));
+  dram_channel.stop();
+  ASSERT_EQ(dram_channel.log().size(), 2000u);  // 1 kHz
+  // STREAM: dram util 0.95 -> 5 + 19 = 24 W, and the channel sees only
+  // that rail (mid-run sample; the final tick lands at the end boundary).
+  EXPECT_NEAR(dram_channel.log()[1000].value, 24.0, 0.5);
+}
+
+TEST(NiDaq, CapturesTransientsTheNvmlSensorHides) {
+  sim::Engine engine;
+  power::DevicePowerModel node;
+  node.set_rail(power::Rail::kCpuCore, power::RailModel{Watts{10.0}, Watts{100.0}, Volts{1.0}});
+  // A 50 ms burst.
+  power::ProfileBuilder b;
+  b.phase(Duration::millis(475), "idle", {});
+  b.phase(Duration::millis(50), "burst", {{power::Rail::kCpuCore, 1.0}});
+  b.phase(Duration::millis(475), "idle", {});
+  const auto w = std::move(b).build();
+  node.run_workload(&w, SimTime::zero());
+
+  NiDaqChannel channel(engine, node, power::Rail::kCpuCore);
+  channel.start();
+  engine.run_until(SimTime::from_seconds(1));
+  double peak = 0.0;
+  for (const auto& p : channel.log()) peak = std::max(peak, p.value);
+  EXPECT_GT(peak, 105.0);  // the full 110 W burst is visible at 1 kHz
+}
+
+}  // namespace
+}  // namespace envmon::tools

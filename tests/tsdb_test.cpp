@@ -1,0 +1,149 @@
+#include "tsdb/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tsdb/location.hpp"
+
+namespace envmon::tsdb {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(Location, FormatFullHierarchy) {
+  EXPECT_EQ(card_location(0, 1, 4, 17).to_string(), "R00-M1-N04-J17");
+  EXPECT_EQ(rack_location(7).to_string(), "R07");
+  EXPECT_EQ(board_location(12, 0, 3).to_string(), "R12-M0-N03");
+}
+
+TEST(Location, ParseRoundTrip) {
+  for (const char* s : {"R00", "R48-M1", "R00-M0-N15", "R01-M1-N04-J31"}) {
+    const auto loc = parse_location(s);
+    ASSERT_TRUE(loc.has_value()) << s;
+    EXPECT_EQ(loc->to_string(), s);
+  }
+}
+
+TEST(Location, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_location("").has_value());
+  EXPECT_FALSE(parse_location("X00").has_value());
+  EXPECT_FALSE(parse_location("R00-N04").has_value());   // wrong order
+  EXPECT_FALSE(parse_location("R00-M1-N04-J17-Z9").has_value());
+  EXPECT_FALSE(parse_location("R-1").has_value());
+  EXPECT_FALSE(parse_location("Rxx").has_value());
+}
+
+TEST(Location, ContainmentHierarchy) {
+  const auto rack = rack_location(0);
+  const auto board = board_location(0, 1, 4);
+  const auto card = card_location(0, 1, 4, 17);
+  EXPECT_TRUE(rack.contains(board));
+  EXPECT_TRUE(rack.contains(card));
+  EXPECT_TRUE(board.contains(card));
+  EXPECT_FALSE(board.contains(rack_location(0)));
+  EXPECT_FALSE(rack.contains(card_location(1, 0, 0, 0)));
+  EXPECT_TRUE(card.contains(card));
+}
+
+Record make_record(double t_seconds, Location loc, std::string metric, double value) {
+  return Record{SimTime::from_seconds(t_seconds), loc, std::move(metric), value};
+}
+
+TEST(EnvDatabase, InsertAndQueryAll) {
+  EnvDatabase db;
+  ASSERT_TRUE(db.insert(make_record(1.0, rack_location(0), "power", 800.0)).is_ok());
+  ASSERT_TRUE(db.insert(make_record(2.0, rack_location(0), "power", 900.0)).is_ok());
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.query({}).size(), 2u);
+}
+
+TEST(EnvDatabase, RejectsOutOfOrderInsert) {
+  EnvDatabase db;
+  ASSERT_TRUE(db.insert(make_record(5.0, rack_location(0), "power", 1.0)).is_ok());
+  const Status s = db.insert(make_record(4.0, rack_location(0), "power", 1.0));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EnvDatabase, FiltersByMetricLocationAndTime) {
+  EnvDatabase db;
+  (void)db.insert(make_record(1.0, rack_location(0), "power", 10.0));
+  (void)db.insert(make_record(2.0, rack_location(1), "power", 20.0));
+  (void)db.insert(make_record(3.0, rack_location(0), "temp", 30.0));
+  (void)db.insert(make_record(4.0, rack_location(0), "power", 40.0));
+
+  QueryFilter f;
+  f.metric = "power";
+  f.location_prefix = rack_location(0);
+  auto rows = db.query(f);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[1].value, 40.0);
+
+  f.from = SimTime::from_seconds(2.0);
+  f.to = SimTime::from_seconds(4.0);
+  rows = db.query(f);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 40.0);
+}
+
+TEST(EnvDatabase, LocationPrefixMatchesDescendants) {
+  EnvDatabase db;
+  (void)db.insert(make_record(1.0, board_location(0, 0, 3), "v", 1.0));
+  (void)db.insert(make_record(2.0, board_location(0, 1, 3), "v", 2.0));
+  QueryFilter f;
+  f.location_prefix = midplane_location(0, 1);
+  const auto rows = db.query(f);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 2.0);
+}
+
+TEST(EnvDatabase, IngestRateCeilingRejects) {
+  DatabaseOptions options;
+  options.max_insert_rate_per_second = 1.0;
+  options.rate_window = Duration::seconds(10);  // ceiling: 10 records/window
+  EnvDatabase db(options);
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Status s = db.insert(make_record(0.1 * i, rack_location(0), "power", 1.0));
+    s.is_ok() ? ++accepted : ++rejected;
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(db.rejected_inserts(), static_cast<std::size_t>(rejected));
+  // "the resulting volume of data alone would exceed the server's
+  // processing capacity" — the ceiling must actually bind.
+  EXPECT_LE(accepted, 12);
+}
+
+TEST(EnvDatabase, RetentionDropsOldRecords) {
+  DatabaseOptions options;
+  options.retention = Duration::seconds(10);
+  EnvDatabase db(options);
+  (void)db.insert(make_record(0.0, rack_location(0), "power", 1.0));
+  (void)db.insert(make_record(5.0, rack_location(0), "power", 2.0));
+  (void)db.insert(make_record(12.0, rack_location(0), "power", 3.0));
+  (void)db.insert(make_record(20.0, rack_location(0), "power", 4.0));
+  const auto rows = db.query({});
+  // Newest is t=20, retention 10 s: cutoff 10, so t=0 and t=5 drop.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 3.0);
+}
+
+TEST(EnvDatabase, DownsampleAverages) {
+  EnvDatabase db;
+  for (int i = 0; i < 10; ++i) {
+    (void)db.insert(make_record(i, rack_location(0), "power", i < 5 ? 100.0 : 200.0));
+  }
+  const auto buckets = db.downsample({}, Duration::seconds(5));
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].mean, 100.0);
+  EXPECT_DOUBLE_EQ(buckets[1].mean, 200.0);
+  EXPECT_EQ(buckets[0].count, 5u);
+}
+
+TEST(EnvDatabase, DownsampleZeroWidthIsEmpty) {
+  EnvDatabase db;
+  (void)db.insert(make_record(1.0, rack_location(0), "power", 1.0));
+  EXPECT_TRUE(db.downsample({}, Duration::nanos(0)).empty());
+}
+
+}  // namespace
+}  // namespace envmon::tsdb

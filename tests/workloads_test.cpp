@@ -1,0 +1,121 @@
+#include "workloads/library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace envmon::workloads {
+namespace {
+
+using power::Rail;
+using sim::Duration;
+
+TEST(Mmps, NetworkDominated) {
+  const auto p = mmps({Duration::seconds(600), 6});
+  EXPECT_EQ(p.total_duration(), Duration::seconds(600));
+  // Interconnect load exceeds memory load throughout.
+  for (double t = 10.0; t < 600.0; t += 50.0) {
+    EXPECT_GT(p.util(Rail::kNetwork, Duration::from_seconds(t)),
+              p.util(Rail::kDram, Duration::from_seconds(t)));
+  }
+}
+
+TEST(Mmps, SweepShiftsLoadTowardLinks) {
+  const auto p = mmps({Duration::seconds(600), 6});
+  EXPECT_GT(p.util(Rail::kOptics, Duration::seconds(590)),
+            p.util(Rail::kOptics, Duration::seconds(10)));
+  EXPECT_LT(p.util(Rail::kCpuCore, Duration::seconds(590)),
+            p.util(Rail::kCpuCore, Duration::seconds(10)));
+}
+
+TEST(Mmps, RejectsBadSegments) {
+  EXPECT_THROW(mmps({Duration::seconds(60), 0}), std::invalid_argument);
+}
+
+TEST(GaussianElimination, CycleStructure) {
+  GaussianEliminationOptions o;
+  o.total = Duration::seconds(40);
+  const auto p = gaussian_elimination(o);
+  // cycle = 3.0 + 0.5 + 0.15 = 3.65 s -> 10 cycles, 30 phases.
+  EXPECT_EQ(p.phases().size(), 30u);
+  // Compute phase is higher than the pivot dip.
+  const double compute = p.util(Rail::kCpuCore, Duration::from_seconds(1.0));
+  const double dip = p.util(Rail::kCpuCore, Duration::from_seconds(3.2));
+  const double spike = p.util(Rail::kCpuCore, Duration::from_seconds(3.6));
+  EXPECT_GT(compute, dip);
+  EXPECT_GT(spike, compute);  // the "tiny spikes" between drops
+}
+
+TEST(GaussianElimination, DipDepthParameterized) {
+  GaussianEliminationOptions shallow;
+  shallow.dip_depth = 0.05;
+  GaussianEliminationOptions deep;
+  deep.dip_depth = 0.5;
+  const auto ps = gaussian_elimination(shallow);
+  const auto pd = gaussian_elimination(deep);
+  EXPECT_GT(ps.util(Rail::kCpuCore, Duration::from_seconds(3.2)),
+            pd.util(Rail::kCpuCore, Duration::from_seconds(3.2)));
+}
+
+TEST(GaussianElimination, RejectsTooShortTotal) {
+  GaussianEliminationOptions o;
+  o.total = Duration::seconds(1);
+  EXPECT_THROW(gaussian_elimination(o), std::invalid_argument);
+}
+
+TEST(GpuNoop, LightSteadyLoad) {
+  const auto p = gpu_noop({Duration::seconds(12)});
+  EXPECT_EQ(p.phases().size(), 1u);
+  const double sm = p.util(Rail::kCpuCore, Duration::seconds(5));
+  EXPECT_GT(sm, 0.0);
+  EXPECT_LT(sm, 0.3);  // a noop kernel keeps clocks up, nothing more
+}
+
+TEST(GpuVectorAdd, PhaseOrdering) {
+  GpuVectorAddOptions o;
+  const auto p = gpu_vector_add(o);
+  // Host generation: device nearly idle.
+  EXPECT_LT(p.util(Rail::kCpuCore, Duration::seconds(5)), 0.2);
+  EXPECT_LT(p.util(Rail::kDram, Duration::seconds(5)), 0.05);
+  // Transfer phase: PCIe saturated.
+  EXPECT_GT(p.util(Rail::kPcie, Duration::seconds(11)), 0.9);
+  // Compute: bandwidth-bound — GDDR util exceeds SM util.
+  const auto t_compute = Duration::seconds(30);
+  EXPECT_GT(p.util(Rail::kDram, t_compute), p.util(Rail::kCpuCore, t_compute));
+  EXPECT_GT(p.util(Rail::kDram, t_compute), 0.85);
+}
+
+TEST(OffloadGauss, DataGenThenCompute) {
+  const auto p = offload_gauss({});
+  EXPECT_EQ(p.total_duration(), Duration::seconds(250));
+  // Cards nearly idle during the first ~100 s.
+  EXPECT_LT(p.util(Rail::kCpuCore, Duration::seconds(50)), 0.05);
+  // Then the compute plateau.
+  EXPECT_GT(p.util(Rail::kCpuCore, Duration::seconds(150)), 0.9);
+}
+
+TEST(NoopBusyloop, ConstantLightLoad) {
+  const auto p = noop_busyloop(Duration::seconds(120));
+  EXPECT_DOUBLE_EQ(p.util(Rail::kCpuCore, Duration::seconds(60)), 0.10);
+  EXPECT_DOUBLE_EQ(p.util(Rail::kDram, Duration::seconds(60)), 0.0);
+}
+
+TEST(Idle, AllRailsZero) {
+  const auto p = idle(Duration::seconds(10));
+  for (const Rail r : power::kAllRails) {
+    EXPECT_DOUBLE_EQ(p.util(r, Duration::seconds(5)), 0.0);
+  }
+}
+
+TEST(Dgemm, ComputeBound) {
+  const auto p = dgemm({Duration::seconds(30), 0.97, 0.55});
+  EXPECT_GT(p.util(Rail::kCpuCore, Duration::seconds(10)),
+            p.util(Rail::kDram, Duration::seconds(10)));
+}
+
+TEST(Stream, MemoryBound) {
+  const auto p = stream({Duration::seconds(30)});
+  EXPECT_GT(p.util(Rail::kDram, Duration::seconds(10)),
+            p.util(Rail::kCpuCore, Duration::seconds(10)));
+}
+
+}  // namespace
+}  // namespace envmon::workloads
