@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_emon_stagger.dir/ablation_emon_stagger.cpp.o"
+  "CMakeFiles/ablation_emon_stagger.dir/ablation_emon_stagger.cpp.o.d"
+  "ablation_emon_stagger"
+  "ablation_emon_stagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_emon_stagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

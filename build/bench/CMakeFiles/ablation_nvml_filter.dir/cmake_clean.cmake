@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nvml_filter.dir/ablation_nvml_filter.cpp.o"
+  "CMakeFiles/ablation_nvml_filter.dir/ablation_nvml_filter.cpp.o.d"
+  "ablation_nvml_filter"
+  "ablation_nvml_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nvml_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phi_perturbation.dir/ablation_phi_perturbation.cpp.o"
+  "CMakeFiles/ablation_phi_perturbation.dir/ablation_phi_perturbation.cpp.o.d"
+  "ablation_phi_perturbation"
+  "ablation_phi_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phi_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power_capping.dir/ablation_power_capping.cpp.o"
+  "CMakeFiles/ablation_power_capping.dir/ablation_power_capping.cpp.o.d"
+  "ablation_power_capping"
+  "ablation_power_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

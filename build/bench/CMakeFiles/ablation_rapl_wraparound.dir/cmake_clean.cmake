@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rapl_wraparound.dir/ablation_rapl_wraparound.cpp.o"
+  "CMakeFiles/ablation_rapl_wraparound.dir/ablation_rapl_wraparound.cpp.o.d"
+  "ablation_rapl_wraparound"
+  "ablation_rapl_wraparound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rapl_wraparound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_bgq_bpm_mmps.dir/fig1_bgq_bpm_mmps.cpp.o"
+  "CMakeFiles/fig1_bgq_bpm_mmps.dir/fig1_bgq_bpm_mmps.cpp.o.d"
+  "fig1_bgq_bpm_mmps"
+  "fig1_bgq_bpm_mmps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bgq_bpm_mmps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_bgq_bpm_mmps.
+# This may be replaced when dependencies are built.

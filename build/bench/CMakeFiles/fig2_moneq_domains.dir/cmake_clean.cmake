@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_moneq_domains.dir/fig2_moneq_domains.cpp.o"
+  "CMakeFiles/fig2_moneq_domains.dir/fig2_moneq_domains.cpp.o.d"
+  "fig2_moneq_domains"
+  "fig2_moneq_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_moneq_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

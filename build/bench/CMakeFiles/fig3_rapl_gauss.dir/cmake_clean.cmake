@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_rapl_gauss.dir/fig3_rapl_gauss.cpp.o"
+  "CMakeFiles/fig3_rapl_gauss.dir/fig3_rapl_gauss.cpp.o.d"
+  "fig3_rapl_gauss"
+  "fig3_rapl_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rapl_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nvml_noop.dir/fig4_nvml_noop.cpp.o"
+  "CMakeFiles/fig4_nvml_noop.dir/fig4_nvml_noop.cpp.o.d"
+  "fig4_nvml_noop"
+  "fig4_nvml_noop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nvml_noop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nvml_vecadd.dir/fig5_nvml_vecadd.cpp.o"
+  "CMakeFiles/fig5_nvml_vecadd.dir/fig5_nvml_vecadd.cpp.o.d"
+  "fig5_nvml_vecadd"
+  "fig5_nvml_vecadd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nvml_vecadd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

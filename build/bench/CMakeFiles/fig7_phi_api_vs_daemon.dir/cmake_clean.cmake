@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_phi_api_vs_daemon.dir/fig7_phi_api_vs_daemon.cpp.o"
+  "CMakeFiles/fig7_phi_api_vs_daemon.dir/fig7_phi_api_vs_daemon.cpp.o.d"
+  "fig7_phi_api_vs_daemon"
+  "fig7_phi_api_vs_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_phi_api_vs_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_phi_api_vs_daemon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_phi_stampede_gauss.dir/fig8_phi_stampede_gauss.cpp.o"
+  "CMakeFiles/fig8_phi_stampede_gauss.dir/fig8_phi_stampede_gauss.cpp.o.d"
+  "fig8_phi_stampede_gauss"
+  "fig8_phi_stampede_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_phi_stampede_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limitations_report.dir/limitations_report.cpp.o"
+  "CMakeFiles/limitations_report.dir/limitations_report.cpp.o.d"
+  "limitations_report"
+  "limitations_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limitations_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

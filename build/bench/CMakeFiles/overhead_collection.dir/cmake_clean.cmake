@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_collection.dir/overhead_collection.cpp.o"
+  "CMakeFiles/overhead_collection.dir/overhead_collection.cpp.o.d"
+  "overhead_collection"
+  "overhead_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_comparison.dir/tools_comparison.cpp.o"
+  "CMakeFiles/tools_comparison.dir/tools_comparison.cpp.o.d"
+  "tools_comparison"
+  "tools_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

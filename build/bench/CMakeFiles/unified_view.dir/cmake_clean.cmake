@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unified_view.dir/unified_view.cpp.o"
+  "CMakeFiles/unified_view.dir/unified_view.cpp.o.d"
+  "unified_view"
+  "unified_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unified_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_rapl.dir/gauss_rapl.cpp.o"
+  "CMakeFiles/gauss_rapl.dir/gauss_rapl.cpp.o.d"
+  "gauss_rapl"
+  "gauss_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipmi_sensors.dir/ipmi_sensors.cpp.o"
+  "CMakeFiles/ipmi_sensors.dir/ipmi_sensors.cpp.o.d"
+  "ipmi_sensors"
+  "ipmi_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipmi_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmps_bgq.dir/mmps_bgq.cpp.o"
+  "CMakeFiles/mmps_bgq.dir/mmps_bgq.cpp.o.d"
+  "mmps_bgq"
+  "mmps_bgq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmps_bgq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

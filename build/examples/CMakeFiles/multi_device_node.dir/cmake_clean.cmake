@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_device_node.dir/multi_device_node.cpp.o"
+  "CMakeFiles/multi_device_node.dir/multi_device_node.cpp.o.d"
+  "multi_device_node"
+  "multi_device_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_device_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

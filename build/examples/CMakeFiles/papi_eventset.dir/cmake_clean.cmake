@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papi_eventset.dir/papi_eventset.cpp.o"
+  "CMakeFiles/papi_eventset.dir/papi_eventset.cpp.o.d"
+  "papi_eventset"
+  "papi_eventset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papi_eventset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

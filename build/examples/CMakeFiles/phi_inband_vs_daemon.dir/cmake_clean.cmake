@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phi_inband_vs_daemon.dir/phi_inband_vs_daemon.cpp.o"
+  "CMakeFiles/phi_inband_vs_daemon.dir/phi_inband_vs_daemon.cpp.o.d"
+  "phi_inband_vs_daemon"
+  "phi_inband_vs_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phi_inband_vs_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for phi_inband_vs_daemon.
+# This may be replaced when dependencies are built.

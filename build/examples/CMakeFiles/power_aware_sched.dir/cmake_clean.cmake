@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_aware_sched.dir/power_aware_sched.cpp.o"
+  "CMakeFiles/power_aware_sched.dir/power_aware_sched.cpp.o.d"
+  "power_aware_sched"
+  "power_aware_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_aware_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

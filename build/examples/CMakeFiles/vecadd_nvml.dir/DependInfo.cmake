@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/vecadd_nvml.cpp" "examples/CMakeFiles/vecadd_nvml.dir/vecadd_nvml.cpp.o" "gcc" "examples/CMakeFiles/vecadd_nvml.dir/vecadd_nvml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/envmon_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/envmon_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/moneq/CMakeFiles/envmon_moneq.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/envmon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/envmon_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgq/CMakeFiles/envmon_bgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/envmon_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/envmon_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mic/CMakeFiles/envmon_mic.dir/DependInfo.cmake"
+  "/root/repo/build/src/smpi/CMakeFiles/envmon_smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmi/CMakeFiles/envmon_ipmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/envmon_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/envmon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/envmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/envmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

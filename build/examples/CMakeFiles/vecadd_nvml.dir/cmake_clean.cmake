@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecadd_nvml.dir/vecadd_nvml.cpp.o"
+  "CMakeFiles/vecadd_nvml.dir/vecadd_nvml.cpp.o.d"
+  "vecadd_nvml"
+  "vecadd_nvml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecadd_nvml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vecadd_nvml.
+# This may be replaced when dependencies are built.

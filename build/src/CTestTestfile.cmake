@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("tsdb")
+subdirs("power")
+subdirs("workloads")
+subdirs("ipmi")
+subdirs("bgq")
+subdirs("rapl")
+subdirs("nvml")
+subdirs("mic")
+subdirs("smpi")
+subdirs("moneq")
+subdirs("analysis")
+subdirs("tools")
+subdirs("sched")
+subdirs("scenarios")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_analysis.dir/render.cpp.o"
+  "CMakeFiles/envmon_analysis.dir/render.cpp.o.d"
+  "CMakeFiles/envmon_analysis.dir/series_ops.cpp.o"
+  "CMakeFiles/envmon_analysis.dir/series_ops.cpp.o.d"
+  "CMakeFiles/envmon_analysis.dir/stats_ext.cpp.o"
+  "CMakeFiles/envmon_analysis.dir/stats_ext.cpp.o.d"
+  "libenvmon_analysis.a"
+  "libenvmon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

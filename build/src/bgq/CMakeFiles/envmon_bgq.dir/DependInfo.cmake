@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgq/emon.cpp" "src/bgq/CMakeFiles/envmon_bgq.dir/emon.cpp.o" "gcc" "src/bgq/CMakeFiles/envmon_bgq.dir/emon.cpp.o.d"
+  "/root/repo/src/bgq/env_monitor.cpp" "src/bgq/CMakeFiles/envmon_bgq.dir/env_monitor.cpp.o" "gcc" "src/bgq/CMakeFiles/envmon_bgq.dir/env_monitor.cpp.o.d"
+  "/root/repo/src/bgq/machine.cpp" "src/bgq/CMakeFiles/envmon_bgq.dir/machine.cpp.o" "gcc" "src/bgq/CMakeFiles/envmon_bgq.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/envmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/envmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/envmon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/envmon_tsdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_bgq.dir/emon.cpp.o"
+  "CMakeFiles/envmon_bgq.dir/emon.cpp.o.d"
+  "CMakeFiles/envmon_bgq.dir/env_monitor.cpp.o"
+  "CMakeFiles/envmon_bgq.dir/env_monitor.cpp.o.d"
+  "CMakeFiles/envmon_bgq.dir/machine.cpp.o"
+  "CMakeFiles/envmon_bgq.dir/machine.cpp.o.d"
+  "libenvmon_bgq.a"
+  "libenvmon_bgq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_bgq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_common.dir/config.cpp.o"
+  "CMakeFiles/envmon_common.dir/config.cpp.o.d"
+  "CMakeFiles/envmon_common.dir/csv.cpp.o"
+  "CMakeFiles/envmon_common.dir/csv.cpp.o.d"
+  "CMakeFiles/envmon_common.dir/log.cpp.o"
+  "CMakeFiles/envmon_common.dir/log.cpp.o.d"
+  "CMakeFiles/envmon_common.dir/rng.cpp.o"
+  "CMakeFiles/envmon_common.dir/rng.cpp.o.d"
+  "CMakeFiles/envmon_common.dir/stats.cpp.o"
+  "CMakeFiles/envmon_common.dir/stats.cpp.o.d"
+  "CMakeFiles/envmon_common.dir/strings.cpp.o"
+  "CMakeFiles/envmon_common.dir/strings.cpp.o.d"
+  "libenvmon_common.a"
+  "libenvmon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

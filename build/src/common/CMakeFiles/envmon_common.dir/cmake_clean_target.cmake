@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenvmon_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_ipmi.dir/bmc.cpp.o"
+  "CMakeFiles/envmon_ipmi.dir/bmc.cpp.o.d"
+  "CMakeFiles/envmon_ipmi.dir/ipmb.cpp.o"
+  "CMakeFiles/envmon_ipmi.dir/ipmb.cpp.o.d"
+  "libenvmon_ipmi.a"
+  "libenvmon_ipmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_ipmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

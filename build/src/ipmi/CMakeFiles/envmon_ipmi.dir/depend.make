@@ -1,0 +1,2 @@
+# Empty dependencies file for envmon_ipmi.
+# This may be replaced when dependencies are built.

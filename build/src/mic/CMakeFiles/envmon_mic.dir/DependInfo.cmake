@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mic/card.cpp" "src/mic/CMakeFiles/envmon_mic.dir/card.cpp.o" "gcc" "src/mic/CMakeFiles/envmon_mic.dir/card.cpp.o.d"
+  "/root/repo/src/mic/micras.cpp" "src/mic/CMakeFiles/envmon_mic.dir/micras.cpp.o" "gcc" "src/mic/CMakeFiles/envmon_mic.dir/micras.cpp.o.d"
+  "/root/repo/src/mic/mpss.cpp" "src/mic/CMakeFiles/envmon_mic.dir/mpss.cpp.o" "gcc" "src/mic/CMakeFiles/envmon_mic.dir/mpss.cpp.o.d"
+  "/root/repo/src/mic/scif.cpp" "src/mic/CMakeFiles/envmon_mic.dir/scif.cpp.o" "gcc" "src/mic/CMakeFiles/envmon_mic.dir/scif.cpp.o.d"
+  "/root/repo/src/mic/smc.cpp" "src/mic/CMakeFiles/envmon_mic.dir/smc.cpp.o" "gcc" "src/mic/CMakeFiles/envmon_mic.dir/smc.cpp.o.d"
+  "/root/repo/src/mic/sysmgmt.cpp" "src/mic/CMakeFiles/envmon_mic.dir/sysmgmt.cpp.o" "gcc" "src/mic/CMakeFiles/envmon_mic.dir/sysmgmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/envmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/envmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/envmon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmi/CMakeFiles/envmon_ipmi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

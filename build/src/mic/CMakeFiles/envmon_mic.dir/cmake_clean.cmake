@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_mic.dir/card.cpp.o"
+  "CMakeFiles/envmon_mic.dir/card.cpp.o.d"
+  "CMakeFiles/envmon_mic.dir/micras.cpp.o"
+  "CMakeFiles/envmon_mic.dir/micras.cpp.o.d"
+  "CMakeFiles/envmon_mic.dir/mpss.cpp.o"
+  "CMakeFiles/envmon_mic.dir/mpss.cpp.o.d"
+  "CMakeFiles/envmon_mic.dir/scif.cpp.o"
+  "CMakeFiles/envmon_mic.dir/scif.cpp.o.d"
+  "CMakeFiles/envmon_mic.dir/smc.cpp.o"
+  "CMakeFiles/envmon_mic.dir/smc.cpp.o.d"
+  "CMakeFiles/envmon_mic.dir/sysmgmt.cpp.o"
+  "CMakeFiles/envmon_mic.dir/sysmgmt.cpp.o.d"
+  "libenvmon_mic.a"
+  "libenvmon_mic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_mic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

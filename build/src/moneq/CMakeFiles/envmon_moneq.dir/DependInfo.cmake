@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moneq/backend_bgq.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/backend_bgq.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/backend_bgq.cpp.o.d"
+  "/root/repo/src/moneq/backend_mic.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/backend_mic.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/backend_mic.cpp.o.d"
+  "/root/repo/src/moneq/backend_nvml.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/backend_nvml.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/backend_nvml.cpp.o.d"
+  "/root/repo/src/moneq/backend_rapl.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/backend_rapl.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/backend_rapl.cpp.o.d"
+  "/root/repo/src/moneq/capability.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/capability.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/capability.cpp.o.d"
+  "/root/repo/src/moneq/capi.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/capi.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/capi.cpp.o.d"
+  "/root/repo/src/moneq/csv_reader.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/csv_reader.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/csv_reader.cpp.o.d"
+  "/root/repo/src/moneq/output.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/output.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/output.cpp.o.d"
+  "/root/repo/src/moneq/profiler.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/profiler.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/profiler.cpp.o.d"
+  "/root/repo/src/moneq/unified.cpp" "src/moneq/CMakeFiles/envmon_moneq.dir/unified.cpp.o" "gcc" "src/moneq/CMakeFiles/envmon_moneq.dir/unified.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/envmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/envmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/envmon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/smpi/CMakeFiles/envmon_smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgq/CMakeFiles/envmon_bgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/envmon_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/envmon_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mic/CMakeFiles/envmon_mic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/envmon_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmi/CMakeFiles/envmon_ipmi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_moneq.dir/backend_bgq.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/backend_bgq.cpp.o.d"
+  "CMakeFiles/envmon_moneq.dir/backend_mic.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/backend_mic.cpp.o.d"
+  "CMakeFiles/envmon_moneq.dir/backend_nvml.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/backend_nvml.cpp.o.d"
+  "CMakeFiles/envmon_moneq.dir/backend_rapl.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/backend_rapl.cpp.o.d"
+  "CMakeFiles/envmon_moneq.dir/capability.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/capability.cpp.o.d"
+  "CMakeFiles/envmon_moneq.dir/capi.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/capi.cpp.o.d"
+  "CMakeFiles/envmon_moneq.dir/csv_reader.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/csv_reader.cpp.o.d"
+  "CMakeFiles/envmon_moneq.dir/output.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/output.cpp.o.d"
+  "CMakeFiles/envmon_moneq.dir/profiler.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/profiler.cpp.o.d"
+  "CMakeFiles/envmon_moneq.dir/unified.cpp.o"
+  "CMakeFiles/envmon_moneq.dir/unified.cpp.o.d"
+  "libenvmon_moneq.a"
+  "libenvmon_moneq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_moneq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

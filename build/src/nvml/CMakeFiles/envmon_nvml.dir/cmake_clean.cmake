@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_nvml.dir/api.cpp.o"
+  "CMakeFiles/envmon_nvml.dir/api.cpp.o.d"
+  "CMakeFiles/envmon_nvml.dir/device.cpp.o"
+  "CMakeFiles/envmon_nvml.dir/device.cpp.o.d"
+  "libenvmon_nvml.a"
+  "libenvmon_nvml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_nvml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/component.cpp" "src/power/CMakeFiles/envmon_power.dir/component.cpp.o" "gcc" "src/power/CMakeFiles/envmon_power.dir/component.cpp.o.d"
+  "/root/repo/src/power/profile.cpp" "src/power/CMakeFiles/envmon_power.dir/profile.cpp.o" "gcc" "src/power/CMakeFiles/envmon_power.dir/profile.cpp.o.d"
+  "/root/repo/src/power/sensor.cpp" "src/power/CMakeFiles/envmon_power.dir/sensor.cpp.o" "gcc" "src/power/CMakeFiles/envmon_power.dir/sensor.cpp.o.d"
+  "/root/repo/src/power/thermal.cpp" "src/power/CMakeFiles/envmon_power.dir/thermal.cpp.o" "gcc" "src/power/CMakeFiles/envmon_power.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/envmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/envmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_power.dir/component.cpp.o"
+  "CMakeFiles/envmon_power.dir/component.cpp.o.d"
+  "CMakeFiles/envmon_power.dir/profile.cpp.o"
+  "CMakeFiles/envmon_power.dir/profile.cpp.o.d"
+  "CMakeFiles/envmon_power.dir/sensor.cpp.o"
+  "CMakeFiles/envmon_power.dir/sensor.cpp.o.d"
+  "CMakeFiles/envmon_power.dir/thermal.cpp.o"
+  "CMakeFiles/envmon_power.dir/thermal.cpp.o.d"
+  "libenvmon_power.a"
+  "libenvmon_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_rapl.dir/msr.cpp.o"
+  "CMakeFiles/envmon_rapl.dir/msr.cpp.o.d"
+  "CMakeFiles/envmon_rapl.dir/package.cpp.o"
+  "CMakeFiles/envmon_rapl.dir/package.cpp.o.d"
+  "CMakeFiles/envmon_rapl.dir/reader.cpp.o"
+  "CMakeFiles/envmon_rapl.dir/reader.cpp.o.d"
+  "libenvmon_rapl.a"
+  "libenvmon_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_scenarios.dir/scenarios.cpp.o"
+  "CMakeFiles/envmon_scenarios.dir/scenarios.cpp.o.d"
+  "libenvmon_scenarios.a"
+  "libenvmon_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_sched.dir/pricing.cpp.o"
+  "CMakeFiles/envmon_sched.dir/pricing.cpp.o.d"
+  "CMakeFiles/envmon_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/envmon_sched.dir/scheduler.cpp.o.d"
+  "libenvmon_sched.a"
+  "libenvmon_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_sim.dir/engine.cpp.o"
+  "CMakeFiles/envmon_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/envmon_sim.dir/trace.cpp.o"
+  "CMakeFiles/envmon_sim.dir/trace.cpp.o.d"
+  "libenvmon_sim.a"
+  "libenvmon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_smpi.dir/smpi.cpp.o"
+  "CMakeFiles/envmon_smpi.dir/smpi.cpp.o.d"
+  "libenvmon_smpi.a"
+  "libenvmon_smpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_smpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

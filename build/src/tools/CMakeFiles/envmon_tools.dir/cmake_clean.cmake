@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_tools.dir/papi.cpp.o"
+  "CMakeFiles/envmon_tools.dir/papi.cpp.o.d"
+  "CMakeFiles/envmon_tools.dir/powerpack.cpp.o"
+  "CMakeFiles/envmon_tools.dir/powerpack.cpp.o.d"
+  "CMakeFiles/envmon_tools.dir/tau.cpp.o"
+  "CMakeFiles/envmon_tools.dir/tau.cpp.o.d"
+  "libenvmon_tools.a"
+  "libenvmon_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdb/database.cpp" "src/tsdb/CMakeFiles/envmon_tsdb.dir/database.cpp.o" "gcc" "src/tsdb/CMakeFiles/envmon_tsdb.dir/database.cpp.o.d"
+  "/root/repo/src/tsdb/export.cpp" "src/tsdb/CMakeFiles/envmon_tsdb.dir/export.cpp.o" "gcc" "src/tsdb/CMakeFiles/envmon_tsdb.dir/export.cpp.o.d"
+  "/root/repo/src/tsdb/location.cpp" "src/tsdb/CMakeFiles/envmon_tsdb.dir/location.cpp.o" "gcc" "src/tsdb/CMakeFiles/envmon_tsdb.dir/location.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/envmon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/envmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_tsdb.dir/database.cpp.o"
+  "CMakeFiles/envmon_tsdb.dir/database.cpp.o.d"
+  "CMakeFiles/envmon_tsdb.dir/export.cpp.o"
+  "CMakeFiles/envmon_tsdb.dir/export.cpp.o.d"
+  "CMakeFiles/envmon_tsdb.dir/location.cpp.o"
+  "CMakeFiles/envmon_tsdb.dir/location.cpp.o.d"
+  "libenvmon_tsdb.a"
+  "libenvmon_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envmon_workloads.dir/library.cpp.o"
+  "CMakeFiles/envmon_workloads.dir/library.cpp.o.d"
+  "libenvmon_workloads.a"
+  "libenvmon_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envmon_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_stats_ext_test.cpp" "tests/CMakeFiles/envmon_tests.dir/analysis_stats_ext_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/analysis_stats_ext_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/envmon_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/bgq_test.cpp" "tests/CMakeFiles/envmon_tests.dir/bgq_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/bgq_test.cpp.o.d"
+  "/root/repo/tests/common_config_test.cpp" "tests/CMakeFiles/envmon_tests.dir/common_config_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/common_config_test.cpp.o.d"
+  "/root/repo/tests/common_csv_test.cpp" "tests/CMakeFiles/envmon_tests.dir/common_csv_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/common_csv_test.cpp.o.d"
+  "/root/repo/tests/common_rng_test.cpp" "tests/CMakeFiles/envmon_tests.dir/common_rng_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/common_rng_test.cpp.o.d"
+  "/root/repo/tests/common_stats_test.cpp" "tests/CMakeFiles/envmon_tests.dir/common_stats_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/common_stats_test.cpp.o.d"
+  "/root/repo/tests/common_status_test.cpp" "tests/CMakeFiles/envmon_tests.dir/common_status_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/common_status_test.cpp.o.d"
+  "/root/repo/tests/common_strings_test.cpp" "tests/CMakeFiles/envmon_tests.dir/common_strings_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/common_strings_test.cpp.o.d"
+  "/root/repo/tests/common_units_test.cpp" "tests/CMakeFiles/envmon_tests.dir/common_units_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/common_units_test.cpp.o.d"
+  "/root/repo/tests/failure_injection_test.cpp" "tests/CMakeFiles/envmon_tests.dir/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/envmon_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/envmon_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ipmi_test.cpp" "tests/CMakeFiles/envmon_tests.dir/ipmi_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/ipmi_test.cpp.o.d"
+  "/root/repo/tests/mic_mpss_test.cpp" "tests/CMakeFiles/envmon_tests.dir/mic_mpss_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/mic_mpss_test.cpp.o.d"
+  "/root/repo/tests/mic_test.cpp" "tests/CMakeFiles/envmon_tests.dir/mic_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/mic_test.cpp.o.d"
+  "/root/repo/tests/misc_coverage_test.cpp" "tests/CMakeFiles/envmon_tests.dir/misc_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/misc_coverage_test.cpp.o.d"
+  "/root/repo/tests/moneq_backends_test.cpp" "tests/CMakeFiles/envmon_tests.dir/moneq_backends_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/moneq_backends_test.cpp.o.d"
+  "/root/repo/tests/moneq_capability_test.cpp" "tests/CMakeFiles/envmon_tests.dir/moneq_capability_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/moneq_capability_test.cpp.o.d"
+  "/root/repo/tests/moneq_csv_reader_test.cpp" "tests/CMakeFiles/envmon_tests.dir/moneq_csv_reader_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/moneq_csv_reader_test.cpp.o.d"
+  "/root/repo/tests/moneq_fleet_test.cpp" "tests/CMakeFiles/envmon_tests.dir/moneq_fleet_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/moneq_fleet_test.cpp.o.d"
+  "/root/repo/tests/moneq_limitations_test.cpp" "tests/CMakeFiles/envmon_tests.dir/moneq_limitations_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/moneq_limitations_test.cpp.o.d"
+  "/root/repo/tests/moneq_profiler_test.cpp" "tests/CMakeFiles/envmon_tests.dir/moneq_profiler_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/moneq_profiler_test.cpp.o.d"
+  "/root/repo/tests/moneq_unified_test.cpp" "tests/CMakeFiles/envmon_tests.dir/moneq_unified_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/moneq_unified_test.cpp.o.d"
+  "/root/repo/tests/nvml_test.cpp" "tests/CMakeFiles/envmon_tests.dir/nvml_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/nvml_test.cpp.o.d"
+  "/root/repo/tests/power_profile_test.cpp" "tests/CMakeFiles/envmon_tests.dir/power_profile_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/power_profile_test.cpp.o.d"
+  "/root/repo/tests/power_sensor_test.cpp" "tests/CMakeFiles/envmon_tests.dir/power_sensor_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/power_sensor_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/envmon_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rapl_test.cpp" "tests/CMakeFiles/envmon_tests.dir/rapl_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/rapl_test.cpp.o.d"
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/envmon_tests.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/sched_test.cpp.o.d"
+  "/root/repo/tests/sim_engine_test.cpp" "tests/CMakeFiles/envmon_tests.dir/sim_engine_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/sim_engine_test.cpp.o.d"
+  "/root/repo/tests/sim_trace_test.cpp" "tests/CMakeFiles/envmon_tests.dir/sim_trace_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/sim_trace_test.cpp.o.d"
+  "/root/repo/tests/smpi_test.cpp" "tests/CMakeFiles/envmon_tests.dir/smpi_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/smpi_test.cpp.o.d"
+  "/root/repo/tests/tools_papi_test.cpp" "tests/CMakeFiles/envmon_tests.dir/tools_papi_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/tools_papi_test.cpp.o.d"
+  "/root/repo/tests/tools_tau_powerpack_test.cpp" "tests/CMakeFiles/envmon_tests.dir/tools_tau_powerpack_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/tools_tau_powerpack_test.cpp.o.d"
+  "/root/repo/tests/tsdb_export_test.cpp" "tests/CMakeFiles/envmon_tests.dir/tsdb_export_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/tsdb_export_test.cpp.o.d"
+  "/root/repo/tests/tsdb_test.cpp" "tests/CMakeFiles/envmon_tests.dir/tsdb_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/tsdb_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/envmon_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/envmon_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/envmon_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/envmon_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/envmon_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/moneq/CMakeFiles/envmon_moneq.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/envmon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/envmon_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgq/CMakeFiles/envmon_bgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/envmon_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/envmon_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mic/CMakeFiles/envmon_mic.dir/DependInfo.cmake"
+  "/root/repo/build/src/smpi/CMakeFiles/envmon_smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmi/CMakeFiles/envmon_ipmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/envmon_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/envmon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/envmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/envmon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
