@@ -10,6 +10,8 @@ namespace envmon {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+LogSink g_sink;               // guarded by g_mutex; null = stderr
+LogTimeSource g_time_source;  // guarded by g_mutex; null = no stamp
 
 constexpr std::string_view level_tag(LogLevel level) {
   switch (level) {
@@ -26,13 +28,39 @@ constexpr std::string_view level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  const std::scoped_lock lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void set_log_time_source(LogTimeSource source) {
+  const std::scoped_lock lock(g_mutex);
+  g_time_source = std::move(source);
+}
+
 namespace detail {
 
 void log_line(LogLevel level, std::string_view msg) {
   if (level < log_level()) return;
   const std::scoped_lock lock(g_mutex);
-  std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(level_tag(level).size()),
-               level_tag(level).data(), static_cast<int>(msg.size()), msg.data());
+
+  std::string line;
+  line.reserve(msg.size() + 32);
+  line += '[';
+  line += level_tag(level);
+  line += "] ";
+  if (g_time_source) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[t=%.3fs] ", g_time_source());
+    line += stamp;
+  }
+  line += msg;
+
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace detail

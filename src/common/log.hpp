@@ -1,7 +1,15 @@
 #pragma once
 // Minimal leveled logger.  Defaults to warnings only so tests and benches
 // stay quiet; examples turn on info to narrate the run.
+//
+// Two extension points:
+//   - a pluggable sink, so tests capture and assert on log output
+//     instead of it going to stderr unchecked;
+//   - a virtual-time source (normally an engine's clock — see
+//     sim::ScopedLogClock), so lines are stamped with simulation time
+//     rather than nothing.
 
+#include <functional>
 #include <sstream>
 #include <string_view>
 
@@ -11,6 +19,16 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+// Receives every emitted line, fully formatted ("[INFO ] [t=3.500s] msg",
+// no trailing newline).  A null sink restores the stderr default.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void set_log_sink(LogSink sink);
+
+// Returns current virtual time in seconds; when set, lines gain a
+// `[t=...s]` stamp.  Null clears it.
+using LogTimeSource = std::function<double()>;
+void set_log_time_source(LogTimeSource source);
 
 namespace detail {
 void log_line(LogLevel level, std::string_view msg);

@@ -73,6 +73,33 @@ Status NodeProfiler::initialize() {
   for (int n = world_->size() - 1; n > 0; n >>= 1) ++levels;
   init_cost_ = options_.init_base_cost + levels * options_.init_per_level_cost;
 
+  if (obs::enabled()) {
+    auto& registry = obs::default_registry();
+    polls_metric_ = &registry.counter("envmon_profiler_polls_total",
+                                      "MonEQ profiler poll ticks executed");
+    samples_metric_ = &registry.counter("envmon_profiler_samples_total",
+                                        "Samples recorded into the profiler buffer");
+    dropped_metric_ = &registry.counter("envmon_profiler_dropped_samples_total",
+                                        "Samples dropped because the buffer was full");
+    buffer_hwm_metric_ = &registry.gauge("envmon_profiler_buffer_high_water",
+                                         "Highest profiler buffer fill level seen");
+    backend_metrics_.reserve(backends_.size());
+    for (const Backend* backend : backends_) {
+      const std::string labels = "backend=\"" + std::string(backend->name()) + "\"";
+      BackendMetrics m;
+      m.queries = &registry.counter("envmon_backend_queries_total",
+                                    "Vendor-mechanism queries issued", labels);
+      m.errors = &registry.counter("envmon_backend_query_errors_total",
+                                   "Vendor-mechanism queries that failed", labels);
+      m.latency_ms = &registry.histogram("envmon_backend_query_latency_ms",
+                                         "Per-query collection cost in virtual ms",
+                                         obs::Histogram::latency_bounds_ms(), labels);
+      backend_metrics_.push_back(m);
+    }
+  } else {
+    backend_metrics_.assign(backends_.size(), BackendMetrics{});
+  }
+
   timer_ = engine_->schedule_periodic(interval_, [this] { collect_now(); });
   initialized_ = true;
   return Status::ok();
@@ -80,19 +107,45 @@ Status NodeProfiler::initialize() {
 
 void NodeProfiler::collect_now() {
   ++polls_;
-  for (Backend* backend : backends_) {
+  if (polls_metric_ != nullptr) polls_metric_->inc();
+  obs::Tracer::Span poll_span;
+  if (options_.tracer != nullptr) {
+    poll_span = options_.tracer->span("moneq.poll");
+  }
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    Backend* backend = backends_[i];
+    const BackendMetrics& metrics = backend_metrics_[i];
+    obs::Tracer::Span query_span;
+    if (options_.tracer != nullptr) {
+      query_span = options_.tracer->span("backend.query", std::string(backend->name()));
+    }
+    const sim::Duration cost_before = collect_cost_.total();
     auto result = backend->collect(engine_->now(), collect_cost_);
+    if (metrics.queries != nullptr) {
+      metrics.queries->inc();
+      metrics.latency_ms->observe((collect_cost_.total() - cost_before).to_millis());
+    }
+    query_span.end();
     if (!result) {
+      if (metrics.errors != nullptr) metrics.errors->inc();
       if (errors_.size() < 64) errors_.push_back(result.status());
       continue;
     }
     for (auto& sample : result.value()) {
       if (samples_.size() >= options_.max_samples) {
         ++dropped_;
+        if (dropped_metric_ != nullptr) dropped_metric_->inc();
+        if (options_.tracer != nullptr) {
+          options_.tracer->event("moneq.sample_dropped", sample.domain);
+        }
         continue;
       }
       samples_.push_back(std::move(sample));
+      if (samples_metric_ != nullptr) samples_metric_->inc();
     }
+  }
+  if (buffer_hwm_metric_ != nullptr) {
+    buffer_hwm_metric_->set_max(static_cast<double>(samples_.size()));
   }
 }
 

@@ -27,6 +27,8 @@
 #include "moneq/backend.hpp"
 #include "moneq/output.hpp"
 #include "moneq/sample.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/cost.hpp"
 #include "sim/engine.hpp"
 #include "smpi/smpi.hpp"
@@ -47,6 +49,9 @@ struct ProfilerOptions {
   // Estimated bytes per recorded sample in the output file (sizing the
   // finalize write).
   double bytes_per_sample = 34.0;
+  // When set, each poll opens a span with one child span per backend
+  // query, and dropped samples become ring-buffer events.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct OverheadReport {
@@ -104,12 +109,25 @@ class NodeProfiler {
   void collect_now();
   [[nodiscard]] sim::Duration effective_interval() const;
 
+  // Per-backend self-observability series, labeled backend="<name>".
+  // Null handles when obs was disabled at initialize().
+  struct BackendMetrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+  };
+
   sim::Engine* engine_;
   const smpi::World* world_;
   int rank_;
   ProfilerOptions options_;
 
   std::vector<Backend*> backends_;
+  std::vector<BackendMetrics> backend_metrics_;
+  obs::Counter* polls_metric_ = nullptr;
+  obs::Counter* samples_metric_ = nullptr;
+  obs::Counter* dropped_metric_ = nullptr;
+  obs::Gauge* buffer_hwm_metric_ = nullptr;
   std::vector<Sample> samples_;
   std::vector<TagMarker> tags_;
   std::vector<Status> errors_;

@@ -1,0 +1,137 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+namespace envmon::obs {
+
+namespace {
+
+// Shortest round-trip-ish rendering: %g trims trailing zeros, so bucket
+// bounds come out as Prometheus-conventional "0.5", "1", "+Inf" styles
+// and golden tests stay readable.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_series(std::string& out, const std::string& name, const std::string& labels,
+                   const std::string& value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+// `le` joins any existing labels inside one brace set.
+std::string with_le(const std::string& labels, const std::string& le) {
+  std::string joined = labels;
+  if (!joined.empty()) joined += ',';
+  joined += "le=\"" + le + "\"";
+  return joined;
+}
+
+void append_header(std::string& out, std::string& last_name, const std::string& name,
+                   const std::string& help, const char* type) {
+  if (name == last_name) return;  // one header per family
+  out += "# HELP " + name + ' ' + help + '\n';
+  out += "# TYPE " + name + ' ' + type + '\n';
+  last_name = name;
+}
+
+}  // namespace
+
+std::string export_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  std::string last_name;
+
+  for (const auto& c : snapshot.counters) {
+    append_header(out, last_name, c.name, c.help, "counter");
+    append_series(out, c.name, c.labels, std::to_string(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    append_header(out, last_name, g.name, g.help, "gauge");
+    append_series(out, g.name, g.labels, format_double(g.value));
+  }
+  for (const auto& h : snapshot.histograms) {
+    append_header(out, last_name, h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      append_series(out, h.name + "_bucket", with_le(h.labels, format_double(h.bounds[i])),
+                    std::to_string(cumulative));
+    }
+    cumulative += h.bucket_counts.back();
+    append_series(out, h.name + "_bucket", with_le(h.labels, "+Inf"),
+                  std::to_string(cumulative));
+    append_series(out, h.name + "_sum", h.labels, format_double(h.sum));
+    append_series(out, h.name + "_count", h.labels, std::to_string(h.count));
+  }
+  return out;
+}
+
+std::string export_prometheus(const Registry& registry) {
+  return export_prometheus(registry.snapshot());
+}
+
+std::string export_json(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(c.name) + "\",\"labels\":\"" +
+           json_escape(c.labels) + "\",\"value\":" + std::to_string(c.value) + '}';
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(g.name) + "\",\"labels\":\"" +
+           json_escape(g.labels) + "\",\"value\":" + format_double(g.value) + '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(h.name) + "\",\"labels\":\"" +
+           json_escape(h.labels) + "\",\"buckets\":[";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out += ',';
+      const std::string le = i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf";
+      out += "{\"le\":\"" + le + "\",\"count\":" + std::to_string(h.bucket_counts[i]) + '}';
+    }
+    const double mean =
+        h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+    out += "],\"count\":" + std::to_string(h.count) + ",\"sum\":" + format_double(h.sum) +
+           ",\"mean\":" + format_double(mean) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string export_json(const Registry& registry) { return export_json(registry.snapshot()); }
+
+}  // namespace envmon::obs

@@ -1,0 +1,26 @@
+#pragma once
+// Exporters for the metrics registry.
+//
+// Two formats cover the two consumers the study's infrastructure had:
+// Prometheus text exposition (the scrape endpoint a production
+// deployment would mount) and a JSON snapshot (what a test or a
+// post-run analysis script wants to parse).  Both render a Snapshot,
+// so they can also serve a private Registry in tests.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace envmon::obs {
+
+// Prometheus text exposition format v0.0.4: # HELP / # TYPE headers,
+// histograms as cumulative `_bucket{le=...}` series plus _sum/_count.
+[[nodiscard]] std::string export_prometheus(const Registry& registry = default_registry());
+[[nodiscard]] std::string export_prometheus(const Snapshot& snapshot);
+
+// One JSON object with "counters", "gauges", "histograms" arrays;
+// histograms carry per-bucket (non-cumulative) counts plus sum/count/mean.
+[[nodiscard]] std::string export_json(const Registry& registry = default_registry());
+[[nodiscard]] std::string export_json(const Snapshot& snapshot);
+
+}  // namespace envmon::obs

@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace envmon::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor, int n) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::latency_bounds_ms() {
+  static const std::vector<double> kBounds = {0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+                                              1.0,  2.0,  5.0,  10.0, 20.0, 50.0};
+  return kBounds;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           std::string_view labels) {
+  const std::scoped_lock lock(mutex_);
+  auto& entry = counters_[Key{std::string(name), std::string(labels)}];
+  if (!entry.metric) {
+    entry.help = std::string(help);
+    entry.metric = std::make_unique<Counter>();
+  }
+  return *entry.metric;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       std::string_view labels) {
+  const std::scoped_lock lock(mutex_);
+  auto& entry = gauges_[Key{std::string(name), std::string(labels)}];
+  if (!entry.metric) {
+    entry.help = std::string(help);
+    entry.metric = std::make_unique<Gauge>();
+  }
+  return *entry.metric;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds, std::string_view labels) {
+  const std::scoped_lock lock(mutex_);
+  auto& entry = histograms_[Key{std::string(name), std::string(labels)}];
+  if (!entry.metric) {
+    entry.help = std::string(help);
+    entry.metric = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *entry.metric;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, entry] : counters_) {
+    snap.counters.push_back({key.first, key.second, entry.help, entry.metric->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, entry] : gauges_) {
+    snap.gauges.push_back({key.first, key.second, entry.help, entry.metric->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, entry] : histograms_) {
+    Snapshot::HistogramRow row;
+    row.name = key.first;
+    row.labels = key.second;
+    row.help = entry.help;
+    row.bounds = entry.metric->bounds();
+    row.bucket_counts.reserve(row.bounds.size() + 1);
+    for (std::size_t i = 0; i <= row.bounds.size(); ++i) {
+      row.bucket_counts.push_back(entry.metric->bucket_count(i));
+    }
+    row.count = entry.metric->count();
+    row.sum = entry.metric->sum();
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [key, entry] : counters_) entry.metric->reset();
+  for (auto& [key, entry] : gauges_) entry.metric->reset();
+  for (auto& [key, entry] : histograms_) entry.metric->reset();
+}
+
+Registry& default_registry() {
+  static Registry* registry = new Registry();  // leaked: outlives static dtors
+  return *registry;
+}
+
+}  // namespace envmon::obs

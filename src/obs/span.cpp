@@ -1,0 +1,144 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace envmon::obs {
+
+Tracer::Tracer(std::function<sim::SimTime()> clock, std::size_t event_capacity,
+               std::size_t max_spans)
+    : clock_(std::move(clock)), event_capacity_(event_capacity), max_spans_(max_spans) {
+  if (!clock_) {
+    throw std::invalid_argument("Tracer: a clock callback is required");
+  }
+}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void Tracer::Span::end() {
+  if (tracer_ != nullptr && id_ != 0) {
+    tracer_->end_span(id_);
+  }
+  tracer_ = nullptr;
+  id_ = 0;
+}
+
+Tracer::Span Tracer::span(std::string name, std::string detail) {
+  if (records_.size() >= max_spans_) {
+    ++dropped_spans_;
+    return Span{};
+  }
+  SpanRecord rec;
+  rec.id = static_cast<std::uint64_t>(records_.size()) + 1;
+  rec.parent = stack_.empty() ? 0 : stack_.back();
+  rec.depth = static_cast<int>(stack_.size());
+  rec.name = std::move(name);
+  rec.detail = std::move(detail);
+  rec.start = clock_();
+  rec.open = true;
+  records_.push_back(std::move(rec));
+  stack_.push_back(records_.back().id);
+  return Span{this, records_.back().id};
+}
+
+void Tracer::end_span(std::uint64_t id) {
+  SpanRecord& rec = records_[static_cast<std::size_t>(id) - 1];
+  if (!rec.open) return;
+  rec.end = clock_();
+  rec.open = false;
+  // Normally the ended span is innermost; tolerate out-of-order ends
+  // (e.g. a moved-from handle outliving its child) by erasing wherever
+  // it sits in the open stack.
+  const auto it = std::find(stack_.begin(), stack_.end(), id);
+  if (it != stack_.end()) stack_.erase(it);
+}
+
+void Tracer::event(std::string name, std::string detail) {
+  event_at(clock_(), std::move(name), std::move(detail));
+}
+
+void Tracer::event_at(sim::SimTime t, std::string name, std::string detail) {
+  if (event_capacity_ == 0) {
+    ++dropped_events_;
+    return;
+  }
+  TraceEvent ev{t, std::move(name), std::move(detail)};
+  if (ring_.size() < event_capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[ring_next_] = std::move(ev);
+  ring_next_ = (ring_next_ + 1) % event_capacity_;
+  ++dropped_events_;
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::vector<SpanRecord> out = records_;
+  // For any still-open span, report "so far" up to the current clock.
+  for (auto& rec : out) {
+    if (rec.open) rec.end = clock_();
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < event_capacity_) {
+    out = ring_;
+    return out;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::format_timeline() const {
+  // Merge spans (by start time) and events (by timestamp) into one
+  // chronological listing; equal times keep spans-before-events order.
+  const auto all_spans = spans();
+  const auto all_events = events();
+  std::string out;
+  char line[256];
+
+  std::size_t si = 0, ei = 0;
+  while (si < all_spans.size() || ei < all_events.size()) {
+    const bool take_span =
+        ei >= all_events.size() ||
+        (si < all_spans.size() && all_spans[si].start <= all_events[ei].t);
+    if (take_span) {
+      const SpanRecord& s = all_spans[si++];
+      std::snprintf(line, sizeof(line), "[%10.4f .. %10.4f s] %*s%s%s%s%s\n",
+                    s.start.to_seconds(), s.end.to_seconds(), s.depth * 2, "",
+                    s.name.c_str(), s.detail.empty() ? "" : " (",
+                    s.detail.c_str(), s.detail.empty() ? "" : ")");
+    } else {
+      const TraceEvent& e = all_events[ei++];
+      std::snprintf(line, sizeof(line), "[%10.4f s]            ! %s%s%s\n",
+                    e.t.to_seconds(), e.name.c_str(), e.detail.empty() ? "" : ": ",
+                    e.detail.c_str());
+    }
+    out += line;
+  }
+  if (dropped_spans_ > 0 || dropped_events_ > 0) {
+    std::snprintf(line, sizeof(line), "(dropped: %llu spans, %llu events beyond capacity)\n",
+                  static_cast<unsigned long long>(dropped_spans_),
+                  static_cast<unsigned long long>(dropped_events_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace envmon::obs

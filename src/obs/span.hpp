@@ -1,0 +1,108 @@
+#pragma once
+// Self-observability: spans and events on the simulation's virtual clock.
+//
+// A Tracer turns a run into a queryable timeline: RAII spans with
+// parent/child nesting (a profiler poll contains one child span per
+// backend query) plus a fixed-capacity ring buffer of instantaneous
+// events (tsdb inserts, dropped samples).  Timestamps come from a clock
+// callback — normally `[&engine] { return engine.now(); }` — so the
+// timeline is in virtual time and deterministic across runs.
+//
+// The Tracer is single-threaded by design, matching the discrete-event
+// engine that drives it; the thread-safe half of obs is the metrics
+// registry.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace envmon::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;      // 1-based; 0 means "no span"
+  std::uint64_t parent = 0;  // 0 for roots
+  int depth = 0;             // nesting level at creation (roots are 0)
+  std::string name;
+  std::string detail;
+  sim::SimTime start;
+  sim::SimTime end;
+  bool open = false;  // still active when snapshotted
+
+  [[nodiscard]] sim::Duration duration() const { return end - start; }
+};
+
+struct TraceEvent {
+  sim::SimTime t;
+  std::string name;
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::function<sim::SimTime()> clock, std::size_t event_capacity = 1024,
+                  std::size_t max_spans = 8192);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // RAII handle: the span ends when the handle does (or at an explicit
+  // end()).  Handles from a full tracer are inert no-ops.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+      other.tracer_ = nullptr;
+      other.id_ = 0;
+    }
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    void end();
+    [[nodiscard]] std::uint64_t id() const { return id_; }
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::uint64_t id) : tracer_(tracer), id_(id) {}
+    Tracer* tracer_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  // Opens a span nested under the innermost still-open span.
+  [[nodiscard]] Span span(std::string name, std::string detail = "");
+
+  // Instantaneous event at the clock's current time / a caller-supplied
+  // time (for components fed timestamps rather than a clock).
+  void event(std::string name, std::string detail = "");
+  void event_at(sim::SimTime t, std::string name, std::string detail = "");
+
+  // All spans in start order (open ones flagged), the surviving window
+  // of the event ring (oldest first), and what fell off either end.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_events_; }
+  [[nodiscard]] std::uint64_t dropped_spans() const { return dropped_spans_; }
+
+  // Human-readable timeline, spans indented by depth, events interleaved
+  // by timestamp.
+  [[nodiscard]] std::string format_timeline() const;
+
+ private:
+  void end_span(std::uint64_t id);
+
+  std::function<sim::SimTime()> clock_;
+  std::size_t event_capacity_;
+  std::size_t max_spans_;
+
+  std::vector<SpanRecord> records_;    // index = id - 1
+  std::vector<std::uint64_t> stack_;   // open span ids, innermost last
+  std::vector<TraceEvent> ring_;
+  std::size_t ring_next_ = 0;          // insertion point once the ring is full
+  std::uint64_t dropped_events_ = 0;
+  std::uint64_t dropped_spans_ = 0;
+};
+
+}  // namespace envmon::obs

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace envmon::sim {
 
 void TimerHandle::cancel() {
@@ -11,12 +13,33 @@ void TimerHandle::cancel() {
 
 bool TimerHandle::active() const { return cancelled_ && !*cancelled_; }
 
+Engine::Engine() {
+  if (obs::enabled()) {
+    auto& registry = obs::default_registry();
+    events_metric_ = &registry.counter("envmon_sim_events_total",
+                                       "Events dispatched by the discrete-event engine");
+    queue_depth_metric_ =
+        &registry.gauge("envmon_sim_queue_depth", "Pending events in the engine queue");
+  }
+}
+
+void Engine::push_event(Event ev) {
+  queue_.push(std::move(ev));
+  note_queue_depth();
+}
+
+void Engine::note_queue_depth() {
+  if (queue_depth_metric_ != nullptr) {
+    queue_depth_metric_->set(static_cast<double>(queue_.size()));
+  }
+}
+
 TimerHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
   if (when < now_) {
     throw std::logic_error("Engine::schedule_at: event scheduled in the past");
   }
   auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  push_event(Event{when, next_seq_++, std::move(fn), cancelled});
   return TimerHandle{std::move(cancelled)};
 }
 
@@ -29,27 +52,33 @@ TimerHandle Engine::schedule_periodic(Duration interval, std::function<void()> f
     throw std::invalid_argument("Engine::schedule_periodic: interval must be positive");
   }
   auto cancelled = std::make_shared<bool>(false);
-  // The repeating closure reschedules itself while not cancelled.
+  // The repeating closure reschedules itself while not cancelled.  It
+  // holds only a weak self-reference — the queued events own the strong
+  // ones — so the closure is freed once no rescheduling event remains.
   auto repeat = std::make_shared<std::function<void(SimTime)>>();
-  *repeat = [this, interval, fn = std::move(fn), cancelled, repeat](SimTime fire_at) {
+  std::weak_ptr<std::function<void(SimTime)>> weak_repeat = repeat;
+  *repeat = [this, interval, fn = std::move(fn), cancelled, weak_repeat](SimTime fire_at) {
     if (*cancelled) return;
     fn();
     if (*cancelled) return;  // fn may cancel its own timer
     const SimTime next = fire_at + interval;
-    auto chain = Event{next, next_seq_++, [repeat, next] { (*repeat)(next); }, cancelled};
-    queue_.push(std::move(chain));
+    auto self = weak_repeat.lock();  // the running event keeps us alive
+    auto chain = Event{next, next_seq_++, [self, next] { (*self)(next); }, cancelled};
+    push_event(std::move(chain));
   };
   const SimTime first = now_ + interval;
-  queue_.push(Event{first, next_seq_++, [repeat, first] { (*repeat)(first); }, cancelled});
+  push_event(Event{first, next_seq_++, [repeat, first] { (*repeat)(first); }, cancelled});
   return TimerHandle{std::move(cancelled)};
 }
 
 void Engine::pop_and_run() {
   Event ev = queue_.top();
   queue_.pop();
+  note_queue_depth();
   now_ = ev.when;
   if (ev.cancelled && *ev.cancelled) return;
   ++events_executed_;
+  if (events_metric_ != nullptr) events_metric_->inc();
   ev.fn();
 }
 

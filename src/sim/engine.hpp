@@ -13,7 +13,13 @@
 #include <queue>
 #include <vector>
 
+#include "common/log.hpp"
 #include "sim/time.hpp"
+
+namespace envmon::obs {
+class Counter;
+class Gauge;
+}  // namespace envmon::obs
 
 namespace envmon::sim {
 
@@ -34,7 +40,9 @@ class TimerHandle {
 
 class Engine {
  public:
-  Engine() = default;
+  // Registers the engine's self-observability series (events dispatched,
+  // queue depth) on obs::default_registry() unless obs is disabled.
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -77,11 +85,29 @@ class Engine {
   };
 
   void pop_and_run();
+  void push_event(Event ev);
+  void note_queue_depth();
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+
+  // Metric handles; null when obs was disabled at construction.
+  obs::Counter* events_metric_ = nullptr;
+  obs::Gauge* queue_depth_metric_ = nullptr;
+};
+
+// Installs the engine as the logger's virtual-time source for the
+// current scope, so ENVMON_LOG lines carry `t=<sim seconds>` stamps.
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(const Engine& engine) {
+    set_log_time_source([&engine] { return engine.now().to_seconds(); });
+  }
+  ~ScopedLogClock() { set_log_time_source(nullptr); }
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
 };
 
 }  // namespace envmon::sim

@@ -16,6 +16,17 @@ bool matches(const Record& r, const QueryFilter& f) {
 
 }  // namespace
 
+EnvDatabase::EnvDatabase(DatabaseOptions options) : options_(options) {
+  if (obs::enabled()) {
+    auto& registry = obs::default_registry();
+    inserts_metric_ = &registry.counter("envmon_tsdb_inserts_total",
+                                        "Records accepted by the environmental database");
+    rejected_metric_ = &registry.counter(
+        "envmon_tsdb_rejected_inserts_total",
+        "Inserts rejected (ingest rate ceiling or out-of-order timestamps)");
+  }
+}
+
 bool EnvDatabase::over_ingest_rate(sim::SimTime now) const {
   if (options_.max_insert_rate_per_second <= 0.0) return false;
   const sim::SimTime window_start = now - options_.rate_window;
@@ -30,15 +41,21 @@ bool EnvDatabase::over_ingest_rate(sim::SimTime now) const {
 
 Status EnvDatabase::insert(const Record& record) {
   if (!records_.empty() && record.timestamp < records_.back().timestamp) {
+    if (rejected_metric_ != nullptr) rejected_metric_->inc();
     return Status(StatusCode::kInvalidArgument,
                   "out-of-order insert at " + std::to_string(record.timestamp.to_seconds()) + " s");
   }
   if (over_ingest_rate(record.timestamp)) {
     ++rejected_;
+    if (rejected_metric_ != nullptr) rejected_metric_->inc();
     return Status(StatusCode::kResourceExhausted,
                   "environmental database ingest rate ceiling exceeded");
   }
   records_.push_back(record);
+  if (inserts_metric_ != nullptr) inserts_metric_->inc();
+  if (tracer_ != nullptr) {
+    tracer_->event_at(record.timestamp, "tsdb.insert", record.metric);
+  }
   if (options_.retention) vacuum();
   return Status::ok();
 }

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/time.hpp"
 #include "tsdb/location.hpp"
 
@@ -49,7 +51,13 @@ struct DatabaseOptions {
 
 class EnvDatabase {
  public:
-  explicit EnvDatabase(DatabaseOptions options = {}) : options_(options) {}
+  // Registers insert/reject counters on obs::default_registry() unless
+  // obs is disabled.
+  explicit EnvDatabase(DatabaseOptions options = {});
+
+  // When attached, every accepted insert lands on the tracer's event
+  // ring (at the record's own timestamp — the db has no clock).
+  void attach_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // Inserts one record.  Fails with kResourceExhausted when the ingest
   // rate ceiling is exceeded.
@@ -79,6 +87,9 @@ class EnvDatabase {
   DatabaseOptions options_;
   std::vector<Record> records_;  // append-only, timestamp-ordered
   std::size_t rejected_ = 0;
+  obs::Counter* inserts_metric_ = nullptr;
+  obs::Counter* rejected_metric_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace envmon::tsdb

@@ -4,17 +4,34 @@
 
 #include "common/csv.hpp"
 #include "common/strings.hpp"
+#include "obs/metrics.hpp"
 
 namespace envmon::tsdb {
+
+namespace {
+
+// Export/import are cold paths, so re-resolving the counter per call
+// (one registry mutex hop) is fine.
+void count_rows(const char* name, const char* help, std::size_t n) {
+  if (n > 0 && obs::enabled()) {
+    obs::default_registry().counter(name, help).inc(static_cast<std::uint64_t>(n));
+  }
+}
+
+}  // namespace
 
 std::string export_csv(const EnvDatabase& db, const QueryFilter& filter) {
   std::ostringstream os;
   CsvWriter csv(os);
   csv.row("timestamp_s", "location", "metric", "value");
+  std::size_t rows = 0;
   for (const auto& record : db.query(filter)) {
     csv.row(format_double(record.timestamp.to_seconds(), 6), record.location.to_string(),
             record.metric, format_double(record.value, 6));
+    ++rows;
   }
+  count_rows("envmon_tsdb_export_rows_total",
+             "Records rendered by environmental database CSV exports", rows);
   return os.str();
 }
 
@@ -43,6 +60,8 @@ Result<std::size_t> import_csv(std::string_view text, EnvDatabase& db) {
     if (!s.is_ok()) return s;
     ++inserted;
   }
+  count_rows("envmon_tsdb_import_rows_total",
+             "Records inserted from environmental database CSV imports", inserted);
   return inserted;
 }
 

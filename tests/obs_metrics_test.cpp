@@ -1,0 +1,189 @@
+// The metrics registry: lock-free observation under contention, bucket
+// boundary (`le`) semantics, idempotent registration, and golden tests
+// for both exporter formats.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace envmon::obs {
+namespace {
+
+TEST(ObsCounter, ConcurrentIncrementsFromMultipleThreads) {
+  Registry registry;
+  Counter& counter = registry.counter("test_total", "test");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(ObsHistogram, ConcurrentObservesKeepCountAndSumConsistent) {
+  Registry registry;
+  Histogram& h = registry.histogram("test_ms", "test", {1.0, 10.0});
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObservations; ++i) h.observe(2.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto n = static_cast<std::uint64_t>(kThreads) * kObservations;
+  EXPECT_EQ(h.count(), n);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0 * static_cast<double>(n));
+  EXPECT_EQ(h.bucket_count(1), n);  // all land in (1, 10]
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(ObsGauge, SetMaxActsAsHighWaterMark) {
+  Gauge g;
+  g.set_max(3.0);
+  g.set_max(7.0);
+  g.set_max(5.0);  // below the mark: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.set(1.0);  // plain set still overrides
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(ObsHistogram, BucketBoundariesUseLeSemantics) {
+  Registry registry;
+  Histogram& h = registry.histogram("test_ms", "test", {1.0, 2.0, 4.0});
+  h.observe(0.5);  // <= 1
+  h.observe(1.0);  // <= 1 (boundary value belongs to its own bucket)
+  h.observe(1.5);  // <= 2
+  h.observe(2.0);  // <= 2
+  h.observe(4.0);  // <= 4
+  h.observe(9.0);  // +Inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(ObsHistogram, ExponentialBounds) {
+  const auto bounds = Histogram::exponential_bounds(0.5, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.5);
+  EXPECT_DOUBLE_EQ(bounds[3], 4.0);
+}
+
+TEST(ObsHistogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsRegistry, RegistrationIsIdempotentPerNameAndLabels) {
+  Registry registry;
+  Counter& a = registry.counter("requests_total", "help", "backend=\"rapl\"");
+  Counter& b = registry.counter("requests_total", "other help", "backend=\"rapl\"");
+  Counter& c = registry.counter("requests_total", "help", "backend=\"nvml\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(2);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsRegistry, ResetValuesZeroesButKeepsHandles) {
+  Registry registry;
+  Counter& counter = registry.counter("n_total", "n");
+  Histogram& h = registry.histogram("h_ms", "h", {1.0});
+  counter.inc(5);
+  h.observe(0.5);
+  registry.reset_values();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  counter.inc();  // the handle is still live
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  Registry registry;
+  registry.counter("test_requests_total", "Requests issued", "backend=\"rapl\"").inc(3);
+  registry.gauge("test_depth", "Queue depth").set(2.5);
+  Histogram& h = registry.histogram("test_latency_ms", "Latency", {1.0, 5.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(10.0);
+
+  const std::string expected =
+      "# HELP test_requests_total Requests issued\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total{backend=\"rapl\"} 3\n"
+      "# HELP test_depth Queue depth\n"
+      "# TYPE test_depth gauge\n"
+      "test_depth 2.5\n"
+      "# HELP test_latency_ms Latency\n"
+      "# TYPE test_latency_ms histogram\n"
+      "test_latency_ms_bucket{le=\"1\"} 1\n"
+      "test_latency_ms_bucket{le=\"5\"} 2\n"
+      "test_latency_ms_bucket{le=\"+Inf\"} 3\n"
+      "test_latency_ms_sum 13.5\n"
+      "test_latency_ms_count 3\n";
+  EXPECT_EQ(export_prometheus(registry), expected);
+}
+
+TEST(ObsExport, PrometheusEmitsOneHeaderPerLabeledFamily) {
+  Registry registry;
+  registry.counter("multi_total", "Multi", "backend=\"a\"").inc(1);
+  registry.counter("multi_total", "Multi", "backend=\"b\"").inc(2);
+  const std::string out = export_prometheus(registry);
+  // One HELP/TYPE pair, two series.
+  EXPECT_EQ(out,
+            "# HELP multi_total Multi\n"
+            "# TYPE multi_total counter\n"
+            "multi_total{backend=\"a\"} 1\n"
+            "multi_total{backend=\"b\"} 2\n");
+}
+
+TEST(ObsExport, JsonGolden) {
+  Registry registry;
+  registry.counter("test_requests_total", "Requests issued", "backend=\"rapl\"").inc(3);
+  registry.gauge("test_depth", "Queue depth").set(2.5);
+  Histogram& h = registry.histogram("test_latency_ms", "Latency", {1.0, 5.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(10.0);
+
+  const std::string expected =
+      R"({"counters":[{"name":"test_requests_total","labels":"backend=\"rapl\"","value":3}],)"
+      R"("gauges":[{"name":"test_depth","labels":"","value":2.5}],)"
+      R"("histograms":[{"name":"test_latency_ms","labels":"","buckets":[)"
+      R"({"le":"1","count":1},{"le":"5","count":1},{"le":"+Inf","count":1}],)"
+      R"("count":3,"sum":13.5,"mean":4.5}]})";
+  EXPECT_EQ(export_json(registry), expected);
+}
+
+TEST(ObsExport, EmptyRegistry) {
+  Registry registry;
+  EXPECT_EQ(export_prometheus(registry), "");
+  EXPECT_EQ(export_json(registry), R"({"counters":[],"gauges":[],"histograms":[]})");
+}
+
+TEST(ObsEnabled, ToggleRoundTrips) {
+  ASSERT_TRUE(enabled());  // the build-wide default
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+}
+
+}  // namespace
+}  // namespace envmon::obs

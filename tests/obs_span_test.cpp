@@ -1,0 +1,166 @@
+// Spans and events on the virtual clock: parent/child nesting, ordering
+// under the discrete-event engine, the event ring buffer, and capacity
+// behaviour.
+
+#include <gtest/gtest.h>
+
+#include "obs/span.hpp"
+#include "sim/engine.hpp"
+
+namespace envmon::obs {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+Tracer engine_tracer(sim::Engine& engine, std::size_t event_capacity = 1024,
+                     std::size_t max_spans = 8192) {
+  return Tracer([&engine] { return engine.now(); }, event_capacity, max_spans);
+}
+
+TEST(ObsSpan, NestingRecordsParentChildAndDepth) {
+  sim::Engine engine;
+  Tracer tracer = engine_tracer(engine);
+  {
+    auto outer = tracer.span("outer");
+    engine.advance(Duration::seconds(1));
+    {
+      auto inner = tracer.span("inner", "detail");
+      engine.advance(Duration::seconds(2));
+    }
+    engine.advance(Duration::seconds(1));
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& outer = spans[0];
+  const SpanRecord& inner = spans[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(outer.start, SimTime::zero());
+  EXPECT_EQ(outer.end, SimTime::from_seconds(4.0));
+  EXPECT_FALSE(outer.open);
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.detail, "detail");
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.start, SimTime::from_seconds(1.0));
+  EXPECT_EQ(inner.end, SimTime::from_seconds(3.0));
+  EXPECT_EQ(inner.duration(), Duration::seconds(2));
+}
+
+TEST(ObsSpan, OrderingFollowsTheVirtualClock) {
+  sim::Engine engine;
+  Tracer tracer = engine_tracer(engine);
+  // Spans opened inside scheduled events start at those events' times,
+  // in dispatch order, regardless of scheduling order.
+  engine.schedule_at(SimTime::from_seconds(5.0), [&] {
+    auto s = tracer.span("late");
+  });
+  engine.schedule_at(SimTime::from_seconds(2.0), [&] {
+    auto s = tracer.span("early");
+  });
+  engine.run();
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "early");
+  EXPECT_EQ(spans[0].start, SimTime::from_seconds(2.0));
+  EXPECT_EQ(spans[1].name, "late");
+  EXPECT_EQ(spans[1].start, SimTime::from_seconds(5.0));
+  EXPECT_LT(spans[0].start, spans[1].start);
+}
+
+TEST(ObsSpan, OpenSpansReportProgressSoFar) {
+  sim::Engine engine;
+  Tracer tracer = engine_tracer(engine);
+  auto s = tracer.span("still_running");
+  engine.advance(Duration::seconds(3));
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].open);
+  EXPECT_EQ(spans[0].end, SimTime::from_seconds(3.0));
+}
+
+TEST(ObsSpan, MovedHandleEndsExactlyOnce) {
+  sim::Engine engine;
+  Tracer tracer = engine_tracer(engine);
+  {
+    auto a = tracer.span("moved");
+    Tracer::Span b = std::move(a);
+    engine.advance(Duration::seconds(1));
+    // both handles die here; the span must end once, at t=1
+  }
+  engine.advance(Duration::seconds(1));
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].open);
+  EXPECT_EQ(spans[0].end, SimTime::from_seconds(1.0));
+}
+
+TEST(ObsSpan, SpanCapacityDropsExcessSpans) {
+  sim::Engine engine;
+  Tracer tracer = engine_tracer(engine, 16, 2);
+  auto a = tracer.span("a");
+  auto b = tracer.span("b");
+  auto c = tracer.span("c");  // beyond capacity: inert
+  EXPECT_EQ(c.id(), 0u);
+  c.end();  // must be harmless
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+}
+
+TEST(ObsEvents, RingBufferKeepsNewestAndCountsDropped) {
+  sim::Engine engine;
+  Tracer tracer = engine_tracer(engine, 3);
+  for (int i = 0; i < 5; ++i) {
+    engine.advance(Duration::seconds(1));
+    tracer.event("e" + std::to_string(i));
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[1].name, "e3");
+  EXPECT_EQ(events[2].name, "e4");
+  EXPECT_LT(events[0].t, events[2].t);  // oldest-first
+  EXPECT_EQ(tracer.dropped_events(), 2u);
+}
+
+TEST(ObsEvents, EventAtUsesCallerTimestamp) {
+  sim::Engine engine;
+  Tracer tracer = engine_tracer(engine);
+  tracer.event_at(SimTime::from_seconds(42.0), "backfilled", "detail");
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].t, SimTime::from_seconds(42.0));
+  EXPECT_EQ(events[0].detail, "detail");
+}
+
+TEST(ObsTimeline, FormatInterleavesSpansAndEventsChronologically) {
+  sim::Engine engine;
+  Tracer tracer = engine_tracer(engine);
+  {
+    auto outer = tracer.span("outer");
+    engine.advance(Duration::seconds(1));
+    tracer.event("tick");
+    {
+      auto inner = tracer.span("inner", "rapl");
+      engine.advance(Duration::seconds(1));
+    }
+  }
+  const std::string timeline = tracer.format_timeline();
+  const auto outer_pos = timeline.find("outer");
+  const auto tick_pos = timeline.find("! tick");
+  const auto inner_pos = timeline.find("inner (rapl)");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(tick_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  EXPECT_LT(outer_pos, inner_pos);
+  EXPECT_LT(inner_pos, tick_pos);  // t=1 ties list spans before events
+}
+
+TEST(ObsTracer, RequiresAClock) {
+  EXPECT_THROW(Tracer(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace envmon::obs
