@@ -44,24 +44,32 @@ void EnvMonitor::stop() { timer_.cancel(); }
 
 void EnvMonitor::poll_once() {
   const sim::SimTime now = engine_->now();
+  // One poll = one database batch: the control system gathers the whole
+  // sensor sweep, then hands it to DB2 in one ingest (rejects, e.g. at
+  // the rate ceiling, drop individual records exactly like per-record
+  // inserts did).
+  std::vector<tsdb::Record> batch;
+  const auto racks = static_cast<std::size_t>(machine_->topology().racks);
+  batch.reserve(racks * 6 +
+                (options_.record_board_voltages ? machine_->board_count() * kDomainCount : 0));
   for (int r = 0; r < machine_->topology().racks; ++r) {
     const auto ri = static_cast<std::size_t>(r);
     const tsdb::Location rack_loc = tsdb::rack_location(r);
     const Watts true_input = machine_->bpm_input_power(r, now);
     const double measured = power_sensors_[ri].sample(now, true_input.value());
 
-    (void)db_->insert({now, rack_loc, kMetricBpmInputPower, measured});
-    (void)db_->insert({now, rack_loc, kMetricBpmInputCurrent, measured / 480.0});
-    (void)db_->insert(
+    batch.push_back({now, rack_loc, kMetricBpmInputPower, measured});
+    batch.push_back({now, rack_loc, kMetricBpmInputCurrent, measured / 480.0});
+    batch.push_back(
         {now, rack_loc, kMetricBpmOutputPower, machine_->bpm_output_power(r, now).value()});
 
     const Celsius coolant = coolant_[ri].step(now, true_input);
-    (void)db_->insert({now, rack_loc, kMetricCoolantTempC, coolant.value()});
+    batch.push_back({now, rack_loc, kMetricCoolantTempC, coolant.value()});
     // Flow tracks pump speed, which the control system raises with load.
     const double flow_lpm = 95.0 + 0.0006 * true_input.value();
-    (void)db_->insert({now, rack_loc, kMetricCoolantFlowLpm, flow_lpm});
+    batch.push_back({now, rack_loc, kMetricCoolantFlowLpm, flow_lpm});
     const double fan_rpm = 2400.0 + 0.05 * true_input.value() + rng_.normal(0.0, 15.0);
-    (void)db_->insert({now, rack_loc, kMetricFanSpeedRpm, fan_rpm});
+    batch.push_back({now, rack_loc, kMetricFanSpeedRpm, fan_rpm});
   }
 
   if (options_.record_board_voltages) {
@@ -70,12 +78,13 @@ void EnvMonitor::poll_once() {
       const tsdb::Location loc =
           tsdb::board_location(board.rack(), board.midplane(), board.board());
       for (const Domain d : kAllDomains) {
-        (void)db_->insert({now, loc, std::string(kMetricDomainVoltage) + "." +
-                                         std::string(to_string(d)),
-                           board.domain_voltage(d).value()});
+        batch.push_back({now, loc,
+                         std::string(kMetricDomainVoltage) + "." + std::string(to_string(d)),
+                         board.domain_voltage(d).value()});
       }
     }
   }
+  (void)db_->insert_batch(batch);
   ++polls_;
 }
 

@@ -47,4 +47,23 @@ std::string node_file_name(int rank) {
   return buf;
 }
 
+tsdb::Location node_location(int rank) {
+  const int card = rank % 32;
+  const int board = (rank / 32) % 16;
+  const int midplane = (rank / (32 * 16)) % 2;
+  const int rack = rank / (32 * 16 * 2);
+  return tsdb::card_location(rack, midplane, board, card);
+}
+
+tsdb::EnvDatabase::BatchResult store_node_samples(tsdb::EnvDatabase& db, int rank,
+                                                  std::span<const Sample> samples) {
+  const tsdb::Location loc = node_location(rank);
+  std::vector<tsdb::Record> batch;
+  batch.reserve(samples.size());
+  for (const Sample& s : samples) {
+    batch.push_back({s.t, loc, "moneq_" + s.domain, s.value});
+  }
+  return db.insert_batch(batch);
+}
+
 }  // namespace envmon::moneq

@@ -13,6 +13,7 @@
 
 #include "common/status.hpp"
 #include "moneq/sample.hpp"
+#include "tsdb/database.hpp"
 
 namespace envmon::moneq {
 
@@ -51,5 +52,17 @@ class DiskOutput final : public OutputTarget {
 
 // Conventional file name for a rank's output.
 [[nodiscard]] std::string node_file_name(int rank);
+
+// The node's physical location under the BG/Q addressing scheme: ranks
+// fill compute cards in order (32 cards per node board, 16 boards per
+// midplane, 2 midplanes per rack).
+[[nodiscard]] tsdb::Location node_location(int rank);
+
+// Stores a node's sample stream into the environmental database through
+// the batch-ingest path, one record per sample at the node's location,
+// metrics named "moneq_<domain>".  Mirrors render_node_file, but lands
+// the data where the fleet-scale queries are instead of in a CSV.
+tsdb::EnvDatabase::BatchResult store_node_samples(tsdb::EnvDatabase& db, int rank,
+                                                  std::span<const Sample> samples);
 
 }  // namespace envmon::moneq

@@ -78,4 +78,15 @@ Result<std::map<UnifiedMetric, double>> UnifiedSampler::sample(sim::SimTime now,
   return out;
 }
 
+tsdb::EnvDatabase::BatchResult record_unified(tsdb::EnvDatabase& db,
+                                              const tsdb::Location& device, sim::SimTime t,
+                                              const std::map<UnifiedMetric, double>& snapshot) {
+  std::vector<tsdb::Record> batch;
+  batch.reserve(snapshot.size());
+  for (const auto& [metric, value] : snapshot) {
+    batch.push_back({t, device, to_string(metric), value});
+  }
+  return db.insert_batch(batch);
+}
+
 }  // namespace envmon::moneq

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "moneq/backend.hpp"
+#include "tsdb/database.hpp"
 
 namespace envmon::moneq {
 
@@ -55,5 +56,13 @@ class UnifiedSampler {
  private:
   Backend* backend_;
 };
+
+// Lands one unified snapshot in the environmental database through the
+// batch-ingest path: one record per metric at the device's location,
+// named by to_string(UnifiedMetric).  This is how cross-platform
+// comparisons become fleet-scale queries instead of per-run maps.
+tsdb::EnvDatabase::BatchResult record_unified(tsdb::EnvDatabase& db,
+                                              const tsdb::Location& device, sim::SimTime t,
+                                              const std::map<UnifiedMetric, double>& snapshot);
 
 }  // namespace envmon::moneq

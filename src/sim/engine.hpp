@@ -26,6 +26,18 @@ namespace envmon::sim {
 class Engine;
 
 // Cancellable handle for a scheduled or periodic event.
+//
+// Cancellation is deferred, not immediate: cancel() marks the event, but
+// the event stays in the queue and is discarded when its timestamp is
+// reached — the clock still advances to that time, and the discarded
+// event counts as neither executed nor dispatched (events_executed() is
+// unaffected).  Cancelling a periodic timer also stops all future
+// repetitions.  cancel() is idempotent and safe to call after the engine
+// has drained or been destroyed.
+//
+// active() reports "not yet cancelled", not "still scheduled": it stays
+// true after a one-shot event has fired, and is false only for
+// default-constructed or cancelled handles.
 class TimerHandle {
  public:
   TimerHandle() = default;
@@ -63,8 +75,8 @@ class Engine {
   // Runs until the queue drains completely.
   void run();
 
-  // Advances the clock with no event processing in between being skipped:
-  // equivalent to run_until(now + d).
+  // Advances the clock by `d`, dispatching every event that falls inside
+  // the window along the way.  Equivalent to run_until(now() + d).
   void advance(Duration d) { run_until(now_ + d); }
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }

@@ -1,17 +1,23 @@
 #include "tsdb/database.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <tuple>
 
 namespace envmon::tsdb {
 
 namespace {
 
-bool matches(const Record& r, const QueryFilter& f) {
-  if (f.location_prefix && !f.location_prefix->contains(r.location)) return false;
-  if (f.metric && r.metric != *f.metric) return false;
-  if (f.from && r.timestamp < *f.from) return false;
-  if (f.to && r.timestamp > *f.to) return false;
-  return true;
+// Bucket index with floor semantics: integer `/` truncates toward zero,
+// which would mis-bucket pre-epoch (negative) timestamps to the right.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  const std::int64_t q = a / b;
+  return (a % b != 0 && (a < 0) != (b < 0)) ? q - 1 : q;
+}
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -24,26 +30,64 @@ EnvDatabase::EnvDatabase(DatabaseOptions options) : options_(options) {
     rejected_metric_ = &registry.counter(
         "envmon_tsdb_rejected_inserts_total",
         "Inserts rejected (ingest rate ceiling or out-of-order timestamps)");
+    cache_hits_metric_ =
+        &registry.counter("envmon_tsdb_downsample_cache_hits_total",
+                          "Downsample queries served from the LRU result cache");
+    cache_misses_metric_ =
+        &registry.counter("envmon_tsdb_downsample_cache_misses_total",
+                          "Downsample queries that touched the storage engine");
+    query_latency_metric_ =
+        &registry.histogram("envmon_tsdb_query_latency_ms",
+                            "Wall-clock latency of environmental database queries",
+                            obs::Histogram::latency_bounds_ms());
+    rows_scanned_metric_ = &registry.histogram(
+        "envmon_tsdb_query_rows_scanned",
+        "Rows touched per query after index and time-range narrowing",
+        obs::Histogram::exponential_bounds(1.0, 4.0, 12));
+    series_gauge_ = &registry.gauge(
+        "envmon_tsdb_series", "Live (location, metric) series in the environmental database");
   }
 }
 
-bool EnvDatabase::over_ingest_rate(sim::SimTime now) const {
+bool EnvDatabase::over_ingest_rate(sim::SimTime now) {
   if (options_.max_insert_rate_per_second <= 0.0) return false;
-  const sim::SimTime window_start = now - options_.rate_window;
-  // records_ is timestamp-ordered, so binary search for the window start.
-  const auto it = std::lower_bound(
-      records_.begin(), records_.end(), window_start,
-      [](const Record& r, sim::SimTime t) { return r.timestamp < t; });
-  const auto in_window = static_cast<double>(std::distance(it, records_.end()));
+  const std::int64_t window_start = (now - options_.rate_window).ns();
+  // Accepted timestamps only move forward, so trimming the front is O(1)
+  // amortized — the flat store binary-searched all live records instead.
+  while (!rate_window_.empty() && rate_window_.front() < window_start) {
+    rate_window_.pop_front();
+  }
   const double window_seconds = options_.rate_window.to_seconds();
-  return in_window >= options_.max_insert_rate_per_second * window_seconds;
+  return static_cast<double>(rate_window_.size()) >=
+         options_.max_insert_rate_per_second * window_seconds;
+}
+
+void EnvDatabase::append_row(const Record& record, MetricId metric) {
+  std::uint32_t& sid = index_.slot(record.location, metric);
+  if (sid == ShardIndex::kNoSeries) {
+    sid = static_cast<std::uint32_t>(series_.size());
+    series_.emplace_back(record.location, metric);
+    if (series_gauge_ != nullptr) series_gauge_->set(static_cast<double>(series_.size()));
+  }
+  const std::int64_t ts = record.timestamp.ns();
+  series_[sid].append(ts, record.value, next_seq_++);
+  if (options_.max_insert_rate_per_second > 0.0) rate_window_.push_back(ts);
+  if (!any_accepted_) oldest_ts_ns_ = ts;
+  any_accepted_ = true;
+  last_ts_ns_ = ts;
+  ++total_rows_;
+  ++generation_;
+  if (tracer_ != nullptr) {
+    tracer_->event_at(record.timestamp, "tsdb.insert", record.metric);
+  }
 }
 
 Status EnvDatabase::insert(const Record& record) {
-  if (!records_.empty() && record.timestamp < records_.back().timestamp) {
+  if (any_accepted_ && record.timestamp.ns() < last_ts_ns_) {
+    ++rejected_;
     if (rejected_metric_ != nullptr) rejected_metric_->inc();
-    return Status(StatusCode::kInvalidArgument,
-                  "out-of-order insert at " + std::to_string(record.timestamp.to_seconds()) + " s");
+    // Static message: the hot reject path must not format the timestamp.
+    return Status(StatusCode::kInvalidArgument, "out-of-order insert");
   }
   if (over_ingest_rate(record.timestamp)) {
     ++rejected_;
@@ -51,20 +95,106 @@ Status EnvDatabase::insert(const Record& record) {
     return Status(StatusCode::kResourceExhausted,
                   "environmental database ingest rate ceiling exceeded");
   }
-  records_.push_back(record);
+  append_row(record, metrics_.intern(record.metric));
   if (inserts_metric_ != nullptr) inserts_metric_->inc();
-  if (tracer_ != nullptr) {
-    tracer_->event_at(record.timestamp, "tsdb.insert", record.metric);
-  }
   if (options_.retention) vacuum();
   return Status::ok();
 }
 
-std::vector<Record> EnvDatabase::query(const QueryFilter& filter) const {
-  std::vector<Record> out;
-  for (const auto& r : records_) {
-    if (matches(r, filter)) out.push_back(r);
+EnvDatabase::BatchResult EnvDatabase::insert_batch(std::span<const Record> records) {
+  BatchResult result;
+  // Memoized metric lookup: a homogeneous batch interns once, a batch
+  // cycling through a few metrics pays one hash probe per switch.
+  const std::string* memo_name = nullptr;
+  MetricId memo_id = 0;
+  for (const Record& record : records) {
+    if (any_accepted_ && record.timestamp.ns() < last_ts_ns_) {
+      ++result.rejected_out_of_order;
+      continue;
+    }
+    if (over_ingest_rate(record.timestamp)) {
+      ++result.rejected_rate_limited;
+      continue;
+    }
+    if (memo_name == nullptr || *memo_name != record.metric) {
+      memo_id = metrics_.intern(record.metric);
+      memo_name = &record.metric;
+    }
+    append_row(record, memo_id);
+    ++result.accepted;
   }
+  rejected_ += result.rejected();
+  if (inserts_metric_ != nullptr && result.accepted > 0) {
+    inserts_metric_->inc(result.accepted);
+  }
+  if (rejected_metric_ != nullptr && result.rejected() > 0) {
+    rejected_metric_->inc(result.rejected());
+  }
+  // Retention runs once per batch, not once per record; the end state is
+  // the same because the cutoff depends only on the newest record.
+  if (options_.retention && result.accepted > 0) vacuum();
+  return result;
+}
+
+void EnvDatabase::collect_rows(
+    const QueryFilter& filter,
+    std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>>& rows) const {
+  std::optional<MetricId> metric;
+  if (filter.metric) {
+    metric = metrics_.find(*filter.metric);
+    if (!metric) return;  // metric never ingested: no candidate series
+  }
+  std::vector<std::uint32_t> sids;
+  index_.collect(filter.location_prefix, metric, sids);
+  stats_.series_touched += sids.size();
+
+  std::optional<std::int64_t> from_ns, to_ns;
+  if (filter.from) from_ns = filter.from->ns();
+  if (filter.to) to_ns = filter.to->ns();
+
+  std::vector<std::pair<std::uint32_t, Series::RowRange>> ranges;
+  ranges.reserve(sids.size());
+  std::size_t total = 0;
+  for (const std::uint32_t sid : sids) {
+    const Series::RowRange r = series_[sid].range(from_ns, to_ns);
+    if (r.size() == 0) continue;
+    ranges.emplace_back(sid, r);
+    total += r.size();
+  }
+  rows.reserve(total);
+  for (const auto& [sid, r] : ranges) {
+    const Series& s = series_[sid];
+    for (std::size_t i = r.first; i < r.last; ++i) {
+      rows.emplace_back(s.seq(i), sid, static_cast<std::uint32_t>(i));
+    }
+  }
+  // Global insertion order == (timestamp, insert order): inserts are
+  // globally timestamp-ordered, so sorting on seq reproduces the flat
+  // store's result ordering exactly.
+  std::sort(rows.begin(), rows.end());
+}
+
+void EnvDatabase::note_query(std::uint64_t rows_scanned, double elapsed_ms) const {
+  ++stats_.queries;
+  stats_.rows_scanned += rows_scanned;
+  if (query_latency_metric_ != nullptr) query_latency_metric_->observe(elapsed_ms);
+  if (rows_scanned_metric_ != nullptr) {
+    rows_scanned_metric_->observe(static_cast<double>(rows_scanned));
+  }
+}
+
+std::vector<Record> EnvDatabase::query(const QueryFilter& filter) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>> rows;
+  collect_rows(filter, rows);
+  std::vector<Record> out;
+  out.reserve(rows.size());
+  for (const auto& [seq, sid, i] : rows) {
+    const Series& s = series_[sid];
+    out.push_back(Record{sim::SimTime::from_ns(s.ts_ns(i)), s.location(),
+                         metrics_.name(s.metric()), s.value(i)});
+  }
+  note_query(rows.size(), elapsed_ms_since(t0));
   return out;
 }
 
@@ -72,27 +202,93 @@ std::vector<EnvDatabase::Bucket> EnvDatabase::downsample(const QueryFilter& filt
                                                          sim::Duration bucket_width) const {
   std::vector<Bucket> buckets;
   if (bucket_width.ns() <= 0) return buckets;
-  for (const auto& r : records_) {
-    if (!matches(r, filter)) continue;
-    const std::int64_t idx = r.timestamp.ns() / bucket_width.ns();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (cache_generation_ != generation_) {
+    downsample_cache_.clear();
+    cache_generation_ = generation_;
+  }
+  DownsampleKey key;
+  bool cacheable = options_.downsample_cache_capacity > 0;
+  if (filter.location_prefix) {
+    const Location& p = *filter.location_prefix;
+    key.prefix = {p.rack, p.midplane, p.board, p.card};
+    key.has_prefix = true;
+  }
+  if (filter.metric) {
+    const auto id = metrics_.find(*filter.metric);
+    if (id) {
+      key.metric = id;
+    } else {
+      cacheable = false;  // unknown metric: empty result, not worth a slot
+    }
+  }
+  if (filter.from) key.from_ns = filter.from->ns();
+  if (filter.to) key.to_ns = filter.to->ns();
+  key.width_ns = bucket_width.ns();
+
+  if (cacheable) {
+    if (const auto it = downsample_cache_.find(key); it != downsample_cache_.end()) {
+      it->second.last_used = ++cache_tick_;
+      ++stats_.cache_hits;
+      if (cache_hits_metric_ != nullptr) cache_hits_metric_->inc();
+      note_query(0, elapsed_ms_since(t0));
+      return it->second.buckets;
+    }
+    ++stats_.cache_misses;
+    if (cache_misses_metric_ != nullptr) cache_misses_metric_->inc();
+  }
+
+  std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>> rows;
+  collect_rows(filter, rows);
+  for (const auto& [seq, sid, i] : rows) {
+    const Series& s = series_[sid];
+    const std::int64_t idx = floor_div(s.ts_ns(i), bucket_width.ns());
     const sim::SimTime start = sim::SimTime::from_ns(idx * bucket_width.ns());
     if (buckets.empty() || buckets.back().start != start) {
       buckets.push_back(Bucket{start, 0.0, 0});
     }
     Bucket& b = buckets.back();
-    b.mean += (r.value - b.mean) / static_cast<double>(b.count + 1);
+    b.mean += (s.value(i) - b.mean) / static_cast<double>(b.count + 1);
     ++b.count;
   }
+
+  if (cacheable) {
+    downsample_cache_[key] = CacheEntry{buckets, ++cache_tick_};
+    while (downsample_cache_.size() > options_.downsample_cache_capacity) {
+      auto victim = downsample_cache_.begin();
+      for (auto it = downsample_cache_.begin(); it != downsample_cache_.end(); ++it) {
+        if (it->second.last_used < victim->second.last_used) victim = it;
+      }
+      downsample_cache_.erase(victim);
+    }
+  }
+  note_query(rows.size(), elapsed_ms_since(t0));
   return buckets;
 }
 
 void EnvDatabase::vacuum() {
-  if (!options_.retention || records_.empty()) return;
-  const sim::SimTime cutoff = records_.back().timestamp - *options_.retention;
-  const auto it = std::lower_bound(
-      records_.begin(), records_.end(), cutoff,
-      [](const Record& r, sim::SimTime t) { return r.timestamp < t; });
-  records_.erase(records_.begin(), it);
+  if (!options_.retention || total_rows_ == 0) return;
+  const std::int64_t cutoff = last_ts_ns_ - options_.retention->ns();
+  if (cutoff <= oldest_ts_ns_) return;  // nothing old enough to drop
+  std::size_t dropped = 0;
+  std::int64_t oldest = last_ts_ns_;
+  for (Series& s : series_) {
+    dropped += s.drop_before(cutoff);
+    if (!s.empty()) oldest = std::min(oldest, s.front_ts_ns());
+  }
+  oldest_ts_ns_ = oldest;
+  if (dropped > 0) {
+    total_rows_ -= dropped;
+    ++generation_;
+  }
+}
+
+std::size_t EnvDatabase::bytes_used() const {
+  std::size_t bytes = metrics_.bytes_used();
+  for (const Series& s : series_) bytes += sizeof(Series) + s.bytes_used();
+  bytes += rate_window_.size() * sizeof(std::int64_t);
+  return bytes;
 }
 
 }  // namespace envmon::tsdb

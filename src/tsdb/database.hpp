@@ -9,10 +9,24 @@
 // The paper's observation that "a shorter polling interval ... would
 // exceed the server's processing capacity" is modeled via an ingest-rate
 // capacity check.
+//
+// Storage engine: records are sharded into per-(location, metric) series
+// (structure-of-arrays columns, see series.hpp) with metric names interned
+// to dense ids (metric_table.hpp) and the shards indexed under a
+// location-prefix tree (shard_index.hpp).  query()/downsample() resolve
+// candidate series through the tree in O(matching series), binary-search
+// each shard's time range, and merge on the global insertion sequence —
+// results are identical to a flat timestamp-ordered scan, without the
+// scan.  Downsample results are memoized in a small LRU cache keyed by
+// (filter, bucket width), invalidated by any mutation.
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +36,9 @@
 #include "obs/span.hpp"
 #include "sim/time.hpp"
 #include "tsdb/location.hpp"
+#include "tsdb/metric_table.hpp"
+#include "tsdb/series.hpp"
+#include "tsdb/shard_index.hpp"
 
 namespace envmon::tsdb {
 
@@ -47,12 +64,14 @@ struct DatabaseOptions {
   sim::Duration rate_window = sim::Duration::seconds(60);
   // Records older than this (relative to the newest record) are dropped.
   std::optional<sim::Duration> retention;
+  // Distinct downsample results memoized between mutations.
+  std::size_t downsample_cache_capacity = 16;
 };
 
 class EnvDatabase {
  public:
-  // Registers insert/reject counters on obs::default_registry() unless
-  // obs is disabled.
+  // Registers insert/reject counters plus query latency / rows-scanned
+  // histograms on obs::default_registry() unless obs is disabled.
   explicit EnvDatabase(DatabaseOptions options = {});
 
   // When attached, every accepted insert lands on the tracer's event
@@ -60,8 +79,24 @@ class EnvDatabase {
   void attach_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // Inserts one record.  Fails with kResourceExhausted when the ingest
-  // rate ceiling is exceeded.
+  // rate ceiling is exceeded, kInvalidArgument when out of order.
   Status insert(const Record& record);
+
+  // Batch ingest: per-record validation with skip-and-continue semantics
+  // (a rejected record is counted and dropped; the rest of the batch
+  // still lands), amortizing the capacity check, metric interning, and
+  // the retention pass (run once, after the batch) across the batch.
+  // This is the path the collection layers use: one call per poll.
+  struct BatchResult {
+    std::size_t accepted = 0;
+    std::size_t rejected_out_of_order = 0;
+    std::size_t rejected_rate_limited = 0;
+    [[nodiscard]] std::size_t rejected() const {
+      return rejected_out_of_order + rejected_rate_limited;
+    }
+    [[nodiscard]] bool all_accepted() const { return rejected() == 0; }
+  };
+  BatchResult insert_batch(std::span<const Record> records);
 
   // Range scan; results ordered by (timestamp, insert order).
   [[nodiscard]] std::vector<Record> query(const QueryFilter& filter) const;
@@ -75,20 +110,83 @@ class EnvDatabase {
   [[nodiscard]] std::vector<Bucket> downsample(const QueryFilter& filter,
                                                sim::Duration bucket_width) const;
 
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::size_t size() const { return total_rows_; }
   [[nodiscard]] std::size_t rejected_inserts() const { return rejected_; }
 
   // Applies retention; normally called internally on insert.
   void vacuum();
 
+  // Engine introspection (benches and tests; cumulative since construction).
+  struct QueryStats {
+    std::uint64_t queries = 0;        // query() + downsample() calls
+    std::uint64_t rows_scanned = 0;   // rows touched after index + time narrowing
+    std::uint64_t series_touched = 0; // candidate series resolved by the index
+    std::uint64_t cache_hits = 0;     // downsample results served from cache
+    std::uint64_t cache_misses = 0;
+  };
+  [[nodiscard]] const QueryStats& query_stats() const { return stats_; }
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+  [[nodiscard]] std::size_t metric_count() const { return metrics_.size(); }
+  // Approximate heap footprint of the store (columns + interned names).
+  [[nodiscard]] std::size_t bytes_used() const;
+
  private:
-  [[nodiscard]] bool over_ingest_rate(sim::SimTime now) const;
+  struct DownsampleKey {
+    std::array<int, 4> prefix{-1, -1, -1, -1};  // rack/midplane/board/card
+    bool has_prefix = false;
+    std::optional<MetricId> metric;
+    std::optional<std::int64_t> from_ns, to_ns;
+    std::int64_t width_ns = 0;
+    friend auto operator<=>(const DownsampleKey&, const DownsampleKey&) = default;
+  };
+  struct CacheEntry {
+    std::vector<Bucket> buckets;
+    std::uint64_t last_used = 0;
+  };
+
+  [[nodiscard]] bool over_ingest_rate(sim::SimTime now);
+  Status insert_one(const Record& record, const std::string** memo_name,
+                    MetricId* memo_id, bool vacuum_now);
+  void append_row(const Record& record, MetricId metric);
+  // Candidate series for a filter; returns rows as (seq, series, row)
+  // sorted by seq, i.e. global insertion order.
+  void collect_rows(const QueryFilter& filter,
+                    std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>>& rows)
+      const;
+  void note_query(std::uint64_t rows_scanned, double elapsed_ms) const;
 
   DatabaseOptions options_;
-  std::vector<Record> records_;  // append-only, timestamp-ordered
+  MetricTable metrics_;
+  std::vector<Series> series_;
+  ShardIndex index_;
+
+  // Accepted-record timestamps inside the rate window, trimmed lazily
+  // from the front (time only moves forward).  Unlike the flat store's
+  // binary search over live records, this is O(1) amortized — and
+  // records dropped by *retention* stay counted until they age out of
+  // the window, so vacuum() cannot retroactively free ingest budget.
+  std::deque<std::int64_t> rate_window_;
+
+  std::size_t total_rows_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool any_accepted_ = false;
+  std::int64_t last_ts_ns_ = 0;    // newest accepted timestamp
+  std::int64_t oldest_ts_ns_ = 0;  // oldest retained timestamp (vacuum early-out)
   std::size_t rejected_ = 0;
+  std::uint64_t generation_ = 0;  // bumped on mutation; invalidates the cache
+
+  mutable QueryStats stats_;
+  mutable std::map<DownsampleKey, CacheEntry> downsample_cache_;
+  mutable std::uint64_t cache_generation_ = 0;
+  mutable std::uint64_t cache_tick_ = 0;
+
   obs::Counter* inserts_metric_ = nullptr;
   obs::Counter* rejected_metric_ = nullptr;
+  obs::Counter* cache_hits_metric_ = nullptr;
+  obs::Counter* cache_misses_metric_ = nullptr;
+  obs::Histogram* query_latency_metric_ = nullptr;
+  obs::Histogram* rows_scanned_metric_ = nullptr;
+  obs::Gauge* series_gauge_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 };
 

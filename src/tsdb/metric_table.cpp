@@ -1,0 +1,27 @@
+#include "tsdb/metric_table.hpp"
+
+namespace envmon::tsdb {
+
+MetricId MetricTable::intern(std::string_view name) {
+  if (const auto it = ids_.find(name); it != ids_.end()) return it->second;
+  const auto id = static_cast<MetricId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<MetricId> MetricTable::find(std::string_view name) const {
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t MetricTable::bytes_used() const {
+  std::size_t bytes = 0;
+  for (const auto& n : names_) bytes += sizeof(std::string) + n.capacity();
+  // The id map roughly doubles the name storage plus one bucket per entry.
+  bytes += ids_.size() * (sizeof(std::string) + sizeof(MetricId) + sizeof(void*));
+  return bytes;
+}
+
+}  // namespace envmon::tsdb

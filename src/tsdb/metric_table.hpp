@@ -1,0 +1,48 @@
+#pragma once
+// Metric-name interning for the environmental database.
+//
+// The flat store paid one heap-allocated std::string per record for the
+// metric name; at fleet scale (millions of records, a few dozen distinct
+// metrics) that is almost all of the per-record footprint.  A MetricTable
+// maps each distinct name to a small dense integer id once, so records
+// carry 4 bytes and name comparisons become integer compares.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace envmon::tsdb {
+
+using MetricId = std::uint32_t;
+
+class MetricTable {
+ public:
+  // Returns the id for `name`, assigning the next dense id on first use.
+  MetricId intern(std::string_view name);
+
+  // Lookup without interning (queries must not create series for
+  // metrics that were never ingested).
+  [[nodiscard]] std::optional<MetricId> find(std::string_view name) const;
+
+  [[nodiscard]] const std::string& name(MetricId id) const { return names_[id]; }
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  // Approximate heap bytes held by the table (for bytes/record accounting).
+  [[nodiscard]] std::size_t bytes_used() const;
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, MetricId, Hash, std::equal_to<>> ids_;
+  std::vector<std::string> names_;  // id -> name
+};
+
+}  // namespace envmon::tsdb

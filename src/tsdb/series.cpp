@@ -1,0 +1,32 @@
+#include "tsdb/series.hpp"
+
+#include <algorithm>
+
+namespace envmon::tsdb {
+
+std::size_t Series::drop_before(std::int64_t cutoff_ns) {
+  const auto it = std::lower_bound(ts_ns_.begin(), ts_ns_.end(), cutoff_ns);
+  const auto n = static_cast<std::size_t>(std::distance(ts_ns_.begin(), it));
+  if (n == 0) return 0;
+  ts_ns_.erase(ts_ns_.begin(), it);
+  values_.erase(values_.begin(), values_.begin() + static_cast<std::ptrdiff_t>(n));
+  seq_.erase(seq_.begin(), seq_.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+Series::RowRange Series::range(std::optional<std::int64_t> from_ns,
+                               std::optional<std::int64_t> to_ns) const {
+  RowRange r{0, ts_ns_.size()};
+  if (from_ns) {
+    r.first = static_cast<std::size_t>(std::distance(
+        ts_ns_.begin(), std::lower_bound(ts_ns_.begin(), ts_ns_.end(), *from_ns)));
+  }
+  if (to_ns) {
+    r.last = static_cast<std::size_t>(std::distance(
+        ts_ns_.begin(), std::upper_bound(ts_ns_.begin(), ts_ns_.end(), *to_ns)));
+  }
+  if (r.last < r.first) r.last = r.first;
+  return r;
+}
+
+}  // namespace envmon::tsdb

@@ -1,0 +1,69 @@
+#pragma once
+// One shard of the environmental database: a single (location, metric)
+// time series in structure-of-arrays layout.
+//
+// Inserts are globally timestamp-ordered (the database rejects
+// out-of-order records), so every column here is sorted by construction:
+// `ts_ns` ascends, and `seq` — the record's global insertion number —
+// ascends too.  That makes time-range resolution a binary search and
+// lets the database rebuild the flat store's (timestamp, insert order)
+// result ordering by merging shards on `seq`.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tsdb/location.hpp"
+#include "tsdb/metric_table.hpp"
+
+namespace envmon::tsdb {
+
+class Series {
+ public:
+  Series(const Location& location, MetricId metric)
+      : location_(location), metric_(metric) {}
+
+  void append(std::int64_t ts_ns, double value, std::uint64_t seq) {
+    ts_ns_.push_back(ts_ns);
+    values_.push_back(value);
+    seq_.push_back(seq);
+  }
+
+  // Drops the prefix with ts < cutoff_ns (retention); returns rows dropped.
+  std::size_t drop_before(std::int64_t cutoff_ns);
+
+  // Index range [first, last) of rows with from <= ts <= to (either bound
+  // optional).  Binary search: O(log rows), not O(rows).
+  struct RowRange {
+    std::size_t first = 0;
+    std::size_t last = 0;
+    [[nodiscard]] std::size_t size() const { return last - first; }
+  };
+  [[nodiscard]] RowRange range(std::optional<std::int64_t> from_ns,
+                               std::optional<std::int64_t> to_ns) const;
+
+  [[nodiscard]] const Location& location() const { return location_; }
+  [[nodiscard]] MetricId metric() const { return metric_; }
+  [[nodiscard]] std::size_t size() const { return ts_ns_.size(); }
+  [[nodiscard]] bool empty() const { return ts_ns_.empty(); }
+  [[nodiscard]] std::int64_t ts_ns(std::size_t i) const { return ts_ns_[i]; }
+  [[nodiscard]] double value(std::size_t i) const { return values_[i]; }
+  [[nodiscard]] std::uint64_t seq(std::size_t i) const { return seq_[i]; }
+  [[nodiscard]] std::int64_t front_ts_ns() const { return ts_ns_.front(); }
+
+  // Approximate heap bytes held by the three columns.
+  [[nodiscard]] std::size_t bytes_used() const {
+    return ts_ns_.capacity() * sizeof(std::int64_t) +
+           values_.capacity() * sizeof(double) + seq_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  Location location_;
+  MetricId metric_;
+  std::vector<std::int64_t> ts_ns_;
+  std::vector<double> values_;
+  std::vector<std::uint64_t> seq_;
+};
+
+}  // namespace envmon::tsdb

@@ -1,0 +1,63 @@
+#include "tsdb/shard_index.hpp"
+
+#include <array>
+
+namespace envmon::tsdb {
+
+namespace {
+
+std::array<int, 4> fields_of(const Location& loc) {
+  return {loc.rack, loc.midplane, loc.board, loc.card};
+}
+
+}  // namespace
+
+std::uint32_t& ShardIndex::slot(const Location& location, MetricId metric) {
+  Node* node = &root_;
+  for (const int field : fields_of(location)) {
+    node = &node->children[field];
+  }
+  const auto [it, created] = node->series.try_emplace(metric, kNoSeries);
+  if (created) ++series_count_;
+  return it->second;
+}
+
+void ShardIndex::collect_node(const Node& node, const int* fields, int level,
+                              std::optional<MetricId> metric,
+                              std::vector<std::uint32_t>& out) {
+  if (level == 4) {
+    if (metric) {
+      if (const auto it = node.series.find(*metric); it != node.series.end()) {
+        out.push_back(it->second);
+      }
+    } else {
+      for (const auto& [id, sid] : node.series) out.push_back(sid);
+    }
+    return;
+  }
+  const int want = fields == nullptr ? -1 : fields[level];
+  if (want >= 0) {
+    // A set filter level matches only that child: a record whose level is
+    // unset (-1) is *not* contained by a prefix that pins the level.
+    if (const auto it = node.children.find(want); it != node.children.end()) {
+      collect_node(it->second, fields, level + 1, metric, out);
+    }
+    return;
+  }
+  for (const auto& [field, child] : node.children) {
+    collect_node(child, fields, level + 1, metric, out);
+  }
+}
+
+void ShardIndex::collect(const std::optional<Location>& prefix,
+                         std::optional<MetricId> metric,
+                         std::vector<std::uint32_t>& out) const {
+  if (prefix) {
+    const auto fields = fields_of(*prefix);
+    collect_node(root_, fields.data(), 0, metric, out);
+  } else {
+    collect_node(root_, nullptr, 0, metric, out);
+  }
+}
+
+}  // namespace envmon::tsdb

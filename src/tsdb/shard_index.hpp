@@ -1,0 +1,52 @@
+#pragma once
+// Location-prefix tree over the database's shards.
+//
+// Every series lives at a depth-4 path through the BG/Q location
+// hierarchy (rack, midplane, board, card; -1 marks an unset level, e.g.
+// a rack-scope BPM record), with a per-metric fan-out at the leaf.  A
+// query's location filter descends the tree level by level: a set level
+// selects one child, an unset level selects all of them — which is
+// exactly Location::contains(), including its sparse-wildcard form
+// (prefix R00-*-N03 matches any midplane).  Candidate resolution is
+// therefore O(matching series), independent of record count.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "tsdb/location.hpp"
+#include "tsdb/metric_table.hpp"
+
+namespace envmon::tsdb {
+
+class ShardIndex {
+ public:
+  static constexpr std::uint32_t kNoSeries = 0xffff'ffffu;
+
+  // Slot for (location, metric), created as kNoSeries on first access;
+  // the database assigns the dense series id.
+  [[nodiscard]] std::uint32_t& slot(const Location& location, MetricId metric);
+
+  // Appends the ids of every series whose location is contained by
+  // `prefix` (all of them when absent), optionally restricted to one
+  // metric.  Order is deterministic (location fields, then metric id).
+  void collect(const std::optional<Location>& prefix, std::optional<MetricId> metric,
+               std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t series_count() const { return series_count_; }
+
+ private:
+  struct Node {
+    std::map<int, Node> children;                  // keyed by next level field
+    std::map<MetricId, std::uint32_t> series;      // populated at depth 4
+  };
+
+  static void collect_node(const Node& node, const int* fields, int level,
+                           std::optional<MetricId> metric, std::vector<std::uint32_t>& out);
+
+  Node root_;
+  std::size_t series_count_ = 0;
+};
+
+}  // namespace envmon::tsdb
