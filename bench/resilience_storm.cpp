@@ -1,0 +1,252 @@
+// Fault storm against a three-backend node, gating the graceful-
+// degradation guarantees the fault model documents (DESIGN.md):
+//
+//   gate 1 (deterministic replay): the same seed produces a
+//           byte-identical node file — same gap markers, same samples —
+//           across two independent storm runs;
+//   gate 2 (blast-radius isolation): a storm that kills the NVML board
+//           leaves the surviving backends' sample rows byte-identical
+//           to a fault-free run;
+//   gate 3 (bounded overhead): the collection overhead under the storm
+//           stays within the retry budget + injected stalls of the
+//           fault-free cost, and under 1% of the application runtime.
+//
+// The storm exercises every fault kind the injector scripts: a
+// transient error on the first poll, seeded flapping, latency spikes,
+// corrupt readings, then permanent device loss.  Results land in
+// BENCH_resilience.json; re-run via `./build/bench/resilience_storm` or
+// `ctest --test-dir build -C Bench -L bench`.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "fault/injector.hpp"
+#include "mic/micras.hpp"
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/output.hpp"
+#include "moneq/profiler.hpp"
+#include "nvml/api.hpp"
+#include "workloads/library.hpp"
+
+namespace {
+
+using envmon::sim::Duration;
+using envmon::sim::SimTime;
+namespace fault = envmon::fault;
+namespace moneq = envmon::moneq;
+
+constexpr double kRunSeconds = 30.0;
+constexpr std::uint64_t kStormSeed = 42;
+
+struct RunResult {
+  std::string file;  // rendered node file
+  std::vector<moneq::GapMarker> gaps;
+  Duration collection{};
+  std::uint64_t polls = 0;
+  std::uint64_t degraded_polls = 0;
+  std::uint64_t injected_total = 0;
+  moneq::BackendState nvml_state = moneq::BackendState::kHealthy;
+};
+
+RunResult run_once(bool storm) {
+  envmon::sim::Engine engine;
+  fault::Injector injector(engine, kStormSeed);
+
+  // Survivors: the EMON session and the MICRAS daemon.
+  envmon::bgq::BgqMachine machine;
+  envmon::bgq::EmonSession emon(machine.board(0));
+  moneq::BgqBackend bgq_backend(emon);
+  envmon::mic::PhiCard card(engine);
+  envmon::mic::MicrasDaemon daemon(card);
+  daemon.start();
+  moneq::MicDaemonBackend mic_backend(daemon);
+
+  // The victim: an NVML board.
+  envmon::nvml::NvmlLibrary library(engine);
+  library.attach_device(std::make_shared<envmon::nvml::GpuDevice>(envmon::nvml::k20_spec()));
+  (void)library.init();
+  envmon::nvml::NvmlDeviceHandle handle;
+  (void)library.device_get_handle_by_index(0, &handle);
+  moneq::NvmlBackend nvml_backend(library, handle);
+
+  if (storm) {
+    // Survivors keep their hooks attached with nothing scripted — an
+    // attached-but-clean site must behave exactly like a detached one.
+    emon.attach_fault_hook(injector);
+    daemon.attach_fault_hook(injector);
+    library.attach_fault_hook(injector);
+
+    injector.fail_next(fault::sites::kNvml, envmon::StatusCode::kUnavailable,
+                       "transient driver hiccup");
+    injector.flap_between(fault::sites::kNvml, SimTime::from_seconds(3),
+                          SimTime::from_seconds(8), 0.35,
+                          envmon::StatusCode::kUnavailable, "flaky driver");
+    injector.delay_between(fault::sites::kNvml, SimTime::from_seconds(4),
+                           SimTime::from_seconds(7), Duration::millis(2));
+    injector.corrupt_between(fault::sites::kNvml, SimTime::from_seconds(8.4),
+                             SimTime::from_seconds(9.6), 1.05);
+    injector.kill_at(fault::sites::kNvml, SimTime::from_seconds(10),
+                     "XID 79: GPU fell off the bus");
+  }
+
+  envmon::smpi::World world(1);
+  moneq::NodeProfiler profiler(engine, world, 0);
+  if (!profiler.add_backend(bgq_backend).is_ok() ||
+      !profiler.add_backend(mic_backend).is_ok() ||
+      !profiler.add_backend(nvml_backend).is_ok() ||
+      !profiler.set_polling_interval(Duration::millis(600)).is_ok() ||
+      !profiler.initialize().is_ok()) {
+    std::fprintf(stderr, "profiler setup failed\n");
+    std::exit(2);
+  }
+
+  engine.run_until(SimTime::from_seconds(kRunSeconds));
+  moneq::MemoryOutput out;
+  if (!profiler.finalize(nullptr, &out).is_ok()) {
+    std::fprintf(stderr, "finalize failed\n");
+    std::exit(2);
+  }
+
+  RunResult result;
+  result.file = out.files().at(moneq::node_file_name(0));
+  result.gaps = profiler.gaps();
+  result.collection = profiler.overhead().collection;
+  result.polls = profiler.overhead().polls;
+  result.degraded_polls = profiler.degraded_polls();
+  result.injected_total = injector.injected_total();
+  result.nvml_state = profiler.backend_health(2).state();
+  return result;
+}
+
+// Sample rows of the surviving backends: every data row whose domain is
+// not one the NVML backend emits, excluding #TAG/#GAP sentinel rows.
+// (The MICRAS die_temp rows share the NVML domain name, so they sit out
+// the comparison; its seven other domains stay in.)
+std::string surviving_rows(const std::string& file) {
+  static const std::set<std::string> nvml_domains = {"board", "die_temp", "mem_used",
+                                                     "mem_free", "fan"};
+  std::ostringstream kept;
+  std::istringstream lines(file);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string t, domain, quantity;
+    if (!std::getline(fields, t, ',') || !std::getline(fields, domain, ',') ||
+        !std::getline(fields, quantity, ',')) {
+      continue;
+    }
+    if (!quantity.empty() && quantity.front() == '#') continue;  // tag / gap marker
+    if (nvml_domains.contains(domain)) continue;
+    kept << line << '\n';
+  }
+  return kept.str();
+}
+
+bool same_gaps(const std::vector<moneq::GapMarker>& a,
+               const std::vector<moneq::GapMarker>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].t != b[i].t || a[i].backend != b[i].backend ||
+        a[i].is_start != b[i].is_start || a[i].reason != b[i].reason) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Resilience storm: 3 backends, NVML killed mid-run ==\n\n");
+  const auto wall_t0 = std::chrono::steady_clock::now();
+
+  const RunResult clean = run_once(false);
+  const RunResult storm_a = run_once(true);
+  const RunResult storm_b = run_once(true);  // same seed: must replay exactly
+
+  // --- gate 1: deterministic replay ------------------------------------
+  const bool replay_ok =
+      storm_a.file == storm_b.file && same_gaps(storm_a.gaps, storm_b.gaps);
+
+  // --- gate 2: surviving backends untouched ----------------------------
+  const std::string clean_rows = surviving_rows(clean.file);
+  const bool isolation_ok =
+      !clean_rows.empty() && clean_rows == surviving_rows(storm_a.file);
+  // Sanity: the storm actually bit — faults injected, gaps marked, the
+  // victim still dark at shutdown.
+  const bool storm_bit = storm_a.injected_total > 0 && !storm_a.gaps.empty() &&
+                         storm_a.degraded_polls > 0 &&
+                         storm_a.nvml_state == moneq::BackendState::kQuarantined;
+
+  // --- gate 3: bounded overhead ----------------------------------------
+  // Budget: the degradation policy's lifetime retry budget plus every
+  // scripted stall (5 delayed polls x up to 5 NVML calls x 2 ms).
+  const moneq::DegradationPolicy policy;
+  const Duration budget = policy.retry_budget + Duration::millis(50);
+  const double clean_ms = clean.collection.to_millis();
+  const double storm_ms = storm_a.collection.to_millis();
+  const double storm_fraction = storm_a.collection.to_seconds() / kRunSeconds;
+  const bool overhead_ok =
+      storm_ms <= clean_ms + budget.to_millis() && storm_fraction < 0.01;
+
+  std::printf("polls per run            : %llu\n",
+              static_cast<unsigned long long>(storm_a.polls));
+  std::printf("faults injected          : %llu\n",
+              static_cast<unsigned long long>(storm_a.injected_total));
+  std::printf("gap markers              : %zu\n", storm_a.gaps.size());
+  std::printf("degraded polls           : %llu\n",
+              static_cast<unsigned long long>(storm_a.degraded_polls));
+  std::printf("victim end state         : %s\n",
+              std::string(moneq::to_string(storm_a.nvml_state)).c_str());
+  std::printf("collection, clean        : %.3f ms\n", clean_ms);
+  std::printf("collection, storm        : %.3f ms (%.4f%% of runtime)\n", storm_ms,
+              storm_fraction * 100.0);
+  std::printf("\n");
+  std::printf("deterministic replay     : %s\n", replay_ok ? "PASS" : "FAIL");
+  std::printf("survivors byte-identical : %s\n", isolation_ok ? "PASS" : "FAIL");
+  std::printf("storm actually bit       : %s\n", storm_bit ? "PASS" : "FAIL");
+  std::printf("overhead within budget   : %s\n", overhead_ok ? "PASS" : "FAIL");
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_t0)
+          .count();
+
+  std::FILE* out = std::fopen("BENCH_resilience.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"resilience_storm\",\n");
+    std::fprintf(out, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(kStormSeed));
+    std::fprintf(out, "  \"run_seconds\": %.1f,\n", kRunSeconds);
+    std::fprintf(out, "  \"polls\": %llu,\n",
+                 static_cast<unsigned long long>(storm_a.polls));
+    std::fprintf(out, "  \"faults_injected\": %llu,\n",
+                 static_cast<unsigned long long>(storm_a.injected_total));
+    std::fprintf(out, "  \"gap_markers\": %zu,\n", storm_a.gaps.size());
+    std::fprintf(out, "  \"degraded_polls\": %llu,\n",
+                 static_cast<unsigned long long>(storm_a.degraded_polls));
+    std::fprintf(out, "  \"collection_ms_clean\": %.3f,\n", clean_ms);
+    std::fprintf(out, "  \"collection_ms_storm\": %.3f,\n", storm_ms);
+    std::fprintf(out, "  \"storm_overhead_fraction\": %.6f,\n", storm_fraction);
+    std::fprintf(out, "  \"deterministic_replay\": %s,\n", replay_ok ? "true" : "false");
+    std::fprintf(out, "  \"survivors_byte_identical\": %s,\n",
+                 isolation_ok ? "true" : "false");
+    std::fprintf(out, "  \"overhead_within_budget\": %s,\n",
+                 overhead_ok ? "true" : "false");
+    std::fprintf(out, "  \"wall_ms\": %.1f\n", wall_ms);
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_resilience.json\n");
+  }
+
+  return (replay_ok && isolation_ok && storm_bit && overhead_ok) ? 0 : 1;
+}

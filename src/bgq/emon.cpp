@@ -14,6 +14,9 @@ EmonSession::EmonSession(const NodeBoard& board, EmonOptions options)
 }
 
 Result<EmonReading> EmonSession::read(sim::SimTime now) {
+  const fault::Outcome fo = fault_hook_.intercept();
+  if (fo.extra_latency.ns() > 0) cost_.charge(fo.extra_latency);
+  if (!fo.ok()) return fo.status;
   cost_.charge(options_.query_cost);
 
   const std::int64_t period = options_.generation_period.ns();
@@ -31,10 +34,12 @@ Result<EmonReading> EmonSession::read(sim::SimTime now) {
   for (const Domain d : kAllDomains) {
     const std::size_t i = domain_index(d);
     const sim::SimTime sampled = reading.generation_start + stagger_[i];
+    Amps current = board_->domain_current(d, sampled);
+    if (fo.corrupted) current = Amps{fo.corrupt_value(current.value())};
     reading.domains[i] = DomainReading{
         d,
         board_->domain_voltage(d),
-        board_->domain_current(d, sampled),
+        current,
         sampled,
     };
   }

@@ -22,6 +22,7 @@
 
 #include "bgq/machine.hpp"
 #include "common/status.hpp"
+#include "fault/injector.hpp"
 #include "sim/cost.hpp"
 #include "sim/time.hpp"
 
@@ -64,6 +65,14 @@ class EmonSession {
   // Fails with kUnavailable before the first generation completes.
   [[nodiscard]] Result<EmonReading> read(sim::SimTime now);
 
+  /// Routes every generation read through `injector` (site
+  /// fault::sites::kEmon by default).  Stalls are charged like query
+  /// cost; corruption lands on the per-domain currents.
+  void attach_fault_hook(fault::Injector& injector,
+                         std::string site = std::string(fault::sites::kEmon)) {
+    fault_hook_.attach(injector, std::move(site));
+  }
+
   [[nodiscard]] const sim::CostMeter& cost() const { return cost_; }
   [[nodiscard]] const EmonOptions& options() const { return options_; }
 
@@ -72,6 +81,7 @@ class EmonSession {
   EmonOptions options_;
   std::array<sim::Duration, kDomainCount> stagger_{};
   sim::CostMeter cost_;
+  fault::Hook fault_hook_;
 };
 
 }  // namespace envmon::bgq

@@ -60,6 +60,11 @@ void Bmc::register_satellite(ManagementController* controller, std::uint8_t addr
 }
 
 Result<std::vector<std::uint8_t>> Bmc::submit(const std::vector<std::uint8_t>& frame) {
+  // A faulted bus drops the frame before the BMC even parses it.
+  if (fault_hook_.attached()) {
+    const fault::Outcome fo = fault_hook_.intercept();
+    if (!fo.ok()) return fo.status;
+  }
   auto decoded = decode(frame);
   if (!decoded) return decoded.status();
   const IpmbMessage& msg = decoded.value();

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/status.hpp"
+#include "fault/injector.hpp"
 #include "ipmi/ipmb.hpp"
 
 namespace envmon::ipmi {
@@ -81,8 +82,18 @@ class Bmc : public SensorController {
   [[nodiscard]] Result<std::vector<std::uint8_t>> submit(
       const std::vector<std::uint8_t>& frame);
 
+  /// Routes every submitted frame through `injector` (site
+  /// fault::sites::kIpmb by default): an injected failure drops the
+  /// frame — the caller sees the status instead of a response.  The bus
+  /// has no cost meter, so delay and corruption schedules are ignored.
+  void attach_fault_hook(fault::Injector& injector,
+                         std::string site = std::string(fault::sites::kIpmb)) {
+    fault_hook_.attach(injector, std::move(site));
+  }
+
  private:
   std::map<std::uint8_t, ManagementController*> satellites_;
+  fault::Hook fault_hook_;
 };
 
 // Convenience client: builds a GetSensorReading request, runs it through

@@ -14,6 +14,11 @@ Result<std::string> MicrasDaemon::read_file(std::string_view path, sim::SimTime 
   if (!running_) {
     return Status(StatusCode::kUnavailable, "MICRAS daemon is not running");
   }
+  // Scheduled faults hit before the read is served: a stalled open()
+  // still burns the application's time on the card.
+  const fault::Outcome fo = fault_hook_.intercept();
+  if (fo.extra_latency.ns() > 0 && meter != nullptr) meter->charge(fo.extra_latency);
+  if (!fo.ok()) return fo.status;
   if (meter != nullptr) meter->charge(costs_.per_read);
   ++reads_;
 

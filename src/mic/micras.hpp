@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "common/status.hpp"
+#include "fault/injector.hpp"
 #include "mic/card.hpp"
 #include "sim/cost.hpp"
 
@@ -55,6 +56,14 @@ class MicrasDaemon {
   [[nodiscard]] Result<std::string> read_file(std::string_view path, sim::SimTime now,
                                               sim::CostMeter* meter = nullptr);
 
+  /// Routes every pseudo-file read through `injector` (site
+  /// fault::sites::kMicras by default).  The pseudo-files carry text, so
+  /// only failures and stalls apply; corruption schedules are ignored.
+  void attach_fault_hook(fault::Injector& injector,
+                         std::string site = std::string(fault::sites::kMicras)) {
+    fault_hook_.attach(injector, std::move(site));
+  }
+
   [[nodiscard]] std::uint64_t reads_served() const { return reads_; }
 
  private:
@@ -62,6 +71,7 @@ class MicrasDaemon {
   MicrasCosts costs_;
   bool running_ = false;
   std::uint64_t reads_ = 0;
+  fault::Hook fault_hook_;
 };
 
 // Parsers for the pseudo-file formats (micro-watt integer fields, like

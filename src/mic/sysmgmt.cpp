@@ -67,9 +67,16 @@ Result<SysMgmtClient> SysMgmtClient::connect(ScifNetwork& network, ScifNodeId ca
 }
 
 Result<double> SysMgmtClient::query(SysMgmtRequest op) {
+  // Every reading funnels through this one round trip, so it is the
+  // single place scheduled faults can touch the in-band path.
+  const fault::Outcome fo = fault_hook_.intercept();
+  if (fo.extra_latency.ns() > 0) meter_.charge(fo.extra_latency);
+  if (!fo.ok()) return fo.status;
   auto reply = endpoint_.call(encode_request(op), &meter_);
   if (!reply) return reply.status();
-  return decode_response(reply.value());
+  auto value = decode_response(reply.value());
+  if (!value) return value.status();
+  return fo.corrupt_value(value.value());
 }
 
 Result<Watts> SysMgmtClient::power(sim::SimTime /*now*/) {

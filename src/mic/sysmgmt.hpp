@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fault/injector.hpp"
 #include "mic/card.hpp"
 #include "mic/scif.hpp"
 #include "sim/cost.hpp"
@@ -61,6 +62,15 @@ class SysMgmtClient {
   [[nodiscard]] Result<Bytes> memory_used(sim::SimTime now);
   [[nodiscard]] Result<Rpm> fan_speed(sim::SimTime now);
 
+  /// Routes every SCIF round trip through `injector` (site
+  /// fault::sites::kMicScif by default).  Stalls land on the client's
+  /// cost meter — the Phi's tens-of-milliseconds in-band holds;
+  /// corruption lands on the decoded reading.
+  void attach_fault_hook(fault::Injector& injector,
+                         std::string site = std::string(fault::sites::kMicScif)) {
+    fault_hook_.attach(injector, std::move(site));
+  }
+
   [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
 
  private:
@@ -70,6 +80,7 @@ class SysMgmtClient {
 
   ScifEndpoint endpoint_;
   sim::CostMeter meter_;
+  fault::Hook fault_hook_;
 };
 
 }  // namespace envmon::mic

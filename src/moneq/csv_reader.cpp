@@ -29,6 +29,12 @@ Result<NodeFileData> parse_node_file(std::string_view text) {
           TagMarker{sim::SimTime::from_seconds(t), row[1], row[2] == "#TAG_START"});
       continue;
     }
+    if (row[2] == "#GAP_START" || row[2] == "#GAP_END") {
+      data.gaps.push_back(GapMarker{sim::SimTime::from_seconds(t), row[1],
+                                    row[2] == "#GAP_START",
+                                    row.size() > 4 ? row[4] : std::string()});
+      continue;
+    }
     if (row.size() < 5) {
       return Status(StatusCode::kInvalidArgument, "truncated sample row");
     }

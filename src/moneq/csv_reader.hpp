@@ -15,6 +15,7 @@ namespace envmon::moneq {
 struct NodeFileData {
   std::vector<Sample> samples;
   std::vector<TagMarker> tags;
+  std::vector<GapMarker> gaps;
 };
 
 // Parses the CSV produced by render_node_file().  Rejects files with a

@@ -1,0 +1,57 @@
+#include "moneq/health.hpp"
+
+#include <algorithm>
+
+namespace envmon::moneq {
+
+void BackendHealth::quarantine(sim::SimTime now) {
+  state_ = BackendState::kQuarantined;
+  quarantine_until_ = now + backoff_;
+}
+
+void BackendHealth::on_poll_success(sim::SimTime now) {
+  (void)now;
+  consecutive_failures_ = 0;
+  switch (state_) {
+    case BackendState::kHealthy:
+      break;
+    case BackendState::kDegraded:
+      state_ = BackendState::kHealthy;
+      break;
+    case BackendState::kQuarantined:
+      // The recovery probe answered; one more clean poll promotes back
+      // to healthy and resets the backoff ladder.
+      state_ = BackendState::kRecovered;
+      break;
+    case BackendState::kRecovered:
+      state_ = BackendState::kHealthy;
+      backoff_ = policy_.backoff_base;
+      break;
+  }
+}
+
+void BackendHealth::on_poll_failure(sim::SimTime now) {
+  ++consecutive_failures_;
+  switch (state_) {
+    case BackendState::kHealthy:
+      state_ = BackendState::kDegraded;
+      if (consecutive_failures_ >= policy_.polls_to_quarantine) quarantine(now);
+      break;
+    case BackendState::kDegraded:
+      if (consecutive_failures_ >= policy_.polls_to_quarantine) quarantine(now);
+      break;
+    case BackendState::kQuarantined: {
+      // The recovery probe failed: widen the window and go back to sleep.
+      const auto widened = static_cast<std::int64_t>(
+          static_cast<double>(backoff_.ns()) * policy_.backoff_factor);
+      backoff_ = std::min(sim::Duration::nanos(widened), policy_.backoff_cap);
+      quarantine(now);
+      break;
+    }
+    case BackendState::kRecovered:
+      state_ = BackendState::kDegraded;
+      break;
+  }
+}
+
+}  // namespace envmon::moneq

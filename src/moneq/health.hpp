@@ -1,0 +1,120 @@
+#pragma once
+// Per-backend health state machines for graceful degradation.
+//
+// The paper's mechanisms fail independently — a daemon dies, a board
+// falls off the bus, EMON has no generation yet — and MonEQ's job is to
+// keep the surviving backends' series intact while the broken one is
+// handled.  Each attached backend gets a BackendHealth that the profiler
+// consults every poll:
+//
+//   healthy --fail--> degraded --N consecutive fails--> quarantined
+//      ^                 |                                  |
+//      |              success                         backoff elapses,
+//      +----------------+                              probe the backend
+//      ^                                                    |
+//      |        probe success                               v
+//      +---- recovered <------------------------------- (probe)
+//                                          probe fail: re-quarantine with
+//                                          doubled backoff (capped)
+//
+// Quarantine suppresses polls entirely (no cost charged, no error spam);
+// retries within a poll are bounded per poll AND by a lifetime budget of
+// virtual time, paid through the same cost meter as regular collection —
+// a half-dead backend cannot silently eat the application's runtime.
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace envmon::moneq {
+
+enum class BackendState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kQuarantined = 2,
+  kRecovered = 3,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(BackendState s) {
+  switch (s) {
+    case BackendState::kHealthy: return "healthy";
+    case BackendState::kDegraded: return "degraded";
+    case BackendState::kQuarantined: return "quarantined";
+    case BackendState::kRecovered: return "recovered";
+  }
+  return "?";
+}
+
+/// Knobs for the degradation machinery.  The defaults are deliberately
+/// conservative: one retry per poll, quarantine after three consecutive
+/// failed polls, 1 s -> 60 s exponential backoff.
+struct DegradationPolicy {
+  /// Extra collect attempts after a failed one, within the same poll.
+  int retries_per_poll = 1;
+  /// Consecutive failed polls before the backend is quarantined.
+  int polls_to_quarantine = 3;
+  /// First quarantine window; doubles (by `backoff_factor`) every time a
+  /// probe fails, up to `backoff_cap`.
+  sim::Duration backoff_base = sim::Duration::seconds(1);
+  double backoff_factor = 2.0;
+  sim::Duration backoff_cap = sim::Duration::seconds(60);
+  /// Lifetime ceiling on virtual time spent in retry attempts for one
+  /// backend.  Exhausted budget means failed polls are accepted at first
+  /// try — the state machine still runs, only the retries stop.
+  sim::Duration retry_budget = sim::Duration::millis(50);
+};
+
+/// One backend's health, advanced by the profiler's poll outcomes.
+class BackendHealth {
+ public:
+  explicit BackendHealth(DegradationPolicy policy = {})
+      : policy_(policy), backoff_(policy.backoff_base) {}
+
+  [[nodiscard]] BackendState state() const { return state_; }
+
+  /// Whether the profiler should attempt a collect at `now`.  False only
+  /// inside a quarantine backoff window; the first poll at or after the
+  /// window's end is the recovery probe.
+  [[nodiscard]] bool should_poll(sim::SimTime now) const {
+    return state_ != BackendState::kQuarantined || now >= quarantine_until_;
+  }
+
+  /// Whether a failed collect may be retried, given how many retries this
+  /// poll already used.  Both the per-poll bound and the lifetime budget
+  /// must have room.
+  [[nodiscard]] bool may_retry(int retries_this_poll) const {
+    return retries_this_poll < policy_.retries_per_poll &&
+           retry_spent_ < policy_.retry_budget;
+  }
+
+  /// Accounts one retry attempt costing `cost` of virtual time.
+  void spend_retry(sim::Duration cost) {
+    retry_spent_ += cost;
+    ++retries_;
+  }
+
+  /// A poll delivered samples (possibly after retries).
+  void on_poll_success(sim::SimTime now);
+  /// A poll failed for good (all permitted retries exhausted).
+  void on_poll_failure(sim::SimTime now);
+
+  [[nodiscard]] int consecutive_failures() const { return consecutive_failures_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] sim::Duration retry_budget_spent() const { return retry_spent_; }
+  [[nodiscard]] sim::SimTime quarantined_until() const { return quarantine_until_; }
+  [[nodiscard]] const DegradationPolicy& policy() const { return policy_; }
+
+ private:
+  void quarantine(sim::SimTime now);
+
+  DegradationPolicy policy_;
+  BackendState state_ = BackendState::kHealthy;
+  int consecutive_failures_ = 0;
+  sim::Duration backoff_;
+  sim::SimTime quarantine_until_;
+  sim::Duration retry_spent_{};
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace envmon::moneq

@@ -23,7 +23,8 @@ Status DiskOutput::write(const std::string& filename, const std::string& content
 }
 
 std::string render_node_file(std::span<const Sample> samples,
-                             std::span<const TagMarker> tags) {
+                             std::span<const TagMarker> tags,
+                             std::span<const GapMarker> gaps) {
   std::ostringstream os;
   CsvWriter csv(os);
   csv.row("time_s", "domain", "quantity", "unit", "value");
@@ -37,6 +38,12 @@ std::string render_node_file(std::span<const Sample> samples,
   for (const auto& tag : tags) {
     csv.row(format_double(tag.t.to_seconds(), 6), tag.name,
             tag.is_start ? "#TAG_START" : "#TAG_END", "", "");
+  }
+  // Gap markers follow the tags, same sentinel scheme.
+  for (const auto& gap : gaps) {
+    csv.row(format_double(gap.t.to_seconds(), 6), gap.backend,
+            gap.is_start ? "#GAP_START" : "#GAP_END", "",
+            gap.is_start ? gap.reason : std::string());
   }
   return os.str();
 }

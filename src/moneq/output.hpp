@@ -46,9 +46,13 @@ class DiskOutput final : public OutputTarget {
   std::string directory_;
 };
 
-// Renders samples + tags as the per-node CSV.
+// Renders samples + tags (+ collection-gap markers, if any) as the
+// per-node CSV.  Gap rows use the same sentinel convention as tags:
+// backend name in the domain column, #GAP_START/#GAP_END in the quantity
+// column, the reason in the value column.
 [[nodiscard]] std::string render_node_file(std::span<const Sample> samples,
-                                           std::span<const TagMarker> tags);
+                                           std::span<const TagMarker> tags,
+                                           std::span<const GapMarker> gaps = {});
 
 // Conventional file name for a rank's output.
 [[nodiscard]] std::string node_file_name(int rank);

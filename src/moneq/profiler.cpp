@@ -81,6 +81,9 @@ Status NodeProfiler::initialize() {
                                         "Samples recorded into the profiler buffer");
     dropped_metric_ = &registry.counter("envmon_profiler_dropped_samples_total",
                                         "Samples dropped because the buffer was full");
+    degraded_polls_metric_ =
+        &registry.counter("envmon_profiler_degraded_polls_total",
+                          "Poll ticks where at least one backend delivered nothing");
     buffer_hwm_metric_ = &registry.gauge("envmon_profiler_buffer_high_water",
                                          "Highest profiler buffer fill level seen");
     backend_metrics_.reserve(backends_.size());
@@ -94,11 +97,19 @@ Status NodeProfiler::initialize() {
       m.latency_ms = &registry.histogram("envmon_backend_query_latency_ms",
                                          "Per-query collection cost in virtual ms",
                                          obs::Histogram::latency_bounds_ms(), labels);
+      m.health = &registry.gauge(
+          "envmon_backend_health",
+          "Backend health state (0 healthy, 1 degraded, 2 quarantined, 3 recovered)",
+          labels);
+      m.retries = &registry.counter("envmon_backend_retries_total",
+                                    "Bounded retry attempts after failed collects", labels);
       backend_metrics_.push_back(m);
     }
   } else {
     backend_metrics_.assign(backends_.size(), BackendMetrics{});
   }
+  health_.assign(backends_.size(), BackendHealth(options_.degradation));
+  gap_open_.assign(backends_.size(), false);
 
   timer_ = engine_->schedule_periodic(interval_, [this] { collect_now(); });
   initialized_ = true;
@@ -112,41 +123,103 @@ void NodeProfiler::collect_now() {
   if (options_.tracer != nullptr) {
     poll_span = options_.tracer->span("moneq.poll");
   }
+  bool all_delivered = true;
   for (std::size_t i = 0; i < backends_.size(); ++i) {
-    Backend* backend = backends_[i];
-    const BackendMetrics& metrics = backend_metrics_[i];
+    if (!poll_backend(i)) all_delivered = false;
+  }
+  if (!all_delivered) {
+    ++degraded_polls_;
+    if (degraded_polls_metric_ != nullptr) degraded_polls_metric_->inc();
+  }
+  if (buffer_hwm_metric_ != nullptr) {
+    buffer_hwm_metric_->set_max(static_cast<double>(samples_.size()));
+  }
+}
+
+void NodeProfiler::open_gap(std::size_t i, const std::string& reason) {
+  gaps_.push_back(GapMarker{engine_->now(), std::string(backends_[i]->name()), true, reason});
+  gap_open_[i] = true;
+}
+
+void NodeProfiler::close_gap(std::size_t i) {
+  gaps_.push_back(GapMarker{engine_->now(), std::string(backends_[i]->name()), false, {}});
+  gap_open_[i] = false;
+}
+
+bool NodeProfiler::poll_backend(std::size_t i) {
+  Backend* backend = backends_[i];
+  BackendHealth& health = health_[i];
+  const BackendMetrics& metrics = backend_metrics_[i];
+  const sim::SimTime now = engine_->now();
+  const BackendState before = health.state();
+
+  if (!health.should_poll(now)) {
+    // Quarantined: the poll is suppressed outright — no query, no cost,
+    // no error spam.  The gap opened when the failures began.
+    if (metrics.health != nullptr) {
+      metrics.health->set(static_cast<double>(health.state()));
+    }
+    return false;
+  }
+
+  bool delivered = false;
+  std::string failure_reason;
+  int retries_used = 0;
+  for (;;) {
     obs::Tracer::Span query_span;
     if (options_.tracer != nullptr) {
       query_span = options_.tracer->span("backend.query", std::string(backend->name()));
     }
     const sim::Duration cost_before = collect_cost_.total();
-    auto result = backend->collect(engine_->now(), collect_cost_);
+    auto result = backend->collect(now, collect_cost_);
+    const sim::Duration attempt_cost = collect_cost_.total() - cost_before;
     if (metrics.queries != nullptr) {
       metrics.queries->inc();
-      metrics.latency_ms->observe((collect_cost_.total() - cost_before).to_millis());
+      metrics.latency_ms->observe(attempt_cost.to_millis());
     }
     query_span.end();
-    if (!result) {
-      if (metrics.errors != nullptr) metrics.errors->inc();
-      if (errors_.size() < 64) errors_.push_back(result.status());
-      continue;
-    }
-    for (auto& sample : result.value()) {
-      if (samples_.size() >= options_.max_samples) {
-        ++dropped_;
-        if (dropped_metric_ != nullptr) dropped_metric_->inc();
-        if (options_.tracer != nullptr) {
-          options_.tracer->event("moneq.sample_dropped", sample.domain);
+    if (retries_used > 0) health.spend_retry(attempt_cost);
+    if (result) {
+      for (auto& sample : result.value()) {
+        if (samples_.size() >= options_.max_samples) {
+          ++dropped_;
+          if (dropped_metric_ != nullptr) dropped_metric_->inc();
+          if (options_.tracer != nullptr) {
+            options_.tracer->event("moneq.sample_dropped", sample.domain);
+          }
+          continue;
         }
-        continue;
+        samples_.push_back(std::move(sample));
+        if (samples_metric_ != nullptr) samples_metric_->inc();
       }
-      samples_.push_back(std::move(sample));
-      if (samples_metric_ != nullptr) samples_metric_->inc();
+      delivered = true;
+      break;
     }
+    if (metrics.errors != nullptr) metrics.errors->inc();
+    if (errors_.size() < 64) errors_.push_back(result.status());
+    failure_reason = result.status().message();
+    if (!health.may_retry(retries_used)) break;
+    ++retries_used;
+    if (metrics.retries != nullptr) metrics.retries->inc();
   }
-  if (buffer_hwm_metric_ != nullptr) {
-    buffer_hwm_metric_->set_max(static_cast<double>(samples_.size()));
+
+  if (delivered) {
+    health.on_poll_success(now);
+    if (gap_open_[i]) close_gap(i);
+  } else {
+    health.on_poll_failure(now);
+    if (!gap_open_[i]) open_gap(i, failure_reason);
   }
+  if (health.state() != before && options_.tracer != nullptr) {
+    options_.tracer->event("backend.health",
+                           std::string(backend->name()) + ": " +
+                               std::string(to_string(before)) + " -> " +
+                               std::string(to_string(health.state())));
+  }
+  if (metrics.health != nullptr) {
+    metrics.health->set(static_cast<double>(health.state()));
+  }
+  return delivered;
 }
 
 Status NodeProfiler::start_tag(const std::string& name) {
@@ -185,6 +258,12 @@ Status NodeProfiler::finalize(const smpi::FileSystemModel* fs, OutputTarget* tar
   timer_.cancel();
   finalized_ = true;
 
+  // A backend still dark at shutdown leaves its gap open; close it at
+  // the run's end so every GAP_START has a matching GAP_END on disk.
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (gap_open_[i]) close_gap(i);
+  }
+
   // Every node writes its own file; the collective completes when the
   // slowest write does, so the same duration lands on every rank.
   const Bytes file_bytes{static_cast<double>(samples_.size()) * options_.bytes_per_sample};
@@ -193,7 +272,8 @@ Status NodeProfiler::finalize(const smpi::FileSystemModel* fs, OutputTarget* tar
     finalize_cost_ += fs->time_to_write(world_->size(), file_bytes);
   }
   if (target != nullptr) {
-    const Status s = target->write(node_file_name(rank_), render_node_file(samples_, tags_));
+    const Status s =
+        target->write(node_file_name(rank_), render_node_file(samples_, tags_, gaps_));
     if (!s.is_ok()) return s;
   }
   return Status::ok();

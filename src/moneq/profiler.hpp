@@ -25,6 +25,7 @@
 
 #include "common/status.hpp"
 #include "moneq/backend.hpp"
+#include "moneq/health.hpp"
 #include "moneq/output.hpp"
 #include "moneq/sample.hpp"
 #include "obs/metrics.hpp"
@@ -52,6 +53,10 @@ struct ProfilerOptions {
   // When set, each poll opens a span with one child span per backend
   // query, and dropped samples become ring-buffer events.
   obs::Tracer* tracer = nullptr;
+  // Graceful-degradation knobs: bounded retries, quarantine threshold,
+  // and backoff shape shared by every attached backend (each backend
+  // still tracks its own state).  See moneq/health.hpp.
+  DegradationPolicy degradation;
 };
 
 struct OverheadReport {
@@ -101,13 +106,33 @@ class NodeProfiler {
   [[nodiscard]] sim::Duration polling_interval() const { return interval_; }
   [[nodiscard]] OverheadReport overhead() const;
 
-  // Collection failures are remembered (e.g. EMON before its first
-  // generation) but do not abort profiling.
+  // The health state machine of the i-th attached backend (attachment
+  // order).  Valid after initialize().
+  [[nodiscard]] const BackendHealth& backend_health(std::size_t i) const {
+    return health_[i];
+  }
+  // Collection gaps observed so far: one start/end marker pair per
+  // contiguous stretch of polls where a backend delivered nothing.
+  // Still-open gaps are closed at finalize() time.
+  [[nodiscard]] const std::vector<GapMarker>& gaps() const { return gaps_; }
+  // Poll ticks where at least one backend failed or was quarantined.
+  [[nodiscard]] std::uint64_t degraded_polls() const { return degraded_polls_; }
+
+  // DEPRECATED: the flat error log predates the health machinery and
+  // keeps only the first 64 statuses with no per-backend attribution.
+  // Prefer backend_health(i) for liveness and gaps() for coverage; this
+  // accessor remains for source compatibility and will go once callers
+  // have migrated.
   [[nodiscard]] const std::vector<Status>& collection_errors() const { return errors_; }
 
  private:
   void collect_now();
   [[nodiscard]] sim::Duration effective_interval() const;
+  // One backend's slice of a poll: attempt + bounded retries, health
+  // transition, gap bookkeeping.  Returns whether samples were recorded.
+  bool poll_backend(std::size_t i);
+  void open_gap(std::size_t i, const std::string& reason);
+  void close_gap(std::size_t i);
 
   // Per-backend self-observability series, labeled backend="<name>".
   // Null handles when obs was disabled at initialize().
@@ -115,6 +140,8 @@ class NodeProfiler {
     obs::Counter* queries = nullptr;
     obs::Counter* errors = nullptr;
     obs::Histogram* latency_ms = nullptr;
+    obs::Gauge* health = nullptr;
+    obs::Counter* retries = nullptr;
   };
 
   sim::Engine* engine_;
@@ -127,11 +154,17 @@ class NodeProfiler {
   obs::Counter* polls_metric_ = nullptr;
   obs::Counter* samples_metric_ = nullptr;
   obs::Counter* dropped_metric_ = nullptr;
+  obs::Counter* degraded_polls_metric_ = nullptr;
   obs::Gauge* buffer_hwm_metric_ = nullptr;
   std::vector<Sample> samples_;
   std::vector<TagMarker> tags_;
   std::vector<Status> errors_;
   std::size_t dropped_ = 0;
+
+  std::vector<BackendHealth> health_;
+  std::vector<bool> gap_open_;  // per backend: a GAP_START awaits its end
+  std::vector<GapMarker> gaps_;
+  std::uint64_t degraded_polls_ = 0;
 
   bool initialized_ = false;
   bool finalized_ = false;

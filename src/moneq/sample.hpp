@@ -53,4 +53,16 @@ struct TagMarker {
   bool is_start = true;
 };
 
+// Collection-gap markers: a backend produced no data between a start and
+// the matching end marker (it was failing or quarantined).  Written into
+// the node file so downstream analysis can distinguish "no sample" from
+// "zero watts" — absent markers, a dead backend is indistinguishable
+// from an idle device.
+struct GapMarker {
+  sim::SimTime t;
+  std::string backend;  // backend name, e.g. "bgq_emon"
+  bool is_start = true;
+  std::string reason;   // only meaningful on start markers
+};
+
 }  // namespace envmon::moneq

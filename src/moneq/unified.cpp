@@ -89,4 +89,9 @@ tsdb::EnvDatabase::BatchResult record_unified(tsdb::EnvDatabase& db,
   return db.insert_batch(batch);
 }
 
+Status record_unified_gap(tsdb::EnvDatabase& db, const tsdb::Location& device,
+                          sim::SimTime t, bool is_start) {
+  return db.insert({t, device, "collection_gap", is_start ? 1.0 : 0.0});
+}
+
 }  // namespace envmon::moneq

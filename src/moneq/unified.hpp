@@ -65,4 +65,11 @@ tsdb::EnvDatabase::BatchResult record_unified(tsdb::EnvDatabase& db,
                                               const tsdb::Location& device, sim::SimTime t,
                                               const std::map<UnifiedMetric, double>& snapshot);
 
+// Marks a collection gap in the unified schema.  A "collection_gap"
+// record with value 1 opens a gap, value 0 closes it — so fleet-scale
+// queries can tell "the device read zero watts" from "nothing was
+// collected", the same distinction GapMarker carries in the node files.
+Status record_unified_gap(tsdb::EnvDatabase& db, const tsdb::Location& device,
+                          sim::SimTime t, bool is_start);
+
 }  // namespace envmon::moneq

@@ -1,5 +1,6 @@
 #include "nvml/api.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace envmon::nvml {
@@ -56,6 +57,29 @@ NvmlReturn NvmlLibrary::device_get_handle_by_index(unsigned index, NvmlDeviceHan
   return NvmlReturn::kSuccess;
 }
 
+namespace {
+
+// Injected Status -> C API return code, the way the real library folds
+// driver errors onto its narrow error enum.
+NvmlReturn map_fault_status(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnsupported: return NvmlReturn::kNotSupported;
+    case StatusCode::kNotFound: return NvmlReturn::kNotFound;
+    case StatusCode::kInvalidArgument: return NvmlReturn::kInvalidArgument;
+    default: return NvmlReturn::kGpuIsLost;  // device fell off the bus
+  }
+}
+
+}  // namespace
+
+bool NvmlLibrary::fault_fails(fault::Outcome* outcome, NvmlReturn* error) {
+  *outcome = fault_hook_.intercept();
+  if (outcome->extra_latency.ns() > 0) meter_.charge(outcome->extra_latency);
+  if (outcome->ok()) return false;
+  *error = map_fault_status(outcome->status.code());
+  return true;
+}
+
 GpuDevice* NvmlLibrary::resolve(NvmlDeviceHandle handle, NvmlReturn* error) {
   if (!initialized_) {
     *error = NvmlReturn::kUninitialized;
@@ -89,9 +113,12 @@ NvmlReturn NvmlLibrary::device_get_power_usage(NvmlDeviceHandle handle, unsigned
   if (milliwatts == nullptr) return NvmlReturn::kInvalidArgument;
   // Power readings only exist on Kepler boards (K20/K40 in 2015).
   if (!dev->spec().supports_power_readings()) return NvmlReturn::kNotSupported;
+  fault::Outcome fo;
+  if (fault_fails(&fo, &err)) return err;
   meter_.charge(costs_.per_query);
   const Watts w = dev->sensed_board_power(engine_->now());
-  *milliwatts = static_cast<unsigned>(std::lround(w.value() * 1000.0));
+  *milliwatts = static_cast<unsigned>(
+      std::lround(std::max(0.0, fo.corrupt_value(w.value() * 1000.0))));
   return NvmlReturn::kSuccess;
 }
 
@@ -102,9 +129,11 @@ NvmlReturn NvmlLibrary::device_get_temperature(NvmlDeviceHandle handle,
   GpuDevice* dev = resolve(handle, &err);
   if (dev == nullptr) return err;
   if (celsius == nullptr) return NvmlReturn::kInvalidArgument;
+  fault::Outcome fo;
+  if (fault_fails(&fo, &err)) return err;
   meter_.charge(costs_.per_query);
-  *celsius = static_cast<unsigned>(
-      std::lround(std::max(0.0, dev->die_temperature(engine_->now()).value())));
+  *celsius = static_cast<unsigned>(std::lround(
+      std::max(0.0, fo.corrupt_value(dev->die_temperature(engine_->now()).value()))));
   return NvmlReturn::kSuccess;
 }
 
@@ -113,9 +142,13 @@ NvmlReturn NvmlLibrary::device_get_memory_info(NvmlDeviceHandle handle, NvmlMemo
   GpuDevice* dev = resolve(handle, &err);
   if (dev == nullptr) return err;
   if (info == nullptr) return NvmlReturn::kInvalidArgument;
+  fault::Outcome fo;
+  if (fault_fails(&fo, &err)) return err;
   meter_.charge(costs_.per_query);
   info->total_bytes = static_cast<std::uint64_t>(dev->spec().memory.value());
-  info->used_bytes = static_cast<std::uint64_t>(dev->memory_used().value());
+  info->used_bytes = static_cast<std::uint64_t>(
+      std::clamp(fo.corrupt_value(dev->memory_used().value()), 0.0,
+                 static_cast<double>(info->total_bytes)));
   info->free_bytes = info->total_bytes - info->used_bytes;
   return NvmlReturn::kSuccess;
 }
@@ -125,8 +158,11 @@ NvmlReturn NvmlLibrary::device_get_fan_speed(NvmlDeviceHandle handle, unsigned* 
   GpuDevice* dev = resolve(handle, &err);
   if (dev == nullptr) return err;
   if (percent == nullptr) return NvmlReturn::kInvalidArgument;
+  fault::Outcome fo;
+  if (fault_fails(&fo, &err)) return err;
   meter_.charge(costs_.per_query);
-  *percent = static_cast<unsigned>(std::lround(dev->fan_speed_percent(engine_->now())));
+  *percent = static_cast<unsigned>(
+      std::lround(std::max(0.0, fo.corrupt_value(dev->fan_speed_percent(engine_->now())))));
   return NvmlReturn::kSuccess;
 }
 
@@ -136,9 +172,11 @@ NvmlReturn NvmlLibrary::device_get_clock_info(NvmlDeviceHandle handle, ClockType
   GpuDevice* dev = resolve(handle, &err);
   if (dev == nullptr) return err;
   if (mhz == nullptr) return NvmlReturn::kInvalidArgument;
+  fault::Outcome fo;
+  if (fault_fails(&fo, &err)) return err;
   meter_.charge(costs_.per_query);
   const Hertz clock = type == ClockType::kSm ? dev->spec().sm_clock : dev->spec().mem_clock;
-  *mhz = static_cast<unsigned>(std::lround(clock.value() / 1e6));
+  *mhz = static_cast<unsigned>(std::lround(std::max(0.0, fo.corrupt_value(clock.value() / 1e6))));
   return NvmlReturn::kSuccess;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "nvml/device.hpp"
 #include "sim/cost.hpp"
 #include "sim/engine.hpp"
@@ -88,6 +89,15 @@ class NvmlLibrary {
   NvmlReturn device_get_power_management_limit(NvmlDeviceHandle handle, unsigned* milliwatts);
   NvmlReturn device_set_power_management_limit(NvmlDeviceHandle handle, unsigned milliwatts);
 
+  /// Routes every environmental query through `injector` (site
+  /// fault::sites::kNvml by default).  Injected statuses map onto the C
+  /// API's return codes (kUnavailable -> kGpuIsLost, kUnsupported ->
+  /// kNotSupported, ...); corruption lands on the reported reading.
+  void attach_fault_hook(fault::Injector& injector,
+                         std::string site = std::string(fault::sites::kNvml)) {
+    fault_hook_.attach(injector, std::move(site));
+  }
+
   [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
   [[nodiscard]] GpuDevice* device_for_testing(std::size_t index) {
     return index < devices_.size() ? devices_[index].get() : nullptr;
@@ -95,6 +105,10 @@ class NvmlLibrary {
 
  private:
   [[nodiscard]] GpuDevice* resolve(NvmlDeviceHandle handle, NvmlReturn* error);
+  // Asks the fault hook about the current query.  Returns true (with
+  // *error set) when the query must fail; otherwise *outcome carries any
+  // scheduled corruption and the stall has been charged to the meter.
+  [[nodiscard]] bool fault_fails(fault::Outcome* outcome, NvmlReturn* error);
 
   sim::Engine* engine_;
   NvmlCosts costs_;
@@ -103,6 +117,7 @@ class NvmlLibrary {
   std::vector<std::shared_ptr<GpuDevice>> devices_;
   std::vector<bool> lost_;
   sim::CostMeter meter_;
+  fault::Hook fault_hook_;
 };
 
 }  // namespace envmon::nvml

@@ -1,5 +1,7 @@
 #include "rapl/reader.hpp"
 
+#include <algorithm>
+
 namespace envmon::rapl {
 
 Joules EnergyAccountant::advance(std::uint32_t raw) {
@@ -38,10 +40,19 @@ Result<PowerUnits> MsrRaplReader::read_units() {
 Result<EnergySample> MsrRaplReader::read_energy(RaplDomain domain, sim::SimTime now) {
   auto units = read_units();
   if (!units) return units.status();
+  // One scheduled fault per energy-status pread; stalls are paid on the
+  // same meter as the read itself.
+  const fault::Outcome fo = fault_hook_.intercept();
+  if (fo.extra_latency.ns() > 0) meter_.charge(fo.extra_latency);
+  if (!fo.ok()) return fo.status;
   package_->refresh(now);  // hardware updates continuously; materialize
   auto raw = device_.pread(energy_status_msr(domain), creds_, &meter_);
   if (!raw) return raw.status();
-  const auto counter = static_cast<std::uint32_t>(raw.value());
+  auto counter = static_cast<std::uint32_t>(raw.value());
+  if (fo.corrupted) {
+    const double bad = fo.corrupt_value(static_cast<double>(counter));
+    counter = static_cast<std::uint32_t>(std::clamp(bad, 0.0, 4294967295.0));
+  }
   return EnergySample{
       Joules{static_cast<double>(counter) * units.value().joules_per_unit()},
       counter,

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "common/status.hpp"
+#include "fault/injector.hpp"
 #include "rapl/package.hpp"
 #include "sim/cost.hpp"
 
@@ -65,6 +66,15 @@ class MsrRaplReader {
   [[nodiscard]] Result<EnergySample> read_energy(RaplDomain domain, sim::SimTime now);
   [[nodiscard]] Result<PowerUnits> read_units();
 
+  /// Routes every energy-status MSR read through `injector` (site
+  /// fault::sites::kRaplMsr by default).  Injected failures surface as
+  /// the pread's status; corruption lands on the raw 32-bit counter —
+  /// exactly where a flaky msr driver would bite.
+  void attach_fault_hook(fault::Injector& injector,
+                         std::string site = std::string(fault::sites::kRaplMsr)) {
+    fault_hook_.attach(injector, std::move(site));
+  }
+
   [[nodiscard]] const sim::CostMeter& cost() const { return meter_; }
 
  private:
@@ -73,6 +83,7 @@ class MsrRaplReader {
   Credentials creds_;
   std::optional<PowerUnits> units_;
   sim::CostMeter meter_;
+  fault::Hook fault_hook_;
 };
 
 struct KernelVersion {

@@ -83,6 +83,14 @@ void EnvDatabase::append_row(const Record& record, MetricId metric) {
 }
 
 Status EnvDatabase::insert(const Record& record) {
+  if (fault_hook_.attached()) {
+    const fault::Outcome fo = fault_hook_.intercept();
+    if (!fo.ok()) {
+      ++rejected_;
+      if (rejected_metric_ != nullptr) rejected_metric_->inc();
+      return fo.status;
+    }
+  }
   if (any_accepted_ && record.timestamp.ns() < last_ts_ns_) {
     ++rejected_;
     if (rejected_metric_ != nullptr) rejected_metric_->inc();
@@ -103,6 +111,16 @@ Status EnvDatabase::insert(const Record& record) {
 
 EnvDatabase::BatchResult EnvDatabase::insert_batch(std::span<const Record> records) {
   BatchResult result;
+  // One intercept per batch: a server outage loses the whole write, the
+  // way one failed bulk INSERT does.
+  if (fault_hook_.attached() && !fault_hook_.intercept().ok()) {
+    result.rejected_unavailable = records.size();
+    rejected_ += result.rejected_unavailable;
+    if (rejected_metric_ != nullptr && !records.empty()) {
+      rejected_metric_->inc(result.rejected_unavailable);
+    }
+    return result;
+  }
   // Memoized metric lookup: a homogeneous batch interns once, a batch
   // cycling through a few metrics pays one hash probe per switch.
   const std::string* memo_name = nullptr;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "sim/time.hpp"
@@ -78,6 +79,16 @@ class EnvDatabase {
   // ring (at the record's own timestamp — the db has no clock).
   void attach_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Routes inserts through `injector` (site fault::sites::kTsdb by
+  /// default): an injected failure rejects the insert — one intercept
+  /// per insert() and per insert_batch() call, modeling the DB2 server
+  /// being unreachable.  The store has no cost meter, so delay and
+  /// corruption schedules are ignored here.
+  void attach_fault_hook(fault::Injector& injector,
+                         std::string site = std::string(fault::sites::kTsdb)) {
+    fault_hook_.attach(injector, std::move(site));
+  }
+
   // Inserts one record.  Fails with kResourceExhausted when the ingest
   // rate ceiling is exceeded, kInvalidArgument when out of order.
   Status insert(const Record& record);
@@ -91,8 +102,9 @@ class EnvDatabase {
     std::size_t accepted = 0;
     std::size_t rejected_out_of_order = 0;
     std::size_t rejected_rate_limited = 0;
+    std::size_t rejected_unavailable = 0;  // injected server outage
     [[nodiscard]] std::size_t rejected() const {
-      return rejected_out_of_order + rejected_rate_limited;
+      return rejected_out_of_order + rejected_rate_limited + rejected_unavailable;
     }
     [[nodiscard]] bool all_accepted() const { return rejected() == 0; }
   };
@@ -188,6 +200,7 @@ class EnvDatabase {
   obs::Histogram* rows_scanned_metric_ = nullptr;
   obs::Gauge* series_gauge_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  fault::Hook fault_hook_;
 };
 
 }  // namespace envmon::tsdb

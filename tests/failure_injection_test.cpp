@@ -1,11 +1,15 @@
-// Failure injection across the stack: devices fall off the bus, daemons
-// die mid-run, permissions get revoked — the profiler must degrade
-// gracefully, never fabricate data, and keep error records.
+// Failure scenarios across the stack, driven by fault::Injector: devices
+// fall off the bus, daemons die mid-run, permissions get revoked — the
+// profiler must degrade gracefully, never fabricate data, and keep
+// error records.  (These started as ad-hoc scenarios poking vendor-model
+// internals; they now script the same failures through the injector so
+// each run replays bit-identically.)
 
 #include <gtest/gtest.h>
 
 #include "bgq/emon.hpp"
 #include "bgq/machine.hpp"
+#include "fault/injector.hpp"
 #include "mic/micras.hpp"
 #include "moneq/backend_bgq.hpp"
 #include "moneq/backend_mic.hpp"
@@ -22,11 +26,16 @@ using sim::SimTime;
 
 TEST(FailureInjection, NvmlDeviceLostMidRun) {
   sim::Engine engine;
+  fault::Injector injector(engine);
   nvml::NvmlLibrary library(engine);
   library.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
+  library.attach_fault_hook(injector);
   (void)library.init();
   nvml::NvmlDeviceHandle handle;
   (void)library.device_get_handle_by_index(0, &handle);
+
+  // XID: the board falls off the bus at t = 2 s and never comes back.
+  injector.kill_at(fault::sites::kNvml, SimTime::from_seconds(2));
 
   moneq::NvmlBackend backend(library, handle);
   smpi::World world(1);
@@ -39,14 +48,17 @@ TEST(FailureInjection, NvmlDeviceLostMidRun) {
   const std::size_t before_loss = profiler.samples().size();
   EXPECT_GT(before_loss, 0u);
 
-  library.mark_device_lost(0);  // XID: the board falls off the bus
   engine.run_until(SimTime::from_seconds(4));
   ASSERT_TRUE(profiler.finalize().is_ok());
 
-  // No samples fabricated after the loss; errors recorded instead.
+  // No samples fabricated after the loss; errors recorded instead, and
+  // the backend ends the run quarantined with its gap still marked.
   EXPECT_EQ(profiler.samples().size(), before_loss);
   ASSERT_FALSE(profiler.collection_errors().empty());
   EXPECT_EQ(profiler.collection_errors().front().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(profiler.backend_health(0).state(), moneq::BackendState::kQuarantined);
+  ASSERT_EQ(profiler.gaps().size(), 2u);  // finalize closed the open gap
+  EXPECT_DOUBLE_EQ(profiler.gaps()[0].t.to_seconds(), 2.0);
 }
 
 TEST(FailureInjection, NvmlLostDeviceApiSurface) {
@@ -65,9 +77,15 @@ TEST(FailureInjection, NvmlLostDeviceApiSurface) {
 
 TEST(FailureInjection, MicrasDaemonDiesAndRestarts) {
   sim::Engine engine;
+  fault::Injector injector(engine);
   mic::PhiCard card(engine);
   mic::MicrasDaemon daemon(card);
   daemon.start();
+  daemon.attach_fault_hook(injector);
+  // oom-killed at 2 s, restarted by init at 4 s.
+  injector.fail_between(fault::sites::kMicras, SimTime::from_seconds(2),
+                        SimTime::from_seconds(4), StatusCode::kUnavailable,
+                        "micras daemon not running");
 
   moneq::MicDaemonBackend backend(daemon);
   smpi::World world(1);
@@ -78,15 +96,16 @@ TEST(FailureInjection, MicrasDaemonDiesAndRestarts) {
 
   engine.run_until(SimTime::from_seconds(2));
   const std::size_t healthy = profiler.samples().size();
-  daemon.stop();  // oom-killed, say
   engine.run_until(SimTime::from_seconds(4));
   EXPECT_EQ(profiler.samples().size(), healthy);  // nothing fabricated
   EXPECT_FALSE(profiler.collection_errors().empty());
 
-  daemon.start();  // restarted by init
+  // Quarantine backoff holds the first probe at 3.4 s (still dark), so
+  // collection resumes with the 5.4 s probe after the daemon restarts.
   engine.run_until(SimTime::from_seconds(6));
   ASSERT_TRUE(profiler.finalize().is_ok());
   EXPECT_GT(profiler.samples().size(), healthy);  // collection resumed
+  EXPECT_EQ(profiler.backend_health(0).state(), moneq::BackendState::kHealthy);
 }
 
 TEST(FailureInjection, ErrorLogIsBounded) {
@@ -95,13 +114,19 @@ TEST(FailureInjection, ErrorLogIsBounded) {
   mic::MicrasDaemon daemon(card);  // never started: every poll fails
   moneq::MicDaemonBackend backend(daemon);
   smpi::World world(1);
-  moneq::NodeProfiler profiler(engine, world, 0);
+  moneq::ProfilerOptions options;
+  // Disable quarantine so all 600 polls genuinely reach the backend —
+  // this test is about the error log's bound, not the state machine.
+  options.degradation.polls_to_quarantine = 1 << 20;
+  moneq::NodeProfiler profiler(engine, world, 0, options);
   ASSERT_TRUE(profiler.add_backend(backend).is_ok());
   ASSERT_TRUE(profiler.set_polling_interval(Duration::millis(50)).is_ok());
   ASSERT_TRUE(profiler.initialize().is_ok());
   engine.run_until(SimTime::from_seconds(30));  // 600 failing polls
   ASSERT_TRUE(profiler.finalize().is_ok());
   EXPECT_LE(profiler.collection_errors().size(), 64u);  // capped, not unbounded
+  EXPECT_EQ(profiler.samples().size(), 0u);
+  EXPECT_EQ(profiler.gaps().size(), 2u);  // one gap spanning the whole run
 }
 
 TEST(FailureInjection, EmonBeforeFirstGenerationViaProfiler) {

@@ -1,0 +1,202 @@
+// Unit tests for the fault injector: schedules fire on the virtual
+// clock, flapping is deterministic per seed, sites draw independent RNG
+// streams, and rules compose the documented way (delays sum, the first
+// matching failure wins, corruption only touches successful operations).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "sim/engine.hpp"
+
+namespace envmon::fault {
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+TEST(FaultInjector, CleanByDefault) {
+  sim::Engine engine;
+  Injector injector(engine);
+  const Outcome fo = injector.intercept("never_scheduled");
+  EXPECT_TRUE(fo.ok());
+  EXPECT_EQ(fo.extra_latency.ns(), 0);
+  EXPECT_FALSE(fo.corrupted);
+  EXPECT_DOUBLE_EQ(fo.corrupt_value(42.0), 42.0);
+  EXPECT_EQ(injector.intercepts("never_scheduled"), 1u);
+  EXPECT_EQ(injector.injected("never_scheduled"), 0u);
+  EXPECT_EQ(injector.injected_total(), 0u);
+}
+
+TEST(FaultInjector, FailNextCountsDown) {
+  sim::Engine engine;
+  Injector injector(engine);
+  injector.fail_next(sites::kRaplMsr, StatusCode::kPermissionDenied, "msr gone", 2);
+  EXPECT_EQ(injector.intercept(sites::kRaplMsr).status.code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(injector.intercept(sites::kRaplMsr).status.code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(injector.intercept(sites::kRaplMsr).ok());
+  EXPECT_EQ(injector.intercepts(sites::kRaplMsr), 3u);
+  EXPECT_EQ(injector.injected(sites::kRaplMsr), 2u);
+}
+
+TEST(FaultInjector, FailWindowIsHalfOpen) {
+  sim::Engine engine;
+  Injector injector(engine);
+  injector.fail_between(sites::kMicras, SimTime::from_seconds(1), SimTime::from_seconds(2),
+                        StatusCode::kUnavailable, "daemon restarting");
+  EXPECT_TRUE(injector.intercept(sites::kMicras).ok());  // t = 0: before
+  engine.run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(injector.intercept(sites::kMicras).status.code(),
+            StatusCode::kUnavailable);  // t = from: inside
+  engine.run_until(SimTime::from_seconds(1.999));
+  EXPECT_FALSE(injector.intercept(sites::kMicras).ok());
+  engine.run_until(SimTime::from_seconds(2));
+  EXPECT_TRUE(injector.intercept(sites::kMicras).ok());  // t = to: outside
+}
+
+TEST(FaultInjector, KillAndRevive) {
+  sim::Engine engine;
+  Injector injector(engine);
+  injector.kill_at(sites::kNvml, SimTime::from_seconds(2));
+  injector.revive_at(sites::kNvml, SimTime::from_seconds(5));
+  EXPECT_TRUE(injector.intercept(sites::kNvml).ok());
+  engine.run_until(SimTime::from_seconds(2));
+  const Outcome dead = injector.intercept(sites::kNvml);
+  EXPECT_EQ(dead.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(dead.status.message(), "device lost");
+  engine.run_until(SimTime::from_seconds(4));
+  EXPECT_FALSE(injector.intercept(sites::kNvml).ok());  // still dead
+  engine.run_until(SimTime::from_seconds(5));
+  EXPECT_TRUE(injector.intercept(sites::kNvml).ok());  // re-seated
+}
+
+TEST(FaultInjector, FlapIsDeterministicForSameSeed) {
+  // Same seed, same schedule, same intercept sequence: bit-identical
+  // outcomes — the property the resilience bench gates on.
+  const auto run = [](std::uint64_t seed) {
+    sim::Engine engine;
+    Injector injector(engine, seed);
+    injector.flap_between(sites::kNvml, SimTime{}, SimTime::from_seconds(100), 0.4,
+                          StatusCode::kUnavailable, "flap");
+    std::vector<bool> failed;
+    for (int i = 0; i < 64; ++i) {
+      engine.advance(Duration::millis(100));
+      failed.push_back(!injector.intercept(sites::kNvml).ok());
+    }
+    return failed;
+  };
+  const auto a = run(7);
+  EXPECT_EQ(a, run(7));
+  EXPECT_NE(a, run(8));  // and the seed actually matters
+  // A 0.4 flap over 64 draws lands strictly between never and always.
+  const auto fails = static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fails, 0u);
+  EXPECT_LT(fails, 64u);
+}
+
+TEST(FaultInjector, SiteRngStreamsAreIndependent) {
+  // Interleaving draws at another site must not perturb a site's own
+  // sequence: each site forks its RNG from seed ^ hash(site name).
+  const auto run = [](bool interleave) {
+    sim::Engine engine;
+    Injector injector(engine, 99);
+    injector.flap_between(sites::kNvml, SimTime{}, SimTime::from_seconds(100), 0.5,
+                          StatusCode::kUnavailable, "flap");
+    injector.flap_between(sites::kIpmb, SimTime{}, SimTime::from_seconds(100), 0.5,
+                          StatusCode::kUnavailable, "flap");
+    std::vector<bool> failed;
+    for (int i = 0; i < 32; ++i) {
+      engine.advance(Duration::millis(100));
+      if (interleave) (void)injector.intercept(sites::kIpmb);
+      failed.push_back(!injector.intercept(sites::kNvml).ok());
+    }
+    return failed;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultInjector, DelaysSumAcrossOverlappingWindows) {
+  sim::Engine engine;
+  Injector injector(engine);
+  injector.delay_between(sites::kMicScif, SimTime{}, SimTime::from_seconds(10),
+                         Duration::millis(20));
+  injector.delay_between(sites::kMicScif, SimTime::from_seconds(5),
+                         SimTime::from_seconds(10), Duration::millis(15));
+  engine.run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(injector.intercept(sites::kMicScif).extra_latency, Duration::millis(20));
+  engine.run_until(SimTime::from_seconds(6));
+  const Outcome fo = injector.intercept(sites::kMicScif);
+  EXPECT_TRUE(fo.ok());  // a stall is not a failure
+  EXPECT_EQ(fo.extra_latency, Duration::millis(35));
+}
+
+TEST(FaultInjector, CorruptionComposesAndOnlyHitsSuccesses) {
+  sim::Engine engine;
+  Injector injector(engine);
+  injector.corrupt_between(sites::kEmon, SimTime{}, SimTime::from_seconds(10), 2.0, 1.0);
+  const Outcome fo = injector.intercept(sites::kEmon);
+  EXPECT_TRUE(fo.ok());
+  EXPECT_TRUE(fo.corrupted);
+  EXPECT_DOUBLE_EQ(fo.corrupt_value(10.0), 21.0);  // 10 * 2 + 1
+
+  // Stack a second window: (v * 2 + 1) * 3 + 5 = 6v + 8.
+  injector.corrupt_between(sites::kEmon, SimTime{}, SimTime::from_seconds(10), 3.0, 5.0);
+  EXPECT_DOUBLE_EQ(injector.intercept(sites::kEmon).corrupt_value(10.0), 68.0);
+
+  // A failing operation returns no reading, so corruption is moot.
+  injector.fail_next(sites::kEmon, StatusCode::kInternal, "bad generation");
+  const Outcome failed = injector.intercept(sites::kEmon);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_FALSE(failed.corrupted);
+}
+
+TEST(FaultInjector, KillOutranksTransientAndWindows) {
+  sim::Engine engine;
+  Injector injector(engine);
+  injector.kill_at(sites::kTsdb, SimTime{}, "disk gone");
+  injector.fail_next(sites::kTsdb, StatusCode::kInternal, "transient");
+  const Outcome fo = injector.intercept(sites::kTsdb);
+  EXPECT_EQ(fo.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fo.status.message(), "disk gone");
+}
+
+TEST(FaultInjector, DetachedHookIsFreeAndClean) {
+  Hook hook;
+  EXPECT_FALSE(hook.attached());
+  const Outcome fo = hook.intercept();
+  EXPECT_TRUE(fo.ok());
+  EXPECT_FALSE(fo.corrupted);
+
+  sim::Engine engine;
+  Injector injector(engine);
+  injector.fail_next("hooked", StatusCode::kUnavailable, "down");
+  hook.attach(injector, "hooked");
+  EXPECT_TRUE(hook.attached());
+  EXPECT_FALSE(hook.intercept().ok());
+  hook.detach();
+  EXPECT_TRUE(hook.intercept().ok());
+  EXPECT_EQ(injector.intercepts("hooked"), 1u);  // detached calls never reach it
+}
+
+TEST(FaultInjector, InjectedCountersAggregateAcrossSites) {
+  sim::Engine engine;
+  Injector injector(engine);
+  injector.fail_next(sites::kRaplMsr, StatusCode::kUnavailable, "x", 2);
+  injector.delay_between(sites::kIpmb, SimTime{}, SimTime::from_seconds(1),
+                         Duration::millis(5));
+  (void)injector.intercept(sites::kRaplMsr);
+  (void)injector.intercept(sites::kRaplMsr);
+  (void)injector.intercept(sites::kRaplMsr);  // clean
+  (void)injector.intercept(sites::kIpmb);     // stalled
+  EXPECT_EQ(injector.injected(sites::kRaplMsr), 2u);
+  EXPECT_EQ(injector.injected(sites::kIpmb), 1u);
+  EXPECT_EQ(injector.injected_total(), 3u);
+}
+
+}  // namespace
+}  // namespace envmon::fault

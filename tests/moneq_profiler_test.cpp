@@ -119,10 +119,19 @@ TEST(Profiler, EarlyBackendFailureRecordedNotFatal) {
   ASSERT_TRUE(profiler.initialize().is_ok());
   engine.run_until(SimTime::from_seconds(1));
   ASSERT_TRUE(profiler.finalize().is_ok());
-  // Three failures recorded, profiling continued afterwards.
+  // Three failed attempts recorded: poll 1 (attempt + its retry), then
+  // poll 2's first attempt — whose bounded retry succeeded, so polls
+  // 2..10 all delivered.
   ASSERT_EQ(profiler.collection_errors().size(), 3u);
   EXPECT_EQ(profiler.collection_errors().front().code(), StatusCode::kUnavailable);
-  EXPECT_EQ(profiler.samples().size(), 7u);  // polls 4..10 succeeded
+  EXPECT_EQ(profiler.samples().size(), 9u);
+  // The failure window shows up as one closed gap and a health round trip.
+  EXPECT_EQ(profiler.backend_health(0).state(), BackendState::kHealthy);
+  ASSERT_EQ(profiler.gaps().size(), 2u);
+  EXPECT_TRUE(profiler.gaps()[0].is_start);
+  EXPECT_EQ(profiler.gaps()[0].backend, "flaky");
+  EXPECT_FALSE(profiler.gaps()[1].is_start);
+  EXPECT_EQ(profiler.degraded_polls(), 1u);
 }
 
 TEST(Profiler, CollectionStopsAfterFinalize) {

@@ -114,7 +114,9 @@ TEST(ObsEvents, RingBufferKeepsNewestAndCountsDropped) {
   Tracer tracer = engine_tracer(engine, 3);
   for (int i = 0; i < 5; ++i) {
     engine.advance(Duration::seconds(1));
-    tracer.event("e" + std::to_string(i));
+    std::string name = "e";
+    name += std::to_string(i);
+    tracer.event(name);
   }
   const auto events = tracer.events();
   ASSERT_EQ(events.size(), 3u);
