@@ -1,0 +1,51 @@
+// The v2 collection surface: where the MonEQ C API drives one node's
+// profiler behind a thread-global binding, envmon::fleet::FleetRunner
+// stands up a whole fleet — configure → run → report — with typed
+// Status errors and a worker pool whose thread count never changes the
+// output (same seed, same bytes).
+
+#include <cstdio>
+#include <thread>
+
+#include "fleet/api.hpp"
+#include "moneq/output.hpp"
+
+int main() {
+  using namespace envmon;
+
+  fleet::FleetConfig config;
+  config.nodes = 64;
+  config.threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  config.capabilities = {moneq::Capability::kBgqEmon, moneq::Capability::kRaplMsr};
+  config.horizon = sim::Duration::seconds(30);
+  config.polling_interval = sim::Duration::millis(500);
+  moneq::MemoryOutput output;
+  config.output = &output;
+
+  fleet::FleetRunner runner;
+  if (const auto s = runner.configure(std::move(config)); !s.is_ok()) {
+    std::printf("configure: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  if (const auto s = runner.run(); !s.is_ok()) {
+    std::printf("run: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  const auto report = runner.report().value();
+  std::printf("%s: %d nodes on %d worker thread(s), %llu epochs\n",
+              fleet::api_version_string(), report.nodes, report.threads,
+              static_cast<unsigned long long>(report.epochs));
+  std::printf("  %llu polls, %llu samples (%llu dropped), %llu degraded polls\n",
+              static_cast<unsigned long long>(report.polls),
+              static_cast<unsigned long long>(report.samples),
+              static_cast<unsigned long long>(report.dropped_samples),
+              static_cast<unsigned long long>(report.degraded_polls));
+  std::printf("  %zu records applied to the environmental database (%zu rejected)\n",
+              report.records_applied,
+              report.rejected_out_of_order + report.rejected_rate_limited +
+                  report.rejected_unavailable);
+  std::printf("  %zu node files rendered, %.2f node-s simulated per second\n",
+              output.files().size(), report.node_seconds_per_second);
+  return 0;
+}

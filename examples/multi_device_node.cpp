@@ -5,11 +5,15 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
+#include <vector>
 
-#include "moneq/backend_mic.hpp"
-#include "moneq/backend_nvml.hpp"
-#include "moneq/backend_rapl.hpp"
+#include "mic/card.hpp"
+#include "mic/micras.hpp"
+#include "moneq/factory.hpp"
 #include "moneq/profiler.hpp"
+#include "nvml/device.hpp"
+#include "rapl/package.hpp"
 #include "rapl/reader.hpp"
 #include "workloads/library.hpp"
 
@@ -18,31 +22,48 @@ int main() {
 
   sim::Engine engine;
 
-  // Host CPU (RAPL).
+  // The node's substrate: host CPU (RAPL), GPU (NVML), Xeon Phi
+  // (MICRAS daemon path).  The capability-keyed factory turns each into
+  // a backend — one construction surface instead of three bespoke
+  // constructor shapes.
   rapl::CpuPackage package(engine);
   rapl::MsrRaplReader reader(package, rapl::Credentials{true, 0});
-  moneq::RaplBackend cpu_backend(reader);
 
-  // GPU (NVML).
   nvml::NvmlLibrary library(engine);
   library.attach_device(std::make_shared<nvml::GpuDevice>(nvml::k20_spec()));
   (void)library.init();
   nvml::NvmlDeviceHandle gpu;
   (void)library.device_get_handle_by_index(0, &gpu);
-  moneq::NvmlBackend gpu_backend(library, gpu, "gpu_board");
 
-  // Xeon Phi (MICRAS daemon path).
   mic::PhiCard card(engine);
   mic::MicrasDaemon daemon(card);
   daemon.start();
-  moneq::MicDaemonBackend phi_backend(daemon);
+
+  moneq::BackendConfig substrate;
+  substrate.rapl = &reader;
+  substrate.nvml = &library;
+  substrate.nvml_handle = gpu;
+  substrate.nvml_label = "gpu_board";
+  substrate.mic_daemon = &daemon;
+
+  std::vector<std::unique_ptr<moneq::Backend>> backends;
+  for (const auto capability : {moneq::Capability::kRaplMsr, moneq::Capability::kNvml,
+                                moneq::Capability::kMicDaemon}) {
+    auto backend = moneq::make_backend(capability, substrate);
+    if (!backend.is_ok()) {
+      std::printf("backend %s: %s\n", std::string(to_string(capability)).c_str(),
+                  backend.status().to_string().c_str());
+      return 1;
+    }
+    backends.push_back(std::move(backend).value());
+  }
 
   // One profiler, three vendor mechanisms.
   smpi::World world(1);
   moneq::NodeProfiler profiler(engine, world, 0);
-  if (!profiler.add_backend(cpu_backend).is_ok()) return 1;
-  if (!profiler.add_backend(gpu_backend).is_ok()) return 1;
-  if (!profiler.add_backend(phi_backend).is_ok()) return 1;
+  for (auto& backend : backends) {
+    if (!profiler.add_backend(*backend).is_ok()) return 1;
+  }
   if (!profiler.set_polling_interval(sim::Duration::millis(200)).is_ok()) return 1;
   if (!profiler.initialize().is_ok()) return 1;
 

@@ -1,0 +1,28 @@
+#pragma once
+// envmon::fleet — the versioned public surface for fleet-scale collection.
+//
+// The paper's MonEQ results (Table III) are about scale: per-node
+// collection on up to 48 racks of Mira with sub-1% overhead.  Version 1
+// of this reproduction's public surface was the MonEQ C API (capi.hpp):
+// one bound profiler, int status codes, single-threaded.  Version 2 is
+// this namespace: a FleetRunner owns the whole profiler lifecycle
+// (configure → run → report), errors are common::Status, and the fleet
+// is simulated in parallel across worker threads while staying
+// byte-deterministic (see runner.hpp for the execution model).
+//
+// Versioning: `inline namespace v2` keeps envmon::fleet::FleetRunner
+// spelling stable while allowing a future v3 to coexist; the constants
+// below let callers assert against the surface they compiled for.  The
+// MonEQ_* shims remain as [[deprecated]] thin wrappers so the paper's
+// two-line Listing 1 still compiles.
+
+#include "fleet/runner.hpp"
+
+namespace envmon::fleet {
+
+inline constexpr int kApiVersionMajor = 2;
+inline constexpr int kApiVersionMinor = 0;
+
+[[nodiscard]] constexpr const char* api_version_string() { return "envmon.fleet/v2.0"; }
+
+}  // namespace envmon::fleet

@@ -1,0 +1,107 @@
+#include "fleet/ingest.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+IngestQueue::IngestQueue(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {
+  if (obs::enabled()) {
+    auto& registry = obs::default_registry();
+    depth_metric_ = &registry.gauge("envmon_fleet_queue_depth",
+                                    "Epoch batches staged in the fleet ingest queue");
+    stalls_metric_ = &registry.counter(
+        "envmon_fleet_ingest_stalls_total",
+        "Epoch-barrier pushes that blocked on a full ingest queue");
+  }
+}
+
+bool IngestQueue::push(EpochBatch batch) {
+  std::unique_lock lock(mutex_);
+  if (items_.size() >= capacity_ && !closed_) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    if (stalls_metric_ != nullptr) stalls_metric_->inc();
+    const auto began = std::chrono::steady_clock::now();
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    stall_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - began).count();
+  }
+  if (closed_) return false;
+  items_.push_back(std::move(batch));
+  if (depth_metric_ != nullptr) depth_metric_->set(static_cast<double>(items_.size()));
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<EpochBatch> IngestQueue::pop() {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+  if (items_.empty()) return std::nullopt;
+  EpochBatch batch = std::move(items_.front());
+  items_.pop_front();
+  if (depth_metric_ != nullptr) depth_metric_->set(static_cast<double>(items_.size()));
+  not_full_.notify_one();
+  return batch;
+}
+
+void IngestQueue::close() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t IngestQueue::depth() const {
+  const std::scoped_lock lock(mutex_);
+  return items_.size();
+}
+
+double IngestQueue::stall_seconds() const {
+  const std::scoped_lock lock(mutex_);
+  return stall_seconds_;
+}
+
+IngestWorker::IngestWorker(tsdb::EnvDatabase& db, IngestQueue& queue)
+    : db_(&db), queue_(&queue) {
+  if (obs::enabled()) {
+    applied_metric_ = &obs::default_registry().counter(
+        "envmon_fleet_records_applied_total",
+        "Records the ingest thread applied to the environmental database");
+  }
+}
+
+void IngestWorker::run() {
+  while (auto batch = queue_->pop()) {
+    apply(std::move(*batch));
+  }
+}
+
+void IngestWorker::apply(EpochBatch&& batch) {
+  // Per-node streams are already time-ordered; concatenating in node
+  // order and stable-sorting by timestamp yields the one global order
+  // the store accepts (non-decreasing timestamps, ties by node index) —
+  // independent of which worker staged what.
+  std::vector<tsdb::Record> rows;
+  rows.reserve(batch.rows);
+  for (NodeBatch& node : batch.nodes) {
+    rows.insert(rows.end(), std::make_move_iterator(node.records.begin()),
+                std::make_move_iterator(node.records.end()));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const tsdb::Record& a, const tsdb::Record& b) {
+                     return a.timestamp.ns() < b.timestamp.ns();
+                   });
+  const auto result = db_->insert_batch(rows);
+  ++stats_.batches;
+  stats_.accepted += result.accepted;
+  stats_.rejected_out_of_order += result.rejected_out_of_order;
+  stats_.rejected_rate_limited += result.rejected_rate_limited;
+  stats_.rejected_unavailable += result.rejected_unavailable;
+  if (applied_metric_ != nullptr) applied_metric_->inc(result.accepted);
+}
+
+}  // namespace v2
+}  // namespace envmon::fleet

@@ -1,0 +1,108 @@
+#pragma once
+// The fleet's concurrent batched ingest path into tsdb::EnvDatabase.
+//
+// The store itself is single-threaded by design (one writer, ordered
+// timestamps — the DB2 stand-in).  Fleet workers therefore never touch
+// it directly: each worker stages its shard's records during an epoch,
+// the epoch barrier hands one ordered EpochBatch to a bounded queue, and
+// a dedicated ingest thread applies batches in epoch order — node order
+// within an epoch, timestamp-stable-sorted across nodes — so the store's
+// contents are byte-identical no matter how many workers produced them.
+//
+// The queue is bounded: when the applier falls behind by `capacity`
+// epochs, the barrier's producer side blocks (backpressure) instead of
+// letting staged records grow without limit — the nvidia-smi failure
+// mode of an unbounded decoupled sampler (arXiv:2312.02741) is exactly
+// what this prevents.  Stall counts and stalled wall time are exported
+// as metrics.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "tsdb/database.hpp"
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+// One node's records for one epoch, already in that node's time order.
+struct NodeBatch {
+  int node = 0;
+  std::vector<tsdb::Record> records;
+};
+
+// Everything the fleet staged during one epoch, ordered by node index.
+struct EpochBatch {
+  std::uint64_t epoch = 0;
+  std::vector<NodeBatch> nodes;
+  std::size_t rows = 0;
+};
+
+// Bounded MPSC queue of epoch batches (in practice one producer — the
+// epoch-barrier completion — and one consumer, the ingest thread).
+class IngestQueue {
+ public:
+  // `capacity` is in epochs; 0 is promoted to 1.
+  explicit IngestQueue(std::size_t capacity);
+
+  // Blocks while full.  Returns false (dropping the batch) after close().
+  bool push(EpochBatch batch);
+
+  // Blocks while empty; std::nullopt once closed and drained.
+  [[nodiscard]] std::optional<EpochBatch> pop();
+
+  // Wakes all waiters; further pushes fail, pops drain what remains.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double stall_seconds() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<EpochBatch> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::atomic<std::uint64_t> stalls_{0};
+  double stall_seconds_ = 0.0;  // guarded by mutex_
+
+  obs::Gauge* depth_metric_ = nullptr;
+  obs::Counter* stalls_metric_ = nullptr;
+};
+
+// The consumer side: drains the queue into the database, preserving the
+// deterministic order (epoch, node, timestamp-stable).
+class IngestWorker {
+ public:
+  IngestWorker(tsdb::EnvDatabase& db, IngestQueue& queue);
+
+  // Consumes until the queue is closed and drained.  Run on one thread.
+  void run();
+
+  struct Stats {
+    std::uint64_t batches = 0;
+    std::size_t accepted = 0;
+    std::size_t rejected_out_of_order = 0;
+    std::size_t rejected_rate_limited = 0;
+    std::size_t rejected_unavailable = 0;
+  };
+  // Safe to read after run() returns (or the running thread is joined).
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void apply(EpochBatch&& batch);
+
+  tsdb::EnvDatabase* db_;
+  IngestQueue* queue_;
+  Stats stats_;
+  obs::Counter* applied_metric_ = nullptr;
+};
+
+}  // namespace v2
+}  // namespace envmon::fleet

@@ -1,0 +1,164 @@
+#include "fleet/node.hpp"
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+namespace {
+
+// BG/Q addressing for a rank, mirroring moneq::node_location().
+constexpr int kCardsPerBoard = 32;
+constexpr int kBoardsPerMidplane = 16;
+constexpr int kMidplanesPerRack = 2;
+
+}  // namespace
+
+FleetNode::FleetNode(const smpi::World& world, NodeOptions options)
+    : world_(&world),
+      options_(std::move(options)),
+      injector_(std::make_unique<fault::Injector>(engine_, options_.seed)),
+      location_(moneq::node_location(options_.rank)),
+      file_name_(moneq::node_file_name(options_.rank)) {}
+
+Status FleetNode::build_substrate(moneq::BackendConfig& config,
+                                  moneq::Capability capability) {
+  const sim::SimTime start = sim::SimTime::zero();
+  switch (capability) {
+    case moneq::Capability::kBgqEmon: {
+      const int board_index = (options_.rank / kCardsPerBoard) % kBoardsPerMidplane;
+      const int midplane =
+          (options_.rank / (kCardsPerBoard * kBoardsPerMidplane)) % kMidplanesPerRack;
+      const int rack = options_.rank / (kCardsPerBoard * kBoardsPerMidplane * kMidplanesPerRack);
+      board_ = std::make_unique<bgq::NodeBoard>(rack, midplane, board_index);
+      if (options_.workload != nullptr) {
+        board_->model().run_workload(options_.workload, start);
+      }
+      emon_ = std::make_unique<bgq::EmonSession>(*board_);
+      emon_->attach_fault_hook(*injector_);
+      config.emon = emon_.get();
+      return Status::ok();
+    }
+    case moneq::Capability::kRaplMsr: {
+      rapl::PackageConfig package_config;
+      package_config.seed = options_.seed;
+      package_ = std::make_unique<rapl::CpuPackage>(engine_, package_config);
+      if (options_.workload != nullptr) package_->run_workload(options_.workload, start);
+      rapl_reader_ =
+          std::make_unique<rapl::MsrRaplReader>(*package_, rapl::Credentials{true, 0});
+      rapl_reader_->attach_fault_hook(*injector_);
+      config.rapl = rapl_reader_.get();
+      return Status::ok();
+    }
+    case moneq::Capability::kNvml: {
+      nvml_ = std::make_unique<nvml::NvmlLibrary>(engine_);
+      auto device = std::make_shared<nvml::GpuDevice>(nvml::k20_spec(), options_.seed);
+      if (options_.workload != nullptr) device->run_workload(options_.workload, start);
+      nvml_->attach_device(std::move(device));
+      nvml_->attach_fault_hook(*injector_);
+      if (nvml_->init() != nvml::NvmlReturn::kSuccess) {
+        return Status(StatusCode::kUnavailable, "nvml init failed");
+      }
+      nvml::NvmlDeviceHandle handle;
+      if (nvml_->device_get_handle_by_index(0, &handle) != nvml::NvmlReturn::kSuccess) {
+        return Status(StatusCode::kUnavailable, "nvml device handle unavailable");
+      }
+      config.nvml = nvml_.get();
+      config.nvml_handle = handle;
+      config.nvml_label = "gpu_board";
+      return Status::ok();
+    }
+    case moneq::Capability::kMicSysMgmt: {
+      if (phi_ == nullptr) {
+        phi_ = std::make_unique<mic::PhiCard>(engine_);
+        if (options_.workload != nullptr) phi_->run_workload(options_.workload, start);
+      }
+      scif_ = std::make_unique<mic::ScifNetwork>();
+      sysmgmt_ = std::make_unique<mic::SysMgmtService>(*phi_, *scif_, 1);
+      auto client = mic::SysMgmtClient::connect(*scif_, 1);
+      if (!client.is_ok()) return client.status();
+      mic_client_.emplace(std::move(client.value()));
+      mic_client_->attach_fault_hook(*injector_);
+      config.mic_client = &*mic_client_;
+      return Status::ok();
+    }
+    case moneq::Capability::kMicDaemon: {
+      if (phi_ == nullptr) {
+        phi_ = std::make_unique<mic::PhiCard>(engine_);
+        if (options_.workload != nullptr) phi_->run_workload(options_.workload, start);
+      }
+      micras_ = std::make_unique<mic::MicrasDaemon>(*phi_);
+      micras_->attach_fault_hook(*injector_);
+      micras_->start();
+      config.mic_daemon = micras_.get();
+      return Status::ok();
+    }
+  }
+  return Status(StatusCode::kInvalidArgument, "unknown capability");
+}
+
+Status FleetNode::configure() {
+  if (profiler_ != nullptr) {
+    return Status(StatusCode::kFailedPrecondition, "node already configured");
+  }
+  if (options_.capabilities.empty()) {
+    return Status(StatusCode::kInvalidArgument, "node has no capabilities");
+  }
+  moneq::BackendConfig config;
+  for (const moneq::Capability capability : options_.capabilities) {
+    if (const Status s = build_substrate(config, capability); !s.is_ok()) return s;
+    auto backend = moneq::make_backend(capability, config);
+    if (!backend.is_ok()) return backend.status();
+    backends_.push_back(std::move(backend.value()));
+  }
+
+  moneq::ProfilerOptions profiler_options;
+  profiler_options.polling_interval = options_.polling_interval;
+  profiler_options.degradation = options_.degradation;
+  profiler_ = std::make_unique<moneq::NodeProfiler>(engine_, *world_, options_.rank,
+                                                    profiler_options);
+  for (auto& backend : backends_) {
+    if (const Status s = profiler_->add_backend(*backend); !s.is_ok()) return s;
+  }
+  return profiler_->initialize();
+}
+
+void FleetNode::drain(std::vector<tsdb::Record>& out) {
+  const std::vector<moneq::Sample>& samples = profiler_->samples();
+  if (options_.ingest == IngestMode::kPerSample) {
+    for (std::size_t i = drain_cursor_; i < samples.size(); ++i) {
+      const moneq::Sample& s = samples[i];
+      out.push_back({s.t, location_, "moneq_" + s.domain, s.value});
+    }
+  } else {
+    // One record per poll tick: every sample of a tick carries the same
+    // timestamp, so groups are contiguous runs of equal t.
+    std::size_t i = drain_cursor_;
+    while (i < samples.size()) {
+      const sim::SimTime tick = samples[i].t;
+      double watts = 0.0;
+      bool any_power = false;
+      for (; i < samples.size() && samples[i].t == tick; ++i) {
+        if (samples[i].quantity == moneq::Quantity::kPowerWatts) {
+          watts += samples[i].value;
+          any_power = true;
+        }
+      }
+      if (any_power) {
+        out.push_back({tick, location_, "moneq_node_power_watts", watts});
+      }
+    }
+  }
+  drain_cursor_ = samples.size();
+}
+
+Status FleetNode::finalize(const smpi::FileSystemModel* fs, bool render) {
+  const Status s = profiler_->finalize(fs, nullptr);
+  if (!s.is_ok()) return s;
+  if (render) {
+    file_content_ =
+        moneq::render_node_file(profiler_->samples(), profiler_->tags(), profiler_->gaps());
+  }
+  return Status::ok();
+}
+
+}  // namespace v2
+}  // namespace envmon::fleet

@@ -1,0 +1,131 @@
+#pragma once
+// One node of the simulated fleet: a self-contained virtual-clock
+// partition.
+//
+// Determinism across worker counts rests entirely on this class: a
+// FleetNode owns its *own* sim::Engine plus every piece of simulated
+// hardware its backends read (node board, CPU package, GPU, Phi card),
+// its own fault::Injector, and its own NodeProfiler.  Nothing a worker
+// thread does to one node can observe or perturb another node — so the
+// per-node sample stream is a pure function of (rank, seed, spec,
+// workload), and sharding nodes across any number of workers cannot
+// change it.  The only shared mutable state is the obs registry, whose
+// series are atomics (sums are order-independent).
+//
+// A node's clock advances in lockstep epochs driven by the FleetRunner;
+// between epochs the runner drains the samples recorded since the last
+// drain as tsdb records for the ordered ingest path (ingest.hpp).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgq/emon.hpp"
+#include "bgq/machine.hpp"
+#include "common/status.hpp"
+#include "fault/injector.hpp"
+#include "mic/card.hpp"
+#include "mic/micras.hpp"
+#include "mic/scif.hpp"
+#include "mic/sysmgmt.hpp"
+#include "moneq/factory.hpp"
+#include "moneq/health.hpp"
+#include "moneq/output.hpp"
+#include "moneq/profiler.hpp"
+#include "nvml/api.hpp"
+#include "nvml/device.hpp"
+#include "rapl/package.hpp"
+#include "rapl/reader.hpp"
+#include "sim/engine.hpp"
+#include "smpi/smpi.hpp"
+#include "tsdb/database.hpp"
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+// What lands in the environmental database per node.
+enum class IngestMode : std::uint8_t {
+  // Every recorded sample becomes one record ("moneq_<domain>"), the
+  // store_node_samples() convention — full fidelity, heaviest ingest.
+  kPerSample = 0,
+  // One record per poll tick: the sum of that tick's power-quantity
+  // samples ("moneq_node_power_watts") — the board-level granularity the
+  // real environmental database keeps (paper §II-A).
+  kNodePower,
+};
+
+struct NodeOptions {
+  int rank = 0;
+  std::vector<moneq::Capability> capabilities{moneq::Capability::kBgqEmon};
+  std::optional<sim::Duration> polling_interval;
+  moneq::DegradationPolicy degradation;
+  // Per-node RNG seed (already mixed with the rank by the runner).
+  std::uint64_t seed = 0;
+  // Shared read-only workload profile; must outlive the node.
+  const power::UtilizationProfile* workload = nullptr;
+  IngestMode ingest = IngestMode::kPerSample;
+};
+
+class FleetNode {
+ public:
+  // `world` is shared and read-only (collective cost model).
+  FleetNode(const smpi::World& world, NodeOptions options);
+  FleetNode(const FleetNode&) = delete;
+  FleetNode& operator=(const FleetNode&) = delete;
+
+  // Builds the substrate named by the capability list, attaches the
+  // backends through moneq::make_backend, wires fault hooks, and
+  // initializes the profiler.  Main-thread only (registers metrics).
+  Status configure();
+
+  // Advances this node's clock partition to `t` (worker thread).
+  void advance_to(sim::SimTime t) { engine_.run_until(t); }
+
+  // Converts samples recorded since the previous drain into tsdb
+  // records (worker thread; touches only this node's state).
+  void drain(std::vector<tsdb::Record>& out);
+
+  // Stops collection and renders the node file into memory (worker
+  // thread); the runner writes files out in node order afterwards.
+  Status finalize(const smpi::FileSystemModel* fs, bool render);
+
+  [[nodiscard]] int rank() const { return options_.rank; }
+  [[nodiscard]] const std::string& file_name() const { return file_name_; }
+  [[nodiscard]] const std::string& file_content() const { return file_content_; }
+  [[nodiscard]] const moneq::NodeProfiler& profiler() const { return *profiler_; }
+  [[nodiscard]] fault::Injector& injector() { return *injector_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+ private:
+  Status build_substrate(moneq::BackendConfig& config, moneq::Capability capability);
+
+  const smpi::World* world_;
+  NodeOptions options_;
+
+  sim::Engine engine_;
+  std::unique_ptr<fault::Injector> injector_;
+
+  // Vendor substrate, built on demand per capability.
+  std::unique_ptr<bgq::NodeBoard> board_;
+  std::unique_ptr<bgq::EmonSession> emon_;
+  std::unique_ptr<rapl::CpuPackage> package_;
+  std::unique_ptr<rapl::MsrRaplReader> rapl_reader_;
+  std::unique_ptr<nvml::NvmlLibrary> nvml_;
+  std::unique_ptr<mic::PhiCard> phi_;
+  std::unique_ptr<mic::ScifNetwork> scif_;
+  std::unique_ptr<mic::SysMgmtService> sysmgmt_;
+  std::optional<mic::SysMgmtClient> mic_client_;
+  std::unique_ptr<mic::MicrasDaemon> micras_;
+
+  std::vector<std::unique_ptr<moneq::Backend>> backends_;
+  std::unique_ptr<moneq::NodeProfiler> profiler_;
+
+  tsdb::Location location_;
+  std::size_t drain_cursor_ = 0;
+  std::string file_name_;
+  std::string file_content_;
+};
+
+}  // namespace v2
+}  // namespace envmon::fleet

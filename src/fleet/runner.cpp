@@ -1,0 +1,274 @@
+#include "fleet/runner.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+namespace {
+
+// splitmix64: decorrelates per-node seeds from the fleet seed so that
+// neighbouring ranks don't draw neighbouring RNG streams.
+std::uint64_t mix_seed(std::uint64_t fleet_seed, int rank) {
+  std::uint64_t z =
+      fleet_seed + std::uint64_t{0x9e3779b97f4a7c15} * (static_cast<std::uint64_t>(rank) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Barrier waits shorter than this are normal rendezvous jitter, not
+// load imbalance; only longer parks count as stalls.
+constexpr double kStallFloorSeconds = 1e-3;
+
+}  // namespace
+
+FleetRunner::FleetRunner() = default;
+FleetRunner::~FleetRunner() = default;
+
+Status FleetRunner::configure(FleetConfig config) {
+  if (state_ != State::kIdle) {
+    return Status(StatusCode::kFailedPrecondition, "fleet runner already configured");
+  }
+  if (config.nodes <= 0) {
+    return Status(StatusCode::kInvalidArgument, "fleet needs at least one node");
+  }
+  if (config.threads <= 0) {
+    return Status(StatusCode::kInvalidArgument, "fleet needs at least one worker thread");
+  }
+  if (config.epoch.ns() <= 0) {
+    return Status(StatusCode::kInvalidArgument, "epoch must be positive");
+  }
+  if (config.horizon.ns() <= 0) {
+    return Status(StatusCode::kInvalidArgument, "horizon must be positive");
+  }
+  if (config.capabilities.empty()) {
+    return Status(StatusCode::kInvalidArgument, "fleet nodes need at least one capability");
+  }
+  config_ = std::move(config);
+  config_.threads = std::min(config_.threads, config_.nodes);
+
+  if (config_.workload == nullptr) {
+    default_workload_ = workloads::mmps({.total = config_.horizon});
+    config_.workload = &default_workload_;
+  }
+
+  world_ = std::make_unique<smpi::World>(config_.nodes);
+  db_ = std::make_unique<tsdb::EnvDatabase>(config_.database);
+
+  nodes_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (int rank = 0; rank < config_.nodes; ++rank) {
+    NodeOptions options;
+    options.rank = rank;
+    options.capabilities = config_.capabilities;
+    options.polling_interval = config_.polling_interval;
+    options.degradation = config_.degradation;
+    options.seed = mix_seed(config_.seed, rank);
+    options.workload = config_.workload;
+    options.ingest = config_.ingest;
+    auto node = std::make_unique<FleetNode>(*world_, std::move(options));
+    if (const Status s = node->configure(); !s.is_ok()) {
+      return Status(s.code(), "node " + std::to_string(rank) + ": " + std::string(s.message()));
+    }
+    if (config_.fault_script) config_.fault_script(node->injector(), rank);
+    nodes_.push_back(std::move(node));
+  }
+
+  if (obs::enabled()) {
+    auto& registry = obs::default_registry();
+    epoch_seconds_metric_ = &registry.histogram(
+        "envmon_fleet_epoch_seconds", "Wall time per fleet lockstep epoch",
+        obs::Histogram::exponential_bounds(1e-5, 4.0, 12));
+    epochs_metric_ =
+        &registry.counter("envmon_fleet_epochs_total", "Lockstep epochs completed");
+    staged_metric_ = &registry.counter("envmon_fleet_records_staged_total",
+                                       "Records staged at the epoch barrier");
+    for (int shard = 0; shard < config_.threads; ++shard) {
+      const std::string labels = "shard=\"" + std::to_string(shard) + "\"";
+      shard_stall_metrics_.push_back(&registry.counter(
+          "envmon_fleet_shard_stalls_total",
+          "Epoch-barrier parks longer than the rendezvous floor", labels));
+      shard_stall_seconds_metrics_.push_back(&registry.gauge(
+          "envmon_fleet_shard_stall_seconds", "Cumulative barrier wait per shard", labels));
+    }
+  }
+
+  state_ = State::kConfigured;
+  return Status::ok();
+}
+
+Status FleetRunner::run() {
+  if (state_ != State::kConfigured) {
+    return Status(StatusCode::kFailedPrecondition,
+                  state_ == State::kRan ? "fleet runner already ran"
+                                        : "fleet runner not configured");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const int threads = config_.threads;
+  const std::uint64_t epoch_count = static_cast<std::uint64_t>(
+      (config_.horizon.ns() + config_.epoch.ns() - 1) / config_.epoch.ns());
+
+  // Contiguous shards: shard s owns ranks [bounds[s], bounds[s+1]).
+  std::vector<int> bounds(static_cast<std::size_t>(threads) + 1);
+  const int base = config_.nodes / threads;
+  const int extra = config_.nodes % threads;
+  for (int s = 0; s < threads; ++s) {
+    bounds[static_cast<std::size_t>(s) + 1] =
+        bounds[static_cast<std::size_t>(s)] + base + (s < extra ? 1 : 0);
+  }
+
+  IngestQueue queue(config_.ingest_queue_capacity);
+  IngestWorker ingest(*db_, queue);
+  std::thread ingest_thread([&ingest] { ingest.run(); });
+
+  std::vector<std::vector<NodeBatch>> staging(static_cast<std::size_t>(threads));
+  std::vector<double> shard_stalls(static_cast<std::size_t>(threads), 0.0);
+  std::vector<Status> shard_status(static_cast<std::size_t>(threads), Status::ok());
+
+  // State below is touched only by the barrier completion, which the
+  // barrier runs on exactly one thread per phase.
+  std::uint64_t epoch_index = 0;
+  auto epoch_began = std::chrono::steady_clock::now();
+  std::size_t staged_rows = 0;
+
+  auto on_epoch_complete = [&]() noexcept {
+    EpochBatch batch;
+    batch.epoch = epoch_index++;
+    batch.nodes.reserve(nodes_.size());
+    for (std::vector<NodeBatch>& shard : staging) {
+      for (NodeBatch& node : shard) {
+        batch.rows += node.records.size();
+        batch.nodes.push_back(std::move(node));
+      }
+      shard.clear();
+    }
+    staged_rows += batch.rows;
+    if (staged_metric_ != nullptr) staged_metric_->inc(batch.rows);
+    if (batch.rows > 0) queue.push(std::move(batch));
+    if (epochs_metric_ != nullptr) epochs_metric_->inc();
+    if (epoch_seconds_metric_ != nullptr) epoch_seconds_metric_->observe(seconds_since(epoch_began));
+    epoch_began = std::chrono::steady_clock::now();
+  };
+  std::barrier barrier(threads, on_epoch_complete);
+
+  auto worker = [&](int shard) {
+    const int begin = bounds[static_cast<std::size_t>(shard)];
+    const int end = bounds[static_cast<std::size_t>(shard) + 1];
+    std::vector<NodeBatch>& stage = staging[static_cast<std::size_t>(shard)];
+    for (std::uint64_t e = 1; e <= epoch_count; ++e) {
+      const sim::SimTime target =
+          e == epoch_count ? sim::SimTime::zero() + config_.horizon
+                           : sim::SimTime::zero() + config_.epoch * static_cast<std::int64_t>(e);
+      for (int rank = begin; rank < end; ++rank) {
+        nodes_[static_cast<std::size_t>(rank)]->advance_to(target);
+        NodeBatch node_batch;
+        node_batch.node = rank;
+        nodes_[static_cast<std::size_t>(rank)]->drain(node_batch.records);
+        if (!node_batch.records.empty()) stage.push_back(std::move(node_batch));
+      }
+      const auto park = std::chrono::steady_clock::now();
+      barrier.arrive_and_wait();
+      const double waited = seconds_since(park);
+      shard_stalls[static_cast<std::size_t>(shard)] += waited;
+      if (waited > kStallFloorSeconds && shard < static_cast<int>(shard_stall_metrics_.size())) {
+        shard_stall_metrics_[static_cast<std::size_t>(shard)]->inc();
+      }
+    }
+    // Post-run: stop collection and render node files shard-parallel;
+    // the caller's thread writes them out in rank order afterwards.
+    for (int rank = begin; rank < end; ++rank) {
+      const Status s = nodes_[static_cast<std::size_t>(rank)]->finalize(
+          config_.filesystem, config_.output != nullptr);
+      if (!s.is_ok()) {
+        shard_status[static_cast<std::size_t>(shard)] = s;
+        return;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int s = 0; s < threads; ++s) pool.emplace_back(worker, s);
+    for (std::thread& t : pool) t.join();
+  }
+
+  queue.close();
+  ingest_thread.join();
+
+  for (int s = 0; s < threads; ++s) {
+    if (s < static_cast<int>(shard_stall_seconds_metrics_.size())) {
+      shard_stall_seconds_metrics_[static_cast<std::size_t>(s)]->set(
+          shard_stalls[static_cast<std::size_t>(s)]);
+    }
+    if (!shard_status[static_cast<std::size_t>(s)].is_ok()) {
+      return shard_status[static_cast<std::size_t>(s)];
+    }
+  }
+
+  // Deterministic output: files land in rank order regardless of which
+  // shard rendered them first.
+  if (config_.output != nullptr) {
+    for (const std::unique_ptr<FleetNode>& node : nodes_) {
+      const Status s = config_.output->write(node->file_name(), node->file_content());
+      if (!s.is_ok()) return s;
+    }
+  }
+
+  report_.nodes = config_.nodes;
+  report_.threads = threads;
+  report_.epochs = epoch_count;
+  for (const std::unique_ptr<FleetNode>& node : nodes_) {
+    const moneq::NodeProfiler& profiler = node->profiler();
+    const moneq::OverheadReport overhead = profiler.overhead();
+    report_.polls += overhead.polls;
+    report_.samples += profiler.samples().size();
+    report_.dropped_samples += profiler.dropped_samples();
+    report_.degraded_polls += profiler.degraded_polls();
+    report_.gap_markers += profiler.gaps().size();
+    report_.initialize_total += overhead.initialize;
+    report_.collection_total += overhead.collection;
+    report_.finalize_total += overhead.finalize;
+  }
+  const IngestWorker::Stats& ingest_stats = ingest.stats();
+  report_.records_staged = staged_rows;
+  report_.records_applied = ingest_stats.accepted;
+  report_.rejected_out_of_order = ingest_stats.rejected_out_of_order;
+  report_.rejected_rate_limited = ingest_stats.rejected_rate_limited;
+  report_.rejected_unavailable = ingest_stats.rejected_unavailable;
+  report_.database_rows = db_->size();
+  report_.ingest_stalls = queue.stalls();
+  report_.ingest_stall_seconds = queue.stall_seconds();
+  report_.shard_stall_seconds = std::move(shard_stalls);
+  report_.wall_seconds = seconds_since(t0);
+  if (report_.wall_seconds > 0.0) {
+    report_.node_seconds_per_second =
+        config_.horizon.to_seconds() * static_cast<double>(config_.nodes) / report_.wall_seconds;
+  }
+
+  state_ = State::kRan;
+  return Status::ok();
+}
+
+Result<FleetReport> FleetRunner::report() const {
+  if (state_ != State::kRan) {
+    return Status(StatusCode::kFailedPrecondition, "fleet has not run");
+  }
+  return report_;
+}
+
+tsdb::EnvDatabase& FleetRunner::database() { return *db_; }
+
+}  // namespace v2
+}  // namespace envmon::fleet

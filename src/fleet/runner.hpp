@@ -1,0 +1,163 @@
+#pragma once
+// FleetRunner — parallel fleet collection behind the v2 lifecycle.
+//
+// Execution model (the determinism contract):
+//
+//   * The fleet's N nodes are N independent virtual-clock partitions
+//     (FleetNode).  configure() builds all of them on the calling
+//     thread, so construction order — and therefore every seed, metric
+//     registration, and substrate parameter — never depends on the
+//     worker count.
+//   * run() shards the nodes into `threads` contiguous blocks and
+//     advances every partition in lockstep epochs: each worker runs its
+//     shard's engines to the epoch boundary, drains the new samples
+//     into a per-shard staging buffer, and parks at the epoch barrier.
+//   * The barrier's completion step concatenates the shard buffers in
+//     node order into one EpochBatch and hands it to the bounded ingest
+//     queue; a dedicated ingest thread stable-sorts each batch by
+//     timestamp (ties keep node order) and applies it to the
+//     environmental database.  Apply order is thus a pure function of
+//     (epoch, node, sample) — identical for 1, 2, or 64 workers, and
+//     with one worker identical to driving the engines sequentially.
+//   * After the last epoch the workers finalize their nodes (rendering
+//     the per-node files in parallel); the files are then written to
+//     the output target in rank order on the caller's thread.
+//
+// Shared mutable state during run() is limited to: obs metrics
+// (atomics), the ingest queue (mutex + condvars), and the epoch barrier.
+// Everything a worker simulates is shard-private.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fleet/ingest.hpp"
+#include "fleet/node.hpp"
+#include "moneq/output.hpp"
+#include "power/profile.hpp"
+#include "smpi/smpi.hpp"
+#include "tsdb/database.hpp"
+#include "workloads/library.hpp"
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+struct FleetConfig {
+  // Fleet shape.  Homogeneous nodes, as on Mira: every node carries the
+  // same capability list (paper: "if every node in a system has two
+  // GPUs, then every node will spend the same amount of time
+  // collecting data").
+  int nodes = 32;
+  std::vector<moneq::Capability> capabilities{moneq::Capability::kBgqEmon};
+
+  // Parallelism.  `threads` is clamped to `nodes`; 1 reproduces the
+  // sequential engine exactly.
+  int threads = 1;
+  sim::Duration epoch = sim::Duration::seconds(1);
+  sim::Duration horizon = sim::Duration::seconds(60);
+
+  // Collection.
+  std::optional<sim::Duration> polling_interval;  // default: hardware floor
+  moneq::DegradationPolicy degradation;
+  std::uint64_t seed = 0x5eedf1ee7ull;
+  // Shared read-only workload; nullptr runs the built-in MMPS profile.
+  const power::UtilizationProfile* workload = nullptr;
+
+  // Ingest into the environmental database.
+  IngestMode ingest = IngestMode::kPerSample;
+  std::size_t ingest_queue_capacity = 4;  // epochs of backpressure headroom
+  tsdb::DatabaseOptions database;
+
+  // Output files (nullptr discards them) and the shared-filesystem cost
+  // model applied at finalize (nullptr = free writes).
+  moneq::OutputTarget* output = nullptr;
+  const smpi::FileSystemModel* filesystem = nullptr;
+
+  // Fault scripting, applied to each node's injector at configure()
+  // time.  Schedules are per-node and on the node's own clock, so fault
+  // storms replay identically at any worker count.
+  std::function<void(fault::Injector&, int node)> fault_script;
+};
+
+struct FleetReport {
+  int nodes = 0;
+  int threads = 0;
+  std::uint64_t epochs = 0;
+
+  // Collection totals across the fleet.
+  std::uint64_t polls = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t dropped_samples = 0;
+  std::uint64_t degraded_polls = 0;
+  std::uint64_t gap_markers = 0;
+  sim::Duration initialize_total;
+  sim::Duration collection_total;
+  sim::Duration finalize_total;
+
+  // Ingest path.
+  std::size_t records_staged = 0;
+  std::size_t records_applied = 0;
+  std::size_t rejected_out_of_order = 0;
+  std::size_t rejected_rate_limited = 0;
+  std::size_t rejected_unavailable = 0;
+  std::size_t database_rows = 0;
+  std::uint64_t ingest_stalls = 0;
+  double ingest_stall_seconds = 0.0;
+
+  // Per-shard time parked at the epoch barrier (load imbalance plus
+  // ingest backpressure propagated through the completion step).
+  std::vector<double> shard_stall_seconds;
+
+  // Real time and throughput.
+  double wall_seconds = 0.0;
+  // Node-virtual-seconds simulated per real second: the fleet-scaling
+  // figure of merit (bench/fleet_scale gates its thread scaling).
+  double node_seconds_per_second = 0.0;
+};
+
+class FleetRunner {
+ public:
+  FleetRunner();
+  ~FleetRunner();
+  FleetRunner(const FleetRunner&) = delete;
+  FleetRunner& operator=(const FleetRunner&) = delete;
+
+  // Validates the config and builds every node (single-use: a runner
+  // drives exactly one fleet run).
+  Status configure(FleetConfig config);
+
+  // Simulates the fleet to the horizon.  Blocking; spawns the worker
+  // pool and the ingest thread internally.
+  Status run();
+
+  // The run's aggregate report; kFailedPrecondition before run().
+  [[nodiscard]] Result<FleetReport> report() const;
+
+  // Valid after configure().
+  [[nodiscard]] tsdb::EnvDatabase& database();
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const FleetNode& node(std::size_t i) const { return *nodes_[i]; }
+
+ private:
+  enum class State { kIdle, kConfigured, kRan };
+
+  State state_ = State::kIdle;
+  FleetConfig config_;
+  power::UtilizationProfile default_workload_;
+  std::unique_ptr<smpi::World> world_;
+  std::unique_ptr<tsdb::EnvDatabase> db_;
+  std::vector<std::unique_ptr<FleetNode>> nodes_;
+  FleetReport report_;
+
+  obs::Histogram* epoch_seconds_metric_ = nullptr;
+  obs::Counter* epochs_metric_ = nullptr;
+  obs::Counter* staged_metric_ = nullptr;
+  std::vector<obs::Counter*> shard_stall_metrics_;
+  std::vector<obs::Gauge*> shard_stall_seconds_metrics_;
+};
+
+}  // namespace v2
+}  // namespace envmon::fleet

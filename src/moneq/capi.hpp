@@ -1,5 +1,5 @@
 #pragma once
-// The MonEQ C API — the paper's Listing 1 surface.
+// The MonEQ C API — the paper's Listing 1 surface.  DEPRECATED.
 //
 //   status = MonEQ_Initialize();  // Setup Power
 //   /* User code */
@@ -8,11 +8,23 @@
 // Two lines of code on any platform.  The C entry points operate on a
 // bound NodeProfiler (per "process"); MonEQ_Bind* plays the role that
 // linking against the platform library + MPI rank context plays on real
-// hardware.  Examples use exactly this surface.
+// hardware.
+//
+// This is now the v1 surface.  The int status codes drop the failure
+// detail (kMonEQErrBackend covers everything from a missing GPU to a
+// quarantined daemon), the thread-global binding cannot express a fleet,
+// and callers must assemble substrate + profiler by hand.  New code
+// should use envmon::fleet (fleet/api.hpp): FleetRunner owns the
+// configure → run → report lifecycle and every error is a typed Status.
+// These shims stay source-compatible until in-tree callers migrate; see
+// DESIGN.md §9 for the per-call mapping.
 
 #include "moneq/profiler.hpp"
 
 namespace envmon::moneq::capi {
+
+#define ENVMON_MONEQ_DEPRECATED \
+  [[deprecated("MonEQ v1 C API: use envmon::fleet::FleetRunner (fleet/api.hpp)")]]
 
 // MonEQ status codes (0 = success, negative = failure).
 inline constexpr int kMonEQOk = 0;
@@ -23,20 +35,23 @@ inline constexpr int kMonEQErrBackend = -4;
 
 // Binds the calling context to a profiler (and optionally the shared
 // filesystem + output target used at finalize).  Pass nullptr to unbind.
+ENVMON_MONEQ_DEPRECATED
 void MonEQ_Bind(NodeProfiler* profiler, const smpi::FileSystemModel* fs = nullptr,
                 OutputTarget* output = nullptr);
 
-[[nodiscard]] int MonEQ_Initialize();
-[[nodiscard]] int MonEQ_Finalize();
+ENVMON_MONEQ_DEPRECATED [[nodiscard]] int MonEQ_Initialize();
+ENVMON_MONEQ_DEPRECATED [[nodiscard]] int MonEQ_Finalize();
 
 // Valid values are validated against the attached hardware; must be
 // called between Bind and Initialize.
-[[nodiscard]] int MonEQ_SetPollingInterval(double seconds);
+ENVMON_MONEQ_DEPRECATED [[nodiscard]] int MonEQ_SetPollingInterval(double seconds);
 
-[[nodiscard]] int MonEQ_StartTag(const char* name);
-[[nodiscard]] int MonEQ_EndTag(const char* name);
+ENVMON_MONEQ_DEPRECATED [[nodiscard]] int MonEQ_StartTag(const char* name);
+ENVMON_MONEQ_DEPRECATED [[nodiscard]] int MonEQ_EndTag(const char* name);
 
 // Introspection used by examples to report what happened.
-[[nodiscard]] NodeProfiler* MonEQ_BoundProfiler();
+ENVMON_MONEQ_DEPRECATED [[nodiscard]] NodeProfiler* MonEQ_BoundProfiler();
+
+#undef ENVMON_MONEQ_DEPRECATED
 
 }  // namespace envmon::moneq::capi

@@ -1,0 +1,48 @@
+#include "moneq/factory.hpp"
+
+#include "moneq/backend_bgq.hpp"
+#include "moneq/backend_mic.hpp"
+#include "moneq/backend_nvml.hpp"
+#include "moneq/backend_rapl.hpp"
+
+namespace envmon::moneq {
+
+namespace {
+
+Status missing(Capability capability, std::string_view field) {
+  return Status(StatusCode::kInvalidArgument,
+                std::string(to_string(capability)) + ": BackendConfig::" + std::string(field) +
+                    " must be set");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Backend>> make_backend(Capability capability,
+                                              const BackendConfig& config) {
+  switch (capability) {
+    case Capability::kBgqEmon:
+      if (config.emon == nullptr) return missing(capability, "emon");
+      return std::unique_ptr<Backend>(std::make_unique<BgqBackend>(*config.emon));
+    case Capability::kRaplMsr:
+      if (config.rapl == nullptr) return missing(capability, "rapl");
+      if (config.rapl_domains.empty()) {
+        return Status(StatusCode::kInvalidArgument, "rapl_msr: rapl_domains must be non-empty");
+      }
+      return std::unique_ptr<Backend>(
+          std::make_unique<RaplBackend>(*config.rapl, config.rapl_domains));
+    case Capability::kNvml:
+      if (config.nvml == nullptr) return missing(capability, "nvml");
+      if (config.nvml_handle.index == SIZE_MAX) return missing(capability, "nvml_handle");
+      return std::unique_ptr<Backend>(
+          std::make_unique<NvmlBackend>(*config.nvml, config.nvml_handle, config.nvml_label));
+    case Capability::kMicSysMgmt:
+      if (config.mic_client == nullptr) return missing(capability, "mic_client");
+      return std::unique_ptr<Backend>(std::make_unique<MicInbandBackend>(*config.mic_client));
+    case Capability::kMicDaemon:
+      if (config.mic_daemon == nullptr) return missing(capability, "mic_daemon");
+      return std::unique_ptr<Backend>(std::make_unique<MicDaemonBackend>(*config.mic_daemon));
+  }
+  return Status(StatusCode::kInvalidArgument, "unknown capability");
+}
+
+}  // namespace envmon::moneq

@@ -1,0 +1,93 @@
+#pragma once
+// Capability-keyed backend construction.
+//
+// Each vendor backend historically exposed its own constructor shape
+// (EMON wants a session, RAPL a reader plus a domain list, NVML a
+// library plus an opaque handle, the Phi one of two transports).  Fleet
+// assembly — standing up hundreds of identical nodes — wants one
+// construction surface instead: name the capability, hand over a config
+// holding whichever substrate objects the node owns, and get a Backend
+// or a Status explaining what was missing.  The bespoke constructors
+// still exist (the backends need them), but callers should come through
+// make_backend().
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "moneq/backend.hpp"
+#include "nvml/api.hpp"
+#include "rapl/registers.hpp"
+
+namespace envmon::bgq {
+class EmonSession;
+}
+namespace envmon::rapl {
+class MsrRaplReader;
+}
+namespace envmon::mic {
+class SysMgmtClient;
+class MicrasDaemon;
+}  // namespace envmon::mic
+
+namespace envmon::moneq {
+
+// One collection capability a node can carry.  Finer-grained than
+// PlatformId because the Xeon Phi offers two distinct mechanisms with
+// opposite trade-offs (paper Fig 7).
+enum class Capability : std::uint8_t {
+  kBgqEmon = 0,     // node-board power domains via the EMON API
+  kRaplMsr,         // package energy counters via /dev/cpu/*/msr
+  kNvml,            // GPU board sensors via NVML
+  kMicSysMgmt,      // Phi in-band SysMgmt/SCIF path (perturbs the card)
+  kMicDaemon,       // Phi on-card MICRAS daemon path
+};
+inline constexpr std::size_t kCapabilityCount = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(Capability c) {
+  switch (c) {
+    case Capability::kBgqEmon: return "bgq_emon";
+    case Capability::kRaplMsr: return "rapl_msr";
+    case Capability::kNvml: return "nvml";
+    case Capability::kMicSysMgmt: return "mic_sysmgmt_api";
+    case Capability::kMicDaemon: return "mic_micras_daemon";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr PlatformId platform_of(Capability c) {
+  switch (c) {
+    case Capability::kBgqEmon: return PlatformId::kBgq;
+    case Capability::kRaplMsr: return PlatformId::kRapl;
+    case Capability::kNvml: return PlatformId::kNvml;
+    case Capability::kMicSysMgmt:
+    case Capability::kMicDaemon: return PlatformId::kXeonPhi;
+  }
+  return PlatformId::kBgq;
+}
+
+// Substrate a node makes available to its backends.  All pointers are
+// non-owning (the vendor sessions belong to the caller, exactly as with
+// the bespoke constructors); only the fields for requested capabilities
+// need to be set.
+struct BackendConfig {
+  bgq::EmonSession* emon = nullptr;
+  rapl::MsrRaplReader* rapl = nullptr;
+  std::vector<rapl::RaplDomain> rapl_domains{rapl::RaplDomain::kPackage,
+                                             rapl::RaplDomain::kPp0,
+                                             rapl::RaplDomain::kDram};
+  nvml::NvmlLibrary* nvml = nullptr;
+  nvml::NvmlDeviceHandle nvml_handle{};
+  std::string nvml_label = "board";
+  mic::SysMgmtClient* mic_client = nullptr;
+  mic::MicrasDaemon* mic_daemon = nullptr;
+};
+
+// Builds the backend for `capability` from `config`.  Fails with
+// kInvalidArgument when the required substrate pointer is null.
+[[nodiscard]] Result<std::unique_ptr<Backend>> make_backend(Capability capability,
+                                                            const BackendConfig& config);
+
+}  // namespace envmon::moneq

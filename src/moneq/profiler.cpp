@@ -196,7 +196,6 @@ bool NodeProfiler::poll_backend(std::size_t i) {
       break;
     }
     if (metrics.errors != nullptr) metrics.errors->inc();
-    if (errors_.size() < 64) errors_.push_back(result.status());
     failure_reason = result.status().message();
     if (!health.may_retry(retries_used)) break;
     ++retries_used;

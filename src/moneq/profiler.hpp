@@ -116,14 +116,10 @@ class NodeProfiler {
   // Still-open gaps are closed at finalize() time.
   [[nodiscard]] const std::vector<GapMarker>& gaps() const { return gaps_; }
   // Poll ticks where at least one backend failed or was quarantined.
+  // (The old collection_errors() flat log is gone: backend_health(i)
+  // gives per-backend liveness and failure counts, gaps() gives the
+  // coverage holes with reasons.)
   [[nodiscard]] std::uint64_t degraded_polls() const { return degraded_polls_; }
-
-  // DEPRECATED: the flat error log predates the health machinery and
-  // keeps only the first 64 statuses with no per-backend attribution.
-  // Prefer backend_health(i) for liveness and gaps() for coverage; this
-  // accessor remains for source compatibility and will go once callers
-  // have migrated.
-  [[nodiscard]] const std::vector<Status>& collection_errors() const { return errors_; }
 
  private:
   void collect_now();
@@ -158,7 +154,6 @@ class NodeProfiler {
   obs::Gauge* buffer_hwm_metric_ = nullptr;
   std::vector<Sample> samples_;
   std::vector<TagMarker> tags_;
-  std::vector<Status> errors_;
   std::size_t dropped_ = 0;
 
   std::vector<BackendHealth> health_;

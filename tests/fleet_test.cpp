@@ -1,0 +1,234 @@
+// The fleet engine's contract: same seed → byte-identical output no
+// matter how many worker threads advanced the fleet.  These tests are
+// also the TSan workload for the engine (ctest -L fleet with
+// -DENVMON_TSAN=ON): every assertion doubles as a data-race probe on the
+// epoch barrier, the staging buffers, and the ingest queue.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/api.hpp"
+#include "moneq/factory.hpp"
+#include "moneq/output.hpp"
+#include "tsdb/export.hpp"
+
+namespace envmon {
+namespace {
+
+using fleet::FleetConfig;
+using fleet::FleetRunner;
+using sim::Duration;
+using sim::SimTime;
+
+// One complete fleet run; returns {concatenated node files, db csv}.
+struct RunOutput {
+  std::string files;
+  std::string db_csv;
+  fleet::FleetReport report;
+};
+
+RunOutput run_fleet(FleetConfig config) {
+  moneq::MemoryOutput output;
+  config.output = &output;
+  FleetRunner runner;
+  EXPECT_TRUE(runner.configure(std::move(config)).is_ok());
+  EXPECT_TRUE(runner.run().is_ok());
+  RunOutput out;
+  for (const auto& [name, content] : output.files()) {
+    out.files += "== " + name + "\n" + content;
+  }
+  out.db_csv = tsdb::export_csv(runner.database());
+  const auto report = runner.report();
+  EXPECT_TRUE(report.is_ok());
+  out.report = report.value();
+  return out;
+}
+
+FleetConfig small_fleet() {
+  FleetConfig config;
+  config.nodes = 12;
+  config.capabilities = {moneq::Capability::kBgqEmon, moneq::Capability::kRaplMsr};
+  config.epoch = Duration::seconds(1);
+  config.horizon = Duration::seconds(8);
+  config.polling_interval = Duration::millis(500);
+  config.seed = 0xfee7f1ee7ull;
+  // Per-sample ingest exercises the heaviest merge path.
+  config.ingest = fleet::IngestMode::kPerSample;
+  config.database.max_insert_rate_per_second = 1u << 20;  // not under test here
+  return config;
+}
+
+TEST(Fleet, OneThreadRunProducesData) {
+  const RunOutput out = run_fleet(small_fleet());
+  EXPECT_EQ(out.report.nodes, 12);
+  EXPECT_EQ(out.report.threads, 1);
+  EXPECT_EQ(out.report.epochs, 8u);
+  EXPECT_GT(out.report.polls, 0u);
+  EXPECT_GT(out.report.samples, 0u);
+  EXPECT_GT(out.report.records_staged, 0u);
+  // Every staged record must land: per-node streams are time-ordered and
+  // the barrier merge sorts across nodes, so nothing is out of order.
+  EXPECT_EQ(out.report.records_applied, out.report.records_staged);
+  EXPECT_EQ(out.report.rejected_out_of_order, 0u);
+  EXPECT_EQ(out.report.database_rows, out.report.records_applied);
+  EXPECT_NE(out.files.find("== moneq_node_00000.csv"), std::string::npos);
+  EXPECT_NE(out.db_csv.find("moneq_"), std::string::npos);
+}
+
+TEST(Fleet, DeterministicAcrossThreadCounts) {
+  const RunOutput one = run_fleet(small_fleet());
+  for (const int threads : {2, 8}) {
+    FleetConfig config = small_fleet();
+    config.threads = threads;
+    const RunOutput many = run_fleet(std::move(config));
+    EXPECT_EQ(one.files, many.files) << threads << " threads: node files diverged";
+    EXPECT_EQ(one.db_csv, many.db_csv) << threads << " threads: database diverged";
+    EXPECT_EQ(one.report.samples, many.report.samples);
+    EXPECT_EQ(one.report.records_applied, many.report.records_applied);
+  }
+}
+
+TEST(Fleet, NodePowerIngestIsDeterministicToo) {
+  FleetConfig base = small_fleet();
+  base.ingest = fleet::IngestMode::kNodePower;
+  const RunOutput one = run_fleet(base);
+  EXPECT_GT(one.report.records_applied, 0u);
+  // Aggregate mode stages far fewer records than per-sample mode.
+  EXPECT_LT(one.report.records_applied, run_fleet(small_fleet()).report.records_applied);
+  FleetConfig eight = small_fleet();
+  eight.ingest = fleet::IngestMode::kNodePower;
+  eight.threads = 8;
+  const RunOutput many = run_fleet(std::move(eight));
+  EXPECT_EQ(one.db_csv, many.db_csv);
+}
+
+TEST(Fleet, FaultStormIsDeterministicUnderEightThreads) {
+  // Storm: every third node loses its RAPL MSR for good mid-run, every
+  // fourth sees a transient EMON outage.  Schedules are per-node virtual
+  // time, so the storm replays identically at any worker count.
+  auto storm = [](fault::Injector& injector, int node) {
+    if (node % 3 == 0) {
+      injector.kill_at(fault::sites::kRaplMsr, SimTime::from_seconds(3));
+    }
+    if (node % 4 == 0) {
+      injector.fail_between(fault::sites::kEmon, SimTime::from_seconds(2),
+                            SimTime::from_seconds(5), StatusCode::kUnavailable,
+                            "emon generation stalled");
+    }
+  };
+  FleetConfig base = small_fleet();
+  base.nodes = 16;
+  base.fault_script = storm;
+  const RunOutput two = [&] {
+    FleetConfig config = base;
+    config.threads = 2;
+    return run_fleet(std::move(config));
+  }();
+  const RunOutput eight = [&] {
+    FleetConfig config = base;
+    config.threads = 8;
+    return run_fleet(std::move(config));
+  }();
+  EXPECT_GT(two.report.degraded_polls, 0u);
+  EXPECT_GT(two.report.gap_markers, 0u);
+  EXPECT_EQ(two.files, eight.files);
+  EXPECT_EQ(two.db_csv, eight.db_csv);
+  EXPECT_EQ(two.report.degraded_polls, eight.report.degraded_polls);
+  EXPECT_EQ(two.report.gap_markers, eight.report.gap_markers);
+}
+
+TEST(Fleet, IngestQueueBackpressureBlocksProducer) {
+  fleet::IngestQueue queue(1);
+  ASSERT_TRUE(queue.push({.epoch = 0, .nodes = {}, .rows = 0}));
+  std::atomic<bool> second_push_done{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.push({.epoch = 1, .nodes = {}, .rows = 0}));
+    second_push_done.store(true);
+  });
+  // The queue is full: the producer must park until we pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_push_done.load());
+  EXPECT_EQ(queue.depth(), 1u);
+  auto first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->epoch, 0u);
+  producer.join();
+  EXPECT_TRUE(second_push_done.load());
+  EXPECT_EQ(queue.stalls(), 1u);
+  EXPECT_GT(queue.stall_seconds(), 0.0);
+}
+
+TEST(Fleet, IngestQueueCloseDrainsThenEnds) {
+  fleet::IngestQueue queue(4);
+  ASSERT_TRUE(queue.push({.epoch = 7, .nodes = {}, .rows = 0}));
+  queue.close();
+  EXPECT_FALSE(queue.push({.epoch = 8, .nodes = {}, .rows = 0}));
+  auto drained = queue.pop();
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->epoch, 7u);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(Fleet, RunnerLifecycleIsEnforced) {
+  FleetRunner runner;
+  EXPECT_EQ(runner.run().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(runner.report().status().code(), StatusCode::kFailedPrecondition);
+  FleetConfig config = small_fleet();
+  config.horizon = Duration::seconds(1);
+  ASSERT_TRUE(runner.configure(config).is_ok());
+  EXPECT_EQ(runner.configure(config).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(runner.run().is_ok());
+  EXPECT_EQ(runner.run().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(runner.report().is_ok());
+}
+
+TEST(Fleet, ConfigValidationRejectsNonsense) {
+  auto expect_invalid = [](FleetConfig config) {
+    FleetRunner runner;
+    EXPECT_EQ(runner.configure(std::move(config)).code(), StatusCode::kInvalidArgument);
+  };
+  {
+    FleetConfig config;
+    config.nodes = 0;
+    expect_invalid(std::move(config));
+  }
+  {
+    FleetConfig config;
+    config.threads = 0;
+    expect_invalid(std::move(config));
+  }
+  {
+    FleetConfig config;
+    config.epoch = Duration::nanos(0);
+    expect_invalid(std::move(config));
+  }
+  {
+    FleetConfig config;
+    config.capabilities.clear();
+    expect_invalid(std::move(config));
+  }
+}
+
+TEST(Fleet, FactoryRejectsMissingSubstrate) {
+  const moneq::BackendConfig empty;
+  for (const auto capability :
+       {moneq::Capability::kBgqEmon, moneq::Capability::kRaplMsr, moneq::Capability::kNvml,
+        moneq::Capability::kMicSysMgmt, moneq::Capability::kMicDaemon}) {
+    const auto result = moneq::make_backend(capability, empty);
+    EXPECT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(Fleet, ApiVersionIsV2) {
+  EXPECT_EQ(fleet::api_version_string(), "envmon.fleet/v2.0");
+  EXPECT_EQ(fleet::kApiVersionMajor, 2);
+}
+
+}  // namespace
+}  // namespace envmon

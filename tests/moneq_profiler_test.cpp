@@ -119,17 +119,17 @@ TEST(Profiler, EarlyBackendFailureRecordedNotFatal) {
   ASSERT_TRUE(profiler.initialize().is_ok());
   engine.run_until(SimTime::from_seconds(1));
   ASSERT_TRUE(profiler.finalize().is_ok());
-  // Three failed attempts recorded: poll 1 (attempt + its retry), then
-  // poll 2's first attempt — whose bounded retry succeeded, so polls
-  // 2..10 all delivered.
-  ASSERT_EQ(profiler.collection_errors().size(), 3u);
-  EXPECT_EQ(profiler.collection_errors().front().code(), StatusCode::kUnavailable);
+  // Poll 1 failed (attempt + its bounded retry); poll 2's first attempt
+  // failed but its retry succeeded, so polls 2..10 all delivered.
   EXPECT_EQ(profiler.samples().size(), 9u);
-  // The failure window shows up as one closed gap and a health round trip.
+  // The failure window shows up as one closed gap carrying the backend's
+  // failure reason, a health round trip, and exactly one degraded poll.
   EXPECT_EQ(profiler.backend_health(0).state(), BackendState::kHealthy);
+  EXPECT_GE(profiler.backend_health(0).retries(), 1u);
   ASSERT_EQ(profiler.gaps().size(), 2u);
   EXPECT_TRUE(profiler.gaps()[0].is_start);
   EXPECT_EQ(profiler.gaps()[0].backend, "flaky");
+  EXPECT_EQ(profiler.gaps()[0].reason, "collection source not ready");
   EXPECT_FALSE(profiler.gaps()[1].is_start);
   EXPECT_EQ(profiler.degraded_polls(), 1u);
 }
