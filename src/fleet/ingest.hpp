@@ -78,9 +78,21 @@ class IngestQueue {
 
 // The consumer side: drains the queue into the database, preserving the
 // deterministic order (epoch, node, timestamp-stable).
+//
+// Every `seal_interval` applied batches the worker asks the store to
+// seal series heads holding at least `seal_min_rows` rows into
+// immutable compressed blocks, bounding the mutable tier during long
+// collection runs.  The schedule counts applied batches on the single
+// ingest thread, so it is deterministic regardless of worker count —
+// and sealing never changes query results (database.hpp).
 class IngestWorker {
  public:
-  IngestWorker(tsdb::EnvDatabase& db, IngestQueue& queue);
+  static constexpr std::uint64_t kDefaultSealInterval = 64;
+  static constexpr std::size_t kDefaultSealMinRows = 1024;
+
+  IngestWorker(tsdb::EnvDatabase& db, IngestQueue& queue,
+               std::uint64_t seal_interval = kDefaultSealInterval,
+               std::size_t seal_min_rows = kDefaultSealMinRows);
 
   // Consumes until the queue is closed and drained.  Run on one thread.
   void run();
@@ -91,6 +103,7 @@ class IngestWorker {
     std::size_t rejected_out_of_order = 0;
     std::size_t rejected_rate_limited = 0;
     std::size_t rejected_unavailable = 0;
+    std::size_t blocks_sealed = 0;  // epoch-boundary seals this worker requested
   };
   // Safe to read after run() returns (or the running thread is joined).
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -100,6 +113,8 @@ class IngestWorker {
 
   tsdb::EnvDatabase* db_;
   IngestQueue* queue_;
+  std::uint64_t seal_interval_;
+  std::size_t seal_min_rows_;
   Stats stats_;
   obs::Counter* applied_metric_ = nullptr;
 };

@@ -1,0 +1,139 @@
+#include "tsdb/block.hpp"
+
+#include <cmath>
+
+namespace envmon::tsdb {
+
+Block Block::seal(std::span<const std::int64_t> ts, std::span<const double> values,
+                  std::span<const std::uint64_t> seq, bool compress) {
+  Block block;
+  block.compressed_ = compress;
+  const std::size_t n = ts.size();
+  auto& s = block.summary_;
+  s.rows = static_cast<std::uint32_t>(n);
+  if (n > 0) {
+    s.ts_min = ts.front();
+    s.ts_max = ts.back();
+    s.seq_first = seq.front();
+    s.seq_last = seq.back();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = values[i];
+    if (!std::isnan(v)) {
+      if (s.finite_rows == 0 || v < s.value_min) s.value_min = v;
+      if (s.finite_rows == 0 || v > s.value_max) s.value_max = v;
+      ++s.finite_rows;
+    }
+    s.value_sum += v;
+    s.value_sum_sq += v * v;
+  }
+
+  const std::size_t chunks = (n + kSubchunkRows - 1) / kSubchunkRows;
+  block.subchunk_sums_.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * kSubchunkRows;
+    const std::size_t end = begin + kSubchunkRows < n ? begin + kSubchunkRows : n;
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    block.subchunk_sums_.push_back(sum);
+  }
+
+  if (!compress) {
+    block.raw_ts_.assign(ts.begin(), ts.end());
+    block.raw_seq_.assign(seq.begin(), seq.end());
+    block.raw_values_.assign(values.begin(), values.end());
+    return block;
+  }
+
+  BitWriter ts_writer;
+  DeltaOfDeltaEncoder ts_encoder;
+  for (const std::int64_t t : ts) ts_encoder.append(t, ts_writer);
+  block.ts_stream_ = ts_writer.take();
+  block.ts_stream_.shrink_to_fit();
+
+  BitWriter seq_writer;
+  DeltaOfDeltaEncoder seq_encoder;
+  for (const std::uint64_t q : seq) {
+    seq_encoder.append(static_cast<std::int64_t>(q), seq_writer);
+  }
+  block.seq_stream_ = seq_writer.take();
+  block.seq_stream_.shrink_to_fit();
+
+  BitWriter value_writer;
+  block.value_chunk_offsets_.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    block.value_chunk_offsets_.push_back(static_cast<std::uint32_t>(value_writer.bit_size()));
+    XorEncoder encoder;  // restart per subchunk: decodable without prefix
+    const std::size_t begin = c * kSubchunkRows;
+    const std::size_t end = begin + kSubchunkRows < n ? begin + kSubchunkRows : n;
+    for (std::size_t i = begin; i < end; ++i) encoder.append(values[i], value_writer);
+  }
+  block.value_stream_ = value_writer.take();
+  block.value_stream_.shrink_to_fit();
+  return block;
+}
+
+void Block::decode_timestamps(std::vector<std::int64_t>& out) const {
+  if (!compressed_) {
+    out.assign(raw_ts_.begin(), raw_ts_.end());
+    return;
+  }
+  out.clear();
+  out.reserve(summary_.rows);
+  BitReader reader(ts_stream_);
+  DeltaOfDeltaDecoder decoder;
+  for (std::uint32_t i = 0; i < summary_.rows; ++i) out.push_back(decoder.next(reader));
+}
+
+void Block::decode_seq(std::vector<std::uint64_t>& out) const {
+  if (!compressed_) {
+    out.assign(raw_seq_.begin(), raw_seq_.end());
+    return;
+  }
+  out.clear();
+  out.reserve(summary_.rows);
+  BitReader reader(seq_stream_);
+  DeltaOfDeltaDecoder decoder;
+  for (std::uint32_t i = 0; i < summary_.rows; ++i) {
+    out.push_back(static_cast<std::uint64_t>(decoder.next(reader)));
+  }
+}
+
+void Block::decode_values(std::vector<double>& out) const {
+  if (!compressed_) {
+    out.assign(raw_values_.begin(), raw_values_.end());
+    return;
+  }
+  out.clear();
+  out.reserve(summary_.rows);
+  BitReader reader(value_stream_);
+  for (std::size_t c = 0; c < subchunk_sums_.size(); ++c) {
+    XorDecoder decoder;  // mirrors the per-subchunk encoder restart
+    const std::size_t count = subchunk_rows(c);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(decoder.next(reader));
+  }
+}
+
+void Block::decode_subchunk_values(std::size_t chunk, double* out) const {
+  const std::size_t count = subchunk_rows(chunk);
+  if (!compressed_) {
+    const double* src = raw_values_.data() + chunk * kSubchunkRows;
+    for (std::size_t i = 0; i < count; ++i) out[i] = src[i];
+    return;
+  }
+  BitReader reader(value_stream_);
+  reader.seek(value_chunk_offsets_[chunk]);
+  XorDecoder decoder;
+  for (std::size_t i = 0; i < count; ++i) out[i] = decoder.next(reader);
+}
+
+std::size_t Block::bytes_used() const {
+  return ts_stream_.capacity() + seq_stream_.capacity() + value_stream_.capacity() +
+         value_chunk_offsets_.capacity() * sizeof(std::uint32_t) +
+         raw_ts_.capacity() * sizeof(std::int64_t) +
+         raw_seq_.capacity() * sizeof(std::uint64_t) +
+         raw_values_.capacity() * sizeof(double) +
+         subchunk_sums_.capacity() * sizeof(double);
+}
+
+}  // namespace envmon::tsdb

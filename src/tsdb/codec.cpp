@@ -1,0 +1,196 @@
+#include "tsdb/codec.hpp"
+
+#include <bit>
+
+namespace envmon::tsdb {
+
+namespace {
+
+// Control-code buckets for delta-of-delta residuals, widest first bit
+// pattern.  `bits` is the two's-complement payload width; a residual
+// fits when it round-trips through sign extension at that width.
+struct DodBucket {
+  std::uint64_t prefix;
+  unsigned prefix_bits;
+  unsigned bits;
+};
+constexpr DodBucket kDodBuckets[] = {
+    {0b10, 2, 7},      // |dod| <~ 64: per-tick jitter
+    {0b110, 3, 14},    // scheduling hiccups
+    {0b1110, 4, 24},   // interval changes
+    {0b11110, 5, 40},  // large regime changes (ns-scale interval swaps)
+};
+constexpr unsigned kDodEscapePrefixBits = 5;  // 0b11111 + 64 raw bits
+
+[[nodiscard]] constexpr bool fits_signed(std::int64_t v, unsigned bits) {
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+[[nodiscard]] constexpr std::int64_t sign_extend(std::uint64_t raw, unsigned bits) {
+  const std::uint64_t mask = std::uint64_t{1} << (bits - 1);
+  const std::uint64_t value = raw & ((std::uint64_t{1} << bits) - 1);
+  return static_cast<std::int64_t>((value ^ mask) - mask);
+}
+
+}  // namespace
+
+void BitWriter::put_bits(std::uint64_t value, unsigned count) {
+  // Mask so callers can pass unshifted values.
+  if (count < 64) value &= (std::uint64_t{1} << count) - 1;
+  while (count > 0) {
+    const unsigned used = static_cast<unsigned>(bit_size_ & 7u);
+    if (used == 0) bytes_.push_back(0);
+    const unsigned room = 8 - used;
+    const unsigned take = count < room ? count : room;
+    const std::uint64_t chunk = value >> (count - take);
+    bytes_.back() = static_cast<std::uint8_t>(
+        bytes_.back() | ((chunk & ((1u << take) - 1u)) << (room - take)));
+    bit_size_ += take;
+    count -= take;
+  }
+}
+
+std::uint64_t BitReader::get_bits(unsigned count) {
+  std::uint64_t value = 0;
+  while (count > 0) {
+    const std::size_t byte = bit_pos_ >> 3;
+    if (byte >= bytes_.size()) {
+      exhausted_ = true;
+      value <<= count;  // zero-fill: total function, no OOB read
+      bit_pos_ += count;
+      return value;
+    }
+    const unsigned used = static_cast<unsigned>(bit_pos_ & 7u);
+    const unsigned room = 8 - used;
+    const unsigned take = count < room ? count : room;
+    const unsigned shift = room - take;
+    const std::uint8_t chunk =
+        static_cast<std::uint8_t>((static_cast<unsigned>(bytes_[byte]) >> shift) &
+                                  ((1u << take) - 1u));
+    value = (value << take) | chunk;
+    bit_pos_ += take;
+    count -= take;
+  }
+  return value;
+}
+
+void DeltaOfDeltaEncoder::append(std::int64_t value, BitWriter& out) {
+  if (first_) {
+    first_ = false;
+    prev_ = value;
+    out.put_bits(static_cast<std::uint64_t>(value), 64);
+    return;
+  }
+  // Deltas may overflow int64 on adversarial inputs (fuzzing): do the
+  // arithmetic in uint64, where wraparound is defined and the decoder's
+  // matching wraparound restores the exact value.
+  const std::int64_t delta = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(value) - static_cast<std::uint64_t>(prev_));
+  const std::int64_t dod = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(delta) - static_cast<std::uint64_t>(prev_delta_));
+  prev_ = value;
+  prev_delta_ = delta;
+  if (dod == 0) {
+    out.put_bit(false);
+    return;
+  }
+  for (const auto& bucket : kDodBuckets) {
+    if (fits_signed(dod, bucket.bits)) {
+      out.put_bits(bucket.prefix, bucket.prefix_bits);
+      out.put_bits(static_cast<std::uint64_t>(dod), bucket.bits);
+      return;
+    }
+  }
+  out.put_bits((1u << kDodEscapePrefixBits) - 1u, kDodEscapePrefixBits);
+  out.put_bits(static_cast<std::uint64_t>(dod), 64);
+}
+
+std::int64_t DeltaOfDeltaDecoder::next(BitReader& in) {
+  if (first_) {
+    first_ = false;
+    prev_ = static_cast<std::int64_t>(in.get_bits(64));
+    return prev_;
+  }
+  std::int64_t dod = 0;
+  if (in.get_bit()) {
+    unsigned bucket = 0;
+    while (bucket + 1 < kDodEscapePrefixBits && in.get_bit()) ++bucket;
+    if (bucket < std::size(kDodBuckets)) {
+      dod = sign_extend(in.get_bits(kDodBuckets[bucket].bits), kDodBuckets[bucket].bits);
+    } else {
+      dod = static_cast<std::int64_t>(in.get_bits(64));
+    }
+  }
+  prev_delta_ = static_cast<std::int64_t>(static_cast<std::uint64_t>(prev_delta_) +
+                                          static_cast<std::uint64_t>(dod));
+  prev_ = static_cast<std::int64_t>(static_cast<std::uint64_t>(prev_) +
+                                    static_cast<std::uint64_t>(prev_delta_));
+  return prev_;
+}
+
+void XorEncoder::append(double value, BitWriter& out) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  if (first_) {
+    first_ = false;
+    prev_bits_ = bits;
+    out.put_bits(bits, 64);
+    return;
+  }
+  const std::uint64_t x = bits ^ prev_bits_;
+  prev_bits_ = bits;
+  if (x == 0) {
+    out.put_bit(false);
+    return;
+  }
+  out.put_bit(true);
+  unsigned leading = static_cast<unsigned>(std::countl_zero(x));
+  const unsigned trailing = static_cast<unsigned>(std::countr_zero(x));
+  if (leading > 31) leading = 31;  // 5-bit header field
+  if (window_valid_ && leading >= window_leading_ && trailing >= window_trailing_) {
+    // Fits the previous window: control '0' + meaningful bits only.
+    out.put_bit(false);
+    out.put_bits(x >> window_trailing_, 64 - window_leading_ - window_trailing_);
+    return;
+  }
+  window_leading_ = leading;
+  window_trailing_ = trailing;
+  window_valid_ = true;
+  const unsigned meaningful = 64 - leading - trailing;
+  out.put_bit(true);
+  out.put_bits(leading, 5);
+  out.put_bits(meaningful - 1, 6);
+  out.put_bits(x >> trailing, meaningful);
+}
+
+double XorDecoder::next(BitReader& in) {
+  if (first_) {
+    first_ = false;
+    prev_bits_ = in.get_bits(64);
+    return std::bit_cast<double>(prev_bits_);
+  }
+  if (!in.get_bit()) return std::bit_cast<double>(prev_bits_);
+  if (in.get_bit()) {
+    window_leading_ = static_cast<unsigned>(in.get_bits(5));
+    window_trailing_ = 0;
+    const unsigned meaningful = static_cast<unsigned>(in.get_bits(6)) + 1;
+    if (window_leading_ + meaningful <= 64) {
+      window_trailing_ = 64 - window_leading_ - meaningful;
+    } else {
+      window_leading_ = 64 - meaningful;  // corrupt header: clamp, stay total
+    }
+    window_valid_ = true;
+  } else if (!window_valid_) {
+    // Corrupt stream: window reference before any window definition.
+    window_leading_ = 0;
+    window_trailing_ = 0;
+    window_valid_ = true;
+  }
+  const unsigned meaningful = 64 - window_leading_ - window_trailing_;
+  const std::uint64_t x = in.get_bits(meaningful) << window_trailing_;
+  prev_bits_ ^= x;
+  return std::bit_cast<double>(prev_bits_);
+}
+
+}  // namespace envmon::tsdb

@@ -1,0 +1,117 @@
+#pragma once
+// Bit-level codecs for sealed environmental-database blocks.
+//
+// The streams this store sees are the ones the paper describes: sensor
+// samples on near-fixed-interval ticks (5-minute environmental polls,
+// 560 ms MonEQ generations), slowly-varying values, and a monotone
+// global insertion sequence.  Three codecs exploit that, after the
+// Gorilla design (Pelkonen et al., VLDB 2015):
+//
+//  * DeltaOfDelta{Encoder,Decoder} — int64 timestamps (and seq): the
+//    first value is stored raw, later values store the change of the
+//    delta in variable-width buckets.  A fixed-interval tick stream
+//    costs one bit per row after the second.
+//  * Xor{Encoder,Decoder} — doubles: each value is XORed with its
+//    predecessor; identical values cost one bit, small mantissa drifts
+//    cost the meaningful bits plus a short header.  All 2^64 bit
+//    patterns (NaN payloads, ±inf, denormals, -0.0) round-trip exactly
+//    because the codec never interprets the value arithmetically.
+//
+// Both decoders are total: a truncated or corrupt stream decodes to
+// arbitrary values (the caller bounds the row count from the block
+// summary) but never reads out of bounds — BitReader returns zero bits
+// past the end.  That property is fuzzed in tests/fuzz_test.cpp.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace envmon::tsdb {
+
+// Append-only MSB-first bit sink backed by a byte vector.
+class BitWriter {
+ public:
+  void put_bit(bool bit) { put_bits(bit ? 1u : 0u, 1); }
+
+  // Appends the low `count` bits of `value`, most significant first.
+  void put_bits(std::uint64_t value, unsigned count);
+
+  [[nodiscard]] std::size_t bit_size() const { return bit_size_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_size_ = 0;  // bits written; bytes_.back() is partially filled
+};
+
+// MSB-first bit source over a byte span; reads past the end yield zeros
+// (and set exhausted()) instead of undefined behavior.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool get_bit() { return get_bits(1) != 0; }
+  [[nodiscard]] std::uint64_t get_bits(unsigned count);
+
+  // Repositions the cursor to an absolute bit offset.
+  void seek(std::size_t bit_offset) { bit_pos_ = bit_offset; }
+  [[nodiscard]] std::size_t bit_pos() const { return bit_pos_; }
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bit_pos_ = 0;
+  bool exhausted_ = false;
+};
+
+// Delta-of-delta codec for monotone-ish int64 streams.  Bucket widths
+// are widened relative to Gorilla's (which assumed seconds) so that
+// nanosecond jitter still lands in short buckets.
+class DeltaOfDeltaEncoder {
+ public:
+  void append(std::int64_t value, BitWriter& out);
+
+ private:
+  bool first_ = true;
+  std::int64_t prev_ = 0;
+  std::int64_t prev_delta_ = 0;
+};
+
+class DeltaOfDeltaDecoder {
+ public:
+  [[nodiscard]] std::int64_t next(BitReader& in);
+
+ private:
+  bool first_ = true;
+  std::int64_t prev_ = 0;
+  std::int64_t prev_delta_ = 0;
+};
+
+// Gorilla XOR codec for double streams.
+class XorEncoder {
+ public:
+  void append(double value, BitWriter& out);
+
+ private:
+  bool first_ = true;
+  std::uint64_t prev_bits_ = 0;
+  unsigned window_leading_ = 0;
+  unsigned window_trailing_ = 0;
+  bool window_valid_ = false;
+};
+
+class XorDecoder {
+ public:
+  [[nodiscard]] double next(BitReader& in);
+
+ private:
+  bool first_ = true;
+  std::uint64_t prev_bits_ = 0;
+  unsigned window_leading_ = 0;
+  unsigned window_trailing_ = 0;
+  bool window_valid_ = false;
+};
+
+}  // namespace envmon::tsdb

@@ -1,8 +1,10 @@
 #include "tsdb/database.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <tuple>
+#include <cmath>
+#include <thread>
 
 namespace envmon::tsdb {
 
@@ -20,6 +22,13 @@ double elapsed_ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Per-thread decode buffers, reused across the blocks a worker scans.
+struct DecodeScratch {
+  std::vector<std::int64_t> ts;
+  std::vector<double> values;
+  std::vector<std::uint64_t> seq;
+};
+
 }  // namespace
 
 EnvDatabase::EnvDatabase(DatabaseOptions options) : options_(options) {
@@ -36,6 +45,11 @@ EnvDatabase::EnvDatabase(DatabaseOptions options) : options_(options) {
     cache_misses_metric_ =
         &registry.counter("envmon_tsdb_downsample_cache_misses_total",
                           "Downsample queries that touched the storage engine");
+    seals_metric_ = &registry.counter("envmon_tsdb_block_seals_total",
+                                      "Series heads sealed into immutable blocks");
+    pushdown_metric_ = &registry.counter(
+        "envmon_tsdb_pushdown_buckets_total",
+        "Downsample/aggregate windows served from block or subchunk summaries");
     query_latency_metric_ =
         &registry.histogram("envmon_tsdb_query_latency_ms",
                             "Wall-clock latency of environmental database queries",
@@ -46,6 +60,12 @@ EnvDatabase::EnvDatabase(DatabaseOptions options) : options_(options) {
         obs::Histogram::exponential_bounds(1.0, 4.0, 12));
     series_gauge_ = &registry.gauge(
         "envmon_tsdb_series", "Live (location, metric) series in the environmental database");
+    bytes_used_gauge_ =
+        &registry.gauge("envmon_tsdb_bytes_used",
+                        "Approximate heap footprint of the environmental database");
+    bytes_per_record_gauge_ =
+        &registry.gauge("envmon_tsdb_bytes_per_record",
+                        "Heap bytes per live record in the environmental database");
   }
 }
 
@@ -62,15 +82,9 @@ bool EnvDatabase::over_ingest_rate(sim::SimTime now) {
          options_.max_insert_rate_per_second * window_seconds;
 }
 
-void EnvDatabase::append_row(const Record& record, MetricId metric) {
-  std::uint32_t& sid = index_.slot(record.location, metric);
-  if (sid == ShardIndex::kNoSeries) {
-    sid = static_cast<std::uint32_t>(series_.size());
-    series_.emplace_back(record.location, metric);
-    if (series_gauge_ != nullptr) series_gauge_->set(static_cast<double>(series_.size()));
-  }
+void EnvDatabase::note_accept(const Record& record, std::uint32_t sid) {
   const std::int64_t ts = record.timestamp.ns();
-  series_[sid].append(ts, record.value, next_seq_++);
+  if (series_[sid].append(ts, record.value, next_seq_++)) note_seal(1);
   if (options_.max_insert_rate_per_second > 0.0) rate_window_.push_back(ts);
   if (!any_accepted_) oldest_ts_ns_ = ts;
   any_accepted_ = true;
@@ -80,6 +94,16 @@ void EnvDatabase::append_row(const Record& record, MetricId metric) {
   if (tracer_ != nullptr) {
     tracer_->event_at(record.timestamp, "tsdb.insert", record.metric);
   }
+}
+
+void EnvDatabase::append_row(const Record& record, MetricId metric) {
+  std::uint32_t& sid = index_.slot(record.location, metric);
+  if (sid == ShardIndex::kNoSeries) {
+    sid = static_cast<std::uint32_t>(series_.size());
+    series_.emplace_back(record.location, metric, options_.compress_blocks);
+    if (series_gauge_ != nullptr) series_gauge_->set(static_cast<double>(series_.size()));
+  }
+  note_accept(record, sid);
 }
 
 Status EnvDatabase::insert(const Record& record) {
@@ -121,11 +145,28 @@ EnvDatabase::BatchResult EnvDatabase::insert_batch(std::span<const Record> recor
     }
     return result;
   }
-  // Memoized metric lookup: a homogeneous batch interns once, a batch
-  // cycling through a few metrics pays one hash probe per switch.
-  const std::string* memo_name = nullptr;
-  MetricId memo_id = 0;
-  for (const Record& record : records) {
+  // Collectors emit runs of same-(location, metric) records (one node's
+  // domains in order), so the batch is processed run-at-a-time: metric
+  // interning, the shard-index walk, and the head-buffer reserve each
+  // happen once per run, not once per record.  The series slot is only
+  // resolved when a record of the run actually passes validation, so a
+  // fully rejected run creates no series and interns nothing.
+  const std::size_t n = records.size();
+  std::size_t run_end = 0;
+  bool run_metric_known = false;
+  MetricId run_metric = 0;
+  std::uint32_t run_sid = ShardIndex::kNoSeries;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Record& record = records[i];
+    if (i >= run_end) {
+      run_end = i + 1;
+      while (run_end < n && records[run_end].location == record.location &&
+             records[run_end].metric == record.metric) {
+        ++run_end;
+      }
+      run_metric_known = false;
+      run_sid = ShardIndex::kNoSeries;
+    }
     if (any_accepted_ && record.timestamp.ns() < last_ts_ns_) {
       ++result.rejected_out_of_order;
       continue;
@@ -134,11 +175,23 @@ EnvDatabase::BatchResult EnvDatabase::insert_batch(std::span<const Record> recor
       ++result.rejected_rate_limited;
       continue;
     }
-    if (memo_name == nullptr || *memo_name != record.metric) {
-      memo_id = metrics_.intern(record.metric);
-      memo_name = &record.metric;
+    if (run_sid == ShardIndex::kNoSeries) {
+      if (!run_metric_known) {
+        run_metric = metrics_.intern(record.metric);
+        run_metric_known = true;
+      }
+      std::uint32_t& slot = index_.slot(record.location, run_metric);
+      if (slot == ShardIndex::kNoSeries) {
+        slot = static_cast<std::uint32_t>(series_.size());
+        series_.emplace_back(record.location, run_metric, options_.compress_blocks);
+        if (series_gauge_ != nullptr) {
+          series_gauge_->set(static_cast<double>(series_.size()));
+        }
+      }
+      run_sid = slot;
+      series_[run_sid].reserve_head(run_end - i);
     }
-    append_row(record, memo_id);
+    note_accept(record, run_sid);
     ++result.accepted;
   }
   rejected_ += result.rejected();
@@ -151,45 +204,54 @@ EnvDatabase::BatchResult EnvDatabase::insert_batch(std::span<const Record> recor
   // Retention runs once per batch, not once per record; the end state is
   // the same because the cutoff depends only on the newest record.
   if (options_.retention && result.accepted > 0) vacuum();
+  update_footprint_metrics();
   return result;
 }
 
-void EnvDatabase::collect_rows(
-    const QueryFilter& filter,
-    std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>>& rows) const {
+std::size_t EnvDatabase::seal_blocks(std::size_t min_rows) {
+  std::size_t sealed = 0;
+  for (Series& s : series_) {
+    if (s.seal_head(min_rows)) ++sealed;
+  }
+  // No generation bump: sealing preserves rows, ordering, and the
+  // subchunk aggregation grid, so cached downsample results stay valid.
+  if (sealed > 0) note_seal(sealed);
+  update_footprint_metrics();
+  return sealed;
+}
+
+void EnvDatabase::note_seal(std::size_t blocks) {
+  stats_.blocks_sealed += blocks;
+  if (seals_metric_ != nullptr) seals_metric_->inc(blocks);
+}
+
+bool EnvDatabase::resolve_series(const QueryFilter& filter,
+                                 std::vector<std::uint32_t>& sids) const {
   std::optional<MetricId> metric;
   if (filter.metric) {
     metric = metrics_.find(*filter.metric);
-    if (!metric) return;  // metric never ingested: no candidate series
+    if (!metric) return false;  // metric never ingested: no candidate series
   }
-  std::vector<std::uint32_t> sids;
   index_.collect(filter.location_prefix, metric, sids);
   stats_.series_touched += sids.size();
+  return true;
+}
 
-  std::optional<std::int64_t> from_ns, to_ns;
-  if (filter.from) from_ns = filter.from->ns();
-  if (filter.to) to_ns = filter.to->ns();
-
-  std::vector<std::pair<std::uint32_t, Series::RowRange>> ranges;
-  ranges.reserve(sids.size());
-  std::size_t total = 0;
+void EnvDatabase::collect_parts(std::span<const std::uint32_t> sids,
+                                std::optional<std::int64_t> from_ns,
+                                std::optional<std::int64_t> to_ns,
+                                std::vector<ScanPart>& parts) const {
   for (const std::uint32_t sid : sids) {
-    const Series::RowRange r = series_[sid].range(from_ns, to_ns);
-    if (r.size() == 0) continue;
-    ranges.emplace_back(sid, r);
-    total += r.size();
-  }
-  rows.reserve(total);
-  for (const auto& [sid, r] : ranges) {
     const Series& s = series_[sid];
-    for (std::size_t i = r.first; i < r.last; ++i) {
-      rows.emplace_back(s.seq(i), sid, static_cast<std::uint32_t>(i));
+    for (std::size_t b = 0; b < s.block_count(); ++b) {
+      const BlockSummary& sum = s.block(b).summary();
+      if (from_ns && sum.ts_max < *from_ns) continue;
+      if (to_ns && sum.ts_min > *to_ns) break;  // blocks are time-ordered
+      parts.push_back(ScanPart{sid, static_cast<std::int32_t>(b), s.block(b).rows()});
     }
+    const Series::RowRange r = s.head_range(from_ns, to_ns);
+    if (r.size() > 0) parts.push_back(ScanPart{sid, -1, r.size()});
   }
-  // Global insertion order == (timestamp, insert order): inserts are
-  // globally timestamp-ordered, so sorting on seq reproduces the flat
-  // store's result ordering exactly.
-  std::sort(rows.begin(), rows.end());
 }
 
 void EnvDatabase::note_query(std::uint64_t rows_scanned, double elapsed_ms) const {
@@ -203,16 +265,110 @@ void EnvDatabase::note_query(std::uint64_t rows_scanned, double elapsed_ms) cons
 
 std::vector<Record> EnvDatabase::query(const QueryFilter& filter) const {
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>> rows;
-  collect_rows(filter, rows);
   std::vector<Record> out;
-  out.reserve(rows.size());
-  for (const auto& [seq, sid, i] : rows) {
-    const Series& s = series_[sid];
-    out.push_back(Record{sim::SimTime::from_ns(s.ts_ns(i)), s.location(),
-                         metrics_.name(s.metric()), s.value(i)});
+  std::vector<std::uint32_t> sids;
+  if (!resolve_series(filter, sids)) {
+    note_query(0, elapsed_ms_since(t0));
+    return out;
   }
-  note_query(rows.size(), elapsed_ms_since(t0));
+  std::optional<std::int64_t> from_ns, to_ns;
+  if (filter.from) from_ns = filter.from->ns();
+  if (filter.to) to_ns = filter.to->ns();
+
+  std::vector<ScanPart> parts;
+  collect_parts(sids, from_ns, to_ns, parts);
+  if (parts.empty()) {
+    note_query(0, elapsed_ms_since(t0));
+    return out;
+  }
+  std::size_t est = 0;
+  for (const ScanPart& p : parts) est += p.est_rows;
+
+  // Decode-and-filter fans out over parts; each part writes its own
+  // output slot, so workers share nothing mutable.  The final merge
+  // sorts on the globally unique insertion sequence, which makes the
+  // result byte-identical at any thread count (and identical to the
+  // flat timestamp-ordered scan, since inserts are time-ordered).
+  std::vector<std::vector<DecodedRow>> slots(parts.size());
+  std::vector<std::uint64_t> decoded(parts.size(), 0);
+  const auto scan_part = [&](std::size_t pi, DecodeScratch& scratch) {
+    const ScanPart& part = parts[pi];
+    const Series& s = series_[part.sid];
+    std::vector<DecodedRow>& rows = slots[pi];
+    if (part.block < 0) {
+      const Series::RowRange r = s.head_range(from_ns, to_ns);
+      rows.reserve(r.size());
+      for (std::size_t i = r.first; i < r.last; ++i) {
+        rows.push_back(DecodedRow{s.head_seq()[i], s.head_ts()[i], s.head_values()[i],
+                                  part.sid});
+      }
+      return;
+    }
+    const Block& b = s.block(static_cast<std::size_t>(part.block));
+    b.decode_timestamps(scratch.ts);
+    std::size_t a = 0;
+    std::size_t e = scratch.ts.size();
+    if (from_ns) {
+      a = static_cast<std::size_t>(std::distance(
+          scratch.ts.begin(),
+          std::lower_bound(scratch.ts.begin(), scratch.ts.end(), *from_ns)));
+    }
+    if (to_ns) {
+      e = static_cast<std::size_t>(std::distance(
+          scratch.ts.begin(),
+          std::upper_bound(scratch.ts.begin(), scratch.ts.end(), *to_ns)));
+    }
+    if (a >= e) return;
+    b.decode_values(scratch.values);
+    b.decode_seq(scratch.seq);
+    decoded[pi] = b.rows();
+    rows.reserve(e - a);
+    for (std::size_t i = a; i < e; ++i) {
+      rows.push_back(
+          DecodedRow{scratch.seq[i], scratch.ts[i], scratch.values[i], part.sid});
+    }
+  };
+
+  std::size_t workers = 1;
+  if (options_.query_threads > 1 && parts.size() > 1 &&
+      est >= options_.parallel_query_min_rows) {
+    workers = std::min(options_.query_threads, parts.size());
+  }
+  if (workers <= 1) {
+    DecodeScratch scratch;
+    for (std::size_t pi = 0; pi < parts.size(); ++pi) scan_part(pi, scratch);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        DecodeScratch scratch;
+        for (std::size_t pi = next.fetch_add(1, std::memory_order_relaxed);
+             pi < parts.size(); pi = next.fetch_add(1, std::memory_order_relaxed)) {
+          scan_part(pi, scratch);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  std::vector<DecodedRow> rows;
+  rows.reserve(total);
+  for (const auto& slot : slots) rows.insert(rows.end(), slot.begin(), slot.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const DecodedRow& a, const DecodedRow& b) { return a.seq < b.seq; });
+
+  out.reserve(total);
+  for (const DecodedRow& r : rows) {
+    const Series& s = series_[r.sid];
+    out.push_back(Record{sim::SimTime::from_ns(r.ts_ns), s.location(),
+                         metrics_.name(s.metric()), r.value});
+  }
+  for (const std::uint64_t d : decoded) stats_.rows_decoded += d;
+  note_query(total, elapsed_ms_since(t0));
   return out;
 }
 
@@ -257,18 +413,144 @@ std::vector<EnvDatabase::Bucket> EnvDatabase::downsample(const QueryFilter& filt
     if (cache_misses_metric_ != nullptr) cache_misses_metric_->inc();
   }
 
-  std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>> rows;
-  collect_rows(filter, rows);
-  for (const auto& [seq, sid, i] : rows) {
-    const Series& s = series_[sid];
-    const std::int64_t idx = floor_div(s.ts_ns(i), bucket_width.ns());
-    const sim::SimTime start = sim::SimTime::from_ns(idx * bucket_width.ns());
-    if (buckets.empty() || buckets.back().start != start) {
-      buckets.push_back(Bucket{start, 0.0, 0});
+  std::vector<std::uint32_t> sids;
+  if (!resolve_series(filter, sids)) {
+    note_query(0, elapsed_ms_since(t0));
+    return buckets;
+  }
+  std::optional<std::int64_t> from_ns, to_ns;
+  if (filter.from) from_ns = filter.from->ns();
+  if (filter.to) to_ns = filter.to->ns();
+  const std::int64_t w = bucket_width.ns();
+
+  // Bucket sums are accumulated at subchunk granularity: every part's
+  // rows are cut on the same 16-row grid the sealed blocks use, each
+  // (subchunk ∩ bucket) run folded left-to-right from 0.0, and the
+  // partials added in deterministic (series, part, subchunk) order.
+  // A subchunk that lies fully inside one bucket contributes exactly
+  // its seal-time sum, so taking the precomputed sum (pushdown) — or
+  // decoding it — or hitting the same rows pre-seal in the head —
+  // yields bit-identical buckets.
+  struct Acc {
+    double sum = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::int64_t, Acc> acc;
+  std::uint64_t aggregated = 0;
+  std::uint64_t decoded = 0;
+  std::uint64_t pushdown_rows = 0;
+  std::uint64_t pushdown_chunks = 0;
+  std::vector<std::int64_t> ts_scratch;
+  std::array<double, Block::kSubchunkRows> chunk_values{};
+
+  // Folds block rows [a, e) into the bucket accumulators.  `ts` has one
+  // entry per block row; a subchunk fully inside both the range and one
+  // bucket is served from its precomputed sum, anything else decodes
+  // just that subchunk.
+  const auto fold_part = [&](std::span<const std::int64_t> ts, std::size_t a, std::size_t e,
+                             const Block& block) {
+    for (std::size_t c = a / Block::kSubchunkRows; c * Block::kSubchunkRows < e; ++c) {
+      const std::size_t cb = c * Block::kSubchunkRows;
+      const std::size_t ce = std::min(cb + Block::kSubchunkRows, ts.size());
+      const std::size_t lo = std::max(cb, a);
+      const std::size_t hi = std::min(ce, e);
+      if (lo >= hi) continue;
+      if (options_.aggregation_pushdown && lo == cb && hi == ce) {
+        const std::int64_t b0 = floor_div(ts[cb], w);
+        if (floor_div(ts[ce - 1], w) == b0) {
+          Acc& slot = acc[b0];
+          slot.sum += block.subchunk_sum(c);
+          slot.count += ce - cb;
+          aggregated += ce - cb;
+          pushdown_rows += ce - cb;
+          ++pushdown_chunks;
+          continue;
+        }
+      }
+      block.decode_subchunk_values(c, chunk_values.data());
+      decoded += ce - cb;
+      std::size_t r = lo;
+      while (r < hi) {
+        const std::int64_t bidx = floor_div(ts[r], w);
+        double partial = 0.0;
+        const std::size_t start = r;
+        while (r < hi && floor_div(ts[r], w) == bidx) {
+          partial += chunk_values[r - cb];
+          ++r;
+        }
+        Acc& slot = acc[bidx];
+        slot.sum += partial;
+        slot.count += r - start;
+        aggregated += r - start;
+      }
     }
-    Bucket& b = buckets.back();
-    b.mean += (s.value(i) - b.mean) / static_cast<double>(b.count + 1);
-    ++b.count;
+  };
+
+  for (const std::uint32_t sid : sids) {
+    const Series& s = series_[sid];
+    for (std::size_t b = 0; b < s.block_count(); ++b) {
+      const Block& block = s.block(b);
+      const BlockSummary& sum = block.summary();
+      if (from_ns && sum.ts_max < *from_ns) continue;
+      if (to_ns && sum.ts_min > *to_ns) break;
+      block.decode_timestamps(ts_scratch);
+      std::size_t a = 0;
+      std::size_t e = ts_scratch.size();
+      if (from_ns) {
+        a = static_cast<std::size_t>(std::distance(
+            ts_scratch.begin(),
+            std::lower_bound(ts_scratch.begin(), ts_scratch.end(), *from_ns)));
+      }
+      if (to_ns) {
+        e = static_cast<std::size_t>(std::distance(
+            ts_scratch.begin(),
+            std::upper_bound(ts_scratch.begin(), ts_scratch.end(), *to_ns)));
+      }
+      if (a < e) fold_part(ts_scratch, a, e, block);
+    }
+    const Series::RowRange r = s.head_range(from_ns, to_ns);
+    if (r.size() > 0) {
+      // The head uses the same grid it will have once sealed (row index
+      // relative to the head start), so sealing never moves a bucket sum.
+      const auto head_fold = [&](std::size_t a, std::size_t e) {
+        std::span<const std::int64_t> ts(s.head_ts());
+        const std::vector<double>& head_values = s.head_values();
+        for (std::size_t c = a / Block::kSubchunkRows; c * Block::kSubchunkRows < e; ++c) {
+          const std::size_t cb = c * Block::kSubchunkRows;
+          const std::size_t ce = std::min(cb + Block::kSubchunkRows, ts.size());
+          const std::size_t lo = std::max(cb, a);
+          const std::size_t hi = std::min(ce, e);
+          if (lo >= hi) continue;
+          std::size_t row = lo;
+          while (row < hi) {
+            const std::int64_t bidx = floor_div(ts[row], w);
+            double partial = 0.0;
+            const std::size_t start = row;
+            while (row < hi && floor_div(ts[row], w) == bidx) {
+              partial += head_values[row];
+              ++row;
+            }
+            Acc& slot = acc[bidx];
+            slot.sum += partial;
+            slot.count += row - start;
+            aggregated += row - start;
+          }
+        }
+      };
+      head_fold(r.first, r.last);
+    }
+  }
+
+  buckets.reserve(acc.size());
+  for (const auto& [idx, a] : acc) {
+    buckets.push_back(
+        Bucket{sim::SimTime::from_ns(idx * w), a.sum / static_cast<double>(a.count), a.count});
+  }
+  stats_.rows_decoded += decoded;
+  stats_.pushdown_rows += pushdown_rows;
+  stats_.pushdown_chunks += pushdown_chunks;
+  if (pushdown_metric_ != nullptr && pushdown_chunks > 0) {
+    pushdown_metric_->inc(pushdown_chunks);
   }
 
   if (cacheable) {
@@ -281,8 +563,104 @@ std::vector<EnvDatabase::Bucket> EnvDatabase::downsample(const QueryFilter& filt
       downsample_cache_.erase(victim);
     }
   }
-  note_query(rows.size(), elapsed_ms_since(t0));
+  note_query(aggregated, elapsed_ms_since(t0));
   return buckets;
+}
+
+EnvDatabase::Aggregate EnvDatabase::aggregate(const QueryFilter& filter) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  Aggregate agg;
+  std::vector<std::uint32_t> sids;
+  if (!resolve_series(filter, sids)) {
+    note_query(0, elapsed_ms_since(t0));
+    return agg;
+  }
+  std::optional<std::int64_t> from_ns, to_ns;
+  if (filter.from) from_ns = filter.from->ns();
+  if (filter.to) to_ns = filter.to->ns();
+
+  // Sums are grouped per part (one sealed block or the head range): each
+  // part contributes a left-to-right fold from 0.0, and a fully covered
+  // block's fold is exactly its seal-time summary — so serving it from
+  // the summary (pushdown) is bit-identical to decoding it.
+  bool any_finite = false;
+  std::uint64_t decoded = 0;
+  std::uint64_t pushdown_rows = 0;
+  std::uint64_t pushdown_chunks = 0;
+  std::vector<std::int64_t> ts_scratch;
+  std::vector<double> value_scratch;
+  const auto merge_minmax = [&](double v) {
+    if (std::isnan(v)) return;
+    if (!any_finite || v < agg.min) agg.min = v;
+    if (!any_finite || v > agg.max) agg.max = v;
+    any_finite = true;
+  };
+  const auto fold_rows = [&](std::span<const double> values, std::size_t a, std::size_t e) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = a; i < e; ++i) {
+      const double v = values[i];
+      sum += v;
+      sum_sq += v * v;
+      merge_minmax(v);
+    }
+    agg.sum += sum;
+    agg.sum_sq += sum_sq;
+    agg.count += e - a;
+  };
+
+  for (const std::uint32_t sid : sids) {
+    const Series& s = series_[sid];
+    for (std::size_t b = 0; b < s.block_count(); ++b) {
+      const Block& block = s.block(b);
+      const BlockSummary& sum = block.summary();
+      if (from_ns && sum.ts_max < *from_ns) continue;
+      if (to_ns && sum.ts_min > *to_ns) break;
+      const bool covered = (!from_ns || *from_ns <= sum.ts_min) &&
+                           (!to_ns || sum.ts_max <= *to_ns);
+      if (covered && options_.aggregation_pushdown) {
+        agg.count += sum.rows;
+        agg.sum += sum.value_sum;
+        agg.sum_sq += sum.value_sum_sq;
+        if (sum.finite_rows > 0) {
+          if (!any_finite || sum.value_min < agg.min) agg.min = sum.value_min;
+          if (!any_finite || sum.value_max > agg.max) agg.max = sum.value_max;
+          any_finite = true;
+        }
+        pushdown_rows += sum.rows;
+        ++pushdown_chunks;
+        continue;
+      }
+      block.decode_timestamps(ts_scratch);
+      std::size_t a = 0;
+      std::size_t e = ts_scratch.size();
+      if (from_ns) {
+        a = static_cast<std::size_t>(std::distance(
+            ts_scratch.begin(),
+            std::lower_bound(ts_scratch.begin(), ts_scratch.end(), *from_ns)));
+      }
+      if (to_ns) {
+        e = static_cast<std::size_t>(std::distance(
+            ts_scratch.begin(),
+            std::upper_bound(ts_scratch.begin(), ts_scratch.end(), *to_ns)));
+      }
+      if (a >= e) continue;
+      block.decode_values(value_scratch);
+      decoded += value_scratch.size();
+      fold_rows(value_scratch, a, e);
+    }
+    const Series::RowRange r = s.head_range(from_ns, to_ns);
+    if (r.size() > 0) fold_rows(s.head_values(), r.first, r.last);
+  }
+
+  stats_.rows_decoded += decoded;
+  stats_.pushdown_rows += pushdown_rows;
+  stats_.pushdown_chunks += pushdown_chunks;
+  if (pushdown_metric_ != nullptr && pushdown_chunks > 0) {
+    pushdown_metric_->inc(pushdown_chunks);
+  }
+  note_query(agg.count, elapsed_ms_since(t0));
+  return agg;
 }
 
 void EnvDatabase::vacuum() {
@@ -298,15 +676,39 @@ void EnvDatabase::vacuum() {
   oldest_ts_ns_ = oldest;
   if (dropped > 0) {
     total_rows_ -= dropped;
+    // Retention changed the visible rows: invalidate cached downsample
+    // results (cache_generation_ lags behind and the next downsample
+    // clears the cache).
     ++generation_;
   }
+}
+
+std::size_t EnvDatabase::sealed_block_count() const {
+  std::size_t blocks = 0;
+  for (const Series& s : series_) blocks += s.block_count();
+  return blocks;
 }
 
 std::size_t EnvDatabase::bytes_used() const {
   std::size_t bytes = metrics_.bytes_used();
   for (const Series& s : series_) bytes += sizeof(Series) + s.bytes_used();
   bytes += rate_window_.size() * sizeof(std::int64_t);
+  // Downsample cache entries: key + entry bookkeeping plus the memoized
+  // bucket storage (these used to go unaccounted).
+  for (const auto& [key, entry] : downsample_cache_) {
+    bytes += sizeof(key) + sizeof(entry) + entry.buckets.capacity() * sizeof(Bucket);
+  }
   return bytes;
+}
+
+void EnvDatabase::update_footprint_metrics() {
+  if (bytes_used_gauge_ == nullptr && bytes_per_record_gauge_ == nullptr) return;
+  const double bytes = static_cast<double>(bytes_used());
+  if (bytes_used_gauge_ != nullptr) bytes_used_gauge_->set(bytes);
+  if (bytes_per_record_gauge_ != nullptr) {
+    bytes_per_record_gauge_->set(
+        total_rows_ == 0 ? 0.0 : bytes / static_cast<double>(total_rows_));
+  }
 }
 
 }  // namespace envmon::tsdb

@@ -5,20 +5,32 @@
 // and location, in an IBM DB2 relational database (the "environmental
 // database", paper §II-A).  We stand in for DB2 with an in-memory tagged
 // time-series store supporting the queries the study needs: range scans
-// filtered by location prefix and metric, downsampling, and retention.
-// The paper's observation that "a shorter polling interval ... would
-// exceed the server's processing capacity" is modeled via an ingest-rate
-// capacity check.
+// filtered by location prefix and metric, downsampling, aggregation, and
+// retention.  The paper's observation that "a shorter polling interval
+// ... would exceed the server's processing capacity" is modeled via an
+// ingest-rate capacity check.
 //
 // Storage engine: records are sharded into per-(location, metric) series
-// (structure-of-arrays columns, see series.hpp) with metric names interned
-// to dense ids (metric_table.hpp) and the shards indexed under a
-// location-prefix tree (shard_index.hpp).  query()/downsample() resolve
-// candidate series through the tree in O(matching series), binary-search
-// each shard's time range, and merge on the global insertion sequence —
-// results are identical to a flat timestamp-ordered scan, without the
-// scan.  Downsample results are memoized in a small LRU cache keyed by
-// (filter, bucket width), invalidated by any mutation.
+// with metric names interned to dense ids (metric_table.hpp) and the
+// shards indexed under a location-prefix tree (shard_index.hpp).  Each
+// series is two-tier (series.hpp): a small mutable head buffer plus
+// sealed immutable blocks of up to 4K rows compressed with Gorilla-style
+// codecs (block.hpp, codec.hpp) — delta-of-delta timestamps and seq,
+// XOR doubles — cut into 16-row subchunks with precomputed partial sums.
+//
+// query() resolves candidate series through the tree in O(matching
+// series), prunes sealed blocks by summary, fans decode-and-filter over
+// blocks across a small worker pool (query_threads), and merges on the
+// global insertion sequence — results are byte-identical to a flat
+// timestamp-ordered scan at any thread count.  downsample() and
+// aggregate() push down to block/subchunk summaries: a bucket that fully
+// covers a subchunk takes its precomputed sum without decoding values
+// (aggregation pushdown), and only bucket-boundary subchunks decode.
+// Aggregation is defined at subchunk granularity (DESIGN.md §10), which
+// makes the pushdown, full-decode, compressed, and raw paths produce
+// bit-identical results.  Downsample results are memoized in a small LRU
+// cache keyed by (filter, bucket width), invalidated by any mutation —
+// including retention drops.
 
 #include <array>
 #include <cstddef>
@@ -36,6 +48,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "sim/time.hpp"
+#include "tsdb/block.hpp"
 #include "tsdb/location.hpp"
 #include "tsdb/metric_table.hpp"
 #include "tsdb/series.hpp"
@@ -67,12 +80,26 @@ struct DatabaseOptions {
   std::optional<sim::Duration> retention;
   // Distinct downsample results memoized between mutations.
   std::size_t downsample_cache_capacity = 16;
+  // Sealed blocks hold codec bitstreams when true; raw column copies
+  // when false (identical layout and semantics — the benches use the
+  // raw mode as the flat-scan reference engine).
+  bool compress_blocks = true;
+  // Serve fully-covered downsample buckets / aggregate windows from
+  // block and subchunk summaries instead of decoding values.  Results
+  // are bit-identical either way; off is the reference configuration.
+  bool aggregation_pushdown = true;
+  // Worker threads query() may fan sealed-block decodes over.  1 =
+  // serial.  Output is byte-identical at any setting.
+  std::size_t query_threads = 1;
+  // Minimum candidate rows before query() spawns workers at all.
+  std::size_t parallel_query_min_rows = 16'384;
 };
 
 class EnvDatabase {
  public:
-  // Registers insert/reject counters plus query latency / rows-scanned
-  // histograms on obs::default_registry() unless obs is disabled.
+  // Registers insert/reject/seal/pushdown counters plus query latency /
+  // rows-scanned histograms on obs::default_registry() unless obs is
+  // disabled.
   explicit EnvDatabase(DatabaseOptions options = {});
 
   // When attached, every accepted insert lands on the tracer's event
@@ -95,9 +122,11 @@ class EnvDatabase {
 
   // Batch ingest: per-record validation with skip-and-continue semantics
   // (a rejected record is counted and dropped; the rest of the batch
-  // still lands), amortizing the capacity check, metric interning, and
-  // the retention pass (run once, after the batch) across the batch.
-  // This is the path the collection layers use: one call per poll.
+  // still lands), amortizing the capacity check, metric interning, the
+  // shard-index walk (once per run of same-series records, which also
+  // pre-reserves the head buffer for the run), and the retention pass
+  // (run once, after the batch) across the batch.  This is the path the
+  // collection layers use: one call per poll.
   struct BatchResult {
     std::size_t accepted = 0;
     std::size_t rejected_out_of_order = 0;
@@ -109,6 +138,13 @@ class EnvDatabase {
     [[nodiscard]] bool all_accepted() const { return rejected() == 0; }
   };
   BatchResult insert_batch(std::span<const Record> records);
+
+  // Seals every series head holding at least `min_rows` rows into an
+  // immutable block; returns blocks created.  The fleet ingest worker
+  // calls this on epoch boundaries; benches flush with min_rows = 1.
+  // Query results are unaffected (sealing preserves rows, ordering, and
+  // the subchunk aggregation grid).
+  std::size_t seal_blocks(std::size_t min_rows = 1);
 
   // Range scan; results ordered by (timestamp, insert order).
   [[nodiscard]] std::vector<Record> query(const QueryFilter& filter) const;
@@ -122,24 +158,50 @@ class EnvDatabase {
   [[nodiscard]] std::vector<Bucket> downsample(const QueryFilter& filter,
                                                sim::Duration bucket_width) const;
 
+  // Whole-window aggregate with summary pushdown: a sealed block fully
+  // inside the filter window contributes its summary without decoding.
+  // min/max skip NaN rows; mean/variance come from the same left-to-
+  // right folds the decode path would produce (bit-identical).
+  struct Aggregate {
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Aggregate aggregate(const QueryFilter& filter) const;
+
   [[nodiscard]] std::size_t size() const { return total_rows_; }
   [[nodiscard]] std::size_t rejected_inserts() const { return rejected_; }
 
-  // Applies retention; normally called internally on insert.
+  // Applies retention; normally called internally on insert.  Whole
+  // expired blocks drop without decoding; at most one boundary block
+  // per series is re-materialized.
   void vacuum();
 
   // Engine introspection (benches and tests; cumulative since construction).
   struct QueryStats {
-    std::uint64_t queries = 0;        // query() + downsample() calls
-    std::uint64_t rows_scanned = 0;   // rows touched after index + time narrowing
-    std::uint64_t series_touched = 0; // candidate series resolved by the index
-    std::uint64_t cache_hits = 0;     // downsample results served from cache
+    std::uint64_t queries = 0;         // query() + downsample() + aggregate() calls
+    std::uint64_t rows_scanned = 0;    // rows matched after index + time narrowing
+    std::uint64_t rows_decoded = 0;    // value-column rows actually decoded
+    std::uint64_t series_touched = 0;  // candidate series resolved by the index
+    std::uint64_t cache_hits = 0;      // downsample results served from cache
     std::uint64_t cache_misses = 0;
+    std::uint64_t blocks_sealed = 0;   // head seals (auto + explicit)
+    std::uint64_t pushdown_rows = 0;   // rows aggregated from summaries alone
+    std::uint64_t pushdown_chunks = 0; // subchunk/block summaries consumed
   };
   [[nodiscard]] const QueryStats& query_stats() const { return stats_; }
   [[nodiscard]] std::size_t series_count() const { return series_.size(); }
   [[nodiscard]] std::size_t metric_count() const { return metrics_.size(); }
-  // Approximate heap footprint of the store (columns + interned names).
+  // Live sealed blocks across all series (O(series)).
+  [[nodiscard]] std::size_t sealed_block_count() const;
+  // Approximate heap footprint of the store: head columns, sealed block
+  // streams, interned names, the ingest-rate window, and the downsample
+  // cache (whose entries used to go unaccounted).
   [[nodiscard]] std::size_t bytes_used() const;
 
  private:
@@ -155,17 +217,31 @@ class EnvDatabase {
     std::vector<Bucket> buckets;
     std::uint64_t last_used = 0;
   };
+  // One unit of decode work for the query executor: a sealed block of
+  // one series, or its head (block < 0).
+  struct ScanPart {
+    std::uint32_t sid = 0;
+    std::int32_t block = -1;
+    std::size_t est_rows = 0;
+  };
+  struct DecodedRow {
+    std::uint64_t seq = 0;
+    std::int64_t ts_ns = 0;
+    double value = 0.0;
+    std::uint32_t sid = 0;
+  };
 
   [[nodiscard]] bool over_ingest_rate(sim::SimTime now);
-  Status insert_one(const Record& record, const std::string** memo_name,
-                    MetricId* memo_id, bool vacuum_now);
+  void note_accept(const Record& record, std::uint32_t sid);
   void append_row(const Record& record, MetricId metric);
-  // Candidate series for a filter; returns rows as (seq, series, row)
-  // sorted by seq, i.e. global insertion order.
-  void collect_rows(const QueryFilter& filter,
-                    std::vector<std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>>& rows)
-      const;
+  // Candidate series ids for a filter, in deterministic index order;
+  // false when the filter names a metric that was never ingested.
+  bool resolve_series(const QueryFilter& filter, std::vector<std::uint32_t>& sids) const;
+  void collect_parts(std::span<const std::uint32_t> sids, std::optional<std::int64_t> from_ns,
+                     std::optional<std::int64_t> to_ns, std::vector<ScanPart>& parts) const;
   void note_query(std::uint64_t rows_scanned, double elapsed_ms) const;
+  void note_seal(std::size_t blocks);
+  void update_footprint_metrics();
 
   DatabaseOptions options_;
   MetricTable metrics_;
@@ -196,9 +272,13 @@ class EnvDatabase {
   obs::Counter* rejected_metric_ = nullptr;
   obs::Counter* cache_hits_metric_ = nullptr;
   obs::Counter* cache_misses_metric_ = nullptr;
+  obs::Counter* seals_metric_ = nullptr;
+  obs::Counter* pushdown_metric_ = nullptr;
   obs::Histogram* query_latency_metric_ = nullptr;
   obs::Histogram* rows_scanned_metric_ = nullptr;
   obs::Gauge* series_gauge_ = nullptr;
+  obs::Gauge* bytes_used_gauge_ = nullptr;
+  obs::Gauge* bytes_per_record_gauge_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   fault::Hook fault_hook_;
 };

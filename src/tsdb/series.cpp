@@ -4,26 +4,116 @@
 
 namespace envmon::tsdb {
 
-std::size_t Series::drop_before(std::int64_t cutoff_ns) {
-  const auto it = std::lower_bound(ts_ns_.begin(), ts_ns_.end(), cutoff_ns);
-  const auto n = static_cast<std::size_t>(std::distance(ts_ns_.begin(), it));
-  if (n == 0) return 0;
-  ts_ns_.erase(ts_ns_.begin(), it);
-  values_.erase(values_.begin(), values_.begin() + static_cast<std::ptrdiff_t>(n));
-  seq_.erase(seq_.begin(), seq_.begin() + static_cast<std::ptrdiff_t>(n));
-  return n;
+namespace {
+
+// Head vectors grow in bounded steps instead of the libstdc++ 2x-from-1
+// ramp: fleet ingest touches thousands of series per epoch, and the
+// 1/2/4/8 reallocation churn on every young series is measurable.
+constexpr std::size_t kHeadInitialCapacity = 32;
+
+}  // namespace
+
+bool Series::append(std::int64_t ts_ns, double value, std::uint64_t seq) {
+  if (head_ts_.size() == head_ts_.capacity()) {
+    const std::size_t grown =
+        std::max(kHeadInitialCapacity, head_ts_.capacity() * 2);
+    reserve_head(std::min(grown, Block::kMaxRows) - head_ts_.size());
+  }
+  head_ts_.push_back(ts_ns);
+  head_values_.push_back(value);
+  head_seq_.push_back(seq);
+  if (head_ts_.size() >= Block::kMaxRows) return seal_head(1);
+  return false;
 }
 
-Series::RowRange Series::range(std::optional<std::int64_t> from_ns,
-                               std::optional<std::int64_t> to_ns) const {
-  RowRange r{0, ts_ns_.size()};
+void Series::reserve_head(std::size_t extra) {
+  const std::size_t target = std::min(head_ts_.size() + extra, Block::kMaxRows);
+  head_ts_.reserve(target);
+  head_values_.reserve(target);
+  head_seq_.reserve(target);
+}
+
+bool Series::seal_head(std::size_t min_rows) {
+  if (head_ts_.empty() || head_ts_.size() < std::max<std::size_t>(min_rows, 1)) return false;
+  push_block(Block::seal(head_ts_, head_values_, head_seq_, compress_));
+  block_rows_ += head_ts_.size();
+  head_ts_.clear();
+  head_values_.clear();
+  head_seq_.clear();
+  head_ts_.shrink_to_fit();
+  head_values_.shrink_to_fit();
+  head_seq_.shrink_to_fit();
+  return true;
+}
+
+void Series::push_block(Block block) {
+  block_bytes_ += block.bytes_used();
+  blocks_.push_back(std::move(block));
+}
+
+std::size_t Series::drop_before(std::int64_t cutoff_ns) {
+  std::size_t dropped = 0;
+  // Whole expired blocks go without decoding.
+  std::size_t whole = 0;
+  while (whole < blocks_.size() && blocks_[whole].summary().ts_max < cutoff_ns) {
+    dropped += blocks_[whole].rows();
+    ++whole;
+  }
+  bool rebuilt_boundary = false;
+  Block boundary;
+  if (whole < blocks_.size() && blocks_[whole].summary().ts_min < cutoff_ns) {
+    // At most one block straddles the cutoff (blocks are time-ordered):
+    // decode it, drop the expired prefix, re-seal the remainder.
+    const Block& b = blocks_[whole];
+    std::vector<std::int64_t> ts;
+    std::vector<double> values;
+    std::vector<std::uint64_t> seq;
+    b.decode_timestamps(ts);
+    b.decode_values(values);
+    b.decode_seq(seq);
+    const auto it = std::lower_bound(ts.begin(), ts.end(), cutoff_ns);
+    const auto n = static_cast<std::size_t>(std::distance(ts.begin(), it));
+    dropped += n;
+    boundary = Block::seal({ts.data() + n, ts.size() - n}, {values.data() + n, values.size() - n},
+                           {seq.data() + n, seq.size() - n}, compress_);
+    rebuilt_boundary = true;
+    ++whole;
+  }
+  if (whole > 0) {
+    for (std::size_t i = 0; i < whole; ++i) {
+      block_rows_ -= blocks_[i].rows();
+      block_bytes_ -= blocks_[i].bytes_used();
+    }
+    blocks_.erase(blocks_.begin(), blocks_.begin() + static_cast<std::ptrdiff_t>(whole));
+    if (rebuilt_boundary) {
+      block_rows_ += boundary.rows();
+      block_bytes_ += boundary.bytes_used();
+      blocks_.insert(blocks_.begin(), std::move(boundary));
+    }
+  }
+  if (blocks_.empty() && !head_ts_.empty() && head_ts_.front() < cutoff_ns) {
+    const auto it = std::lower_bound(head_ts_.begin(), head_ts_.end(), cutoff_ns);
+    const auto n = static_cast<std::size_t>(std::distance(head_ts_.begin(), it));
+    if (n > 0) {
+      head_ts_.erase(head_ts_.begin(), it);
+      head_values_.erase(head_values_.begin(), head_values_.begin() + static_cast<std::ptrdiff_t>(n));
+      head_seq_.erase(head_seq_.begin(), head_seq_.begin() + static_cast<std::ptrdiff_t>(n));
+      dropped += n;
+    }
+  }
+  return dropped;
+}
+
+Series::RowRange Series::head_range(std::optional<std::int64_t> from_ns,
+                                    std::optional<std::int64_t> to_ns) const {
+  RowRange r{0, head_ts_.size()};
   if (from_ns) {
     r.first = static_cast<std::size_t>(std::distance(
-        ts_ns_.begin(), std::lower_bound(ts_ns_.begin(), ts_ns_.end(), *from_ns)));
+        head_ts_.begin(), std::lower_bound(head_ts_.begin(), head_ts_.end(), *from_ns)));
   }
   if (to_ns) {
     r.last = static_cast<std::size_t>(std::distance(
-        ts_ns_.begin(), std::upper_bound(ts_ns_.begin(), ts_ns_.end(), *to_ns)));
+        head_ts_.begin(), std::upper_bound(head_ts_.begin(), head_ts_.end(), *to_ns)));
   }
   if (r.last < r.first) r.last = r.first;
   return r;

@@ -1,19 +1,23 @@
 #pragma once
 // One shard of the environmental database: a single (location, metric)
-// time series in structure-of-arrays layout.
+// time series in a two-tier layout — a small mutable head buffer in
+// structure-of-arrays form plus a run of sealed immutable blocks
+// (block.hpp) holding everything older.
 //
 // Inserts are globally timestamp-ordered (the database rejects
-// out-of-order records), so every column here is sorted by construction:
-// `ts_ns` ascends, and `seq` — the record's global insertion number —
-// ascends too.  That makes time-range resolution a binary search and
-// lets the database rebuild the flat store's (timestamp, insert order)
-// result ordering by merging shards on `seq`.
+// out-of-order records), so rows are sorted by construction: `ts_ns`
+// ascends and `seq` — the record's global insertion number — ascends
+// too, across blocks and head alike.  The head auto-seals into a block
+// when it reaches Block::kMaxRows; the database can also flush shorter
+// heads explicitly (epoch boundaries, benches).  Time-range resolution
+// is a summary comparison per block plus a binary search in the head.
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "tsdb/block.hpp"
 #include "tsdb/location.hpp"
 #include "tsdb/metric_table.hpp"
 
@@ -21,49 +25,77 @@ namespace envmon::tsdb {
 
 class Series {
  public:
-  Series(const Location& location, MetricId metric)
-      : location_(location), metric_(metric) {}
+  Series(const Location& location, MetricId metric, bool compress)
+      : location_(location), metric_(metric), compress_(compress) {}
 
-  void append(std::int64_t ts_ns, double value, std::uint64_t seq) {
-    ts_ns_.push_back(ts_ns);
-    values_.push_back(value);
-    seq_.push_back(seq);
-  }
+  // Appends one row; returns true when the append sealed a full head
+  // into a new block (the database counts seals).
+  bool append(std::int64_t ts_ns, double value, std::uint64_t seq);
 
-  // Drops the prefix with ts < cutoff_ns (retention); returns rows dropped.
+  // Grows the head for `extra` upcoming rows (batch ingest calls this
+  // once per run of same-series records).  Bounded by the block size —
+  // the head never holds more than Block::kMaxRows rows.
+  void reserve_head(std::size_t extra);
+
+  // Seals the head into a block if it holds at least `min_rows` rows;
+  // returns true if a block was created.
+  bool seal_head(std::size_t min_rows);
+
+  // Drops rows with ts < cutoff_ns (retention); returns rows dropped.
+  // Whole expired blocks are dropped without decoding; at most one
+  // boundary block (straddling the cutoff) is decoded and
+  // re-materialized as a smaller sealed block.
   std::size_t drop_before(std::int64_t cutoff_ns);
 
-  // Index range [first, last) of rows with from <= ts <= to (either bound
-  // optional).  Binary search: O(log rows), not O(rows).
+  [[nodiscard]] const Location& location() const { return location_; }
+  [[nodiscard]] MetricId metric() const { return metric_; }
+  [[nodiscard]] std::size_t size() const { return block_rows_ + head_ts_.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::int64_t front_ts_ns() const {
+    return blocks_.empty() ? head_ts_.front() : blocks_.front().summary().ts_min;
+  }
+
+  // Sealed tier.
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] const Block& block(std::size_t i) const { return blocks_[i]; }
+
+  // Mutable tier (the query engine reads the head columns in place).
+  [[nodiscard]] std::size_t head_rows() const { return head_ts_.size(); }
+  [[nodiscard]] const std::vector<std::int64_t>& head_ts() const { return head_ts_; }
+  [[nodiscard]] const std::vector<double>& head_values() const { return head_values_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& head_seq() const { return head_seq_; }
+
+  // Head index range [first, last) with from <= ts <= to (either bound
+  // optional).  Binary search: O(log head rows).
   struct RowRange {
     std::size_t first = 0;
     std::size_t last = 0;
     [[nodiscard]] std::size_t size() const { return last - first; }
   };
-  [[nodiscard]] RowRange range(std::optional<std::int64_t> from_ns,
-                               std::optional<std::int64_t> to_ns) const;
+  [[nodiscard]] RowRange head_range(std::optional<std::int64_t> from_ns,
+                                    std::optional<std::int64_t> to_ns) const;
 
-  [[nodiscard]] const Location& location() const { return location_; }
-  [[nodiscard]] MetricId metric() const { return metric_; }
-  [[nodiscard]] std::size_t size() const { return ts_ns_.size(); }
-  [[nodiscard]] bool empty() const { return ts_ns_.empty(); }
-  [[nodiscard]] std::int64_t ts_ns(std::size_t i) const { return ts_ns_[i]; }
-  [[nodiscard]] double value(std::size_t i) const { return values_[i]; }
-  [[nodiscard]] std::uint64_t seq(std::size_t i) const { return seq_[i]; }
-  [[nodiscard]] std::int64_t front_ts_ns() const { return ts_ns_.front(); }
-
-  // Approximate heap bytes held by the three columns.
+  // Approximate heap bytes held: head column capacities plus sealed
+  // block bytes (cached — O(1), maintained on seal/drop).
   [[nodiscard]] std::size_t bytes_used() const {
-    return ts_ns_.capacity() * sizeof(std::int64_t) +
-           values_.capacity() * sizeof(double) + seq_.capacity() * sizeof(std::uint64_t);
+    return head_ts_.capacity() * sizeof(std::int64_t) +
+           head_values_.capacity() * sizeof(double) +
+           head_seq_.capacity() * sizeof(std::uint64_t) +
+           blocks_.capacity() * sizeof(Block) + block_bytes_;
   }
 
  private:
+  void push_block(Block block);
+
   Location location_;
   MetricId metric_;
-  std::vector<std::int64_t> ts_ns_;
-  std::vector<double> values_;
-  std::vector<std::uint64_t> seq_;
+  bool compress_;
+  std::vector<Block> blocks_;
+  std::size_t block_rows_ = 0;   // total rows across sealed blocks
+  std::size_t block_bytes_ = 0;  // cached sum of Block::bytes_used()
+  std::vector<std::int64_t> head_ts_;
+  std::vector<double> head_values_;
+  std::vector<std::uint64_t> head_seq_;
 };
 
 }  // namespace envmon::tsdb

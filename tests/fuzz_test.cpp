@@ -1,9 +1,13 @@
 // Deterministic fuzzing of the parsing boundaries: random bytes into the
-// CSV parser, the IPMB decoder, and the MICRAS pseudo-file parsers must
-// never crash and must either parse cleanly or fail with a Status.
+// CSV parser, the IPMB decoder, the MICRAS pseudo-file parsers, and the
+// sealed-block codecs must never crash and must either parse cleanly or
+// fail with a Status (the codecs are total: bounded garbage in, values
+// out, never UB).
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <limits>
 #include <string>
 
 #include "common/csv.hpp"
@@ -12,6 +16,8 @@
 #include "ipmi/ipmb.hpp"
 #include "mic/micras.hpp"
 #include "moneq/csv_reader.hpp"
+#include "tsdb/block.hpp"
+#include "tsdb/codec.hpp"
 
 namespace envmon {
 namespace {
@@ -93,6 +99,101 @@ TEST_P(FuzzSeeds, MoneqNodeFileParserNeverCrashes) {
     std::string input = (i % 2 == 0) ? "time_s,domain,quantity,unit,value\n" : "";
     input += random_text(rng, 160);
     (void)moneq::parse_node_file(input);
+  }
+}
+
+TEST_P(FuzzSeeds, TsdbCodecsRoundTripArbitraryStreams) {
+  Rng rng(GetParam() ^ 0x70d0);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 1 + rng.uniform_u64(300);
+    // Timestamps: a random walk with occasional wild jumps, duplicates,
+    // and negative deltas; values: raw bit patterns, so NaN payloads,
+    // ±inf, denormals, and -0.0 all appear.
+    std::vector<std::int64_t> ts;
+    std::vector<double> values;
+    std::int64_t t = static_cast<std::int64_t>(rng.uniform_u64(1'000'000)) - 500'000;
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.uniform_u64(4)) {
+        case 0: break;  // repeated timestamp
+        case 1: t += static_cast<std::int64_t>(rng.uniform_u64(1'000)); break;
+        case 2: t -= static_cast<std::int64_t>(rng.uniform_u64(1'000)); break;
+        default: t += static_cast<std::int64_t>(rng.uniform_u64(1ull << 40)); break;
+      }
+      ts.push_back(t);
+      values.push_back(std::bit_cast<double>(rng.uniform_u64(
+          std::numeric_limits<std::uint64_t>::max())));
+    }
+    tsdb::BitWriter tw;
+    tsdb::DeltaOfDeltaEncoder te;
+    for (const std::int64_t v : ts) te.append(v, tw);
+    tsdb::BitWriter vw;
+    tsdb::XorEncoder ve;
+    for (const double v : values) ve.append(v, vw);
+    const auto ts_bytes = tw.take();
+    const auto value_bytes = vw.take();
+
+    tsdb::BitReader tr(ts_bytes);
+    tsdb::DeltaOfDeltaDecoder td;
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(td.next(tr), ts[i]);
+    tsdb::BitReader vr(value_bytes);
+    tsdb::XorDecoder vd;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(vd.next(vr)),
+                std::bit_cast<std::uint64_t>(values[i]));
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, TsdbDecodersSurviveGarbageStreams) {
+  Rng rng(GetParam() ^ 0xb10c);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> bytes;
+    const auto len = rng.uniform_u64(64);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(rng.uniform_u64(256)));
+    }
+    // Bounded decodes over random bytes: arbitrary values, never UB.
+    tsdb::BitReader tr(bytes);
+    tsdb::DeltaOfDeltaDecoder td;
+    for (int i = 0; i < 128; ++i) (void)td.next(tr);
+    tsdb::BitReader vr(bytes);
+    tsdb::XorDecoder vd;
+    for (int i = 0; i < 128; ++i) (void)vd.next(vr);
+  }
+}
+
+TEST_P(FuzzSeeds, TsdbBlockSealDecodeRoundTripsRandomColumns) {
+  Rng rng(GetParam() ^ 0x5ea1);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.uniform_u64(tsdb::Block::kMaxRows);
+    std::vector<std::int64_t> ts;
+    std::vector<double> values;
+    std::vector<std::uint64_t> seq;
+    std::int64_t t = 0;
+    std::uint64_t q = rng.uniform_u64(1'000);
+    for (std::size_t i = 0; i < n; ++i) {
+      t += static_cast<std::int64_t>(rng.uniform_u64(1'000'000'000));
+      ts.push_back(t);
+      values.push_back(std::bit_cast<double>(rng.uniform_u64(
+          std::numeric_limits<std::uint64_t>::max())));
+      q += 1 + rng.uniform_u64(5);
+      seq.push_back(q);
+    }
+    const tsdb::Block block =
+        tsdb::Block::seal(ts, values, seq, /*compress=*/round % 2 == 0);
+    std::vector<std::int64_t> ts_out;
+    std::vector<double> values_out;
+    std::vector<std::uint64_t> seq_out;
+    block.decode_timestamps(ts_out);
+    block.decode_values(values_out);
+    block.decode_seq(seq_out);
+    ASSERT_EQ(ts_out, ts);
+    ASSERT_EQ(seq_out, seq);
+    ASSERT_EQ(values_out.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(values_out[i]),
+                std::bit_cast<std::uint64_t>(values[i]));
+    }
   }
 }
 
