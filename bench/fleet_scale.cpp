@@ -16,6 +16,10 @@
 //           must not collapse under oversubscription).  The measured
 //           hardware_concurrency is recorded in BENCH_fleet.json so the
 //           number is interpretable wherever it was produced.
+//   gate 3 (self-overhead): the observability layer must stay out of the
+//           way — telemetry capture + rollup folds + self-scrape rows
+//           must cost <= 1% of the sequential run's wall time.  The
+//           fleet rollup's JSON rendering joins gate 1's digests.
 //
 // Regenerate BENCH_fleet.json via `./build/bench/fleet_scale` or
 // `ctest --test-dir build -C Bench -L bench`.
@@ -29,6 +33,8 @@
 
 #include "fleet/api.hpp"
 #include "moneq/output.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "tsdb/export.hpp"
 
 namespace {
@@ -52,13 +58,24 @@ std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
 struct RunResult {
   std::uint64_t files_digest = 0;
   std::uint64_t db_digest = 0;
+  std::uint64_t rollup_digest = 0;
   double wall_seconds = 0.0;
   double node_seconds_per_second = 0.0;
   std::size_t records_applied = 0;
   std::uint64_t ingest_stalls = 0;
+  double telemetry_seconds = 0.0;
+  double telemetry_fraction = 0.0;
+  std::size_t self_scrape_rows = 0;
+  double epoch_p99_s = 0.0;
 };
 
 RunResult run(int threads) {
+  // The epoch histogram is process-global and idempotently re-acquired
+  // by the runner; reset it so the p99 below reads this run only.
+  envmon::obs::Histogram& epoch_seconds = envmon::obs::default_registry().histogram(
+      "envmon_fleet_epoch_seconds", "Wall time per fleet lockstep epoch",
+      envmon::obs::Histogram::exponential_bounds(1e-5, 4.0, 12));
+  epoch_seconds.reset();
   fleet::FleetConfig config;
   config.nodes = kNodes;
   config.threads = threads;
@@ -90,11 +107,20 @@ RunResult run(int threads) {
   }
   r.files_digest = h;
   r.db_digest = fnv1a(0xcbf29ce484222325ull, envmon::tsdb::export_csv(runner.database()));
+  // The fleet-wide rolled-up snapshot rides the determinism gate too:
+  // its JSON rendering must be byte-identical at any worker count.
+  r.rollup_digest = fnv1a(0xcbf29ce484222325ull,
+                          envmon::obs::export_json(runner.telemetry()->fleet_rollup()));
   const auto report = runner.report().value();
   r.wall_seconds = report.wall_seconds;
   r.node_seconds_per_second = report.node_seconds_per_second;
   r.records_applied = report.records_applied;
   r.ingest_stalls = report.ingest_stalls;
+  r.telemetry_seconds = report.telemetry_seconds;
+  r.telemetry_fraction =
+      report.wall_seconds > 0.0 ? report.telemetry_seconds / report.wall_seconds : 0.0;
+  r.self_scrape_rows = report.self_scrape_rows;
+  r.epoch_p99_s = epoch_seconds.quantile(0.99);
   return r;
 }
 
@@ -125,7 +151,16 @@ int main() {
       results[0].files_digest == results[1].files_digest &&
       results[1].files_digest == results[2].files_digest &&
       results[0].db_digest == results[1].db_digest &&
-      results[1].db_digest == results[2].db_digest;
+      results[1].db_digest == results[2].db_digest &&
+      results[0].rollup_digest == results[1].rollup_digest &&
+      results[1].rollup_digest == results[2].rollup_digest;
+
+  // Telemetry self-overhead gate: capture + fold + self-scrape must cost
+  // <= 1% of the sequential run's wall time (the 1-thread run is the
+  // clean read — multi-worker runs overlap capture across shards, so
+  // their summed seconds over a shorter wall overstate the share).
+  const double telemetry_fraction = results[0].telemetry_fraction;
+  const bool overhead_ok = telemetry_fraction <= 0.01;
 
   const double speedup_2 = results[1].node_seconds_per_second / results[0].node_seconds_per_second;
   const double speedup_8 = results[2].node_seconds_per_second / results[0].node_seconds_per_second;
@@ -148,7 +183,13 @@ int main() {
   std::printf("\nspeedup 2 / 8 threads : %.2fx / %.2fx\n", speedup_2, speedup_8);
   std::printf("throughput gate       : %s -> %s (%.2fx vs %.2fx required)\n", gate_desc,
               throughput_ok ? "PASS" : "FAIL", speedup_8, required);
-  std::printf("determinism gate      : %s\n", deterministic ? "PASS" : "FAIL");
+  std::printf("determinism gate      : %s (files, db, fleet rollup)\n",
+              deterministic ? "PASS" : "FAIL");
+  std::printf("telemetry overhead    : %s (%.3f%% of 1t wall, gate <= 1%%; %zu self rows)\n",
+              overhead_ok ? "PASS" : "FAIL", telemetry_fraction * 100.0,
+              results[0].self_scrape_rows);
+  std::printf("epoch p99             : %.4f s (1t, via Histogram::quantile)\n",
+              results[0].epoch_p99_s);
 
   std::FILE* out = std::fopen("BENCH_fleet.json", "w");
   if (out != nullptr) {
@@ -168,8 +209,14 @@ int main() {
                  "  \"speedup_8t_required\": %.2f,\n"
                  "  \"records_applied\": %zu,\n"
                  "  \"ingest_stalls_8t\": %llu,\n"
+                 "  \"telemetry_s_1t\": %.4f,\n"
+                 "  \"telemetry_fraction_1t\": %.5f,\n"
+                 "  \"telemetry_fraction_8t\": %.5f,\n"
+                 "  \"self_scrape_rows\": %zu,\n"
+                 "  \"epoch_p99_s_1t\": %.4f,\n"
                  "  \"deterministic_1_2_8\": %s,\n"
-                 "  \"throughput_gate\": %s\n"
+                 "  \"throughput_gate\": %s,\n"
+                 "  \"telemetry_overhead_gate\": %s\n"
                  "}\n",
                  kNodes, static_cast<long long>(kHorizonSeconds), hw,
                  results[0].wall_seconds, results[1].wall_seconds, results[2].wall_seconds,
@@ -177,10 +224,13 @@ int main() {
                  results[2].node_seconds_per_second, speedup_2, speedup_8, required,
                  results[0].records_applied,
                  static_cast<unsigned long long>(results[2].ingest_stalls),
-                 deterministic ? "true" : "false", throughput_ok ? "true" : "false");
+                 results[0].telemetry_seconds, results[0].telemetry_fraction,
+                 results[2].telemetry_fraction, results[0].self_scrape_rows,
+                 results[0].epoch_p99_s, deterministic ? "true" : "false",
+                 throughput_ok ? "true" : "false", overhead_ok ? "true" : "false");
     std::fclose(out);
     std::printf("\nwrote BENCH_fleet.json\n");
   }
 
-  return deterministic && throughput_ok ? 0 : 1;
+  return deterministic && throughput_ok && overhead_ok ? 0 : 1;
 }

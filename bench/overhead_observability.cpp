@@ -12,12 +12,18 @@
 // the per-backend query-latency histograms back out of the Prometheus
 // export: their means must reproduce the paper's ordering
 // RAPL (0.03 ms) << NVML (1.3 ms) < Phi SysMgmt API (14.2 ms).
+//
+// Part 3 turns the question on the fleet engine: per-node registry
+// partitions, epoch rollup folds, flight recorders, and the
+// envmon.self.* self-scrape together must cost <= 1% of the fleet run's
+// wall time (DESIGN.md §11's overhead budget).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 
+#include "fleet/api.hpp"
 #include "mic/card.hpp"
 #include "mic/scif.hpp"
 #include "mic/sysmgmt.hpp"
@@ -25,6 +31,7 @@
 #include "moneq/backend_nvml.hpp"
 #include "moneq/backend_rapl.hpp"
 #include "moneq/profiler.hpp"
+#include "moneq/output.hpp"
 #include "nvml/api.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -155,5 +162,38 @@ int main() {
   const bool ordered = rapl > 0.0 && rapl * 5.0 < nvml && nvml < phi;
   std::printf("ordering RAPL << NVML < Phi API: %s\n", ordered ? "PASS" : "FAIL");
 
-  return (overhead_pct < 5.0 && ordered) ? 0 : 1;
+  std::printf("\n== Fleet telemetry self-overhead (256 nodes, 2 workers) ==\n\n");
+  fleet::FleetConfig config;
+  config.nodes = 256;
+  config.threads = 2;
+  config.capabilities = {moneq::Capability::kBgqEmon};
+  config.epoch = sim::Duration::seconds(5);
+  config.horizon = sim::Duration::seconds(120);
+  config.polling_interval = sim::Duration::millis(250);  // MonEQ's default cadence
+  config.ingest = fleet::IngestMode::kPerSample;
+  config.database.max_insert_rate_per_second = 0.0;
+  // A representative run, not a degenerate one: nodes render their
+  // output files and every sample rides the ingest path, so the budget
+  // is measured against the work a real fleet run does.
+  moneq::MemoryOutput fleet_output;
+  config.output = &fleet_output;
+
+  fleet::FleetRunner runner;
+  if (!runner.configure(std::move(config)).is_ok() || !runner.run().is_ok()) {
+    std::printf("FAIL: fleet run\n");
+    return 1;
+  }
+  const auto report = runner.report().value();
+  const double fleet_fraction =
+      report.wall_seconds > 0.0 ? report.telemetry_seconds / report.wall_seconds : 0.0;
+  std::printf("fleet wall time    : %9.3f s\n", report.wall_seconds);
+  std::printf("telemetry time     : %9.4f s (capture + fold + self-scrape)\n",
+              report.telemetry_seconds);
+  std::printf("self-scrape rows   : %9zu  recorder events: %llu\n", report.self_scrape_rows,
+              static_cast<unsigned long long>(report.recorder_events));
+  std::printf("fleet self-overhead: %9.3f %%  (budget: <= 1 %%)\n", fleet_fraction * 100.0);
+  const bool fleet_ok = fleet_fraction <= 0.01;
+  std::printf("verdict            : %s\n", fleet_ok ? "PASS" : "FAIL");
+
+  return (overhead_pct < 5.0 && ordered && fleet_ok) ? 0 : 1;
 }

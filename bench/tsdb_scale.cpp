@@ -40,6 +40,7 @@
 
 #include "bgq/domains.hpp"
 #include "bgq/env_monitor.hpp"
+#include "obs/metrics.hpp"
 #include "tsdb/database.hpp"
 
 namespace {
@@ -56,11 +57,11 @@ constexpr int kSteps = 600;
 constexpr int kSealEverySteps = 150;  // epoch-style seal cadence
 constexpr std::size_t kLocationCount = static_cast<std::size_t>(kRacks * kMidplanes * kBoards);
 
-double percentile(std::vector<double>& v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
-  return v[idx];
+// Latency buckets for the quantile readouts: ~1 us to ~220 ms at 30%
+// steps, tight enough that interpolated p99s track the raw samples while
+// leaving headroom over every latency gate below.
+std::vector<double> latency_buckets() {
+  return envmon::obs::Histogram::exponential_bounds(0.001, 1.3, 48);
 }
 
 double ms_since(Clock::time_point t0) {
@@ -192,7 +193,7 @@ int main() {
 
   // --- Mixed query load: range scans + downsamples. --------------------
   const std::uint64_t rows_before = db.query_stats().rows_scanned;
-  std::vector<double> latencies_ms;
+  envmon::obs::Histogram query_latency(latency_buckets());
   std::uint64_t queries = 0;
   bool results_ok = true;
   bool identical_ok = true;
@@ -208,7 +209,7 @@ int main() {
     f.to = SimTime::from_seconds(100 + i + 99);
     const auto t0 = Clock::now();
     const auto rows = db.query(f);
-    latencies_ms.push_back(ms_since(t0));
+    query_latency.observe(ms_since(t0));
     ++queries;
     if (rows.size() != 100) {
       std::printf("FAIL: range query %d returned %zu rows (want 100)\n", i, rows.size());
@@ -227,7 +228,7 @@ int main() {
   // full decode (ref) must produce bit-identical buckets.
   const std::uint64_t pushdown_rows_before = db.query_stats().pushdown_rows;
   const std::uint64_t scanned_before_downsample = db.query_stats().rows_scanned;
-  std::vector<double> downsample_ms;
+  envmon::obs::Histogram downsample_latency(latency_buckets());
   for (int i = 0; i < 80; ++i) {
     tsdb::QueryFilter f;
     f.location_prefix = tsdb::midplane_location((i / 2) % kRacks, (i / 2) % kMidplanes);
@@ -235,8 +236,8 @@ int main() {
     const auto t0 = Clock::now();
     const auto buckets = db.downsample(f, Duration::seconds(60));
     const double ms = ms_since(t0);
-    latencies_ms.push_back(ms);
-    downsample_ms.push_back(ms);
+    query_latency.observe(ms);
+    downsample_latency.observe(ms);
     ++queries;
     if (buckets.size() != kSteps / 60) {
       std::printf("FAIL: downsample %d produced %zu buckets (want %d)\n", i, buckets.size(),
@@ -275,24 +276,24 @@ int main() {
   const std::uint64_t full_scan_rows = queries * db.size();
   const double reduction =
       static_cast<double>(full_scan_rows) / static_cast<double>(std::max<std::uint64_t>(rows_scanned, 1));
-  std::vector<double> sorted = latencies_ms;
-  const double p50 = percentile(sorted, 0.50);
-  const double p99 = percentile(sorted, 0.99);
-  const double downsample_p50 = percentile(downsample_ms, 0.50);
-  const double downsample_p99 = percentile(downsample_ms, 0.99);
+  const double p50 = query_latency.quantile(0.50);
+  const double p99 = query_latency.quantile(0.99);
+  const double downsample_p50 = downsample_latency.quantile(0.50);
+  const double downsample_p99 = downsample_latency.quantile(0.99);
 
   // --- Parallel executor: full-metric scans, 153,600 rows each, decoded
   // --- across the worker pool on dbN and serially on db1. --------------
-  std::vector<double> parallel_ms, serial_ms;
+  envmon::obs::Histogram parallel_latency(latency_buckets());
+  envmon::obs::Histogram serial_latency(latency_buckets());
   for (int i = 0; i < 10; ++i) {
     tsdb::QueryFilter f;
     f.metric = metrics[static_cast<std::size_t>(i) % metrics.size()];
     const auto t0 = Clock::now();
     const auto rows_n = db.query(f);
-    parallel_ms.push_back(ms_since(t0));
+    parallel_latency.observe(ms_since(t0));
     const auto t1 = Clock::now();
     const auto rows_1 = db1.query(f);
-    serial_ms.push_back(ms_since(t1));
+    serial_latency.observe(ms_since(t1));
     if (rows_n.size() != kLocationCount * static_cast<std::size_t>(kSteps)) {
       std::printf("FAIL: full-metric scan %d returned %zu rows\n", i, rows_n.size());
       results_ok = false;
@@ -303,9 +304,9 @@ int main() {
       identical_ok = false;
     }
   }
-  const double parallel_p50 = percentile(parallel_ms, 0.50);
-  const double parallel_p99 = percentile(parallel_ms, 0.99);
-  const double serial_scan_p50 = percentile(serial_ms, 0.50);
+  const double parallel_p50 = parallel_latency.quantile(0.50);
+  const double parallel_p99 = parallel_latency.quantile(0.99);
+  const double serial_scan_p50 = serial_latency.quantile(0.50);
 
   std::printf("queries executed    : %llu (120 range + 80 downsample)\n",
               static_cast<unsigned long long>(queries));

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# The full pre-merge check, runnable anywhere the toolchain exists:
+#
+#   1. tier-1: default build + the complete ctest suite (ROADMAP.md's
+#      "must stay green" bar);
+#   2. ASan+UBSan build of the obs + fleet labels (the suites that
+#      exercise the telemetry rollup, flight recorders, and the ingest
+#      path end-to-end);
+#   3. TSan build of the same labels — the fleet engine's thread-count
+#      determinism tests double as its data-race workload.
+#
+# Usage: ci/check.sh [--tier1-only]
+# Build trees land in build/ (tier 1), build-asan/, and build-tsan/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SANITIZED_LABELS='obs|fleet'
+
+run_suite() {
+  local dir="$1"; shift
+  local label="$1"; shift
+  echo "== ${label}: configure + build (${dir}) =="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+}
+
+run_suite build "tier 1"
+echo "== tier 1: ctest (all labels) =="
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  echo "OK (tier 1 only)"
+  exit 0
+fi
+
+run_suite build-asan "ASan+UBSan" -DENVMON_SANITIZE=address
+echo "== ASan+UBSan: ctest -L '${SANITIZED_LABELS}' =="
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L "${SANITIZED_LABELS}"
+
+run_suite build-tsan "TSan" -DENVMON_TSAN=ON
+echo "== TSan: ctest -L '${SANITIZED_LABELS}' =="
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L "${SANITIZED_LABELS}"
+
+echo "OK: tier 1 + sanitized obs/fleet suites all green"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/export.hpp"
+
 namespace envmon::fault {
 
 namespace {
@@ -30,7 +32,7 @@ Injector::Site& Injector::site(std::string_view name) {
     if (obs::enabled()) {
       it->second.injected_metric = &obs::default_registry().counter(
           "envmon_fault_injected_total", "Faults injected into backend-facing surfaces",
-          "site=\"" + std::string(name) + "\"");
+          obs::label("site", name));
     }
   }
   return it->second;
@@ -79,6 +81,10 @@ void Injector::note_injection(Site& s, std::string_view name, std::string_view w
   if (s.injected_metric != nullptr) s.injected_metric->inc();
   if (tracer_ != nullptr) {
     tracer_->event("fault.inject", std::string(name) + ": " + std::string(what));
+  }
+  if (recorder_ != nullptr) {
+    recorder_->record(engine_->now(), recorder_node_, "fault", "fault.inject",
+                      std::string(name) + ": " + std::string(what));
   }
 }
 

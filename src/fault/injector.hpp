@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/span.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -82,6 +83,14 @@ class Injector {
   /// When attached, every injected fault lands on the tracer's event
   /// ring as a "fault.inject" event (detail = "<site>: <what>").
   void attach_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// When attached, every injected fault is also recorded on the flight
+  /// recorder as a deterministic "fault"/"fault.inject" event tagged with
+  /// `node` (the owning fleet rank, or -1 for standalone use).
+  void attach_recorder(obs::FlightRecorder* recorder, int node = -1) {
+    recorder_ = recorder;
+    recorder_node_ = node;
+  }
 
   /// The next `count` operations at `site` fail with `code` (transient
   /// errors — a stray EINTR, one bad SCIF round trip).
@@ -167,6 +176,8 @@ class Injector {
   sim::Engine* engine_;
   std::uint64_t seed_;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  int recorder_node_ = -1;
   std::map<std::string, Site, std::less<>> sites_;
   std::uint64_t injected_total_ = 0;
 };

@@ -24,8 +24,20 @@ bool IngestQueue::push(EpochBatch batch) {
     if (stalls_metric_ != nullptr) stalls_metric_->inc();
     const auto began = std::chrono::steady_clock::now();
     not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
-    stall_seconds_ +=
+    const double stalled =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - began).count();
+    stall_seconds_ += stalled;
+    if (recorder_ != nullptr) {
+      recorder_->record(batch.boundary, -1, "queue", "queue.stall",
+                        "epoch " + std::to_string(batch.epoch),
+                        obs::EventClass::kTiming);
+      if (deadline_seconds_ && stalled > *deadline_seconds_) {
+        deadline_missed_.store(true, std::memory_order_relaxed);
+        recorder_->record(batch.boundary, -1, "queue", "queue.deadline_missed",
+                          "epoch " + std::to_string(batch.epoch),
+                          obs::EventClass::kTiming);
+      }
+    }
   }
   if (closed_) return false;
   items_.push_back(std::move(batch));
@@ -95,6 +107,7 @@ void IngestWorker::apply(EpochBatch&& batch) {
                    [](const tsdb::Record& a, const tsdb::Record& b) {
                      return a.timestamp.ns() < b.timestamp.ns();
                    });
+  const std::size_t size_before = db_->size();
   const auto result = db_->insert_batch(rows);
   ++stats_.batches;
   stats_.accepted += result.accepted;
@@ -102,10 +115,24 @@ void IngestWorker::apply(EpochBatch&& batch) {
   stats_.rejected_rate_limited += result.rejected_rate_limited;
   stats_.rejected_unavailable += result.rejected_unavailable;
   if (applied_metric_ != nullptr) applied_metric_->inc(result.accepted);
+  // Retention runs inside insert: accepted rows that don't all show up in
+  // the post-insert size mean the store aged something out this batch.
+  if (recorder_ != nullptr && size_before + result.accepted != db_->size()) {
+    const std::size_t dropped = size_before + result.accepted - db_->size();
+    recorder_->record(batch.boundary, -1, "tsdb", "tsdb.retention",
+                      "epoch " + std::to_string(batch.epoch) + ": dropped " +
+                          std::to_string(dropped) + " rows");
+  }
   // Epoch-boundary seal: flush grown heads into immutable blocks on a
   // batch-count schedule (deterministic — this is the only db writer).
   if (seal_interval_ > 0 && stats_.batches % seal_interval_ == 0) {
-    stats_.blocks_sealed += db_->seal_blocks(seal_min_rows_);
+    const std::size_t sealed = db_->seal_blocks(seal_min_rows_);
+    stats_.blocks_sealed += sealed;
+    if (recorder_ != nullptr && sealed > 0) {
+      recorder_->record(batch.boundary, -1, "tsdb", "tsdb.seal",
+                        "epoch " + std::to_string(batch.epoch) + ": sealed " +
+                            std::to_string(sealed) + " blocks");
+    }
   }
 }
 

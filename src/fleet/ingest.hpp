@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "sim/time.hpp"
 #include "tsdb/database.hpp"
 
 namespace envmon::fleet {
@@ -40,6 +42,9 @@ struct EpochBatch {
   std::uint64_t epoch = 0;
   std::vector<NodeBatch> nodes;
   std::size_t rows = 0;
+  // Virtual-clock end of the epoch; stamps the flight-recorder events the
+  // ingest side emits while applying this batch.
+  sim::SimTime boundary{};
 };
 
 // Bounded MPSC queue of epoch batches (in practice one producer — the
@@ -48,6 +53,21 @@ class IngestQueue {
  public:
   // `capacity` is in epochs; 0 is promoted to 1.
   explicit IngestQueue(std::size_t capacity);
+
+  // When attached, queue stalls become kTiming flight-recorder events
+  // ("queue"/"queue.stall"); a single stall longer than
+  // `deadline_seconds` (when set) additionally records
+  // "queue.deadline_missed" and latches deadline_missed().  Timing
+  // events never land in the deterministic post-mortem stream — stall
+  // durations depend on host scheduling, not the virtual clock.
+  void attach_recorder(obs::FlightRecorder* recorder,
+                       std::optional<double> deadline_seconds = std::nullopt) {
+    recorder_ = recorder;
+    deadline_seconds_ = deadline_seconds;
+  }
+  [[nodiscard]] bool deadline_missed() const {
+    return deadline_missed_.load(std::memory_order_relaxed);
+  }
 
   // Blocks while full.  Returns false (dropping the batch) after close().
   bool push(EpochBatch batch);
@@ -71,6 +91,9 @@ class IngestQueue {
   bool closed_ = false;
   std::atomic<std::uint64_t> stalls_{0};
   double stall_seconds_ = 0.0;  // guarded by mutex_
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::optional<double> deadline_seconds_;
+  std::atomic<bool> deadline_missed_{false};
 
   obs::Gauge* depth_metric_ = nullptr;
   obs::Counter* stalls_metric_ = nullptr;
@@ -94,6 +117,11 @@ class IngestWorker {
                std::uint64_t seal_interval = kDefaultSealInterval,
                std::size_t seal_min_rows = kDefaultSealMinRows);
 
+  // When attached, seal and retention actions become deterministic
+  // flight-recorder events stamped with the applied batch's epoch
+  // boundary ("tsdb"/"tsdb.seal", "tsdb"/"tsdb.retention", node = -1).
+  void attach_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   // Consumes until the queue is closed and drained.  Run on one thread.
   void run();
 
@@ -116,6 +144,7 @@ class IngestWorker {
   std::uint64_t seal_interval_;
   std::size_t seal_min_rows_;
   Stats stats_;
+  obs::FlightRecorder* recorder_ = nullptr;
   obs::Counter* applied_metric_ = nullptr;
 };
 

@@ -113,6 +113,12 @@ Status FleetNode::configure() {
   moneq::ProfilerOptions profiler_options;
   profiler_options.polling_interval = options_.polling_interval;
   profiler_options.degradation = options_.degradation;
+  profiler_options.registry = options_.registry;
+  profiler_options.recorder = options_.recorder;
+  profiler_options.recorder_node = options_.rank;
+  if (options_.recorder != nullptr) {
+    injector_->attach_recorder(options_.recorder, options_.rank);
+  }
   profiler_ = std::make_unique<moneq::NodeProfiler>(engine_, *world_, options_.rank,
                                                     profiler_options);
   for (auto& backend : backends_) {

@@ -65,6 +65,12 @@ struct NodeOptions {
   // Shared read-only workload profile; must outlive the node.
   const power::UtilizationProfile* workload = nullptr;
   IngestMode ingest = IngestMode::kPerSample;
+  // Per-node telemetry partition for the profiler's self-observability
+  // series (nullptr = process-global default registry).  Owned by the
+  // runner's FleetTelemetry; must outlive the node.
+  obs::Registry* registry = nullptr;
+  // Per-node flight recorder for fault / health events (nullptr = none).
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 class FleetNode {

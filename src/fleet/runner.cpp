@@ -6,6 +6,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/export.hpp"
+
 namespace envmon::fleet {
 inline namespace v2 {
 
@@ -64,6 +66,15 @@ Status FleetRunner::configure(FleetConfig config) {
   world_ = std::make_unique<smpi::World>(config_.nodes);
   db_ = std::make_unique<tsdb::EnvDatabase>(config_.database);
 
+  if (config_.telemetry) {
+    telemetry_ = std::make_unique<obs::FleetTelemetry>(config_.nodes);
+    recorders_.reserve(static_cast<std::size_t>(config_.nodes));
+    for (int rank = 0; rank < config_.nodes; ++rank) {
+      recorders_.push_back(std::make_unique<obs::FlightRecorder>(config_.recorder_capacity));
+    }
+    fleet_recorder_ = std::make_unique<obs::FlightRecorder>(config_.recorder_capacity);
+  }
+
   nodes_.reserve(static_cast<std::size_t>(config_.nodes));
   for (int rank = 0; rank < config_.nodes; ++rank) {
     NodeOptions options;
@@ -74,6 +85,10 @@ Status FleetRunner::configure(FleetConfig config) {
     options.seed = mix_seed(config_.seed, rank);
     options.workload = config_.workload;
     options.ingest = config_.ingest;
+    if (telemetry_ != nullptr) {
+      options.registry = &telemetry_->node_registry(rank);
+      options.recorder = recorders_[static_cast<std::size_t>(rank)].get();
+    }
     auto node = std::make_unique<FleetNode>(*world_, std::move(options));
     if (const Status s = node->configure(); !s.is_ok()) {
       return Status(s.code(), "node " + std::to_string(rank) + ": " + std::string(s.message()));
@@ -91,8 +106,11 @@ Status FleetRunner::configure(FleetConfig config) {
         &registry.counter("envmon_fleet_epochs_total", "Lockstep epochs completed");
     staged_metric_ = &registry.counter("envmon_fleet_records_staged_total",
                                        "Records staged at the epoch barrier");
+    self_rows_metric_ =
+        &registry.counter("envmon_fleet_rollup_self_rows_total",
+                          "Self-scrape rows inserted under envmon.self.*");
     for (int shard = 0; shard < config_.threads; ++shard) {
-      const std::string labels = "shard=\"" + std::to_string(shard) + "\"";
+      const std::string labels = obs::label("shard", std::to_string(shard));
       shard_stall_metrics_.push_back(&registry.counter(
           "envmon_fleet_shard_stalls_total",
           "Epoch-barrier parks longer than the rendezvous floor", labels));
@@ -128,10 +146,15 @@ Status FleetRunner::run() {
 
   IngestQueue queue(config_.ingest_queue_capacity);
   IngestWorker ingest(*db_, queue);
+  if (fleet_recorder_ != nullptr) {
+    queue.attach_recorder(fleet_recorder_.get(), config_.ingest_deadline_seconds);
+    ingest.attach_recorder(fleet_recorder_.get());
+  }
   std::thread ingest_thread([&ingest] { ingest.run(); });
 
   std::vector<std::vector<NodeBatch>> staging(static_cast<std::size_t>(threads));
   std::vector<double> shard_stalls(static_cast<std::size_t>(threads), 0.0);
+  std::vector<double> shard_capture_seconds(static_cast<std::size_t>(threads), 0.0);
   std::vector<Status> shard_status(static_cast<std::size_t>(threads), Status::ok());
 
   // State below is touched only by the barrier completion, which the
@@ -139,17 +162,42 @@ Status FleetRunner::run() {
   std::uint64_t epoch_index = 0;
   auto epoch_began = std::chrono::steady_clock::now();
   std::size_t staged_rows = 0;
+  std::size_t self_rows = 0;
+  double fold_seconds = 0.0;
 
   auto on_epoch_complete = [&]() noexcept {
+    ++epoch_index;
+    const sim::SimTime boundary =
+        epoch_index == epoch_count
+            ? sim::SimTime::zero() + config_.horizon
+            : sim::SimTime::zero() + config_.epoch * static_cast<std::int64_t>(epoch_index);
     EpochBatch batch;
-    batch.epoch = epoch_index++;
-    batch.nodes.reserve(nodes_.size());
+    batch.epoch = epoch_index - 1;
+    batch.boundary = boundary;
+    batch.nodes.reserve(nodes_.size() + 1);
     for (std::vector<NodeBatch>& shard : staging) {
       for (NodeBatch& node : shard) {
         batch.rows += node.records.size();
         batch.nodes.push_back(std::move(node));
       }
       shard.clear();
+    }
+    // Fold the captured node snapshots up the tree and append the fleet
+    // rollup as one more "node" — index `nodes` places its rows after
+    // every real rank in the stable sort's tie order.
+    if (telemetry_ != nullptr) {
+      const auto fold_began = std::chrono::steady_clock::now();
+      telemetry_->fold();
+      if (config_.self_scrape) {
+        NodeBatch self;
+        self.node = config_.nodes;
+        self.records = self_scrape_records(telemetry_->fleet_rollup(), boundary);
+        self_rows += self.records.size();
+        if (self_rows_metric_ != nullptr) self_rows_metric_->inc(self.records.size());
+        batch.rows += self.records.size();
+        batch.nodes.push_back(std::move(self));
+      }
+      fold_seconds += seconds_since(fold_began);
     }
     staged_rows += batch.rows;
     if (staged_metric_ != nullptr) staged_metric_->inc(batch.rows);
@@ -174,6 +222,12 @@ Status FleetRunner::run() {
         node_batch.node = rank;
         nodes_[static_cast<std::size_t>(rank)]->drain(node_batch.records);
         if (!node_batch.records.empty()) stage.push_back(std::move(node_batch));
+      }
+      if (telemetry_ != nullptr) {
+        const auto capture_began = std::chrono::steady_clock::now();
+        for (int rank = begin; rank < end; ++rank) telemetry_->capture(rank);
+        shard_capture_seconds[static_cast<std::size_t>(shard)] +=
+            seconds_since(capture_began);
       }
       const auto park = std::chrono::steady_clock::now();
       barrier.arrive_and_wait();
@@ -241,6 +295,49 @@ Status FleetRunner::run() {
     report_.collection_total += overhead.collection;
     report_.finalize_total += overhead.finalize;
   }
+  // Post-mortem: the first quarantine transition on the merged
+  // deterministic timeline wins (a pure function of seed and config);
+  // an ingest-deadline miss triggers only when nothing quarantined and
+  // is wall-clock dependent by nature — the dump itself still contains
+  // only deterministic events.
+  if (fleet_recorder_ != nullptr) {
+    std::vector<const obs::FlightRecorder*> all;
+    all.reserve(recorders_.size() + 1);
+    for (const auto& r : recorders_) all.push_back(r.get());
+    all.push_back(fleet_recorder_.get());
+    std::string trigger;
+    for (const obs::RecorderEvent& event : obs::merge_events(all)) {
+      if (event.name == "backend.health" &&
+          event.detail.find("-> quarantined") != std::string::npos) {
+        trigger = "backend quarantined: node " + std::to_string(event.node) + ", " +
+                  event.detail;
+        break;
+      }
+    }
+    if (trigger.empty() && queue.deadline_missed()) {
+      trigger = "ingest deadline missed";
+    }
+    if (!trigger.empty()) {
+      post_mortem_ = obs::dump_post_mortem(trigger, all);
+      report_.post_mortem_triggered = true;
+      report_.post_mortem_trigger = std::move(trigger);
+      if (config_.output != nullptr && !config_.post_mortem_path.empty()) {
+        const Status s = config_.output->write(config_.post_mortem_path, post_mortem_);
+        if (!s.is_ok()) return s;
+      }
+    }
+    for (const auto& r : recorders_) {
+      report_.recorder_events += r->recorded();
+      report_.recorder_dropped += r->dropped();
+    }
+    report_.recorder_events += fleet_recorder_->recorded();
+    report_.recorder_dropped += fleet_recorder_->dropped();
+  }
+
+  report_.telemetry_seconds = fold_seconds;
+  for (const double s : shard_capture_seconds) report_.telemetry_seconds += s;
+  report_.self_scrape_rows = self_rows;
+
   const IngestWorker::Stats& ingest_stats = ingest.stats();
   report_.records_staged = staged_rows;
   report_.records_applied = ingest_stats.accepted;
@@ -269,6 +366,47 @@ Result<FleetReport> FleetRunner::report() const {
 }
 
 tsdb::EnvDatabase& FleetRunner::database() { return *db_; }
+
+namespace {
+
+// Folds a pre-rendered label body into a metric-name suffix: quotes are
+// dropped, '=' and ',' become '.', everything else passes through —
+// readable, collision-free for the label alphabets we emit, and stable
+// under CSV export.
+std::string self_metric_name(const std::string& name, const std::string& labels) {
+  std::string out(tsdb::kSelfMetricPrefix);
+  out += name;
+  if (!labels.empty()) {
+    out += '.';
+    for (const char c : labels) {
+      if (c == '"') continue;
+      out += (c == '=' || c == ',') ? '.' : c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<tsdb::Record> self_scrape_records(const obs::Snapshot& snapshot, sim::SimTime t) {
+  const tsdb::Location location = tsdb::rack_location(kSelfTelemetryRack);
+  std::vector<tsdb::Record> records;
+  records.reserve(snapshot.counters.size() + snapshot.gauges.size() +
+                  2 * snapshot.histograms.size());
+  for (const auto& c : snapshot.counters) {
+    records.push_back(
+        {t, location, self_metric_name(c.name, c.labels), static_cast<double>(c.value)});
+  }
+  for (const auto& g : snapshot.gauges) {
+    records.push_back({t, location, self_metric_name(g.name, g.labels), g.value});
+  }
+  for (const auto& h : snapshot.histograms) {
+    records.push_back({t, location, self_metric_name(h.name + ".count", h.labels),
+                       static_cast<double>(h.count)});
+    records.push_back({t, location, self_metric_name(h.name + ".sum", h.labels), h.sum});
+  }
+  return records;
+}
 
 }  // namespace v2
 }  // namespace envmon::fleet

@@ -37,6 +37,8 @@
 #include "fleet/ingest.hpp"
 #include "fleet/node.hpp"
 #include "moneq/output.hpp"
+#include "obs/fleet_telemetry.hpp"
+#include "obs/recorder.hpp"
 #include "power/profile.hpp"
 #include "smpi/smpi.hpp"
 #include "tsdb/database.hpp"
@@ -80,6 +82,22 @@ struct FleetConfig {
   // time.  Schedules are per-node and on the node's own clock, so fault
   // storms replay identically at any worker count.
   std::function<void(fault::Injector&, int node)> fault_script;
+
+  // Observability (DESIGN.md §11).  `telemetry` gives every node its own
+  // registry partition plus a flight recorder and folds the partitions
+  // into board/rack/fleet rollups at each epoch barrier; `self_scrape`
+  // additionally inserts the fleet rollup into the environmental
+  // database each epoch under the reserved envmon.self.* namespace.
+  bool telemetry = true;
+  bool self_scrape = true;
+  std::size_t recorder_capacity = 256;  // events per flight-recorder ring
+  // Wall-clock budget for a single ingest-queue stall; exceeding it
+  // records a (timing) "queue.deadline_missed" event and triggers a
+  // post-mortem dump after the run.
+  std::optional<double> ingest_deadline_seconds;
+  // When a post-mortem triggers, its JSON is also written to `output`
+  // under this name (empty = keep it in memory only; see post_mortem()).
+  std::string post_mortem_path;
 };
 
 struct FleetReport {
@@ -111,6 +129,16 @@ struct FleetReport {
   // ingest backpressure propagated through the completion step).
   std::vector<double> shard_stall_seconds;
 
+  // Observability self-overhead: wall time spent capturing node
+  // snapshots, folding the rollup tree, and rendering self-scrape rows.
+  // bench/overhead_observability gates telemetry_seconds / wall_seconds.
+  double telemetry_seconds = 0.0;
+  std::size_t self_scrape_rows = 0;
+  std::uint64_t recorder_events = 0;   // deterministic events captured
+  std::uint64_t recorder_dropped = 0;  // evicted by ring wraparound
+  bool post_mortem_triggered = false;
+  std::string post_mortem_trigger;
+
   // Real time and throughput.
   double wall_seconds = 0.0;
   // Node-virtual-seconds simulated per real second: the fleet-scaling
@@ -141,6 +169,20 @@ class FleetRunner {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] const FleetNode& node(std::size_t i) const { return *nodes_[i]; }
 
+  // The telemetry hierarchy (nullptr when config.telemetry is false).
+  [[nodiscard]] const obs::FleetTelemetry* telemetry() const { return telemetry_.get(); }
+  // Per-node and fleet-level flight recorders (nullptr when disabled).
+  [[nodiscard]] const obs::FlightRecorder* recorder(std::size_t i) const {
+    return i < recorders_.size() ? recorders_[i].get() : nullptr;
+  }
+  [[nodiscard]] const obs::FlightRecorder* fleet_recorder() const {
+    return fleet_recorder_.get();
+  }
+  // The post-mortem JSON dumped after run() when a backend quarantined
+  // or the ingest deadline was missed (empty otherwise).  Deterministic:
+  // only kDeterministic events are included.
+  [[nodiscard]] const std::string& post_mortem() const { return post_mortem_; }
+
  private:
   enum class State { kIdle, kConfigured, kRan };
 
@@ -150,14 +192,35 @@ class FleetRunner {
   std::unique_ptr<smpi::World> world_;
   std::unique_ptr<tsdb::EnvDatabase> db_;
   std::vector<std::unique_ptr<FleetNode>> nodes_;
+  std::unique_ptr<obs::FleetTelemetry> telemetry_;
+  std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;  // per node
+  std::unique_ptr<obs::FlightRecorder> fleet_recorder_;
+  std::string post_mortem_;
   FleetReport report_;
 
+  obs::Counter* self_rows_metric_ = nullptr;
   obs::Histogram* epoch_seconds_metric_ = nullptr;
   obs::Counter* epochs_metric_ = nullptr;
   obs::Counter* staged_metric_ = nullptr;
   std::vector<obs::Counter*> shard_stall_metrics_;
   std::vector<obs::Gauge*> shard_stall_seconds_metrics_;
 };
+
+// Reserved rack index for the fleet's own telemetry rows: far above any
+// real BG/Q rack, so self-scrape series never collide with node data in
+// location-ranged queries.
+inline constexpr int kSelfTelemetryRack = 9999;
+
+// Renders a rolled-up snapshot as environmental-database records at `t`
+// under the reserved envmon.self.* namespace (tsdb::kSelfMetricPrefix):
+// counters and gauges become one row each, histograms become `.count`
+// and `.sum` rows, and label bodies fold into the metric name with
+// quotes dropped and '='/',' mapped to '.' (e.g.
+// envmon.self.envmon_backend_queries_total.backend.rapl_msr).  Rows
+// inherit the snapshot's sorted order, so equal-timestamp inserts are
+// deterministic.
+[[nodiscard]] std::vector<tsdb::Record> self_scrape_records(const obs::Snapshot& snapshot,
+                                                            sim::SimTime t);
 
 }  // namespace v2
 }  // namespace envmon::fleet

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/export.hpp"
+
 namespace envmon::moneq {
 
 NodeProfiler::NodeProfiler(sim::Engine& engine, const smpi::World& world, int rank,
@@ -74,7 +76,8 @@ Status NodeProfiler::initialize() {
   init_cost_ = options_.init_base_cost + levels * options_.init_per_level_cost;
 
   if (obs::enabled()) {
-    auto& registry = obs::default_registry();
+    auto& registry =
+        options_.registry != nullptr ? *options_.registry : obs::default_registry();
     polls_metric_ = &registry.counter("envmon_profiler_polls_total",
                                       "MonEQ profiler poll ticks executed");
     samples_metric_ = &registry.counter("envmon_profiler_samples_total",
@@ -88,7 +91,7 @@ Status NodeProfiler::initialize() {
                                          "Highest profiler buffer fill level seen");
     backend_metrics_.reserve(backends_.size());
     for (const Backend* backend : backends_) {
-      const std::string labels = "backend=\"" + std::string(backend->name()) + "\"";
+      const std::string labels = obs::label("backend", backend->name());
       BackendMetrics m;
       m.queries = &registry.counter("envmon_backend_queries_total",
                                     "Vendor-mechanism queries issued", labels);
@@ -209,11 +212,17 @@ bool NodeProfiler::poll_backend(std::size_t i) {
     health.on_poll_failure(now);
     if (!gap_open_[i]) open_gap(i, failure_reason);
   }
-  if (health.state() != before && options_.tracer != nullptr) {
-    options_.tracer->event("backend.health",
-                           std::string(backend->name()) + ": " +
-                               std::string(to_string(before)) + " -> " +
-                               std::string(to_string(health.state())));
+  if (health.state() != before) {
+    const std::string transition = std::string(backend->name()) + ": " +
+                                   std::string(to_string(before)) + " -> " +
+                                   std::string(to_string(health.state()));
+    if (options_.tracer != nullptr) {
+      options_.tracer->event("backend.health", transition);
+    }
+    if (options_.recorder != nullptr) {
+      options_.recorder->record(now, options_.recorder_node, "health", "backend.health",
+                                transition);
+    }
   }
   if (metrics.health != nullptr) {
     metrics.health->set(static_cast<double>(health.state()));

@@ -29,6 +29,7 @@
 #include "moneq/output.hpp"
 #include "moneq/sample.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/span.hpp"
 #include "sim/cost.hpp"
 #include "sim/engine.hpp"
@@ -53,6 +54,14 @@ struct ProfilerOptions {
   // When set, each poll opens a span with one child span per backend
   // query, and dropped samples become ring-buffer events.
   obs::Tracer* tracer = nullptr;
+  // Registry receiving the profiler's self-observability series; nullptr
+  // means the process-global default registry.  Fleet nodes pass their
+  // own partition so hierarchical rollups stay deterministic.
+  obs::Registry* registry = nullptr;
+  // When set, backend health transitions land on the flight recorder as
+  // deterministic "health"/"backend.health" events tagged recorder_node.
+  obs::FlightRecorder* recorder = nullptr;
+  int recorder_node = -1;
   // Graceful-degradation knobs: bounded retries, quarantine threshold,
   // and backoff shape shared by every attached backend (each backend
   // still tracks its own state).  See moneq/health.hpp.

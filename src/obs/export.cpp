@@ -15,15 +15,34 @@ std::string format_double(double v) {
   return buf;
 }
 
-std::string json_escape(std::string_view s) {
+// Defensive pass over a pre-rendered label body: a raw line feed would
+// break the line-oriented exposition format no matter where it sits, so
+// escape it even in hand-built bodies.  (Backslashes and quotes cannot
+// be fixed up here — a raw `"` inside a body is ambiguous with the value
+// delimiters — which is why values must be escaped at construction via
+// obs::label().)
+std::string sanitize_label_body(const std::string& labels) {
+  if (labels.find('\n') == std::string::npos) return labels;
   std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
+  out.reserve(labels.size() + 4);
+  for (const char c : labels) {
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// HELP text escaping per the exposition format: backslash and line feed.
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
     switch (c) {
-      case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
       default: out += c;
     }
   }
@@ -35,7 +54,7 @@ void append_series(std::string& out, const std::string& name, const std::string&
   out += name;
   if (!labels.empty()) {
     out += '{';
-    out += labels;
+    out += sanitize_label_body(labels);
     out += '}';
   }
   out += ' ';
@@ -54,12 +73,49 @@ std::string with_le(const std::string& labels, const std::string& le) {
 void append_header(std::string& out, std::string& last_name, const std::string& name,
                    const std::string& help, const char* type) {
   if (name == last_name) return;  // one header per family
-  out += "# HELP " + name + ' ' + help + '\n';
+  out += "# HELP " + name + ' ' + escape_help(help) + '\n';
   out += "# TYPE " + name + ' ' + type + '\n';
   last_name = name;
 }
 
 }  // namespace
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string label(std::string_view key, std::string_view value) {
+  std::string out(key);
+  out += "=\"";
+  out += escape_label_value(value);
+  out += '"';
+  return out;
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 std::string export_prometheus(const Snapshot& snapshot) {
   std::string out;
@@ -100,24 +156,24 @@ std::string export_json(const Snapshot& snapshot) {
   for (const auto& c : snapshot.counters) {
     if (!first) out += ',';
     first = false;
-    out += "{\"name\":\"" + json_escape(c.name) + "\",\"labels\":\"" +
-           json_escape(c.labels) + "\",\"value\":" + std::to_string(c.value) + '}';
+    out += "{\"name\":\"" + escape_json(c.name) + "\",\"labels\":\"" +
+           escape_json(c.labels) + "\",\"value\":" + std::to_string(c.value) + '}';
   }
   out += "],\"gauges\":[";
   first = true;
   for (const auto& g : snapshot.gauges) {
     if (!first) out += ',';
     first = false;
-    out += "{\"name\":\"" + json_escape(g.name) + "\",\"labels\":\"" +
-           json_escape(g.labels) + "\",\"value\":" + format_double(g.value) + '}';
+    out += "{\"name\":\"" + escape_json(g.name) + "\",\"labels\":\"" +
+           escape_json(g.labels) + "\",\"value\":" + format_double(g.value) + '}';
   }
   out += "],\"histograms\":[";
   first = true;
   for (const auto& h : snapshot.histograms) {
     if (!first) out += ',';
     first = false;
-    out += "{\"name\":\"" + json_escape(h.name) + "\",\"labels\":\"" +
-           json_escape(h.labels) + "\",\"buckets\":[";
+    out += "{\"name\":\"" + escape_json(h.name) + "\",\"labels\":\"" +
+           escape_json(h.labels) + "\",\"buckets\":[";
     for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
       if (i > 0) out += ',';
       const std::string le = i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf";

@@ -8,13 +8,30 @@
 // so they can also serve a private Registry in tests.
 
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 
 namespace envmon::obs {
 
+// Escapes a label value per the Prometheus exposition format: backslash,
+// double-quote, and line feed become \\, \", and \n.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+// Renders one `key="value"` label pair with the value escaped.  Build
+// label bodies from these (joined with ',') so values containing
+// backslashes, quotes, or newlines cannot corrupt the exposition format.
+[[nodiscard]] std::string label(std::string_view key, std::string_view value);
+
+// JSON string-body escaping shared by export_json and the flight
+// recorder's post-mortem dumps.
+[[nodiscard]] std::string escape_json(std::string_view s);
+
 // Prometheus text exposition format v0.0.4: # HELP / # TYPE headers,
 // histograms as cumulative `_bucket{le=...}` series plus _sum/_count.
+// HELP text is escaped per the spec; raw line feeds that reach a
+// pre-rendered label body are escaped defensively (label *values* should
+// already have been escaped via label() above).
 [[nodiscard]] std::string export_prometheus(const Registry& registry = default_registry());
 [[nodiscard]] std::string export_prometheus(const Snapshot& snapshot);
 

@@ -1,0 +1,170 @@
+#include "obs/fleet_telemetry.hpp"
+
+#include <algorithm>
+
+namespace envmon::obs {
+
+namespace {
+
+// Key order shared by every Snapshot row type (the registry's map order).
+template <typename Row>
+bool row_less(const Row& a, const Row& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+template <typename Row>
+bool same_keys(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || a[i].labels != b[i].labels) return false;
+  }
+  return true;
+}
+
+// Sorted two-way merge of `from` into `into`; `accumulate(into_row,
+// from_row)` folds matching keys and returns false to skip (mismatched
+// histogram layouts).
+template <typename Row, typename Accumulate>
+std::size_t merge_rows(std::vector<Row>& into, const std::vector<Row>& from,
+                       Accumulate accumulate) {
+  // Fast path: identical key sequences — the steady state of a
+  // homogeneous fleet, where every node registers the same series —
+  // accumulate in place with no allocation and no row copies.  This is
+  // what keeps 1024-node epoch folds inside the <= 1% overhead budget.
+  if (same_keys(into, from)) {
+    std::size_t in_place_skipped = 0;
+    for (std::size_t i = 0; i < into.size(); ++i) {
+      if (!accumulate(into[i], from[i])) ++in_place_skipped;
+    }
+    return in_place_skipped;
+  }
+  std::size_t skipped = 0;
+  std::vector<Row> merged;
+  merged.reserve(into.size() + from.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < into.size() && j < from.size()) {
+    if (row_less(into[i], from[j])) {
+      merged.push_back(std::move(into[i++]));
+    } else if (row_less(from[j], into[i])) {
+      merged.push_back(from[j++]);
+    } else {
+      if (!accumulate(into[i], from[j])) ++skipped;
+      merged.push_back(std::move(into[i++]));
+      ++j;
+    }
+  }
+  for (; i < into.size(); ++i) merged.push_back(std::move(into[i]));
+  for (; j < from.size(); ++j) merged.push_back(from[j]);
+  into = std::move(merged);
+  return skipped;
+}
+
+// Zeroes every value while keeping the row structure (names, labels,
+// bounds) intact, so re-folding into a persistent rollup snapshot hits
+// the in-place merge path instead of rebuilding strings each epoch.
+void zero_values(Snapshot& snapshot) {
+  for (auto& c : snapshot.counters) c.value = 0;
+  for (auto& g : snapshot.gauges) g.value = 0.0;
+  for (auto& h : snapshot.histograms) {
+    std::fill(h.bucket_counts.begin(), h.bucket_counts.end(), 0);
+    h.count = 0;
+    h.sum = 0.0;
+  }
+}
+
+}  // namespace
+
+std::size_t merge_snapshot(Snapshot& into, const Snapshot& from) {
+  std::size_t skipped = 0;
+  skipped += merge_rows(into.counters, from.counters,
+                        [](Snapshot::CounterRow& a, const Snapshot::CounterRow& b) {
+                          a.value += b.value;
+                          return true;
+                        });
+  skipped += merge_rows(into.gauges, from.gauges,
+                        [](Snapshot::GaugeRow& a, const Snapshot::GaugeRow& b) {
+                          a.value += b.value;
+                          return true;
+                        });
+  skipped += merge_rows(into.histograms, from.histograms,
+                        [](Snapshot::HistogramRow& a, const Snapshot::HistogramRow& b) {
+                          if (a.bounds != b.bounds) return false;
+                          for (std::size_t k = 0; k < a.bucket_counts.size(); ++k) {
+                            a.bucket_counts[k] += b.bucket_counts[k];
+                          }
+                          a.count += b.count;
+                          a.sum += b.sum;
+                          return true;
+                        });
+  return skipped;
+}
+
+FleetTelemetry::FleetTelemetry(int nodes, RollupTopology topology) : topology_(topology) {
+  const int node_count = std::max(nodes, 1);
+  topology_.nodes_per_board = std::max(topology_.nodes_per_board, 1);
+  topology_.boards_per_rack = std::max(topology_.boards_per_rack, 1);
+  node_registries_.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    node_registries_.push_back(std::make_unique<Registry>());
+  }
+  node_snapshots_.resize(static_cast<std::size_t>(node_count));
+  const int board_count = (node_count + topology_.nodes_per_board - 1) / topology_.nodes_per_board;
+  const int rack_count = (board_count + topology_.boards_per_rack - 1) / topology_.boards_per_rack;
+  boards_.resize(static_cast<std::size_t>(board_count));
+  racks_.resize(static_cast<std::size_t>(rack_count));
+  if (enabled()) {
+    auto& registry = default_registry();
+    folds_metric_ = &registry.counter("envmon_fleet_rollup_folds_total",
+                                      "Hierarchical telemetry rollups performed");
+    series_metric_ = &registry.gauge("envmon_fleet_rollup_series",
+                                     "Series in the latest fleet-wide rollup");
+  }
+}
+
+void FleetTelemetry::capture(int rank) {
+  // In-place refresh: after the first epoch the slot already mirrors the
+  // registry's key sequence, so only values are written.
+  node_registries_[static_cast<std::size_t>(rank)]->snapshot_into(
+      node_snapshots_[static_cast<std::size_t>(rank)]);
+}
+
+void FleetTelemetry::fold() {
+  // Rollup snapshots persist across folds: zero the values, keep the
+  // structure, and let the in-place merge path do the accumulation.
+  // (Registries never remove series, so stale rows cannot linger.)
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    Snapshot& board = boards_[b];
+    zero_values(board);
+    const std::size_t begin = b * static_cast<std::size_t>(topology_.nodes_per_board);
+    const std::size_t end =
+        std::min(begin + static_cast<std::size_t>(topology_.nodes_per_board),
+                 node_snapshots_.size());
+    for (std::size_t n = begin; n < end; ++n) {
+      merge_skipped_ += merge_snapshot(board, node_snapshots_[n]);
+    }
+  }
+  for (std::size_t r = 0; r < racks_.size(); ++r) {
+    Snapshot& rack = racks_[r];
+    zero_values(rack);
+    const std::size_t begin = r * static_cast<std::size_t>(topology_.boards_per_rack);
+    const std::size_t end = std::min(
+        begin + static_cast<std::size_t>(topology_.boards_per_rack), boards_.size());
+    for (std::size_t b = begin; b < end; ++b) {
+      merge_skipped_ += merge_snapshot(rack, boards_[b]);
+    }
+  }
+  zero_values(fleet_);
+  for (const Snapshot& rack : racks_) {
+    merge_skipped_ += merge_snapshot(fleet_, rack);
+  }
+  ++folds_;
+  if (folds_metric_ != nullptr) folds_metric_->inc();
+  if (series_metric_ != nullptr) {
+    series_metric_->set(static_cast<double>(fleet_.counters.size() + fleet_.gauges.size() +
+                                            fleet_.histograms.size()));
+  }
+}
+
+}  // namespace envmon::obs

@@ -1,0 +1,103 @@
+#pragma once
+// Fleet-wide telemetry: per-node Registry partitions with a
+// deterministic hierarchical rollup.
+//
+// The PR-4 fleet engine gave every node its own virtual-clock partition
+// but kept one process-wide metrics registry, so 1024 nodes fold their
+// counts into shared atomics and per-node attribution is lost the
+// moment it happens.  FleetTelemetry gives each node its *own*
+// obs::Registry — the node's profiler and backends register there — and
+// a merge tree mirroring the BG/Q packaging hierarchy we already model:
+//
+//   node (compute card) -> node board (32 cards) -> rack (32 boards)
+//        -> fleet
+//
+// Each epoch a worker snapshots its nodes' registries (capture(), the
+// only per-node touch); the epoch-barrier completion step then folds the
+// captured snapshots up the tree (fold()).  The fold visits children in
+// ascending index order at every level, so every floating-point
+// accumulation happens in one fixed order: the rolled-up snapshot is a
+// pure function of the node snapshots, byte-identical at any worker
+// count.  Per-node registries hold only virtual-clock series (poll
+// counts, virtual-ms latencies), which makes the node snapshots — and
+// therefore the whole tree — deterministic too.
+//
+// Merge semantics: counters and histogram buckets add; gauges add
+// (a fleet gauge reads as the sum over nodes); histograms with
+// mismatched bucket bounds keep the first-seen layout and skip the
+// mismatch (counted in merge_skipped()).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace envmon::obs {
+
+// Children per level of the rollup tree, defaulting to the BG/Q shape
+// (32 compute cards per node board, 16 boards x 2 midplanes per rack).
+struct RollupTopology {
+  int nodes_per_board = 32;
+  int boards_per_rack = 32;
+};
+
+// Accumulates `from` into `into`.  Both must be sorted by (name, labels)
+// — true of every Registry::snapshot().  Returns series skipped because
+// of mismatched histogram bucket layouts.
+std::size_t merge_snapshot(Snapshot& into, const Snapshot& from);
+
+class FleetTelemetry {
+ public:
+  explicit FleetTelemetry(int nodes, RollupTopology topology = {});
+  FleetTelemetry(const FleetTelemetry&) = delete;
+  FleetTelemetry& operator=(const FleetTelemetry&) = delete;
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(node_registries_.size()); }
+  [[nodiscard]] int board_count() const { return static_cast<int>(boards_.size()); }
+  [[nodiscard]] int rack_count() const { return static_cast<int>(racks_.size()); }
+
+  // The registry partition owned by `rank`.  Hand it to the node's
+  // profiler/backends at configure() time.
+  [[nodiscard]] Registry& node_registry(int rank) { return *node_registries_[static_cast<std::size_t>(rank)]; }
+
+  // Snapshots `rank`'s registry into its epoch slot.  Called by the
+  // worker that owns the rank (each slot has exactly one writer); the
+  // snapshot itself locks only that node's registry mutex.
+  void capture(int rank);
+
+  // Folds the captured node snapshots up the tree: boards, racks, fleet.
+  // Single-threaded by contract (the epoch-barrier completion step) and
+  // deterministic (fixed child order at every level).
+  void fold();
+
+  // Rollups from the most recent fold() (empty before the first).
+  [[nodiscard]] const Snapshot& board_rollup(int board) const {
+    return boards_[static_cast<std::size_t>(board)];
+  }
+  [[nodiscard]] const Snapshot& rack_rollup(int rack) const {
+    return racks_[static_cast<std::size_t>(rack)];
+  }
+  [[nodiscard]] const Snapshot& fleet_rollup() const { return fleet_; }
+  [[nodiscard]] const Snapshot& node_capture(int rank) const {
+    return node_snapshots_[static_cast<std::size_t>(rank)];
+  }
+
+  [[nodiscard]] std::uint64_t folds() const { return folds_; }
+  [[nodiscard]] std::uint64_t merge_skipped() const { return merge_skipped_; }
+
+ private:
+  RollupTopology topology_;
+  std::vector<std::unique_ptr<Registry>> node_registries_;
+  std::vector<Snapshot> node_snapshots_;  // slot[rank], written by capture()
+  std::vector<Snapshot> boards_;
+  std::vector<Snapshot> racks_;
+  Snapshot fleet_;
+  std::uint64_t folds_ = 0;
+  std::uint64_t merge_skipped_ = 0;
+
+  Counter* folds_metric_ = nullptr;
+  Gauge* series_metric_ = nullptr;
+};
+
+}  // namespace envmon::obs

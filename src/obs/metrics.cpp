@@ -34,6 +34,27 @@ double Histogram::mean() const {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+double Histogram::quantile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0 || bounds_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const double in_bucket =
+        static_cast<double>(counts_[i].load(std::memory_order_relaxed));
+    if (cumulative + in_bucket >= rank && in_bucket > 0.0) {
+      const double lower = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+      const double upper = bounds_[i];
+      return lower + (upper - lower) * (rank - cumulative) / in_bucket;
+    }
+    cumulative += in_bucket;
+  }
+  // Rank lands in the +Inf bucket: the best bounded estimate is the
+  // largest finite bound.
+  return bounds_.back();
+}
+
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -90,33 +111,91 @@ Histogram& Registry::histogram(std::string_view name, std::string_view help,
   return *entry.metric;
 }
 
+namespace {
+
+// True when `rows` already mirrors the map's key sequence, so a refresh
+// can overwrite values in place without touching any string.
+template <typename Row, typename Map>
+bool keys_match(const std::vector<Row>& rows, const Map& entries) {
+  if (rows.size() != entries.size()) return false;
+  std::size_t i = 0;
+  for (const auto& [key, entry] : entries) {
+    if (rows[i].name != key.first || rows[i].labels != key.second) return false;
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace
+
 Snapshot Registry::snapshot() const {
-  const std::scoped_lock lock(mutex_);
   Snapshot snap;
-  snap.counters.reserve(counters_.size());
-  for (const auto& [key, entry] : counters_) {
-    snap.counters.push_back({key.first, key.second, entry.help, entry.metric->value()});
-  }
-  snap.gauges.reserve(gauges_.size());
-  for (const auto& [key, entry] : gauges_) {
-    snap.gauges.push_back({key.first, key.second, entry.help, entry.metric->value()});
-  }
-  snap.histograms.reserve(histograms_.size());
-  for (const auto& [key, entry] : histograms_) {
-    Snapshot::HistogramRow row;
-    row.name = key.first;
-    row.labels = key.second;
-    row.help = entry.help;
-    row.bounds = entry.metric->bounds();
-    row.bucket_counts.reserve(row.bounds.size() + 1);
-    for (std::size_t i = 0; i <= row.bounds.size(); ++i) {
-      row.bucket_counts.push_back(entry.metric->bucket_count(i));
-    }
-    row.count = entry.metric->count();
-    row.sum = entry.metric->sum();
-    snap.histograms.push_back(std::move(row));
-  }
+  snapshot_into(snap);
   return snap;
+}
+
+void Registry::snapshot_into(Snapshot& out) const {
+  const std::scoped_lock lock(mutex_);
+  if (keys_match(out.counters, counters_)) {
+    std::size_t i = 0;
+    for (const auto& [key, entry] : counters_) out.counters[i++].value = entry.metric->value();
+  } else {
+    out.counters.clear();
+    out.counters.reserve(counters_.size());
+    for (const auto& [key, entry] : counters_) {
+      out.counters.push_back({key.first, key.second, entry.help, entry.metric->value()});
+    }
+  }
+
+  if (keys_match(out.gauges, gauges_)) {
+    std::size_t i = 0;
+    for (const auto& [key, entry] : gauges_) out.gauges[i++].value = entry.metric->value();
+  } else {
+    out.gauges.clear();
+    out.gauges.reserve(gauges_.size());
+    for (const auto& [key, entry] : gauges_) {
+      out.gauges.push_back({key.first, key.second, entry.help, entry.metric->value()});
+    }
+  }
+
+  bool hist_fast = keys_match(out.histograms, histograms_);
+  if (hist_fast) {
+    std::size_t i = 0;
+    for (const auto& [key, entry] : histograms_) {
+      if (out.histograms[i++].bounds != entry.metric->bounds()) {
+        hist_fast = false;
+        break;
+      }
+    }
+  }
+  if (hist_fast) {
+    std::size_t i = 0;
+    for (const auto& [key, entry] : histograms_) {
+      Snapshot::HistogramRow& row = out.histograms[i++];
+      for (std::size_t b = 0; b < row.bucket_counts.size(); ++b) {
+        row.bucket_counts[b] = entry.metric->bucket_count(b);
+      }
+      row.count = entry.metric->count();
+      row.sum = entry.metric->sum();
+    }
+  } else {
+    out.histograms.clear();
+    out.histograms.reserve(histograms_.size());
+    for (const auto& [key, entry] : histograms_) {
+      Snapshot::HistogramRow row;
+      row.name = key.first;
+      row.labels = key.second;
+      row.help = entry.help;
+      row.bounds = entry.metric->bounds();
+      row.bucket_counts.reserve(row.bounds.size() + 1);
+      for (std::size_t i = 0; i <= row.bounds.size(); ++i) {
+        row.bucket_counts.push_back(entry.metric->bucket_count(i));
+      }
+      row.count = entry.metric->count();
+      row.sum = entry.metric->sum();
+      out.histograms.push_back(std::move(row));
+    }
+  }
 }
 
 void Registry::reset_values() {

@@ -90,6 +90,13 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
   [[nodiscard]] double mean() const;
+  // Estimated p-quantile (p in [0, 1]) with linear interpolation inside
+  // the bucket where the rank lands — histogram_quantile() semantics, so
+  // benches read p99 straight off their latency histograms instead of
+  // re-deriving it from raw sample vectors.  The first bucket
+  // interpolates from 0 (or its bound, if negative); a rank landing in
+  // the +Inf bucket clamps to the largest finite bound.  0 when empty.
+  [[nodiscard]] double quantile(double p) const;
   void reset();
 
   // {start, start*factor, ...}, n bounds total.
@@ -143,6 +150,14 @@ class Registry {
                        std::vector<double> bounds, std::string_view labels = "");
 
   [[nodiscard]] Snapshot snapshot() const;
+
+  // snapshot() into a caller-owned buffer.  When `out` already mirrors
+  // the registry's key sequence (the steady state of an epoch-capture
+  // loop — registries gain series rarely after initialization), only the
+  // values are overwritten: no strings or vectors are reallocated.  The
+  // fleet telemetry layer leans on this to stay inside its overhead
+  // budget (DESIGN.md §11).
+  void snapshot_into(Snapshot& out) const;
 
   // Zeroes every registered value (handles held by instrumented code
   // stay valid).  Lets a bench isolate phases on the shared registry.

@@ -1,0 +1,142 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+
+#include "obs/export.hpp"
+
+namespace envmon::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  deterministic_.events.reserve(capacity_);
+  timing_.events.reserve(capacity_);
+  if (enabled()) {
+    auto& registry = default_registry();
+    events_metric_ = &registry.counter("envmon_recorder_events_total",
+                                       "Events captured by flight recorders");
+    dropped_metric_ = &registry.counter("envmon_recorder_dropped_total",
+                                        "Recorder events evicted by ring wraparound");
+  }
+}
+
+void FlightRecorder::push(Ring& ring, sim::SimTime t, int node, std::string_view category,
+                          std::string_view name, std::string_view detail) {
+  RecorderEvent event{t, node, std::string(category), std::string(name), std::string(detail),
+                      ring.next_seq++};
+  if (ring.events.size() < capacity_) {
+    ring.events.push_back(std::move(event));
+  } else {
+    ring.events[ring.next] = std::move(event);
+    ring.next = (ring.next + 1) % capacity_;
+    ++ring.dropped;
+    if (dropped_metric_ != nullptr) dropped_metric_->inc();
+  }
+  ++ring.recorded;
+  if (events_metric_ != nullptr) events_metric_->inc();
+}
+
+void FlightRecorder::record(sim::SimTime t, int node, std::string_view category,
+                            std::string_view name, std::string_view detail,
+                            EventClass event_class) {
+  const std::scoped_lock lock(mutex_);
+  push(event_class == EventClass::kDeterministic ? deterministic_ : timing_, t, node,
+       category, name, detail);
+}
+
+std::vector<RecorderEvent> FlightRecorder::window(const Ring& ring) {
+  std::vector<RecorderEvent> out;
+  out.reserve(ring.events.size());
+  // Oldest first: once the ring has wrapped, `next` points at the oldest
+  // surviving event.
+  for (std::size_t i = 0; i < ring.events.size(); ++i) {
+    out.push_back(ring.events[(ring.next + i) % ring.events.size()]);
+  }
+  return out;
+}
+
+std::vector<RecorderEvent> FlightRecorder::events() const {
+  const std::scoped_lock lock(mutex_);
+  return window(deterministic_);
+}
+
+std::vector<RecorderEvent> FlightRecorder::timing_events() const {
+  const std::scoped_lock lock(mutex_);
+  return window(timing_);
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::scoped_lock lock(mutex_);
+  return deterministic_.recorded;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return deterministic_.dropped;
+}
+
+std::uint64_t FlightRecorder::timing_recorded() const {
+  const std::scoped_lock lock(mutex_);
+  return timing_.recorded;
+}
+
+std::uint64_t FlightRecorder::timing_dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return timing_.dropped;
+}
+
+std::vector<RecorderEvent> merge_events(std::span<const FlightRecorder* const> recorders,
+                                        bool include_timing) {
+  std::vector<RecorderEvent> merged;
+  for (const FlightRecorder* recorder : recorders) {
+    if (recorder == nullptr) continue;
+    auto window = recorder->events();
+    merged.insert(merged.end(), std::make_move_iterator(window.begin()),
+                  std::make_move_iterator(window.end()));
+    if (include_timing) {
+      auto timing = recorder->timing_events();
+      merged.insert(merged.end(), std::make_move_iterator(timing.begin()),
+                    std::make_move_iterator(timing.end()));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const RecorderEvent& a, const RecorderEvent& b) {
+                     if (a.t.ns() != b.t.ns()) return a.t.ns() < b.t.ns();
+                     if (a.node != b.node) return a.node < b.node;
+                     return a.seq < b.seq;
+                   });
+  return merged;
+}
+
+std::string dump_post_mortem(std::string_view trigger,
+                             std::span<const FlightRecorder* const> recorders,
+                             bool include_timing) {
+  const std::vector<RecorderEvent> events = merge_events(recorders, include_timing);
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  for (const FlightRecorder* recorder : recorders) {
+    if (recorder == nullptr) continue;
+    recorded += recorder->recorded();
+    dropped += recorder->dropped();
+    if (include_timing) {
+      recorded += recorder->timing_recorded();
+      dropped += recorder->timing_dropped();
+    }
+  }
+
+  std::string out = "{\n  \"trigger\": \"" + escape_json(trigger) + "\",\n  \"events\": [";
+  bool first = true;
+  for (const RecorderEvent& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"t_ns\": " + std::to_string(event.t.ns()) +
+           ", \"node\": " + std::to_string(event.node) + ", \"category\": \"" +
+           escape_json(event.category) + "\", \"name\": \"" + escape_json(event.name) +
+           "\", \"detail\": \"" + escape_json(event.detail) + "\"}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"recorded\": " + std::to_string(recorded) +
+         ",\n  \"dropped\": " + std::to_string(dropped) + "\n}\n";
+  return out;
+}
+
+}  // namespace envmon::obs

@@ -85,7 +85,11 @@ bool EnvDatabase::over_ingest_rate(sim::SimTime now) {
 void EnvDatabase::note_accept(const Record& record, std::uint32_t sid) {
   const std::int64_t ts = record.timestamp.ns();
   if (series_[sid].append(ts, record.value, next_seq_++)) note_seal(1);
-  if (options_.max_insert_rate_per_second > 0.0) rate_window_.push_back(ts);
+  // Self-telemetry rows never consume ingest-rate budget (reserved
+  // namespace, database.hpp).
+  if (options_.max_insert_rate_per_second > 0.0 && !is_self_metric(record.metric)) {
+    rate_window_.push_back(ts);
+  }
   if (!any_accepted_) oldest_ts_ns_ = ts;
   any_accepted_ = true;
   last_ts_ns_ = ts;
@@ -121,7 +125,7 @@ Status EnvDatabase::insert(const Record& record) {
     // Static message: the hot reject path must not format the timestamp.
     return Status(StatusCode::kInvalidArgument, "out-of-order insert");
   }
-  if (over_ingest_rate(record.timestamp)) {
+  if (!is_self_metric(record.metric) && over_ingest_rate(record.timestamp)) {
     ++rejected_;
     if (rejected_metric_ != nullptr) rejected_metric_->inc();
     return Status(StatusCode::kResourceExhausted,
@@ -154,6 +158,7 @@ EnvDatabase::BatchResult EnvDatabase::insert_batch(std::span<const Record> recor
   const std::size_t n = records.size();
   std::size_t run_end = 0;
   bool run_metric_known = false;
+  bool run_self = false;
   MetricId run_metric = 0;
   std::uint32_t run_sid = ShardIndex::kNoSeries;
   for (std::size_t i = 0; i < n; ++i) {
@@ -165,13 +170,14 @@ EnvDatabase::BatchResult EnvDatabase::insert_batch(std::span<const Record> recor
         ++run_end;
       }
       run_metric_known = false;
+      run_self = is_self_metric(record.metric);
       run_sid = ShardIndex::kNoSeries;
     }
     if (any_accepted_ && record.timestamp.ns() < last_ts_ns_) {
       ++result.rejected_out_of_order;
       continue;
     }
-    if (over_ingest_rate(record.timestamp)) {
+    if (!run_self && over_ingest_rate(record.timestamp)) {
       ++result.rejected_rate_limited;
       continue;
     }

@@ -63,6 +63,19 @@ struct Record {
   double value = 0.0;
 };
 
+// Reserved metric namespace for the collector's own telemetry: the fleet
+// engine self-scrapes its rolled-up health snapshot into the store each
+// epoch under `envmon.self.*`.  Records in the namespace bypass the
+// modeled DB2 ingest-rate ceiling and do not consume rate-window budget —
+// watching the watcher must not eat the processing capacity whose limits
+// the paper's polling-interval analysis is about.  Ordering and
+// retention rules apply unchanged.
+inline constexpr std::string_view kSelfMetricPrefix = "envmon.self.";
+
+[[nodiscard]] inline bool is_self_metric(std::string_view metric) {
+  return metric.substr(0, kSelfMetricPrefix.size()) == kSelfMetricPrefix;
+}
+
 struct QueryFilter {
   std::optional<Location> location_prefix;  // ancestor location
   std::optional<std::string> metric;
