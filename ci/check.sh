@@ -3,11 +3,15 @@
 #
 #   1. tier-1: default build + the complete ctest suite (ROADMAP.md's
 #      "must stay green" bar);
-#   2. ASan+UBSan build of the obs + fleet labels (the suites that
+#   2. the 4096-node fleet bench smoke: determinism across 1/2/8
+#      workers, throughput, per-node memory, and telemetry self-overhead
+#      gates on the work-stealing scheduler (exit code is the gate);
+#   3. ASan+UBSan build of the obs + fleet labels (the suites that
 #      exercise the telemetry rollup, flight recorders, and the ingest
 #      path end-to-end);
-#   3. TSan build of the same labels — the fleet engine's thread-count
-#      determinism tests double as its data-race workload.
+#   4. TSan build of the same labels — the fleet suite's 8-worker
+#      byte-equality and forced-steal tests double as its data-race
+#      workload.
 #
 # Usage: ci/check.sh [--tier1-only]
 # Build trees land in build/ (tier 1), build-asan/, and build-tsan/.
@@ -29,6 +33,9 @@ run_suite() {
 run_suite build "tier 1"
 echo "== tier 1: ctest (all labels) =="
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== fleet bench smoke: 4096 nodes, 1/2/8 workers =="
+./build/bench/fleet_scale --smoke
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "OK (tier 1 only)"

@@ -1,0 +1,39 @@
+#include "common/meminfo.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace envmon::common {
+
+namespace {
+
+// Reads a "<Key>:  <n> kB" line from /proc/self/status; 0 if absent.
+std::uint64_t status_field_kib(const char* key) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  const std::size_t key_len = std::strlen(key);
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return status_field_kib("VmRSS") * 1024; }
+
+std::uint64_t peak_rss_bytes() { return status_field_kib("VmHWM") * 1024; }
+
+}  // namespace envmon::common

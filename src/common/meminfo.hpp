@@ -1,0 +1,21 @@
+#pragma once
+// Process memory accounting for the fleet's bytes-per-node gate.
+//
+// The 100k-node fleet gates not just throughput but footprint:
+// FleetReport carries bytes_per_node derived from the resident-set
+// numbers below, and bench/fleet_scale fails if a node's share grows
+// past its budget.  Linux-only by implementation (/proc/self/status);
+// elsewhere both calls return 0 and the accounting reports as absent
+// rather than wrong.
+
+#include <cstdint>
+
+namespace envmon::common {
+
+// Current resident set size in bytes (VmRSS); 0 when unavailable.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+// Peak resident set size in bytes (VmHWM); 0 when unavailable.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace envmon::common

@@ -20,9 +20,13 @@
 
 namespace envmon::fleet {
 
+// v2.1: work-stealing shard scheduler (FleetConfig::{shards,
+// epoch_window}), fleet failure detector (failure_detector, detector;
+// FleetReport liveness counts), and memory accounting (rss_bytes,
+// bytes_per_node).  Pure extension — v2.0 callers compile unchanged.
 inline constexpr int kApiVersionMajor = 2;
-inline constexpr int kApiVersionMinor = 0;
+inline constexpr int kApiVersionMinor = 1;
 
-[[nodiscard]] constexpr const char* api_version_string() { return "envmon.fleet/v2.0"; }
+[[nodiscard]] constexpr const char* api_version_string() { return "envmon.fleet/v2.1"; }
 
 }  // namespace envmon::fleet

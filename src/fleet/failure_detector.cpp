@@ -1,0 +1,106 @@
+#include "fleet/failure_detector.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+FailureDetector::FailureDetector(int nodes, DetectorPolicy policy,
+                                 obs::FlightRecorder* recorder)
+    : policy_(policy), recorder_(recorder) {
+  const std::size_t n = static_cast<std::size_t>(std::max(nodes, 1));
+  policy_.nodes_per_board = std::max(policy_.nodes_per_board, 1);
+  policy_.k_neighbors = std::max(policy_.k_neighbors, 1);
+  policy_.suspect_after = std::max(policy_.suspect_after, 1);
+  policy_.dead_after = std::max(policy_.dead_after, policy_.suspect_after + 1);
+  policy_.escalation_factor = std::max(policy_.escalation_factor, 1);
+  states_.assign(n, moneq::NodeLiveness::kUnknown);
+  prev_states_.assign(n, moneq::NodeLiveness::kUnknown);
+  nodes_.assign(n, NodeState{});
+  counts_.unknown = static_cast<int>(n);
+}
+
+void FailureDetector::transition(int node, moneq::NodeLiveness to, sim::SimTime boundary,
+                                 int confirmers) {
+  moneq::NodeLiveness& state = states_[static_cast<std::size_t>(node)];
+  if (state == to) return;
+  auto bucket = [this](moneq::NodeLiveness s) -> int& {
+    switch (s) {
+      case moneq::NodeLiveness::kUnknown: return counts_.unknown;
+      case moneq::NodeLiveness::kAlive: return counts_.alive;
+      case moneq::NodeLiveness::kSuspect: return counts_.suspect;
+      case moneq::NodeLiveness::kDead: return counts_.dead;
+    }
+    return counts_.unknown;
+  };
+  --bucket(state);
+  ++bucket(to);
+  ++transitions_;
+  if (recorder_ != nullptr) {
+    std::string detail = std::string(moneq::to_string(state)) + " -> " +
+                         std::string(moneq::to_string(to));
+    if (to == moneq::NodeLiveness::kSuspect || to == moneq::NodeLiveness::kDead) {
+      detail += confirmers > 0
+                    ? " (confirmed by " + std::to_string(confirmers) + " neighbors)"
+                    : " (rack escalation: board dark)";
+    }
+    recorder_->record(boundary, node, "liveness", "liveness.transition", detail);
+  }
+  state = to;
+}
+
+void FailureDetector::observe_epoch(sim::SimTime boundary,
+                                    const std::vector<std::uint8_t>& heartbeats) {
+  const int n = static_cast<int>(states_.size());
+  // Neighbor observation reads last epoch's snapshot: symmetric and
+  // order-free within the epoch.
+  prev_states_ = states_;
+  for (int node = 0; node < n; ++node) {
+    NodeState& ns = nodes_[static_cast<std::size_t>(node)];
+    if (node < static_cast<int>(heartbeats.size()) &&
+        heartbeats[static_cast<std::size_t>(node)] != 0) {
+      ns.misses = 0;
+      ns.escalation_debt = 0;
+      transition(node, moneq::NodeLiveness::kAlive, boundary, 0);
+      continue;
+    }
+    // Missed heartbeat: corroborate via the board ring.
+    const int board_begin = (node / policy_.nodes_per_board) * policy_.nodes_per_board;
+    const int board_size = std::min(policy_.nodes_per_board, n - board_begin);
+    const int k = std::min(policy_.k_neighbors, board_size - 1);
+    int observing = 0;
+    for (int j = 1; j <= k; ++j) {
+      // Alternate sides of the ring: +1, -1, +2, -2, ...
+      const int offset = (j + 1) / 2 * (j % 2 == 1 ? 1 : -1);
+      const int neighbor =
+          board_begin + ((node - board_begin) + offset % board_size + board_size) % board_size;
+      if (prev_states_[static_cast<std::size_t>(neighbor)] != moneq::NodeLiveness::kDead) {
+        ++observing;
+      }
+    }
+    const int quorum = k / 2 + 1;
+    int confirmers = 0;
+    if (k > 0 && observing >= quorum) {
+      ++ns.misses;
+      ns.escalation_debt = 0;
+      confirmers = observing;
+    } else {
+      // Board dark (or boardless single node): rack-level escalation
+      // confirms one miss per escalation_factor missed epochs.
+      if (++ns.escalation_debt >= policy_.escalation_factor) {
+        ns.escalation_debt = 0;
+        ++ns.misses;
+      }
+    }
+    if (ns.misses >= policy_.dead_after) {
+      transition(node, moneq::NodeLiveness::kDead, boundary, confirmers);
+    } else if (ns.misses >= policy_.suspect_after) {
+      transition(node, moneq::NodeLiveness::kSuspect, boundary, confirmers);
+    }
+  }
+  ++epochs_;
+}
+
+}  // namespace v2
+}  // namespace envmon::fleet

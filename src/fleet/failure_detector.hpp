@@ -1,0 +1,103 @@
+#pragma once
+// Fleet heartbeat failure detector: Unknown -> Alive -> Suspect -> Dead
+// over the board/rack hierarchy.
+//
+// The paper's study had per-backend health (moneq/health.hpp) but no
+// fleet-level answer to "which *nodes* are gone" — at 100k nodes that is
+// the question an operator actually asks.  The detector consumes one
+// heartbeat bit per node per epoch (a node heartbeats while at least one
+// of its backends is not quarantined, i.e. the per-backend state
+// machines feed this one) and runs a deterministic state machine:
+//
+//             heartbeat                 confirmed misses
+//   Unknown ------------> Alive --->= suspect_after ---> Suspect
+//      |                    ^                               |
+//      | confirmed misses   | heartbeat (revive)            | >= dead_after
+//      +------> Suspect     +--------- Suspect/Dead <-------+
+//
+// k-neighbor confirmation: a missed heartbeat only counts once at least
+// a quorum (majority of k) of the node's ring neighbors *on the same
+// node board* were themselves observing (not Dead) in the previous
+// epoch — a healthy board corroborates quickly.  When the board itself
+// has gone dark (quorum unreachable), observation escalates to the rack
+// level, which corroborates `escalation_factor` times slower: a whole
+// lost board is still detected, just later, mirroring how a real
+// hierarchy loses resolution when a branch dies.
+//
+// Everything is a pure function of the heartbeat sequence: states are
+// read from the previous epoch's snapshot (no within-epoch order
+// dependence), so the detector's transitions — and the flight-recorder
+// events they emit — are byte-identical at any worker count.
+
+#include <cstdint>
+#include <vector>
+
+#include "moneq/health.hpp"
+#include "obs/recorder.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+struct DetectorPolicy {
+  // Ring neighbors consulted per node (split across both sides, wrapped
+  // within the node's board).  Clamped to the board population - 1.
+  int k_neighbors = 4;
+  // Confirmed consecutive misses before Suspect / Dead.
+  int suspect_after = 2;
+  int dead_after = 4;
+  // Board dark: rack-level observation confirms one miss per this many
+  // missed epochs.
+  int escalation_factor = 2;
+  // Nodes per board, defaulting to the BG/Q packaging the fleet models.
+  int nodes_per_board = 32;
+};
+
+class FailureDetector {
+ public:
+  // `recorder` (optional) receives one deterministic "liveness" event per
+  // state transition, stamped with the epoch boundary.
+  FailureDetector(int nodes, DetectorPolicy policy = {},
+                  obs::FlightRecorder* recorder = nullptr);
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  // Feeds one epoch of evidence: heartbeats[rank] != 0 means rank's
+  // heartbeat was heard this epoch.  Called once per epoch, in epoch
+  // order, single-threaded (the scheduler's merge point).
+  void observe_epoch(sim::SimTime boundary, const std::vector<std::uint8_t>& heartbeats);
+
+  [[nodiscard]] moneq::NodeLiveness state(int node) const {
+    return states_[static_cast<std::size_t>(node)];
+  }
+
+  struct Counts {
+    int unknown = 0;
+    int alive = 0;
+    int suspect = 0;
+    int dead = 0;
+  };
+  [[nodiscard]] const Counts& counts() const { return counts_; }
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+  [[nodiscard]] std::uint64_t epochs_observed() const { return epochs_; }
+
+ private:
+  struct NodeState {
+    int misses = 0;            // confirmed consecutive misses
+    int escalation_debt = 0;   // unconfirmed misses awaiting rack escalation
+  };
+
+  void transition(int node, moneq::NodeLiveness to, sim::SimTime boundary, int confirmers);
+
+  DetectorPolicy policy_;
+  obs::FlightRecorder* recorder_;
+  std::vector<moneq::NodeLiveness> states_;
+  std::vector<moneq::NodeLiveness> prev_states_;  // last epoch's snapshot
+  std::vector<NodeState> nodes_;
+  Counts counts_;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace v2
+}  // namespace envmon::fleet

@@ -76,6 +76,31 @@ double IngestQueue::stall_seconds() const {
   return stall_seconds_;
 }
 
+std::size_t RecordBufferPool::take(std::vector<std::vector<tsdb::Record>>& out,
+                                   std::size_t want) {
+  const std::scoped_lock lock(mutex_);
+  const std::size_t n = std::min(want, free_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(free_.back()));
+    free_.pop_back();
+  }
+  return n;
+}
+
+void RecordBufferPool::put(std::vector<std::vector<tsdb::Record>>&& buffers) {
+  const std::scoped_lock lock(mutex_);
+  for (std::vector<tsdb::Record>& buffer : buffers) {
+    if (free_.size() >= max_buffers_) break;
+    free_.push_back(std::move(buffer));
+  }
+  buffers.clear();
+}
+
+std::size_t RecordBufferPool::size() const {
+  const std::scoped_lock lock(mutex_);
+  return free_.size();
+}
+
 IngestWorker::IngestWorker(tsdb::EnvDatabase& db, IngestQueue& queue,
                            std::uint64_t seal_interval, std::size_t seal_min_rows)
     : db_(&db), queue_(&queue), seal_interval_(seal_interval), seal_min_rows_(seal_min_rows) {
@@ -97,12 +122,18 @@ void IngestWorker::apply(EpochBatch&& batch) {
   // order and stable-sorting by timestamp yields the one global order
   // the store accepts (non-decreasing timestamps, ties by node index) —
   // independent of which worker staged what.
-  std::vector<tsdb::Record> rows;
+  std::vector<tsdb::Record>& rows = rows_;
+  rows.clear();
   rows.reserve(batch.rows);
   for (NodeBatch& node : batch.nodes) {
     rows.insert(rows.end(), std::make_move_iterator(node.records.begin()),
                 std::make_move_iterator(node.records.end()));
+    if (pool_ != nullptr) {
+      node.records.clear();  // destroy moved-from shells, keep capacity
+      recycle_.push_back(std::move(node.records));
+    }
   }
+  if (pool_ != nullptr && !recycle_.empty()) pool_->put(std::move(recycle_));
   std::stable_sort(rows.begin(), rows.end(),
                    [](const tsdb::Record& a, const tsdb::Record& b) {
                      return a.timestamp.ns() < b.timestamp.ns();

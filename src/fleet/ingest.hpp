@@ -37,6 +37,31 @@ struct NodeBatch {
   std::vector<tsdb::Record> records;
 };
 
+// Recycles record-vector capacity between the ingest thread and the
+// shard workers.  A 100k-node epoch stages up to one vector per node;
+// without recycling every epoch re-grows them from scratch.  Workers
+// take a chunk per shard-epoch (one lock round-trip, not one per node)
+// and the ingest thread returns the emptied buffers after applying a
+// batch.  Bounded: buffers past `max_buffers` are simply freed.
+class RecordBufferPool {
+ public:
+  explicit RecordBufferPool(std::size_t max_buffers = 1 << 17) : max_buffers_(max_buffers) {}
+
+  // Appends up to `want` recycled buffers (empty, capacity retained) to
+  // `out`; returns how many were supplied.  Callers make up the balance
+  // with fresh vectors.
+  std::size_t take(std::vector<std::vector<tsdb::Record>>& out, std::size_t want);
+  // Returns emptied buffers to the pool in one lock round-trip.
+  void put(std::vector<std::vector<tsdb::Record>>&& buffers);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<tsdb::Record>> free_;
+  std::size_t max_buffers_;
+};
+
 // Everything the fleet staged during one epoch, ordered by node index.
 struct EpochBatch {
   std::uint64_t epoch = 0;
@@ -122,6 +147,10 @@ class IngestWorker {
   // boundary ("tsdb"/"tsdb.seal", "tsdb"/"tsdb.retention", node = -1).
   void attach_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
+  // When attached, applied batches' record buffers are cleared and
+  // returned to the pool instead of freed.
+  void attach_pool(RecordBufferPool* pool) { pool_ = pool; }
+
   // Consumes until the queue is closed and drained.  Run on one thread.
   void run();
 
@@ -145,6 +174,9 @@ class IngestWorker {
   std::size_t seal_min_rows_;
   Stats stats_;
   obs::FlightRecorder* recorder_ = nullptr;
+  RecordBufferPool* pool_ = nullptr;
+  std::vector<tsdb::Record> rows_;  // reused merge buffer
+  std::vector<std::vector<tsdb::Record>> recycle_;  // reused return chunk
   obs::Counter* applied_metric_ = nullptr;
 };
 

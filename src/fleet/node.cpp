@@ -29,8 +29,8 @@ Status FleetNode::build_substrate(moneq::BackendConfig& config,
           (options_.rank / (kCardsPerBoard * kBoardsPerMidplane)) % kMidplanesPerRack;
       const int rack = options_.rank / (kCardsPerBoard * kBoardsPerMidplane * kMidplanesPerRack);
       board_ = std::make_unique<bgq::NodeBoard>(rack, midplane, board_index);
-      if (options_.workload != nullptr) {
-        board_->model().run_workload(options_.workload, start);
+      if (options_.defaults->workload != nullptr) {
+        board_->model().run_workload(options_.defaults->workload, start);
       }
       emon_ = std::make_unique<bgq::EmonSession>(*board_);
       emon_->attach_fault_hook(*injector_);
@@ -41,7 +41,9 @@ Status FleetNode::build_substrate(moneq::BackendConfig& config,
       rapl::PackageConfig package_config;
       package_config.seed = options_.seed;
       package_ = std::make_unique<rapl::CpuPackage>(engine_, package_config);
-      if (options_.workload != nullptr) package_->run_workload(options_.workload, start);
+      if (options_.defaults->workload != nullptr) {
+        package_->run_workload(options_.defaults->workload, start);
+      }
       rapl_reader_ =
           std::make_unique<rapl::MsrRaplReader>(*package_, rapl::Credentials{true, 0});
       rapl_reader_->attach_fault_hook(*injector_);
@@ -51,7 +53,9 @@ Status FleetNode::build_substrate(moneq::BackendConfig& config,
     case moneq::Capability::kNvml: {
       nvml_ = std::make_unique<nvml::NvmlLibrary>(engine_);
       auto device = std::make_shared<nvml::GpuDevice>(nvml::k20_spec(), options_.seed);
-      if (options_.workload != nullptr) device->run_workload(options_.workload, start);
+      if (options_.defaults->workload != nullptr) {
+        device->run_workload(options_.defaults->workload, start);
+      }
       nvml_->attach_device(std::move(device));
       nvml_->attach_fault_hook(*injector_);
       if (nvml_->init() != nvml::NvmlReturn::kSuccess) {
@@ -69,7 +73,7 @@ Status FleetNode::build_substrate(moneq::BackendConfig& config,
     case moneq::Capability::kMicSysMgmt: {
       if (phi_ == nullptr) {
         phi_ = std::make_unique<mic::PhiCard>(engine_);
-        if (options_.workload != nullptr) phi_->run_workload(options_.workload, start);
+        if (options_.defaults->workload != nullptr) phi_->run_workload(options_.defaults->workload, start);
       }
       scif_ = std::make_unique<mic::ScifNetwork>();
       sysmgmt_ = std::make_unique<mic::SysMgmtService>(*phi_, *scif_, 1);
@@ -83,7 +87,7 @@ Status FleetNode::build_substrate(moneq::BackendConfig& config,
     case moneq::Capability::kMicDaemon: {
       if (phi_ == nullptr) {
         phi_ = std::make_unique<mic::PhiCard>(engine_);
-        if (options_.workload != nullptr) phi_->run_workload(options_.workload, start);
+        if (options_.defaults->workload != nullptr) phi_->run_workload(options_.defaults->workload, start);
       }
       micras_ = std::make_unique<mic::MicrasDaemon>(*phi_);
       micras_->attach_fault_hook(*injector_);
@@ -99,11 +103,11 @@ Status FleetNode::configure() {
   if (profiler_ != nullptr) {
     return Status(StatusCode::kFailedPrecondition, "node already configured");
   }
-  if (options_.capabilities.empty()) {
+  if (options_.defaults == nullptr || options_.defaults->capabilities.empty()) {
     return Status(StatusCode::kInvalidArgument, "node has no capabilities");
   }
   moneq::BackendConfig config;
-  for (const moneq::Capability capability : options_.capabilities) {
+  for (const moneq::Capability capability : options_.defaults->capabilities) {
     if (const Status s = build_substrate(config, capability); !s.is_ok()) return s;
     auto backend = moneq::make_backend(capability, config);
     if (!backend.is_ok()) return backend.status();
@@ -111,8 +115,13 @@ Status FleetNode::configure() {
   }
 
   moneq::ProfilerOptions profiler_options;
-  profiler_options.polling_interval = options_.polling_interval;
-  profiler_options.degradation = options_.degradation;
+  profiler_options.polling_interval = options_.defaults->polling_interval;
+  profiler_options.degradation = options_.defaults->degradation;
+  // Drained samples are spooled into the node file and released each
+  // epoch: at 100k nodes, retaining every Sample struct for the whole
+  // horizon is what blows the memory budget.
+  profiler_options.spool_samples = true;
+  profiler_options.spool_reserve_bytes = options_.defaults->spool_reserve_bytes;
   profiler_options.registry = options_.registry;
   profiler_options.recorder = options_.recorder;
   profiler_options.recorder_node = options_.rank;
@@ -128,16 +137,18 @@ Status FleetNode::configure() {
 }
 
 void FleetNode::drain(std::vector<tsdb::Record>& out) {
+  // In spool mode the buffer holds exactly the samples collected since
+  // the previous drain; releasing afterwards renders them into the node
+  // file spool and frees the structs.
   const std::vector<moneq::Sample>& samples = profiler_->samples();
-  if (options_.ingest == IngestMode::kPerSample) {
-    for (std::size_t i = drain_cursor_; i < samples.size(); ++i) {
-      const moneq::Sample& s = samples[i];
+  if (options_.defaults->ingest == IngestMode::kPerSample) {
+    for (const moneq::Sample& s : samples) {
       out.push_back({s.t, location_, "moneq_" + s.domain, s.value});
     }
   } else {
     // One record per poll tick: every sample of a tick carries the same
     // timestamp, so groups are contiguous runs of equal t.
-    std::size_t i = drain_cursor_;
+    std::size_t i = 0;
     while (i < samples.size()) {
       const sim::SimTime tick = samples[i].t;
       double watts = 0.0;
@@ -153,15 +164,24 @@ void FleetNode::drain(std::vector<tsdb::Record>& out) {
       }
     }
   }
-  drain_cursor_ = samples.size();
+  profiler_->release_samples();
+}
+
+bool FleetNode::heartbeat() const {
+  if (profiler_ == nullptr) return false;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (profiler_->backend_health(i).state() != moneq::BackendState::kQuarantined) return true;
+  }
+  return false;
 }
 
 Status FleetNode::finalize(const smpi::FileSystemModel* fs, bool render) {
   const Status s = profiler_->finalize(fs, nullptr);
   if (!s.is_ok()) return s;
   if (render) {
-    file_content_ =
-        moneq::render_node_file(profiler_->samples(), profiler_->tags(), profiler_->gaps());
+    // Moves the spool out of the profiler: the rendered CSV exists once,
+    // here, until the runner writes and releases it.
+    file_content_ = profiler_->take_file();
   }
   return Status::ok();
 }

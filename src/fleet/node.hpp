@@ -55,16 +55,28 @@ enum class IngestMode : std::uint8_t {
   kNodePower,
 };
 
-struct NodeOptions {
-  int rank = 0;
+// Configuration every node of a homogeneous fleet shares.  One instance
+// per fleet, read-only after configure(): at 100k nodes, per-node copies
+// of the capability list alone would be 100k needless heap blocks.
+struct NodeDefaults {
   std::vector<moneq::Capability> capabilities{moneq::Capability::kBgqEmon};
   std::optional<sim::Duration> polling_interval;
   moneq::DegradationPolicy degradation;
-  // Per-node RNG seed (already mixed with the rank by the runner).
-  std::uint64_t seed = 0;
-  // Shared read-only workload profile; must outlive the node.
+  // Shared read-only workload profile; must outlive the nodes.
   const power::UtilizationProfile* workload = nullptr;
   IngestMode ingest = IngestMode::kPerSample;
+  // Pre-reservation for each node's sample spool, estimated by the
+  // runner from horizon / polling interval (0 = grow geometrically).
+  std::size_t spool_reserve_bytes = 0;
+};
+
+// The per-node remainder: what actually differs between ranks.
+struct NodeOptions {
+  int rank = 0;
+  // Per-node RNG seed (already mixed with the rank by the runner).
+  std::uint64_t seed = 0;
+  // Shared fleet config; owned by the runner, must outlive the node.
+  const NodeDefaults* defaults = nullptr;
   // Per-node telemetry partition for the profiler's self-observability
   // series (nullptr = process-global default registry).  Owned by the
   // runner's FleetTelemetry; must outlive the node.
@@ -82,7 +94,11 @@ class FleetNode {
 
   // Builds the substrate named by the capability list, attaches the
   // backends through moneq::make_backend, wires fault hooks, and
-  // initializes the profiler.  Main-thread only (registers metrics).
+  // initializes the profiler.  Safe off the main thread when the node
+  // has its own registry partition: everything it touches is per-node,
+  // and the shared fallback (obs::default_registry) is mutex-guarded and
+  // idempotent.  The work-stealing runner builds nodes lazily, on the
+  // worker that first advances their shard.
   Status configure();
 
   // Advances this node's clock partition to `t` (worker thread).
@@ -99,9 +115,21 @@ class FleetNode {
   [[nodiscard]] int rank() const { return options_.rank; }
   [[nodiscard]] const std::string& file_name() const { return file_name_; }
   [[nodiscard]] const std::string& file_content() const { return file_content_; }
+  // Frees the rendered file after the runner has written it, so peak
+  // file-text memory drains node by node during write-out instead of
+  // lingering for the whole fleet.
+  void release_file_content() {
+    file_content_.clear();
+    file_content_.shrink_to_fit();
+  }
   [[nodiscard]] const moneq::NodeProfiler& profiler() const { return *profiler_; }
   [[nodiscard]] fault::Injector& injector() { return *injector_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+  // Heartbeat evidence for the fleet failure detector: true while at
+  // least one backend is not quarantined.  Read at epoch boundaries by
+  // the worker that owns the node (pure per-node state).
+  [[nodiscard]] bool heartbeat() const;
 
  private:
   Status build_substrate(moneq::BackendConfig& config, moneq::Capability capability);
@@ -128,7 +156,6 @@ class FleetNode {
   std::unique_ptr<moneq::NodeProfiler> profiler_;
 
   tsdb::Location location_;
-  std::size_t drain_cursor_ = 0;
   std::string file_name_;
   std::string file_content_;
 };

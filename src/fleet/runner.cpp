@@ -1,11 +1,13 @@
 #include "fleet/runner.hpp"
 
 #include <algorithm>
-#include <barrier>
 #include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
 
+#include "common/meminfo.hpp"
+#include "fleet/scheduler.hpp"
 #include "obs/export.hpp"
 
 namespace envmon::fleet {
@@ -27,9 +29,12 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-// Barrier waits shorter than this are normal rendezvous jitter, not
-// load imbalance; only longer parks count as stalls.
-constexpr double kStallFloorSeconds = 1e-3;
+// Auto shard count: over-partition 4x so a fast worker always finds a
+// laggard to steal; one shard when single-threaded (no one to steal).
+int auto_shards(int threads, int nodes) {
+  if (threads <= 1) return 1;
+  return std::min(nodes, threads * 4);
+}
 
 }  // namespace
 
@@ -46,6 +51,12 @@ Status FleetRunner::configure(FleetConfig config) {
   if (config.threads <= 0) {
     return Status(StatusCode::kInvalidArgument, "fleet needs at least one worker thread");
   }
+  if (config.shards < 0) {
+    return Status(StatusCode::kInvalidArgument, "shard count cannot be negative");
+  }
+  if (config.epoch_window == 0) {
+    return Status(StatusCode::kInvalidArgument, "epoch window must be at least 1");
+  }
   if (config.epoch.ns() <= 0) {
     return Status(StatusCode::kInvalidArgument, "epoch must be positive");
   }
@@ -55,12 +66,38 @@ Status FleetRunner::configure(FleetConfig config) {
   if (config.capabilities.empty()) {
     return Status(StatusCode::kInvalidArgument, "fleet nodes need at least one capability");
   }
+  // Baseline for bytes_per_node: everything the fleet allocates from here
+  // on (nodes, telemetry, database, staged batches) is the run's growth.
+  rss_before_bytes_ = common::current_rss_bytes();
+
   config_ = std::move(config);
   config_.threads = std::min(config_.threads, config_.nodes);
+  if (config_.shards == 0) config_.shards = auto_shards(config_.threads, config_.nodes);
+  config_.shards = std::clamp(config_.shards, config_.threads, config_.nodes);
 
   if (config_.workload == nullptr) {
     default_workload_ = workloads::mmps({.total = config_.horizon});
     config_.workload = &default_workload_;
+  }
+
+  defaults_.capabilities = config_.capabilities;
+  defaults_.polling_interval = config_.polling_interval;
+  defaults_.degradation = config_.degradation;
+  defaults_.workload = config_.workload;
+  defaults_.ingest = config_.ingest;
+  // Size each node's sample spool once, up front.  An over-estimate
+  // costs nothing resident (reserved pages are untouched until written);
+  // under-estimates fall back to geometric growth.
+  {
+    const double polling_s =
+        config_.polling_interval.value_or(sim::Duration::seconds(1)).to_seconds();
+    const double polls =
+        polling_s > 0.0 ? config_.horizon.to_seconds() / polling_s + 2.0 : 2.0;
+    constexpr double kSamplesPerPollPerBackend = 24.0;
+    constexpr double kBytesPerRow = 40.0;
+    defaults_.spool_reserve_bytes = static_cast<std::size_t>(
+        polls * kSamplesPerPollPerBackend * kBytesPerRow *
+        static_cast<double>(config_.capabilities.size()));
   }
 
   world_ = std::make_unique<smpi::World>(config_.nodes);
@@ -74,52 +111,80 @@ Status FleetRunner::configure(FleetConfig config) {
     }
     fleet_recorder_ = std::make_unique<obs::FlightRecorder>(config_.recorder_capacity);
   }
-
-  nodes_.reserve(static_cast<std::size_t>(config_.nodes));
-  for (int rank = 0; rank < config_.nodes; ++rank) {
-    NodeOptions options;
-    options.rank = rank;
-    options.capabilities = config_.capabilities;
-    options.polling_interval = config_.polling_interval;
-    options.degradation = config_.degradation;
-    options.seed = mix_seed(config_.seed, rank);
-    options.workload = config_.workload;
-    options.ingest = config_.ingest;
-    if (telemetry_ != nullptr) {
-      options.registry = &telemetry_->node_registry(rank);
-      options.recorder = recorders_[static_cast<std::size_t>(rank)].get();
-    }
-    auto node = std::make_unique<FleetNode>(*world_, std::move(options));
-    if (const Status s = node->configure(); !s.is_ok()) {
-      return Status(s.code(), "node " + std::to_string(rank) + ": " + std::string(s.message()));
-    }
-    if (config_.fault_script) config_.fault_script(node->injector(), rank);
-    nodes_.push_back(std::move(node));
+  if (config_.failure_detector) {
+    detector_ = std::make_unique<FailureDetector>(config_.nodes, config_.detector,
+                                                  fleet_recorder_.get());
   }
+
+  // Contiguous shards: shard s owns ranks [bounds[s], bounds[s+1]).
+  shard_bounds_.assign(static_cast<std::size_t>(config_.shards) + 1, 0);
+  const int base = config_.nodes / config_.shards;
+  const int extra = config_.nodes % config_.shards;
+  for (int s = 0; s < config_.shards; ++s) {
+    shard_bounds_[static_cast<std::size_t>(s) + 1] =
+        shard_bounds_[static_cast<std::size_t>(s)] + base + (s < extra ? 1 : 0);
+  }
+
+  // Nodes build lazily on the worker that first advances their shard;
+  // node 0 builds eagerly so configuration errors (bad capability,
+  // substrate init failure) surface here, not mid-run on a worker.
+  nodes_.resize(static_cast<std::size_t>(config_.nodes));
+  if (const Status s = build_node(0); !s.is_ok()) return s;
 
   if (obs::enabled()) {
     auto& registry = obs::default_registry();
     epoch_seconds_metric_ = &registry.histogram(
-        "envmon_fleet_epoch_seconds", "Wall time per fleet lockstep epoch",
+        "envmon_fleet_epoch_seconds", "Wall time between fleet epoch merges",
         obs::Histogram::exponential_bounds(1e-5, 4.0, 12));
-    epochs_metric_ =
-        &registry.counter("envmon_fleet_epochs_total", "Lockstep epochs completed");
+    epochs_metric_ = &registry.counter("envmon_fleet_epochs_total", "Fleet epochs merged");
     staged_metric_ = &registry.counter("envmon_fleet_records_staged_total",
-                                       "Records staged at the epoch barrier");
+                                       "Records staged at the epoch merge point");
     self_rows_metric_ =
         &registry.counter("envmon_fleet_rollup_self_rows_total",
                           "Self-scrape rows inserted under envmon.self.*");
-    for (int shard = 0; shard < config_.threads; ++shard) {
-      const std::string labels = obs::label("shard", std::to_string(shard));
-      shard_stall_metrics_.push_back(&registry.counter(
-          "envmon_fleet_shard_stalls_total",
-          "Epoch-barrier parks longer than the rendezvous floor", labels));
-      shard_stall_seconds_metrics_.push_back(&registry.gauge(
-          "envmon_fleet_shard_stall_seconds", "Cumulative barrier wait per shard", labels));
+    steals_metric_ = &registry.counter(
+        "envmon_fleet_shard_steals_total",
+        "Shard claims that crossed worker homes (work stealing)");
+    window_wait_metric_ =
+        &registry.gauge("envmon_fleet_window_wait_seconds",
+                        "Cumulative worker wall time parked on the epoch-skew window");
+    bytes_per_node_metric_ =
+        &registry.gauge("envmon_fleet_bytes_per_node",
+                        "Resident-set growth per simulated node over the run");
+    if (detector_ != nullptr) {
+      nodes_alive_metric_ =
+          &registry.gauge("envmon_fleet_nodes_alive", "Nodes the failure detector holds Alive");
+      nodes_suspect_metric_ = &registry.gauge("envmon_fleet_nodes_suspect",
+                                              "Nodes the failure detector holds Suspect");
+      nodes_dead_metric_ =
+          &registry.gauge("envmon_fleet_nodes_dead", "Nodes the failure detector holds Dead");
+      liveness_transitions_metric_ =
+          &registry.counter("envmon_fleet_liveness_transitions_total",
+                            "Node liveness state transitions");
     }
   }
 
   state_ = State::kConfigured;
+  return Status::ok();
+}
+
+Status FleetRunner::build_node(int rank) {
+  std::unique_ptr<FleetNode>& slot = nodes_[static_cast<std::size_t>(rank)];
+  if (slot != nullptr) return Status::ok();
+  NodeOptions options;
+  options.rank = rank;
+  options.seed = mix_seed(config_.seed, rank);
+  options.defaults = &defaults_;
+  if (telemetry_ != nullptr) {
+    options.registry = &telemetry_->node_registry(rank);
+    options.recorder = recorders_[static_cast<std::size_t>(rank)].get();
+  }
+  auto node = std::make_unique<FleetNode>(*world_, std::move(options));
+  if (const Status s = node->configure(); !s.is_ok()) {
+    return Status(s.code(), "node " + std::to_string(rank) + ": " + std::string(s.message()));
+  }
+  if (config_.fault_script) config_.fault_script(node->injector(), rank);
+  slot = std::move(node);
   return Status::ok();
 }
 
@@ -132,62 +197,163 @@ Status FleetRunner::run() {
   const auto t0 = std::chrono::steady_clock::now();
 
   const int threads = config_.threads;
+  const int shards = config_.shards;
   const std::uint64_t epoch_count = static_cast<std::uint64_t>(
       (config_.horizon.ns() + config_.epoch.ns() - 1) / config_.epoch.ns());
-
-  // Contiguous shards: shard s owns ranks [bounds[s], bounds[s+1]).
-  std::vector<int> bounds(static_cast<std::size_t>(threads) + 1);
-  const int base = config_.nodes / threads;
-  const int extra = config_.nodes % threads;
-  for (int s = 0; s < threads; ++s) {
-    bounds[static_cast<std::size_t>(s) + 1] =
-        bounds[static_cast<std::size_t>(s)] + base + (s < extra ? 1 : 0);
-  }
+  const std::uint64_t ring = config_.epoch_window + 1;
 
   IngestQueue queue(config_.ingest_queue_capacity);
   IngestWorker ingest(*db_, queue);
+  ingest.attach_pool(&pool_);
   if (fleet_recorder_ != nullptr) {
     queue.attach_recorder(fleet_recorder_.get(), config_.ingest_deadline_seconds);
     ingest.attach_recorder(fleet_recorder_.get());
   }
   std::thread ingest_thread([&ingest] { ingest.run(); });
 
-  std::vector<std::vector<NodeBatch>> staging(static_cast<std::size_t>(threads));
-  std::vector<double> shard_stalls(static_cast<std::size_t>(threads), 0.0);
-  std::vector<double> shard_capture_seconds(static_cast<std::size_t>(threads), 0.0);
-  std::vector<Status> shard_status(static_cast<std::size_t>(threads), Status::ok());
+  // One deposit slot per (shard, epoch % ring).  A slot is written under
+  // exclusive shard ownership and read by the single merger; the skew
+  // window guarantees an unmerged slot is never rewritten (epochs that
+  // share a slot are `ring` apart, but a shard can only be `window`
+  // epochs past the oldest unmerged one).
+  struct ShardDeposit {
+    std::vector<NodeBatch> nodes;        // staged records, node order
+    std::vector<obs::Snapshot> snaps;    // telemetry capture per rank
+    std::vector<std::uint8_t> beats;     // heartbeat per rank
+    std::size_t rows = 0;
+    std::uint64_t epoch = 0;             // last epoch deposited here
+  };
+  std::vector<std::vector<ShardDeposit>> deposits(
+      static_cast<std::size_t>(shards), std::vector<ShardDeposit>(ring));
+  // Last epoch complete_epoch() finished with, for snapshot recycling:
+  // slots holding epochs <= this are no longer read by any merger.
+  std::atomic<std::uint64_t> last_merged{0};
+  std::vector<double> shard_capture_seconds(static_cast<std::size_t>(shards), 0.0);
 
-  // State below is touched only by the barrier completion, which the
-  // barrier runs on exactly one thread per phase.
-  std::uint64_t epoch_index = 0;
-  auto epoch_began = std::chrono::steady_clock::now();
+  const sim::SimTime start = sim::SimTime::zero();
+  auto epoch_boundary = [&](std::uint64_t epoch) {
+    return epoch == epoch_count
+               ? start + config_.horizon
+               : start + config_.epoch * static_cast<std::int64_t>(epoch);
+  };
+
+  // Worker side: advance one shard exactly one epoch and deposit the
+  // result.  Everything touched is shard-private (the scheduler grants
+  // exclusive ownership) or a one-lock pool round trip.
+  auto advance_shard = [&](int shard, std::uint64_t epoch) -> Status {
+    const int begin = shard_bounds_[static_cast<std::size_t>(shard)];
+    const int end = shard_bounds_[static_cast<std::size_t>(shard) + 1];
+    ShardDeposit& dep = deposits[static_cast<std::size_t>(shard)][epoch % ring];
+    dep.nodes.clear();
+    dep.rows = 0;
+    const sim::SimTime target = epoch_boundary(epoch);
+
+    std::vector<std::vector<tsdb::Record>> scratch;
+    scratch.reserve(static_cast<std::size_t>(end - begin));
+    pool_.take(scratch, static_cast<std::size_t>(end - begin));
+
+    for (int rank = begin; rank < end; ++rank) {
+      if (nodes_[static_cast<std::size_t>(rank)] == nullptr) {
+        if (const Status s = build_node(rank); !s.is_ok()) return s;
+      }
+      FleetNode& node = *nodes_[static_cast<std::size_t>(rank)];
+      node.advance_to(target);
+      NodeBatch batch;
+      batch.node = rank;
+      if (!scratch.empty()) {
+        batch.records = std::move(scratch.back());
+        scratch.pop_back();
+      }
+      node.drain(batch.records);
+      if (batch.records.empty()) {
+        scratch.push_back(std::move(batch.records));  // reuse for the next rank
+      } else {
+        dep.rows += batch.records.size();
+        dep.nodes.push_back(std::move(batch));
+      }
+    }
+    if (!scratch.empty()) pool_.put(std::move(scratch));
+
+    if (telemetry_ != nullptr) {
+      const auto capture_began = std::chrono::steady_clock::now();
+      if (dep.snaps.empty()) {
+        // Cold slot: adopt the warm snapshots (series strings, vector
+        // capacity) of an already-merged sibling slot instead of
+        // rebuilding them.  This bounds cold captures per shard by the
+        // run's *actual* epoch skew — 1 in a sequential run — rather
+        // than by the window.  Safe: this worker owns every slot of the
+        // shard, and the merger never rereads epochs <= last_merged
+        // (the release store below happens after its last read).
+        const std::uint64_t merged = last_merged.load(std::memory_order_acquire);
+        for (ShardDeposit& other : deposits[static_cast<std::size_t>(shard)]) {
+          if (&other != &dep && !other.snaps.empty() && other.epoch <= merged) {
+            dep.snaps.swap(other.snaps);
+            break;
+          }
+        }
+      }
+      dep.snaps.resize(static_cast<std::size_t>(end - begin));
+      for (int rank = begin; rank < end; ++rank) {
+        telemetry_->capture_into(rank, dep.snaps[static_cast<std::size_t>(rank - begin)]);
+      }
+      shard_capture_seconds[static_cast<std::size_t>(shard)] += seconds_since(capture_began);
+    }
+    if (detector_ != nullptr) {
+      dep.beats.resize(static_cast<std::size_t>(end - begin));
+      for (int rank = begin; rank < end; ++rank) {
+        dep.beats[static_cast<std::size_t>(rank - begin)] =
+            nodes_[static_cast<std::size_t>(rank)]->heartbeat() ? 1 : 0;
+      }
+    }
+    dep.epoch = epoch;
+    return Status::ok();
+  };
+
+  // Merge side: the scheduler guarantees complete() runs exactly once per
+  // epoch, in order, never concurrently — so this state needs no locking
+  // (sequential calls are synchronized through the scheduler mutex).
   std::size_t staged_rows = 0;
   std::size_t self_rows = 0;
   double fold_seconds = 0.0;
+  std::uint64_t transitions_seen = 0;
+  auto epoch_began = std::chrono::steady_clock::now();
+  std::vector<const obs::Snapshot*> snapshot_ptrs(
+      telemetry_ != nullptr ? static_cast<std::size_t>(config_.nodes) : 0, nullptr);
+  std::vector<std::uint8_t> heartbeats(
+      detector_ != nullptr ? static_cast<std::size_t>(config_.nodes) : 0, 0);
 
-  auto on_epoch_complete = [&]() noexcept {
-    ++epoch_index;
-    const sim::SimTime boundary =
-        epoch_index == epoch_count
-            ? sim::SimTime::zero() + config_.horizon
-            : sim::SimTime::zero() + config_.epoch * static_cast<std::int64_t>(epoch_index);
+  auto complete_epoch = [&](std::uint64_t epoch) -> Status {
+    const sim::SimTime boundary = epoch_boundary(epoch);
     EpochBatch batch;
-    batch.epoch = epoch_index - 1;
+    batch.epoch = epoch - 1;
     batch.boundary = boundary;
     batch.nodes.reserve(nodes_.size() + 1);
-    for (std::vector<NodeBatch>& shard : staging) {
-      for (NodeBatch& node : shard) {
-        batch.rows += node.records.size();
-        batch.nodes.push_back(std::move(node));
+    for (int s = 0; s < shards; ++s) {
+      ShardDeposit& dep = deposits[static_cast<std::size_t>(s)][epoch % ring];
+      batch.rows += dep.rows;
+      for (NodeBatch& node : dep.nodes) batch.nodes.push_back(std::move(node));
+      dep.nodes.clear();
+      if (telemetry_ != nullptr) {
+        const int begin = shard_bounds_[static_cast<std::size_t>(s)];
+        const int end = shard_bounds_[static_cast<std::size_t>(s) + 1];
+        for (int rank = begin; rank < end; ++rank) {
+          snapshot_ptrs[static_cast<std::size_t>(rank)] =
+              &dep.snaps[static_cast<std::size_t>(rank - begin)];
+        }
       }
-      shard.clear();
+      if (detector_ != nullptr) {
+        const int begin = shard_bounds_[static_cast<std::size_t>(s)];
+        for (std::size_t i = 0; i < dep.beats.size(); ++i) {
+          heartbeats[static_cast<std::size_t>(begin) + i] = dep.beats[i];
+        }
+      }
     }
-    // Fold the captured node snapshots up the tree and append the fleet
+    // Fold the deposited node snapshots up the tree and append the fleet
     // rollup as one more "node" — index `nodes` places its rows after
     // every real rank in the stable sort's tie order.
     if (telemetry_ != nullptr) {
       const auto fold_began = std::chrono::steady_clock::now();
-      telemetry_->fold();
+      telemetry_->fold(snapshot_ptrs);
       if (config_.self_scrape) {
         NodeBatch self;
         self.node = config_.nodes;
@@ -199,95 +365,94 @@ Status FleetRunner::run() {
       }
       fold_seconds += seconds_since(fold_began);
     }
+    if (detector_ != nullptr) {
+      detector_->observe_epoch(boundary, heartbeats);
+      const FailureDetector::Counts& counts = detector_->counts();
+      if (nodes_alive_metric_ != nullptr) {
+        nodes_alive_metric_->set(static_cast<double>(counts.alive));
+        nodes_suspect_metric_->set(static_cast<double>(counts.suspect));
+        nodes_dead_metric_->set(static_cast<double>(counts.dead));
+        liveness_transitions_metric_->inc(detector_->transitions() - transitions_seen);
+      }
+      transitions_seen = detector_->transitions();
+    }
     staged_rows += batch.rows;
     if (staged_metric_ != nullptr) staged_metric_->inc(batch.rows);
     if (batch.rows > 0) queue.push(std::move(batch));
     if (epochs_metric_ != nullptr) epochs_metric_->inc();
-    if (epoch_seconds_metric_ != nullptr) epoch_seconds_metric_->observe(seconds_since(epoch_began));
-    epoch_began = std::chrono::steady_clock::now();
-  };
-  std::barrier barrier(threads, on_epoch_complete);
-
-  auto worker = [&](int shard) {
-    const int begin = bounds[static_cast<std::size_t>(shard)];
-    const int end = bounds[static_cast<std::size_t>(shard) + 1];
-    std::vector<NodeBatch>& stage = staging[static_cast<std::size_t>(shard)];
-    for (std::uint64_t e = 1; e <= epoch_count; ++e) {
-      const sim::SimTime target =
-          e == epoch_count ? sim::SimTime::zero() + config_.horizon
-                           : sim::SimTime::zero() + config_.epoch * static_cast<std::int64_t>(e);
-      for (int rank = begin; rank < end; ++rank) {
-        nodes_[static_cast<std::size_t>(rank)]->advance_to(target);
-        NodeBatch node_batch;
-        node_batch.node = rank;
-        nodes_[static_cast<std::size_t>(rank)]->drain(node_batch.records);
-        if (!node_batch.records.empty()) stage.push_back(std::move(node_batch));
-      }
-      if (telemetry_ != nullptr) {
-        const auto capture_began = std::chrono::steady_clock::now();
-        for (int rank = begin; rank < end; ++rank) telemetry_->capture(rank);
-        shard_capture_seconds[static_cast<std::size_t>(shard)] +=
-            seconds_since(capture_began);
-      }
-      const auto park = std::chrono::steady_clock::now();
-      barrier.arrive_and_wait();
-      const double waited = seconds_since(park);
-      shard_stalls[static_cast<std::size_t>(shard)] += waited;
-      if (waited > kStallFloorSeconds && shard < static_cast<int>(shard_stall_metrics_.size())) {
-        shard_stall_metrics_[static_cast<std::size_t>(shard)]->inc();
-      }
+    if (epoch_seconds_metric_ != nullptr) {
+      epoch_seconds_metric_->observe(seconds_since(epoch_began));
     }
-    // Post-run: stop collection and render node files shard-parallel;
-    // the caller's thread writes them out in rank order afterwards.
+    epoch_began = std::chrono::steady_clock::now();
+    last_merged.store(epoch, std::memory_order_release);
+    return Status::ok();
+  };
+
+  // A shard that deposited its last epoch finalizes immediately — file
+  // rendering runs shard-parallel while other shards still simulate.
+  auto finalize_shard = [&](int shard) -> Status {
+    const int begin = shard_bounds_[static_cast<std::size_t>(shard)];
+    const int end = shard_bounds_[static_cast<std::size_t>(shard) + 1];
     for (int rank = begin; rank < end; ++rank) {
       const Status s = nodes_[static_cast<std::size_t>(rank)]->finalize(
           config_.filesystem, config_.output != nullptr);
-      if (!s.is_ok()) {
-        shard_status[static_cast<std::size_t>(shard)] = s;
-        return;
-      }
+      if (!s.is_ok()) return s;
     }
+    return Status::ok();
   };
 
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int s = 0; s < threads; ++s) pool.emplace_back(worker, s);
-    for (std::thread& t : pool) t.join();
-  }
+  ShardScheduler::Options scheduler_options;
+  scheduler_options.shards = shards;
+  scheduler_options.workers = threads;
+  scheduler_options.epochs = epoch_count;
+  scheduler_options.window = config_.epoch_window;
+  ShardScheduler scheduler(scheduler_options,
+                           {advance_shard, complete_epoch, finalize_shard});
+  const Status scheduled = scheduler.run();
+
+  // Sample the footprint while everything the run allocated is still
+  // live: nodes, telemetry tree, staged deposits, and the database.
+  report_.rss_bytes = common::current_rss_bytes();
+  report_.peak_rss_bytes = common::peak_rss_bytes();
 
   queue.close();
   ingest_thread.join();
+  if (!scheduled.is_ok()) return scheduled;
 
-  for (int s = 0; s < threads; ++s) {
-    if (s < static_cast<int>(shard_stall_seconds_metrics_.size())) {
-      shard_stall_seconds_metrics_[static_cast<std::size_t>(s)]->set(
-          shard_stalls[static_cast<std::size_t>(s)]);
-    }
-    if (!shard_status[static_cast<std::size_t>(s)].is_ok()) {
-      return shard_status[static_cast<std::size_t>(s)];
+  // Adopt the final epoch's deposited captures as the telemetry tree's
+  // per-node slots: node_capture() then reads exactly what the last fold
+  // read, at zero copy cost.
+  if (telemetry_ != nullptr) {
+    for (int s = 0; s < shards; ++s) {
+      ShardDeposit& dep = deposits[static_cast<std::size_t>(s)][epoch_count % ring];
+      const int begin = shard_bounds_[static_cast<std::size_t>(s)];
+      for (std::size_t i = 0; i < dep.snaps.size(); ++i) {
+        telemetry_->store_capture(begin + static_cast<int>(i), std::move(dep.snaps[i]));
+      }
     }
   }
 
   // Deterministic output: files land in rank order regardless of which
-  // shard rendered them first.
+  // shard rendered them first.  Each file is released right after its
+  // write, so the rendered-text peak drains across the loop instead of
+  // holding the whole fleet's CSV at once.
   if (config_.output != nullptr) {
     for (const std::unique_ptr<FleetNode>& node : nodes_) {
       const Status s = config_.output->write(node->file_name(), node->file_content());
       if (!s.is_ok()) return s;
+      node->release_file_content();
     }
   }
 
   report_.nodes = config_.nodes;
   report_.threads = threads;
+  report_.shards = shards;
   report_.epochs = epoch_count;
   for (const std::unique_ptr<FleetNode>& node : nodes_) {
     const moneq::NodeProfiler& profiler = node->profiler();
     const moneq::OverheadReport overhead = profiler.overhead();
     report_.polls += overhead.polls;
-    report_.samples += profiler.samples().size();
+    report_.samples += profiler.total_samples();
     report_.dropped_samples += profiler.dropped_samples();
     report_.degraded_polls += profiler.degraded_polls();
     report_.gap_markers += profiler.gaps().size();
@@ -295,11 +460,32 @@ Status FleetRunner::run() {
     report_.collection_total += overhead.collection;
     report_.finalize_total += overhead.finalize;
   }
-  // Post-mortem: the first quarantine transition on the merged
-  // deterministic timeline wins (a pure function of seed and config);
-  // an ingest-deadline miss triggers only when nothing quarantined and
-  // is wall-clock dependent by nature — the dump itself still contains
-  // only deterministic events.
+
+  const ShardScheduler::Stats& sched_stats = scheduler.stats();
+  report_.shard_steals = sched_stats.steals;
+  report_.window_wait_seconds = sched_stats.window_wait_seconds;
+  if (steals_metric_ != nullptr) steals_metric_->inc(sched_stats.steals);
+  if (window_wait_metric_ != nullptr) window_wait_metric_->set(sched_stats.window_wait_seconds);
+
+  if (detector_ != nullptr) {
+    const FailureDetector::Counts& counts = detector_->counts();
+    report_.nodes_unknown = counts.unknown;
+    report_.nodes_alive = counts.alive;
+    report_.nodes_suspect = counts.suspect;
+    report_.nodes_dead = counts.dead;
+    report_.liveness_transitions = detector_->transitions();
+  }
+
+  if (report_.rss_bytes > rss_before_bytes_ && config_.nodes > 0) {
+    report_.bytes_per_node = static_cast<double>(report_.rss_bytes - rss_before_bytes_) /
+                             static_cast<double>(config_.nodes);
+  }
+  if (bytes_per_node_metric_ != nullptr) bytes_per_node_metric_->set(report_.bytes_per_node);
+
+  // Post-mortem triggers, most diagnostic first: the earliest quarantine
+  // transition on the merged deterministic timeline, else the first node
+  // the detector declared Dead, else a (wall-clock) ingest deadline miss.
+  // The dump itself contains only deterministic events either way.
   if (fleet_recorder_ != nullptr) {
     std::vector<const obs::FlightRecorder*> all;
     all.reserve(recorders_.size() + 1);
@@ -312,6 +498,13 @@ Status FleetRunner::run() {
         trigger = "backend quarantined: node " + std::to_string(event.node) + ", " +
                   event.detail;
         break;
+      }
+      if (trigger.empty() && event.name == "liveness.transition" &&
+          event.detail.find("-> dead") != std::string::npos) {
+        trigger =
+            "node declared dead: node " + std::to_string(event.node) + ", " + event.detail;
+        // Keep scanning: a quarantine anywhere on the timeline outranks
+        // a dead declaration (it names the failing backend).
       }
     }
     if (trigger.empty() && queue.deadline_missed()) {
@@ -347,7 +540,6 @@ Status FleetRunner::run() {
   report_.database_rows = db_->size();
   report_.ingest_stalls = queue.stalls();
   report_.ingest_stall_seconds = queue.stall_seconds();
-  report_.shard_stall_seconds = std::move(shard_stalls);
   report_.wall_seconds = seconds_since(t0);
   if (report_.wall_seconds > 0.0) {
     report_.node_seconds_per_second =

@@ -1,31 +1,37 @@
 #pragma once
 // FleetRunner — parallel fleet collection behind the v2 lifecycle.
 //
-// Execution model (the determinism contract):
+// Execution model (the determinism contract, DESIGN.md §12):
 //
 //   * The fleet's N nodes are N independent virtual-clock partitions
-//     (FleetNode).  configure() builds all of them on the calling
-//     thread, so construction order — and therefore every seed, metric
-//     registration, and substrate parameter — never depends on the
-//     worker count.
-//   * run() shards the nodes into `threads` contiguous blocks and
-//     advances every partition in lockstep epochs: each worker runs its
-//     shard's engines to the epoch boundary, drains the new samples
-//     into a per-shard staging buffer, and parks at the epoch barrier.
-//   * The barrier's completion step concatenates the shard buffers in
-//     node order into one EpochBatch and hands it to the bounded ingest
-//     queue; a dedicated ingest thread stable-sorts each batch by
-//     timestamp (ties keep node order) and applies it to the
-//     environmental database.  Apply order is thus a pure function of
-//     (epoch, node, sample) — identical for 1, 2, or 64 workers, and
-//     with one worker identical to driving the engines sequentially.
-//   * After the last epoch the workers finalize their nodes (rendering
-//     the per-node files in parallel); the files are then written to
-//     the output target in rank order on the caller's thread.
+//     (FleetNode), built lazily from one shared NodeDefaults block the
+//     first time their shard is advanced.  A node is a pure function of
+//     (rank, seed, defaults, workload) — neither construction order nor
+//     the thread that constructs it can change what it simulates.
+//   * run() over-partitions the nodes into S >= threads contiguous
+//     shards and hands them to the ShardScheduler (scheduler.hpp):
+//     workers advance whole shards epoch-by-epoch independently,
+//     stealing lagging shards instead of parking at a barrier.  A shard
+//     may run up to `epoch_window` epochs ahead of the oldest unmerged
+//     epoch; within an epoch it drains each node's new samples into a
+//     shard-local deposit (records + telemetry snapshots + heartbeats).
+//   * The scheduler's merge point is the sole barrier-like construct:
+//     when every shard has deposited epoch E, exactly one worker merges
+//     it — deposits concatenate in shard order (= node order), the
+//     telemetry rollup folds from the deposited snapshots, the failure
+//     detector consumes the heartbeats, and one EpochBatch goes to the
+//     bounded ingest queue.  The dedicated ingest thread stable-sorts
+//     each batch by timestamp (ties keep node order) and applies it.
+//     Apply order is thus a pure function of (epoch, node, sample) —
+//     identical for 1, 2, or 64 workers.
+//   * A shard that deposits its final epoch finalizes its nodes
+//     immediately (rendering files shard-parallel); the files are then
+//     written to the output target in rank order on the caller's thread.
 //
 // Shared mutable state during run() is limited to: obs metrics
-// (atomics), the ingest queue (mutex + condvars), and the epoch barrier.
-// Everything a worker simulates is shard-private.
+// (atomics), the ingest queue and scheduler (mutex + condvars), and the
+// record-buffer pool.  Everything a worker simulates is shard-private,
+// and a shard is owned by exactly one worker at a time.
 
 #include <functional>
 #include <memory>
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fleet/failure_detector.hpp"
 #include "fleet/ingest.hpp"
 #include "fleet/node.hpp"
 #include "moneq/output.hpp"
@@ -58,6 +65,15 @@ struct FleetConfig {
   // Parallelism.  `threads` is clamped to `nodes`; 1 reproduces the
   // sequential engine exactly.
   int threads = 1;
+  // Work-stealing shards (the unit of stealing; contiguous node ranges).
+  // 0 = auto: one shard single-threaded, else 4 shards per worker so
+  // fast workers always find a laggard to steal.  Clamped to
+  // [threads, nodes].
+  int shards = 0;
+  // How many epochs a shard may run ahead of the oldest unmerged epoch
+  // (>= 1).  Bounds staged records and capture snapshots in flight; 1
+  // approximates the old lockstep behaviour.
+  std::uint64_t epoch_window = 4;
   sim::Duration epoch = sim::Duration::seconds(1);
   sim::Duration horizon = sim::Duration::seconds(60);
 
@@ -90,6 +106,12 @@ struct FleetConfig {
   // database each epoch under the reserved envmon.self.* namespace.
   bool telemetry = true;
   bool self_scrape = true;
+  // Fleet-level heartbeat failure detector (failure_detector.hpp): node
+  // liveness Unknown/Alive -> Suspect -> Dead from per-epoch heartbeats,
+  // k-neighbor confirmed, fed to the fleet flight recorder and the
+  // envmon_fleet_nodes_{alive,suspect,dead} gauges.
+  bool failure_detector = true;
+  DetectorPolicy detector;
   std::size_t recorder_capacity = 256;  // events per flight-recorder ring
   // Wall-clock budget for a single ingest-queue stall; exceeding it
   // records a (timing) "queue.deadline_missed" event and triggers a
@@ -103,6 +125,7 @@ struct FleetConfig {
 struct FleetReport {
   int nodes = 0;
   int threads = 0;
+  int shards = 0;
   std::uint64_t epochs = 0;
 
   // Collection totals across the fleet.
@@ -125,9 +148,26 @@ struct FleetReport {
   std::uint64_t ingest_stalls = 0;
   double ingest_stall_seconds = 0.0;
 
-  // Per-shard time parked at the epoch barrier (load imbalance plus
-  // ingest backpressure propagated through the completion step).
-  std::vector<double> shard_stall_seconds;
+  // Scheduler behaviour: shard claims that crossed worker homes, and
+  // total worker time parked on the epoch-skew window (the only wait
+  // left — there is no barrier).
+  std::uint64_t shard_steals = 0;
+  double window_wait_seconds = 0.0;
+
+  // Fleet liveness at the end of the run (failure detector).
+  int nodes_unknown = 0;
+  int nodes_alive = 0;
+  int nodes_suspect = 0;
+  int nodes_dead = 0;
+  std::uint64_t liveness_transitions = 0;
+
+  // Memory footprint: resident set sampled right after the last epoch
+  // merged (nodes, telemetry, and database all still live), the process
+  // peak, and the per-node share of the run's RSS growth — the second
+  // gate (after throughput) bench/fleet_scale applies at 100k nodes.
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;
+  double bytes_per_node = 0.0;
 
   // Observability self-overhead: wall time spent capturing node
   // snapshots, folding the rollup tree, and rendering self-scrape rows.
@@ -153,8 +193,10 @@ class FleetRunner {
   FleetRunner(const FleetRunner&) = delete;
   FleetRunner& operator=(const FleetRunner&) = delete;
 
-  // Validates the config and builds every node (single-use: a runner
-  // drives exactly one fleet run).
+  // Validates the config, builds the shared substrate and node 0 (the
+  // validation canary); the remaining nodes are built lazily by the
+  // worker that first advances their shard.  Single-use: a runner drives
+  // exactly one fleet run.
   Status configure(FleetConfig config);
 
   // Simulates the fleet to the horizon.  Blocking; spawns the worker
@@ -167,7 +209,11 @@ class FleetRunner {
   // Valid after configure().
   [[nodiscard]] tsdb::EnvDatabase& database();
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  // Valid after run() (nodes other than 0 are built lazily during it).
   [[nodiscard]] const FleetNode& node(std::size_t i) const { return *nodes_[i]; }
+
+  // The failure detector's view of the fleet (nullptr when disabled).
+  [[nodiscard]] const FailureDetector* failure_detector() const { return detector_.get(); }
 
   // The telemetry hierarchy (nullptr when config.telemetry is false).
   [[nodiscard]] const obs::FleetTelemetry* telemetry() const { return telemetry_.get(); }
@@ -186,15 +232,25 @@ class FleetRunner {
  private:
   enum class State { kIdle, kConfigured, kRan };
 
+  // Builds rank's node (registry partition, recorder, substrate, fault
+  // script) if it does not exist yet.  Called under exclusive shard
+  // ownership — at most one thread ever builds a given rank.
+  Status build_node(int rank);
+
   State state_ = State::kIdle;
   FleetConfig config_;
   power::UtilizationProfile default_workload_;
+  NodeDefaults defaults_;  // shared read-only per-node config
   std::unique_ptr<smpi::World> world_;
   std::unique_ptr<tsdb::EnvDatabase> db_;
   std::vector<std::unique_ptr<FleetNode>> nodes_;
+  std::vector<int> shard_bounds_;  // shard s owns ranks [b[s], b[s+1])
   std::unique_ptr<obs::FleetTelemetry> telemetry_;
   std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;  // per node
   std::unique_ptr<obs::FlightRecorder> fleet_recorder_;
+  std::unique_ptr<FailureDetector> detector_;
+  RecordBufferPool pool_;
+  std::uint64_t rss_before_bytes_ = 0;
   std::string post_mortem_;
   FleetReport report_;
 
@@ -202,8 +258,13 @@ class FleetRunner {
   obs::Histogram* epoch_seconds_metric_ = nullptr;
   obs::Counter* epochs_metric_ = nullptr;
   obs::Counter* staged_metric_ = nullptr;
-  std::vector<obs::Counter*> shard_stall_metrics_;
-  std::vector<obs::Gauge*> shard_stall_seconds_metrics_;
+  obs::Counter* steals_metric_ = nullptr;
+  obs::Gauge* window_wait_metric_ = nullptr;
+  obs::Gauge* bytes_per_node_metric_ = nullptr;
+  obs::Gauge* nodes_alive_metric_ = nullptr;
+  obs::Gauge* nodes_suspect_metric_ = nullptr;
+  obs::Gauge* nodes_dead_metric_ = nullptr;
+  obs::Counter* liveness_transitions_metric_ = nullptr;
 };
 
 // Reserved rack index for the fleet's own telemetry rows: far above any

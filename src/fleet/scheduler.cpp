@@ -1,0 +1,147 @@
+#include "fleet/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+ShardScheduler::ShardScheduler(Options options, Callbacks callbacks)
+    : options_(options), callbacks_(std::move(callbacks)) {
+  options_.shards = std::max(options_.shards, 1);
+  options_.workers = std::max(options_.workers, 1);
+  options_.epochs = std::max<std::uint64_t>(options_.epochs, 1);
+  options_.window = std::max<std::uint64_t>(options_.window, 1);
+  shards_.resize(static_cast<std::size_t>(options_.shards));
+  arrivals_.assign(static_cast<std::size_t>(options_.window) + 1, 0);
+}
+
+int ShardScheduler::home_worker(int shard) const {
+  const int base = options_.shards / options_.workers;
+  const int extra = options_.shards % options_.workers;
+  const int split = extra * (base + 1);
+  if (shard < split) return shard / (base + 1);
+  return extra + (shard - split) / std::max(base, 1);
+}
+
+int ShardScheduler::pick_shard(int worker) const {
+  // Most-lagging claimable shard; home shards win ties, then lowest id.
+  // O(shards) per claim — shards number in the tens to hundreds, and a
+  // claim buys a whole epoch of node advancement.
+  int best = -1;
+  std::uint64_t best_done = 0;
+  bool best_home = false;
+  for (int s = 0; s < options_.shards; ++s) {
+    const ShardState& state = shards_[static_cast<std::size_t>(s)];
+    if (state.claimed || state.epochs_done >= options_.epochs) continue;
+    if (state.epochs_done + 1 > completed_ + options_.window) continue;  // window-bound
+    const bool home = home_worker(s) == worker;
+    if (best < 0 || state.epochs_done < best_done ||
+        (state.epochs_done == best_done && home && !best_home)) {
+      best = s;
+      best_done = state.epochs_done;
+      best_home = home;
+    }
+  }
+  return best;
+}
+
+void ShardScheduler::record_error(const Status& status) {
+  if (first_error_.is_ok()) first_error_ = status;
+  aborted_ = true;
+  claimable_cv_.notify_all();
+}
+
+void ShardScheduler::drain_completions(std::unique_lock<std::mutex>& lock) {
+  // Exactly one merger at a time; epochs complete strictly in order.  The
+  // loop re-checks arrivals after every merge, so deposits that landed
+  // while complete() ran (the merger holds no lock there) are drained by
+  // this same pass — no completion is ever stranded.
+  merging_ = true;
+  const std::size_t ring = arrivals_.size();
+  while (!aborted_ && completed_ < options_.epochs &&
+         arrivals_[static_cast<std::size_t>((completed_ + 1) % ring)] == options_.shards) {
+    const std::uint64_t epoch = completed_ + 1;
+    lock.unlock();
+    const Status s = callbacks_.complete(epoch);
+    lock.lock();
+    if (!s.is_ok()) {
+      record_error(s);
+      break;
+    }
+    arrivals_[static_cast<std::size_t>(epoch % ring)] = 0;
+    completed_ = epoch;
+    ++stats_.epochs_completed;
+    claimable_cv_.notify_all();  // the skew window moved forward
+  }
+  merging_ = false;
+}
+
+void ShardScheduler::worker_loop(int worker) {
+  double waited = 0.0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (aborted_) break;
+    const int shard = pick_shard(worker);
+    if (shard < 0) {
+      const bool all_done =
+          std::all_of(shards_.begin(), shards_.end(), [&](const ShardState& s) {
+            return s.epochs_done >= options_.epochs;
+          });
+      if (all_done) break;
+      const auto park = std::chrono::steady_clock::now();
+      claimable_cv_.wait(lock);
+      waited += std::chrono::duration<double>(std::chrono::steady_clock::now() - park).count();
+      continue;
+    }
+
+    ShardState& state = shards_[static_cast<std::size_t>(shard)];
+    state.claimed = true;
+    if (home_worker(shard) != worker) ++stats_.steals;
+    const std::uint64_t epoch = state.epochs_done + 1;
+    lock.unlock();
+    const Status advanced = callbacks_.advance(shard, epoch);
+    lock.lock();
+    state.claimed = false;
+    if (!advanced.is_ok()) {
+      record_error(advanced);
+      break;
+    }
+    state.epochs_done = epoch;
+    ++arrivals_[static_cast<std::size_t>(epoch % arrivals_.size())];
+    claimable_cv_.notify_all();  // shard released + a deposit landed
+    if (!merging_) drain_completions(lock);
+    if (epoch == options_.epochs && callbacks_.finalize && !aborted_) {
+      lock.unlock();
+      const Status finalized = callbacks_.finalize(shard);
+      lock.lock();
+      if (!finalized.is_ok()) {
+        record_error(finalized);
+        break;
+      }
+    }
+  }
+  stats_.window_wait_seconds += waited;  // lock is held on every break path
+}
+
+Status ShardScheduler::run() {
+  if (callbacks_.advance == nullptr || callbacks_.complete == nullptr) {
+    return Status(StatusCode::kInvalidArgument, "scheduler needs advance and complete callbacks");
+  }
+  if (options_.workers == 1) {
+    worker_loop(0);
+    return first_error_;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(options_.workers) - 1);
+  for (int w = 1; w < options_.workers; ++w) {
+    pool.emplace_back([this, w] { worker_loop(w); });
+  }
+  worker_loop(0);
+  for (std::thread& t : pool) t.join();
+  return first_error_;
+}
+
+}  // namespace v2
+}  // namespace envmon::fleet

@@ -1,0 +1,129 @@
+#pragma once
+// ShardScheduler — the fleet's sharded, work-stealing epoch scheduler.
+//
+// The PR-4 engine advanced every shard in lockstep: all workers parked at
+// a std::barrier each epoch, so fleet throughput was the *slowest*
+// shard's throughput every single epoch and the measured multi-thread
+// speedup was ~1.0x (BENCH_fleet.json at the PR-6 seed).  This scheduler
+// removes the rendezvous:
+//
+//   * The fleet's nodes are over-partitioned into S >= workers contiguous
+//     shards.  A shard is the unit of both work and stealing — workers
+//     never split a shard, so any one node is only ever advanced by one
+//     thread at a time and per-node state needs no synchronization.
+//   * Each worker has a contiguous "home" block of shards (cache
+//     affinity).  A worker repeatedly claims the most-lagging claimable
+//     shard — home shards win ties; claiming a shard whose home is
+//     another worker counts as a steal — advances it exactly ONE epoch,
+//     deposits the result, and releases it.  Laggards are therefore
+//     served by whichever worker is free, not by whoever happens to own
+//     them.
+//   * Shards may skew: a shard can run up to `window` epochs ahead of the
+//     oldest epoch not yet merged.  The bound keeps staged memory finite
+//     and is the only thing that ever makes a worker wait.
+//   * Epochs complete strictly in order.  When the last shard deposits
+//     epoch E, that worker becomes the merger and drains every
+//     fully-deposited epoch in sequence, invoking `complete(E)` outside
+//     the scheduler lock.  complete() is the fleet's sole merge point —
+//     the deterministic node-order merge into the ingest queue and the
+//     telemetry fold both live there (runner.cpp), which is what keeps
+//     files + tsdb byte-identical at any worker count.
+//
+// The scheduler knows nothing about nodes, telemetry, or ingest: it
+// schedules (shard, epoch) pairs through three callbacks.  That keeps it
+// independently unit-testable (tests/fleet_scheduler_test.cpp forces the
+// steal path with an artificially slow shard).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace envmon::fleet {
+inline namespace v2 {
+
+class ShardScheduler {
+ public:
+  struct Options {
+    int shards = 1;            // over-partition count (>= 1)
+    int workers = 1;           // worker threads (worker 0 runs on the caller)
+    std::uint64_t epochs = 1;  // epochs every shard must complete
+    // Max epochs any shard may run ahead of the oldest unmerged epoch
+    // (>= 1).  Bounds staged batches and capture snapshots in flight.
+    std::uint64_t window = 4;
+  };
+
+  struct Callbacks {
+    // Advance `shard` to the boundary of `epoch` (1-based) and stage its
+    // results.  Called with exclusive ownership of the shard on a worker
+    // thread; a non-OK status aborts the run.
+    std::function<Status(int shard, std::uint64_t epoch)> advance;
+    // Every shard has deposited `epoch`; merge it.  Called exactly once
+    // per epoch, in strictly increasing order, never concurrently, and
+    // outside the scheduler lock (it may block on ingest backpressure).
+    std::function<Status(std::uint64_t epoch)> complete;
+    // `shard` has deposited its final epoch; finalize its nodes (render
+    // files).  Exclusive ownership, worker thread, may be concurrent with
+    // complete() of earlier epochs.  Optional.
+    std::function<Status(int shard)> finalize;
+  };
+
+  struct Stats {
+    std::uint64_t steals = 0;            // claims of another worker's home shard
+    std::uint64_t epochs_completed = 0;  // complete() calls that returned OK
+    double window_wait_seconds = 0.0;    // summed over workers
+  };
+
+  ShardScheduler(Options options, Callbacks callbacks);
+  ShardScheduler(const ShardScheduler&) = delete;
+  ShardScheduler& operator=(const ShardScheduler&) = delete;
+
+  // Runs the whole schedule; blocking.  Spawns workers-1 threads and uses
+  // the calling thread as worker 0.  Returns the first callback error
+  // (remaining work is abandoned, in-flight callbacks finish first).
+  Status run();
+
+  // Valid after run() returns.
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // The worker whose home block contains `shard` under the same
+  // contiguous split run() uses (exposed for tests and the runner's
+  // affinity bookkeeping).
+  [[nodiscard]] int home_worker(int shard) const;
+
+ private:
+  struct ShardState {
+    std::uint64_t epochs_done = 0;
+    bool claimed = false;
+  };
+
+  void worker_loop(int worker);
+  // Picks the most-lagging claimable shard for `worker`; -1 if none.
+  // Caller holds mutex_.
+  [[nodiscard]] int pick_shard(int worker) const;
+  // Drains fully-deposited epochs in order.  Caller holds lock_;
+  // complete() itself runs unlocked.
+  void drain_completions(std::unique_lock<std::mutex>& lock);
+  void record_error(const Status& status);
+
+  Options options_;
+  Callbacks callbacks_;
+
+  std::mutex mutex_;
+  std::condition_variable claimable_cv_;
+  std::vector<ShardState> shards_;
+  // Ring of per-epoch deposit counts for epochs (completed_, completed_ +
+  // window]; slot = epoch % (window + 1).
+  std::vector<int> arrivals_;
+  std::uint64_t completed_ = 0;  // last epoch fully merged
+  bool merging_ = false;
+  bool aborted_ = false;
+  Status first_error_ = Status::ok();
+  Stats stats_;
+};
+
+}  // namespace v2
+}  // namespace envmon::fleet

@@ -46,6 +46,29 @@ enum class BackendState : std::uint8_t {
   return "?";
 }
 
+// Fleet-level node liveness, one layer above the per-backend states.
+// Driven by the fleet's heartbeat failure detector
+// (fleet/failure_detector.hpp): a node heartbeats while at least one of
+// its backends is not quarantined; confirmed consecutive misses walk the
+// node Unknown/Alive -> Suspect -> Dead, and any heartbeat snaps it back
+// to Alive (faults can revive a node mid-run).
+enum class NodeLiveness : std::uint8_t {
+  kUnknown = 0,  // no heartbeat heard yet
+  kAlive = 1,
+  kSuspect = 2,
+  kDead = 3,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(NodeLiveness s) {
+  switch (s) {
+    case NodeLiveness::kUnknown: return "unknown";
+    case NodeLiveness::kAlive: return "alive";
+    case NodeLiveness::kSuspect: return "suspect";
+    case NodeLiveness::kDead: return "dead";
+  }
+  return "?";
+}
+
 /// Knobs for the degradation machinery.  The defaults are deliberately
 /// conservative: one retry per poll, quarantine after three consecutive
 /// failed polls, 1 s -> 60 s exponential backoff.

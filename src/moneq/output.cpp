@@ -25,14 +25,36 @@ Status DiskOutput::write(const std::string& filename, const std::string& content
 std::string render_node_file(std::span<const Sample> samples,
                              std::span<const TagMarker> tags,
                              std::span<const GapMarker> gaps) {
+  std::string out;
+  append_node_file_header(out);
+  append_sample_rows(out, samples);
+  append_marker_rows(out, tags, gaps);
+  return out;
+}
+
+void append_node_file_header(std::string& out) {
   std::ostringstream os;
   CsvWriter csv(os);
   csv.row("time_s", "domain", "quantity", "unit", "value");
+  out += os.str();
+}
+
+void append_sample_rows(std::string& out, std::span<const Sample> samples) {
+  if (samples.empty()) return;
+  std::ostringstream os;
+  CsvWriter csv(os);
   for (const auto& s : samples) {
     csv.row(format_double(s.t.to_seconds(), 6), s.domain,
             static_cast<int>(s.quantity), unit_string(s.quantity),
             format_double(s.value, 6));
   }
+  out += os.str();
+}
+
+void append_marker_rows(std::string& out, std::span<const TagMarker> tags,
+                        std::span<const GapMarker> gaps) {
+  std::ostringstream os;
+  CsvWriter csv(os);
   // Tag markers are appended post-run ("the injection happens after the
   // program has completed").
   for (const auto& tag : tags) {
@@ -45,7 +67,7 @@ std::string render_node_file(std::span<const Sample> samples,
             gap.is_start ? "#GAP_START" : "#GAP_END", "",
             gap.is_start ? gap.reason : std::string());
   }
-  return os.str();
+  out += os.str();
 }
 
 std::string node_file_name(int rank) {

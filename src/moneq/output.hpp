@@ -54,6 +54,17 @@ class DiskOutput final : public OutputTarget {
                                            std::span<const TagMarker> tags,
                                            std::span<const GapMarker> gaps = {});
 
+// Streaming pieces of render_node_file(): the sample section is a strict
+// in-order fold over the stream, so a caller that drains samples
+// incrementally (the fleet engine's spool mode) can render each batch as
+// it goes, release the Sample structs, and still produce a byte-identical
+// file — header, then every sample row in order, then the tag and gap
+// markers appended post-run.
+void append_node_file_header(std::string& out);
+void append_sample_rows(std::string& out, std::span<const Sample> samples);
+void append_marker_rows(std::string& out, std::span<const TagMarker> tags,
+                        std::span<const GapMarker> gaps);
+
 // Conventional file name for a rank's output.
 [[nodiscard]] std::string node_file_name(int rank);
 

@@ -68,8 +68,16 @@ Status NodeProfiler::initialize() {
   interval_ = effective_interval();
 
   // Memory overhead is constant with respect to scale: the whole sample
-  // array is allocated here, once.
-  samples_.reserve(options_.max_samples);
+  // array is allocated here, once.  In spool mode the buffer drains
+  // every release_samples(), so it only ever holds one drain interval's
+  // worth — pre-reserving max_samples would defeat the point.
+  if (!options_.spool_samples) samples_.reserve(options_.max_samples);
+  if (options_.spool_samples) {
+    if (options_.spool_reserve_bytes > 0) spool_.reserve(options_.spool_reserve_bytes);
+    // The spool starts with the CSV header so take_file() can hand the
+    // whole thing over by move, never copying the sample text.
+    append_node_file_header(spool_);
+  }
 
   int levels = 0;
   for (int n = world_->size() - 1; n > 0; n >>= 1) ++levels;
@@ -184,7 +192,9 @@ bool NodeProfiler::poll_backend(std::size_t i) {
     if (retries_used > 0) health.spend_retry(attempt_cost);
     if (result) {
       for (auto& sample : result.value()) {
-        if (samples_.size() >= options_.max_samples) {
+        // The cap is on lifetime samples, not buffer occupancy, so spool
+        // mode drops at exactly the same point the unspooled path does.
+        if (total_samples() >= options_.max_samples) {
           ++dropped_;
           if (dropped_metric_ != nullptr) dropped_metric_->inc();
           if (options_.tracer != nullptr) {
@@ -274,17 +284,42 @@ Status NodeProfiler::finalize(const smpi::FileSystemModel* fs, OutputTarget* tar
 
   // Every node writes its own file; the collective completes when the
   // slowest write does, so the same duration lands on every rank.
-  const Bytes file_bytes{static_cast<double>(samples_.size()) * options_.bytes_per_sample};
+  const Bytes file_bytes{static_cast<double>(total_samples()) * options_.bytes_per_sample};
   finalize_cost_ = world_->barrier_cost();
   if (fs != nullptr) {
     finalize_cost_ += fs->time_to_write(world_->size(), file_bytes);
   }
   if (target != nullptr) {
-    const Status s =
-        target->write(node_file_name(rank_), render_node_file(samples_, tags_, gaps_));
+    const Status s = target->write(node_file_name(rank_), render_file());
     if (!s.is_ok()) return s;
   }
   return Status::ok();
+}
+
+void NodeProfiler::release_samples() {
+  if (samples_.empty()) return;
+  append_sample_rows(spool_, samples_);
+  released_samples_ += samples_.size();
+  samples_.clear();
+}
+
+std::string NodeProfiler::render_file() const {
+  std::string out;
+  // In spool mode the header is already the spool's first row.
+  if (!options_.spool_samples || spool_.empty()) append_node_file_header(out);
+  out += spool_;
+  append_sample_rows(out, samples_);
+  append_marker_rows(out, tags_, gaps_);
+  return out;
+}
+
+std::string NodeProfiler::take_file() {
+  if (!options_.spool_samples || spool_.empty()) return render_file();
+  release_samples();
+  std::string out = std::move(spool_);
+  spool_ = std::string();
+  append_marker_rows(out, tags_, gaps_);
+  return out;
 }
 
 OverheadReport NodeProfiler::overhead() const {

@@ -66,6 +66,19 @@ struct ProfilerOptions {
   // and backoff shape shared by every attached backend (each backend
   // still tracks its own state).  See moneq/health.hpp.
   DegradationPolicy degradation;
+  // Spool mode (the fleet engine sets this): the caller periodically
+  // calls release_samples(), which renders buffered samples into the
+  // node-file spool and frees the structs, so per-node memory scales
+  // with rendered CSV text instead of retained Sample objects — and the
+  // buffer is not pre-reserved to max_samples.  The max_samples drop cap
+  // still applies to the lifetime total, and render_file() produces
+  // bytes identical to the unspooled path.
+  bool spool_samples = false;
+  // Pre-reserve for the spool (0 = geometric growth).  The fleet engine
+  // sizes this from horizon/polling: 100k node spools growing by
+  // doubling in lockstep strand every freed half-size block in the
+  // allocator, roughly doubling resident memory per node.
+  std::size_t spool_reserve_bytes = 0;
 };
 
 struct OverheadReport {
@@ -109,7 +122,25 @@ class NodeProfiler {
   // receives the rendered file (nullptr = discard).
   Status finalize(const smpi::FileSystemModel* fs = nullptr, OutputTarget* target = nullptr);
 
+  // The buffered (not yet released) samples.  Without spool mode this is
+  // the full history; with it, the tail since the last release_samples().
   [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  // Lifetime sample count, released or not — what samples().size() was
+  // before spool mode existed.
+  [[nodiscard]] std::uint64_t total_samples() const {
+    return released_samples_ + samples_.size();
+  }
+  // Renders buffered samples into the node-file spool and clears the
+  // buffer (keeping its capacity).  Cheap no-op when nothing is buffered.
+  void release_samples();
+  // The complete node file: header, spooled + buffered sample rows in
+  // collection order, then tag and gap markers.
+  [[nodiscard]] std::string render_file() const;
+  // Destructive render_file(): in spool mode the spool is moved into the
+  // result instead of copied, leaving the profiler without its sample
+  // text.  At 100k nodes the non-destructive copy would briefly double
+  // the dominant per-node allocation; call this once, at write-out.
+  [[nodiscard]] std::string take_file();
   [[nodiscard]] const std::vector<TagMarker>& tags() const { return tags_; }
   [[nodiscard]] std::size_t dropped_samples() const { return dropped_; }
   [[nodiscard]] sim::Duration polling_interval() const { return interval_; }
@@ -162,6 +193,8 @@ class NodeProfiler {
   obs::Counter* degraded_polls_metric_ = nullptr;
   obs::Gauge* buffer_hwm_metric_ = nullptr;
   std::vector<Sample> samples_;
+  std::string spool_;  // CSV rows of released samples, in order
+  std::uint64_t released_samples_ = 0;
   std::vector<TagMarker> tags_;
   std::size_t dropped_ = 0;
 

@@ -130,7 +130,18 @@ void FleetTelemetry::capture(int rank) {
       node_snapshots_[static_cast<std::size_t>(rank)]);
 }
 
+void FleetTelemetry::capture_into(int rank, Snapshot& out) const {
+  node_registries_[static_cast<std::size_t>(rank)]->snapshot_into(out);
+}
+
 void FleetTelemetry::fold() {
+  std::vector<const Snapshot*> nodes;
+  nodes.reserve(node_snapshots_.size());
+  for (const Snapshot& s : node_snapshots_) nodes.push_back(&s);
+  fold(nodes);
+}
+
+void FleetTelemetry::fold(std::span<const Snapshot* const> nodes) {
   // Rollup snapshots persist across folds: zero the values, keep the
   // structure, and let the in-place merge path do the accumulation.
   // (Registries never remove series, so stale rows cannot linger.)
@@ -139,10 +150,9 @@ void FleetTelemetry::fold() {
     zero_values(board);
     const std::size_t begin = b * static_cast<std::size_t>(topology_.nodes_per_board);
     const std::size_t end =
-        std::min(begin + static_cast<std::size_t>(topology_.nodes_per_board),
-                 node_snapshots_.size());
+        std::min(begin + static_cast<std::size_t>(topology_.nodes_per_board), nodes.size());
     for (std::size_t n = begin; n < end; ++n) {
-      merge_skipped_ += merge_snapshot(board, node_snapshots_[n]);
+      if (nodes[n] != nullptr) merge_skipped_ += merge_snapshot(board, *nodes[n]);
     }
   }
   for (std::size_t r = 0; r < racks_.size(); ++r) {

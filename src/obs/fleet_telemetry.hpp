@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -66,10 +67,30 @@ class FleetTelemetry {
   // snapshot itself locks only that node's registry mutex.
   void capture(int rank);
 
+  // Snapshots `rank`'s registry into a caller-owned buffer instead of the
+  // internal slot.  The work-stealing fleet scheduler captures into
+  // shard-local deposit buffers so a fast shard's next-epoch capture can
+  // never overwrite a slot an unmerged epoch still needs; steady-state
+  // refresh is in-place (Registry::snapshot_into).
+  void capture_into(int rank, Snapshot& out) const;
+
   // Folds the captured node snapshots up the tree: boards, racks, fleet.
-  // Single-threaded by contract (the epoch-barrier completion step) and
+  // Single-threaded by contract (the scheduler's epoch merge point) and
   // deterministic (fixed child order at every level).
   void fold();
+
+  // Same fold, but reading node snapshots from `nodes` (index = rank,
+  // size = node_count()) rather than the internal capture slots.  Used
+  // with capture_into() under epoch skew; null entries merge as empty.
+  void fold(std::span<const Snapshot* const> nodes);
+
+  // Adopts a capture produced by capture_into() as `rank`'s internal
+  // slot.  The work-stealing runner deposits captures shard-locally
+  // during the run and moves the final epoch's set here afterwards, so
+  // node_capture() still reads the last-folded per-node state.
+  void store_capture(int rank, Snapshot&& snapshot) {
+    node_snapshots_[static_cast<std::size_t>(rank)] = std::move(snapshot);
+  }
 
   // Rollups from the most recent fold() (empty before the first).
   [[nodiscard]] const Snapshot& board_rollup(int board) const {

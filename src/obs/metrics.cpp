@@ -84,7 +84,8 @@ Counter& Registry::counter(std::string_view name, std::string_view help,
   auto& entry = counters_[Key{std::string(name), std::string(labels)}];
   if (!entry.metric) {
     entry.help = std::string(help);
-    entry.metric = std::make_unique<Counter>();
+    entry.metric = &counter_arena_.emplace_back();
+    ++layout_version_;
   }
   return *entry.metric;
 }
@@ -95,7 +96,8 @@ Gauge& Registry::gauge(std::string_view name, std::string_view help,
   auto& entry = gauges_[Key{std::string(name), std::string(labels)}];
   if (!entry.metric) {
     entry.help = std::string(help);
-    entry.metric = std::make_unique<Gauge>();
+    entry.metric = &gauge_arena_.emplace_back();
+    ++layout_version_;
   }
   return *entry.metric;
 }
@@ -106,7 +108,8 @@ Histogram& Registry::histogram(std::string_view name, std::string_view help,
   auto& entry = histograms_[Key{std::string(name), std::string(labels)}];
   if (!entry.metric) {
     entry.help = std::string(help);
-    entry.metric = std::make_unique<Histogram>(std::move(bounds));
+    entry.metric = &histogram_arena_.emplace_back(std::move(bounds));
+    ++layout_version_;
   }
   return *entry.metric;
 }
@@ -136,6 +139,41 @@ Snapshot Registry::snapshot() const {
 
 void Registry::snapshot_into(Snapshot& out) const {
   const std::scoped_lock lock(mutex_);
+
+  // Tagged fast path: `out` was last captured from this registry at the
+  // current layout version, so its rows are proven to mirror the maps —
+  // refresh values straight through the flat plan pointers without
+  // walking the maps or comparing any key string.
+  if (out.layout_source == this && out.layout_version == layout_version_) {
+    if (plan_version_ != layout_version_) {
+      plan_counters_.clear();
+      plan_gauges_.clear();
+      plan_histograms_.clear();
+      for (const auto& [key, entry] : counters_) plan_counters_.push_back(entry.metric);
+      for (const auto& [key, entry] : gauges_) plan_gauges_.push_back(entry.metric);
+      for (const auto& [key, entry] : histograms_) {
+        plan_histograms_.push_back(entry.metric);
+      }
+      plan_version_ = layout_version_;
+    }
+    for (std::size_t i = 0; i < plan_counters_.size(); ++i) {
+      out.counters[i].value = plan_counters_[i]->value();
+    }
+    for (std::size_t i = 0; i < plan_gauges_.size(); ++i) {
+      out.gauges[i].value = plan_gauges_[i]->value();
+    }
+    for (std::size_t i = 0; i < plan_histograms_.size(); ++i) {
+      const Histogram* h = plan_histograms_[i];
+      Snapshot::HistogramRow& row = out.histograms[i];
+      for (std::size_t b = 0; b < row.bucket_counts.size(); ++b) {
+        row.bucket_counts[b] = h->bucket_count(b);
+      }
+      row.count = h->count();
+      row.sum = h->sum();
+    }
+    return;
+  }
+
   if (keys_match(out.counters, counters_)) {
     std::size_t i = 0;
     for (const auto& [key, entry] : counters_) out.counters[i++].value = entry.metric->value();
@@ -196,6 +234,9 @@ void Registry::snapshot_into(Snapshot& out) const {
       out.histograms.push_back(std::move(row));
     }
   }
+
+  out.layout_source = this;
+  out.layout_version = layout_version_;
 }
 
 void Registry::reset_values() {

@@ -8,8 +8,9 @@ namespace envmon::obs {
 
 FlightRecorder::FlightRecorder(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {
-  deterministic_.events.reserve(capacity_);
-  timing_.events.reserve(capacity_);
+  // Rings allocate lazily on the first event: a 100k-node fleet carries
+  // one recorder per node, and most nodes never record anything — an
+  // upfront reserve would cost gigabytes of empty rings fleet-wide.
   if (enabled()) {
     auto& registry = default_registry();
     events_metric_ = &registry.counter("envmon_recorder_events_total",

@@ -1,0 +1,169 @@
+// FailureDetector state-machine tests: Unknown -> Alive on the first
+// heartbeat, Suspect/Dead after k-neighbor-confirmed misses, revival on
+// a returning heartbeat, and the slower rack-escalation path when a
+// node's whole board has gone dark.  Everything is a pure function of
+// the heartbeat sequence, so expectations here are exact.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/failure_detector.hpp"
+#include "obs/recorder.hpp"
+
+namespace envmon {
+namespace {
+
+using fleet::DetectorPolicy;
+using fleet::FailureDetector;
+using moneq::NodeLiveness;
+using sim::SimTime;
+
+std::vector<std::uint8_t> beats(int nodes, std::vector<int> silent = {}) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(nodes), 1);
+  for (const int node : silent) out[static_cast<std::size_t>(node)] = 0;
+  return out;
+}
+
+SimTime at(int epoch) { return SimTime::from_seconds(epoch); }
+
+TEST(FailureDetector, FirstHeartbeatMovesUnknownToAlive) {
+  FailureDetector detector(8);
+  EXPECT_EQ(detector.counts().unknown, 8);
+  detector.observe_epoch(at(1), beats(8));
+  EXPECT_EQ(detector.counts().unknown, 0);
+  EXPECT_EQ(detector.counts().alive, 8);
+  EXPECT_EQ(detector.transitions(), 8u);
+  for (int node = 0; node < 8; ++node) EXPECT_EQ(detector.state(node), NodeLiveness::kAlive);
+}
+
+TEST(FailureDetector, ConfirmedMissesDriveSuspectThenDead) {
+  // Defaults: suspect after 2 confirmed misses, dead after 4.  Node 3's
+  // board neighbors all heartbeat, so every miss is quorum-confirmed.
+  FailureDetector detector(8);
+  detector.observe_epoch(at(1), beats(8));
+  for (int epoch = 2; epoch <= 2 + 1; ++epoch) {
+    detector.observe_epoch(at(epoch), beats(8, {3}));
+  }
+  EXPECT_EQ(detector.state(3), NodeLiveness::kSuspect);
+  EXPECT_EQ(detector.counts().suspect, 1);
+  EXPECT_EQ(detector.counts().alive, 7);
+  for (int epoch = 4; epoch <= 5; ++epoch) {
+    detector.observe_epoch(at(epoch), beats(8, {3}));
+  }
+  EXPECT_EQ(detector.state(3), NodeLiveness::kDead);
+  EXPECT_EQ(detector.counts().dead, 1);
+  // Unknown->Alive for all 8, then Alive->Suspect->Dead for node 3.
+  EXPECT_EQ(detector.transitions(), 10u);
+  EXPECT_EQ(detector.epochs_observed(), 5u);
+}
+
+TEST(FailureDetector, ReturningHeartbeatRevivesASuspect) {
+  FailureDetector detector(8);
+  detector.observe_epoch(at(1), beats(8));
+  detector.observe_epoch(at(2), beats(8, {5}));
+  detector.observe_epoch(at(3), beats(8, {5}));
+  ASSERT_EQ(detector.state(5), NodeLiveness::kSuspect);
+  detector.observe_epoch(at(4), beats(8));
+  EXPECT_EQ(detector.state(5), NodeLiveness::kAlive);
+  EXPECT_EQ(detector.counts().suspect, 0);
+  // The miss counter reset: going silent again restarts from zero.
+  detector.observe_epoch(at(5), beats(8, {5}));
+  EXPECT_EQ(detector.state(5), NodeLiveness::kAlive);
+  detector.observe_epoch(at(6), beats(8, {5}));
+  EXPECT_EQ(detector.state(5), NodeLiveness::kSuspect);
+}
+
+TEST(FailureDetector, BoardlessNodeEscalatesAtRackPace) {
+  // nodes_per_board = 1 leaves no board neighbors to corroborate, so
+  // every detection goes through rack escalation: one confirmed miss per
+  // escalation_factor missed epochs — exactly 2x slower here.
+  DetectorPolicy policy;
+  policy.nodes_per_board = 1;
+  policy.escalation_factor = 2;
+  FailureDetector detector(4, policy);
+  detector.observe_epoch(at(1), beats(4));
+  // suspect_after = 2 confirmed misses now needs 4 missed epochs.
+  detector.observe_epoch(at(2), beats(4, {0}));
+  detector.observe_epoch(at(3), beats(4, {0}));
+  EXPECT_EQ(detector.state(0), NodeLiveness::kAlive);  // 1 confirmed miss
+  detector.observe_epoch(at(4), beats(4, {0}));
+  detector.observe_epoch(at(5), beats(4, {0}));
+  EXPECT_EQ(detector.state(0), NodeLiveness::kSuspect);  // 2 confirmed misses
+  for (int epoch = 6; epoch <= 9; ++epoch) detector.observe_epoch(at(epoch), beats(4, {0}));
+  EXPECT_EQ(detector.state(0), NodeLiveness::kDead);  // 4 confirmed misses
+}
+
+TEST(FailureDetector, DeadNeighborsStopCorroboratingABoard) {
+  // Two-node boards with k clamped to 1: once node 1 (node 0's only
+  // board neighbor) is Dead, node 0's misses lose their quorum and must
+  // take the slower escalation path.
+  DetectorPolicy policy;
+  policy.nodes_per_board = 2;
+  policy.k_neighbors = 4;  // clamps to board_size - 1 == 1, quorum 1
+  policy.escalation_factor = 3;
+  FailureDetector detector(4, policy);
+  detector.observe_epoch(at(1), beats(4));
+  // Node 1 dies first, confirmed by node 0 (alive throughout).
+  int epoch = 2;
+  for (; epoch <= 5; ++epoch) detector.observe_epoch(at(epoch), beats(4, {1}));
+  ASSERT_EQ(detector.state(1), NodeLiveness::kDead);
+  ASSERT_EQ(detector.state(0), NodeLiveness::kAlive);
+  // Now node 0 goes silent too; its only neighbor is Dead, so each
+  // confirmed miss needs escalation_factor epochs: suspect after 2*3.
+  for (int i = 0; i < 5; ++i, ++epoch) detector.observe_epoch(at(epoch), beats(4, {0, 1}));
+  EXPECT_EQ(detector.state(0), NodeLiveness::kAlive);
+  detector.observe_epoch(at(epoch), beats(4, {0, 1}));
+  EXPECT_EQ(detector.state(0), NodeLiveness::kSuspect);
+}
+
+TEST(FailureDetector, TransitionsLandInTheFlightRecorder) {
+  obs::FlightRecorder recorder(64);
+  FailureDetector detector(2, {}, &recorder);
+  detector.observe_epoch(at(1), beats(2));
+  for (int epoch = 2; epoch <= 5; ++epoch) detector.observe_epoch(at(epoch), beats(2, {1}));
+  ASSERT_EQ(detector.state(1), NodeLiveness::kDead);
+
+  int alive = 0;
+  int suspect = 0;
+  int dead = 0;
+  for (const obs::RecorderEvent& event : recorder.events()) {
+    ASSERT_EQ(event.category, "liveness");
+    ASSERT_EQ(event.name, "liveness.transition");
+    if (event.detail.find("-> alive") != std::string::npos) ++alive;
+    if (event.detail.find("-> suspect") != std::string::npos) {
+      ++suspect;
+      EXPECT_NE(event.detail.find("confirmed by"), std::string::npos);
+      EXPECT_EQ(event.node, 1);
+    }
+    if (event.detail.find("-> dead") != std::string::npos) {
+      ++dead;
+      EXPECT_EQ(event.node, 1);
+    }
+  }
+  EXPECT_EQ(alive, 2);
+  EXPECT_EQ(suspect, 1);
+  EXPECT_EQ(dead, 1);
+}
+
+TEST(FailureDetector, PolicyClampsKeepTheMachineSane) {
+  DetectorPolicy policy;
+  policy.k_neighbors = 0;
+  policy.suspect_after = 0;
+  policy.dead_after = 0;
+  policy.escalation_factor = 0;
+  policy.nodes_per_board = 0;
+  FailureDetector detector(2, policy);
+  // Clamped to suspect_after >= 1, dead_after >= suspect_after + 1: a
+  // single confirmed miss suspects, a second kills.
+  detector.observe_epoch(at(1), beats(2));
+  detector.observe_epoch(at(2), beats(2, {0}));
+  EXPECT_EQ(detector.state(0), NodeLiveness::kSuspect);
+  detector.observe_epoch(at(3), beats(2, {0}));
+  EXPECT_EQ(detector.state(0), NodeLiveness::kDead);
+}
+
+}  // namespace
+}  // namespace envmon

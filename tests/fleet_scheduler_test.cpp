@@ -1,0 +1,202 @@
+// ShardScheduler contract tests: every (shard, epoch) advances exactly
+// once under exclusive ownership, epochs merge strictly in order, the
+// skew window bounds how far any shard runs ahead, and a slow shard's
+// work is stolen by whichever worker is free.  The steal path is forced
+// deterministically here (an injected slow shard), because a real fleet
+// on a quiet machine may never need to steal.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fleet/scheduler.hpp"
+
+namespace envmon {
+namespace {
+
+using fleet::ShardScheduler;
+
+TEST(ShardScheduler, CompletesEveryEpochInOrderExactlyOnce) {
+  ShardScheduler::Options options;
+  options.shards = 6;
+  options.workers = 3;
+  options.epochs = 12;
+  options.window = 4;
+
+  std::mutex mutex;
+  std::vector<std::uint64_t> completed;
+  std::vector<std::vector<std::uint64_t>> advanced(6);
+  ShardScheduler::Callbacks callbacks;
+  callbacks.advance = [&](int shard, std::uint64_t epoch) {
+    const std::scoped_lock lock(mutex);
+    advanced[static_cast<std::size_t>(shard)].push_back(epoch);
+    return Status::ok();
+  };
+  callbacks.complete = [&](std::uint64_t epoch) {
+    const std::scoped_lock lock(mutex);
+    completed.push_back(epoch);
+    return Status::ok();
+  };
+
+  ShardScheduler scheduler(options, std::move(callbacks));
+  ASSERT_TRUE(scheduler.run().is_ok());
+
+  // complete(E) ran exactly once per epoch, in strictly increasing order.
+  ASSERT_EQ(completed.size(), 12u);
+  for (std::size_t i = 0; i < completed.size(); ++i) EXPECT_EQ(completed[i], i + 1);
+  // Every shard advanced through every epoch, in order.
+  for (const auto& epochs : advanced) {
+    ASSERT_EQ(epochs.size(), 12u);
+    for (std::size_t i = 0; i < epochs.size(); ++i) EXPECT_EQ(epochs[i], i + 1);
+  }
+  EXPECT_EQ(scheduler.stats().epochs_completed, 12u);
+}
+
+TEST(ShardScheduler, SlowShardIsStolenFromItsHomeWorker) {
+  // Worker 0's home block is shards {0, 1}; shard 0 is artificially slow.
+  // Worker 1 races through its own block and must pick up shard 1 (a
+  // steal) while worker 0 is still parked inside shard 0's advance.
+  ShardScheduler::Options options;
+  options.shards = 4;
+  options.workers = 2;
+  options.epochs = 6;
+  options.window = 2;
+
+  std::atomic<int> stolen_shard_advances{0};
+  ShardScheduler::Callbacks callbacks;
+  callbacks.advance = [&](int shard, std::uint64_t) {
+    if (shard == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    } else if (shard == 1) {
+      stolen_shard_advances.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::ok();
+  };
+  callbacks.complete = [&](std::uint64_t) { return Status::ok(); };
+
+  ShardScheduler scheduler(options, std::move(callbacks));
+  EXPECT_EQ(scheduler.home_worker(0), 0);
+  EXPECT_EQ(scheduler.home_worker(1), 0);
+  EXPECT_EQ(scheduler.home_worker(2), 1);
+  EXPECT_EQ(scheduler.home_worker(3), 1);
+  ASSERT_TRUE(scheduler.run().is_ok());
+
+  EXPECT_EQ(stolen_shard_advances.load(), 6);
+  EXPECT_GT(scheduler.stats().steals, 0u);
+  EXPECT_EQ(scheduler.stats().epochs_completed, 6u);
+}
+
+TEST(ShardScheduler, ShardOwnershipIsExclusiveAndWindowBounded) {
+  ShardScheduler::Options options;
+  options.shards = 8;
+  options.workers = 4;
+  options.epochs = 16;
+  options.window = 2;
+
+  std::vector<std::atomic<int>> in_flight(8);
+  std::atomic<std::uint64_t> merged{0};
+  std::atomic<bool> overlapped{false};
+  std::atomic<bool> window_violated{false};
+  ShardScheduler::Callbacks callbacks;
+  callbacks.advance = [&](int shard, std::uint64_t epoch) {
+    if (in_flight[static_cast<std::size_t>(shard)].fetch_add(1) != 0) overlapped.store(true);
+    // The claim rule admits epoch <= completed + window, and completed
+    // only grows afterwards.
+    if (epoch > merged.load() + options.window) window_violated.store(true);
+    std::this_thread::yield();
+    in_flight[static_cast<std::size_t>(shard)].fetch_sub(1);
+    return Status::ok();
+  };
+  callbacks.complete = [&](std::uint64_t epoch) {
+    merged.store(epoch);
+    return Status::ok();
+  };
+
+  ShardScheduler scheduler(options, std::move(callbacks));
+  ASSERT_TRUE(scheduler.run().is_ok());
+  EXPECT_FALSE(overlapped.load()) << "two workers owned one shard at once";
+  EXPECT_FALSE(window_violated.load()) << "a shard ran past the epoch-skew window";
+  EXPECT_EQ(merged.load(), 16u);
+}
+
+TEST(ShardScheduler, SingleWorkerNeverSteals) {
+  ShardScheduler::Options options;
+  options.shards = 3;
+  options.workers = 1;
+  options.epochs = 5;
+  options.window = 4;
+
+  ShardScheduler::Callbacks callbacks;
+  callbacks.advance = [](int, std::uint64_t) { return Status::ok(); };
+  callbacks.complete = [](std::uint64_t) { return Status::ok(); };
+  ShardScheduler scheduler(options, std::move(callbacks));
+  ASSERT_TRUE(scheduler.run().is_ok());
+  EXPECT_EQ(scheduler.stats().steals, 0u);
+  EXPECT_EQ(scheduler.stats().epochs_completed, 5u);
+}
+
+TEST(ShardScheduler, AdvanceErrorAbortsTheRun) {
+  ShardScheduler::Options options;
+  options.shards = 4;
+  options.workers = 2;
+  options.epochs = 10;
+  options.window = 4;
+
+  ShardScheduler::Callbacks callbacks;
+  callbacks.advance = [&](int shard, std::uint64_t epoch) {
+    if (shard == 2 && epoch == 3) {
+      return Status(StatusCode::kInternal, "substrate exploded");
+    }
+    return Status::ok();
+  };
+  callbacks.complete = [](std::uint64_t) { return Status::ok(); };
+  ShardScheduler scheduler(options, std::move(callbacks));
+  const Status status = scheduler.run();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_LT(scheduler.stats().epochs_completed, 10u);
+}
+
+TEST(ShardScheduler, CompleteErrorAbortsTheRun) {
+  ShardScheduler::Options options;
+  options.shards = 2;
+  options.workers = 2;
+  options.epochs = 8;
+  options.window = 4;
+
+  ShardScheduler::Callbacks callbacks;
+  callbacks.advance = [](int, std::uint64_t) { return Status::ok(); };
+  callbacks.complete = [](std::uint64_t epoch) {
+    return epoch == 4 ? Status(StatusCode::kUnavailable, "ingest gone") : Status::ok();
+  };
+  ShardScheduler scheduler(options, std::move(callbacks));
+  EXPECT_EQ(scheduler.run().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(scheduler.stats().epochs_completed, 3u);
+}
+
+TEST(ShardScheduler, FinalizeRunsOncePerShard) {
+  ShardScheduler::Options options;
+  options.shards = 5;
+  options.workers = 2;
+  options.epochs = 3;
+  options.window = 2;
+
+  std::vector<std::atomic<int>> finalized(5);
+  ShardScheduler::Callbacks callbacks;
+  callbacks.advance = [](int, std::uint64_t) { return Status::ok(); };
+  callbacks.complete = [](std::uint64_t) { return Status::ok(); };
+  callbacks.finalize = [&](int shard) {
+    finalized[static_cast<std::size_t>(shard)].fetch_add(1);
+    return Status::ok();
+  };
+  ShardScheduler scheduler(options, std::move(callbacks));
+  ASSERT_TRUE(scheduler.run().is_ok());
+  for (const auto& count : finalized) EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace envmon

@@ -142,6 +142,94 @@ TEST(Fleet, FaultStormIsDeterministicUnderEightThreads) {
   EXPECT_EQ(two.report.gap_markers, eight.report.gap_markers);
 }
 
+// FNV-1a over the whole output: cheap to compare across runs without
+// holding three copies of a multi-thousand-node fleet's files.
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+TEST(Fleet, LargeFleetIsByteIdenticalAcrossThreadCounts) {
+  // The 100k-scale oracle at test size: >= 4096 nodes under the PR-3
+  // fault storm, work-stealing scheduler with real epoch skew, node
+  // files + database digests byte-identical at 1, 2, and 8 threads.
+  auto storm = [](fault::Injector& injector, int node) {
+    if (node % 3 == 0) {
+      injector.kill_at(fault::sites::kRaplMsr, SimTime::from_seconds(1));
+    }
+    if (node % 4 == 0) {
+      injector.fail_between(fault::sites::kEmon, SimTime::from_seconds(1),
+                            SimTime::from_seconds(2), StatusCode::kUnavailable,
+                            "emon generation stalled");
+    }
+  };
+  auto config_for = [&](int threads) {
+    FleetConfig config;
+    config.nodes = 4096;
+    config.threads = threads;
+    config.capabilities = {moneq::Capability::kBgqEmon, moneq::Capability::kRaplMsr};
+    config.epoch = Duration::seconds(1);
+    config.horizon = Duration::seconds(3);
+    config.polling_interval = Duration::millis(500);
+    config.seed = 0xfee7f1ee7ull;
+    config.ingest = fleet::IngestMode::kNodePower;
+    config.database.max_insert_rate_per_second = 1u << 20;
+    config.fault_script = storm;
+    return config;
+  };
+
+  std::uint64_t file_digest = 0;
+  std::uint64_t db_digest = 0;
+  fleet::FleetReport baseline;
+  for (const int threads : {1, 2, 8}) {
+    const RunOutput out = run_fleet(config_for(threads));
+    EXPECT_EQ(out.report.threads, threads);
+    if (threads == 1) {
+      EXPECT_EQ(out.report.shards, 1);
+      file_digest = fnv1a(out.files);
+      db_digest = fnv1a(out.db_csv);
+      baseline = out.report;
+      EXPECT_GT(baseline.degraded_polls, 0u);
+      EXPECT_GT(baseline.gap_markers, 0u);
+      continue;
+    }
+    // Multi-thread runs over-partition so idle workers can steal.
+    EXPECT_GT(out.report.shards, threads);
+    EXPECT_EQ(fnv1a(out.files), file_digest) << threads << " threads: node files diverged";
+    EXPECT_EQ(fnv1a(out.db_csv), db_digest) << threads << " threads: database diverged";
+    EXPECT_EQ(out.report.samples, baseline.samples);
+    EXPECT_EQ(out.report.degraded_polls, baseline.degraded_polls);
+    EXPECT_EQ(out.report.gap_markers, baseline.gap_markers);
+    EXPECT_EQ(out.report.liveness_transitions, baseline.liveness_transitions);
+    EXPECT_EQ(out.report.nodes_alive, baseline.nodes_alive);
+  }
+  // The storm quarantines backends, never whole nodes: each node keeps a
+  // live backend, so the detector holds the entire fleet Alive.
+  EXPECT_EQ(baseline.nodes_alive, 4096);
+  EXPECT_EQ(baseline.nodes_dead, 0);
+  EXPECT_EQ(baseline.liveness_transitions, 4096u);
+}
+
+TEST(Fleet, ReportCarriesSchedulerAndMemoryAccounting) {
+  FleetConfig config = small_fleet();
+  config.threads = 4;
+  config.shards = 8;
+  config.epoch_window = 2;
+  const RunOutput out = run_fleet(std::move(config));
+  EXPECT_EQ(out.report.shards, 8);
+  EXPECT_EQ(out.report.nodes_alive, 12);
+  EXPECT_EQ(out.report.liveness_transitions, 12u);
+  // Linux hosts report RSS; the per-node share derives from it.
+  if (out.report.rss_bytes > 0) {
+    EXPECT_GE(out.report.peak_rss_bytes, out.report.rss_bytes);
+    EXPECT_GT(out.report.bytes_per_node, 0.0);
+  }
+}
+
 TEST(Fleet, IngestQueueBackpressureBlocksProducer) {
   fleet::IngestQueue queue(1);
   ASSERT_TRUE(queue.push({.epoch = 0, .nodes = {}, .rows = 0}));
@@ -226,8 +314,9 @@ TEST(Fleet, FactoryRejectsMissingSubstrate) {
 }
 
 TEST(Fleet, ApiVersionIsV2) {
-  EXPECT_EQ(fleet::api_version_string(), "envmon.fleet/v2.0");
+  EXPECT_EQ(fleet::api_version_string(), "envmon.fleet/v2.1");
   EXPECT_EQ(fleet::kApiVersionMajor, 2);
+  EXPECT_EQ(fleet::kApiVersionMinor, 1);
 }
 
 }  // namespace
