@@ -6,10 +6,13 @@
 #   2. the 4096-node fleet bench smoke: determinism across 1/2/8
 #      workers, throughput, per-node memory, and telemetry self-overhead
 #      gates on the work-stealing scheduler (exit code is the gate);
-#   3. ASan+UBSan build of the obs + fleet labels (the suites that
-#      exercise the telemetry rollup, flight recorders, and the ingest
-#      path end-to-end);
-#   4. TSan build of the same labels — the fleet suite's 8-worker
+#   3. crash-recovery smoke: the durability bench writer is SIGKILLed
+#      mid-ingest and the store must reopen with a byte-identical
+#      prefix of the deterministic stream (DESIGN.md §13's gate);
+#   4. ASan+UBSan build of the obs + fleet + persist labels (the suites
+#      that exercise the telemetry rollup, flight recorders, the ingest
+#      path, and the durable storage layer end-to-end);
+#   5. TSan build of the same labels — the fleet suite's 8-worker
 #      byte-equality and forced-steal tests double as its data-race
 #      workload.
 #
@@ -20,7 +23,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-SANITIZED_LABELS='obs|fleet'
+SANITIZED_LABELS='obs|fleet|persist'
 
 run_suite() {
   local dir="$1"; shift
@@ -36,6 +39,16 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 echo "== fleet bench smoke: 4096 nodes, 1/2/8 workers =="
 ./build/bench/fleet_scale --smoke
+
+echo "== crash-recovery smoke: kill -9 mid-ingest, reopen, verify digest =="
+CRASH_DIR="$(mktemp -d)"
+trap 'rm -rf "${CRASH_DIR}"' EXIT
+./build/bench/durability --writer "${CRASH_DIR}" &
+WRITER_PID=$!
+sleep 2
+kill -9 "${WRITER_PID}" 2>/dev/null || true
+wait "${WRITER_PID}" 2>/dev/null || true
+./build/bench/durability --verify "${CRASH_DIR}"
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "OK (tier 1 only)"

@@ -161,6 +161,7 @@ class IngestWorker {
     std::size_t rejected_rate_limited = 0;
     std::size_t rejected_unavailable = 0;
     std::size_t blocks_sealed = 0;  // epoch-boundary seals this worker requested
+    std::uint64_t flushes = 0;      // durable flushes at epoch-seal boundaries
   };
   // Safe to read after run() returns (or the running thread is joined).
   [[nodiscard]] const Stats& stats() const { return stats_; }

@@ -1,8 +1,15 @@
 #include "tsdb/block.hpp"
 
 #include <cmath>
+#include <cstring>
+
+#include "tsdb/wire.hpp"
 
 namespace envmon::tsdb {
+
+namespace {
+constexpr std::uint8_t kExtentFlagCompressed = 0x01;
+}
 
 Block Block::seal(std::span<const std::int64_t> ts, std::span<const double> values,
                   std::span<const std::uint64_t> seq, bool compress) {
@@ -125,6 +132,90 @@ void Block::decode_subchunk_values(std::size_t chunk, double* out) const {
   reader.seek(value_chunk_offsets_[chunk]);
   XorDecoder decoder;
   for (std::size_t i = 0; i < count; ++i) out[i] = decoder.next(reader);
+}
+
+void Block::encode_extent(std::vector<std::uint8_t>& out) const {
+  wire::Writer w;
+  w.u8(compressed_ ? kExtentFlagCompressed : 0);
+  w.u32(summary_.rows);
+  w.u32(summary_.finite_rows);
+  w.i64(summary_.ts_min);
+  w.i64(summary_.ts_max);
+  w.f64(summary_.value_min);
+  w.f64(summary_.value_max);
+  w.f64(summary_.value_sum);
+  w.f64(summary_.value_sum_sq);
+  w.u32(static_cast<std::uint32_t>(subchunk_sums_.size()));
+  for (const double s : subchunk_sums_) w.f64(s);
+  if (compressed_) {
+    w.blob(ts_stream_);
+    w.blob(value_stream_);
+    for (const std::uint32_t off : value_chunk_offsets_) w.u32(off);
+  } else {
+    for (const std::int64_t t : raw_ts_) w.i64(t);
+    for (const double v : raw_values_) w.f64(v);
+  }
+  out = w.take();
+}
+
+void Block::encode_seq_stream(std::vector<std::uint8_t>& out) const {
+  if (compressed_) {
+    out = seq_stream_;
+    return;
+  }
+  wire::Writer w;
+  for (const std::uint64_t q : raw_seq_) w.u64(q);
+  out = w.take();
+}
+
+std::optional<Block> Block::decode_extent(std::span<const std::uint8_t> payload,
+                                          std::span<const std::uint8_t> seq_stream,
+                                          std::uint64_t seq_first, std::uint64_t seq_last) {
+  wire::Reader r(payload);
+  Block block;
+  const std::uint8_t flags = r.u8();
+  block.compressed_ = (flags & kExtentFlagCompressed) != 0;
+  auto& s = block.summary_;
+  s.rows = r.u32();
+  s.finite_rows = r.u32();
+  s.ts_min = r.i64();
+  s.ts_max = r.i64();
+  s.value_min = r.f64();
+  s.value_max = r.f64();
+  s.value_sum = r.f64();
+  s.value_sum_sq = r.f64();
+  s.seq_first = seq_first;
+  s.seq_last = seq_last;
+  if (!r.ok() || s.rows == 0 || s.rows > kMaxRows || s.finite_rows > s.rows ||
+      (flags & ~kExtentFlagCompressed) != 0) {
+    return std::nullopt;
+  }
+  const std::size_t chunks = (s.rows + kSubchunkRows - 1) / kSubchunkRows;
+  if (r.u32() != chunks) return std::nullopt;
+  block.subchunk_sums_.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) block.subchunk_sums_.push_back(r.f64());
+  if (block.compressed_) {
+    const auto ts = r.blob();
+    const auto values = r.blob();
+    block.ts_stream_.assign(ts.begin(), ts.end());
+    block.value_stream_.assign(values.begin(), values.end());
+    block.value_chunk_offsets_.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) block.value_chunk_offsets_.push_back(r.u32());
+    block.seq_stream_.assign(seq_stream.begin(), seq_stream.end());
+  } else {
+    block.raw_ts_.reserve(s.rows);
+    for (std::uint32_t i = 0; i < s.rows; ++i) block.raw_ts_.push_back(r.i64());
+    block.raw_values_.reserve(s.rows);
+    for (std::uint32_t i = 0; i < s.rows; ++i) block.raw_values_.push_back(r.f64());
+    if (seq_stream.size() != static_cast<std::size_t>(s.rows) * sizeof(std::uint64_t)) {
+      return std::nullopt;
+    }
+    wire::Reader sq(seq_stream);
+    block.raw_seq_.reserve(s.rows);
+    for (std::uint32_t i = 0; i < s.rows; ++i) block.raw_seq_.push_back(sq.u64());
+  }
+  if (!r.done()) return std::nullopt;
+  return block;
 }
 
 std::size_t Block::bytes_used() const {

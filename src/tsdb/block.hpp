@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -83,6 +84,27 @@ class Block {
 
   // Heap bytes held (streams or raw columns, offsets, subchunk sums).
   [[nodiscard]] std::size_t bytes_used() const;
+
+  // --- Durable storage serialization (DESIGN.md §13) ---
+  //
+  // A block's on-disk extent payload is everything EXCEPT the seq
+  // column: flags, row counts, the value-derived summary fields,
+  // subchunk sums, and the ts/value streams.  Two blocks holding the
+  // same timestamps and values therefore serialize to identical bytes
+  // and share one content-addressed extent — seq (the global insertion
+  // number, unique per block instance) travels as a small per-reference
+  // sidecar stream next to the reference instead.
+  void encode_extent(std::vector<std::uint8_t>& out) const;
+  // The seq column sidecar (delta-of-delta stream when compressed, raw
+  // little-endian u64s otherwise, matching the block's own mode).
+  void encode_seq_stream(std::vector<std::uint8_t>& out) const;
+  // Rebuilds a block from an extent payload plus its reference's seq
+  // sidecar.  Bounds-checked and total: malformed input yields nullopt,
+  // never out-of-bounds reads.  seq_first/seq_last restore the summary
+  // fields the extent deliberately omits.
+  [[nodiscard]] static std::optional<Block> decode_extent(
+      std::span<const std::uint8_t> payload, std::span<const std::uint8_t> seq_stream,
+      std::uint64_t seq_first, std::uint64_t seq_last);
 
  private:
   BlockSummary summary_;

@@ -1,9 +1,14 @@
 #include "tsdb/database.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <thread>
 
 namespace envmon::tsdb {
@@ -28,6 +33,27 @@ struct DecodeScratch {
   std::vector<double> values;
   std::vector<std::uint64_t> seq;
 };
+
+std::string wal_path(const std::string& dir, std::uint32_t number) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%06u.log", number);
+  return dir + "/" + name;
+}
+
+// Best-effort directory fsync (rename/unlink durability).
+void sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+// Sanity ceilings for checkpoint decoding: a corrupt count must fail
+// fast, not drive a multi-gigabyte allocation.
+constexpr std::uint32_t kMaxCheckpointMetrics = 1u << 20;
+constexpr std::uint32_t kMaxCheckpointSeries = 1u << 24;
+constexpr std::uint32_t kMaxCheckpointBlocks = 1u << 24;
+constexpr std::uint32_t kMaxCheckpointWindow = 1u << 27;
 
 }  // namespace
 
@@ -66,6 +92,28 @@ EnvDatabase::EnvDatabase(DatabaseOptions options) : options_(options) {
     bytes_per_record_gauge_ =
         &registry.gauge("envmon_tsdb_bytes_per_record",
                         "Heap bytes per live record in the environmental database");
+    wal_bytes_metric_ = &registry.counter(
+        "envmon_tsdb_wal_bytes_total",
+        "Bytes appended to the write-ahead log (frames and checkpoints)");
+    dedup_metric_ = &registry.counter(
+        "envmon_tsdb_dedup_blocks_total",
+        "Sealed blocks whose payload deduplicated to an existing on-disk extent");
+    cold_loads_metric_ = &registry.counter(
+        "envmon_tsdb_cold_block_loads_total",
+        "Evicted sealed blocks re-materialized from their mapped extents");
+    quarantined_metric_ = &registry.counter(
+        "envmon_tsdb_quarantined_blocks_total",
+        "Sealed blocks quarantined by a checksum or decode failure");
+    evicted_metric_ = &registry.counter(
+        "envmon_tsdb_evicted_blocks_total",
+        "Durable sealed blocks evicted from memory by the resident-bytes bound");
+    segments_open_gauge_ = &registry.gauge(
+        "envmon_tsdb_segments_open", "Live segment files in the durable block store");
+    disk_bytes_gauge_ = &registry.gauge(
+        "envmon_tsdb_disk_bytes", "Bytes held by segment files on disk");
+    recovery_seconds_gauge_ = &registry.gauge(
+        "envmon_tsdb_recovery_seconds",
+        "Wall-clock seconds the last open() spent recovering durable state");
   }
 }
 
@@ -84,7 +132,13 @@ bool EnvDatabase::over_ingest_rate(sim::SimTime now) {
 
 void EnvDatabase::note_accept(const Record& record, std::uint32_t sid) {
   const std::int64_t ts = record.timestamp.ns();
-  if (series_[sid].append(ts, record.value, next_seq_++)) note_seal(1);
+  // The WAL buffers the record before the append so a seal triggered by
+  // this very row finds its insert frame already ahead of the seal frame.
+  if (durable_ != nullptr) dlog_insert(record, series_[sid].metric());
+  if (series_[sid].append(ts, record.value, next_seq_++)) {
+    note_seal(1);
+    if (durable_ != nullptr) dlog_seal(sid);
+  }
   // Self-telemetry rows never consume ingest-rate budget (reserved
   // namespace, database.hpp).
   if (options_.max_insert_rate_per_second > 0.0 && !is_self_metric(record.metric)) {
@@ -100,14 +154,19 @@ void EnvDatabase::note_accept(const Record& record, std::uint32_t sid) {
   }
 }
 
-void EnvDatabase::append_row(const Record& record, MetricId metric) {
-  std::uint32_t& sid = index_.slot(record.location, metric);
-  if (sid == ShardIndex::kNoSeries) {
-    sid = static_cast<std::uint32_t>(series_.size());
-    series_.emplace_back(record.location, metric, options_.compress_blocks);
+std::uint32_t EnvDatabase::ensure_series(const Location& location, MetricId metric) {
+  std::uint32_t& slot = index_.slot(location, metric);
+  if (slot == ShardIndex::kNoSeries) {
+    slot = static_cast<std::uint32_t>(series_.size());
+    series_.emplace_back(location, metric, options_.compress_blocks);
+    if (durable_ != nullptr) series_.back().attach_store(&durable_->store);
     if (series_gauge_ != nullptr) series_gauge_->set(static_cast<double>(series_.size()));
   }
-  note_accept(record, sid);
+  return slot;
+}
+
+void EnvDatabase::append_row(const Record& record, MetricId metric) {
+  note_accept(record, ensure_series(record.location, metric));
 }
 
 Status EnvDatabase::insert(const Record& record) {
@@ -134,6 +193,7 @@ Status EnvDatabase::insert(const Record& record) {
   append_row(record, metrics_.intern(record.metric));
   if (inserts_metric_ != nullptr) inserts_metric_->inc();
   if (options_.retention) vacuum();
+  after_durable_write();
   return Status::ok();
 }
 
@@ -186,15 +246,7 @@ EnvDatabase::BatchResult EnvDatabase::insert_batch(std::span<const Record> recor
         run_metric = metrics_.intern(record.metric);
         run_metric_known = true;
       }
-      std::uint32_t& slot = index_.slot(record.location, run_metric);
-      if (slot == ShardIndex::kNoSeries) {
-        slot = static_cast<std::uint32_t>(series_.size());
-        series_.emplace_back(record.location, run_metric, options_.compress_blocks);
-        if (series_gauge_ != nullptr) {
-          series_gauge_->set(static_cast<double>(series_.size()));
-        }
-      }
-      run_sid = slot;
+      run_sid = ensure_series(record.location, run_metric);
       series_[run_sid].reserve_head(run_end - i);
     }
     note_accept(record, run_sid);
@@ -210,18 +262,23 @@ EnvDatabase::BatchResult EnvDatabase::insert_batch(std::span<const Record> recor
   // Retention runs once per batch, not once per record; the end state is
   // the same because the cutoff depends only on the newest record.
   if (options_.retention && result.accepted > 0) vacuum();
+  after_durable_write();
   update_footprint_metrics();
   return result;
 }
 
 std::size_t EnvDatabase::seal_blocks(std::size_t min_rows) {
   std::size_t sealed = 0;
-  for (Series& s : series_) {
-    if (s.seal_head(min_rows)) ++sealed;
+  for (std::uint32_t sid = 0; sid < series_.size(); ++sid) {
+    if (series_[sid].seal_head(min_rows)) {
+      ++sealed;
+      if (durable_ != nullptr) dlog_seal(sid);
+    }
   }
   // No generation bump: sealing preserves rows, ordering, and the
   // subchunk aggregation grid, so cached downsample results stay valid.
   if (sealed > 0) note_seal(sealed);
+  after_durable_write();
   update_footprint_metrics();
   return sealed;
 }
@@ -250,10 +307,11 @@ void EnvDatabase::collect_parts(std::span<const std::uint32_t> sids,
   for (const std::uint32_t sid : sids) {
     const Series& s = series_[sid];
     for (std::size_t b = 0; b < s.block_count(); ++b) {
-      const BlockSummary& sum = s.block(b).summary();
+      if (s.block_quarantined(b)) continue;  // corrupt extent: rows are gone
+      const BlockSummary& sum = s.block_summary(b);
       if (from_ns && sum.ts_max < *from_ns) continue;
       if (to_ns && sum.ts_min > *to_ns) break;  // blocks are time-ordered
-      parts.push_back(ScanPart{sid, static_cast<std::int32_t>(b), s.block(b).rows()});
+      parts.push_back(ScanPart{sid, static_cast<std::int32_t>(b), sum.rows});
     }
     const Series::RowRange r = s.head_range(from_ns, to_ns);
     if (r.size() > 0) parts.push_back(ScanPart{sid, -1, r.size()});
@@ -310,7 +368,9 @@ std::vector<Record> EnvDatabase::query(const QueryFilter& filter) const {
       }
       return;
     }
-    const Block& b = s.block(static_cast<std::size_t>(part.block));
+    const Block* bp = s.block(static_cast<std::size_t>(part.block));
+    if (bp == nullptr) return;  // quarantined at materialization: skip
+    const Block& b = *bp;
     b.decode_timestamps(scratch.ts);
     std::size_t a = 0;
     std::size_t e = scratch.ts.size();
@@ -495,10 +555,12 @@ std::vector<EnvDatabase::Bucket> EnvDatabase::downsample(const QueryFilter& filt
   for (const std::uint32_t sid : sids) {
     const Series& s = series_[sid];
     for (std::size_t b = 0; b < s.block_count(); ++b) {
-      const Block& block = s.block(b);
-      const BlockSummary& sum = block.summary();
+      const BlockSummary& sum = s.block_summary(b);
       if (from_ns && sum.ts_max < *from_ns) continue;
       if (to_ns && sum.ts_min > *to_ns) break;
+      const Block* bp = s.block(b);
+      if (bp == nullptr) continue;  // quarantined: rows are gone
+      const Block& block = *bp;
       block.decode_timestamps(ts_scratch);
       std::size_t a = 0;
       std::size_t e = ts_scratch.size();
@@ -618,10 +680,12 @@ EnvDatabase::Aggregate EnvDatabase::aggregate(const QueryFilter& filter) const {
   for (const std::uint32_t sid : sids) {
     const Series& s = series_[sid];
     for (std::size_t b = 0; b < s.block_count(); ++b) {
-      const Block& block = s.block(b);
-      const BlockSummary& sum = block.summary();
+      if (s.block_quarantined(b)) continue;  // corrupt extent: rows are gone
+      const BlockSummary& sum = s.block_summary(b);
       if (from_ns && sum.ts_max < *from_ns) continue;
       if (to_ns && sum.ts_min > *to_ns) break;
+      // A fully covered block is served from its summary without ever
+      // materializing it — evicted blocks aggregate without disk reads.
       const bool covered = (!from_ns || *from_ns <= sum.ts_min) &&
                            (!to_ns || sum.ts_max <= *to_ns);
       if (covered && options_.aggregation_pushdown) {
@@ -637,6 +701,9 @@ EnvDatabase::Aggregate EnvDatabase::aggregate(const QueryFilter& filter) const {
         ++pushdown_chunks;
         continue;
       }
+      const Block* bp = s.block(b);
+      if (bp == nullptr) continue;  // quarantined at materialization: skip
+      const Block& block = *bp;
       block.decode_timestamps(ts_scratch);
       std::size_t a = 0;
       std::size_t e = ts_scratch.size();
@@ -673,10 +740,15 @@ void EnvDatabase::vacuum() {
   if (!options_.retention || total_rows_ == 0) return;
   const std::int64_t cutoff = last_ts_ns_ - options_.retention->ns();
   if (cutoff <= oldest_ts_ns_) return;  // nothing old enough to drop
+  const std::size_t dropped = apply_retention_cutoff(cutoff);
+  if (dropped > 0 && durable_ != nullptr && !replaying_) dlog_vacuum(cutoff);
+}
+
+std::size_t EnvDatabase::apply_retention_cutoff(std::int64_t cutoff_ns) {
   std::size_t dropped = 0;
   std::int64_t oldest = last_ts_ns_;
   for (Series& s : series_) {
-    dropped += s.drop_before(cutoff);
+    dropped += s.drop_before(cutoff_ns);
     if (!s.empty()) oldest = std::min(oldest, s.front_ts_ns());
   }
   oldest_ts_ns_ = oldest;
@@ -687,6 +759,7 @@ void EnvDatabase::vacuum() {
     // clears the cache).
     ++generation_;
   }
+  return dropped;
 }
 
 std::size_t EnvDatabase::sealed_block_count() const {
@@ -715,6 +788,632 @@ void EnvDatabase::update_footprint_metrics() {
     bytes_per_record_gauge_->set(
         total_rows_ == 0 ? 0.0 : bytes / static_cast<double>(total_rows_));
   }
+}
+
+// --- Durable storage (DESIGN.md §13) ---
+
+Status EnvDatabase::open(const std::string& dir) {
+  if (durable_ != nullptr) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "database already has a directory attached");
+  }
+  if (total_rows_ != 0 || !series_.empty()) {
+    return Status(StatusCode::kFailedPrecondition, "open() requires an empty database");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status(StatusCode::kInternal,
+                  "cannot create database directory: " + ec.message());
+  }
+  auto durable = std::make_unique<Durable>();
+  durable->dir = dir;
+  durable->store.attach_metrics(dedup_metric_, cold_loads_metric_, quarantined_metric_);
+  BlockStore::Options store_options;
+  store_options.rotate_bytes = options_.durability.segment_rotate_bytes;
+  Status s = durable->store.open(dir, store_options);
+  if (!s.is_ok()) return s;
+  durable_ = std::move(durable);
+  RecoveryInfo info;
+  replaying_ = true;
+  s = recover(info);
+  replaying_ = false;
+  if (!s.is_ok()) {
+    durable_.reset();
+    reset_state();
+    return s;
+  }
+  // A head that reached the block size but lost its seal record to the
+  // crash seals now — its payload usually dedups against the orphan
+  // extent the crashed run already wrote — and logs into the resumed
+  // WAL.  Then extents no surviving record references are collected.
+  seal_blocks(Block::kMaxRows);
+  durable_->store.gc_dead_segments();
+  info.rows_recovered = total_rows_;
+  info.blocks_recovered = sealed_block_count();
+  info.recovery_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  recovery_ = info;
+  if (recovery_seconds_gauge_ != nullptr) {
+    recovery_seconds_gauge_->set(info.recovery_seconds);
+  }
+  update_durable_metrics();
+  update_footprint_metrics();
+  return Status::ok();
+}
+
+Status EnvDatabase::flush() {
+  if (durable_ == nullptr) {
+    return Status(StatusCode::kFailedPrecondition, "database is not durable");
+  }
+  dlog_flush_inserts();
+  return sync_durable();
+}
+
+Status EnvDatabase::close() {
+  if (durable_ == nullptr) return Status::ok();
+  const Status checkpointed = write_checkpoint_wal();
+  const Status wal_closed = durable_->wal.close();
+  const Status store_closed = durable_->store.close();
+  durable_.reset();
+  if (!checkpointed.is_ok()) return checkpointed;
+  if (!wal_closed.is_ok()) return wal_closed;
+  return store_closed;
+}
+
+EnvDatabase::DurableStats EnvDatabase::durable_stats() const {
+  DurableStats out;
+  if (durable_ == nullptr) return out;
+  const BlockStore::Stats& st = durable_->store.stats();
+  out.wal_bytes = durable_->wal.bytes_written();
+  out.wal_frames = durable_->wal.frames_written();
+  out.segments_open = durable_->store.segment_count();
+  out.extents_appended = st.extents_appended;
+  out.dedup_hits = st.dedup_hits;
+  out.cold_loads = st.loads;
+  out.quarantined = st.load_failures;
+  out.segments_deleted = st.segments_deleted;
+  out.evicted_blocks = durable_->evicted_blocks;
+  out.disk_bytes = durable_->store.disk_bytes();
+  for (const Series& s : series_) out.resident_sealed_bytes += s.resident_sealed_bytes();
+  return out;
+}
+
+std::size_t EnvDatabase::evict_sealed_blocks(std::size_t target_bytes) {
+  if (durable_ == nullptr) return 0;
+  struct Candidate {
+    std::uint64_t seq_first = 0;
+    std::uint32_t sid = 0;
+    std::uint32_t block = 0;
+  };
+  std::size_t resident = 0;
+  std::vector<Candidate> candidates;
+  for (std::uint32_t sid = 0; sid < series_.size(); ++sid) {
+    const Series& s = series_[sid];
+    for (std::size_t b = 0; b < s.block_count(); ++b) {
+      if (!s.block_resident(b)) continue;
+      resident += s.block(b)->bytes_used();
+      if (s.block_ref(b) != nullptr && !s.block_quarantined(b)) {
+        candidates.push_back(Candidate{s.block_summary(b).seq_first, sid,
+                                       static_cast<std::uint32_t>(b)});
+      }
+    }
+  }
+  if (resident <= target_bytes) return 0;
+  // Deterministic order: oldest insertion first, across all series.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.seq_first < b.seq_first; });
+  std::size_t evicted = 0;
+  for (const Candidate& c : candidates) {
+    if (resident <= target_bytes) break;
+    const std::size_t freed = series_[c.sid].evict_block(c.block);
+    if (freed == 0) continue;
+    resident -= freed < resident ? freed : resident;
+    ++evicted;
+  }
+  if (evicted > 0) {
+    durable_->evicted_blocks += evicted;
+    if (evicted_metric_ != nullptr) evicted_metric_->inc(evicted);
+  }
+  return evicted;
+}
+
+void EnvDatabase::maybe_evict() {
+  if (durable_ != nullptr && options_.durability.max_resident_sealed_bytes > 0) {
+    evict_sealed_blocks(options_.durability.max_resident_sealed_bytes);
+  }
+}
+
+void EnvDatabase::update_durable_metrics() {
+  if (durable_ == nullptr) return;
+  if (segments_open_gauge_ != nullptr) {
+    segments_open_gauge_->set(static_cast<double>(durable_->store.segment_count()));
+  }
+  if (disk_bytes_gauge_ != nullptr) {
+    disk_bytes_gauge_->set(static_cast<double>(durable_->store.disk_bytes()));
+  }
+}
+
+void EnvDatabase::dlog_frame(WalRecordType type, std::span<const std::uint8_t> payload) {
+  Durable& d = *durable_;
+  const std::uint64_t before = d.wal.bytes_written();
+  // A failed write surfaces at the next sync(); the frame simply never
+  // becomes part of the clean prefix.
+  (void)d.wal.append(type, payload);
+  if (wal_bytes_metric_ != nullptr) {
+    wal_bytes_metric_->inc(d.wal.bytes_written() - before);
+  }
+}
+
+void EnvDatabase::dlog_insert(const Record& record, MetricId metric) {
+  Durable& d = *durable_;
+  // Every id not yet defined in this WAL gets its def frame first.
+  while (d.metrics_logged < metrics_.size()) {
+    const auto id = static_cast<MetricId>(d.metrics_logged);
+    wire::Writer w;
+    w.u32(id);
+    w.str(metrics_.name(id));
+    dlog_frame(WalRecordType::kMetricDef, w.span());
+    ++d.metrics_logged;
+  }
+  d.pending.i64(record.timestamp.ns());
+  d.pending.i32(record.location.rack);
+  d.pending.i32(record.location.midplane);
+  d.pending.i32(record.location.board);
+  d.pending.i32(record.location.card);
+  d.pending.u32(metric);
+  d.pending.f64(record.value);
+  ++d.pending_rows;
+}
+
+void EnvDatabase::dlog_flush_inserts() {
+  Durable& d = *durable_;
+  if (d.pending_rows == 0) return;
+  wire::Writer w;
+  w.u32(static_cast<std::uint32_t>(d.pending_rows));
+  w.bytes(d.pending.span());
+  dlog_frame(WalRecordType::kInsertBatch, w.span());
+  d.pending.clear();
+  d.pending_rows = 0;
+}
+
+void EnvDatabase::dlog_seal(std::uint32_t sid) {
+  // The sealed rows' insert frame must precede the seal frame.
+  dlog_flush_inserts();
+  const Series& s = series_[sid];
+  const std::size_t bi = s.block_count() - 1;
+  const ExtentRef* ref = s.block_ref(bi);
+  // No extent (store I/O failure): the block stays memory-resident and
+  // its rows recover from the WAL as head rows instead.
+  if (ref == nullptr) return;
+  const BlockSummary& sum = s.block_summary(bi);
+  wire::Writer w;
+  w.i32(s.location().rack);
+  w.i32(s.location().midplane);
+  w.i32(s.location().board);
+  w.i32(s.location().card);
+  w.u32(s.metric());
+  w.u32(sum.rows);
+  w.u32(sum.finite_rows);
+  w.i64(sum.ts_min);
+  w.i64(sum.ts_max);
+  w.u64(sum.seq_first);
+  w.u64(sum.seq_last);
+  w.f64(sum.value_min);
+  w.f64(sum.value_max);
+  w.f64(sum.value_sum);
+  w.f64(sum.value_sum_sq);
+  w.u32(ref->segment_id);
+  w.u64(ref->offset);
+  w.u32(ref->length);
+  w.u32(ref->crc);
+  w.u64(ref->hash.hi);
+  w.u64(ref->hash.lo);
+  w.blob(s.block_seq_stream(bi));
+  dlog_frame(WalRecordType::kSeal, w.span());
+  durable_->barrier = true;
+}
+
+void EnvDatabase::dlog_vacuum(std::int64_t cutoff_ns) {
+  dlog_flush_inserts();
+  wire::Writer w;
+  w.i64(cutoff_ns);
+  dlog_frame(WalRecordType::kVacuum, w.span());
+  durable_->barrier = true;
+}
+
+Status EnvDatabase::sync_durable() {
+  // Extents become durable before the WAL records referencing them.
+  const Status store_synced = durable_->store.sync();
+  const Status wal_synced = durable_->wal.sync();
+  return store_synced.is_ok() ? wal_synced : store_synced;
+}
+
+void EnvDatabase::after_durable_write() {
+  if (durable_ == nullptr || replaying_) return;
+  dlog_flush_inserts();
+  Durable& d = *durable_;
+  const FsyncPolicy policy = options_.durability.fsync_policy;
+  if (policy == FsyncPolicy::kAlways ||
+      (policy == FsyncPolicy::kOnSeal && d.barrier)) {
+    (void)sync_durable();
+  }
+  d.barrier = false;
+  if (d.wal.bytes_written() >= options_.durability.wal_rotate_bytes) {
+    (void)write_checkpoint_wal();
+  }
+  maybe_evict();
+  update_durable_metrics();
+}
+
+void EnvDatabase::encode_checkpoint(wire::Writer& w) const {
+  w.u64(next_seq_);
+  w.u8(any_accepted_ ? 1 : 0);
+  w.i64(last_ts_ns_);
+  w.i64(oldest_ts_ns_);
+  w.u64(rejected_);
+  w.u32(static_cast<std::uint32_t>(metrics_.size()));
+  for (MetricId id = 0; id < metrics_.size(); ++id) w.str(metrics_.name(id));
+  w.u32(static_cast<std::uint32_t>(series_.size()));
+  for (const Series& s : series_) {
+    w.i32(s.location().rack);
+    w.i32(s.location().midplane);
+    w.i32(s.location().board);
+    w.i32(s.location().card);
+    w.u32(s.metric());
+    std::uint32_t durable_blocks = 0;
+    for (std::size_t b = 0; b < s.block_count(); ++b) {
+      if (s.block_ref(b) != nullptr) ++durable_blocks;
+    }
+    w.u32(durable_blocks);
+    for (std::size_t b = 0; b < s.block_count(); ++b) {
+      const ExtentRef* ref = s.block_ref(b);
+      if (ref == nullptr) continue;  // store-failure straggler: unrecoverable
+      const BlockSummary& sum = s.block_summary(b);
+      w.u32(sum.rows);
+      w.u32(sum.finite_rows);
+      w.i64(sum.ts_min);
+      w.i64(sum.ts_max);
+      w.u64(sum.seq_first);
+      w.u64(sum.seq_last);
+      w.f64(sum.value_min);
+      w.f64(sum.value_max);
+      w.f64(sum.value_sum);
+      w.f64(sum.value_sum_sq);
+      w.u32(ref->segment_id);
+      w.u64(ref->offset);
+      w.u32(ref->length);
+      w.u32(ref->crc);
+      w.u64(ref->hash.hi);
+      w.u64(ref->hash.lo);
+      w.blob(s.block_seq_stream(b));
+    }
+    w.u32(static_cast<std::uint32_t>(s.head_rows()));
+    for (std::size_t i = 0; i < s.head_rows(); ++i) {
+      w.i64(s.head_ts()[i]);
+      w.f64(s.head_values()[i]);
+      w.u64(s.head_seq()[i]);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(rate_window_.size()));
+  for (const std::int64_t t : rate_window_) w.i64(t);
+}
+
+bool EnvDatabase::decode_checkpoint(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  next_seq_ = r.u64();
+  any_accepted_ = r.u8() != 0;
+  last_ts_ns_ = r.i64();
+  oldest_ts_ns_ = r.i64();
+  rejected_ = r.u64();
+  const std::uint32_t nmetrics = r.u32();
+  if (!r.ok() || nmetrics > kMaxCheckpointMetrics) return false;
+  for (std::uint32_t i = 0; i < nmetrics; ++i) {
+    const std::string name = r.str();
+    if (!r.ok() || name.empty() || metrics_.intern(name) != i) return false;
+  }
+  const std::uint32_t nseries = r.u32();
+  if (!r.ok() || nseries > kMaxCheckpointSeries) return false;
+  for (std::uint32_t si = 0; si < nseries; ++si) {
+    Location loc;
+    loc.rack = r.i32();
+    loc.midplane = r.i32();
+    loc.board = r.i32();
+    loc.card = r.i32();
+    const std::uint32_t metric = r.u32();
+    if (!r.ok() || metric >= metrics_.size()) return false;
+    const std::uint32_t sid = ensure_series(loc, metric);
+    if (sid != si || series_.size() != si + 1) return false;  // duplicate series
+    Series& s = series_[sid];
+    const std::uint32_t nblocks = r.u32();
+    if (!r.ok() || nblocks > kMaxCheckpointBlocks) return false;
+    for (std::uint32_t b = 0; b < nblocks; ++b) {
+      BlockSummary sum;
+      sum.rows = r.u32();
+      sum.finite_rows = r.u32();
+      sum.ts_min = r.i64();
+      sum.ts_max = r.i64();
+      sum.seq_first = r.u64();
+      sum.seq_last = r.u64();
+      sum.value_min = r.f64();
+      sum.value_max = r.f64();
+      sum.value_sum = r.f64();
+      sum.value_sum_sq = r.f64();
+      ExtentRef ref;
+      ref.segment_id = r.u32();
+      ref.offset = r.u64();
+      ref.length = r.u32();
+      ref.crc = r.u32();
+      ref.hash.hi = r.u64();
+      ref.hash.lo = r.u64();
+      const auto seq_bytes = r.blob();
+      if (!r.ok()) return false;
+      if (sum.rows == 0 || sum.rows > Block::kMaxRows || sum.finite_rows > sum.rows) {
+        return false;
+      }
+      if (!durable_->store.add_ref(ref).is_ok()) return false;
+      s.restore_sealed(sum, ref, std::vector<std::uint8_t>(seq_bytes.begin(), seq_bytes.end()));
+      total_rows_ += sum.rows;
+    }
+    const std::uint32_t nhead = r.u32();
+    if (!r.ok() || nhead > Block::kMaxRows) return false;
+    s.reserve_head(nhead);
+    for (std::uint32_t i = 0; i < nhead; ++i) {
+      const std::int64_t ts = r.i64();
+      const double value = r.f64();
+      const std::uint64_t seq = r.u64();
+      if (!r.ok()) return false;
+      s.append_raw(ts, value, seq);
+    }
+    total_rows_ += nhead;
+  }
+  const std::uint32_t nwindow = r.u32();
+  if (!r.ok() || nwindow > kMaxCheckpointWindow) return false;
+  for (std::uint32_t i = 0; i < nwindow; ++i) rate_window_.push_back(r.i64());
+  return r.done();
+}
+
+Status EnvDatabase::write_checkpoint_wal() {
+  Durable& d = *durable_;
+  if (d.wal.is_open()) dlog_flush_inserts();
+  // The checkpoint references extents: they are made durable first.
+  Status s = d.store.sync();
+  if (!s.is_ok()) return s;
+  const std::uint32_t number = d.wal_number + 1;
+  const std::string path = wal_path(d.dir, number);
+  const std::string tmp = path + ".tmp";
+  {
+    WalWriter w;
+    s = w.create(tmp);
+    if (!s.is_ok()) return s;
+    wire::Writer checkpoint;
+    encode_checkpoint(checkpoint);
+    s = w.append(WalRecordType::kCheckpoint, checkpoint.span());
+    if (s.is_ok()) s = w.sync();
+    const Status closed = w.close();
+    if (s.is_ok()) s = closed;
+    if (!s.is_ok()) return s;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status(StatusCode::kInternal, "rename checkpoint wal: " + ec.message());
+  }
+  sync_dir(d.dir);
+  (void)d.wal.close();
+  // One-WAL invariant: predecessors, stale tmps, and corrupt strays all
+  // go away once the new checkpoint is durable.
+  for (const auto& entry : std::filesystem::directory_iterator(d.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0) continue;
+    if (entry.path().string() == path) continue;
+    if (name.ends_with(".log") || name.ends_with(".log.tmp")) {
+      ::unlink(entry.path().c_str());
+    }
+  }
+  sync_dir(d.dir);
+  d.wal_number = number;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status(StatusCode::kInternal, "stat checkpoint wal");
+  s = d.wal.open_for_append(path, size);
+  if (!s.is_ok()) return s;
+  d.metrics_logged = metrics_.size();
+  if (wal_bytes_metric_ != nullptr) wal_bytes_metric_->inc(size);
+  return Status::ok();
+}
+
+Status EnvDatabase::recover(RecoveryInfo& info) {
+  Durable& d = *durable_;
+  std::vector<std::uint32_t> numbers;
+  std::uint32_t max_number = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(d.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned n = 0;
+    if (std::sscanf(name.c_str(), "wal-%06u.log", &n) != 1) continue;
+    // Exact-name check: excludes ".log.tmp" leftovers sscanf would pass.
+    if (d.dir + "/" + name != wal_path(d.dir, n)) continue;
+    numbers.push_back(n);
+    max_number = std::max(max_number, static_cast<std::uint32_t>(n));
+  }
+  if (ec) return Status(StatusCode::kInternal, "cannot list wal directory");
+  std::sort(numbers.begin(), numbers.end(), std::greater<>());
+
+  // The newest WAL whose leading checkpoint is intact wins; older ones
+  // are stale by construction (a WAL is only created once its
+  // checkpoint is synced and renamed into place).
+  for (const std::uint32_t number : numbers) {
+    reset_state();
+    const std::string path = wal_path(d.dir, number);
+    WalReader reader;
+    if (!reader.open(path).is_ok()) continue;
+    auto first = reader.next();
+    if (!first || first->type != WalRecordType::kCheckpoint) continue;
+    if (!decode_checkpoint(first->payload)) continue;
+    info.recovered = true;
+    info.wal_frames_replayed = 1;
+    std::uint64_t clean = reader.valid_bytes();
+    bool bad_frame = false;
+    while (auto frame = reader.next()) {
+      if (!apply_wal_frame(frame->type, frame->payload)) {
+        bad_frame = true;
+        break;
+      }
+      clean = reader.valid_bytes();
+      ++info.wal_frames_replayed;
+    }
+    info.wal_bytes_replayed = clean;
+    info.wal_truncated = bad_frame || reader.truncated();
+    if (clean < reader.file_bytes()) {
+      const Status truncated = truncate_file(path, clean);
+      if (!truncated.is_ok()) return truncated;
+    }
+    Status s = d.wal.open_for_append(path, clean);
+    if (!s.is_ok()) return s;
+    d.wal_number = number;
+    d.metrics_logged = metrics_.size();
+    for (const std::uint32_t other : numbers) {
+      if (other != number) ::unlink(wal_path(d.dir, other).c_str());
+    }
+    sync_dir(d.dir);
+    return Status::ok();
+  }
+
+  // Nothing recoverable: start fresh.  New WAL numbers keep ascending
+  // past any unreadable strays (which the checkpoint write deletes).
+  reset_state();
+  d.wal_number = max_number;
+  return write_checkpoint_wal();
+}
+
+bool EnvDatabase::apply_wal_frame(WalRecordType type,
+                                  std::span<const std::uint8_t> payload) {
+  switch (type) {
+    case WalRecordType::kCheckpoint:
+      return false;  // only legal as a WAL's first record
+    case WalRecordType::kMetricDef: {
+      wire::Reader r(payload);
+      const std::uint32_t id = r.u32();
+      const std::string name = r.str();
+      if (!r.done() || name.empty() || id != metrics_.size()) return false;
+      return metrics_.intern(name) == id;
+    }
+    case WalRecordType::kInsertBatch: {
+      wire::Reader r(payload);
+      const std::uint32_t count = r.u32();
+      // 36 bytes per row: i64 ts, 4×i32 location, u32 metric, f64 value.
+      if (count == 0 ||
+          payload.size() != 4 + static_cast<std::size_t>(count) * 36) {
+        return false;
+      }
+      // Validate the whole frame before mutating anything, so a corrupt
+      // record cannot leave half a batch applied.
+      struct Row {
+        std::int64_t ts;
+        Location loc;
+        MetricId metric;
+        double value;
+      };
+      std::vector<Row> rows;
+      rows.reserve(count);
+      std::int64_t last = last_ts_ns_;
+      bool any = any_accepted_;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Row row;
+        row.ts = r.i64();
+        row.loc.rack = r.i32();
+        row.loc.midplane = r.i32();
+        row.loc.board = r.i32();
+        row.loc.card = r.i32();
+        row.metric = r.u32();
+        row.value = r.f64();
+        if (!r.ok() || row.metric >= metrics_.size()) return false;
+        if (any && row.ts < last) return false;  // accepted rows are ordered
+        last = row.ts;
+        any = true;
+        rows.push_back(row);
+      }
+      if (!r.done()) return false;
+      for (const Row& row : rows) {
+        const std::uint32_t sid = ensure_series(row.loc, row.metric);
+        series_[sid].append_raw(row.ts, row.value, next_seq_++);
+        if (!any_accepted_) oldest_ts_ns_ = row.ts;
+        any_accepted_ = true;
+        last_ts_ns_ = row.ts;
+        ++total_rows_;
+        if (options_.max_insert_rate_per_second > 0.0 &&
+            !is_self_metric(metrics_.name(row.metric))) {
+          rate_window_.push_back(row.ts);
+        }
+      }
+      return true;
+    }
+    case WalRecordType::kSeal: {
+      wire::Reader r(payload);
+      Location loc;
+      loc.rack = r.i32();
+      loc.midplane = r.i32();
+      loc.board = r.i32();
+      loc.card = r.i32();
+      const std::uint32_t metric = r.u32();
+      BlockSummary sum;
+      sum.rows = r.u32();
+      sum.finite_rows = r.u32();
+      sum.ts_min = r.i64();
+      sum.ts_max = r.i64();
+      sum.seq_first = r.u64();
+      sum.seq_last = r.u64();
+      sum.value_min = r.f64();
+      sum.value_max = r.f64();
+      sum.value_sum = r.f64();
+      sum.value_sum_sq = r.f64();
+      ExtentRef ref;
+      ref.segment_id = r.u32();
+      ref.offset = r.u64();
+      ref.length = r.u32();
+      ref.crc = r.u32();
+      ref.hash.hi = r.u64();
+      ref.hash.lo = r.u64();
+      const auto seq_bytes = r.blob();
+      if (!r.done() || metric >= metrics_.size()) return false;
+      if (sum.rows == 0 || sum.rows > Block::kMaxRows || sum.finite_rows > sum.rows) {
+        return false;
+      }
+      const std::uint32_t sid = ensure_series(loc, metric);
+      if (!durable_->store.add_ref(ref).is_ok()) return false;
+      std::vector<std::uint8_t> seq(seq_bytes.begin(), seq_bytes.end());
+      if (!series_[sid].adopt_sealed(sum, ref, std::move(seq), sum.rows)) {
+        durable_->store.release(ref);
+        return false;
+      }
+      note_seal(1);
+      return true;
+    }
+    case WalRecordType::kVacuum: {
+      wire::Reader r(payload);
+      const std::int64_t cutoff = r.i64();
+      if (!r.done()) return false;
+      apply_retention_cutoff(cutoff);
+      return true;
+    }
+  }
+  return false;  // unknown record type: future format, stop here
+}
+
+void EnvDatabase::reset_state() {
+  metrics_ = MetricTable{};
+  series_.clear();
+  index_ = ShardIndex{};
+  rate_window_.clear();
+  total_rows_ = 0;
+  next_seq_ = 0;
+  any_accepted_ = false;
+  last_ts_ns_ = 0;
+  oldest_ts_ns_ = 0;
+  downsample_cache_.clear();
+  ++generation_;
+  if (durable_ != nullptr) durable_->store.clear_refs();
 }
 
 }  // namespace envmon::tsdb

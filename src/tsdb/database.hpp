@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -51,8 +52,11 @@
 #include "tsdb/block.hpp"
 #include "tsdb/location.hpp"
 #include "tsdb/metric_table.hpp"
+#include "tsdb/segment.hpp"
 #include "tsdb/series.hpp"
 #include "tsdb/shard_index.hpp"
+#include "tsdb/wal.hpp"
+#include "tsdb/wire.hpp"
 
 namespace envmon::tsdb {
 
@@ -106,6 +110,24 @@ struct DatabaseOptions {
   std::size_t query_threads = 1;
   // Minimum candidate rows before query() spawns workers at all.
   std::size_t parallel_query_min_rows = 16'384;
+  // Durable-storage knobs; all ignored until open() attaches a
+  // directory (the store is purely in-memory otherwise).
+  struct DurabilityOptions {
+    // When the layer fsyncs (wal.hpp).  Write *ordering* — active
+    // segment before the WAL records that reference its extents — holds
+    // under every policy.
+    FsyncPolicy fsync_policy = FsyncPolicy::kOnSeal;
+    // The WAL is rotated (checkpoint into a fresh file, older files
+    // deleted) once it grows past this.
+    std::size_t wal_rotate_bytes = 16u << 20;
+    // Active segment files seal and rotate past this (segment.hpp).
+    std::size_t segment_rotate_bytes = 8u << 20;
+    // Resident-byte bound for sealed blocks: past it, durable clean
+    // blocks are evicted (oldest seq first) and re-materialized from
+    // their mapped extents on demand.  0 = unbounded, no eviction.
+    std::size_t max_resident_sealed_bytes = 0;
+  };
+  DurabilityOptions durability;
 };
 
 class EnvDatabase {
@@ -128,6 +150,55 @@ class EnvDatabase {
                          std::string site = std::string(fault::sites::kTsdb)) {
     fault_hook_.attach(injector, std::move(site));
   }
+
+  // --- Durable storage lifecycle (DESIGN.md §13) ---
+  //
+  // open() attaches `dir` (created if missing) and recovers whatever a
+  // previous instance left there: segment files are indexed (O(1) via
+  // their footers), the newest WAL holding a valid leading checkpoint
+  // is replayed — truncating at the first torn or corrupt record — and
+  // queries then return byte-identical results to the uninterrupted
+  // run, up to the last durable record.  Must be called on an empty
+  // database, before any insert.
+  struct RecoveryInfo {
+    bool recovered = false;  // a prior state was restored from dir
+    std::uint64_t wal_frames_replayed = 0;
+    std::uint64_t wal_bytes_replayed = 0;
+    bool wal_truncated = false;  // a torn/corrupt tail was discarded
+    std::uint64_t rows_recovered = 0;
+    std::uint64_t blocks_recovered = 0;  // sealed blocks re-referenced
+    double recovery_seconds = 0.0;
+  };
+  Status open(const std::string& dir);
+  // Writes out buffered WAL records and fsyncs segment-then-WAL.
+  Status flush();
+  // Checkpoints into a fresh WAL and closes all files.  A database that
+  // is destroyed *without* close() models a crash: nothing is written
+  // at destruction, and the next open() replays the WAL.
+  Status close();
+  [[nodiscard]] bool durable() const { return durable_ != nullptr; }
+  [[nodiscard]] const RecoveryInfo& recovery_info() const { return recovery_; }
+
+  // Durable-layer introspection (zeros when not durable).
+  struct DurableStats {
+    std::uint64_t wal_bytes = 0;          // framed bytes appended this run
+    std::uint64_t wal_frames = 0;
+    std::uint64_t segments_open = 0;      // live segment files
+    std::uint64_t extents_appended = 0;   // physical extent writes
+    std::uint64_t dedup_hits = 0;         // seals served by an existing extent
+    std::uint64_t cold_loads = 0;         // evicted-block materializations
+    std::uint64_t quarantined = 0;        // checksum/decode failures
+    std::uint64_t segments_deleted = 0;   // dead segment files unlinked
+    std::uint64_t evicted_blocks = 0;
+    std::uint64_t disk_bytes = 0;
+    std::uint64_t resident_sealed_bytes = 0;
+  };
+  [[nodiscard]] DurableStats durable_stats() const;
+
+  // Evicts durable clean sealed blocks (oldest seq first) until the
+  // resident sealed tier is at most `target_bytes`; returns blocks
+  // evicted.  Runs automatically when max_resident_sealed_bytes is set.
+  std::size_t evict_sealed_blocks(std::size_t target_bytes);
 
   // Inserts one record.  Fails with kResourceExhausted when the ingest
   // rate ceiling is exceeded, kInvalidArgument when out of order.
@@ -244,9 +315,53 @@ class EnvDatabase {
     std::uint32_t sid = 0;
   };
 
+  // Durable-layer plumbing (all no-ops until open()).
+  struct Durable {
+    std::string dir;
+    BlockStore store;
+    WalWriter wal;
+    std::uint32_t wal_number = 0;  // current wal-NNNNNN.log
+    // Accepted inserts buffered for the next kInsertBatch frame (one
+    // frame per insert()/insert_batch() call, or earlier if a seal or
+    // vacuum record needs the rows on disk first).
+    wire::Writer pending;
+    std::size_t pending_rows = 0;
+    std::uint64_t metrics_logged = 0;  // metric defs already in the WAL
+    std::uint64_t evicted_blocks = 0;
+    // A seal or retention record was written since the last fsync; the
+    // kOnSeal policy syncs at these barriers.
+    bool barrier = false;
+  };
+
   [[nodiscard]] bool over_ingest_rate(sim::SimTime now);
   void note_accept(const Record& record, std::uint32_t sid);
   void append_row(const Record& record, MetricId metric);
+  // Resolves (location, metric) to a series id, creating the series —
+  // store-attached when durable — on first use.
+  std::uint32_t ensure_series(const Location& location, MetricId metric);
+  std::size_t apply_retention_cutoff(std::int64_t cutoff_ns);
+  // WAL emission.  Ordering rules: metric defs precede the first frame
+  // using the id; buffered inserts flush before any seal/vacuum frame
+  // that depends on them.
+  void dlog_frame(WalRecordType type, std::span<const std::uint8_t> payload);
+  void dlog_insert(const Record& record, MetricId metric);
+  void dlog_flush_inserts();
+  void dlog_seal(std::uint32_t sid);
+  void dlog_vacuum(std::int64_t cutoff_ns);
+  // fsync pair in dependency order: active segment, then WAL.
+  Status sync_durable();
+  void after_durable_write();
+  // Checkpoint rotation: full state into a fresh WAL (tmp + rename),
+  // older WAL files deleted.
+  void encode_checkpoint(wire::Writer& out) const;
+  bool decode_checkpoint(std::span<const std::uint8_t> payload);
+  Status write_checkpoint_wal();
+  // Replay machinery.
+  Status recover(RecoveryInfo& info);
+  bool apply_wal_frame(WalRecordType type, std::span<const std::uint8_t> payload);
+  void reset_state();
+  void maybe_evict();
+  void update_durable_metrics();
   // Candidate series ids for a filter, in deterministic index order;
   // false when the filter names a metric that was never ingested.
   bool resolve_series(const QueryFilter& filter, std::vector<std::uint32_t>& sids) const;
@@ -260,6 +375,9 @@ class EnvDatabase {
   MetricTable metrics_;
   std::vector<Series> series_;
   ShardIndex index_;
+  std::unique_ptr<Durable> durable_;
+  RecoveryInfo recovery_;
+  bool replaying_ = false;  // inside recover(): no re-logging, no tracer
 
   // Accepted-record timestamps inside the rate window, trimmed lazily
   // from the front (time only moves forward).  Unlike the flat store's
@@ -292,6 +410,14 @@ class EnvDatabase {
   obs::Gauge* series_gauge_ = nullptr;
   obs::Gauge* bytes_used_gauge_ = nullptr;
   obs::Gauge* bytes_per_record_gauge_ = nullptr;
+  obs::Counter* wal_bytes_metric_ = nullptr;
+  obs::Counter* dedup_metric_ = nullptr;
+  obs::Counter* cold_loads_metric_ = nullptr;
+  obs::Counter* quarantined_metric_ = nullptr;
+  obs::Counter* evicted_metric_ = nullptr;
+  obs::Gauge* segments_open_gauge_ = nullptr;
+  obs::Gauge* disk_bytes_gauge_ = nullptr;
+  obs::Gauge* recovery_seconds_gauge_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   fault::Hook fault_hook_;
 };

@@ -11,15 +11,29 @@
 // when it reaches Block::kMaxRows; the database can also flush shorter
 // heads explicitly (epoch boundaries, benches).  Time-range resolution
 // is a summary comparison per block plus a binary search in the head.
+//
+// With a BlockStore attached (EnvDatabase::open), every sealed block
+// also gets a durable extent reference: sealing serializes the block's
+// seq-independent payload into a segment file (deduplicating identical
+// content across series — segment.hpp) and keeps the tiny seq sidecar
+// stream here.  A sealed block whose payload is on disk can then be
+// *evicted* — its in-memory Block dropped, only the 64-byte summary and
+// the sidecar staying resident — and is lazily re-materialized from the
+// mapped extent when a query touches it.  A materialization whose CRC
+// fails quarantines the block: its rows vanish from query results (and
+// a counter trips) instead of feeding garbage downstream.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "tsdb/block.hpp"
 #include "tsdb/location.hpp"
 #include "tsdb/metric_table.hpp"
+#include "tsdb/segment.hpp"
 
 namespace envmon::tsdb {
 
@@ -28,9 +42,17 @@ class Series {
   Series(const Location& location, MetricId metric, bool compress)
       : location_(location), metric_(metric), compress_(compress) {}
 
+  // Durable mode: sealed blocks are serialized into `store` and become
+  // evictable.  Attach before the first seal.
+  void attach_store(BlockStore* store) { store_ = store; }
+
   // Appends one row; returns true when the append sealed a full head
-  // into a new block (the database counts seals).
+  // into a new block (the database counts seals and WAL-logs them).
   bool append(std::int64_t ts_ns, double value, std::uint64_t seq);
+
+  // Replay-path append: never auto-seals (the WAL's own seal records
+  // re-create blocks at exactly the pre-crash boundaries).
+  void append_raw(std::int64_t ts_ns, double value, std::uint64_t seq);
 
   // Grows the head for `extra` upcoming rows (batch ingest calls this
   // once per run of same-series records).  Bounded by the block size —
@@ -41,10 +63,23 @@ class Series {
   // returns true if a block was created.
   bool seal_head(std::size_t min_rows);
 
+  // Replay path: adopts an already-durable sealed block (cold — no
+  // in-memory Block) from its WAL seal record.  `rows_from_head` head
+  // rows are consumed; returns false if the head does not hold exactly
+  // that prefix (corrupt WAL).
+  bool adopt_sealed(const BlockSummary& summary, const ExtentRef& ref,
+                    std::vector<std::uint8_t> seq_stream, std::size_t rows_from_head);
+
+  // Checkpoint-restore path: appends a cold durable block directly (the
+  // checkpoint recorded it sealed; no head rows are involved).
+  void restore_sealed(const BlockSummary& summary, const ExtentRef& ref,
+                      std::vector<std::uint8_t> seq_stream);
+
   // Drops rows with ts < cutoff_ns (retention); returns rows dropped.
-  // Whole expired blocks are dropped without decoding; at most one
-  // boundary block (straddling the cutoff) is decoded and
-  // re-materialized as a smaller sealed block.
+  // Whole expired blocks are dropped without decoding (their extent
+  // references released — retention on disk is refcounted extent
+  // drops); at most one boundary block (straddling the cutoff) is
+  // decoded and re-materialized as a smaller sealed block.
   std::size_t drop_before(std::int64_t cutoff_ns);
 
   [[nodiscard]] const Location& location() const { return location_; }
@@ -52,12 +87,41 @@ class Series {
   [[nodiscard]] std::size_t size() const { return block_rows_ + head_ts_.size(); }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] std::int64_t front_ts_ns() const {
-    return blocks_.empty() ? head_ts_.front() : blocks_.front().summary().ts_min;
+    return sealed_.empty() ? head_ts_.front() : sealed_.front().summary.ts_min;
   }
 
   // Sealed tier.
-  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
-  [[nodiscard]] const Block& block(std::size_t i) const { return blocks_[i]; }
+  [[nodiscard]] std::size_t block_count() const { return sealed_.size(); }
+  // Summary access never touches disk (pruning stays O(1) per block).
+  [[nodiscard]] const BlockSummary& block_summary(std::size_t i) const {
+    return sealed_[i].summary;
+  }
+  // The block's columns: resident blocks return immediately; evicted
+  // ones lazily re-materialize from their mapped extent (safe from
+  // parallel query workers).  nullptr when the extent fails its
+  // checksum — the block is then quarantined and skipped.
+  [[nodiscard]] const Block* block(std::size_t i) const;
+  [[nodiscard]] bool block_resident(std::size_t i) const {
+    return sealed_[i].hot.load(std::memory_order_acquire) != nullptr;
+  }
+  [[nodiscard]] bool block_quarantined(std::size_t i) const {
+    return sealed_[i].quarantined.load(std::memory_order_relaxed);
+  }
+  // Durable reference of block `i` (nullptr when not durable) and its
+  // seq sidecar — checkpoint/WAL encoding reads these.
+  [[nodiscard]] const ExtentRef* block_ref(std::size_t i) const {
+    return sealed_[i].ref ? &*sealed_[i].ref : nullptr;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& block_seq_stream(std::size_t i) const {
+    return sealed_[i].seq_stream;
+  }
+
+  // Drops the in-memory copy of a durable, clean block (write path
+  // only; queries may be re-materializing other entries, never this
+  // one's writer).  Returns bytes released.
+  std::size_t evict_block(std::size_t i);
+  // Resident heap bytes of the sealed tier (hot blocks + sidecars).
+  [[nodiscard]] std::size_t resident_sealed_bytes() const;
 
   // Mutable tier (the query engine reads the head columns in place).
   [[nodiscard]] std::size_t head_rows() const { return head_ts_.size(); }
@@ -75,24 +139,54 @@ class Series {
   [[nodiscard]] RowRange head_range(std::optional<std::int64_t> from_ns,
                                     std::optional<std::int64_t> to_ns) const;
 
-  // Approximate heap bytes held: head column capacities plus sealed
-  // block bytes (cached — O(1), maintained on seal/drop).
-  [[nodiscard]] std::size_t bytes_used() const {
-    return head_ts_.capacity() * sizeof(std::int64_t) +
-           head_values_.capacity() * sizeof(double) +
-           head_seq_.capacity() * sizeof(std::uint64_t) +
-           blocks_.capacity() * sizeof(Block) + block_bytes_;
-  }
+  // Approximate heap bytes held: head column capacities plus the
+  // resident sealed tier (hot blocks, refs, seq sidecars).
+  [[nodiscard]] std::size_t bytes_used() const;
 
  private:
+  // One sealed block: always the summary; the Block itself while
+  // resident; the extent reference + seq sidecar while durable.  `hot`
+  // is an owning atomic pointer so parallel query workers can race to
+  // materialize without a per-entry mutex (first store wins, losers
+  // delete their copy).
+  struct Sealed {
+    BlockSummary summary;
+    std::optional<ExtentRef> ref;
+    std::vector<std::uint8_t> seq_stream;
+    mutable std::atomic<Block*> hot{nullptr};
+    mutable std::atomic<bool> quarantined{false};
+
+    Sealed() = default;
+    Sealed(Sealed&& o) noexcept
+        : summary(o.summary),
+          ref(std::move(o.ref)),
+          seq_stream(std::move(o.seq_stream)),
+          hot(o.hot.exchange(nullptr, std::memory_order_acq_rel)),
+          quarantined(o.quarantined.load(std::memory_order_relaxed)) {}
+    Sealed& operator=(Sealed&& o) noexcept {
+      if (this != &o) {
+        summary = o.summary;
+        ref = std::move(o.ref);
+        seq_stream = std::move(o.seq_stream);
+        delete hot.exchange(o.hot.exchange(nullptr, std::memory_order_acq_rel),
+                            std::memory_order_acq_rel);
+        quarantined.store(o.quarantined.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      }
+      return *this;
+    }
+    ~Sealed() { delete hot.load(std::memory_order_acquire); }
+  };
+
   void push_block(Block block);
+  void clear_head();
 
   Location location_;
   MetricId metric_;
   bool compress_;
-  std::vector<Block> blocks_;
-  std::size_t block_rows_ = 0;   // total rows across sealed blocks
-  std::size_t block_bytes_ = 0;  // cached sum of Block::bytes_used()
+  BlockStore* store_ = nullptr;
+  std::vector<Sealed> sealed_;
+  std::size_t block_rows_ = 0;  // total rows across sealed blocks
   std::vector<std::int64_t> head_ts_;
   std::vector<double> head_values_;
   std::vector<std::uint64_t> head_seq_;

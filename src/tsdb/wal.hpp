@@ -1,0 +1,109 @@
+#pragma once
+// Record-oriented write-ahead log for the environmental database's
+// mutable head (DESIGN.md §13).
+//
+// The WAL is a logical redo log: it records *accepted* mutations only —
+// insert batches (the validated records, in acceptance order), seal
+// markers (which extent a head became, with its per-reference seq
+// sidecar), metric-id definitions, and retention cutoffs.  Replaying a
+// WAL from its leading checkpoint record rebuilds the exact in-memory
+// state, with sealed blocks left cold (extent references into segment
+// files, not payload copies).
+//
+// Framing: every record is `u32 length | u32 crc32c | payload` where
+// payload[0] is the record type.  The reader stops at the first frame
+// whose length is implausible, whose bytes are short (torn tail), or
+// whose CRC fails — and reports the clean prefix length so recovery can
+// physically truncate the file there.  fsync is the caller's policy
+// decision (FsyncPolicy): the writer only promises write ordering.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace envmon::tsdb {
+
+// When the durable layer calls fsync on the WAL (and, ordered before
+// it, the active segment).
+enum class FsyncPolicy {
+  kNone,    // only flush()/close(); kill -9 keeps all writes, power loss may not
+  kOnSeal,  // every seal / retention barrier (the default)
+  kAlways,  // every insert call; the kill -9 recovery gate runs under this
+};
+
+// WAL record types (payload[0]).
+enum class WalRecordType : std::uint8_t {
+  kCheckpoint = 1,   // full-state snapshot; always a WAL file's first record
+  kMetricDef = 2,    // {u32 id, string name} — precedes the id's first use
+  kInsertBatch = 3,  // accepted records, in acceptance order
+  kSeal = 4,         // head -> sealed block (series key, summary, extent ref, seq)
+  kVacuum = 5,       // retention cutoff applied to every series
+};
+
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Creates a fresh WAL at `path` (the checkpoint flow writes to a
+  // temporary name and renames once the checkpoint record is synced) or
+  // opens an existing one for append at `resume_bytes` (the clean
+  // prefix the reader found).
+  Status create(const std::string& path);
+  Status open_for_append(const std::string& path, std::uint64_t resume_bytes);
+
+  // Appends one framed record; no fsync.
+  Status append(WalRecordType type, std::span<const std::uint8_t> payload);
+  Status sync();
+  Status close();
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] std::uint64_t frames_written() const { return frames_; }
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+// Reads a WAL front to back, yielding clean frames until the first
+// corruption (which ends iteration; valid_bytes() marks the boundary).
+class WalReader {
+ public:
+  struct Frame {
+    WalRecordType type;
+    std::span<const std::uint8_t> payload;  // past the type byte
+  };
+
+  // Loads the whole file into memory (WAL files are rotation-bounded).
+  Status open(const std::string& path);
+
+  // Next clean frame, or nullopt at end-of-log / first corruption.
+  [[nodiscard]] std::optional<Frame> next();
+
+  // Bytes of clean prefix consumed so far (header + whole clean frames).
+  [[nodiscard]] std::uint64_t valid_bytes() const { return valid_bytes_; }
+  // True once a torn or corrupt frame ended iteration early.
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] std::uint64_t file_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t valid_bytes_ = 0;
+  bool truncated_ = false;
+};
+
+// Truncates `path` to `bytes` (recovery discarding a torn WAL tail).
+Status truncate_file(const std::string& path, std::uint64_t bytes);
+
+}  // namespace envmon::tsdb

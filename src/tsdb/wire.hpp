@@ -1,0 +1,115 @@
+#pragma once
+// Little-endian byte (de)serialization for the durable storage layer.
+//
+// Every on-disk integer in the segment and WAL formats (DESIGN.md §13)
+// is fixed-width little-endian; doubles are their IEEE-754 bit patterns.
+// Writer appends into a growable buffer; Reader is bounds-checked and
+// *total*: reading past the end yields zeros and latches ok() == false
+// instead of undefined behavior, so the recovery path can feed it
+// arbitrary garbage (the WAL/segment fuzz tests do exactly that).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace envmon::tsdb::wire {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_le(bits);
+  }
+  void bytes(std::span<const std::uint8_t> b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+  // Length-prefixed (u32) byte string.
+  void blob(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    bytes(b);
+  }
+  void str(std::string_view s) {
+    blob({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+  [[nodiscard]] std::span<const std::uint8_t> span() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  void clear() { buf_.clear(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (unsigned i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() { return static_cast<std::uint8_t>(get_le(1)); }
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(get_le(4)); }
+  [[nodiscard]] std::uint64_t u64() { return get_le(8); }
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  // Length-prefixed byte string; an over-long prefix fails the read.
+  [[nodiscard]] std::span<const std::uint8_t> blob() {
+    const std::uint32_t n = u32();
+    if (pos_ + n > bytes_.size()) {
+      ok_ = false;
+      pos_ = bytes_.size();
+      return {};
+    }
+    const auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  [[nodiscard]] std::string str() {
+    const auto b = blob();
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  // True once the payload is fully and exactly consumed.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  std::uint64_t get_le(unsigned width) {
+    if (pos_ + width > bytes_.size()) {
+      ok_ = false;
+      pos_ = bytes_.size();
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += width;
+    return v;
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace envmon::tsdb::wire

@@ -351,10 +351,11 @@ TEST(Series, DropBeforeDropsWholeBlocksAndRebuildsTheBoundary) {
   EXPECT_EQ(s.drop_before(150), 150u);
   EXPECT_EQ(s.size(), 200u);
   ASSERT_EQ(s.block_count(), 2u);  // rebuilt boundary + the untouched block
-  EXPECT_EQ(s.block(0).rows(), 50u);  // the re-materialized boundary
+  ASSERT_NE(s.block(0), nullptr);
+  EXPECT_EQ(s.block(0)->rows(), 50u);  // the re-materialized boundary
   EXPECT_EQ(s.front_ts_ns(), 150);
   std::vector<std::int64_t> ts;
-  s.block(0).decode_timestamps(ts);
+  s.block(0)->decode_timestamps(ts);
   EXPECT_EQ(ts.front(), 150);
   EXPECT_EQ(ts.back(), 199);
 
