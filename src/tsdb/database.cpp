@@ -34,10 +34,14 @@ struct DecodeScratch {
   std::vector<std::uint64_t> seq;
 };
 
-std::string wal_path(const std::string& dir, std::uint32_t number) {
+std::string wal_filename(std::uint32_t number) {
   char name[32];
   std::snprintf(name, sizeof(name), "wal-%06u.log", number);
-  return dir + "/" + name;
+  return name;
+}
+
+std::string wal_path(const std::string& dir, std::uint32_t number) {
+  return dir + "/" + wal_filename(number);
 }
 
 // Best-effort directory fsync (rename/unlink durability).
@@ -801,18 +805,23 @@ Status EnvDatabase::open(const std::string& dir) {
     return Status(StatusCode::kFailedPrecondition, "open() requires an empty database");
   }
   const auto t0 = std::chrono::steady_clock::now();
+  // Normalize away trailing slashes: every path in the layer is built
+  // as `dir + "/" + name`, and a "data/" dir would yield "data//..."
+  // strings that defeat name comparisons elsewhere.
+  std::string normalized = dir;
+  while (normalized.size() > 1 && normalized.back() == '/') normalized.pop_back();
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
+  std::filesystem::create_directories(normalized, ec);
   if (ec) {
     return Status(StatusCode::kInternal,
                   "cannot create database directory: " + ec.message());
   }
   auto durable = std::make_unique<Durable>();
-  durable->dir = dir;
+  durable->dir = normalized;
   durable->store.attach_metrics(dedup_metric_, cold_loads_metric_, quarantined_metric_);
   BlockStore::Options store_options;
   store_options.rotate_bytes = options_.durability.segment_rotate_bytes;
-  Status s = durable->store.open(dir, store_options);
+  Status s = durable->store.open(normalized, store_options);
   if (!s.is_ok()) return s;
   durable_ = std::move(durable);
   RecoveryInfo info;
@@ -827,9 +836,22 @@ Status EnvDatabase::open(const std::string& dir) {
   // A head that reached the block size but lost its seal record to the
   // crash seals now — its payload usually dedups against the orphan
   // extent the crashed run already wrote — and logs into the resumed
-  // WAL.  Then extents no surviving record references are collected.
-  seal_blocks(Block::kMaxRows);
-  durable_->store.gc_dead_segments();
+  // WAL.  Segments left with no live extents (replayed kVacuum frames,
+  // seal records lost with the WAL tail) are then reclaimed — but only
+  // behind a fresh durable checkpoint, because the resumed WAL still
+  // references their extents and must stay replayable if we crash
+  // again before the files go away.  write_checkpoint_wal() runs the
+  // GC itself once the new checkpoint is on disk; seal_blocks() above
+  // usually already triggered it via after_durable_write(), so this is
+  // the error-surfacing fallback.
+  if (durable_->store.has_dead_segments()) {
+    s = write_checkpoint_wal();
+    if (!s.is_ok()) {
+      durable_.reset();
+      reset_state();
+      return s;
+    }
+  }
   info.rows_recovered = total_rows_;
   info.blocks_recovered = sealed_block_count();
   info.recovery_seconds =
@@ -1040,7 +1062,13 @@ void EnvDatabase::after_durable_write() {
     (void)sync_durable();
   }
   d.barrier = false;
-  if (d.wal.bytes_written() >= options_.durability.wal_rotate_bytes) {
+  // Rotation triggers: WAL growth, or retention having killed a whole
+  // segment — the dead file is only unlinked behind a durable
+  // checkpoint that no longer references it (write_checkpoint_wal runs
+  // the GC), so the rotation is forced rather than waiting for the
+  // byte threshold.
+  if (d.wal.bytes_written() >= options_.durability.wal_rotate_bytes ||
+      d.store.has_dead_segments()) {
     (void)write_checkpoint_wal();
   }
   maybe_evict();
@@ -1203,11 +1231,13 @@ Status EnvDatabase::write_checkpoint_wal() {
   sync_dir(d.dir);
   (void)d.wal.close();
   // One-WAL invariant: predecessors, stale tmps, and corrupt strays all
-  // go away once the new checkpoint is durable.
+  // go away once the new checkpoint is durable.  Compared by *filename*
+  // — raw path-string equality would miss the new WAL through any
+  // spelling difference (e.g. doubled slashes) and delete it.
+  const std::string keep = wal_filename(number);
   for (const auto& entry : std::filesystem::directory_iterator(d.dir, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind("wal-", 0) != 0) continue;
-    if (entry.path().string() == path) continue;
+    if (name.rfind("wal-", 0) != 0 || name == keep) continue;
     if (name.ends_with(".log") || name.ends_with(".log.tmp")) {
       ::unlink(entry.path().c_str());
     }
@@ -1220,6 +1250,11 @@ Status EnvDatabase::write_checkpoint_wal() {
   if (!s.is_ok()) return s;
   d.metrics_logged = metrics_.size();
   if (wal_bytes_metric_ != nullptr) wal_bytes_metric_->inc(size);
+  // The durable checkpoint above references live extents only, so any
+  // segment with none is unreferenced by the (single) WAL on disk —
+  // the deferred retention unlinks are safe to apply now.
+  d.store.gc_dead_segments();
+  update_durable_metrics();
   return Status::ok();
 }
 
@@ -1233,7 +1268,7 @@ Status EnvDatabase::recover(RecoveryInfo& info) {
     unsigned n = 0;
     if (std::sscanf(name.c_str(), "wal-%06u.log", &n) != 1) continue;
     // Exact-name check: excludes ".log.tmp" leftovers sscanf would pass.
-    if (d.dir + "/" + name != wal_path(d.dir, n)) continue;
+    if (name != wal_filename(n)) continue;
     numbers.push_back(n);
     max_number = std::max(max_number, static_cast<std::uint32_t>(n));
   }
@@ -1380,7 +1415,13 @@ bool EnvDatabase::apply_wal_frame(WalRecordType type,
       if (sum.rows == 0 || sum.rows > Block::kMaxRows || sum.finite_rows > sum.rows) {
         return false;
       }
-      const std::uint32_t sid = ensure_series(loc, metric);
+      // Validation creates nothing: a seal consumes head rows, so its
+      // series must already exist from earlier insert frames or the
+      // checkpoint — looked up without inserting, else a corrupt frame
+      // that ends replay would leave a phantom empty series registered
+      // in the index and the series gauge.
+      const std::uint32_t sid = index_.find(loc, metric);
+      if (sid == ShardIndex::kNoSeries) return false;
       if (!durable_->store.add_ref(ref).is_ok()) return false;
       std::vector<std::uint8_t> seq(seq_bytes.begin(), seq_bytes.end());
       if (!series_[sid].adopt_sealed(sum, ref, std::move(seq), sum.rows)) {

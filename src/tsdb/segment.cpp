@@ -288,6 +288,10 @@ Status BlockStore::open(const std::string& dir, const Options& options) {
     const std::string name = entry.path().filename().string();
     unsigned id = 0;
     if (std::sscanf(name.c_str(), "segment-%06u.seg", &id) != 1) continue;
+    // Every parsed id advances the allocator — including ids whose file
+    // fails to open below — so a later rotate() can never reuse the id
+    // and O_TRUNC a file that was left in place for inspection.
+    next_id_ = std::max(next_id_, id + 1);
     Segment seg;
     seg.file = std::make_unique<SegmentFile>();
     std::vector<SegmentFile::ExtentEntry> entries;
@@ -303,7 +307,6 @@ Status BlockStore::open(const std::string& dir, const Options& options) {
     }
     seg.entries = std::move(entries);
     segments_.emplace(id, std::move(seg));
-    next_id_ = std::max(next_id_, id + 1);
   }
   if (ec) return Status(StatusCode::kInternal, "cannot list segment directory");
   // Segments recovered without a footer get one now (their torn tails
@@ -418,36 +421,32 @@ void BlockStore::clear_refs() {
   for (auto& [id, seg] : segments_) seg.live_extents = 0;
 }
 
-void BlockStore::note_release(std::map<std::uint32_t, Segment>::iterator seg_it) {
-  Segment& seg = seg_it->second;
-  if (--seg.live_extents > 0) return;
-  // Every extent in the segment is dead.  A sealed segment drops with
-  // one unlink (retention as file drops); the active segment keeps
-  // accepting appends.
-  if (!seg.file->sealed() || seg_it->first == active_id_) return;
-  const std::string path = seg.file->path();
-  const std::uint32_t id = seg_it->first;
-  for (auto it = index_.begin(); it != index_.end();) {
-    it = it->second.ref.segment_id == id ? index_.erase(it) : std::next(it);
-  }
-  segments_.erase(seg_it);
-  ::unlink(path.c_str());
-  sync_parent_dir(path);
-  ++stats_.segments_deleted;
-}
-
 void BlockStore::release(const ExtentRef& ref) {
   auto [lo, hi] = index_.equal_range(ref.hash);
   for (auto it = lo; it != hi; ++it) {
     Extent& extent = it->second;
     if (extent.ref != ref || extent.refs == 0) continue;
+    // A segment whose last live extent dies is NOT unlinked here: the
+    // current WAL (its leading checkpoint, or replayed seal frames) may
+    // still reference its extents, and a crash before the next durable
+    // checkpoint would make recovery fail add_ref against a missing
+    // file and reject the only WAL.  The file stays on disk — its dead
+    // extents remain dedup-revivable — until gc_dead_segments() runs
+    // behind a fresh durable checkpoint.
     if (--extent.refs == 0) {
       if (const auto seg_it = segments_.find(ref.segment_id); seg_it != segments_.end()) {
-        note_release(seg_it);
+        --seg_it->second.live_extents;
       }
     }
     return;
   }
+}
+
+bool BlockStore::has_dead_segments() const {
+  for (const auto& [id, seg] : segments_) {
+    if (seg.live_extents == 0 && seg.file->sealed() && id != active_id_) return true;
+  }
+  return false;
 }
 
 Status BlockStore::load(const ExtentRef& ref, std::vector<std::uint8_t>& payload) {

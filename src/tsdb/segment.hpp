@@ -11,7 +11,9 @@
 // writing it again — the content-addressed store discipline of Nix,
 // applied to time-series blocks.  References are counted in memory and
 // recomputed from the WAL on open; when every extent in a *sealed*
-// segment is dead, retention drops the whole file with one unlink.
+// segment is dead, retention drops the whole file with one unlink —
+// deferred until the next durable checkpoint, so the WAL on disk never
+// references a file that no longer exists.
 //
 // One segment is *active* at a time: appends go there until it reaches
 // `rotate_bytes`, then a footer index (every extent's hash/offset/
@@ -158,11 +160,17 @@ class BlockStore {
   // WAL after a partial, failed attempt polluted the counts).
   void clear_refs();
 
-  // Drops one reference.  A sealed segment whose live extents hit zero
-  // is unlinked immediately; the active segment's dead extents are
-  // reclaimed at the next rotation's dedup horizon (the space is dead
-  // but bounded by rotate_bytes).
+  // Drops one reference.  A segment whose live extents hit zero is only
+  // *marked* dead — its file must outlive every WAL record that still
+  // references its extents, so the unlink is deferred to the
+  // gc_dead_segments() the database runs behind the next durable
+  // checkpoint.  Until then the dead extents stay dedup-revivable.
   void release(const ExtentRef& ref);
+
+  // True when some sealed, non-active segment has no live extents —
+  // the database's cue to rotate a checkpoint so the dead files can be
+  // reclaimed.
+  [[nodiscard]] bool has_dead_segments() const;
 
   // Reads and CRC-verifies one extent payload.  kInternal on checksum
   // mismatch or bounds violation (the caller quarantines the block).
@@ -173,8 +181,11 @@ class BlockStore {
   // did not (structurally invalid extent bytes behind a valid CRC).
   void note_decode_failure();
 
-  // Unlinks sealed segments with no live extents (post-replay GC of
-  // extents whose seal records were lost with the WAL tail).
+  // Unlinks sealed segments with no live extents.  Only safe once a
+  // checkpoint referencing no extent of those segments is durable (a
+  // checkpoint encodes live refs only, so every zero-ref segment
+  // qualifies) — the database calls this at the tail of a successful
+  // checkpoint rotation, never in between.
   void gc_dead_segments();
 
   // fsync the active segment (ordering: extents are made durable before
@@ -201,7 +212,6 @@ class BlockStore {
   Status rotate();
   SegmentFile* segment(std::uint32_t id);
   [[nodiscard]] std::string segment_path(std::uint32_t id) const;
-  void note_release(std::map<std::uint32_t, Segment>::iterator seg_it);
 
   std::string dir_;
   Options options_;

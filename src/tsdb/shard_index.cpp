@@ -22,6 +22,17 @@ std::uint32_t& ShardIndex::slot(const Location& location, MetricId metric) {
   return it->second;
 }
 
+std::uint32_t ShardIndex::find(const Location& location, MetricId metric) const {
+  const Node* node = &root_;
+  for (const int field : fields_of(location)) {
+    const auto it = node->children.find(field);
+    if (it == node->children.end()) return kNoSeries;
+    node = &it->second;
+  }
+  const auto it = node->series.find(metric);
+  return it == node->series.end() ? kNoSeries : it->second;
+}
+
 void ShardIndex::collect_node(const Node& node, const int* fields, int level,
                               std::optional<MetricId> metric,
                               std::vector<std::uint32_t>& out) {

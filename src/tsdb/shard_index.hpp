@@ -28,6 +28,11 @@ class ShardIndex {
   // the database assigns the dense series id.
   [[nodiscard]] std::uint32_t& slot(const Location& location, MetricId metric);
 
+  // Read-only lookup: the series id at (location, metric), or kNoSeries.
+  // Never creates nodes — WAL replay validates seal records against
+  // this so a corrupt frame cannot register a phantom series.
+  [[nodiscard]] std::uint32_t find(const Location& location, MetricId metric) const;
+
   // Appends the ids of every series whose location is contained by
   // `prefix` (all of them when absent), optionally restricted to one
   // metric.  Order is deterministic (location fields, then metric id).

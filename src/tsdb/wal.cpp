@@ -20,8 +20,6 @@ constexpr std::uint32_t kWalMagic = 0x4C575645;  // "EVWL"
 constexpr std::uint32_t kWalFormatVersion = 1;
 constexpr std::uint64_t kWalHeaderBytes = 16;
 constexpr std::uint64_t kFrameHeaderBytes = 8;
-// Sanity ceiling on one frame; checkpoints dominate and stay far under.
-constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
 
 Status io_error(const char* what) {
   return Status(StatusCode::kInternal,
@@ -74,6 +72,13 @@ Status WalWriter::open_for_append(const std::string& path, std::uint64_t resume_
 
 Status WalWriter::append(WalRecordType type, std::span<const std::uint8_t> payload) {
   if (fd_ < 0) return Status(StatusCode::kFailedPrecondition, "wal is not open");
+  // The reader rejects frames past the ceiling, so writing one would
+  // produce a log that recovery silently truncates — fail loudly here,
+  // before any byte lands.  (>= because the type byte rides the frame.)
+  if (payload.size() >= kWalMaxFrameBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "wal record exceeds the maximum frame size");
+  }
   wire::Writer frame;
   frame.u32(static_cast<std::uint32_t>(payload.size() + 1));
   // CRC covers the type byte plus the payload.
@@ -142,7 +147,7 @@ std::optional<WalReader::Frame> WalReader::next() {
   wire::Reader header(std::span<const std::uint8_t>(buffer_).subspan(pos_, kFrameHeaderBytes));
   const std::uint32_t length = header.u32();
   const std::uint32_t crc = header.u32();
-  if (length == 0 || length > kMaxFrameBytes ||
+  if (length == 0 || length > kWalMaxFrameBytes ||
       pos_ + kFrameHeaderBytes + length > buffer_.size()) {
     truncated_ = true;
     return std::nullopt;

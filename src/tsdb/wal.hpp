@@ -36,6 +36,13 @@ enum class FsyncPolicy {
   kAlways,  // every insert call; the kill -9 recovery gate runs under this
 };
 
+// Hard ceiling on one framed record (type byte + payload).  The writer
+// rejects larger appends up front and the reader treats larger length
+// prefixes as corruption — enforcing both sides keeps an oversized
+// checkpoint from being written successfully only to be deemed corrupt
+// (and silently discarded) at the next recovery.
+inline constexpr std::uint32_t kWalMaxFrameBytes = 256u << 20;
+
 // WAL record types (payload[0]).
 enum class WalRecordType : std::uint8_t {
   kCheckpoint = 1,   // full-state snapshot; always a WAL file's first record
@@ -59,7 +66,8 @@ class WalWriter {
   Status create(const std::string& path);
   Status open_for_append(const std::string& path, std::uint64_t resume_bytes);
 
-  // Appends one framed record; no fsync.
+  // Appends one framed record; no fsync.  kInvalidArgument (before any
+  // byte is written) when the frame would exceed kWalMaxFrameBytes.
   Status append(WalRecordType type, std::span<const std::uint8_t> payload);
   Status sync();
   Status close();

@@ -12,12 +12,15 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "tsdb/database.hpp"
+#include "tsdb/wal.hpp"
+#include "tsdb/wire.hpp"
 
 namespace envmon::tsdb {
 namespace {
@@ -369,6 +372,161 @@ TEST(Persistence, RetentionReleasesRefsAndUnlinksDeadSegments) {
   EXPECT_GE(stats.segments_deleted, 1u);
   EXPECT_LT(stats.disk_bytes, disk_before);
   EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Persistence, RetentionThenKill9DoesNotLoseTheDatabase) {
+  // The lethal sequence: a checkpoint references sealed extents, then
+  // retention kills every block in their segments, then kill -9.  The
+  // segment files must outlive every WAL record referencing them (the
+  // unlink is deferred behind a fresh checkpoint), or recovery rejects
+  // the only WAL and the whole database silently evaporates.
+  TempDir dir;
+  auto options = durable_options();
+  options.retention = Duration::seconds(10);
+  options.durability.segment_rotate_bytes = 1;  // one extent per segment
+  {
+    EnvDatabase db(options);
+    ASSERT_TRUE(db.open(dir.path).is_ok());
+    ASSERT_TRUE(db.insert_batch(workload(6'000)).all_accepted());
+    db.seal_blocks(1);
+    ASSERT_TRUE(db.close().is_ok());  // checkpoint now references the extents
+  }
+  std::uint64_t before;
+  std::size_t rows_before;
+  {
+    EnvDatabase db(options);
+    ASSERT_TRUE(db.open(dir.path).is_ok());
+    ASSERT_EQ(db.size(), 6'000u);
+    // One far-future record expires every sealed block above: whole
+    // segments go dead while the current WAL still references them.
+    ASSERT_TRUE(
+        db.insert(make_record(1'000'000'000'000, 0, 0, "input_power_watts", 7.0)).is_ok());
+    ASSERT_TRUE(
+        db.insert_batch(workload(500, 1'000'000'000'000 + 1'000'000)).all_accepted());
+    EXPECT_GE(db.durable_stats().segments_deleted, 1u);  // files were reclaimed
+    before = digest(query_all(db));
+    rows_before = db.size();
+    // kill -9 right after the retention wave.
+  }
+  EnvDatabase db(options);
+  ASSERT_TRUE(db.open(dir.path).is_ok());
+  EXPECT_TRUE(db.recovery_info().recovered);
+  EXPECT_EQ(db.size(), rows_before);
+  EXPECT_EQ(digest(query_all(db)), before);
+}
+
+TEST(Persistence, TrailingSlashDirRoundTrips) {
+  // "data/" and "data" must name the same store: path-string comparisons
+  // in the WAL cleanup once saw "data//wal-..." != "data/wal-..." and
+  // deleted the checkpoint they had just written.
+  TempDir dir;
+  const std::string slashed = dir.path + "/";
+  std::uint64_t before;
+  {
+    EnvDatabase db(durable_options());
+    ASSERT_TRUE(db.open(slashed).is_ok());
+    ASSERT_TRUE(db.insert_batch(workload(2'000)).all_accepted());
+    db.seal_blocks(1);
+    before = digest(query_all(db));
+    ASSERT_TRUE(db.close().is_ok());
+  }
+  EXPECT_EQ(files_matching(dir.path, "wal-").size(), 1u);
+  EnvDatabase db(durable_options());
+  ASSERT_TRUE(db.open(slashed).is_ok());
+  EXPECT_EQ(db.size(), 2'000u);
+  EXPECT_EQ(digest(query_all(db)), before);
+}
+
+TEST(Persistence, OversizedWalFrameIsRejectedAtAppend) {
+  // The reader treats frames past kWalMaxFrameBytes as corruption, so
+  // the writer must refuse them up front — otherwise an oversized
+  // checkpoint writes "successfully" and recovery silently starts
+  // fresh.
+  TempDir dir;
+  const std::string path = dir.path + "/wal-000001.log";
+  WalWriter w;
+  ASSERT_TRUE(w.create(path).is_ok());
+  const std::vector<std::uint8_t> big(kWalMaxFrameBytes, 0);  // +type byte > ceiling
+  EXPECT_FALSE(w.append(WalRecordType::kInsertBatch, big).is_ok());
+  EXPECT_EQ(w.frames_written(), 0u);
+  ASSERT_TRUE(w.close().is_ok());
+  // Nothing of the rejected frame landed: the log is clean and empty,
+  // not truncated-at-corruption.
+  WalReader r;
+  ASSERT_TRUE(r.open(path).is_ok());
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_FALSE(r.truncated());
+}
+
+TEST(Persistence, UnreadableSegmentFileIsNeverClobbered) {
+  // A stray file wearing a segment name but failing header validation
+  // is left in place for inspection — and its id must never be handed
+  // back to rotate(), whose create() would O_TRUNC the evidence.
+  TempDir dir;
+  const std::string stray = dir.path + "/segment-000001.seg";
+  const std::string junk = "not a segment at all; preserve me for inspection";
+  {
+    std::ofstream f(stray, std::ios::binary);
+    f << junk;
+  }
+  {
+    EnvDatabase db(durable_options());
+    ASSERT_TRUE(db.open(dir.path).is_ok());
+    ASSERT_TRUE(db.insert_batch(workload(4'000)).all_accepted());
+    db.seal_blocks(1);  // rotate() allocates fresh segment ids
+    ASSERT_TRUE(db.close().is_ok());
+  }
+  std::ifstream f(stray, std::ios::binary);
+  const std::string back((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(back, junk);
+}
+
+TEST(Persistence, CorruptSealFrameLeavesNoPhantomSeries) {
+  TempDir dir;
+  std::uint64_t before;
+  std::size_t series_before;
+  {
+    EnvDatabase db(durable_options());
+    ASSERT_TRUE(db.open(dir.path).is_ok());
+    ASSERT_TRUE(db.insert_batch(workload(1'000)).all_accepted());
+    before = digest(query_all(db));
+    series_before = db.series_count();
+  }
+  // Hand-append a CRC-valid kSeal frame for a series no insert ever
+  // created, referencing an extent that resolves nowhere.  Replay must
+  // reject the frame wholesale — validation registers nothing.
+  const auto wals = files_matching(dir.path, "wal-");
+  ASSERT_EQ(wals.size(), 1u);
+  {
+    WalWriter w;
+    ASSERT_TRUE(
+        w.open_for_append(wals.front(), std::filesystem::file_size(wals.front())).is_ok());
+    wire::Writer p;
+    for (int i = 0; i < 4; ++i) p.i32(7);  // location no insert ever used
+    p.u32(0);                              // a real metric id
+    p.u32(16);                             // rows
+    p.u32(16);                             // finite_rows
+    p.i64(0);                              // ts_min
+    p.i64(15);                             // ts_max
+    p.u64(0);                              // seq_first
+    p.u64(15);                             // seq_last
+    for (int i = 0; i < 4; ++i) p.f64(1.0);  // min/max/sum/sum_sq
+    p.u32(1);                              // segment id
+    p.u64(24);                             // offset
+    p.u32(64);                             // length
+    p.u32(0);                              // crc
+    p.u64(0);                              // hash.hi
+    p.u64(0);                              // hash.lo
+    p.blob({});                            // seq sidecar
+    ASSERT_TRUE(w.append(WalRecordType::kSeal, p.span()).is_ok());
+    ASSERT_TRUE(w.close().is_ok());
+  }
+  EnvDatabase db(durable_options());
+  ASSERT_TRUE(db.open(dir.path).is_ok());
+  EXPECT_TRUE(db.recovery_info().wal_truncated);
+  EXPECT_EQ(db.series_count(), series_before);  // no phantom in index or gauge
+  EXPECT_EQ(digest(query_all(db)), before);
 }
 
 // ------------------------------------------------------------ eviction
