@@ -1,0 +1,371 @@
+// envmond ingestion bench: daemon path vs in-process insert_batch.
+//
+// The daemon (DESIGN.md §14) promises that putting a Unix socket and a
+// wire protocol between producers and the store costs bounded
+// throughput and zero fidelity: N concurrent network clients yield
+// exactly the database some single-writer interleaving would have
+// produced, and the frame log replays that interleaving byte-for-byte.
+// This bench measures the cost and gates the promises:
+//
+//   gate 1: multi-client daemon ingest sustains >= 50% of the
+//           in-process insert_batch row rate for the same workload,
+//   gate 2: a single daemon client produces a database digest
+//           byte-identical to the in-process path fed the same rows,
+//   gate 3: replaying the multi-client frame log reproduces the live
+//           database digest, twice (deterministic fixture).
+//
+// Results land in BENCH_daemon.json; re-run via
+// `./build/bench/daemon_ingest` from the repo root.
+//
+// Extra mode for the ci/check.sh daemon smoke:
+//   daemon_ingest --smoke [socket]   tiny multi-client run; with a
+//       socket path it targets an already-running envmond, otherwise
+//       it spins an in-process server and also checks replay identity.
+//
+// Timestamps: the store enforces a global watermark (insert_batch
+// rejects rows older than the newest accepted timestamp), so the
+// workload uses the fleet's epoch model — a batch is one collection
+// epoch and every row in it carries the epoch timestamp, identical
+// across clients.  Equal timestamps always pass the watermark; only a
+// client lagging a full epoch behind the fleet loses that batch, which
+// the accept ratio reports.  The server's credit window is set to one
+// batch so producers pace themselves against the pump and stay in step.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "daemon/digest.hpp"
+#include "daemon/framelog.hpp"
+#include "daemon/server.hpp"
+#include "tsdb/database.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using envmon::sim::SimTime;
+namespace daemon = envmon::daemon;
+namespace tsdb = envmon::tsdb;
+
+constexpr std::uint32_t kClients = 4;
+constexpr std::uint64_t kBatchRows = 4096;
+constexpr std::uint64_t kBatchesPerClient = 16;
+constexpr std::uint64_t kRowsPerClient = kBatchRows * kBatchesPerClient;
+
+const char* kMetrics[3] = {"input_power_watts", "coolant_flow_lpm", "board_temp_c"};
+
+// Row i of client c in epoch `batch`: the timestamp is the epoch's
+// (shared across clients, see the watermark note above), location keys
+// the client so every client owns disjoint series, and the value is a
+// pure function of (c, i).
+tsdb::Record stream_row(std::uint32_t client, std::uint64_t batch, std::uint64_t i) {
+  tsdb::Record r;
+  r.timestamp = SimTime::from_ns(static_cast<std::int64_t>(batch) * 1'000'000);
+  r.location = tsdb::Location{static_cast<int>(client), static_cast<int>(i % 4), 0,
+                              static_cast<int>((i / 4) % 4)};
+  r.metric = kMetrics[i % 3];
+  r.value = static_cast<double>(((i + client) * 2654435761u) % 100'000) / 100.0;
+  return r;
+}
+
+std::vector<tsdb::Record> batch_rows(std::uint32_t client, std::uint64_t batch,
+                                     std::uint64_t rows_per_batch) {
+  std::vector<tsdb::Record> out;
+  out.reserve(rows_per_batch);
+  const std::uint64_t first = batch * rows_per_batch;
+  for (std::uint64_t i = first; i < first + rows_per_batch; ++i) {
+    out.push_back(stream_row(client, batch, i));
+  }
+  return out;
+}
+
+tsdb::DatabaseOptions base_options() {
+  tsdb::DatabaseOptions o;
+  o.max_insert_rate_per_second = 0.0;  // measure the path, not the rate model
+  return o;
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/envmond_bench_XXXXXX";
+    char* got = mkdtemp(tmpl);
+    path = (got != nullptr) ? got : "/tmp";
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+// ------------------------------------------------------- client drive
+
+// Streams `batches` batches of client c's rows through `client`;
+// returns false on any protocol failure.
+bool drive_client(daemon::Client& client, std::uint32_t c, std::uint64_t batches,
+                  std::uint64_t rows_per_batch) {
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const auto rows = batch_rows(c, b, rows_per_batch);
+    if (!client.send_batch(rows).is_ok()) return false;
+  }
+  return client.drain().is_ok();
+}
+
+struct DaemonRunResult {
+  bool ok = false;
+  double seconds = 0.0;
+  std::uint64_t rows_sent = 0;
+  std::uint64_t rows_accepted = 0;
+};
+
+// Runs `clients` concurrent producers against the server at
+// `socket_path`, each streaming its full per-client stream.
+DaemonRunResult run_clients(const std::string& socket_path, std::uint32_t clients,
+                            std::uint64_t batches, std::uint64_t rows_per_batch) {
+  DaemonRunResult result;
+  std::vector<std::unique_ptr<daemon::Client>> handles;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    daemon::Client::Options copt;
+    copt.socket_path = socket_path;
+    copt.tenant = "bench";
+    handles.push_back(std::make_unique<daemon::Client>(copt));
+  }
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  std::vector<int> oks(clients, 0);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      daemon::Client& cl = *handles[c];
+      if (!cl.connect().is_ok()) return;
+      if (!drive_client(cl, c, batches, rows_per_batch)) return;
+      if (!cl.close().is_ok()) return;
+      oks[c] = 1;
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.seconds = seconds_since(t0);
+  result.ok = true;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    if (oks[c] == 0) result.ok = false;
+    result.rows_sent += handles[c]->totals().rows_sent;
+    result.rows_accepted += handles[c]->totals().rows_accepted;
+  }
+  return result;
+}
+
+// ------------------------------------------------------------- smoke
+
+// Tiny multi-client run for ci/check.sh.  With a socket path it targets
+// an external envmond (protocol-level checks only); without one it
+// spins an in-process server and additionally gates replay identity.
+int run_smoke(const char* socket_arg) {
+  constexpr std::uint64_t kSmokeBatches = 4;
+  constexpr std::uint64_t kSmokeRows = 256;
+
+  if (socket_arg != nullptr) {
+    const auto run = run_clients(socket_arg, 3, kSmokeBatches, kSmokeRows);
+    if (!run.ok) {
+      std::fprintf(stderr, "smoke: client run against %s failed\n", socket_arg);
+      return 1;
+    }
+    // Against a shared external daemon we can only assert protocol
+    // health: every row acked one way or the other, none lost.
+    std::printf("smoke: external daemon ok (%llu rows sent, %llu accepted)\n",
+                static_cast<unsigned long long>(run.rows_sent),
+                static_cast<unsigned long long>(run.rows_accepted));
+    return 0;
+  }
+
+  TempDir tmp;
+  tsdb::EnvDatabase db(base_options());
+  daemon::ServerOptions sopt;
+  sopt.socket_path = tmp.path + "/smoke.sock";
+  sopt.frame_log_path = tmp.path + "/smoke.evfl";
+  sopt.credit_window_rows = kSmokeRows;  // one epoch in flight per client
+  daemon::Server server(db, sopt);
+  if (!server.start().is_ok()) {
+    std::fprintf(stderr, "smoke: server start failed\n");
+    return 1;
+  }
+  const auto run = run_clients(sopt.socket_path, 3, kSmokeBatches, kSmokeRows);
+  server.stop();
+  if (!run.ok || run.rows_sent == 0) {
+    std::fprintf(stderr, "smoke: client run failed\n");
+    return 1;
+  }
+  tsdb::EnvDatabase replayed(base_options());
+  const auto st = daemon::replay_frame_log(sopt.frame_log_path, replayed);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "smoke: replay failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (daemon::database_digest(replayed) != daemon::database_digest(db)) {
+    std::fprintf(stderr, "smoke: replay digest mismatch\n");
+    return 1;
+  }
+  std::printf("smoke: in-process daemon ok (%llu rows, replay identical)\n",
+              static_cast<unsigned long long>(run.rows_accepted));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--smoke") == 0) {
+    return run_smoke(argc >= 3 ? argv[2] : nullptr);
+  }
+
+  TempDir tmp;
+  const std::uint64_t total_rows = static_cast<std::uint64_t>(kClients) * kRowsPerClient;
+
+  // ---- phase 1: in-process baseline -------------------------------
+  // Batch-major interleaving (batch 0 of every client, then batch 1,
+  // ...) keeps timestamps nondecreasing under the global watermark and
+  // is exactly the fair round-robin the daemon's pump approximates.
+  std::printf("daemon ingest bench: %u clients x %llu rows\n", kClients,
+              static_cast<unsigned long long>(kRowsPerClient));
+  tsdb::EnvDatabase inproc_db(base_options());
+  std::uint64_t inproc_accepted = 0;
+  std::vector<std::vector<tsdb::Record>> prebuilt;
+  for (std::uint64_t b = 0; b < kBatchesPerClient; ++b) {
+    for (std::uint32_t c = 0; c < kClients; ++c) {
+      prebuilt.push_back(batch_rows(c, b, kBatchRows));
+    }
+  }
+  const auto t_inproc = Clock::now();
+  for (const auto& rows : prebuilt) {
+    inproc_accepted += inproc_db.insert_batch(rows).accepted;
+  }
+  const double inproc_s = seconds_since(t_inproc);
+  prebuilt.clear();
+  prebuilt.shrink_to_fit();
+  const double inproc_rate = static_cast<double>(total_rows) / inproc_s;
+  std::printf("  in-process insert_batch : %.2f Mrows/s (%.3f s, %llu accepted)\n",
+              inproc_rate / 1e6, inproc_s, static_cast<unsigned long long>(inproc_accepted));
+
+  // ---- phase 2: single-client byte identity -----------------------
+  tsdb::EnvDatabase single_ref(base_options());
+  for (std::uint64_t b = 0; b < kBatchesPerClient; ++b) {
+    single_ref.insert_batch(batch_rows(0, b, kBatchRows));
+  }
+  tsdb::EnvDatabase single_db(base_options());
+  daemon::ServerOptions single_opt;
+  single_opt.socket_path = tmp.path + "/single.sock";
+  single_opt.credit_window_rows = kBatchRows;
+  daemon::Server single_server(single_db, single_opt);
+  if (!single_server.start().is_ok()) {
+    std::fprintf(stderr, "single-client server start failed\n");
+    return 2;
+  }
+  const auto single_run = run_clients(single_opt.socket_path, 1, kBatchesPerClient, kBatchRows);
+  single_server.stop();
+  const bool single_identical =
+      single_run.ok && daemon::database_digest(single_db) == daemon::database_digest(single_ref);
+  std::printf("  single-client digest    : %s\n", single_identical ? "identical" : "MISMATCH");
+
+  // ---- phase 3: multi-client daemon throughput --------------------
+  tsdb::EnvDatabase daemon_db(base_options());
+  daemon::ServerOptions sopt;
+  sopt.socket_path = tmp.path + "/bench.sock";
+  sopt.frame_log_path = tmp.path + "/bench.evfl";
+  sopt.credit_window_rows = kBatchRows;  // one epoch in flight per client
+  daemon::Server server(daemon_db, sopt);
+  if (!server.start().is_ok()) {
+    std::fprintf(stderr, "bench server start failed\n");
+    return 2;
+  }
+  const auto run = run_clients(sopt.socket_path, kClients, kBatchesPerClient, kBatchRows);
+  server.stop();
+  const auto server_stats = server.stats();
+  if (!run.ok) {
+    std::fprintf(stderr, "multi-client run failed\n");
+    return 2;
+  }
+  const double daemon_rate = static_cast<double>(run.rows_sent) / run.seconds;
+  const double ratio = daemon_rate / inproc_rate;
+  const double accept_ratio =
+      static_cast<double>(run.rows_accepted) / static_cast<double>(run.rows_sent);
+  std::printf("  daemon ingest           : %.2f Mrows/s (%.3f s, %u clients)\n",
+              daemon_rate / 1e6, run.seconds, kClients);
+  std::printf("  daemon/in-process ratio : %.2f\n", ratio);
+  std::printf("  accept ratio            : %.4f (%llu/%llu rows)\n", accept_ratio,
+              static_cast<unsigned long long>(run.rows_accepted),
+              static_cast<unsigned long long>(run.rows_sent));
+
+  // ---- phase 4: deterministic replay ------------------------------
+  const std::uint64_t live_digest = daemon::database_digest(daemon_db);
+  std::uint64_t replay_digest1 = 0;
+  std::uint64_t replay_digest2 = 0;
+  daemon::ReplayStats rstats;
+  {
+    tsdb::EnvDatabase replayed(base_options());
+    const auto st = daemon::replay_frame_log(sopt.frame_log_path, replayed, &rstats);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "replay failed: %s\n", st.to_string().c_str());
+      return 2;
+    }
+    replay_digest1 = daemon::database_digest(replayed);
+  }
+  {
+    tsdb::EnvDatabase replayed(base_options());
+    if (!daemon::replay_frame_log(sopt.frame_log_path, replayed).is_ok()) return 2;
+    replay_digest2 = daemon::database_digest(replayed);
+  }
+  const bool replay_identical = replay_digest1 == live_digest;
+  const bool replay_deterministic = replay_digest1 == replay_digest2;
+  std::printf("  frame-log replay        : %s (%llu frames, %llu sessions)\n",
+              replay_identical ? "identical" : "MISMATCH",
+              static_cast<unsigned long long>(rstats.frames),
+              static_cast<unsigned long long>(rstats.sessions));
+
+  // ---- gates ------------------------------------------------------
+  const bool throughput_ok = ratio >= 0.50;
+  std::printf("\ndaemon >= 50%% in-process  : %s (%.0f%%)\n", throughput_ok ? "PASS" : "FAIL",
+              ratio * 100.0);
+  std::printf("single-client identical   : %s\n", single_identical ? "PASS" : "FAIL");
+  std::printf("replay identical to live  : %s\n", replay_identical ? "PASS" : "FAIL");
+  std::printf("replay deterministic      : %s\n", replay_deterministic ? "PASS" : "FAIL");
+
+  std::FILE* out = std::fopen("BENCH_daemon.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"clients\": %u,\n"
+                 "  \"rows_per_client\": %llu,\n"
+                 "  \"inproc_rows_per_s\": %.0f,\n"
+                 "  \"daemon_rows_per_s\": %.0f,\n"
+                 "  \"throughput_ratio\": %.3f,\n"
+                 "  \"accept_ratio\": %.4f,\n"
+                 "  \"daemon_ingest_s\": %.4f,\n"
+                 "  \"frames_replayed\": %llu,\n"
+                 "  \"batches_replayed\": %llu,\n"
+                 "  \"server_protocol_errors\": %llu,\n"
+                 "  \"single_client_identical\": %s,\n"
+                 "  \"replay_identical\": %s,\n"
+                 "  \"replay_deterministic\": %s\n"
+                 "}\n",
+                 kClients, static_cast<unsigned long long>(kRowsPerClient), inproc_rate,
+                 daemon_rate, ratio, accept_ratio, run.seconds,
+                 static_cast<unsigned long long>(rstats.frames),
+                 static_cast<unsigned long long>(rstats.batches),
+                 static_cast<unsigned long long>(server_stats.protocol_errors),
+                 single_identical ? "true" : "false", replay_identical ? "true" : "false",
+                 replay_deterministic ? "true" : "false");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_daemon.json\n");
+  }
+
+  return (throughput_ok && single_identical && replay_identical && replay_deterministic) ? 0 : 2;
+}

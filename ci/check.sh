@@ -9,12 +9,16 @@
 #   3. crash-recovery smoke: the durability bench writer is SIGKILLed
 #      mid-ingest and the store must reopen with a byte-identical
 #      prefix of the deterministic stream (DESIGN.md §13's gate);
-#   4. ASan+UBSan build of the obs + fleet + persist labels (the suites
-#      that exercise the telemetry rollup, flight recorders, the ingest
-#      path, and the durable storage layer end-to-end);
-#   5. TSan build of the same labels — the fleet suite's 8-worker
-#      byte-equality and forced-steal tests double as its data-race
-#      workload.
+#   4. daemon smoke: a real envmond process serves three concurrent
+#      clients over its Unix socket, then the in-process variant also
+#      gates frame-log replay identity (DESIGN.md §14's gate);
+#   5. ASan+UBSan build of the obs + fleet + persist + daemon labels
+#      (the suites that exercise the telemetry rollup, flight
+#      recorders, the ingest path, the durable storage layer, and the
+#      wire protocol end-to-end);
+#   6. TSan build of the same labels — the fleet suite's 8-worker
+#      byte-equality tests and the daemon suite's multi-client
+#      server/client runs double as its data-race workload.
 #
 # Usage: ci/check.sh [--tier1-only]
 # Build trees land in build/ (tier 1), build-asan/, and build-tsan/.
@@ -23,7 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-SANITIZED_LABELS='obs|fleet|persist'
+SANITIZED_LABELS='obs|fleet|persist|daemon'
 
 run_suite() {
   local dir="$1"; shift
@@ -49,6 +53,16 @@ sleep 2
 kill -9 "${WRITER_PID}" 2>/dev/null || true
 wait "${WRITER_PID}" 2>/dev/null || true
 ./build/bench/durability --verify "${CRASH_DIR}"
+
+echo "== daemon smoke: envmond process + 3 clients, then replay identity =="
+DAEMON_SOCK="${CRASH_DIR}/envmond.sock"
+./build/examples/envmond "${DAEMON_SOCK}" &
+DAEMON_PID=$!
+for _ in $(seq 50); do [[ -S "${DAEMON_SOCK}" ]] && break; sleep 0.1; done
+./build/bench/daemon_ingest --smoke "${DAEMON_SOCK}"
+kill -TERM "${DAEMON_PID}" 2>/dev/null || true
+wait "${DAEMON_PID}" 2>/dev/null || true
+./build/bench/daemon_ingest --smoke
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "OK (tier 1 only)"

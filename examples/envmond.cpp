@@ -1,0 +1,63 @@
+// envmond: run the ingestion daemon against a database directory.
+//
+//   envmond <socket-path> [db-dir] [frame-log]
+//
+// Serves the envmon wire protocol (DESIGN.md §14) on a Unix-domain
+// socket until SIGINT/SIGTERM, then drains in-flight batches, flushes
+// the durable store (when a db-dir is given) and exits.  With a
+// frame-log path every session is captured for deterministic replay.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "daemon/server.hpp"
+#include "tsdb/database.hpp"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: envmond <socket-path> [db-dir] [frame-log]\n");
+    return 2;
+  }
+
+  envmon::tsdb::EnvDatabase db;
+  if (argc > 2) {
+    if (auto s = db.open(argv[2]); !s.is_ok()) {
+      std::fprintf(stderr, "envmond: open %s: %s\n", argv[2], s.message().c_str());
+      return 1;
+    }
+  }
+
+  envmon::daemon::ServerOptions options;
+  options.socket_path = argv[1];
+  if (argc > 3) options.frame_log_path = argv[3];
+
+  envmon::daemon::Server server(db, options);
+  if (auto s = server.start(); !s.is_ok()) {
+    std::fprintf(stderr, "envmond: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("envmond: serving on %s (db %s, capture %s)\n", argv[1],
+              argc > 2 ? argv[2] : "in-memory",
+              options.frame_log_path.empty() ? "off" : options.frame_log_path.c_str());
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  sigset_t mask;
+  sigemptyset(&mask);
+  while (g_stop == 0) sigsuspend(&mask);
+
+  server.stop();
+  const auto stats = server.stats();
+  std::printf("envmond: %llu sessions, %llu batches, %llu rows accepted, %llu rejected\n",
+              static_cast<unsigned long long>(stats.sessions_accepted),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.rows_accepted),
+              static_cast<unsigned long long>(stats.rows_rejected));
+  return 0;
+}

@@ -6,13 +6,12 @@
 #include <cstdio>
 
 #include "moneq/backend_rapl.hpp"
-#include "moneq/capi.hpp"
+#include "moneq/profiler.hpp"
 #include "rapl/reader.hpp"
 #include "workloads/library.hpp"
 
 int main() {
   using namespace envmon;
-  using namespace envmon::moneq::capi;
 
   sim::Engine engine;
   rapl::CpuPackage package(engine);
@@ -23,27 +22,27 @@ int main() {
   moneq::MemoryOutput output;
   moneq::NodeProfiler profiler(engine, world, 0);
   if (!profiler.add_backend(backend).is_ok()) return 1;
-  MonEQ_Bind(&profiler, &fs, &output);
 
   // Three GE "work loops" of 12 s each, separated by 3 s of setup.
   workloads::GaussianEliminationOptions ge;
   ge.total = sim::Duration::seconds(45);
   const auto workload = workloads::gaussian_elimination(ge);
 
-  if (MonEQ_SetPollingInterval(0.1) != kMonEQOk) return 1;  // 100 ms, like Fig 3
-  if (MonEQ_Initialize() != kMonEQOk) return 1;
+  // 100 ms sampling, like Fig 3.
+  if (!profiler.set_polling_interval(sim::Duration::millis(100)).is_ok()) return 1;
+  if (!profiler.initialize().is_ok()) return 1;
 
   package.run_workload(&workload, engine.now());
   for (int loop = 1; loop <= 3; ++loop) {
     char tag[16];
     std::snprintf(tag, sizeof(tag), "work_loop_%d", loop);
-    if (MonEQ_StartTag(tag) != kMonEQOk) return 1;
+    if (!profiler.start_tag(tag).is_ok()) return 1;
     engine.run_until(engine.now() + sim::Duration::seconds(12));
-    if (MonEQ_EndTag(tag) != kMonEQOk) return 1;
+    if (!profiler.end_tag(tag).is_ok()) return 1;
     engine.run_until(engine.now() + sim::Duration::seconds(3));
   }
 
-  if (MonEQ_Finalize() != kMonEQOk) return 1;
+  if (!profiler.finalize(&fs, &output).is_ok()) return 1;
 
   // Post-process per tag, the way the paper's output files are consumed.
   const auto& samples = profiler.samples();
@@ -69,6 +68,5 @@ int main() {
               reader.cost().mean_per_query().to_millis());
   std::printf("tagging cost: ~0 -- 'the injection happens after the program has"
               " completed'\n");
-  MonEQ_Bind(nullptr);
   return 0;
 }

@@ -1,9 +1,12 @@
 // Quickstart: the paper's Listing 1 — two lines of MonEQ around your
 // user code — on a simulated Intel (RAPL) node.
 //
-//   status = MonEQ_Initialize();  // Setup Power
+//   status = profiler.initialize();  // Setup Power
 //   /* User code */
-//   status = MonEQ_Finalize();    // Finalize Power
+//   status = profiler.finalize();    // Finalize Power
+//
+// (The paper's MonEQ_* C spelling was the v1 surface; the typed Status
+// surface replaced it — see DESIGN.md §9 for the mapping.)
 //
 // Everything else below is testbed assembly: standing up the simulated
 // package, the msr device, and the workload that plays the role of
@@ -12,13 +15,12 @@
 #include <cstdio>
 
 #include "moneq/backend_rapl.hpp"
-#include "moneq/capi.hpp"
+#include "moneq/profiler.hpp"
 #include "rapl/reader.hpp"
 #include "workloads/library.hpp"
 
 int main() {
   using namespace envmon;
-  using namespace envmon::moneq::capi;
 
   // --- testbed: one node with a Sandy Bridge-era package ---
   sim::Engine engine;
@@ -30,24 +32,23 @@ int main() {
   moneq::DiskOutput output(".");
   moneq::NodeProfiler profiler(engine, world, /*rank=*/0);
   if (!profiler.add_backend(backend).is_ok()) return 1;
-  MonEQ_Bind(&profiler, &fs, &output);
 
   // The "user code": a 30 s DGEMM.
   const auto workload = workloads::dgemm({sim::Duration::seconds(30), 0.95, 0.5});
   package.run_workload(&workload, engine.now());
 
   // --- the two lines from the paper ---
-  int status = MonEQ_Initialize();  // Setup Power
-  if (status != kMonEQOk) {
-    std::fprintf(stderr, "MonEQ_Initialize failed: %d\n", status);
+  Status status = profiler.initialize();  // Setup Power
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "initialize failed: %s\n", status.to_string().c_str());
     return 1;
   }
 
   engine.run_until(engine.now() + sim::Duration::seconds(30));  // user code runs
 
-  status = MonEQ_Finalize();  // Finalize Power
-  if (status != kMonEQOk) {
-    std::fprintf(stderr, "MonEQ_Finalize failed: %d\n", status);
+  status = profiler.finalize(&fs, &output);  // Finalize Power
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "finalize failed: %s\n", status.to_string().c_str());
     return 1;
   }
 
@@ -72,6 +73,5 @@ int main() {
               report.finalize.to_millis(), 100.0 * report.overhead_fraction(
                                                sim::Duration::seconds(30)));
   std::printf("  output file      : ./moneq_node_00000.csv\n");
-  MonEQ_Bind(nullptr);
   return 0;
 }

@@ -25,8 +25,7 @@ Result<EmonReading> EmonSession::read(sim::SimTime now) {
   // at time `now` is floor(now/period) - 1.
   const std::int64_t completed = now.ns() / period - 1;
   if (completed < 0) {
-    return Status(StatusCode::kUnavailable,
-                  "no completed EMON generation yet (first data after " +
+    return Status::unavailable("no completed EMON generation yet (first data after " +
                       std::to_string(2.0 * options_.generation_period.to_seconds()) + " s)");
   }
   EmonReading reading;

@@ -7,8 +7,7 @@ Result<std::unique_ptr<EnvMonitor>> EnvMonitor::create(sim::Engine& engine,
                                                        tsdb::EnvDatabase& db,
                                                        EnvMonitorOptions options) {
   if (options.interval < kMinEnvInterval || options.interval > kMaxEnvInterval) {
-    return Status(StatusCode::kOutOfRange,
-                  "environmental polling interval must be within 60-1800 s");
+    return Status::out_of_range("environmental polling interval must be within 60-1800 s");
   }
   return std::unique_ptr<EnvMonitor>(new EnvMonitor(engine, machine, db, options));
 }

@@ -14,16 +14,14 @@ Result<Config> Config::parse(std::string_view text) {
     if (line.empty() || line.front() == '#' || line.front() == ';') continue;
     if (line.front() == '[') {
       if (line.back() != ']' || line.size() < 3) {
-        return Status(StatusCode::kInvalidArgument,
-                      "malformed section header at line " + std::to_string(line_no));
+        return Status::invalid_argument("malformed section header at line " + std::to_string(line_no));
       }
       section = std::string(trim(line.substr(1, line.size() - 2)));
       continue;
     }
     const auto eq = line.find('=');
     if (eq == std::string_view::npos) {
-      return Status(StatusCode::kInvalidArgument,
-                    "expected key=value at line " + std::to_string(line_no));
+      return Status::invalid_argument("expected key=value at line " + std::to_string(line_no));
     }
     const std::string key{trim(line.substr(0, eq))};
     // Inline comments: a '#' or ';' preceded by whitespace ends the value.
@@ -37,8 +35,7 @@ Result<Config> Config::parse(std::string_view text) {
     }
     const std::string value{trim(value_part)};
     if (key.empty()) {
-      return Status(StatusCode::kInvalidArgument,
-                    "empty key at line " + std::to_string(line_no));
+      return Status::invalid_argument("empty key at line " + std::to_string(line_no));
     }
     config.data_[section][key] = value;
   }
@@ -69,8 +66,7 @@ Result<double> Config::get_double(std::string_view section, std::string_view key
   if (!v) return default_value;
   double out = 0.0;
   if (!parse_double(*v, out)) {
-    return Status(StatusCode::kInvalidArgument,
-                  std::string(section) + "." + std::string(key) + ": not a number: " + *v);
+    return Status::invalid_argument(std::string(section) + "." + std::string(key) + ": not a number: " + *v);
   }
   return out;
 }
@@ -81,8 +77,7 @@ Result<long long> Config::get_int(std::string_view section, std::string_view key
   if (!d) return d.status();
   const auto rounded = static_cast<long long>(d.value());
   if (static_cast<double>(rounded) != d.value()) {
-    return Status(StatusCode::kInvalidArgument,
-                  std::string(section) + "." + std::string(key) + ": not an integer");
+    return Status::invalid_argument(std::string(section) + "." + std::string(key) + ": not an integer");
   }
   return rounded;
 }
@@ -94,8 +89,7 @@ Result<bool> Config::get_bool(std::string_view section, std::string_view key,
   const std::string lower = to_lower(*v);
   if (lower == "true" || lower == "yes" || lower == "on" || lower == "1") return true;
   if (lower == "false" || lower == "no" || lower == "off" || lower == "0") return false;
-  return Status(StatusCode::kInvalidArgument,
-                std::string(section) + "." + std::string(key) + ": not a boolean: " + *v);
+  return Status::invalid_argument(std::string(section) + "." + std::string(key) + ": not a boolean: " + *v);
 }
 
 std::vector<std::string> Config::sections() const {

@@ -77,8 +77,7 @@ Result<CsvTable> parse_csv(std::string_view text, bool has_header, char delim) {
     switch (c) {
       case '"':
         if (!field.empty()) {
-          return Status(StatusCode::kInvalidArgument,
-                        "quote appears mid-field at offset " + std::to_string(i));
+          return Status::invalid_argument("quote appears mid-field at offset " + std::to_string(i));
         }
         in_quotes = true;
         row_has_data = true;
@@ -99,7 +98,7 @@ Result<CsvTable> parse_csv(std::string_view text, bool has_header, char delim) {
     }
   }
   if (in_quotes) {
-    return Status(StatusCode::kInvalidArgument, "unterminated quoted field");
+    return Status::invalid_argument("unterminated quoted field");
   }
   if (row_has_data || !field.empty() || !row.empty()) end_row();
   return table;

@@ -1,11 +1,20 @@
 #pragma once
-// Error handling: Status / Result<T>.
+// Error handling: Status / Result<T> — the one error taxonomy every
+// envmon subsystem shares.
 //
 // The vendor APIs the paper studies report errors by integer codes (NVML
 // return codes, errno from the msr device, SCIF status).  We mirror that
 // style at the simulation boundary but use a typed Status internally so
 // call sites cannot ignore failures accidentally ([[nodiscard]]).
+//
+// The taxonomy is shared across process boundaries: the envmond wire
+// protocol (daemon/protocol.hpp) carries these exact codes in its error
+// replies, so a remote client observes the same StatusCode an in-process
+// caller would.  The numeric values are therefore FROZEN — they are the
+// on-wire representation (DESIGN.md §14.5).  Add new codes at the end;
+// never renumber or remove.
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -14,18 +23,25 @@
 
 namespace envmon {
 
-enum class StatusCode {
+enum class StatusCode : std::uint16_t {
   kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kPermissionDenied,   // e.g. reading /dev/cpu/*/msr without root
-  kUnavailable,        // e.g. daemon not running, device lost
-  kOutOfRange,         // e.g. polling interval outside vendor limits
-  kFailedPrecondition, // e.g. collect before initialize
-  kResourceExhausted,  // e.g. sample buffer full
-  kUnsupported,        // e.g. power query on a pre-Kepler GPU
-  kInternal,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kPermissionDenied = 3,   // e.g. reading /dev/cpu/*/msr without root
+  kUnavailable = 4,        // e.g. daemon not running, device lost
+  kOutOfRange = 5,         // e.g. polling interval outside vendor limits
+  kFailedPrecondition = 6, // e.g. collect before initialize
+  kResourceExhausted = 7,  // e.g. sample buffer full, rate limit, credit overrun
+  kUnsupported = 8,        // e.g. power query on a pre-Kepler GPU
+  kInternal = 9,
+  kUnauthenticated = 10,   // e.g. handshake names an unknown tenant
+  kAborted = 11,           // e.g. session torn down mid-stream (server shutdown)
+  kDataLoss = 12,          // e.g. checksum mismatch on a frame or stored extent
 };
+
+// One past the last valid code; from_wire() maps anything >= this to
+// kInternal rather than trusting a peer's bytes.
+inline constexpr std::uint16_t kStatusCodeCount = 13;
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
   switch (code) {
@@ -39,8 +55,22 @@ enum class StatusCode {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnsupported: return "UNSUPPORTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnauthenticated: return "UNAUTHENTICATED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
+}
+
+// Wire representation (u16, little-endian where serialized).  The enum
+// values ARE the wire values; these helpers exist so protocol code never
+// casts bare integers and unknown peer bytes degrade safely.
+[[nodiscard]] constexpr std::uint16_t status_code_to_wire(StatusCode code) {
+  return static_cast<std::uint16_t>(code);
+}
+
+[[nodiscard]] constexpr StatusCode status_code_from_wire(std::uint16_t wire) {
+  return wire < kStatusCodeCount ? static_cast<StatusCode>(wire) : StatusCode::kInternal;
 }
 
 class [[nodiscard]] Status {
@@ -49,6 +79,45 @@ class [[nodiscard]] Status {
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
 
   [[nodiscard]] static Status ok() { return {}; }
+
+  // Canonical constructors — one per failure code, so call sites across
+  // tsdb, fleet, and the daemon spell the taxonomy identically.
+  [[nodiscard]] static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  [[nodiscard]] static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  [[nodiscard]] static Status permission_denied(std::string msg) {
+    return {StatusCode::kPermissionDenied, std::move(msg)};
+  }
+  [[nodiscard]] static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  [[nodiscard]] static Status out_of_range(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  [[nodiscard]] static Status failed_precondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  [[nodiscard]] static Status unsupported(std::string msg) {
+    return {StatusCode::kUnsupported, std::move(msg)};
+  }
+  [[nodiscard]] static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+  [[nodiscard]] static Status unauthenticated(std::string msg) {
+    return {StatusCode::kUnauthenticated, std::move(msg)};
+  }
+  [[nodiscard]] static Status aborted(std::string msg) {
+    return {StatusCode::kAborted, std::move(msg)};
+  }
+  [[nodiscard]] static Status data_loss(std::string msg) {
+    return {StatusCode::kDataLoss, std::move(msg)};
+  }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
   explicit operator bool() const { return is_ok(); }

@@ -1,0 +1,244 @@
+#include "daemon/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace envmon::daemon {
+
+namespace {
+
+bool read_exact(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, buf + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::fail(Status status) {
+  poisoned_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return status;
+}
+
+Status Client::send_payload(std::span<const std::uint8_t> payload) {
+  if (!send_all(fd_, frame(payload))) {
+    return fail(Status::unavailable(std::string("send: ") + std::strerror(errno)));
+  }
+  return Status::ok();
+}
+
+Status Client::read_payload(std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!read_exact(fd_, header, sizeof header)) {
+    return fail(Status::unavailable("connection closed by daemon"));
+  }
+  const FrameHeader h = decode_frame_header(header);
+  if (h.payload_len == 0 || h.payload_len > (64u << 20)) {
+    return fail(Status::data_loss("reply frame with absurd length"));
+  }
+  payload.resize(h.payload_len);
+  if (!read_exact(fd_, payload.data(), payload.size())) {
+    return fail(Status::unavailable("connection closed mid-frame"));
+  }
+  if (!frame_payload_ok(h, payload)) {
+    return fail(Status::data_loss("reply frame checksum mismatch"));
+  }
+  return Status::ok();
+}
+
+Status Client::connect() {
+  if (fd_ >= 0) return Status::failed_precondition("client already connected");
+  poisoned_ = false;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::invalid_argument("socket path empty or longer than sun_path");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::internal(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return Status::unavailable("connect(" + options_.socket_path + "): " + err);
+  }
+
+  Hello hello;
+  hello.ver_min = options_.ver_min;
+  hello.ver_max = options_.ver_max;
+  hello.caps_requested = options_.caps_requested;
+  hello.tenant = options_.tenant;
+  if (Status s = send_payload(encode_hello(hello)); !s.is_ok()) return s;
+
+  std::vector<std::uint8_t> payload;
+  if (Status s = read_payload(payload); !s.is_ok()) return s;
+  if (const auto err = decode_error(payload)) return fail(err->to_status());
+  const auto reply = decode_hello_reply(payload);
+  if (!reply) return fail(Status::data_loss("malformed HelloReply"));
+
+  handshaken_ = true;
+  session_id_ = reply->session_id;
+  version_ = reply->version;
+  caps_ = reply->caps_granted;
+  max_frame_bytes_ = reply->max_frame_bytes;
+  max_batch_rows_ = reply->max_batch_rows;
+  credit_window_rows_ = reply->credit_window_rows;
+  credits_ = credit_window_rows_;
+  return Status::ok();
+}
+
+Status Client::absorb_one_reply() {
+  std::vector<std::uint8_t> payload;
+  if (Status s = read_payload(payload); !s.is_ok()) return s;
+  if (const auto err = decode_error(payload)) return fail(err->to_status());
+  const auto reply = decode_batch_reply(payload);
+  if (!reply) return fail(Status::data_loss("expected BatchReply"));
+  credits_ += reply->credits_released;
+  totals_.rows_accepted += reply->accepted;
+  for (const auto& [code, count] : reply->rejected) {
+    totals_.rows_rejected += count;
+    totals_.rejected_by_code[status_code_to_wire(code)] += count;
+  }
+  if (outstanding_batches_ > 0) --outstanding_batches_;
+  return Status::ok();
+}
+
+Status Client::send_batch(std::span<const tsdb::Record> records) {
+  if (!connected()) return Status::failed_precondition("not connected");
+  if (poisoned_) return Status::aborted("session poisoned by a prior error");
+  const bool dict = (caps_ & kCapDictSync) != 0;
+
+  std::size_t offset = 0;
+  while (offset < records.size()) {
+    const std::size_t chunk_rows =
+        std::min<std::size_t>(records.size() - offset, max_batch_rows_);
+    const auto chunk = records.subspan(offset, chunk_rows);
+
+    if (dict) {
+      id_scratch_.clear();
+      id_scratch_.reserve(chunk.size());
+      for (const auto& rec : chunk) {
+        auto it = metric_ids_.find(rec.metric);
+        if (it == metric_ids_.end()) {
+          const auto id = static_cast<std::uint32_t>(metric_ids_.size());
+          it = metric_ids_.emplace(rec.metric, id).first;
+          if (Status s = send_payload(encode_metric_def(MetricDef{id, rec.metric}));
+              !s.is_ok()) {
+            return s;
+          }
+        }
+        id_scratch_.push_back(it->second);
+      }
+    }
+
+    while (credits_ < chunk.size()) {
+      if (Status s = absorb_one_reply(); !s.is_ok()) return s;
+    }
+
+    const auto payload =
+        encode_insert_batch(next_batch_seq_, chunk, dict, id_scratch_);
+    if (Status s = send_payload(payload); !s.is_ok()) return s;
+    ++next_batch_seq_;
+    ++outstanding_batches_;
+    credits_ -= chunk.size();
+    ++totals_.batches_sent;
+    totals_.rows_sent += chunk.size();
+    offset += chunk_rows;
+  }
+  return Status::ok();
+}
+
+Status Client::drain() {
+  if (!connected()) return Status::failed_precondition("not connected");
+  while (outstanding_batches_ > 0) {
+    if (Status s = absorb_one_reply(); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+Result<FlushReply> Client::flush() {
+  if (Status s = drain(); !s.is_ok()) return s;
+  if ((caps_ & kCapDurableFlush) == 0) {
+    return Status::unsupported("daemon did not grant the durable-flush capability");
+  }
+  const std::uint64_t token = ++flush_token_;
+  if (Status s = send_payload(encode_flush(FlushRequest{token})); !s.is_ok()) return s;
+  std::vector<std::uint8_t> payload;
+  if (Status s = read_payload(payload); !s.is_ok()) return s;
+  if (const auto err = decode_error(payload)) return fail(err->to_status());
+  const auto reply = decode_flush_reply(payload);
+  if (!reply || reply->token != token) {
+    return fail(Status::data_loss("malformed or mismatched FlushReply"));
+  }
+  return *reply;
+}
+
+Status Client::ping() {
+  if (Status s = drain(); !s.is_ok()) return s;
+  const std::uint64_t nonce = ++nonce_;
+  if (Status s = send_payload(encode_ping(nonce)); !s.is_ok()) return s;
+  std::vector<std::uint8_t> payload;
+  if (Status s = read_payload(payload); !s.is_ok()) return s;
+  if (const auto err = decode_error(payload)) return fail(err->to_status());
+  const auto pong = decode_pong(payload);
+  if (!pong || *pong != nonce) return fail(Status::data_loss("mismatched Pong"));
+  return Status::ok();
+}
+
+Status Client::close() {
+  if (fd_ < 0) return Status::ok();
+  Status drained = outstanding_batches_ > 0 && !poisoned_ ? drain() : Status::ok();
+  if (drained.is_ok() && !poisoned_) {
+    if (Status s = send_payload(encode_goodbye()); s.is_ok()) {
+      std::vector<std::uint8_t> payload;
+      (void)read_payload(payload);  // GoodbyeReply; best effort
+    }
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  handshaken_ = false;
+  return drained;
+}
+
+}  // namespace envmon::daemon

@@ -1,0 +1,107 @@
+#pragma once
+// envmon::daemon::Client — the producer side of the envmond protocol.
+//
+// Blocking, single-threaded, and pipelined: send_batch() returns as
+// soon as the batch is written, and only blocks (reading BatchReply
+// frames) when the credit window granted at Hello would be exceeded.
+// With the default 64k-row window a producer keeps many batches in
+// flight without ever overrunning the daemon.
+//
+// When the server grants kCapDictSync the client interns metric names
+// transparently: the first batch naming a metric is preceded by a
+// MetricDef frame, and rows carry a 4-byte id instead of the string.
+// drain() waits for every outstanding reply; flush() additionally asks
+// the daemon for a durability barrier.  Any Error frame from the
+// server surfaces as the equivalent typed Status and poisons the
+// session (common/status.hpp — same taxonomy, same codes).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "daemon/protocol.hpp"
+#include "tsdb/database.hpp"
+
+namespace envmon::daemon {
+
+class Client {
+ public:
+  struct Options {
+    std::string socket_path;
+    std::string tenant = "default";
+    std::uint32_t ver_min = kProtocolVersionMin;
+    std::uint32_t ver_max = kProtocolVersionMax;
+    std::uint32_t caps_requested = kCapDictSync | kCapDurableFlush;
+  };
+
+  struct Totals {
+    std::uint64_t batches_sent = 0;
+    std::uint64_t rows_sent = 0;
+    std::uint64_t rows_accepted = 0;
+    std::uint64_t rows_rejected = 0;
+    // Rejected rows by StatusCode wire value (kStatusCodeCount slots).
+    std::array<std::uint64_t, kStatusCodeCount> rejected_by_code{};
+  };
+
+  explicit Client(Options options) : options_(std::move(options)) {}
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects and performs the Hello handshake.
+  Status connect();
+
+  // Writes one InsertBatch, interning metrics first when negotiated;
+  // blocks only while the credit window is exhausted.
+  Status send_batch(std::span<const tsdb::Record> records);
+
+  // Blocks until every outstanding batch has been acknowledged.
+  Status drain();
+
+  // drain() + a durability barrier on the daemon; the reply reports the
+  // store's cumulative accepted rows and whether it is durable.
+  Result<FlushReply> flush();
+
+  Status ping();
+
+  // Goodbye handshake; further calls fail with kFailedPrecondition.
+  Status close();
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0 && handshaken_; }
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  [[nodiscard]] std::uint32_t caps() const { return caps_; }
+  [[nodiscard]] const Totals& totals() const { return totals_; }
+
+ private:
+  Status send_payload(std::span<const std::uint8_t> payload);
+  Status read_payload(std::vector<std::uint8_t>& payload);
+  // Reads one reply frame and applies it (BatchReply -> credits).
+  Status absorb_one_reply();
+  Status fail(Status status);
+
+  Options options_;
+  int fd_ = -1;
+  bool handshaken_ = false;
+  bool poisoned_ = false;
+  std::uint64_t session_id_ = 0;
+  std::uint32_t version_ = 0;
+  std::uint32_t caps_ = 0;
+  std::uint32_t max_frame_bytes_ = 0;
+  std::uint32_t max_batch_rows_ = 0;
+  std::uint64_t credit_window_rows_ = 0;
+  std::uint64_t credits_ = 0;          // rows we may still put in flight
+  std::uint64_t outstanding_batches_ = 0;
+  std::uint64_t next_batch_seq_ = 1;
+  std::uint64_t nonce_ = 0;
+  std::uint64_t flush_token_ = 0;
+  std::unordered_map<std::string, std::uint32_t> metric_ids_;
+  std::vector<std::uint32_t> id_scratch_;
+  Totals totals_;
+};
+
+}  // namespace envmon::daemon

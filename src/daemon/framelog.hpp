@@ -1,0 +1,103 @@
+#pragma once
+// Replayable frame log for envmond sessions (DESIGN.md §14.7).
+//
+// The server records every client->server frame it ACTS on, in the
+// order it acted — Hello/MetricDef/control frames as each session
+// thread processes them, InsertBatch/Flush frames inside the ingest
+// submission lock, i.e. in exactly the order batches enter the shared
+// IngestQueue.  That order is the only thing that couples concurrent
+// sessions, so feeding the log back through the same SessionCore state
+// machines single-threaded reproduces the database byte-for-byte: a
+// captured production session becomes a deterministic test fixture.
+//
+// File format ("EVFL"):
+//     u32 magic 'EVFL' | u32 version (1)
+//     u32 ver_min | u32 ver_max | u32 caps | u32 max_frame_bytes
+//     u32 max_batch_rows | u64 credit_window_rows   (the server config,
+//         so replay negotiates every handshake exactly as the live
+//         server did)
+//     repeated: u32 session_id | u32 payload_len | u32 crc32c | payload
+//
+// The reader validates CRCs and stops at the first torn or corrupt
+// entry (a capture that died mid-write still replays its clean prefix —
+// the WAL's recovery discipline applied to session capture).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "daemon/protocol.hpp"
+#include "tsdb/database.hpp"
+
+namespace envmon::daemon {
+
+inline constexpr std::uint32_t kFrameLogMagic = 0x4546564Cu;  // "EVFL" (LE bytes)
+inline constexpr std::uint32_t kFrameLogVersion = 1;
+
+// The protocol-affecting server configuration, embedded in the capture
+// header so replay handshakes land on the same version and capability
+// decisions the live server made.
+struct FrameLogHeader {
+  std::uint32_t ver_min = kProtocolVersionMin;
+  std::uint32_t ver_max = kProtocolVersionMax;
+  std::uint32_t caps_supported = kCapDictSync | kCapDurableFlush;
+  std::uint32_t max_frame_bytes = 4u << 20;
+  std::uint32_t max_batch_rows = 1u << 16;
+  std::uint64_t credit_window_rows = 1u << 16;
+};
+
+class FrameLogWriter {
+ public:
+  FrameLogWriter() = default;
+  ~FrameLogWriter();
+  FrameLogWriter(const FrameLogWriter&) = delete;
+  FrameLogWriter& operator=(const FrameLogWriter&) = delete;
+
+  Status open(const std::string& path, const FrameLogHeader& header);
+  // Thread-safe; entries land in call order.
+  void append(std::uint32_t session_id, std::span<const std::uint8_t> payload);
+  Status close();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t entries() const { return entries_; }
+
+ private:
+  std::mutex mutex_;
+  int fd_ = -1;
+  std::uint64_t entries_ = 0;
+};
+
+struct FrameLogEntry {
+  std::uint32_t session_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Loads the clean prefix of a frame log; `truncated` reports whether a
+// torn/corrupt tail was dropped.
+struct FrameLog {
+  FrameLogHeader header;
+  std::vector<FrameLogEntry> entries;
+};
+[[nodiscard]] Result<FrameLog> read_frame_log(const std::string& path,
+                                              bool* truncated = nullptr);
+
+// Replays a capture into `db`: every logged frame is fed through a
+// fresh SessionCore per session, batches apply synchronously in log
+// order via insert_batch, flush barriers call db.flush() when durable.
+// The resulting database state is byte-identical to the live run's (up
+// to the last logged frame).
+struct ReplayStats {
+  std::uint64_t frames = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t rows_accepted = 0;
+  std::uint64_t rows_rejected = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t protocol_errors = 0;
+};
+Status replay_frame_log(const std::string& path, tsdb::EnvDatabase& db,
+                        ReplayStats* stats = nullptr);
+
+}  // namespace envmon::daemon

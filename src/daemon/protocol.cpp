@@ -1,0 +1,328 @@
+#include "daemon/protocol.hpp"
+
+#include "tsdb/checksum.hpp"
+
+namespace envmon::daemon {
+
+namespace wire = tsdb::wire;
+
+std::vector<std::uint8_t> frame(std::span<const std::uint8_t> payload) {
+  wire::Writer w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(tsdb::crc32c(payload));
+  w.bytes(payload);
+  return w.take();
+}
+
+FrameHeader decode_frame_header(std::span<const std::uint8_t> hdr) {
+  wire::Reader r(hdr);
+  FrameHeader h;
+  h.payload_len = r.u32();
+  h.crc = r.u32();
+  return h;
+}
+
+bool frame_payload_ok(const FrameHeader& h, std::span<const std::uint8_t> payload) {
+  return payload.size() == h.payload_len && tsdb::crc32c(payload) == h.crc;
+}
+
+std::vector<std::uint8_t> encode_hello(const Hello& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kHello));
+  w.u32(kMagic);
+  w.u32(m.ver_min);
+  w.u32(m.ver_max);
+  w.u32(m.caps_requested);
+  w.str(m.tenant);
+  return w.take();
+}
+
+std::optional<Hello> decode_hello(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(FrameType::kHello)) return std::nullopt;
+  if (r.u32() != kMagic) return std::nullopt;
+  Hello m;
+  m.ver_min = r.u32();
+  m.ver_max = r.u32();
+  m.caps_requested = r.u32();
+  m.tenant = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kHelloReply));
+  w.u32(m.version);
+  w.u32(m.caps_granted);
+  w.u64(m.session_id);
+  w.u32(m.max_frame_bytes);
+  w.u32(m.max_batch_rows);
+  w.u64(m.credit_window_rows);
+  return w.take();
+}
+
+std::optional<HelloReply> decode_hello_reply(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(FrameType::kHelloReply)) return std::nullopt;
+  HelloReply m;
+  m.version = r.u32();
+  m.caps_granted = r.u32();
+  m.session_id = r.u64();
+  m.max_frame_bytes = r.u32();
+  m.max_batch_rows = r.u32();
+  m.credit_window_rows = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_metric_def(const MetricDef& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kMetricDef));
+  w.u32(m.id);
+  w.str(m.name);
+  return w.take();
+}
+
+std::optional<MetricDef> decode_metric_def(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(FrameType::kMetricDef)) return std::nullopt;
+  MetricDef m;
+  m.id = r.u32();
+  m.name = r.str();
+  if (!r.done() || m.name.empty()) return std::nullopt;
+  return m;
+}
+
+namespace {
+
+void put_i16(wire::Writer& w, int v) {
+  w.u8(static_cast<std::uint8_t>(static_cast<std::uint16_t>(v) & 0xFF));
+  w.u8(static_cast<std::uint8_t>((static_cast<std::uint16_t>(v) >> 8) & 0xFF));
+}
+
+int get_i16(wire::Reader& r) {
+  const auto lo = static_cast<std::uint16_t>(r.u8());
+  const auto hi = static_cast<std::uint16_t>(r.u8());
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(lo | (hi << 8)));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_insert_batch(std::uint64_t batch_seq,
+                                              std::span<const tsdb::Record> records,
+                                              bool dict_sync,
+                                              const std::vector<std::uint32_t>& metric_ids) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kInsertBatch));
+  w.u64(batch_seq);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const tsdb::Record& rec = records[i];
+    w.i64(rec.timestamp.ns());
+    put_i16(w, rec.location.rack);
+    put_i16(w, rec.location.midplane);
+    put_i16(w, rec.location.board);
+    put_i16(w, rec.location.card);
+    if (dict_sync) {
+      w.u32(metric_ids[i]);
+    } else {
+      w.str(rec.metric);
+    }
+    w.f64(rec.value);
+  }
+  return w.take();
+}
+
+std::optional<DecodedBatch> decode_insert_batch(std::span<const std::uint8_t> payload,
+                                                bool dict_sync,
+                                                const std::vector<std::string>& dictionary,
+                                                BatchDecodeError* error) {
+  BatchDecodeError scratch;
+  BatchDecodeError& err = error != nullptr ? *error : scratch;
+  wire::Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(FrameType::kInsertBatch)) {
+    err.structural = true;
+    return std::nullopt;
+  }
+  DecodedBatch out;
+  out.batch_seq = r.u64();
+  const std::uint32_t rows = r.u32();
+  // Row floor: 8 (ts) + 8 (location) + 4 (id or length prefix) + 8
+  // (value) — a length prefix larger than the remaining bytes could
+  // otherwise reserve unbounded memory from a hostile frame.
+  if (static_cast<std::uint64_t>(rows) * 28 > r.remaining()) {
+    err.structural = true;
+    return std::nullopt;
+  }
+  out.records.reserve(rows);
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    tsdb::Record rec;
+    rec.timestamp = sim::SimTime::from_ns(r.i64());
+    rec.location.rack = get_i16(r);
+    rec.location.midplane = get_i16(r);
+    rec.location.board = get_i16(r);
+    rec.location.card = get_i16(r);
+    if (dict_sync) {
+      const std::uint32_t id = r.u32();
+      if (!r.ok()) break;
+      if (id >= dictionary.size() || dictionary[id].empty()) {
+        err.bad_metric_id = true;
+        err.metric_id = id;
+        return std::nullopt;
+      }
+      rec.metric = dictionary[id];
+    } else {
+      rec.metric = r.str();
+      if (rec.metric.empty()) {
+        err.structural = true;
+        return std::nullopt;
+      }
+    }
+    rec.value = r.f64();
+    if (!r.ok()) break;
+    out.records.push_back(std::move(rec));
+  }
+  if (!r.done() || out.records.size() != rows) {
+    err.structural = true;
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_batch_reply(const BatchReply& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kBatchReply));
+  w.u64(m.batch_seq);
+  w.u64(m.accepted);
+  w.u8(static_cast<std::uint8_t>(m.rejected.size()));
+  for (const auto& [code, count] : m.rejected) {
+    w.u8(static_cast<std::uint8_t>(status_code_to_wire(code) & 0xFF));
+    w.u8(static_cast<std::uint8_t>(status_code_to_wire(code) >> 8));
+    w.u64(count);
+  }
+  w.u64(m.credits_released);
+  return w.take();
+}
+
+std::optional<BatchReply> decode_batch_reply(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(FrameType::kBatchReply)) return std::nullopt;
+  BatchReply m;
+  m.batch_seq = r.u64();
+  m.accepted = r.u64();
+  const std::uint8_t n = r.u8();
+  for (std::uint8_t i = 0; i < n; ++i) {
+    const auto lo = static_cast<std::uint16_t>(r.u8());
+    const auto hi = static_cast<std::uint16_t>(r.u8());
+    const StatusCode code = status_code_from_wire(static_cast<std::uint16_t>(lo | (hi << 8)));
+    m.rejected.emplace_back(code, r.u64());
+  }
+  m.credits_released = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_flush(const FlushRequest& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kFlush));
+  w.u64(m.token);
+  return w.take();
+}
+
+std::optional<FlushRequest> decode_flush(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(FrameType::kFlush)) return std::nullopt;
+  FlushRequest m;
+  m.token = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_flush_reply(const FlushReply& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kFlushReply));
+  w.u64(m.token);
+  w.u64(m.rows_total);
+  w.u8(m.durable ? 1 : 0);
+  return w.take();
+}
+
+std::optional<FlushReply> decode_flush_reply(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(FrameType::kFlushReply)) return std::nullopt;
+  FlushReply m;
+  m.token = r.u64();
+  m.rows_total = r.u64();
+  m.durable = r.u8() != 0;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+namespace {
+
+std::vector<std::uint8_t> encode_nonce(FrameType type, std::uint64_t nonce) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(nonce);
+  return w.take();
+}
+
+std::optional<std::uint64_t> decode_nonce(FrameType type, std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(type)) return std::nullopt;
+  const std::uint64_t nonce = r.u64();
+  if (!r.done()) return std::nullopt;
+  return nonce;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_ping(std::uint64_t nonce) {
+  return encode_nonce(FrameType::kPing, nonce);
+}
+std::optional<std::uint64_t> decode_ping(std::span<const std::uint8_t> payload) {
+  return decode_nonce(FrameType::kPing, payload);
+}
+std::vector<std::uint8_t> encode_pong(std::uint64_t nonce) {
+  return encode_nonce(FrameType::kPong, nonce);
+}
+std::optional<std::uint64_t> decode_pong(std::span<const std::uint8_t> payload) {
+  return decode_nonce(FrameType::kPong, payload);
+}
+
+std::vector<std::uint8_t> encode_goodbye() {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kGoodbye));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_goodbye_reply() {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kGoodbyeReply));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorReply& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kError));
+  const std::uint16_t code = status_code_to_wire(m.code);
+  w.u8(static_cast<std::uint8_t>(code & 0xFF));
+  w.u8(static_cast<std::uint8_t>(code >> 8));
+  w.str(m.message);
+  return w.take();
+}
+
+std::optional<ErrorReply> decode_error(std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(FrameType::kError)) return std::nullopt;
+  ErrorReply m;
+  const auto lo = static_cast<std::uint16_t>(r.u8());
+  const auto hi = static_cast<std::uint16_t>(r.u8());
+  m.code = status_code_from_wire(static_cast<std::uint16_t>(lo | (hi << 8)));
+  m.message = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace envmon::daemon

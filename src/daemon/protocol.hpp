@@ -1,0 +1,232 @@
+#pragma once
+// The envmond wire protocol (DESIGN.md §14).
+//
+// The paper's collection mechanisms are in-process library calls; the
+// production system they feed is not.  envmond puts the environmental
+// database behind a Unix-domain socket so producers link a thin client
+// instead of the whole stack, in the style of the Nix daemon's worker
+// protocol: length-prefixed binary frames, an explicit protocol-version
+// handshake with capability negotiation, and typed error replies that
+// carry the SAME envmon::StatusCode taxonomy an in-process caller sees
+// (common/status.hpp — the codes are frozen wire values).
+//
+// Framing.  Every message travels as
+//
+//     u32 payload_len | u32 crc32c(payload) | payload
+//
+// (little-endian, the WAL's framing discipline — tsdb/wal.hpp).  The
+// first payload byte is the frame type.  A receiver treats an oversized
+// length prefix or a CRC mismatch as transport corruption: it replies
+// kDataLoss / kOutOfRange and drops the connection, because a stream
+// that mis-framed once cannot be re-synchronized.
+//
+// Handshake.  The client opens with Hello {magic, ver_min..ver_max,
+// capability bits, tenant}; the server either replies HelloReply
+// {chosen version, granted caps, session id, limits, initial credits}
+// or rejects with a typed Error (kUnsupported on a disjoint version
+// range, kUnauthenticated on an unknown tenant).  The chosen version is
+// min(server_max, client_max); capabilities are the intersection of
+// requested, server-supported, and version-allowed bits.
+//
+// Dictionary sync (v2 + kCapDictSync).  The client interns each metric
+// name once via MetricDef {id, name}; batch rows then carry the u32 id.
+// A v1 session sends names inline in every row — byte-for-byte more
+// expensive but fully supported (the downgrade path the tests pin).
+//
+// Backpressure.  Credits are ROWS.  HelloReply grants an initial
+// window; every InsertBatch spends its row count; every BatchReply
+// releases its batch's rows back.  A client that overruns its window is
+// in protocol violation (kResourceExhausted, fatal).  Because replies
+// are sent only after the ingest pump has APPLIED a batch, the window
+// bounds daemon-resident rows per session; the bounded IngestQueue
+// behind it bounds the whole daemon.
+//
+// Data-level rejects are not errors: BatchReply carries per-StatusCode
+// reject counts (out-of-order -> kInvalidArgument, rate-limited ->
+// kResourceExhausted, injected outage -> kUnavailable) — exactly the
+// categories tsdb::EnvDatabase::BatchResult reports in-process.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "tsdb/database.hpp"
+#include "tsdb/wire.hpp"
+
+namespace envmon::daemon {
+
+// 'EVMD' — leads every Hello so a peer that dialed the wrong socket is
+// rejected before anything is interpreted.
+inline constexpr std::uint32_t kMagic = 0x45564D44u;
+
+// Protocol versions this tree speaks.  v1: inline metric names, no
+// optional capabilities.  v2: dictionary sync + durable-flush request.
+inline constexpr std::uint32_t kProtocolVersionMin = 1;
+inline constexpr std::uint32_t kProtocolVersionMax = 2;
+
+// Capability bits (Hello.caps_requested / HelloReply.caps_granted).
+inline constexpr std::uint32_t kCapDictSync = 1u << 0;     // v2+
+inline constexpr std::uint32_t kCapDurableFlush = 1u << 1; // v2+
+[[nodiscard]] constexpr std::uint32_t caps_allowed_for(std::uint32_t version) {
+  return version >= 2 ? (kCapDictSync | kCapDurableFlush) : 0u;
+}
+
+// Frame header: payload_len | crc32c(payload).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+// Hard ceiling while the session limit is still unnegotiated (a Hello
+// fits in far less; anything bigger is not a Hello).
+inline constexpr std::uint32_t kHelloMaxFrameBytes = 4096;
+
+// Frame types (payload[0]).  Client->server in the low range,
+// server->client with the high bit set.
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kMetricDef = 2,
+  kInsertBatch = 3,
+  kFlush = 4,
+  kPing = 5,
+  kGoodbye = 6,
+
+  kHelloReply = 0x81,
+  kBatchReply = 0x83,
+  kFlushReply = 0x84,
+  kPong = 0x85,
+  kGoodbyeReply = 0x86,
+  kError = 0xFF,
+};
+
+// --- message bodies ---------------------------------------------------
+
+struct Hello {
+  std::uint32_t ver_min = kProtocolVersionMin;
+  std::uint32_t ver_max = kProtocolVersionMax;
+  std::uint32_t caps_requested = 0;
+  std::string tenant;
+};
+
+struct HelloReply {
+  std::uint32_t version = 0;
+  std::uint32_t caps_granted = 0;
+  std::uint64_t session_id = 0;
+  std::uint32_t max_frame_bytes = 0;
+  std::uint32_t max_batch_rows = 0;
+  std::uint64_t credit_window_rows = 0;  // initial credit grant
+};
+
+struct MetricDef {
+  std::uint32_t id = 0;
+  std::string name;
+};
+
+// InsertBatch row limits are negotiated; rows are encoded inline after
+// the header fields (see encode_insert_batch).
+struct BatchHeader {
+  std::uint64_t batch_seq = 0;  // client-assigned, strictly +1 per batch
+  std::uint32_t rows = 0;
+};
+
+struct BatchReply {
+  std::uint64_t batch_seq = 0;
+  std::uint64_t accepted = 0;
+  // Reject counts keyed by the shared taxonomy; only non-zero codes are
+  // on the wire.
+  std::vector<std::pair<StatusCode, std::uint64_t>> rejected;
+  std::uint64_t credits_released = 0;
+  [[nodiscard]] std::uint64_t rejected_total() const {
+    std::uint64_t n = 0;
+    for (const auto& [code, count] : rejected) n += count;
+    return n;
+  }
+};
+
+struct FlushRequest {
+  std::uint64_t token = 0;
+};
+
+struct FlushReply {
+  std::uint64_t token = 0;
+  std::uint64_t rows_total = 0;  // db rows after the barrier
+  bool durable = false;          // a durable flush (WAL fsync) happened
+};
+
+struct ErrorReply {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  [[nodiscard]] Status to_status() const { return {code, message}; }
+};
+
+// --- framing ----------------------------------------------------------
+
+// Wraps `payload` in the length+crc header.
+[[nodiscard]] std::vector<std::uint8_t> frame(std::span<const std::uint8_t> payload);
+
+// Parses a frame header; returns the payload length or an error when the
+// length exceeds `max_frame_bytes`.
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  std::uint32_t crc = 0;
+};
+[[nodiscard]] FrameHeader decode_frame_header(std::span<const std::uint8_t> hdr);
+// Validates payload bytes against the header's CRC.
+[[nodiscard]] bool frame_payload_ok(const FrameHeader& h, std::span<const std::uint8_t> payload);
+
+// --- payload encode / decode -----------------------------------------
+//
+// Encoders produce the full payload (type byte first).  Decoders expect
+// the full payload and return nullopt on any structural error; they are
+// total — arbitrary garbage never invokes UB (tsdb::wire::Reader).
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const Hello& m);
+[[nodiscard]] std::optional<Hello> decode_hello(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello_reply(const HelloReply& m);
+[[nodiscard]] std::optional<HelloReply> decode_hello_reply(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_metric_def(const MetricDef& m);
+[[nodiscard]] std::optional<MetricDef> decode_metric_def(std::span<const std::uint8_t> payload);
+
+// Rows: {i64 ts_ns, i16 rack, i16 midplane, i16 board, i16 card,
+// metric, f64 value} where metric is a u32 dictionary id under
+// kCapDictSync and an inline string otherwise.
+[[nodiscard]] std::vector<std::uint8_t> encode_insert_batch(
+    std::uint64_t batch_seq, std::span<const tsdb::Record> records, bool dict_sync,
+    const std::vector<std::uint32_t>& metric_ids);
+struct DecodedBatch {
+  std::uint64_t batch_seq = 0;
+  std::vector<tsdb::Record> records;
+};
+// `dictionary` resolves ids when dict_sync; an undefined id fails the
+// decode (sets `bad_metric_id`).
+struct BatchDecodeError {
+  bool structural = false;      // truncated / malformed bytes
+  bool bad_metric_id = false;   // id not defined by a prior MetricDef
+  std::uint32_t metric_id = 0;
+};
+[[nodiscard]] std::optional<DecodedBatch> decode_insert_batch(
+    std::span<const std::uint8_t> payload, bool dict_sync,
+    const std::vector<std::string>& dictionary, BatchDecodeError* error = nullptr);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_batch_reply(const BatchReply& m);
+[[nodiscard]] std::optional<BatchReply> decode_batch_reply(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_flush(const FlushRequest& m);
+[[nodiscard]] std::optional<FlushRequest> decode_flush(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_flush_reply(const FlushReply& m);
+[[nodiscard]] std::optional<FlushReply> decode_flush_reply(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_ping(std::uint64_t nonce);
+[[nodiscard]] std::optional<std::uint64_t> decode_ping(std::span<const std::uint8_t> payload);
+[[nodiscard]] std::vector<std::uint8_t> encode_pong(std::uint64_t nonce);
+[[nodiscard]] std::optional<std::uint64_t> decode_pong(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_goodbye();
+[[nodiscard]] std::vector<std::uint8_t> encode_goodbye_reply();
+
+[[nodiscard]] std::vector<std::uint8_t> encode_error(const ErrorReply& m);
+[[nodiscard]] std::optional<ErrorReply> decode_error(std::span<const std::uint8_t> payload);
+
+}  // namespace envmon::daemon

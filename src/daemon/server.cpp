@@ -1,0 +1,434 @@
+#include "daemon/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace envmon::daemon {
+
+namespace {
+
+bool read_exact(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, buf + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed (a torn frame is discarded)
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TokenBucket::TokenBucket(double rows_per_sec, double burst_rows)
+    : rate_(rows_per_sec),
+      burst_(burst_rows > 0.0 ? burst_rows : rows_per_sec),
+      tokens_(burst_),
+      last_(std::chrono::steady_clock::now()) {}
+
+double TokenBucket::acquire(std::uint64_t rows) {
+  if (rate_ <= 0.0) return 0.0;
+  double wait_seconds = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(burst_, tokens_ + rate_ * dt);
+    tokens_ -= static_cast<double>(rows);
+    if (tokens_ < 0.0) wait_seconds = -tokens_ / rate_;
+  }
+  if (wait_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait_seconds));
+  }
+  return wait_seconds;
+}
+
+Server::SessionState::~SessionState() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(tsdb::EnvDatabase& db, ServerOptions options)
+    : db_(&db), options_(std::move(options)), queue_(options_.queue_capacity) {
+  auto& reg = obs::default_registry();
+  m_sessions_ = &reg.counter("envmond_sessions_total", "Sessions accepted by envmond");
+  m_active_ = &reg.gauge("envmond_active_sessions", "Sessions currently connected");
+  m_frames_ = &reg.counter("envmond_frames_total", "Protocol frames received");
+  m_batches_ = &reg.counter("envmond_batches_total", "Insert batches applied");
+  m_rows_accepted_ = &reg.counter("envmond_rows_accepted_total", "Rows accepted into the store");
+  m_rows_rejected_ = &reg.counter("envmond_rows_rejected_total", "Rows rejected by the store");
+  m_protocol_errors_ =
+      &reg.counter("envmond_protocol_errors_total", "Sessions killed by protocol violations");
+  m_flushes_ = &reg.counter("envmond_flushes_total", "Durable flush barriers served");
+  m_throttle_waits_ =
+      &reg.counter("envmond_throttle_waits_total", "Batches delayed by tenant rate limits");
+  m_throttle_seconds_ =
+      &reg.gauge("envmond_throttle_seconds", "Cumulative seconds spent in tenant throttling");
+}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (running_.load()) return Status::failed_precondition("server already started");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::invalid_argument("socket path empty or longer than sun_path");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::internal(std::string("socket: ") + std::strerror(errno));
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::internal("bind(" + options_.socket_path + "): " + err);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::internal("listen: " + err);
+  }
+
+  if (!options_.frame_log_path.empty()) {
+    FrameLogHeader header;
+    header.ver_min = options_.ver_min;
+    header.ver_max = options_.ver_max;
+    header.caps_supported = options_.caps;
+    header.max_frame_bytes = options_.max_frame_bytes;
+    header.max_batch_rows = options_.max_batch_rows;
+    header.credit_window_rows = options_.credit_window_rows;
+    Status s = frame_log_.open(options_.frame_log_path, header);
+    if (!s.is_ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
+  }
+
+  stopping_.store(false);
+  running_.store(true);
+  pump_thread_ = std::thread([this] { pump_loop(); });
+  listen_thread_ = std::thread([this] { listen_loop(); });
+  return Status::ok();
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (listen_thread_.joinable()) listen_thread_.join();
+
+  // Wake every session thread blocked in read(2); they drain their
+  // final submissions and exit.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& weak : sessions_) {
+      if (auto s = weak.lock()) ::shutdown(s->fd, SHUT_RDWR);
+    }
+    threads.swap(session_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+
+  queue_.close();
+  if (pump_thread_.joinable()) pump_thread_.join();
+
+  if (options_.flush_on_stop && db_->durable()) {
+    if (db_->flush().is_ok()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.flushes;
+    }
+  }
+  (void)frame_log_.close();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+TokenBucket& Server::bucket_for(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(buckets_mutex_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    TenantPolicy policy = options_.default_policy;
+    if (auto pit = options_.tenant_policies.find(tenant); pit != options_.tenant_policies.end()) {
+      policy = pit->second;
+    }
+    it = buckets_
+             .emplace(tenant,
+                      std::make_unique<TokenBucket>(policy.rows_per_sec, policy.burst_rows))
+             .first;
+  }
+  return *it->second;
+}
+
+void Server::listen_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    SessionCore::Config cfg;
+    cfg.server_ver_min = options_.ver_min;
+    cfg.server_ver_max = options_.ver_max;
+    cfg.caps_supported = options_.caps;
+    cfg.max_frame_bytes = options_.max_frame_bytes;
+    cfg.max_batch_rows = options_.max_batch_rows;
+    cfg.credit_window_rows = options_.credit_window_rows;
+
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    cfg.session_id = next_session_id_;
+    auto session = std::make_shared<SessionState>(fd, cfg);
+    ++next_session_id_;
+    sessions_.push_back(session);
+    session_threads_.emplace_back([this, session] { session_loop(session); });
+    m_sessions_->inc();
+    m_active_->add(1.0);
+    {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++stats_.sessions_accepted;
+    }
+  }
+}
+
+bool Server::send_payload(SessionState& session, std::span<const std::uint8_t> payload) {
+  if (session.dead.load()) return false;
+  const std::vector<std::uint8_t> framed = frame(payload);
+  std::lock_guard<std::mutex> lock(session.write_mutex);
+  if (!send_all(session.fd, framed)) {
+    session.dead.store(true);
+    return false;
+  }
+  return true;
+}
+
+bool Server::submit(const std::shared_ptr<SessionState>& session, Pending::Kind kind,
+                    std::uint64_t seq_or_token, std::vector<tsdb::Record>&& records,
+                    std::span<const std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  fleet::EpochBatch batch;
+  batch.epoch = next_submit_seq_;
+  batch.rows = records.size();
+  if (kind == Pending::Kind::kBatch) {
+    fleet::NodeBatch node;
+    node.node = static_cast<int>(session->id);
+    node.records = std::move(records);
+    batch.nodes.push_back(std::move(node));
+  }
+  {
+    std::lock_guard<std::mutex> plock(pending_mutex_);
+    pending_.push_back(Pending{kind, session, seq_or_token, batch.rows});
+  }
+  if (!queue_.push(std::move(batch))) {
+    // Shutdown race: the descriptor we just appended is still the
+    // newest (submit_mutex_ is held), and its batch never entered the
+    // queue, so the pump cannot have consumed it.
+    std::lock_guard<std::mutex> plock(pending_mutex_);
+    pending_.pop_back();
+    return false;
+  }
+  ++next_submit_seq_;
+  frame_log_.append(session->id, payload);
+  return true;
+}
+
+void Server::session_loop(std::shared_ptr<SessionState> session) {
+  std::vector<std::uint8_t> header(kFrameHeaderBytes);
+  std::vector<std::uint8_t> payload;
+  TokenBucket* bucket = nullptr;
+
+  while (!session->dead.load()) {
+    if (!read_exact(session->fd, header.data(), header.size())) break;
+    const FrameHeader h = decode_frame_header(header);
+    const std::uint32_t limit =
+        session->core.handshaken() ? options_.max_frame_bytes : kHelloMaxFrameBytes;
+    if (h.payload_len == 0 || h.payload_len > limit) {
+      const auto err = encode_error(ErrorReply{
+          StatusCode::kOutOfRange, "frame of " + std::to_string(h.payload_len) +
+                                       " bytes outside the negotiated limit of " +
+                                       std::to_string(limit)});
+      (void)send_payload(*session, err);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      m_protocol_errors_->inc();
+      break;
+    }
+    payload.resize(h.payload_len);
+    if (!read_exact(session->fd, payload.data(), payload.size())) break;
+    if (!frame_payload_ok(h, payload)) {
+      const auto err =
+          encode_error(ErrorReply{StatusCode::kDataLoss, "frame checksum mismatch"});
+      (void)send_payload(*session, err);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      m_protocol_errors_->inc();
+      break;
+    }
+    m_frames_->inc();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.frames;
+    }
+
+    const bool was_handshaken = session->core.handshaken();
+    SessionCore::Action action;
+    {
+      std::lock_guard<std::mutex> lock(session->core_mutex);
+      action = session->core.on_frame(payload);
+    }
+
+    // Tenant gate: policy lives in the server, not the state machine.
+    if (!was_handshaken && session->core.handshaken() && options_.require_known_tenant &&
+        options_.tenant_policies.find(session->core.tenant()) ==
+            options_.tenant_policies.end()) {
+      const auto err = encode_error(
+          ErrorReply{StatusCode::kUnauthenticated,
+                     "unknown tenant \"" + session->core.tenant() + "\""});
+      (void)send_payload(*session, err);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      m_protocol_errors_->inc();
+      break;
+    }
+
+    for (const auto& reply : action.replies) {
+      if (!send_payload(*session, reply)) break;
+    }
+
+    const bool is_submission = action.batch.has_value() || action.flush_token.has_value();
+    if (action.batch.has_value()) {
+      if (bucket == nullptr) bucket = &bucket_for(session->core.tenant());
+      const double waited = bucket->acquire(action.batch->records.size());
+      if (waited > 0.0) {
+        m_throttle_waits_->inc();
+        m_throttle_seconds_->add(waited);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.throttle_waits;
+        stats_.throttle_seconds += waited;
+      }
+      if (!submit(session, Pending::Kind::kBatch, action.batch->batch_seq,
+                  std::move(action.batch->records), payload)) {
+        break;  // queue closed: shutting down
+      }
+    } else if (action.flush_token.has_value()) {
+      if (!submit(session, Pending::Kind::kFlush, *action.flush_token, {}, payload)) break;
+    }
+    if (!is_submission) {
+      // Hello, MetricDef, Ping, Goodbye — and rejected frames, so a
+      // replay hits the identical protocol error.  Submissions are
+      // logged inside submit() where their global order is fixed.
+      frame_log_.append(session->id, payload);
+    }
+
+    if (action.close) break;
+  }
+
+  session->dead.store(true);
+  ::shutdown(session->fd, SHUT_RDWR);
+  {
+    // Violations the state machine counted (malformed frames, sequence
+    // and credit overruns) fold into the server totals on exit.
+    std::lock_guard<std::mutex> lock(session->core_mutex);
+    const std::uint64_t errs = session->core.protocol_errors();
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    stats_.protocol_errors += errs;
+  }
+  if (session->core.protocol_errors() > 0) m_protocol_errors_->inc();
+  m_active_->add(-1.0);
+}
+
+void Server::pump_loop() {
+  while (auto batch = queue_.pop()) {
+    Pending pending;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    if (pending.kind == Pending::Kind::kBatch) {
+      const auto result =
+          db_->insert_batch(batch->nodes.empty() ? std::span<const tsdb::Record>{}
+                                                 : std::span<const tsdb::Record>(
+                                                       batch->nodes.front().records));
+      rows_total_ += result.accepted;
+      m_batches_->inc();
+      m_rows_accepted_->inc(result.accepted);
+      m_rows_rejected_->inc(result.rejected());
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.batches;
+        stats_.rows_accepted += result.accepted;
+        stats_.rows_rejected += result.rejected();
+      }
+      std::vector<std::uint8_t> reply;
+      {
+        std::lock_guard<std::mutex> lock(pending.session->core_mutex);
+        reply = pending.session->core.make_batch_reply(pending.batch_seq, result, pending.rows);
+        pending.session->core.release_credits(pending.rows);
+      }
+      (void)send_payload(*pending.session, reply);
+    } else {
+      bool durable = db_->durable();
+      if (durable) {
+        durable = db_->flush().is_ok();
+        if (durable) {
+          m_flushes_->inc();
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.flushes;
+        }
+      }
+      std::vector<std::uint8_t> reply;
+      {
+        std::lock_guard<std::mutex> lock(pending.session->core_mutex);
+        reply = pending.session->core.make_flush_reply(pending.batch_seq, rows_total_, durable);
+      }
+      (void)send_payload(*pending.session, reply);
+    }
+  }
+}
+
+}  // namespace envmon::daemon

@@ -1,0 +1,193 @@
+#pragma once
+// envmond: the multi-tenant ingestion daemon (DESIGN.md §14).
+//
+// Accepts envmon protocol sessions on a Unix-domain stream socket and
+// maps them onto the repo's existing single-writer ingest path: every
+// validated InsertBatch becomes one EpochBatch on a bounded
+// fleet::IngestQueue (epoch = global submission sequence, one NodeBatch
+// whose node id is the session id), and a single pump thread applies
+// batches in submission order via EnvDatabase::insert_batch — so N
+// concurrent network producers yield exactly the database a single
+// in-process writer would have produced from the same interleaving.
+//
+// Threading:
+//   listener thread  — accept(2) loop, spawns one thread per session
+//   session threads  — read frames, run SessionCore, submit batches
+//   pump thread      — pops the IngestQueue, applies, sends the
+//                      deferred BatchReply/FlushReply
+//
+// Replies to a batch are sent only after the pump applied it; the
+// credit window (rows in flight per session) is released by that reply,
+// which both paces producers and bounds daemon-resident rows at
+// sessions x credit_window_rows + queue depth.
+//
+// Per-tenant rate limits are delay-only (TokenBucket): an over-budget
+// producer is slowed, never rejected, so throttling cannot change
+// database contents and frame-log replay stays deterministic.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "daemon/framelog.hpp"
+#include "daemon/session.hpp"
+#include "fleet/ingest.hpp"
+#include "obs/metrics.hpp"
+#include "tsdb/database.hpp"
+
+namespace envmon::daemon {
+
+// Delay-only token bucket.  acquire() lets the balance go negative and
+// sleeps off the deficit, so a burst up to `burst_rows` passes
+// untouched and sustained load is paced to `rows_per_sec`.
+class TokenBucket {
+ public:
+  TokenBucket(double rows_per_sec, double burst_rows);
+
+  // Blocks until the batch fits the budget; returns seconds slept.
+  double acquire(std::uint64_t rows);
+  [[nodiscard]] bool unlimited() const { return rate_ <= 0.0; }
+
+ private:
+  std::mutex mutex_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+struct TenantPolicy {
+  double rows_per_sec = 0.0;  // 0 = unthrottled
+  double burst_rows = 0.0;    // 0 = one second's worth of rate
+};
+
+struct ServerOptions {
+  std::string socket_path;
+  // Captures every acted-on frame for deterministic replay
+  // (framelog.hpp); empty disables capture.
+  std::string frame_log_path;
+  std::uint32_t ver_min = kProtocolVersionMin;
+  std::uint32_t ver_max = kProtocolVersionMax;
+  std::uint32_t caps = kCapDictSync | kCapDurableFlush;
+  std::uint32_t max_frame_bytes = 4u << 20;
+  std::uint32_t max_batch_rows = 1u << 16;
+  std::uint64_t credit_window_rows = 1u << 16;
+  // Submitted batches the pump may fall behind before submitters block.
+  std::size_t queue_capacity = 64;
+  TenantPolicy default_policy;
+  std::map<std::string, TenantPolicy> tenant_policies;
+  // When set, a Hello naming a tenant absent from tenant_policies is
+  // refused with kUnauthenticated.
+  bool require_known_tenant = false;
+  bool flush_on_stop = true;  // durable flush as part of stop()
+};
+
+class Server {
+ public:
+  Server(tsdb::EnvDatabase& db, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Status start();
+  // Idempotent.  Stops accepting, wakes and joins every session thread
+  // (in-flight batches still drain), closes the queue, joins the pump,
+  // then flushes the durable store — a client crash mid-stream or a
+  // stop() mid-burst both leave the database consistent.
+  void stop();
+
+  struct Stats {
+    std::uint64_t sessions_accepted = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t rows_accepted = 0;
+    std::uint64_t rows_rejected = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t throttle_waits = 0;
+    double throttle_seconds = 0.0;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct SessionState {
+    SessionState(int fd_in, const SessionCore::Config& cfg)
+        : fd(fd_in), id(static_cast<std::uint32_t>(cfg.session_id)), core(cfg) {}
+    ~SessionState();
+    int fd;
+    std::uint32_t id;
+    SessionCore core;
+    std::mutex core_mutex;   // session thread vs pump access to `core`
+    std::mutex write_mutex;  // interleaves session-thread and pump sends
+    std::atomic<bool> dead{false};
+  };
+
+  struct Pending {
+    enum class Kind { kBatch, kFlush } kind = Kind::kBatch;
+    std::shared_ptr<SessionState> session;
+    std::uint64_t batch_seq = 0;  // batch: protocol sequence; flush: token
+    std::uint64_t rows = 0;
+  };
+
+  void listen_loop();
+  void session_loop(std::shared_ptr<SessionState> session);
+  void pump_loop();
+  bool submit(const std::shared_ptr<SessionState>& session, Pending::Kind kind,
+              std::uint64_t seq_or_token, std::vector<tsdb::Record>&& records,
+              std::span<const std::uint8_t> payload);
+  bool send_payload(SessionState& session, std::span<const std::uint8_t> payload);
+  TokenBucket& bucket_for(const std::string& tenant);
+
+  tsdb::EnvDatabase* db_;
+  ServerOptions options_;
+  fleet::IngestQueue queue_;
+  FrameLogWriter frame_log_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread listen_thread_;
+  std::thread pump_thread_;
+
+  std::mutex sessions_mutex_;
+  std::vector<std::thread> session_threads_;
+  std::vector<std::weak_ptr<SessionState>> sessions_;
+  std::uint32_t next_session_id_ = 1;
+
+  // One critical section orders everything that couples sessions: the
+  // submission sequence, the frame-log append, the pending descriptor,
+  // and the queue push.  Frame-log order == application order follows.
+  std::mutex submit_mutex_;
+  std::uint64_t next_submit_seq_ = 1;
+  std::mutex pending_mutex_;
+  std::deque<Pending> pending_;
+
+  std::mutex buckets_mutex_;
+  std::map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+  std::uint64_t rows_total_ = 0;  // accepted rows, pump thread only
+
+  obs::Counter* m_sessions_;
+  obs::Gauge* m_active_;
+  obs::Counter* m_frames_;
+  obs::Counter* m_batches_;
+  obs::Counter* m_rows_accepted_;
+  obs::Counter* m_rows_rejected_;
+  obs::Counter* m_protocol_errors_;
+  obs::Counter* m_flushes_;
+  obs::Counter* m_throttle_waits_;
+  obs::Gauge* m_throttle_seconds_;
+};
+
+}  // namespace envmon::daemon

@@ -1,0 +1,178 @@
+#include "daemon/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace envmon::daemon {
+
+SessionCore::Action SessionCore::fail(StatusCode code, std::string message) {
+  ++protocol_errors_;
+  state_ = State::kClosed;
+  Action a;
+  a.replies.push_back(encode_error(ErrorReply{code, std::move(message)}));
+  a.close = true;
+  return a;
+}
+
+SessionCore::Action SessionCore::on_transport_error(StatusCode code, std::string message) {
+  return fail(code, std::move(message));
+}
+
+SessionCore::Action SessionCore::on_frame(std::span<const std::uint8_t> payload) {
+  if (state_ == State::kClosed) {
+    Action a;
+    a.close = true;
+    return a;
+  }
+  if (payload.empty()) return fail(StatusCode::kInvalidArgument, "empty frame payload");
+  const auto type = static_cast<FrameType>(payload[0]);
+
+  if (state_ == State::kAwaitHello) {
+    if (type != FrameType::kHello) {
+      return fail(StatusCode::kFailedPrecondition, "expected Hello before any other frame");
+    }
+    return handle_hello(payload);
+  }
+
+  switch (type) {
+    case FrameType::kHello:
+      return fail(StatusCode::kFailedPrecondition, "duplicate Hello");
+    case FrameType::kMetricDef:
+      return handle_metric_def(payload);
+    case FrameType::kInsertBatch:
+      return handle_insert_batch(payload);
+    case FrameType::kFlush: {
+      const auto m = decode_flush(payload);
+      if (!m) return fail(StatusCode::kInvalidArgument, "malformed Flush");
+      Action a;
+      a.flush_token = m->token;
+      return a;
+    }
+    case FrameType::kPing: {
+      const auto nonce = decode_ping(payload);
+      if (!nonce) return fail(StatusCode::kInvalidArgument, "malformed Ping");
+      Action a;
+      a.replies.push_back(encode_pong(*nonce));
+      return a;
+    }
+    case FrameType::kGoodbye: {
+      state_ = State::kClosed;
+      Action a;
+      a.replies.push_back(encode_goodbye_reply());
+      a.goodbye = true;
+      a.close = true;
+      return a;
+    }
+    default:
+      return fail(StatusCode::kInvalidArgument,
+                  "unknown frame type " + std::to_string(payload[0]));
+  }
+}
+
+SessionCore::Action SessionCore::handle_hello(std::span<const std::uint8_t> payload) {
+  const auto hello = decode_hello(payload);
+  if (!hello) {
+    return fail(StatusCode::kInvalidArgument, "malformed Hello (bad magic or fields)");
+  }
+  if (hello->ver_min > hello->ver_max) {
+    return fail(StatusCode::kInvalidArgument, "Hello version range is inverted");
+  }
+  const std::uint32_t chosen = std::min(config_.server_ver_max, hello->ver_max);
+  if (chosen < config_.server_ver_min || chosen < hello->ver_min) {
+    return fail(StatusCode::kUnsupported,
+                "no common protocol version: server speaks " +
+                    std::to_string(config_.server_ver_min) + ".." +
+                    std::to_string(config_.server_ver_max) + ", client asked " +
+                    std::to_string(hello->ver_min) + ".." + std::to_string(hello->ver_max));
+  }
+  tenant_ = hello->tenant;
+  version_ = chosen;
+  caps_ = hello->caps_requested & config_.caps_supported & caps_allowed_for(chosen);
+  state_ = State::kStreaming;
+
+  HelloReply reply;
+  reply.version = chosen;
+  reply.caps_granted = caps_;
+  reply.session_id = config_.session_id;
+  reply.max_frame_bytes = config_.max_frame_bytes;
+  reply.max_batch_rows = config_.max_batch_rows;
+  reply.credit_window_rows = config_.credit_window_rows;
+  Action a;
+  a.replies.push_back(encode_hello_reply(reply));
+  return a;
+}
+
+SessionCore::Action SessionCore::handle_metric_def(std::span<const std::uint8_t> payload) {
+  if ((caps_ & kCapDictSync) == 0) {
+    return fail(StatusCode::kUnsupported, "MetricDef requires the dict-sync capability");
+  }
+  const auto def = decode_metric_def(payload);
+  if (!def) return fail(StatusCode::kInvalidArgument, "malformed MetricDef");
+  // Ids index a vector; cap them so a hostile id cannot reserve memory.
+  if (def->id > (1u << 20)) {
+    return fail(StatusCode::kOutOfRange, "metric id " + std::to_string(def->id) + " too large");
+  }
+  if (def->id < dictionary_.size() && !dictionary_[def->id].empty() &&
+      dictionary_[def->id] != def->name) {
+    return fail(StatusCode::kFailedPrecondition,
+                "metric id " + std::to_string(def->id) + " redefined");
+  }
+  if (def->id >= dictionary_.size()) dictionary_.resize(def->id + 1);
+  dictionary_[def->id] = def->name;
+  return Action{};
+}
+
+SessionCore::Action SessionCore::handle_insert_batch(std::span<const std::uint8_t> payload) {
+  BatchDecodeError err;
+  auto batch = decode_insert_batch(payload, (caps_ & kCapDictSync) != 0, dictionary_, &err);
+  if (!batch) {
+    if (err.bad_metric_id) {
+      return fail(StatusCode::kInvalidArgument,
+                  "batch references undefined metric id " + std::to_string(err.metric_id));
+    }
+    return fail(StatusCode::kInvalidArgument, "malformed InsertBatch");
+  }
+  if (batch->batch_seq != next_batch_seq_) {
+    return fail(StatusCode::kFailedPrecondition,
+                "batch_seq " + std::to_string(batch->batch_seq) + ", expected " +
+                    std::to_string(next_batch_seq_));
+  }
+  if (batch->records.size() > config_.max_batch_rows) {
+    return fail(StatusCode::kOutOfRange,
+                "batch of " + std::to_string(batch->records.size()) +
+                    " rows exceeds the negotiated limit of " +
+                    std::to_string(config_.max_batch_rows));
+  }
+  if (outstanding_rows_ + batch->records.size() > config_.credit_window_rows) {
+    return fail(StatusCode::kResourceExhausted,
+                "credit overrun: " + std::to_string(outstanding_rows_) + " rows in flight, " +
+                    std::to_string(batch->records.size()) + " more offered against a window of " +
+                    std::to_string(config_.credit_window_rows));
+  }
+  ++next_batch_seq_;
+  outstanding_rows_ += batch->records.size();
+  Action a;
+  a.batch = std::move(*batch);
+  return a;
+}
+
+std::vector<std::uint8_t> SessionCore::make_batch_reply(
+    std::uint64_t batch_seq, const tsdb::EnvDatabase::BatchResult& result,
+    std::uint64_t rows_released) {
+  BatchReply reply;
+  reply.batch_seq = batch_seq;
+  reply.accepted = result.accepted;
+  for (const auto& [code, count] : result.by_code()) {
+    if (count > 0) reply.rejected.emplace_back(code, count);
+  }
+  reply.credits_released = rows_released;
+  return encode_batch_reply(reply);
+}
+
+std::vector<std::uint8_t> SessionCore::make_flush_reply(std::uint64_t token,
+                                                        std::uint64_t rows_total,
+                                                        bool durable) const {
+  return encode_flush_reply(FlushReply{token, rows_total, durable});
+}
+
+}  // namespace envmon::daemon

@@ -1,0 +1,103 @@
+#pragma once
+// envmond session protocol state machine — socket-free.
+//
+// One SessionCore per connected client.  The live server feeds it
+// received frame payloads and performs the actions it returns; the
+// frame-log replayer (framelog.hpp) feeds it the same payloads from a
+// capture and applies batches synchronously.  Keeping the machine free
+// of file descriptors is what makes a captured session a deterministic
+// test fixture: replay exercises exactly the code the live path ran.
+//
+// States: AwaitHello -> Streaming -> Closed.  Any protocol violation
+// (bad magic, disjoint versions, unknown tenant, out-of-sequence batch,
+// undefined metric id, credit overrun, malformed payload) produces a
+// typed Error reply and closes the session — a stream that violated the
+// protocol once cannot be trusted to stay framed.  Data-level rejects
+// (out-of-order rows, rate limiting, injected outages) are NOT
+// violations; they ride BatchReply as per-StatusCode counts.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+#include "tsdb/database.hpp"
+
+namespace envmon::daemon {
+
+class SessionCore {
+ public:
+  struct Config {
+    std::uint32_t server_ver_min = kProtocolVersionMin;
+    std::uint32_t server_ver_max = kProtocolVersionMax;
+    std::uint32_t caps_supported = kCapDictSync | kCapDurableFlush;
+    std::uint32_t max_frame_bytes = 4u << 20;
+    std::uint32_t max_batch_rows = 1u << 16;
+    std::uint64_t credit_window_rows = 1u << 16;
+    std::uint64_t session_id = 0;
+  };
+
+  // What the transport should do after feeding one frame.
+  struct Action {
+    // Encoded reply payloads to frame and send now, in order.
+    std::vector<std::vector<std::uint8_t>> replies;
+    // A validated batch to submit to the ingest pump; its BatchReply is
+    // deferred until the pump applied it (make_batch_reply).
+    std::optional<DecodedBatch> batch;
+    // A flush barrier to submit; FlushReply deferred (make_flush_reply).
+    std::optional<std::uint64_t> flush_token;
+    bool goodbye = false;  // client asked to close cleanly
+    bool close = false;    // tear the session down after sending replies
+  };
+
+  explicit SessionCore(Config config) : config_(config) {}
+
+  // Feeds one received payload (framing already validated).
+  [[nodiscard]] Action on_frame(std::span<const std::uint8_t> payload);
+
+  // Transport-level failures detected outside the state machine.
+  [[nodiscard]] Action on_transport_error(StatusCode code, std::string message);
+
+  // Deferred replies, built by the ingest side after application.
+  [[nodiscard]] std::vector<std::uint8_t> make_batch_reply(
+      std::uint64_t batch_seq, const tsdb::EnvDatabase::BatchResult& result,
+      std::uint64_t rows_released);
+  [[nodiscard]] std::vector<std::uint8_t> make_flush_reply(std::uint64_t token,
+                                                           std::uint64_t rows_total,
+                                                           bool durable) const;
+
+  // Credit bookkeeping (the transport serializes access).
+  void release_credits(std::uint64_t rows) { outstanding_rows_ -= rows; }
+
+  [[nodiscard]] bool handshaken() const { return state_ == State::kStreaming; }
+  [[nodiscard]] bool closed() const { return state_ == State::kClosed; }
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  [[nodiscard]] std::uint32_t caps() const { return caps_; }
+  [[nodiscard]] std::uint64_t outstanding_rows() const { return outstanding_rows_; }
+  [[nodiscard]] std::uint64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  enum class State { kAwaitHello, kStreaming, kClosed };
+
+  Action fail(StatusCode code, std::string message);
+  Action handle_hello(std::span<const std::uint8_t> payload);
+  Action handle_metric_def(std::span<const std::uint8_t> payload);
+  Action handle_insert_batch(std::span<const std::uint8_t> payload);
+
+  Config config_;
+  State state_ = State::kAwaitHello;
+  std::string tenant_;
+  std::uint32_t version_ = 0;
+  std::uint32_t caps_ = 0;
+  // Client-id -> metric-name dictionary (kCapDictSync).  Ids must be
+  // defined before use; redefinition with a different name is fatal.
+  std::vector<std::string> dictionary_;
+  std::uint64_t next_batch_seq_ = 1;
+  std::uint64_t outstanding_rows_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace envmon::daemon

@@ -104,7 +104,7 @@ Outcome Injector::intercept(std::string_view name) {
   const bool killed = s.kill_time && now >= *s.kill_time &&
                       !(s.revive_time && now >= *s.revive_time);
   if (killed) {
-    out.status = Status(StatusCode::kUnavailable, s.kill_message);
+    out.status = Status::unavailable(s.kill_message);
     note_injection(s, name, "kill");
   } else if (s.fail_next > 0) {
     --s.fail_next;

@@ -13,8 +13,9 @@
 // Versioning: `inline namespace v2` keeps envmon::fleet::FleetRunner
 // spelling stable while allowing a future v3 to coexist; the constants
 // below let callers assert against the surface they compiled for.  The
-// MonEQ_* shims remain as [[deprecated]] thin wrappers so the paper's
-// two-line Listing 1 still compiles.
+// MonEQ_* C shims that bridged v1 callers were removed once the in-tree
+// migration finished; the paper's two-line Listing 1 is now spelled
+// profiler.initialize() / profiler.finalize() (DESIGN.md §9).
 
 #include "fleet/runner.hpp"
 

@@ -59,11 +59,11 @@ Status FleetNode::build_substrate(moneq::BackendConfig& config,
       nvml_->attach_device(std::move(device));
       nvml_->attach_fault_hook(*injector_);
       if (nvml_->init() != nvml::NvmlReturn::kSuccess) {
-        return Status(StatusCode::kUnavailable, "nvml init failed");
+        return Status::unavailable("nvml init failed");
       }
       nvml::NvmlDeviceHandle handle;
       if (nvml_->device_get_handle_by_index(0, &handle) != nvml::NvmlReturn::kSuccess) {
-        return Status(StatusCode::kUnavailable, "nvml device handle unavailable");
+        return Status::unavailable("nvml device handle unavailable");
       }
       config.nvml = nvml_.get();
       config.nvml_handle = handle;
@@ -96,15 +96,15 @@ Status FleetNode::build_substrate(moneq::BackendConfig& config,
       return Status::ok();
     }
   }
-  return Status(StatusCode::kInvalidArgument, "unknown capability");
+  return Status::invalid_argument("unknown capability");
 }
 
 Status FleetNode::configure() {
   if (profiler_ != nullptr) {
-    return Status(StatusCode::kFailedPrecondition, "node already configured");
+    return Status::failed_precondition("node already configured");
   }
   if (options_.defaults == nullptr || options_.defaults->capabilities.empty()) {
-    return Status(StatusCode::kInvalidArgument, "node has no capabilities");
+    return Status::invalid_argument("node has no capabilities");
   }
   moneq::BackendConfig config;
   for (const moneq::Capability capability : options_.defaults->capabilities) {

@@ -43,28 +43,28 @@ FleetRunner::~FleetRunner() = default;
 
 Status FleetRunner::configure(FleetConfig config) {
   if (state_ != State::kIdle) {
-    return Status(StatusCode::kFailedPrecondition, "fleet runner already configured");
+    return Status::failed_precondition("fleet runner already configured");
   }
   if (config.nodes <= 0) {
-    return Status(StatusCode::kInvalidArgument, "fleet needs at least one node");
+    return Status::invalid_argument("fleet needs at least one node");
   }
   if (config.threads <= 0) {
-    return Status(StatusCode::kInvalidArgument, "fleet needs at least one worker thread");
+    return Status::invalid_argument("fleet needs at least one worker thread");
   }
   if (config.shards < 0) {
-    return Status(StatusCode::kInvalidArgument, "shard count cannot be negative");
+    return Status::invalid_argument("shard count cannot be negative");
   }
   if (config.epoch_window == 0) {
-    return Status(StatusCode::kInvalidArgument, "epoch window must be at least 1");
+    return Status::invalid_argument("epoch window must be at least 1");
   }
   if (config.epoch.ns() <= 0) {
-    return Status(StatusCode::kInvalidArgument, "epoch must be positive");
+    return Status::invalid_argument("epoch must be positive");
   }
   if (config.horizon.ns() <= 0) {
-    return Status(StatusCode::kInvalidArgument, "horizon must be positive");
+    return Status::invalid_argument("horizon must be positive");
   }
   if (config.capabilities.empty()) {
-    return Status(StatusCode::kInvalidArgument, "fleet nodes need at least one capability");
+    return Status::invalid_argument("fleet nodes need at least one capability");
   }
   // Baseline for bytes_per_node: everything the fleet allocates from here
   // on (nodes, telemetry, database, staged batches) is the run's growth.
@@ -190,8 +190,7 @@ Status FleetRunner::build_node(int rank) {
 
 Status FleetRunner::run() {
   if (state_ != State::kConfigured) {
-    return Status(StatusCode::kFailedPrecondition,
-                  state_ == State::kRan ? "fleet runner already ran"
+    return Status::failed_precondition(state_ == State::kRan ? "fleet runner already ran"
                                         : "fleet runner not configured");
   }
   const auto t0 = std::chrono::steady_clock::now();
@@ -552,7 +551,7 @@ Status FleetRunner::run() {
 
 Result<FleetReport> FleetRunner::report() const {
   if (state_ != State::kRan) {
-    return Status(StatusCode::kFailedPrecondition, "fleet has not run");
+    return Status::failed_precondition("fleet has not run");
   }
   return report_;
 }

@@ -127,7 +127,7 @@ void ShardScheduler::worker_loop(int worker) {
 
 Status ShardScheduler::run() {
   if (callbacks_.advance == nullptr || callbacks_.complete == nullptr) {
-    return Status(StatusCode::kInvalidArgument, "scheduler needs advance and complete callbacks");
+    return Status::invalid_argument("scheduler needs advance and complete callbacks");
   }
   if (options_.workers == 1) {
     worker_loop(0);

@@ -21,11 +21,11 @@ std::uint8_t SensorFactors::encode(double value) const {
 
 Status SensorController::add_sensor(SensorDef def) {
   if (!def.read) {
-    return Status(StatusCode::kInvalidArgument, "sensor has no read callback");
+    return Status::invalid_argument("sensor has no read callback");
   }
   const auto [_, inserted] = sensors_.emplace(def.number, std::move(def));
   if (!inserted) {
-    return Status(StatusCode::kInvalidArgument, "duplicate sensor number");
+    return Status::invalid_argument("duplicate sensor number");
   }
   return Status::ok();
 }
@@ -75,8 +75,7 @@ Result<std::vector<std::uint8_t>> Bmc::submit(const std::vector<std::uint8_t>& f
   } else {
     const auto it = satellites_.find(msg.rs_addr);
     if (it == satellites_.end()) {
-      return Status(StatusCode::kNotFound,
-                    "no controller at slave address " + std::to_string(msg.rs_addr));
+      return Status::not_found("no controller at slave address " + std::to_string(msg.rs_addr));
     }
     response = it->second->handle(msg);
   }
@@ -100,18 +99,17 @@ Result<double> IpmbClient::read_sensor(const SensorController& target,
   if (!resp) return resp.status();
   const auto& data = resp.value().data;
   if (data.empty()) {
-    return Status(StatusCode::kInternal, "empty IPMB response");
+    return Status::internal("empty IPMB response");
   }
   if (data[0] != kCcOk) {
-    return Status(StatusCode::kUnavailable,
-                  "IPMB completion code " + std::to_string(data[0]));
+    return Status::unavailable("IPMB completion code " + std::to_string(data[0]));
   }
   if (data.size() < 2) {
-    return Status(StatusCode::kInternal, "truncated sensor reading response");
+    return Status::internal("truncated sensor reading response");
   }
   const auto f = target.factors(sensor_number);
   if (!f) {
-    return Status(StatusCode::kNotFound, "unknown sensor on target controller");
+    return Status::not_found("unknown sensor on target controller");
   }
   return f->decode(data[1]);
 }

@@ -40,14 +40,14 @@ std::vector<std::uint8_t> encode(const IpmbMessage& msg) {
 
 Result<IpmbMessage> decode(const std::vector<std::uint8_t>& frame) {
   if (frame.size() < 7) {
-    return Status(StatusCode::kInvalidArgument, "IPMB frame shorter than 7 bytes");
+    return Status::invalid_argument("IPMB frame shorter than 7 bytes");
   }
   if (ipmb_checksum(frame.data(), 2) != frame[2]) {
-    return Status(StatusCode::kInvalidArgument, "IPMB header checksum mismatch");
+    return Status::invalid_argument("IPMB header checksum mismatch");
   }
   const std::size_t body_len = frame.size() - 3 - 1;  // after cksum1, before cksum2
   if (ipmb_checksum(frame.data() + 3, body_len) != frame.back()) {
-    return Status(StatusCode::kInvalidArgument, "IPMB body checksum mismatch");
+    return Status::invalid_argument("IPMB body checksum mismatch");
   }
   IpmbMessage msg;
   msg.rs_addr = frame[0];

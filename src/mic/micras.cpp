@@ -12,7 +12,7 @@ MicrasDaemon::MicrasDaemon(PhiCard& card, MicrasCosts costs) : card_(&card), cos
 Result<std::string> MicrasDaemon::read_file(std::string_view path, sim::SimTime now,
                                             sim::CostMeter* meter) {
   if (!running_) {
-    return Status(StatusCode::kUnavailable, "MICRAS daemon is not running");
+    return Status::unavailable("MICRAS daemon is not running");
   }
   // Scheduled faults hit before the read is served: a stalled open()
   // still burns the application's time on the card.
@@ -50,7 +50,7 @@ Result<std::string> MicrasDaemon::read_file(std::string_view path, sim::SimTime 
     std::snprintf(buf, sizeof(buf), "%.0f\n", card_->fan_speed_rpm(now));
     return std::string(buf);
   }
-  return Status(StatusCode::kNotFound, std::string(path) + ": no such pseudo-file");
+  return Status::not_found(std::string(path) + ": no such pseudo-file");
 }
 
 namespace {
@@ -66,13 +66,12 @@ Result<std::vector<double>> parse_lines(std::string_view content, std::size_t ex
         colon == std::string_view::npos ? trimmed : trim(trimmed.substr(colon + 1));
     double v = 0.0;
     if (!parse_double(num, v)) {
-      return Status(StatusCode::kInvalidArgument,
-                    "unparseable pseudo-file line: " + std::string(line));
+      return Status::invalid_argument("unparseable pseudo-file line: " + std::string(line));
     }
     values.push_back(v);
   }
   if (values.size() < expect) {
-    return Status(StatusCode::kInvalidArgument, "pseudo-file has too few fields");
+    return Status::invalid_argument("pseudo-file has too few fields");
   }
   return values;
 }

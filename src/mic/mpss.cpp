@@ -6,13 +6,12 @@ namespace envmon::mic {
 
 Status MpssHost::add_card(ScifNodeId node, const PhiSpec& spec) {
   if (!network_->has_listener(node, kSysMgmtPort)) {
-    return Status(StatusCode::kUnavailable,
-                  "no SysMgmt agent on SCIF node " + std::to_string(node) +
+    return Status::unavailable("no SysMgmt agent on SCIF node " + std::to_string(node) +
                       " (is the coprocessor OS booted?)");
   }
   for (const auto& c : cards_) {
     if (c.node == node) {
-      return Status(StatusCode::kInvalidArgument, "card already registered");
+      return Status::invalid_argument("card already registered");
     }
   }
   cards_.push_back(ManagedCard{node, spec});
@@ -21,7 +20,7 @@ Status MpssHost::add_card(ScifNodeId node, const PhiSpec& spec) {
 
 Result<CardStatus> MpssHost::status(std::size_t index, sim::SimTime now) {
   if (index >= cards_.size()) {
-    return Status(StatusCode::kNotFound, "no card at index " + std::to_string(index));
+    return Status::not_found("no card at index " + std::to_string(index));
   }
   const ManagedCard& card = cards_[index];
   auto client = SysMgmtClient::connect(*network_, card.node);
@@ -68,7 +67,7 @@ std::vector<CardStatus> MpssHost::sweep(sim::SimTime now) {
 
 Result<std::string> MpssHost::info(std::size_t index) const {
   if (index >= cards_.size()) {
-    return Status(StatusCode::kNotFound, "no card at index " + std::to_string(index));
+    return Status::not_found("no card at index " + std::to_string(index));
   }
   const PhiSpec& spec = cards_[index].spec;
   char buf[256];

@@ -4,12 +4,11 @@ namespace envmon::mic {
 
 Status ScifNetwork::listen(ScifNodeId node, ScifPort port, ScifService service) {
   if (!service) {
-    return Status(StatusCode::kInvalidArgument, "null SCIF service");
+    return Status::invalid_argument("null SCIF service");
   }
   const auto key = std::make_pair(node, port);
   if (listeners_.contains(key)) {
-    return Status(StatusCode::kInvalidArgument,
-                  "port " + std::to_string(port) + " already bound on node " +
+    return Status::invalid_argument("port " + std::to_string(port) + " already bound on node " +
                       std::to_string(node));
   }
   listeners_.emplace(key, std::move(service));
@@ -27,8 +26,7 @@ bool ScifNetwork::has_listener(ScifNodeId node, ScifPort port) const {
 Result<ScifEndpoint> ScifEndpoint::connect(ScifNetwork& network, ScifNodeId node,
                                            ScifPort port, ScifCosts costs) {
   if (!network.has_listener(node, port)) {
-    return Status(StatusCode::kUnavailable,
-                  "scif_connect: no listener on node " + std::to_string(node) + " port " +
+    return Status::unavailable("scif_connect: no listener on node " + std::to_string(node) + " port " +
                       std::to_string(port));
   }
   return ScifEndpoint(network, node, port, costs);
@@ -38,7 +36,7 @@ Result<std::vector<std::uint8_t>> ScifEndpoint::call(const std::vector<std::uint
                                                      sim::CostMeter* meter) {
   const auto it = network_->listeners_.find(std::make_pair(node_, port_));
   if (it == network_->listeners_.end()) {
-    return Status(StatusCode::kUnavailable, "SCIF peer closed the connection");
+    return Status::unavailable("SCIF peer closed the connection");
   }
   if (meter != nullptr) meter->charge(costs_.round_trip());
   return it->second(request);

@@ -17,11 +17,10 @@ std::vector<std::uint8_t> encode_response(std::uint8_t status, double value) {
 
 Result<double> decode_response(const std::vector<std::uint8_t>& bytes) {
   if (bytes.size() != 1 + sizeof(double)) {
-    return Status(StatusCode::kInternal, "malformed SysMgmt response");
+    return Status::internal("malformed SysMgmt response");
   }
   if (bytes[0] != 0) {
-    return Status(StatusCode::kUnavailable,
-                  "SysMgmt agent error code " + std::to_string(bytes[0]));
+    return Status::unavailable("SysMgmt agent error code " + std::to_string(bytes[0]));
   }
   double value;
   std::memcpy(&value, bytes.data() + 1, sizeof(double));

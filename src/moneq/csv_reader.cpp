@@ -12,17 +12,17 @@ Result<NodeFileData> parse_node_file(std::string_view text) {
   if (!table) return table.status();
   const auto& header = table.value().header;
   if (header.size() < 5 || header[0] != "time_s" || header[1] != "domain") {
-    return Status(StatusCode::kInvalidArgument, "not a MonEQ node file (bad header)");
+    return Status::invalid_argument("not a MonEQ node file (bad header)");
   }
 
   NodeFileData data;
   for (const auto& row : table.value().rows) {
     if (row.size() < 3) {
-      return Status(StatusCode::kInvalidArgument, "truncated row in MonEQ node file");
+      return Status::invalid_argument("truncated row in MonEQ node file");
     }
     double t = 0.0;
     if (!parse_double(row[0], t)) {
-      return Status(StatusCode::kInvalidArgument, "bad timestamp: " + row[0]);
+      return Status::invalid_argument("bad timestamp: " + row[0]);
     }
     if (row[2] == "#TAG_START" || row[2] == "#TAG_END") {
       data.tags.push_back(
@@ -36,12 +36,12 @@ Result<NodeFileData> parse_node_file(std::string_view text) {
       continue;
     }
     if (row.size() < 5) {
-      return Status(StatusCode::kInvalidArgument, "truncated sample row");
+      return Status::invalid_argument("truncated sample row");
     }
     unsigned long long quantity_raw = 0;
     double value = 0.0;
     if (!parse_u64(row[2], quantity_raw) || !parse_double(row[4], value)) {
-      return Status(StatusCode::kInvalidArgument, "bad sample row fields");
+      return Status::invalid_argument("bad sample row fields");
     }
     Sample s;
     s.t = sim::SimTime::from_seconds(t);
@@ -73,7 +73,7 @@ Result<double> mean_between_tags(const NodeFileData& data, std::string_view tag,
     if (!marker.is_start && start && !end) end = marker.t;
   }
   if (!start || !end) {
-    return Status(StatusCode::kNotFound, "tag not found or unbalanced: " + std::string(tag));
+    return Status::not_found("tag not found or unbalanced: " + std::string(tag));
   }
   double sum = 0.0;
   std::size_t n = 0;
@@ -84,7 +84,7 @@ Result<double> mean_between_tags(const NodeFileData& data, std::string_view tag,
     }
   }
   if (n == 0) {
-    return Status(StatusCode::kNotFound, "no samples inside the tagged region");
+    return Status::not_found("no samples inside the tagged region");
   }
   return sum / static_cast<double>(n);
 }

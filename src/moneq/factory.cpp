@@ -10,8 +10,7 @@ namespace envmon::moneq {
 namespace {
 
 Status missing(Capability capability, std::string_view field) {
-  return Status(StatusCode::kInvalidArgument,
-                std::string(to_string(capability)) + ": BackendConfig::" + std::string(field) +
+  return Status::invalid_argument(std::string(to_string(capability)) + ": BackendConfig::" + std::string(field) +
                     " must be set");
 }
 
@@ -26,7 +25,7 @@ Result<std::unique_ptr<Backend>> make_backend(Capability capability,
     case Capability::kRaplMsr:
       if (config.rapl == nullptr) return missing(capability, "rapl");
       if (config.rapl_domains.empty()) {
-        return Status(StatusCode::kInvalidArgument, "rapl_msr: rapl_domains must be non-empty");
+        return Status::invalid_argument("rapl_msr: rapl_domains must be non-empty");
       }
       return std::unique_ptr<Backend>(
           std::make_unique<RaplBackend>(*config.rapl, config.rapl_domains));
@@ -42,7 +41,7 @@ Result<std::unique_ptr<Backend>> make_backend(Capability capability,
       if (config.mic_daemon == nullptr) return missing(capability, "mic_daemon");
       return std::unique_ptr<Backend>(std::make_unique<MicDaemonBackend>(*config.mic_daemon));
   }
-  return Status(StatusCode::kInvalidArgument, "unknown capability");
+  return Status::invalid_argument("unknown capability");
 }
 
 }  // namespace envmon::moneq

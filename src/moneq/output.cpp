@@ -13,11 +13,11 @@ Status DiskOutput::write(const std::string& filename, const std::string& content
   const std::string path = directory_.empty() ? filename : directory_ + "/" + filename;
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
-    return Status(StatusCode::kUnavailable, "cannot open " + path + " for writing");
+    return Status::unavailable("cannot open " + path + " for writing");
   }
   out << content;
   if (!out) {
-    return Status(StatusCode::kInternal, "short write to " + path);
+    return Status::internal("short write to " + path);
   }
   return Status::ok();
 }

@@ -13,8 +13,7 @@ NodeProfiler::NodeProfiler(sim::Engine& engine, const smpi::World& world, int ra
 
 Status NodeProfiler::add_backend(Backend& backend) {
   if (initialized_) {
-    return Status(StatusCode::kFailedPrecondition,
-                  "backends must be attached before MonEQ_Initialize");
+    return Status::failed_precondition("backends must be attached before initialize()");
   }
   backends_.push_back(&backend);
   return Status::ok();
@@ -34,22 +33,19 @@ sim::Duration NodeProfiler::effective_interval() const {
 
 Status NodeProfiler::set_polling_interval(sim::Duration interval) {
   if (initialized_) {
-    return Status(StatusCode::kFailedPrecondition,
-                  "polling interval must be set before MonEQ_Initialize");
+    return Status::failed_precondition("polling interval must be set before initialize()");
   }
   if (interval.ns() <= 0) {
-    return Status(StatusCode::kInvalidArgument, "polling interval must be positive");
+    return Status::invalid_argument("polling interval must be positive");
   }
   for (const Backend* b : backends_) {
     if (interval < b->min_polling_interval()) {
-      return Status(StatusCode::kOutOfRange,
-                    std::string(b->name()) + ": interval below the hardware floor of " +
+      return Status::out_of_range(std::string(b->name()) + ": interval below the hardware floor of " +
                         std::to_string(b->min_polling_interval().to_millis()) + " ms");
     }
     const sim::Duration max = b->max_polling_interval();
     if (max.ns() > 0 && interval > max) {
-      return Status(StatusCode::kOutOfRange,
-                    std::string(b->name()) + ": interval above " +
+      return Status::out_of_range(std::string(b->name()) + ": interval above " +
                         std::to_string(max.to_seconds()) +
                         " s would corrupt the data (counter overfill)");
     }
@@ -60,10 +56,10 @@ Status NodeProfiler::set_polling_interval(sim::Duration interval) {
 
 Status NodeProfiler::initialize() {
   if (initialized_) {
-    return Status(StatusCode::kFailedPrecondition, "MonEQ already initialized");
+    return Status::failed_precondition("profiler already initialized");
   }
   if (backends_.empty()) {
-    return Status(StatusCode::kFailedPrecondition, "no collection backend attached");
+    return Status::failed_precondition("no collection backend attached");
   }
   interval_ = effective_interval();
 
@@ -242,7 +238,7 @@ bool NodeProfiler::poll_backend(std::size_t i) {
 
 Status NodeProfiler::start_tag(const std::string& name) {
   if (!initialized_ || finalized_) {
-    return Status(StatusCode::kFailedPrecondition, "tagging requires an active profiler");
+    return Status::failed_precondition("tagging requires an active profiler");
   }
   tags_.push_back(TagMarker{engine_->now(), name, true});
   return Status::ok();
@@ -250,7 +246,7 @@ Status NodeProfiler::start_tag(const std::string& name) {
 
 Status NodeProfiler::end_tag(const std::string& name) {
   if (!initialized_ || finalized_) {
-    return Status(StatusCode::kFailedPrecondition, "tagging requires an active profiler");
+    return Status::failed_precondition("tagging requires an active profiler");
   }
   // An end tag must close an open start tag of the same name.
   const auto open = std::count_if(tags_.begin(), tags_.end(), [&](const TagMarker& t) {
@@ -260,7 +256,7 @@ Status NodeProfiler::end_tag(const std::string& name) {
     return t.name == name && !t.is_start;
   });
   if (open <= closed) {
-    return Status(StatusCode::kFailedPrecondition, "end tag without start: " + name);
+    return Status::failed_precondition("end tag without start: " + name);
   }
   tags_.push_back(TagMarker{engine_->now(), name, false});
   return Status::ok();
@@ -268,10 +264,10 @@ Status NodeProfiler::end_tag(const std::string& name) {
 
 Status NodeProfiler::finalize(const smpi::FileSystemModel* fs, OutputTarget* target) {
   if (!initialized_) {
-    return Status(StatusCode::kFailedPrecondition, "MonEQ_Finalize before MonEQ_Initialize");
+    return Status::failed_precondition("MonEQ_Finalize before initialize()");
   }
   if (finalized_) {
-    return Status(StatusCode::kFailedPrecondition, "MonEQ already finalized");
+    return Status::failed_precondition("MonEQ already finalized");
   }
   timer_.cancel();
   finalized_ = true;

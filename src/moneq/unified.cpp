@@ -72,8 +72,7 @@ Result<std::map<UnifiedMetric, double>> UnifiedSampler::sample(sim::SimTime now,
   // Total power is the universal datum; a snapshot without it means the
   // mechanism is still warming up (e.g. RAPL's first differencing read).
   if (!out.contains(UnifiedMetric::kTotalPowerWatts)) {
-    return Status(StatusCode::kUnavailable,
-                  "no total-power reading in this generation (warm-up)");
+    return Status::unavailable("no total-power reading in this generation (warm-up)");
   }
   return out;
 }

@@ -10,7 +10,7 @@ namespace envmon::rapl {
 Result<std::uint64_t> MsrFile::read(std::uint32_t reg) const {
   const auto it = regs_.find(reg);
   if (it == regs_.end()) {
-    return Status(StatusCode::kNotFound, "no such MSR 0x" + std::to_string(reg));
+    return Status::not_found("no such MSR 0x" + std::to_string(reg));
   }
   return it->second;
 }
@@ -22,8 +22,7 @@ Result<std::uint64_t> MsrDevice::pread(std::uint32_t reg, const Credentials& cre
   const bool allowed = (creds.root && mode_.owner_read) || mode_.other_read ||
                        (creds.uid == 0 && mode_.owner_read);
   if (!allowed) {
-    return Status(StatusCode::kPermissionDenied,
-                  path_ + ": read requires root (or a relaxed device mode)");
+    return Status::permission_denied(path_ + ": read requires root (or a relaxed device mode)");
   }
   if (meter != nullptr) meter->charge(cost_.per_read);
   return file_->read(reg);

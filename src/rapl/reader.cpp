@@ -63,8 +63,7 @@ Result<EnergySample> MsrRaplReader::read_energy(RaplDomain domain, sim::SimTime 
 Result<PerfRaplReader> PerfRaplReader::open(CpuPackage& package, KernelVersion kernel,
                                             sim::Duration per_read_cost) {
   if (!kernel.has_rapl_perf()) {
-    return Status(StatusCode::kUnavailable,
-                  "perf_event RAPL support requires Linux >= 3.14 (running " +
+    return Status::unavailable("perf_event RAPL support requires Linux >= 3.14 (running " +
                       std::to_string(kernel.major) + "." + std::to_string(kernel.minor) + ")");
   }
   return PerfRaplReader(package, per_read_cost);

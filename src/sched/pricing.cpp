@@ -16,20 +16,20 @@ double hour_of_day(sim::SimTime t) {
 
 Result<ElectricityPricing> ElectricityPricing::create(std::vector<TariffPeriod> periods) {
   if (periods.empty()) {
-    return Status(StatusCode::kInvalidArgument, "tariff needs at least one period");
+    return Status::invalid_argument("tariff needs at least one period");
   }
   if (periods.front().start_hour != 0.0) {
-    return Status(StatusCode::kInvalidArgument, "first tariff period must start at hour 0");
+    return Status::invalid_argument("first tariff period must start at hour 0");
   }
   for (std::size_t i = 0; i < periods.size(); ++i) {
     if (periods[i].start_hour < 0.0 || periods[i].start_hour >= kHoursPerDay) {
-      return Status(StatusCode::kInvalidArgument, "tariff start hour outside [0,24)");
+      return Status::invalid_argument("tariff start hour outside [0,24)");
     }
     if (i > 0 && periods[i].start_hour <= periods[i - 1].start_hour) {
-      return Status(StatusCode::kInvalidArgument, "tariff periods must be ascending");
+      return Status::invalid_argument("tariff periods must be ascending");
     }
     if (periods[i].usd_per_mwh < 0.0) {
-      return Status(StatusCode::kInvalidArgument, "negative price");
+      return Status::invalid_argument("negative price");
     }
   }
   return ElectricityPricing(std::move(periods));

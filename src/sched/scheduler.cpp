@@ -10,15 +10,14 @@ Scheduler::Scheduler(sim::Engine& engine, ElectricityPricing pricing,
 
 Status Scheduler::submit(Job job) {
   if (job.boards <= 0 || job.boards > options_.total_boards) {
-    return Status(StatusCode::kInvalidArgument,
-                  "job requests " + std::to_string(job.boards) + " of " +
+    return Status::invalid_argument("job requests " + std::to_string(job.boards) + " of " +
                       std::to_string(options_.total_boards) + " boards");
   }
   if (job.duration.ns() <= 0) {
-    return Status(StatusCode::kInvalidArgument, "job duration must be positive");
+    return Status::invalid_argument("job duration must be positive");
   }
   if (job.submit < engine_->now()) {
-    return Status(StatusCode::kInvalidArgument, "job submitted in the past");
+    return Status::invalid_argument("job submitted in the past");
   }
   ++pending_;
   engine_->schedule_at(job.submit, [this, job] {

@@ -105,7 +105,7 @@ void PapiLibrary::enumerate_nvml(nvml::NvmlLibrary& library) {
       const auto rc = library.device_get_power_usage(handle, &mw);
       meter.charge(library.cost().total() - before);
       if (rc != nvml::NvmlReturn::kSuccess) {
-        return Status(StatusCode::kUnavailable, nvml::nvml_error_string(rc));
+        return Status::unavailable(nvml::nvml_error_string(rc));
       }
       return static_cast<long long>(mw);
     };
@@ -125,7 +125,7 @@ void PapiLibrary::enumerate_nvml(nvml::NvmlLibrary& library) {
           handle, nvml::TemperatureSensor::kGpuDie, &celsius);
       meter.charge(library.cost().total() - before);
       if (rc != nvml::NvmlReturn::kSuccess) {
-        return Status(StatusCode::kUnavailable, nvml::nvml_error_string(rc));
+        return Status::unavailable(nvml::nvml_error_string(rc));
       }
       return static_cast<long long>(celsius);
     };

@@ -11,7 +11,7 @@ TauPowerProfiler::TauPowerProfiler(sim::Engine& engine, rapl::CpuPackage& packag
 
 Status TauPowerProfiler::start() {
   if (running_) {
-    return Status(StatusCode::kFailedPrecondition, "TAU profiler already running");
+    return Status::failed_precondition("TAU profiler already running");
   }
   // Baseline read; surfaces permission problems immediately.
   const auto before = reader_.cost().total();
@@ -27,14 +27,13 @@ Status TauPowerProfiler::start() {
 
 Status TauPowerProfiler::stop() {
   if (!running_) {
-    return Status(StatusCode::kFailedPrecondition, "TAU profiler not running");
+    return Status::failed_precondition("TAU profiler not running");
   }
   sample_tick();  // flush the final partial interval
   timer_.cancel();
   running_ = false;
   if (!stack_.empty()) {
-    return Status(StatusCode::kFailedPrecondition,
-                  "TAU region still open at stop: " + stack_.back());
+    return Status::failed_precondition("TAU region still open at stop: " + stack_.back());
   }
   return Status::ok();
 }
@@ -57,7 +56,7 @@ void TauPowerProfiler::sample_tick() {
 
 Status TauPowerProfiler::region_start(const std::string& name) {
   if (!running_) {
-    return Status(StatusCode::kFailedPrecondition, "TAU profiler not running");
+    return Status::failed_precondition("TAU profiler not running");
   }
   // Attribute the partial interval so far to the enclosing region.
   sample_tick();
@@ -68,8 +67,7 @@ Status TauPowerProfiler::region_start(const std::string& name) {
 
 Status TauPowerProfiler::region_stop(const std::string& name) {
   if (stack_.empty() || stack_.back() != name) {
-    return Status(StatusCode::kFailedPrecondition,
-                  "TAU region stop does not match innermost start: " + name);
+    return Status::failed_precondition("TAU region stop does not match innermost start: " + name);
   }
   sample_tick();  // attribute the tail of the region
   stack_.pop_back();

@@ -186,13 +186,12 @@ Status EnvDatabase::insert(const Record& record) {
     ++rejected_;
     if (rejected_metric_ != nullptr) rejected_metric_->inc();
     // Static message: the hot reject path must not format the timestamp.
-    return Status(StatusCode::kInvalidArgument, "out-of-order insert");
+    return Status::invalid_argument("out-of-order insert");
   }
   if (!is_self_metric(record.metric) && over_ingest_rate(record.timestamp)) {
     ++rejected_;
     if (rejected_metric_ != nullptr) rejected_metric_->inc();
-    return Status(StatusCode::kResourceExhausted,
-                  "environmental database ingest rate ceiling exceeded");
+    return Status::resource_exhausted("environmental database ingest rate ceiling exceeded");
   }
   append_row(record, metrics_.intern(record.metric));
   if (inserts_metric_ != nullptr) inserts_metric_->inc();
@@ -798,11 +797,10 @@ void EnvDatabase::update_footprint_metrics() {
 
 Status EnvDatabase::open(const std::string& dir) {
   if (durable_ != nullptr) {
-    return Status(StatusCode::kFailedPrecondition,
-                  "database already has a directory attached");
+    return Status::failed_precondition("database already has a directory attached");
   }
   if (total_rows_ != 0 || !series_.empty()) {
-    return Status(StatusCode::kFailedPrecondition, "open() requires an empty database");
+    return Status::failed_precondition("open() requires an empty database");
   }
   const auto t0 = std::chrono::steady_clock::now();
   // Normalize away trailing slashes: every path in the layer is built
@@ -813,8 +811,7 @@ Status EnvDatabase::open(const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(normalized, ec);
   if (ec) {
-    return Status(StatusCode::kInternal,
-                  "cannot create database directory: " + ec.message());
+    return Status::internal("cannot create database directory: " + ec.message());
   }
   auto durable = std::make_unique<Durable>();
   durable->dir = normalized;
@@ -867,7 +864,7 @@ Status EnvDatabase::open(const std::string& dir) {
 
 Status EnvDatabase::flush() {
   if (durable_ == nullptr) {
-    return Status(StatusCode::kFailedPrecondition, "database is not durable");
+    return Status::failed_precondition("database is not durable");
   }
   dlog_flush_inserts();
   return sync_durable();
@@ -1226,7 +1223,7 @@ Status EnvDatabase::write_checkpoint_wal() {
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
-    return Status(StatusCode::kInternal, "rename checkpoint wal: " + ec.message());
+    return Status::internal("rename checkpoint wal: " + ec.message());
   }
   sync_dir(d.dir);
   (void)d.wal.close();
@@ -1245,7 +1242,7 @@ Status EnvDatabase::write_checkpoint_wal() {
   sync_dir(d.dir);
   d.wal_number = number;
   const std::uint64_t size = std::filesystem::file_size(path, ec);
-  if (ec) return Status(StatusCode::kInternal, "stat checkpoint wal");
+  if (ec) return Status::internal("stat checkpoint wal");
   s = d.wal.open_for_append(path, size);
   if (!s.is_ok()) return s;
   d.metrics_logged = metrics_.size();
@@ -1272,7 +1269,7 @@ Status EnvDatabase::recover(RecoveryInfo& info) {
     numbers.push_back(n);
     max_number = std::max(max_number, static_cast<std::uint32_t>(n));
   }
-  if (ec) return Status(StatusCode::kInternal, "cannot list wal directory");
+  if (ec) return Status::internal("cannot list wal directory");
   std::sort(numbers.begin(), numbers.end(), std::greater<>());
 
   // The newest WAL whose leading checkpoint is intact wins; older ones

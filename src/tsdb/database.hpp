@@ -42,6 +42,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -220,6 +221,15 @@ class EnvDatabase {
       return rejected_out_of_order + rejected_rate_limited + rejected_unavailable;
     }
     [[nodiscard]] bool all_accepted() const { return rejected() == 0; }
+    // Reject categories mapped onto the shared Status taxonomy
+    // (common/status.hpp).  The envmond wire protocol forwards these
+    // exact codes in BatchReply, so a remote producer observes the same
+    // StatusCode an in-process insert_batch() caller would.
+    [[nodiscard]] std::array<std::pair<StatusCode, std::size_t>, 3> by_code() const {
+      return {{{StatusCode::kInvalidArgument, rejected_out_of_order},
+               {StatusCode::kResourceExhausted, rejected_rate_limited},
+               {StatusCode::kUnavailable, rejected_unavailable}}};
+    }
   };
   BatchResult insert_batch(std::span<const Record> records);
 

@@ -40,20 +40,20 @@ Result<std::size_t> import_csv(std::string_view text, EnvDatabase& db) {
   if (!table) return table.status();
   const auto& header = table.value().header;
   if (header.size() != 4 || header[0] != "timestamp_s") {
-    return Status(StatusCode::kInvalidArgument, "not an environmental database export");
+    return Status::invalid_argument("not an environmental database export");
   }
   std::size_t inserted = 0;
   for (const auto& row : table.value().rows) {
     if (row.size() != 4) {
-      return Status(StatusCode::kInvalidArgument, "malformed export row");
+      return Status::invalid_argument("malformed export row");
     }
     double t = 0.0, value = 0.0;
     if (!parse_double(row[0], t) || !parse_double(row[3], value)) {
-      return Status(StatusCode::kInvalidArgument, "unparseable numeric field");
+      return Status::invalid_argument("unparseable numeric field");
     }
     const auto location = parse_location(row[1]);
     if (!location) {
-      return Status(StatusCode::kInvalidArgument, "bad location: " + row[1]);
+      return Status::invalid_argument("bad location: " + row[1]);
     }
     const Status s =
         db.insert(Record{sim::SimTime::from_seconds(t), *location, row[2], value});

@@ -30,8 +30,7 @@ constexpr std::uint64_t kTrailerBytes = 24;
 constexpr std::uint32_t kMaxExtentBytes = 64u << 20;
 
 Status io_error(const char* what) {
-  return Status(StatusCode::kInternal,
-                std::string(what) + ": " + std::strerror(errno));
+  return Status::internal(std::string(what) + ": " + std::strerror(errno));
 }
 
 // Reads exactly `len` bytes at `offset`; false on short read or error.
@@ -121,7 +120,7 @@ Status SegmentFile::open(const std::string& path, std::uint32_t id,
   if (::fstat(fd_, &st) != 0) return io_error("stat segment");
   size_ = static_cast<std::uint64_t>(st.st_size);
   if (size_ < kSegmentHeaderBytes) {
-    return Status(StatusCode::kInternal, "segment shorter than its header");
+    return Status::internal("segment shorter than its header");
   }
   std::uint8_t raw_header[kSegmentHeaderBytes];
   if (!pread_exact(fd_, raw_header, sizeof(raw_header), 0)) {
@@ -130,7 +129,7 @@ Status SegmentFile::open(const std::string& path, std::uint32_t id,
   wire::Reader header({raw_header, sizeof(raw_header)});
   if (header.u32() != kSegmentMagic || header.u32() != kFormatVersion ||
       header.u32() != id) {
-    return Status(StatusCode::kInternal, "segment header magic/version/id mismatch");
+    return Status::internal("segment header magic/version/id mismatch");
   }
 
   // Fast path: a valid footer is the whole directory.
@@ -210,7 +209,7 @@ Status SegmentFile::open(const std::string& path, std::uint32_t id,
 
 Status SegmentFile::append(std::span<const std::uint8_t> payload, const ContentHash& hash,
                            std::uint32_t crc, std::uint64_t& offset) {
-  if (sealed_) return Status(StatusCode::kFailedPrecondition, "segment is sealed");
+  if (sealed_) return Status::failed_precondition("segment is sealed");
   wire::Writer header;
   header.u32(kExtentMagic);
   header.u32(static_cast<std::uint32_t>(payload.size()));
@@ -308,7 +307,7 @@ Status BlockStore::open(const std::string& dir, const Options& options) {
     seg.entries = std::move(entries);
     segments_.emplace(id, std::move(seg));
   }
-  if (ec) return Status(StatusCode::kInternal, "cannot list segment directory");
+  if (ec) return Status::internal("cannot list segment directory");
   // Segments recovered without a footer get one now (their torn tails
   // were truncated on open), so the next open is O(1) everywhere.
   for (auto& [id, seg] : segments_) {
@@ -413,7 +412,7 @@ Status BlockStore::add_ref(const ExtentRef& ref) {
     ++extent.refs;
     return Status::ok();
   }
-  return Status(StatusCode::kInternal, "extent reference resolves to no known extent");
+  return Status::internal("extent reference resolves to no known extent");
 }
 
 void BlockStore::clear_refs() {
@@ -457,13 +456,13 @@ Status BlockStore::load(const ExtentRef& ref, std::vector<std::uint8_t>& payload
   if (file == nullptr) {
     ++stats_.load_failures;
     if (quarantined_metric_ != nullptr) quarantined_metric_->inc();
-    return Status(StatusCode::kInternal, "extent references an unknown segment");
+    return Status::internal("extent references an unknown segment");
   }
   const auto bytes = file->payload(ref.offset, ref.length);
   if (bytes.size() != ref.length || crc32c(bytes) != ref.crc) {
     ++stats_.load_failures;
     if (quarantined_metric_ != nullptr) quarantined_metric_->inc();
-    return Status(StatusCode::kInternal, "extent payload failed its checksum");
+    return Status::internal("extent payload failed its checksum");
   }
   payload.assign(bytes.begin(), bytes.end());
   return Status::ok();

@@ -22,8 +22,7 @@ constexpr std::uint64_t kWalHeaderBytes = 16;
 constexpr std::uint64_t kFrameHeaderBytes = 8;
 
 Status io_error(const char* what) {
-  return Status(StatusCode::kInternal,
-                std::string(what) + ": " + std::strerror(errno));
+  return Status::internal(std::string(what) + ": " + std::strerror(errno));
 }
 
 bool write_all(int fd, std::span<const std::uint8_t> bytes) {
@@ -71,13 +70,12 @@ Status WalWriter::open_for_append(const std::string& path, std::uint64_t resume_
 }
 
 Status WalWriter::append(WalRecordType type, std::span<const std::uint8_t> payload) {
-  if (fd_ < 0) return Status(StatusCode::kFailedPrecondition, "wal is not open");
+  if (fd_ < 0) return Status::failed_precondition("wal is not open");
   // The reader rejects frames past the ceiling, so writing one would
   // produce a log that recovery silently truncates — fail loudly here,
   // before any byte lands.  (>= because the type byte rides the frame.)
   if (payload.size() >= kWalMaxFrameBytes) {
-    return Status(StatusCode::kInvalidArgument,
-                  "wal record exceeds the maximum frame size");
+    return Status::invalid_argument("wal record exceeds the maximum frame size");
   }
   wire::Writer frame;
   frame.u32(static_cast<std::uint32_t>(payload.size() + 1));
@@ -110,7 +108,7 @@ Status WalWriter::close() {
 Status WalReader::open(const std::string& path) {
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
-  if (ec) return Status(StatusCode::kNotFound, "cannot stat wal file");
+  if (ec) return Status::not_found("cannot stat wal file");
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return io_error("open wal");
   buffer_.resize(size);
@@ -127,11 +125,11 @@ Status WalReader::open(const std::string& path) {
   valid_bytes_ = 0;
   truncated_ = false;
   if (buffer_.size() < kWalHeaderBytes) {
-    return Status(StatusCode::kInternal, "wal shorter than its header");
+    return Status::internal("wal shorter than its header");
   }
   wire::Reader header(std::span<const std::uint8_t>(buffer_).first(kWalHeaderBytes));
   if (header.u32() != kWalMagic || header.u32() != kWalFormatVersion) {
-    return Status(StatusCode::kInternal, "wal header magic/version mismatch");
+    return Status::internal("wal header magic/version mismatch");
   }
   pos_ = kWalHeaderBytes;
   valid_bytes_ = kWalHeaderBytes;

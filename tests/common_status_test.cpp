@@ -55,5 +55,32 @@ TEST(Result, MoveOutValue) {
   EXPECT_EQ(moved, "large payload");
 }
 
+TEST(Status, FactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::permission_denied("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(Status::unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::out_of_range("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::failed_precondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::resource_exhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::unauthenticated("x").code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(Status::aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::data_loss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(Status, WireMappingRoundTripsEveryCode) {
+  // The numeric values are the envmond on-wire representation
+  // (DESIGN.md §14.5) and are frozen; unknown values decode as
+  // kInternal rather than crashing or aliasing a real code.
+  for (std::uint16_t v = 0; v < kStatusCodeCount; ++v) {
+    const StatusCode code = status_code_from_wire(v);
+    EXPECT_EQ(status_code_to_wire(code), v);
+  }
+  EXPECT_EQ(status_code_from_wire(kStatusCodeCount), StatusCode::kInternal);
+  EXPECT_EQ(status_code_from_wire(0xFFFF), StatusCode::kInternal);
+}
+
 }  // namespace
 }  // namespace envmon

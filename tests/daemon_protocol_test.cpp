@@ -1,0 +1,431 @@
+// Protocol-layer tests for envmond (DESIGN.md §14): codec round-trips,
+// hostile-input robustness (garbage, truncation, bit flips), version
+// negotiation, and the SessionCore violation taxonomy.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+#include "daemon/session.hpp"
+#include "sim/time.hpp"
+
+namespace envmon::daemon {
+namespace {
+
+tsdb::Record make_record(std::int64_t ns, std::string metric, double value,
+                         int rack = 0, int card = 0) {
+  tsdb::Record rec;
+  rec.timestamp = sim::SimTime::from_ns(ns);
+  rec.location = {rack, 0, 1, card};
+  rec.metric = std::move(metric);
+  rec.value = value;
+  return rec;
+}
+
+std::optional<ErrorReply> error_of(const SessionCore::Action& action) {
+  if (action.replies.empty()) return std::nullopt;
+  return decode_error(action.replies.back());
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(DaemonFraming, RoundTripAndChecksum) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 250, 251, 252};
+  auto framed = frame(payload);
+  ASSERT_EQ(framed.size(), kFrameHeaderBytes + payload.size());
+
+  const auto header = decode_frame_header(std::span(framed).first(kFrameHeaderBytes));
+  EXPECT_EQ(header.payload_len, payload.size());
+  EXPECT_TRUE(frame_payload_ok(header, std::span(framed).subspan(kFrameHeaderBytes)));
+
+  framed[kFrameHeaderBytes + 2] ^= 0x40;  // flip one payload bit
+  EXPECT_FALSE(frame_payload_ok(header, std::span(framed).subspan(kFrameHeaderBytes)));
+}
+
+// ----------------------------------------------------------- codec round-trips
+
+TEST(DaemonCodec, HelloRoundTrip) {
+  Hello in;
+  in.ver_min = 1;
+  in.ver_max = 2;
+  in.caps_requested = kCapDictSync | kCapDurableFlush;
+  in.tenant = "acceptance";
+  const auto out = decode_hello(encode_hello(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->ver_min, in.ver_min);
+  EXPECT_EQ(out->ver_max, in.ver_max);
+  EXPECT_EQ(out->caps_requested, in.caps_requested);
+  EXPECT_EQ(out->tenant, in.tenant);
+}
+
+TEST(DaemonCodec, HelloReplyRoundTrip) {
+  HelloReply in;
+  in.version = 2;
+  in.caps_granted = kCapDictSync;
+  in.session_id = 42;
+  in.max_frame_bytes = 1 << 20;
+  in.max_batch_rows = 4096;
+  in.credit_window_rows = 65536;
+  const auto out = decode_hello_reply(encode_hello_reply(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->version, in.version);
+  EXPECT_EQ(out->caps_granted, in.caps_granted);
+  EXPECT_EQ(out->session_id, in.session_id);
+  EXPECT_EQ(out->max_frame_bytes, in.max_frame_bytes);
+  EXPECT_EQ(out->max_batch_rows, in.max_batch_rows);
+  EXPECT_EQ(out->credit_window_rows, in.credit_window_rows);
+}
+
+TEST(DaemonCodec, BatchReplyCarriesTypedRejectCounts) {
+  BatchReply in;
+  in.batch_seq = 7;
+  in.accepted = 90;
+  in.rejected.emplace_back(StatusCode::kInvalidArgument, 6);
+  in.rejected.emplace_back(StatusCode::kResourceExhausted, 3);
+  in.rejected.emplace_back(StatusCode::kUnavailable, 1);
+  in.credits_released = 100;
+  const auto out = decode_batch_reply(encode_batch_reply(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->batch_seq, in.batch_seq);
+  EXPECT_EQ(out->accepted, in.accepted);
+  ASSERT_EQ(out->rejected.size(), 3u);
+  EXPECT_EQ(out->rejected[0].first, StatusCode::kInvalidArgument);
+  EXPECT_EQ(out->rejected[0].second, 6u);
+  EXPECT_EQ(out->rejected[1].first, StatusCode::kResourceExhausted);
+  EXPECT_EQ(out->rejected[2].first, StatusCode::kUnavailable);
+  EXPECT_EQ(out->credits_released, 100u);
+}
+
+TEST(DaemonCodec, ErrorReplyMapsToTypedStatus) {
+  const auto out = decode_error(
+      encode_error(ErrorReply{StatusCode::kResourceExhausted, "window overrun"}));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->code, StatusCode::kResourceExhausted);
+  const Status s = out->to_status();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "window overrun");
+}
+
+TEST(DaemonCodec, ControlFramesRoundTrip) {
+  EXPECT_EQ(decode_ping(encode_ping(77)).value_or(0), 77u);
+  EXPECT_EQ(decode_pong(encode_pong(78)).value_or(0), 78u);
+  const auto flush = decode_flush(encode_flush(FlushRequest{9}));
+  ASSERT_TRUE(flush.has_value());
+  EXPECT_EQ(flush->token, 9u);
+  const auto freply = decode_flush_reply(encode_flush_reply(FlushReply{9, 1234, true}));
+  ASSERT_TRUE(freply.has_value());
+  EXPECT_EQ(freply->rows_total, 1234u);
+  EXPECT_TRUE(freply->durable);
+}
+
+TEST(DaemonCodec, InsertBatchInlineNamesRoundTrip) {
+  std::vector<tsdb::Record> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(make_record(1000 + i, "input_power_watts", 100.5 + i, i % 3, i));
+  }
+  const auto payload = encode_insert_batch(5, records, /*dict_sync=*/false, {});
+  const auto out = decode_insert_batch(payload, /*dict_sync=*/false, {});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->batch_seq, 5u);
+  ASSERT_EQ(out->records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(out->records[i].timestamp.ns(), records[i].timestamp.ns());
+    EXPECT_EQ(out->records[i].location, records[i].location);
+    EXPECT_EQ(out->records[i].metric, records[i].metric);
+    EXPECT_EQ(out->records[i].value, records[i].value);
+  }
+}
+
+TEST(DaemonCodec, InsertBatchDictionaryRoundTrip) {
+  const std::vector<std::string> dictionary{"input_power_watts", "coolant_flow_lpm"};
+  std::vector<tsdb::Record> records;
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    records.push_back(make_record(2000 + i, dictionary[static_cast<std::size_t>(i % 2)],
+                                  1.0 * i));
+    ids.push_back(static_cast<std::uint32_t>(i % 2));
+  }
+  const auto payload = encode_insert_batch(1, records, /*dict_sync=*/true, ids);
+  const auto out = decode_insert_batch(payload, /*dict_sync=*/true, dictionary);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(out->records[i].metric, records[i].metric);
+  }
+}
+
+TEST(DaemonCodec, InsertBatchUndefinedMetricIdIsTyped) {
+  const std::vector<std::string> dictionary{"watts"};
+  const auto records = std::vector<tsdb::Record>{make_record(1, "watts", 1.0)};
+  const auto payload = encode_insert_batch(1, records, true, {7});
+  BatchDecodeError err;
+  EXPECT_FALSE(decode_insert_batch(payload, true, dictionary, &err).has_value());
+  EXPECT_TRUE(err.bad_metric_id);
+  EXPECT_EQ(err.metric_id, 7u);
+}
+
+TEST(DaemonCodec, InsertBatchHostileRowCountRejectedCheaply) {
+  // Claims 2^31 rows in a tiny payload; the decoder must refuse before
+  // reserving anything.
+  tsdb::wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kInsertBatch));
+  w.u64(1);
+  w.u32(1u << 31);
+  BatchDecodeError err;
+  EXPECT_FALSE(decode_insert_batch(w.take(), false, {}, &err).has_value());
+  EXPECT_TRUE(err.structural);
+}
+
+TEST(DaemonCodec, TruncatedFramesNeverDecode) {
+  const auto records = std::vector<tsdb::Record>{make_record(1, "watts", 1.0),
+                                                 make_record(2, "watts", 2.0)};
+  const auto whole = encode_insert_batch(3, records, false, {});
+  for (std::size_t cut = 1; cut < whole.size(); ++cut) {
+    const std::span<const std::uint8_t> part(whole.data(), whole.size() - cut);
+    EXPECT_FALSE(decode_insert_batch(part, false, {}).has_value());
+  }
+  const auto hello = encode_hello(Hello{1, 2, 0, "t"});
+  for (std::size_t cut = 1; cut < hello.size(); ++cut) {
+    EXPECT_FALSE(
+        decode_hello(std::span(hello.data(), hello.size() - cut)).has_value());
+  }
+}
+
+TEST(DaemonCodec, FuzzedPayloadsNeverCrash) {
+  std::mt19937 rng(0xE7F0D5);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> len(0, 96);
+  const std::vector<std::string> dictionary{"watts"};
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> junk(len(rng));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(byte(rng));
+    (void)decode_hello(junk);
+    (void)decode_hello_reply(junk);
+    (void)decode_metric_def(junk);
+    (void)decode_insert_batch(junk, round % 2 == 0, dictionary);
+    (void)decode_batch_reply(junk);
+    (void)decode_flush(junk);
+    (void)decode_flush_reply(junk);
+    (void)decode_ping(junk);
+    (void)decode_pong(junk);
+    (void)decode_error(junk);
+  }
+}
+
+TEST(DaemonCodec, MutatedValidFramesNeverCrash) {
+  std::vector<tsdb::Record> records;
+  for (int i = 0; i < 4; ++i) records.push_back(make_record(10 + i, "watts", 1.0 * i));
+  const auto base = encode_insert_batch(1, records, false, {});
+  std::mt19937 rng(0xBADF00D);
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 2000; ++round) {
+    auto mutated = base;
+    mutated[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    (void)decode_insert_batch(mutated, false, {});
+  }
+}
+
+// ------------------------------------------------------------- status wire
+
+TEST(DaemonStatus, WireValuesAreFrozen) {
+  // On-wire numbers (DESIGN.md §14.5).  Changing any of these breaks
+  // deployed producers — the test pins them.
+  EXPECT_EQ(status_code_to_wire(StatusCode::kOk), 0);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kInvalidArgument), 1);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kNotFound), 2);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kPermissionDenied), 3);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kUnavailable), 4);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kOutOfRange), 5);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kFailedPrecondition), 6);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kResourceExhausted), 7);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kUnsupported), 8);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kInternal), 9);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kUnauthenticated), 10);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kAborted), 11);
+  EXPECT_EQ(status_code_to_wire(StatusCode::kDataLoss), 12);
+}
+
+TEST(DaemonStatus, UnknownWireValueDecodesAsInternal) {
+  EXPECT_EQ(status_code_from_wire(999), StatusCode::kInternal);
+  for (std::uint16_t v = 0; v < kStatusCodeCount; ++v) {
+    EXPECT_EQ(status_code_to_wire(status_code_from_wire(v)), v);
+  }
+}
+
+// ------------------------------------------------------------- state machine
+
+SessionCore::Config small_config() {
+  SessionCore::Config cfg;
+  cfg.max_batch_rows = 8;
+  cfg.credit_window_rows = 16;
+  cfg.session_id = 1;
+  return cfg;
+}
+
+SessionCore::Action do_hello(SessionCore& core, std::uint32_t ver_min = 1,
+                             std::uint32_t ver_max = 2,
+                             std::uint32_t caps = kCapDictSync | kCapDurableFlush) {
+  return core.on_frame(encode_hello(Hello{ver_min, ver_max, caps, "tenant"}));
+}
+
+TEST(DaemonSession, NegotiatesHighestCommonVersion) {
+  SessionCore core(small_config());
+  const auto action = do_hello(core);
+  ASSERT_EQ(action.replies.size(), 1u);
+  const auto reply = decode_hello_reply(action.replies[0]);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->version, kProtocolVersionMax);
+  EXPECT_EQ(reply->caps_granted, kCapDictSync | kCapDurableFlush);
+  EXPECT_TRUE(core.handshaken());
+}
+
+TEST(DaemonSession, DowngradesToV1WithoutCapabilities) {
+  SessionCore core(small_config());
+  const auto action = do_hello(core, 1, 1);
+  const auto reply = decode_hello_reply(action.replies.at(0));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->version, 1u);
+  EXPECT_EQ(reply->caps_granted, 0u);  // v1 predates every capability
+}
+
+TEST(DaemonSession, RejectsDisjointVersionRange) {
+  SessionCore core(small_config());
+  const auto action = do_hello(core, 99, 120);
+  const auto err = error_of(action);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, StatusCode::kUnsupported);
+  EXPECT_TRUE(action.close);
+  EXPECT_TRUE(core.closed());
+}
+
+TEST(DaemonSession, RequiresHelloFirst) {
+  SessionCore core(small_config());
+  const auto action = core.on_frame(encode_ping(1));
+  const auto err = error_of(action);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(core.protocol_errors(), 1u);
+}
+
+TEST(DaemonSession, RejectsDuplicateHello) {
+  SessionCore core(small_config());
+  (void)do_hello(core);
+  const auto action = do_hello(core);
+  ASSERT_TRUE(error_of(action).has_value());
+  EXPECT_EQ(error_of(action)->code, StatusCode::kFailedPrecondition);
+}
+
+TEST(DaemonSession, EnforcesBatchSequence) {
+  SessionCore core(small_config());
+  (void)do_hello(core, 1, 2, 0);  // inline metric names
+  const auto records = std::vector<tsdb::Record>{make_record(1, "watts", 1.0)};
+  auto ok = core.on_frame(encode_insert_batch(1, records, false, {}));
+  ASSERT_TRUE(ok.batch.has_value());
+  // Skipping seq 2 is a violation: the stream lost a frame somewhere.
+  const auto action = core.on_frame(encode_insert_batch(3, records, false, {}));
+  ASSERT_TRUE(error_of(action).has_value());
+  EXPECT_EQ(error_of(action)->code, StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(core.closed());
+}
+
+TEST(DaemonSession, EnforcesCreditWindow) {
+  SessionCore core(small_config());  // window: 16 rows
+  (void)do_hello(core, 1, 2, 0);  // inline metric names
+  std::vector<tsdb::Record> eight;
+  for (int i = 0; i < 8; ++i) eight.push_back(make_record(i, "watts", 1.0));
+  ASSERT_TRUE(core.on_frame(encode_insert_batch(1, eight, false, {})).batch.has_value());
+  ASSERT_TRUE(core.on_frame(encode_insert_batch(2, eight, false, {})).batch.has_value());
+  EXPECT_EQ(core.outstanding_rows(), 16u);
+  const auto action = core.on_frame(encode_insert_batch(3, eight, false, {}));
+  ASSERT_TRUE(error_of(action).has_value());
+  EXPECT_EQ(error_of(action)->code, StatusCode::kResourceExhausted);
+}
+
+TEST(DaemonSession, ReleasedCreditsReopenTheWindow) {
+  SessionCore core(small_config());
+  (void)do_hello(core, 1, 2, 0);  // inline metric names
+  std::vector<tsdb::Record> eight;
+  for (int i = 0; i < 8; ++i) eight.push_back(make_record(i, "watts", 1.0));
+  (void)core.on_frame(encode_insert_batch(1, eight, false, {}));
+  (void)core.on_frame(encode_insert_batch(2, eight, false, {}));
+  core.release_credits(8);
+  EXPECT_EQ(core.outstanding_rows(), 8u);
+  EXPECT_TRUE(core.on_frame(encode_insert_batch(3, eight, false, {})).batch.has_value());
+}
+
+TEST(DaemonSession, RejectsOversizedBatch) {
+  SessionCore core(small_config());  // max_batch_rows: 8
+  (void)do_hello(core, 1, 2, 0);  // inline metric names
+  std::vector<tsdb::Record> nine;
+  for (int i = 0; i < 9; ++i) nine.push_back(make_record(i, "watts", 1.0));
+  const auto action = core.on_frame(encode_insert_batch(1, nine, false, {}));
+  ASSERT_TRUE(error_of(action).has_value());
+  EXPECT_EQ(error_of(action)->code, StatusCode::kOutOfRange);
+}
+
+TEST(DaemonSession, MetricDefRequiresCapability) {
+  SessionCore core(small_config());
+  (void)do_hello(core, 1, 1);  // v1: dict sync never granted
+  const auto action = core.on_frame(encode_metric_def(MetricDef{0, "watts"}));
+  ASSERT_TRUE(error_of(action).has_value());
+  EXPECT_EQ(error_of(action)->code, StatusCode::kUnsupported);
+}
+
+TEST(DaemonSession, MetricRedefinitionIsFatal) {
+  SessionCore core(small_config());
+  (void)do_hello(core);
+  EXPECT_FALSE(core.on_frame(encode_metric_def(MetricDef{0, "watts"})).close);
+  // Same id, same name: idempotent re-announcement is fine.
+  EXPECT_FALSE(core.on_frame(encode_metric_def(MetricDef{0, "watts"})).close);
+  const auto action = core.on_frame(encode_metric_def(MetricDef{0, "amps"}));
+  ASSERT_TRUE(error_of(action).has_value());
+  EXPECT_EQ(error_of(action)->code, StatusCode::kFailedPrecondition);
+}
+
+TEST(DaemonSession, UndefinedDictionaryIdIsFatal) {
+  SessionCore core(small_config());
+  (void)do_hello(core);
+  const auto records = std::vector<tsdb::Record>{make_record(1, "watts", 1.0)};
+  const auto action = core.on_frame(encode_insert_batch(1, records, true, {3}));
+  ASSERT_TRUE(error_of(action).has_value());
+  EXPECT_EQ(error_of(action)->code, StatusCode::kInvalidArgument);
+}
+
+TEST(DaemonSession, GoodbyeClosesCleanly) {
+  SessionCore core(small_config());
+  (void)do_hello(core);
+  const auto action = core.on_frame(encode_goodbye());
+  EXPECT_TRUE(action.goodbye);
+  EXPECT_TRUE(action.close);
+  EXPECT_TRUE(core.closed());
+  EXPECT_EQ(core.protocol_errors(), 0u);
+}
+
+TEST(DaemonSession, BatchReplyMirrorsInsertResult) {
+  SessionCore core(small_config());
+  (void)do_hello(core);
+  tsdb::EnvDatabase::BatchResult result;
+  result.accepted = 5;
+  result.rejected_out_of_order = 2;
+  const auto reply = decode_batch_reply(core.make_batch_reply(4, result, 7));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->batch_seq, 4u);
+  EXPECT_EQ(reply->accepted, 5u);
+  ASSERT_EQ(reply->rejected.size(), 1u);  // zero-count codes are elided
+  EXPECT_EQ(reply->rejected[0].first, StatusCode::kInvalidArgument);
+  EXPECT_EQ(reply->rejected[0].second, 2u);
+  EXPECT_EQ(reply->credits_released, 7u);
+}
+
+TEST(DaemonSession, CapabilityGatingByVersion) {
+  EXPECT_EQ(caps_allowed_for(1), 0u);
+  EXPECT_EQ(caps_allowed_for(2) & kCapDictSync, kCapDictSync);
+  EXPECT_EQ(caps_allowed_for(2) & kCapDurableFlush, kCapDurableFlush);
+}
+
+}  // namespace
+}  // namespace envmon::daemon

@@ -1,0 +1,490 @@
+// End-to-end tests for envmond: server/client over Unix-domain sockets,
+// byte-identity against the in-process insert path, frame-log replay,
+// crash-mid-stream recovery, tenant limits, and protocol hostility at
+// the transport layer.  `ctest -L daemon` runs these.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "daemon/digest.hpp"
+#include "daemon/framelog.hpp"
+#include "daemon/server.hpp"
+#include "sim/time.hpp"
+#include "tsdb/database.hpp"
+
+namespace envmon::daemon {
+namespace {
+
+std::string unique_path(const std::string& leaf) {
+  static std::atomic<int> counter{0};
+  return testing::TempDir() + "envmond-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + "-" + leaf;
+}
+
+std::vector<tsdb::Record> make_rows(int client, std::int64_t base_ns, int n) {
+  std::vector<tsdb::Record> rows;
+  rows.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tsdb::Record rec;
+    rec.timestamp = sim::SimTime::from_ns(base_ns + i);
+    rec.location = {client, 0, i % 16, i % 32};
+    rec.metric = i % 2 == 0 ? "input_power_watts_c" + std::to_string(client)
+                            : "coolant_flow_lpm_c" + std::to_string(client);
+    rec.value = client * 1000.0 + i * 0.25;
+    rows.push_back(std::move(rec));
+  }
+  return rows;
+}
+
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool raw_send(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads one frame; nullopt on EOF or corruption.
+std::optional<std::vector<std::uint8_t>> raw_read_frame(int fd) {
+  std::vector<std::uint8_t> header(kFrameHeaderBytes);
+  std::size_t off = 0;
+  while (off < header.size()) {
+    const ssize_t n = ::read(fd, header.data() + off, header.size() - off);
+    if (n <= 0) return std::nullopt;
+    off += static_cast<std::size_t>(n);
+  }
+  const FrameHeader h = decode_frame_header(header);
+  if (h.payload_len > (64u << 20)) return std::nullopt;
+  std::vector<std::uint8_t> payload(h.payload_len);
+  off = 0;
+  while (off < payload.size()) {
+    const ssize_t n = ::read(fd, payload.data() + off, payload.size() - off);
+    if (n <= 0) return std::nullopt;
+    off += static_cast<std::size_t>(n);
+  }
+  if (!frame_payload_ok(h, payload)) return std::nullopt;
+  return payload;
+}
+
+TEST(DaemonEndToEnd, SingleClientMatchesInProcessInsertPath) {
+  // Reference: the same chunks through insert_batch directly.
+  tsdb::EnvDatabase reference;
+  const auto rows = make_rows(0, 1'000'000, 500);
+  for (std::size_t off = 0; off < rows.size(); off += 100) {
+    (void)reference.insert_batch(
+        std::span(rows).subspan(off, std::min<std::size_t>(100, rows.size() - off)));
+  }
+
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("single.sock");
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client(Client::Options{options.socket_path, "t0"});
+  ASSERT_TRUE(client.connect().is_ok());
+  EXPECT_EQ(client.version(), kProtocolVersionMax);
+  for (std::size_t off = 0; off < rows.size(); off += 100) {
+    ASSERT_TRUE(client
+                    .send_batch(std::span(rows).subspan(
+                        off, std::min<std::size_t>(100, rows.size() - off)))
+                    .is_ok());
+  }
+  ASSERT_TRUE(client.drain().is_ok());
+  EXPECT_EQ(client.totals().rows_accepted, rows.size());
+  EXPECT_EQ(client.totals().rows_rejected, 0u);
+  ASSERT_TRUE(client.close().is_ok());
+  server.stop();
+
+  EXPECT_EQ(database_digest(db), database_digest(reference));
+  EXPECT_EQ(server.stats().rows_accepted, rows.size());
+}
+
+TEST(DaemonEndToEnd, ConcurrentClientsReplayByteIdentical) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("multi.sock");
+  options.frame_log_path = unique_path("multi.framelog");
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  constexpr int kClients = 4;
+  constexpr int kBatches = 16;
+  constexpr int kRowsPerBatch = 64;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(Client::Options{options.socket_path, "tenant" + std::to_string(c)});
+      if (!client.connect().is_ok()) {
+        ++failures;
+        return;
+      }
+      for (int b = 0; b < kBatches; ++b) {
+        const auto rows = make_rows(c, 1'000'000 + b * 1000, kRowsPerBatch);
+        if (!client.send_batch(rows).is_ok()) {
+          ++failures;
+          return;
+        }
+      }
+      if (!client.drain().is_ok() || !client.close().is_ok()) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+  ASSERT_EQ(failures.load(), 0);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.rows_accepted + stats.rows_rejected,
+            static_cast<std::uint64_t>(kClients) * kBatches * kRowsPerBatch);
+
+  // The captured session log replays into a byte-identical store.
+  tsdb::EnvDatabase replayed;
+  ReplayStats rstats;
+  ASSERT_TRUE(replay_frame_log(options.frame_log_path, replayed, &rstats).is_ok());
+  EXPECT_EQ(rstats.sessions, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(rstats.batches, stats.batches);
+  EXPECT_EQ(rstats.rows_accepted, stats.rows_accepted);
+  EXPECT_EQ(database_digest(replayed), database_digest(db));
+
+  // Replay is deterministic: a second pass produces the same store.
+  tsdb::EnvDatabase again;
+  ASSERT_TRUE(replay_frame_log(options.frame_log_path, again, nullptr).is_ok());
+  EXPECT_EQ(database_digest(again), database_digest(replayed));
+}
+
+TEST(DaemonEndToEnd, DictionarySyncDeliversCorrectMetricNames) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("dict.sock");
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client(Client::Options{options.socket_path, "t"});
+  ASSERT_TRUE(client.connect().is_ok());
+  ASSERT_EQ(client.caps() & kCapDictSync, kCapDictSync);
+  const auto rows = make_rows(3, 5'000'000, 64);
+  ASSERT_TRUE(client.send_batch(rows).is_ok());
+  ASSERT_TRUE(client.drain().is_ok());
+  (void)client.close();
+  server.stop();
+
+  tsdb::QueryFilter filter;
+  filter.metric = "input_power_watts_c3";
+  EXPECT_EQ(db.query(filter).size(), 32u);
+  filter.metric = "coolant_flow_lpm_c3";
+  EXPECT_EQ(db.query(filter).size(), 32u);
+}
+
+TEST(DaemonEndToEnd, VersionDowngradeStillIngests) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("v1.sock");
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client::Options copt{options.socket_path, "t"};
+  copt.ver_max = 1;
+  Client client(copt);
+  ASSERT_TRUE(client.connect().is_ok());
+  EXPECT_EQ(client.version(), 1u);
+  EXPECT_EQ(client.caps(), 0u);  // no dict sync on v1: inline names
+  const auto rows = make_rows(1, 1000, 50);
+  ASSERT_TRUE(client.send_batch(rows).is_ok());
+  ASSERT_TRUE(client.drain().is_ok());
+  EXPECT_EQ(client.totals().rows_accepted, 50u);
+  (void)client.close();
+  server.stop();
+  EXPECT_EQ(db.query({}).size(), 50u);
+}
+
+TEST(DaemonEndToEnd, FutureOnlyClientIsRefused) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("vfuture.sock");
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client::Options copt{options.socket_path, "t"};
+  copt.ver_min = 57;
+  copt.ver_max = 58;
+  Client client(copt);
+  const Status s = client.connect();
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+  server.stop();
+}
+
+TEST(DaemonEndToEnd, UnknownTenantIsRefusedWhenRequired) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("tenant.sock");
+  options.require_known_tenant = true;
+  options.tenant_policies["paid"] = TenantPolicy{};
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client freeloader(Client::Options{options.socket_path, "freeloader"});
+  // The refusal may land during the handshake read or on first use.
+  Status s = freeloader.connect();
+  if (s.is_ok()) s = freeloader.ping();
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnauthenticated);
+
+  Client paid(Client::Options{options.socket_path, "paid"});
+  ASSERT_TRUE(paid.connect().is_ok());
+  EXPECT_TRUE(paid.ping().is_ok());
+  (void)paid.close();
+  server.stop();
+}
+
+TEST(DaemonEndToEnd, TenantRateLimitDelaysButNeverRejects) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("throttle.sock");
+  options.tenant_policies["slow"] = TenantPolicy{200'000.0, 1'000.0};
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client(Client::Options{options.socket_path, "slow"});
+  ASSERT_TRUE(client.connect().is_ok());
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_TRUE(client.send_batch(make_rows(0, 1'000'000 + b * 10'000, 1000)).is_ok());
+  }
+  ASSERT_TRUE(client.drain().is_ok());
+  EXPECT_EQ(client.totals().rows_accepted, 8000u);
+  EXPECT_EQ(client.totals().rows_rejected, 0u);  // throttled, not dropped
+  (void)client.close();
+  server.stop();
+  EXPECT_GE(server.stats().throttle_waits, 1u);
+  EXPECT_GT(server.stats().throttle_seconds, 0.0);
+}
+
+TEST(DaemonEndToEnd, RejectedRowsCarryTypedCodes) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("reject.sock");
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client(Client::Options{options.socket_path, "t"});
+  ASSERT_TRUE(client.connect().is_ok());
+  std::vector<tsdb::Record> rows;
+  tsdb::Record a;
+  a.timestamp = sim::SimTime::from_ns(2'000'000);
+  a.location = {0, 0, 0, 0};
+  a.metric = "watts";
+  a.value = 1.0;
+  tsdb::Record b = a;
+  b.timestamp = sim::SimTime::from_ns(1'000'000);  // behind its series head
+  rows.push_back(a);
+  rows.push_back(b);
+  ASSERT_TRUE(client.send_batch(rows).is_ok());
+  ASSERT_TRUE(client.drain().is_ok());
+  EXPECT_EQ(client.totals().rows_accepted, 1u);
+  EXPECT_EQ(client.totals().rows_rejected, 1u);
+  EXPECT_EQ(client.totals()
+                .rejected_by_code[status_code_to_wire(StatusCode::kInvalidArgument)],
+            1u);
+  (void)client.close();
+  server.stop();
+}
+
+TEST(DaemonEndToEnd, OversizedFrameGetsTypedErrorAndClose) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("oversize.sock");
+  options.max_frame_bytes = 1 << 16;
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  const int fd = raw_connect(options.socket_path);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(raw_send(fd, frame(encode_hello(Hello{1, 2, 0, "t"}))));
+  ASSERT_TRUE(raw_read_frame(fd).has_value());  // HelloReply
+
+  // A header promising 1 GiB: refused before any allocation.
+  tsdb::wire::Writer w;
+  w.u32(1u << 30);
+  w.u32(0);
+  ASSERT_TRUE(raw_send(fd, w.take()));
+  const auto reply = raw_read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  const auto err = decode_error(*reply);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, StatusCode::kOutOfRange);
+  EXPECT_FALSE(raw_read_frame(fd).has_value());  // session torn down
+  ::close(fd);
+  server.stop();
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+TEST(DaemonEndToEnd, GarbageStreamDoesNotWedgeTheServer) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("garbage.sock");
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  std::mt19937 rng(0xFEED);
+  for (int round = 0; round < 8; ++round) {
+    const int fd = raw_connect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    std::vector<std::uint8_t> junk(64);
+    for (auto& byte : junk) byte = static_cast<std::uint8_t>(rng() & 0xFF);
+    (void)raw_send(fd, junk);
+    // Server answers with a typed error or just drops us; either way
+    // the stream must end rather than hang.
+    while (raw_read_frame(fd).has_value()) {
+    }
+    ::close(fd);
+  }
+
+  // The daemon is still healthy for a well-behaved client.
+  Client client(Client::Options{options.socket_path, "t"});
+  ASSERT_TRUE(client.connect().is_ok());
+  EXPECT_TRUE(client.ping().is_ok());
+  (void)client.close();
+  server.stop();
+}
+
+TEST(DaemonEndToEnd, ClientKillMidBatchLeavesDurableStoreConsistent) {
+  const std::string dir = unique_path("crashdb");
+  std::filesystem::create_directories(dir);
+  const std::string framelog = unique_path("crash.framelog");
+  std::uint64_t live_digest = 0;
+  std::uint64_t expected_rows = 0;
+
+  {
+    tsdb::EnvDatabase db;
+    ASSERT_TRUE(db.open(dir).is_ok());
+    ServerOptions options;
+    options.socket_path = unique_path("crash.sock");
+    options.frame_log_path = framelog;
+    Server server(db, options);
+    ASSERT_TRUE(server.start().is_ok());
+
+    // A well-behaved producer whose rows must survive.
+    Client good(Client::Options{options.socket_path, "good"});
+    ASSERT_TRUE(good.connect().is_ok());
+    ASSERT_TRUE(good.send_batch(make_rows(1, 1'000'000, 200)).is_ok());
+    const auto flush = good.flush();
+    ASSERT_TRUE(flush.is_ok());
+    EXPECT_TRUE(flush.value().durable);
+    expected_rows += 200;
+
+    // A producer that dies mid-frame: handshake, one complete batch,
+    // then half an InsertBatch and an abrupt close.
+    const int fd = raw_connect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(raw_send(fd, frame(encode_hello(Hello{1, 2, 0, "doomed"}))));
+    ASSERT_TRUE(raw_read_frame(fd).has_value());
+    // The store orders on a global timestamp watermark, so the second
+    // producer continues the timeline rather than overlapping it.
+    const auto complete = make_rows(2, 2'000'000, 100);
+    ASSERT_TRUE(raw_send(fd, frame(encode_insert_batch(1, complete, false, {}))));
+    const auto ack = raw_read_frame(fd);
+    ASSERT_TRUE(ack.has_value());
+    const auto batch_ack = decode_batch_reply(*ack);
+    ASSERT_TRUE(batch_ack.has_value()) << "got frame type " << int((*ack)[0]);
+    ASSERT_EQ(batch_ack->accepted, 100u);  // it landed before the crash
+    expected_rows += 100;
+    const auto doomed = frame(encode_insert_batch(2, make_rows(2, 3'000'000, 100), false, {}));
+    ASSERT_TRUE(raw_send(fd, std::span(doomed).first(doomed.size() / 2)));
+    ::close(fd);  // crash: the torn frame must be discarded
+
+    (void)good.close();
+    server.stop();  // drains and flushes
+    live_digest = database_digest(db);
+    ASSERT_TRUE(db.close().is_ok());
+  }
+
+  // Recovery: reopen the durable store — complete batches survived,
+  // the torn frame left no trace.
+  tsdb::EnvDatabase reopened;
+  ASSERT_TRUE(reopened.open(dir).is_ok());
+  EXPECT_EQ(reopened.query({}).size(), expected_rows);
+  EXPECT_EQ(database_digest(reopened), live_digest);
+
+  // And the capture replays to the same bytes (in-memory this time).
+  tsdb::EnvDatabase replayed;
+  bool truncated = false;
+  const auto log = read_frame_log(framelog, &truncated);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_FALSE(truncated);
+  ASSERT_TRUE(replay_frame_log(framelog, replayed, nullptr).is_ok());
+  EXPECT_EQ(database_digest(replayed), live_digest);
+}
+
+TEST(DaemonEndToEnd, FlushReportsDurabilityHonestly) {
+  tsdb::EnvDatabase db;  // in-memory: flush must say so
+  ServerOptions options;
+  options.socket_path = unique_path("volatile.sock");
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client(Client::Options{options.socket_path, "t"});
+  ASSERT_TRUE(client.connect().is_ok());
+  ASSERT_TRUE(client.send_batch(make_rows(0, 1000, 10)).is_ok());
+  const auto flush = client.flush();
+  ASSERT_TRUE(flush.is_ok());
+  EXPECT_FALSE(flush.value().durable);
+  EXPECT_EQ(flush.value().rows_total, 10u);
+  (void)client.close();
+  server.stop();
+}
+
+TEST(DaemonFrameLog, TornCaptureReplaysCleanPrefix) {
+  tsdb::EnvDatabase db;
+  ServerOptions options;
+  options.socket_path = unique_path("torn.sock");
+  options.frame_log_path = unique_path("torn.framelog");
+  Server server(db, options);
+  ASSERT_TRUE(server.start().is_ok());
+  Client client(Client::Options{options.socket_path, "t"});
+  ASSERT_TRUE(client.connect().is_ok());
+  ASSERT_TRUE(client.send_batch(make_rows(0, 1000, 100)).is_ok());
+  ASSERT_TRUE(client.drain().is_ok());
+  (void)client.close();
+  server.stop();
+
+  // Chop the capture mid-entry: the reader keeps the clean prefix.
+  const auto size = std::filesystem::file_size(options.frame_log_path);
+  std::filesystem::resize_file(options.frame_log_path, size - 5);
+  bool truncated = false;
+  const auto log = read_frame_log(options.frame_log_path, &truncated);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_TRUE(truncated);
+  tsdb::EnvDatabase replayed;
+  EXPECT_TRUE(replay_frame_log(options.frame_log_path, replayed, nullptr).is_ok());
+}
+
+}  // namespace
+}  // namespace envmon::daemon

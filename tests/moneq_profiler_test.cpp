@@ -5,7 +5,6 @@
 #include "bgq/emon.hpp"
 #include "bgq/machine.hpp"
 #include "moneq/backend_bgq.hpp"
-#include "moneq/capi.hpp"
 #include "workloads/library.hpp"
 
 namespace envmon::moneq {
@@ -227,43 +226,34 @@ TEST(Profiler, OverheadAccountsAllPhases) {
   EXPECT_NEAR(report.collection.to_millis(), 17 * 1.10, 0.01);
 }
 
-TEST(CApi, ListingOneFlow) {
+// The paper's Listing 1 flow (Setup Power / user code / Finalize Power)
+// on the typed surface that replaced the removed MonEQ_* C shims.
+TEST(ListingOne, TypedStatusFlow) {
   Fixture f;
-  capi::MonEQ_Bind(&f.profiler, &f.fs, &f.output);
-  EXPECT_EQ(capi::MonEQ_Initialize(), capi::kMonEQOk);   // Setup Power
+  ASSERT_TRUE(f.profiler.initialize().is_ok());          // Setup Power
   f.engine.run_until(SimTime::from_seconds(5));          // User code
-  EXPECT_EQ(capi::MonEQ_Finalize(), capi::kMonEQOk);     // Finalize Power
+  ASSERT_TRUE(f.profiler.finalize(&f.fs, &f.output).is_ok());  // Finalize Power
   EXPECT_FALSE(f.output.files().empty());
-  capi::MonEQ_Bind(nullptr);
 }
 
-TEST(CApi, UnboundReturnsError) {
-  capi::MonEQ_Bind(nullptr);
-  EXPECT_EQ(capi::MonEQ_Initialize(), capi::kMonEQErrNotBound);
-  EXPECT_EQ(capi::MonEQ_Finalize(), capi::kMonEQErrNotBound);
-  EXPECT_EQ(capi::MonEQ_StartTag("x"), capi::kMonEQErrNotBound);
-}
-
-TEST(CApi, PollingIntervalValidation) {
+TEST(ListingOne, PollingIntervalValidation) {
   Fixture f;
-  capi::MonEQ_Bind(&f.profiler);
-  EXPECT_EQ(capi::MonEQ_SetPollingInterval(-1.0), capi::kMonEQErrInvalid);
-  EXPECT_EQ(capi::MonEQ_SetPollingInterval(0.1), capi::kMonEQErrInvalid);  // below floor
-  EXPECT_EQ(capi::MonEQ_SetPollingInterval(1.0), capi::kMonEQOk);
-  EXPECT_EQ(capi::MonEQ_Initialize(), capi::kMonEQOk);
-  EXPECT_EQ(capi::MonEQ_SetPollingInterval(2.0), capi::kMonEQErrState);  // too late
-  capi::MonEQ_Bind(nullptr);
+  EXPECT_EQ(f.profiler.set_polling_interval(Duration::from_seconds(-1.0)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(f.profiler.set_polling_interval(Duration::from_seconds(0.1)).code(),
+            StatusCode::kOutOfRange);  // below the hardware floor
+  EXPECT_TRUE(f.profiler.set_polling_interval(Duration::seconds(1)).is_ok());
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  EXPECT_EQ(f.profiler.set_polling_interval(Duration::seconds(2)).code(),
+            StatusCode::kFailedPrecondition);  // too late
 }
 
-TEST(CApi, TagsAndNullName) {
+TEST(ListingOne, TagLifecycle) {
   Fixture f;
-  capi::MonEQ_Bind(&f.profiler);
-  ASSERT_EQ(capi::MonEQ_Initialize(), capi::kMonEQOk);
-  EXPECT_EQ(capi::MonEQ_StartTag(nullptr), capi::kMonEQErrInvalid);
-  EXPECT_EQ(capi::MonEQ_StartTag("loop"), capi::kMonEQOk);
-  EXPECT_EQ(capi::MonEQ_EndTag("loop"), capi::kMonEQOk);
-  EXPECT_EQ(capi::MonEQ_EndTag("loop"), capi::kMonEQErrState);
-  capi::MonEQ_Bind(nullptr);
+  ASSERT_TRUE(f.profiler.initialize().is_ok());
+  EXPECT_TRUE(f.profiler.start_tag("loop").is_ok());
+  EXPECT_TRUE(f.profiler.end_tag("loop").is_ok());
+  EXPECT_EQ(f.profiler.end_tag("loop").code(), StatusCode::kFailedPrecondition);
 }
 
 }  // namespace
