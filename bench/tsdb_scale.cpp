@@ -34,6 +34,8 @@
 #include <bit>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,7 +43,9 @@
 #include "bgq/domains.hpp"
 #include "bgq/env_monitor.hpp"
 #include "obs/metrics.hpp"
+#include "tsdb/codec.hpp"
 #include "tsdb/database.hpp"
+#include "tsdb/simd.hpp"
 
 namespace {
 
@@ -78,6 +82,87 @@ bool identical_rows(const std::vector<tsdb::Record>& a, const std::vector<tsdb::
     }
   }
   return true;
+}
+
+// Decode-path speedup: the dispatched simd kernels against the
+// row-at-a-time reference decoders over one sensor-shaped value column
+// (the codec_decode microbench's workload at reduced size), so the
+// headline scale numbers carry the decode trajectory too.  CPU time,
+// not wall time, so the ratio survives background load on shared
+// hosts; bench/codec_decode holds the full per-variant breakdown.
+struct DecodeSpeedup {
+  double ref_mrows_per_s = 0.0;
+  double dispatched_mrows_per_s = 0.0;
+  double speedup = 0.0;
+  bool any_simd = false;
+};
+
+double cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+DecodeSpeedup measure_decode_speedup() {
+  constexpr std::size_t kRows = std::size_t{1} << 19;
+  constexpr std::size_t kSubchunkRows = 16;
+  std::vector<double> values(kRows);
+  std::mt19937_64 rng(0x5eed);
+  double v = 1.2;
+  for (auto& out : values) {
+    const std::uint64_t roll = rng() % 100;
+    if (roll < 55) {
+      // repeat
+    } else if (roll < 90) {
+      v += 0.0005 * static_cast<double>(static_cast<std::int64_t>(rng() % 9) - 4);
+    } else {
+      v = 1.2 + 0.01 * static_cast<double>(rng() % 8);
+    }
+    out = v;
+  }
+  tsdb::BitWriter w;
+  std::vector<std::uint32_t> offsets;
+  for (std::size_t begin = 0; begin < kRows; begin += kSubchunkRows) {
+    offsets.push_back(static_cast<std::uint32_t>(w.bit_size()));
+    tsdb::XorEncoder enc;
+    const std::size_t end = std::min(begin + kSubchunkRows, kRows);
+    for (std::size_t i = begin; i < end; ++i) enc.append(values[i], w);
+  }
+  const std::vector<std::uint8_t> stream = w.take();
+
+  const auto best_of = [](int reps, auto&& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const double t0 = cpu_seconds();
+      fn();
+      best = std::min(best, cpu_seconds() - t0);
+    }
+    return best;
+  };
+
+  std::vector<double> out(kRows);
+  const double ref_s = best_of(5, [&] {
+    tsdb::BitReader r(stream);
+    for (std::size_t c = 0; c < offsets.size(); ++c) {
+      r.seek(offsets[c]);
+      tsdb::XorDecoder dec;
+      const std::size_t end = std::min((c + 1) * kSubchunkRows, kRows);
+      for (std::size_t i = c * kSubchunkRows; i < end; ++i) out[i] = dec.next(r);
+    }
+  });
+  const double disp_s = best_of(5, [&] {
+    namespace simd = tsdb::simd;
+    simd::active().decode_xor_column(stream.data(), stream.size(), offsets.data(),
+                                     offsets.size(), kRows, out.data());
+  });
+
+  DecodeSpeedup d;
+  d.ref_mrows_per_s = static_cast<double>(kRows) / ref_s / 1e6;
+  d.dispatched_mrows_per_s = static_cast<double>(kRows) / disp_s / 1e6;
+  d.speedup = ref_s / disp_s;
+  d.any_simd = tsdb::simd::variant_available(tsdb::simd::Variant::kSse42) ||
+               tsdb::simd::variant_available(tsdb::simd::Variant::kAvx2);
+  return d;
 }
 
 bool identical_buckets(const std::vector<tsdb::EnvDatabase::Bucket>& a,
@@ -324,11 +409,20 @@ int main() {
               static_cast<unsigned long long>(db.query_stats().cache_hits),
               static_cast<unsigned long long>(db.query_stats().cache_misses));
 
+  const DecodeSpeedup decode = measure_decode_speedup();
+  const char* decode_variant = tsdb::simd::variant_name(tsdb::simd::dispatched_variant());
+  const char* decode_gate =
+      !decode.any_simd ? "skipped_no_simd" : (decode.speedup >= 2.0 ? "pass" : "fail");
+  std::printf("decode throughput   : %.1f Mrows/s dispatched (%s) vs %.1f reference, %.2fx\n",
+              decode.dispatched_mrows_per_s, decode_variant, decode.ref_mrows_per_s,
+              decode.speedup);
+
   const bool ingest_ok = db.size() >= 1'000'000;
   const bool reduction_ok = reduction >= 10.0;
   const bool compression_ok = bytes_per_record_compressed <= 8.0;
   const bool pushdown_ok = pushdown_fraction > 0.5;
   const bool downsample_latency_ok = downsample_p99 <= 0.25;
+  const bool decode_ok = !decode.any_simd || decode.speedup >= 2.0;
   std::printf(">= 1M records ingested    : %s\n", ingest_ok ? "PASS" : "FAIL");
   std::printf(">= 10x scan reduction     : %s\n", reduction_ok ? "PASS" : "FAIL");
   std::printf("query results correct     : %s\n", results_ok ? "PASS" : "FAIL");
@@ -339,6 +433,10 @@ int main() {
               pushdown_fraction);
   std::printf("downsample p99 <= 0.25 ms : %s (%.4f)\n",
               downsample_latency_ok ? "PASS" : "FAIL", downsample_p99);
+  std::printf(">= 2x decode speedup      : %s (%.2fx)\n",
+              !decode.any_simd ? "SKIP (no SIMD variant on this host)"
+                               : (decode_ok ? "PASS" : "FAIL"),
+              decode.speedup);
 
   std::FILE* out = std::fopen("BENCH_tsdb.json", "w");
   if (out != nullptr) {
@@ -367,7 +465,12 @@ int main() {
                  "  \"rows_scanned\": %llu,\n"
                  "  \"full_scan_rows\": %llu,\n"
                  "  \"rows_scanned_reduction\": %.1f,\n"
-                 "  \"downsample_cache_hits\": %llu\n"
+                 "  \"downsample_cache_hits\": %llu,\n"
+                 "  \"decode_variant\": \"%s\",\n"
+                 "  \"decode_reference_mrows_per_s\": %.1f,\n"
+                 "  \"decode_dispatched_mrows_per_s\": %.1f,\n"
+                 "  \"decode_speedup_vs_reference\": %.2f,\n"
+                 "  \"decode_speedup_gate\": \"%s\"\n"
                  "}\n",
                  db.size(), ingest_s, ingest_rate, bytes_per_record_raw,
                  bytes_per_record_compressed,
@@ -378,13 +481,15 @@ int main() {
                  serial_scan_p50, parallel_opts.query_threads,
                  static_cast<unsigned long long>(rows_scanned),
                  static_cast<unsigned long long>(full_scan_rows), reduction,
-                 static_cast<unsigned long long>(db.query_stats().cache_hits));
+                 static_cast<unsigned long long>(db.query_stats().cache_hits),
+                 decode_variant, decode.ref_mrows_per_s, decode.dispatched_mrows_per_s,
+                 decode.speedup, decode_gate);
     std::fclose(out);
     std::printf("\nwrote BENCH_tsdb.json\n");
   }
 
   return (ingest_ok && reduction_ok && results_ok && compression_ok && identical_ok &&
-          pushdown_ok && downsample_latency_ok)
+          pushdown_ok && downsample_latency_ok && decode_ok)
              ? 0
              : 1;
 }

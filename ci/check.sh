@@ -12,11 +12,19 @@
 #   4. daemon smoke: a real envmond process serves three concurrent
 #      clients over its Unix socket, then the in-process variant also
 #      gates frame-log replay identity (DESIGN.md §14's gate);
-#   5. ASan+UBSan build of the obs + fleet + persist + daemon labels
-#      (the suites that exercise the telemetry rollup, flight
-#      recorders, the ingest path, the durable storage layer, and the
-#      wire protocol end-to-end);
-#   6. TSan build of the same labels — the fleet suite's 8-worker
+#   5. codec decode smoke: every compiled simd variant decodes the
+#      sensor-shaped column and timestamp stream bit-identically to the
+#      reference decoders (DESIGN.md §15's identity contract; the
+#      throughput gate itself runs under the Bench configuration);
+#   6. property sweep: the `prop` label re-runs at an elevated case
+#      count (the tier-1 pass already ran the defaults);
+#   7. ASan+UBSan build of the obs + fleet + persist + daemon + prop
+#      labels (the suites that exercise the telemetry rollup, flight
+#      recorders, the ingest path, the durable storage layer, the wire
+#      protocol, and the randomized codec/fold/engine properties —
+#      the garbage-decode properties are the UBSan workload for the
+#      bit-level kernels);
+#   8. TSan build of the same labels — the fleet suite's 8-worker
 #      byte-equality tests and the daemon suite's multi-client
 #      server/client runs double as its data-race workload.
 #
@@ -27,7 +35,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-SANITIZED_LABELS='obs|fleet|persist|daemon'
+SANITIZED_LABELS='obs|fleet|persist|daemon|prop'
+# High-case-count sweep for the dedicated property pass; the sanitizer
+# passes keep the default counts so the matrix stays fast.
+PROP_SWEEP_CASES=2000
 
 run_suite() {
   local dir="$1"; shift
@@ -63,6 +74,13 @@ for _ in $(seq 50); do [[ -S "${DAEMON_SOCK}" ]] && break; sleep 0.1; done
 kill -TERM "${DAEMON_PID}" 2>/dev/null || true
 wait "${DAEMON_PID}" 2>/dev/null || true
 ./build/bench/daemon_ingest --smoke
+
+echo "== codec decode smoke: all variants bit-identical to the reference =="
+./build/bench/codec_decode --smoke
+
+echo "== property sweep: -L prop at ENVMON_PROP_CASES=${PROP_SWEEP_CASES} =="
+ENVMON_PROP_CASES="${PROP_SWEEP_CASES}" \
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -L prop
 
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "OK (tier 1 only)"

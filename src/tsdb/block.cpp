@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "tsdb/simd.hpp"
 #include "tsdb/wire.hpp"
 
 namespace envmon::tsdb {
@@ -24,26 +25,27 @@ Block Block::seal(std::span<const std::int64_t> ts, std::span<const double> valu
     s.seq_first = seq.front();
     s.seq_last = seq.back();
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    const double v = values[i];
-    if (!std::isnan(v)) {
-      if (s.finite_rows == 0 || v < s.value_min) s.value_min = v;
-      if (s.finite_rows == 0 || v > s.value_max) s.value_max = v;
-      ++s.finite_rows;
-    }
-    s.value_sum += v;
-    s.value_sum_sq += v * v;
-  }
-
+  // Canonical fold grammar (simd.hpp): fold each subchunk with the
+  // dispatched kernel, combine left-to-right.  Every variant produces
+  // the same bits, so sealed bytes never depend on the host ISA.
   const std::size_t chunks = (n + kSubchunkRows - 1) / kSubchunkRows;
+  const auto& kernels = simd::active();
+  simd::FoldCombine combine;
   block.subchunk_sums_.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * kSubchunkRows;
     const std::size_t end = begin + kSubchunkRows < n ? begin + kSubchunkRows : n;
-    double sum = 0.0;
-    for (std::size_t i = begin; i < end; ++i) sum += values[i];
-    block.subchunk_sums_.push_back(sum);
+    simd::SubchunkFold fold;
+    kernels.fold_subchunk(values.data() + begin, end - begin, fold);
+    block.subchunk_sums_.push_back(fold.sum);
+    combine.add(fold);
   }
+  const simd::SubchunkFold total = combine.finish();
+  s.finite_rows = total.finite;
+  s.value_min = total.min;
+  s.value_max = total.max;
+  s.value_sum = total.sum;
+  s.value_sum_sq = total.sum_sq;
 
   if (!compress) {
     block.raw_ts_.assign(ts.begin(), ts.end());
@@ -85,11 +87,8 @@ void Block::decode_timestamps(std::vector<std::int64_t>& out) const {
     out.assign(raw_ts_.begin(), raw_ts_.end());
     return;
   }
-  out.clear();
-  out.reserve(summary_.rows);
-  BitReader reader(ts_stream_);
-  DeltaOfDeltaDecoder decoder;
-  for (std::uint32_t i = 0; i < summary_.rows; ++i) out.push_back(decoder.next(reader));
+  out.resize(summary_.rows);
+  simd::active().decode_dod(ts_stream_.data(), ts_stream_.size(), summary_.rows, out.data());
 }
 
 void Block::decode_seq(std::vector<std::uint64_t>& out) const {
@@ -97,13 +96,10 @@ void Block::decode_seq(std::vector<std::uint64_t>& out) const {
     out.assign(raw_seq_.begin(), raw_seq_.end());
     return;
   }
-  out.clear();
-  out.reserve(summary_.rows);
-  BitReader reader(seq_stream_);
-  DeltaOfDeltaDecoder decoder;
-  for (std::uint32_t i = 0; i < summary_.rows; ++i) {
-    out.push_back(static_cast<std::uint64_t>(decoder.next(reader)));
-  }
+  out.resize(summary_.rows);
+  // seq values are encoded as int64 deltas; the bit patterns round-trip.
+  simd::active().decode_dod(seq_stream_.data(), seq_stream_.size(), summary_.rows,
+                            reinterpret_cast<std::int64_t*>(out.data()));
 }
 
 void Block::decode_values(std::vector<double>& out) const {
@@ -111,14 +107,10 @@ void Block::decode_values(std::vector<double>& out) const {
     out.assign(raw_values_.begin(), raw_values_.end());
     return;
   }
-  out.clear();
-  out.reserve(summary_.rows);
-  BitReader reader(value_stream_);
-  for (std::size_t c = 0; c < subchunk_sums_.size(); ++c) {
-    XorDecoder decoder;  // mirrors the per-subchunk encoder restart
-    const std::size_t count = subchunk_rows(c);
-    for (std::size_t i = 0; i < count; ++i) out.push_back(decoder.next(reader));
-  }
+  out.resize(summary_.rows);
+  simd::active().decode_xor_column(value_stream_.data(), value_stream_.size(),
+                                   value_chunk_offsets_.data(), value_chunk_offsets_.size(),
+                                   summary_.rows, out.data());
 }
 
 void Block::decode_subchunk_values(std::size_t chunk, double* out) const {
@@ -128,10 +120,37 @@ void Block::decode_subchunk_values(std::size_t chunk, double* out) const {
     for (std::size_t i = 0; i < count; ++i) out[i] = src[i];
     return;
   }
-  BitReader reader(value_stream_);
-  reader.seek(value_chunk_offsets_[chunk]);
-  XorDecoder decoder;
-  for (std::size_t i = 0; i < count; ++i) out[i] = decoder.next(reader);
+  simd::active().decode_xor_subchunk(value_stream_.data(), value_stream_.size(),
+                                     value_chunk_offsets_[chunk], count, out);
+}
+
+void Block::decode_values_range(std::size_t begin, std::size_t end, double* out) const {
+  BlockValueCursor cursor(*this);
+  cursor.read(begin, end, out);
+}
+
+const double* BlockValueCursor::subchunk(std::size_t chunk) {
+  if (!block_->compressed_) {
+    return block_->raw_values_.data() + chunk * Block::kSubchunkRows;
+  }
+  if (chunk != cached_chunk_) {
+    block_->decode_subchunk_values(chunk, buf_);
+    cached_chunk_ = chunk;
+  }
+  return buf_;
+}
+
+void BlockValueCursor::read(std::size_t begin, std::size_t end, double* out) {
+  while (begin < end) {
+    const std::size_t chunk = begin / Block::kSubchunkRows;
+    const std::size_t chunk_begin = chunk * Block::kSubchunkRows;
+    const std::size_t chunk_end = chunk_begin + block_->subchunk_rows(chunk);
+    const std::size_t stop = end < chunk_end ? end : chunk_end;
+    const double* src = subchunk(chunk);
+    std::memcpy(out, src + (begin - chunk_begin), (stop - begin) * sizeof(double));
+    out += stop - begin;
+    begin = stop;
+  }
 }
 
 void Block::encode_extent(std::vector<std::uint8_t>& out) const {

@@ -19,10 +19,12 @@
 //    precomputed sum (bucket fully covers it) or decode just that
 //    subchunk (bucket boundary) without decoding the rest.
 //
-// The folds are defined exactly as the decode path would compute them
-// (left-to-right from 0.0 within each subchunk / block), which is what
-// makes summary pushdown bit-identical to decoding: the query engine
-// aggregates at subchunk granularity in both paths.
+// The folds follow the canonical fold grammar in simd.hpp — a 4-lane
+// tree within each subchunk (which is also the vectorized
+// implementation), combined left-to-right across subchunks — and the
+// query engine aggregates at subchunk granularity with the same
+// grammar, which is what makes summary pushdown bit-identical to
+// decode-then-fold on every dispatch variant.
 //
 // `compress = false` seals the same structure around plain column
 // copies — identical layout, summaries, and query semantics, no codec.
@@ -45,10 +47,10 @@ struct BlockSummary {
   std::int64_t ts_max = 0;        // last row
   std::uint64_t seq_first = 0;
   std::uint64_t seq_last = 0;
-  double value_min = 0.0;  // NaN rows are skipped by min/max
-  double value_max = 0.0;
-  double value_sum = 0.0;     // left-to-right fold from 0.0, NaN included
-  double value_sum_sq = 0.0;  // same fold over value*value
+  double value_min = 0.0;  // NaN rows are skipped by min/max; zero
+  double value_max = 0.0;  // results carry the canonical sign (simd.hpp)
+  double value_sum = 0.0;     // canonical fold (simd.hpp), NaN included
+  double value_sum_sq = 0.0;  // same grammar over value*value
 };
 
 class Block {
@@ -81,6 +83,9 @@ class Block {
   // Values of one subchunk only (bucket-boundary decode); writes
   // subchunk_rows(chunk) doubles to `out`.
   void decode_subchunk_values(std::size_t chunk, double* out) const;
+  // Rows [begin, end) of the value column — decodes only the subchunks
+  // the range touches (each once), not the whole column.
+  void decode_values_range(std::size_t begin, std::size_t end, double* out) const;
 
   // Heap bytes held (streams or raw columns, offsets, subchunk sums).
   [[nodiscard]] std::size_t bytes_used() const;
@@ -107,6 +112,8 @@ class Block {
       std::uint64_t seq_first, std::uint64_t seq_last);
 
  private:
+  friend class BlockValueCursor;
+
   BlockSummary summary_;
   bool compressed_ = true;
 
@@ -124,6 +131,32 @@ class Block {
   std::vector<double> raw_values_;
 
   std::vector<double> subchunk_sums_;
+};
+
+// Value-column reader that decodes each subchunk at most once across
+// any sequence of row-range or per-subchunk reads.  Callers that walk a
+// block in row order — the parallel query executor's narrowed [a, e)
+// scan, downsample bucket edges that split a subchunk, cold
+// rematerialization — previously re-decoded from the subchunk head on
+// every mid-subchunk call; the cursor keeps the current subchunk's 16
+// decoded rows and serves repeat hits from memory.  On uncompressed
+// blocks it reads straight from the raw column, no copies.
+class BlockValueCursor {
+ public:
+  explicit BlockValueCursor(const Block& block) : block_(&block) {}
+
+  // Copies rows [begin, end) of the value column into `out`
+  // (end <= block.rows()).
+  void read(std::size_t begin, std::size_t end, double* out);
+
+  // The decoded rows of subchunk `chunk` (block.subchunk_rows(chunk)
+  // doubles); valid until the next cursor call.
+  [[nodiscard]] const double* subchunk(std::size_t chunk);
+
+ private:
+  const Block* block_;
+  std::size_t cached_chunk_ = static_cast<std::size_t>(-1);
+  double buf_[Block::kSubchunkRows] = {};
 };
 
 }  // namespace envmon::tsdb

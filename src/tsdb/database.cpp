@@ -11,6 +11,8 @@
 #include <filesystem>
 #include <thread>
 
+#include "tsdb/simd.hpp"
+
 namespace envmon::tsdb {
 
 namespace {
@@ -118,6 +120,15 @@ EnvDatabase::EnvDatabase(DatabaseOptions options) : options_(options) {
     recovery_seconds_gauge_ = &registry.gauge(
         "envmon_tsdb_recovery_seconds",
         "Wall-clock seconds the last open() spent recovering durable state");
+    decode_rows_metric_ = &registry.counter(
+        "envmon_tsdb_decode_rows_total",
+        "Value rows decoded from sealed blocks by query/downsample/aggregate");
+    // Info gauge: constant 1, the label names the decode variant the
+    // CPU probe (or ENVMON_SIMD) selected at startup.
+    auto& dispatch_gauge = registry.gauge(
+        "envmon_tsdb_simd_dispatch", "Active vectorized decode variant (info gauge)",
+        std::string("variant=\"") + simd::variant_name(simd::dispatched_variant()) + "\"");
+    dispatch_gauge.set(1.0);
   }
 }
 
@@ -388,13 +399,16 @@ std::vector<Record> EnvDatabase::query(const QueryFilter& filter) const {
           std::upper_bound(scratch.ts.begin(), scratch.ts.end(), *to_ns)));
     }
     if (a >= e) return;
-    b.decode_values(scratch.values);
+    // Values decode only the subchunks [a, e) touches (cursor path);
+    // seq is a single serial delta-of-delta stream, so it decodes whole.
     b.decode_seq(scratch.seq);
+    scratch.values.resize(e - a);
+    b.decode_values_range(a, e, scratch.values.data());
     decoded[pi] = b.rows();
     rows.reserve(e - a);
     for (std::size_t i = a; i < e; ++i) {
       rows.push_back(
-          DecodedRow{scratch.seq[i], scratch.ts[i], scratch.values[i], part.sid});
+          DecodedRow{scratch.seq[i], scratch.ts[i], scratch.values[i - a], part.sid});
     }
   };
 
@@ -436,7 +450,12 @@ std::vector<Record> EnvDatabase::query(const QueryFilter& filter) const {
     out.push_back(Record{sim::SimTime::from_ns(r.ts_ns), s.location(),
                          metrics_.name(s.metric()), r.value});
   }
-  for (const std::uint64_t d : decoded) stats_.rows_decoded += d;
+  std::uint64_t decoded_total = 0;
+  for (const std::uint64_t d : decoded) decoded_total += d;
+  stats_.rows_decoded += decoded_total;
+  if (decode_rows_metric_ != nullptr && decoded_total > 0) {
+    decode_rows_metric_->inc(decoded_total);
+  }
   note_query(total, elapsed_ms_since(t0));
   return out;
 }
@@ -494,12 +513,13 @@ std::vector<EnvDatabase::Bucket> EnvDatabase::downsample(const QueryFilter& filt
 
   // Bucket sums are accumulated at subchunk granularity: every part's
   // rows are cut on the same 16-row grid the sealed blocks use, each
-  // (subchunk ∩ bucket) run folded left-to-right from 0.0, and the
-  // partials added in deterministic (series, part, subchunk) order.
-  // A subchunk that lies fully inside one bucket contributes exactly
-  // its seal-time sum, so taking the precomputed sum (pushdown) — or
-  // decoding it — or hitting the same rows pre-seal in the head —
-  // yields bit-identical buckets.
+  // (subchunk ∩ bucket) run folded by the canonical grammar (simd.hpp:
+  // the 4-lane tree for a full 16-row subchunk, left-to-right for
+  // shorter runs), and the partials added in deterministic (series,
+  // part, subchunk) order.  A subchunk that lies fully inside one
+  // bucket contributes exactly its seal-time sum, so taking the
+  // precomputed sum (pushdown) — or decoding it — or hitting the same
+  // rows pre-seal in the head — yields bit-identical buckets.
   struct Acc {
     double sum = 0.0;
     std::size_t count = 0;
@@ -510,41 +530,50 @@ std::vector<EnvDatabase::Bucket> EnvDatabase::downsample(const QueryFilter& filt
   std::uint64_t pushdown_rows = 0;
   std::uint64_t pushdown_chunks = 0;
   std::vector<std::int64_t> ts_scratch;
-  std::array<double, Block::kSubchunkRows> chunk_values{};
+  const auto& kernels = simd::active();
 
-  // Folds block rows [a, e) into the bucket accumulators.  `ts` has one
-  // entry per block row; a subchunk fully inside both the range and one
-  // bucket is served from its precomputed sum, anything else decodes
-  // just that subchunk.
-  const auto fold_part = [&](std::span<const std::int64_t> ts, std::size_t a, std::size_t e,
-                             const Block& block) {
+  // Folds value rows [a, e) into the bucket accumulators.  `ts` has one
+  // entry per row; `chunk_at` returns the decoded rows of one subchunk
+  // (a BlockValueCursor for sealed blocks — each subchunk decodes at
+  // most once even when several buckets split it — or the head column
+  // directly).  A subchunk fully inside both the range and one bucket
+  // is served from `whole_sum` when the caller has a precomputed sum
+  // (pushdown), else from the canonical fold of its decoded rows —
+  // the same bits either way.
+  const auto fold_grid = [&](std::span<const std::int64_t> ts, std::size_t a, std::size_t e,
+                             bool counts_decoded, auto&& chunk_at, auto&& whole_sum) {
     for (std::size_t c = a / Block::kSubchunkRows; c * Block::kSubchunkRows < e; ++c) {
       const std::size_t cb = c * Block::kSubchunkRows;
       const std::size_t ce = std::min(cb + Block::kSubchunkRows, ts.size());
       const std::size_t lo = std::max(cb, a);
       const std::size_t hi = std::min(ce, e);
       if (lo >= hi) continue;
-      if (options_.aggregation_pushdown && lo == cb && hi == ce) {
+      if (lo == cb && hi == ce) {
         const std::int64_t b0 = floor_div(ts[cb], w);
         if (floor_div(ts[ce - 1], w) == b0) {
           Acc& slot = acc[b0];
-          slot.sum += block.subchunk_sum(c);
+          if (const std::optional<double> sum = whole_sum(c)) {
+            slot.sum += *sum;
+            pushdown_rows += ce - cb;
+            ++pushdown_chunks;
+          } else {
+            slot.sum += kernels.sum_subchunk(chunk_at(c), ce - cb);
+            if (counts_decoded) decoded += ce - cb;
+          }
           slot.count += ce - cb;
           aggregated += ce - cb;
-          pushdown_rows += ce - cb;
-          ++pushdown_chunks;
           continue;
         }
       }
-      block.decode_subchunk_values(c, chunk_values.data());
-      decoded += ce - cb;
+      const double* chunk = chunk_at(c);
+      if (counts_decoded) decoded += ce - cb;
       std::size_t r = lo;
       while (r < hi) {
         const std::int64_t bidx = floor_div(ts[r], w);
         double partial = 0.0;
         const std::size_t start = r;
         while (r < hi && floor_div(ts[r], w) == bidx) {
-          partial += chunk_values[r - cb];
+          partial += chunk[r - cb];
           ++r;
         }
         Acc& slot = acc[bidx];
@@ -577,38 +606,26 @@ std::vector<EnvDatabase::Bucket> EnvDatabase::downsample(const QueryFilter& filt
             ts_scratch.begin(),
             std::upper_bound(ts_scratch.begin(), ts_scratch.end(), *to_ns)));
       }
-      if (a < e) fold_part(ts_scratch, a, e, block);
+      if (a < e) {
+        BlockValueCursor cursor(block);
+        fold_grid(
+            ts_scratch, a, e, /*counts_decoded=*/true,
+            [&](std::size_t c) { return cursor.subchunk(c); },
+            [&](std::size_t c) -> std::optional<double> {
+              if (!options_.aggregation_pushdown) return std::nullopt;
+              return block.subchunk_sum(c);
+            });
+      }
     }
     const Series::RowRange r = s.head_range(from_ns, to_ns);
     if (r.size() > 0) {
       // The head uses the same grid it will have once sealed (row index
       // relative to the head start), so sealing never moves a bucket sum.
-      const auto head_fold = [&](std::size_t a, std::size_t e) {
-        std::span<const std::int64_t> ts(s.head_ts());
-        const std::vector<double>& head_values = s.head_values();
-        for (std::size_t c = a / Block::kSubchunkRows; c * Block::kSubchunkRows < e; ++c) {
-          const std::size_t cb = c * Block::kSubchunkRows;
-          const std::size_t ce = std::min(cb + Block::kSubchunkRows, ts.size());
-          const std::size_t lo = std::max(cb, a);
-          const std::size_t hi = std::min(ce, e);
-          if (lo >= hi) continue;
-          std::size_t row = lo;
-          while (row < hi) {
-            const std::int64_t bidx = floor_div(ts[row], w);
-            double partial = 0.0;
-            const std::size_t start = row;
-            while (row < hi && floor_div(ts[row], w) == bidx) {
-              partial += head_values[row];
-              ++row;
-            }
-            Acc& slot = acc[bidx];
-            slot.sum += partial;
-            slot.count += row - start;
-            aggregated += row - start;
-          }
-        }
-      };
-      head_fold(r.first, r.last);
+      const std::vector<double>& head_values = s.head_values();
+      fold_grid(
+          s.head_ts(), r.first, r.last, /*counts_decoded=*/false,
+          [&](std::size_t c) { return head_values.data() + c * Block::kSubchunkRows; },
+          [](std::size_t) -> std::optional<double> { return std::nullopt; });
     }
   }
 
@@ -623,6 +640,7 @@ std::vector<EnvDatabase::Bucket> EnvDatabase::downsample(const QueryFilter& filt
   if (pushdown_metric_ != nullptr && pushdown_chunks > 0) {
     pushdown_metric_->inc(pushdown_chunks);
   }
+  if (decode_rows_metric_ != nullptr && decoded > 0) decode_rows_metric_->inc(decoded);
 
   if (cacheable) {
     downsample_cache_[key] = CacheEntry{buckets, ++cache_tick_};
@@ -650,34 +668,44 @@ EnvDatabase::Aggregate EnvDatabase::aggregate(const QueryFilter& filter) const {
   if (filter.from) from_ns = filter.from->ns();
   if (filter.to) to_ns = filter.to->ns();
 
-  // Sums are grouped per part (one sealed block or the head range): each
-  // part contributes a left-to-right fold from 0.0, and a fully covered
-  // block's fold is exactly its seal-time summary — so serving it from
-  // the summary (pushdown) is bit-identical to decoding it.
+  // Sums are grouped per part (one sealed block's covered range, or the
+  // head range): each part contributes a canonical range fold —
+  // per-subchunk folds on the part's 16-row grid, combined
+  // left-to-right (simd::FoldCombine) — so a fully covered block's fold
+  // is bit-for-bit its seal-time summary, and serving it from the
+  // summary (pushdown) is bit-identical to decoding it.
   bool any_finite = false;
   std::uint64_t decoded = 0;
   std::uint64_t pushdown_rows = 0;
   std::uint64_t pushdown_chunks = 0;
   std::vector<std::int64_t> ts_scratch;
-  std::vector<double> value_scratch;
-  const auto merge_minmax = [&](double v) {
-    if (std::isnan(v)) return;
-    if (!any_finite || v < agg.min) agg.min = v;
-    if (!any_finite || v > agg.max) agg.max = v;
-    any_finite = true;
-  };
-  const auto fold_rows = [&](std::span<const double> values, std::size_t a, std::size_t e) {
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    for (std::size_t i = a; i < e; ++i) {
-      const double v = values[i];
-      sum += v;
-      sum_sq += v * v;
-      merge_minmax(v);
+  const auto& kernels = simd::active();
+  const auto apply_part = [&](const simd::SubchunkFold& part, std::uint64_t nrows) {
+    agg.count += nrows;
+    agg.sum += part.sum;
+    agg.sum_sq += part.sum_sq;
+    if (part.finite > 0) {
+      if (!any_finite || part.min < agg.min) agg.min = part.min;
+      if (!any_finite || part.max > agg.max) agg.max = part.max;
+      any_finite = true;
     }
-    agg.sum += sum;
-    agg.sum_sq += sum_sq;
-    agg.count += e - a;
+  };
+  // Canonical fold of rows [a, e) over a part's 16-row grid; `chunk_at`
+  // returns the decoded rows of subchunk c (cursor or head column).
+  const auto fold_range = [&](std::size_t total, std::size_t a, std::size_t e,
+                              auto&& chunk_at) {
+    simd::FoldCombine combine;
+    for (std::size_t c = a / Block::kSubchunkRows; c * Block::kSubchunkRows < e; ++c) {
+      const std::size_t cb = c * Block::kSubchunkRows;
+      const std::size_t ce = std::min(cb + Block::kSubchunkRows, total);
+      const std::size_t lo = std::max(cb, a);
+      const std::size_t hi = std::min(ce, e);
+      if (lo >= hi) continue;
+      simd::SubchunkFold fold;
+      kernels.fold_subchunk(chunk_at(c) + (lo - cb), hi - lo, fold);
+      combine.add(fold);
+    }
+    apply_part(combine.finish(), e - a);
   };
 
   for (const std::uint32_t sid : sids) {
@@ -692,14 +720,13 @@ EnvDatabase::Aggregate EnvDatabase::aggregate(const QueryFilter& filter) const {
       const bool covered = (!from_ns || *from_ns <= sum.ts_min) &&
                            (!to_ns || sum.ts_max <= *to_ns);
       if (covered && options_.aggregation_pushdown) {
-        agg.count += sum.rows;
-        agg.sum += sum.value_sum;
-        agg.sum_sq += sum.value_sum_sq;
-        if (sum.finite_rows > 0) {
-          if (!any_finite || sum.value_min < agg.min) agg.min = sum.value_min;
-          if (!any_finite || sum.value_max > agg.max) agg.max = sum.value_max;
-          any_finite = true;
-        }
+        simd::SubchunkFold part;
+        part.sum = sum.value_sum;
+        part.sum_sq = sum.value_sum_sq;
+        part.min = sum.value_min;
+        part.max = sum.value_max;
+        part.finite = sum.finite_rows;
+        apply_part(part, sum.rows);
         pushdown_rows += sum.rows;
         ++pushdown_chunks;
         continue;
@@ -721,12 +748,21 @@ EnvDatabase::Aggregate EnvDatabase::aggregate(const QueryFilter& filter) const {
             std::upper_bound(ts_scratch.begin(), ts_scratch.end(), *to_ns)));
       }
       if (a >= e) continue;
-      block.decode_values(value_scratch);
-      decoded += value_scratch.size();
-      fold_rows(value_scratch, a, e);
+      BlockValueCursor cursor(block);
+      const std::size_t chunk_lo = a / Block::kSubchunkRows;
+      const std::size_t chunk_hi = (e + Block::kSubchunkRows - 1) / Block::kSubchunkRows;
+      decoded += std::min<std::size_t>(chunk_hi * Block::kSubchunkRows, block.rows()) -
+                 chunk_lo * Block::kSubchunkRows;
+      fold_range(ts_scratch.size(), a, e,
+                 [&](std::size_t c) { return cursor.subchunk(c); });
     }
     const Series::RowRange r = s.head_range(from_ns, to_ns);
-    if (r.size() > 0) fold_rows(s.head_values(), r.first, r.last);
+    if (r.size() > 0) {
+      const std::vector<double>& head_values = s.head_values();
+      fold_range(head_values.size(), r.first, r.last, [&](std::size_t c) {
+        return head_values.data() + c * Block::kSubchunkRows;
+      });
+    }
   }
 
   stats_.rows_decoded += decoded;
@@ -735,6 +771,7 @@ EnvDatabase::Aggregate EnvDatabase::aggregate(const QueryFilter& filter) const {
   if (pushdown_metric_ != nullptr && pushdown_chunks > 0) {
     pushdown_metric_->inc(pushdown_chunks);
   }
+  if (decode_rows_metric_ != nullptr && decoded > 0) decode_rows_metric_->inc(decoded);
   note_query(agg.count, elapsed_ms_since(t0));
   return agg;
 }

@@ -428,6 +428,7 @@ class EnvDatabase {
   obs::Gauge* segments_open_gauge_ = nullptr;
   obs::Gauge* disk_bytes_gauge_ = nullptr;
   obs::Gauge* recovery_seconds_gauge_ = nullptr;
+  obs::Counter* decode_rows_metric_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   fault::Hook fault_hook_;
 };

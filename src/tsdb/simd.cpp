@@ -1,0 +1,132 @@
+// Runtime dispatch for the vectorized decode & fold engine.
+//
+// The variant is chosen once, on first use: probe the CPU (best of
+// AVX2 > SSE4.2 > scalar among the variants compiled in), then apply
+// the ENVMON_SIMD override if it names an available variant.  An
+// override naming an unavailable variant is ignored — tests that pin a
+// variant must check dispatched_variant() rather than assume.
+
+#include "tsdb/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace envmon::tsdb::simd {
+
+const Kernels& scalar_kernels();
+#if defined(ENVMON_SIMD_X86)
+const Kernels& sse42_kernels();
+const Kernels& avx2_kernels();
+#endif
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kScalar: return "scalar";
+    case Variant::kSse42: return "sse42";
+    case Variant::kAvx2: return "avx2";
+  }
+  return "scalar";
+}
+
+bool variant_available(Variant v) {
+#if defined(ENVMON_SIMD_X86)
+  switch (v) {
+    case Variant::kScalar: return true;
+    case Variant::kSse42: return __builtin_cpu_supports("sse4.2") != 0;
+    case Variant::kAvx2: return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+#else
+  return v == Variant::kScalar;
+#endif
+}
+
+const Kernels& kernels(Variant v) {
+#if defined(ENVMON_SIMD_X86)
+  if (v == Variant::kAvx2 && variant_available(Variant::kAvx2)) return avx2_kernels();
+  if (v == Variant::kSse42 && variant_available(Variant::kSse42)) return sse42_kernels();
+#else
+  (void)v;
+#endif
+  return scalar_kernels();
+}
+
+namespace {
+
+[[nodiscard]] std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+[[nodiscard]] double canonical_quiet_nan() {
+  constexpr std::uint64_t kQuietNan = 0x7ff8'0000'0000'0000ull;
+  double d;
+  std::memcpy(&d, &kQuietNan, 8);
+  return d;
+}
+
+}  // namespace
+
+void FoldCombine::add(const SubchunkFold& f) {
+  sum += f.sum;
+  sum_sq += f.sum_sq;
+  if (f.finite > 0) {
+    if (finite == 0) {
+      min = f.min;
+      max = f.max;
+    } else {
+      if (f.min < min) min = f.min;
+      if (f.max > max) max = f.max;
+    }
+    if (f.min == 0.0 && bits_of(f.min) != 0) min_has_neg_zero = true;
+    if (f.max == 0.0 && bits_of(f.max) == 0) max_has_pos_zero = true;
+    finite += f.finite;
+  }
+}
+
+SubchunkFold FoldCombine::finish() const {
+  SubchunkFold out;
+  out.sum = sum != sum ? canonical_quiet_nan() : sum;
+  out.sum_sq = sum_sq != sum_sq ? canonical_quiet_nan() : sum_sq;
+  out.min = min;
+  out.max = max;
+  out.finite = finite;
+  if (finite > 0 && out.min == 0.0) out.min = min_has_neg_zero ? -0.0 : 0.0;
+  if (finite > 0 && out.max == 0.0) out.max = max_has_pos_zero ? 0.0 : -0.0;
+  return out;
+}
+
+namespace {
+
+Variant choose_variant() {
+  Variant best = Variant::kScalar;
+  if (variant_available(Variant::kSse42)) best = Variant::kSse42;
+  if (variant_available(Variant::kAvx2)) best = Variant::kAvx2;
+  const char* force = std::getenv("ENVMON_SIMD");
+  if (force != nullptr && *force != '\0') {
+    if (std::strcmp(force, "scalar") == 0 || std::strcmp(force, "portable") == 0) {
+      best = Variant::kScalar;
+    } else if ((std::strcmp(force, "sse42") == 0 || std::strcmp(force, "sse4.2") == 0) &&
+               variant_available(Variant::kSse42)) {
+      best = Variant::kSse42;
+    } else if (std::strcmp(force, "avx2") == 0 && variant_available(Variant::kAvx2)) {
+      best = Variant::kAvx2;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Variant dispatched_variant() {
+  static const Variant v = choose_variant();
+  return v;
+}
+
+const Kernels& active() {
+  static const Kernels& k = kernels(dispatched_variant());
+  return k;
+}
+
+}  // namespace envmon::tsdb::simd

@@ -1,0 +1,137 @@
+#pragma once
+// Runtime-dispatched vectorized decode & fold engine (DESIGN.md §15).
+//
+// The storage engine's hot read path — XOR value decode, delta-of-delta
+// timestamp/seq decode, and the min/max/sum/sumsq folds behind
+// aggregate(), downsample() pushdown misses, and seal-time summary
+// construction — runs through a table of kernels chosen once at startup
+// from what the CPU offers: AVX2, SSE4.2, or a portable scalar
+// fallback.  Every variant is bound by one contract:
+//
+//   byte identity — for any input bytes (including garbage), a variant
+//   produces exactly the bit pattern the scalar reference decoders in
+//   codec.hpp produce, and every fold reproduces the canonical fold
+//   grammar (below) bit for bit.  Variants differ in speed only; sealed
+//   bytes and query/downsample/aggregate output never depend on the
+//   host's instruction set.
+//
+// The batch decoders beat the reference classes not by vectorizing the
+// (inherently serial) bit parsing but by (a) a 64-bit buffered bit
+// reader whose peeked word holds at least 57 valid stream bits, so
+// whole rows — control bits, window header, payload — are carved out
+// of one load instead of one byte-loop per field, (b) a run fast path
+// that turns a run of zero control bits (repeated values — the common
+// case for slowly-varying sensor data) into one count-leading-zeros
+// plus a broadcast store, and (c) the per-16-row XOR restart offsets,
+// which make every subchunk's stream self-contained so column decode,
+// aggregate(), and downsample() can start at any subchunk without
+// replaying the block prefix.  The folds are where the SIMD lanes do
+// arithmetic: the canonical fold grammar is shaped so a 4-lane
+// vertical reduction IS the definition.
+//
+// Canonical fold grammar (one subchunk run, n <= 16 rows):
+//   sum     = for a full 16-row subchunk, the 4-lane tree
+//             (l0 + l1) + (l2 + l3) where lane lj folds v[j], v[j+4],
+//             v[j+8], v[j+12] left-to-right from 0.0; for n < 16
+//             (block tails, head tails, bucket edges) a plain
+//             left-to-right fold from 0.0.  The split is what lets a
+//             pre-seal head fold agree with the eventual seal-time fold
+//             no matter where the seal cuts: a 10-row run folds the
+//             same way whether it is a head tail today or a sealed
+//             block's short last subchunk tomorrow.  A NaN result
+//             canonicalizes to the default quiet NaN
+//             (0x7ff8000000000000) — compilers may commute FP adds and
+//             x86 propagates the *first* NaN operand's payload, so raw
+//             payloads are not reproducible across codegen.
+//   sum_sq  = the same shapes over v[i]*v[i], same NaN rule
+//   min/max = over non-NaN rows; a zero result resolves to -0.0 for
+//             min and +0.0 for max when that sign of zero was present
+//             in the rows, making the fold order-independent even when
+//             -0.0 and +0.0 mix (a sign that never occurred is never
+//             produced)
+//   finite  = count of non-NaN rows
+// Block-level summaries fold the subchunk results left-to-right in
+// subchunk order (block.hpp) — which is what makes summary pushdown
+// bit-identical to decode-then-fold on every variant.
+//
+// Dispatch is forceable for testing: ENVMON_SIMD=scalar|sse42|avx2
+// pins the active variant (ignored, with the best variant kept, when
+// the CPU lacks the requested one).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace envmon::tsdb::simd {
+
+enum class Variant : std::uint8_t { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+inline constexpr std::size_t kVariantCount = 3;
+
+[[nodiscard]] const char* variant_name(Variant v);
+
+// Canonical per-subchunk fold result (grammar above).
+struct SubchunkFold {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = 0.0;  // valid iff finite > 0
+  double max = 0.0;
+  std::uint32_t finite = 0;  // non-NaN rows
+};
+
+// One variant's kernel table.  All decoders are total: reads past the
+// end of `stream` behave as if the stream were zero-padded (exactly the
+// codec.hpp BitReader semantics), so corrupt lengths or offsets yield
+// arbitrary values but never out-of-bounds reads.
+struct Kernels {
+  Variant variant;
+
+  // Canonical fold over one subchunk (n <= 16).
+  void (*fold_subchunk)(const double* v, std::size_t n, SubchunkFold& out);
+  // Canonical sum alone (the downsample full-subchunk decode path).
+  double (*sum_subchunk)(const double* v, std::size_t n);
+
+  // Decodes a whole XOR value column: `chunks` subchunk streams whose
+  // starting bit offsets are `chunk_offsets[c]`, kSubchunkRows rows per
+  // subchunk except the last; writes exactly `rows` doubles.
+  void (*decode_xor_column)(const std::uint8_t* stream, std::size_t stream_bytes,
+                            const std::uint32_t* chunk_offsets, std::size_t chunks,
+                            std::size_t rows, double* out);
+  // Decodes one XOR subchunk from `bit_offset`; writes `rows` doubles.
+  void (*decode_xor_subchunk)(const std::uint8_t* stream, std::size_t stream_bytes,
+                              std::size_t bit_offset, std::size_t rows, double* out);
+  // Decodes `rows` values of a delta-of-delta stream (timestamps, seq).
+  void (*decode_dod)(const std::uint8_t* stream, std::size_t stream_bytes, std::size_t rows,
+                     std::int64_t* out);
+};
+
+// Left-to-right combiner of subchunk folds into a block- or
+// range-level fold (the second layer of the canonical grammar).  One
+// compiled copy lives in simd.cpp so seal-time summaries, aggregation
+// pushdown, and the decode-then-fold path all run literally the same
+// instructions — finish() re-applies the canonical NaN and ±0 rules,
+// which keeps the combine order-stable even through inf/NaN mixes.
+struct FoldCombine {
+  void add(const SubchunkFold& f);
+  [[nodiscard]] SubchunkFold finish() const;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint32_t finite = 0;
+  bool min_has_neg_zero = false;
+  bool max_has_pos_zero = false;
+};
+
+// The variant chosen at startup (CPU probe, then ENVMON_SIMD override).
+[[nodiscard]] const Kernels& active();
+[[nodiscard]] Variant dispatched_variant();
+
+// A specific variant's kernels — benches and the identity property
+// suite iterate these.  Asking for an unavailable variant returns the
+// scalar table (which is always available).
+[[nodiscard]] const Kernels& kernels(Variant v);
+
+// Compiled in AND supported by this CPU.
+[[nodiscard]] bool variant_available(Variant v);
+
+}  // namespace envmon::tsdb::simd

@@ -1,0 +1,16 @@
+// AVX2 variant (compiled with -mavx2; folds use 4-wide __m256d lanes —
+// the canonical fold grammar verbatim).  No -mfma: contraction of the
+// sum_sq multiply-add into an FMA would change rounding and break the
+// cross-variant byte-identity contract.
+#define ENVMON_SIMD_KERNEL_NS avx2_impl
+#define ENVMON_SIMD_KERNEL_AVX2 1
+#include "tsdb/simd_kernels.hh"
+
+namespace envmon::tsdb::simd {
+
+const Kernels& avx2_kernels() {
+  static const Kernels k = avx2_impl::make_kernels(Variant::kAvx2);
+  return k;
+}
+
+}  // namespace envmon::tsdb::simd

@@ -1,0 +1,13 @@
+// Portable scalar variant — always compiled, always available; the
+// reference the other variants must match bit for bit.
+#define ENVMON_SIMD_KERNEL_NS scalar_impl
+#include "tsdb/simd_kernels.hh"
+
+namespace envmon::tsdb::simd {
+
+const Kernels& scalar_kernels() {
+  static const Kernels k = scalar_impl::make_kernels(Variant::kScalar);
+  return k;
+}
+
+}  // namespace envmon::tsdb::simd

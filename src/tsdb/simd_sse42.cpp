@@ -1,0 +1,14 @@
+// SSE4.2 variant (compiled with -msse4.2; folds use 2-wide __m128d
+// lanes, two registers deep to keep the canonical 4-lane shape).
+#define ENVMON_SIMD_KERNEL_NS sse42_impl
+#define ENVMON_SIMD_KERNEL_SSE2 1
+#include "tsdb/simd_kernels.hh"
+
+namespace envmon::tsdb::simd {
+
+const Kernels& sse42_kernels() {
+  static const Kernels k = sse42_impl::make_kernels(Variant::kSse42);
+  return k;
+}
+
+}  // namespace envmon::tsdb::simd

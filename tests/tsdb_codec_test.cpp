@@ -275,14 +275,24 @@ TEST(Block, SubchunkDecodeMatchesFullDecodeSlice) {
   }
 }
 
-TEST(Block, SubchunkSumsAreTheDecodeOrderFolds) {
+TEST(Block, SubchunkSumsAreTheCanonicalFolds) {
+  // 200 rows: twelve full 16-row subchunks (4-lane tree fold) plus one
+  // 8-row tail (left-to-right fold) — the canonical grammar in
+  // simd.hpp, which every dispatch variant reproduces bit for bit.
   const Block b = make_block(200, true);
   std::vector<double> full;
   b.decode_values(full);
   for (std::size_t c = 0; c < b.subchunk_count(); ++c) {
-    double sum = 0.0;
     const std::size_t begin = c * Block::kSubchunkRows;
-    for (std::size_t i = 0; i < b.subchunk_rows(c); ++i) sum += full[begin + i];
+    const std::size_t n = b.subchunk_rows(c);
+    double sum = 0.0;
+    if (n == Block::kSubchunkRows) {
+      double lane[4] = {0.0, 0.0, 0.0, 0.0};
+      for (std::size_t i = 0; i < n; ++i) lane[i % 4] += full[begin + i];
+      sum = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) sum += full[begin + i];
+    }
     EXPECT_EQ(std::bit_cast<std::uint64_t>(sum),
               std::bit_cast<std::uint64_t>(b.subchunk_sum(c)));  // identical fold
   }

@@ -1,0 +1,580 @@
+// Property suite for the vectorized decode & fold engine (ctest label
+// `prop`; DESIGN.md §15).  Every invariant here is universally
+// quantified over generated inputs rather than pinned examples:
+//
+//  * codec roundtrip — delta-of-delta over arbitrary (wrapping) int64
+//    streams and XOR over arbitrary 64-bit patterns decode back exactly,
+//    through the reference decoders AND through every compiled dispatch
+//    variant;
+//  * decode totality — garbage bytes with garbage offsets decode to
+//    *identical* bits on every variant and never read out of bounds
+//    (ci/check.sh re-runs this suite under ASan/UBSan);
+//  * fold grammar — each variant's subchunk folds are bit-identical to
+//    an independent transcription of the canonical grammar in simd.hpp,
+//    for every lane count 0..16 including NaN/±inf/±0 mixes;
+//  * sealed blocks — compressed and raw seals of the same rows produce
+//    bit-identical summaries and subchunk sums, and range/cursor reads
+//    agree with full decodes;
+//  * engine oracle — query/downsample/aggregate results match a flat
+//    mirror scan and are bit-identical across the default, reference
+//    (raw + no pushdown), and parallel-query engines;
+//  * retention — vacuum keeps exactly the rows at or after the cutoff,
+//    bit-preserved, and is idempotent.
+//
+// Case counts scale with ENVMON_PROP_CASES (proptest.hpp); ci/check.sh
+// raises them in the Bench configuration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proptest.hpp"
+#include "tsdb/block.hpp"
+#include "tsdb/codec.hpp"
+#include "tsdb/database.hpp"
+#include "tsdb/simd.hpp"
+
+namespace envmon::tsdb {
+namespace {
+
+using envmon::proptest::Rng;
+using sim::Duration;
+using sim::SimTime;
+
+constexpr std::size_t kRows = Block::kSubchunkRows;
+
+std::vector<simd::Variant> compiled_variants() {
+  std::vector<simd::Variant> out;
+  for (std::size_t i = 0; i < simd::kVariantCount; ++i) {
+    const auto v = static_cast<simd::Variant>(i);
+    if (simd::variant_available(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::uint64_t bits_of(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+// EXPECT_EQ on doubles fails on NaN == NaN; the engine's contract is
+// about bit patterns, so compare those.
+void expect_bits_eq(double actual, double expected, const char* what) {
+  EXPECT_EQ(bits_of(actual), bits_of(expected)) << what;
+}
+
+// ---------------------------------------------------------------------
+// Codec roundtrip
+// ---------------------------------------------------------------------
+
+ENVMON_PROP(PropCodec, DeltaOfDeltaRoundtripsOnAllVariants, 120) {
+  const std::size_t rows = 1 + rng.index(3 * kRows + 5);
+  std::vector<std::int64_t> vals(rows);
+  std::uint64_t cur = rng.u64();
+  std::uint64_t delta = rng.range(0, 2'000'000'000) - 1'000'000'000ull;
+  for (auto& v : vals) {
+    switch (rng.index(4)) {
+      case 0: break;                                      // perfect tick (0-bit row)
+      case 1: delta += rng.range(0, 2000) - 1000ull; break;  // jitter buckets
+      case 2: delta = rng.u64() >> rng.index(64); break;  // regime jump / escape
+      default: break;
+    }
+    cur += delta;  // uint64: wraparound is the codec's own arithmetic
+    v = static_cast<std::int64_t>(cur);
+  }
+
+  BitWriter w;
+  DeltaOfDeltaEncoder enc;
+  for (const std::int64_t v : vals) enc.append(v, w);
+  const auto& stream = w.bytes();
+
+  BitReader r(stream);
+  DeltaOfDeltaDecoder dec;
+  for (std::size_t i = 0; i < rows; ++i) {
+    ASSERT_EQ(dec.next(r), vals[i]) << "reference decoder, row " << i;
+  }
+
+  std::vector<std::int64_t> out(rows);
+  for (const simd::Variant v : compiled_variants()) {
+    std::fill(out.begin(), out.end(), std::int64_t{-1});
+    simd::kernels(v).decode_dod(stream.data(), stream.size(), rows, out.data());
+    for (std::size_t i = 0; i < rows; ++i) {
+      ASSERT_EQ(out[i], vals[i]) << simd::variant_name(v) << ", row " << i;
+    }
+  }
+}
+
+ENVMON_PROP(PropCodec, XorColumnRoundtripsAnyBitPatternsOnAllVariants, 120) {
+  const std::size_t rows = 1 + rng.index(5 * kRows + 7);
+  std::vector<double> vals(rows);
+  double walk = 21.5;
+  for (auto& v : vals) {
+    if (rng.chance(40)) {
+      v = rng.any_double();  // arbitrary bits incl. NaN payloads, ±inf, -0.0
+    } else {
+      walk = rng.smooth_step(walk);
+      v = walk;
+    }
+  }
+
+  // Encode exactly as Block::seal lays out the value column: the XOR
+  // state restarts at every subchunk and the restart bit offset is
+  // recorded for random access.
+  BitWriter w;
+  std::vector<std::uint32_t> offsets;
+  for (std::size_t begin = 0; begin < rows; begin += kRows) {
+    offsets.push_back(static_cast<std::uint32_t>(w.bit_size()));
+    XorEncoder enc;
+    const std::size_t end = std::min(begin + kRows, rows);
+    for (std::size_t i = begin; i < end; ++i) enc.append(vals[i], w);
+  }
+  const auto& stream = w.bytes();
+
+  BitReader r(stream);
+  for (std::size_t c = 0; c < offsets.size(); ++c) {
+    r.seek(offsets[c]);
+    XorDecoder dec;
+    const std::size_t end = std::min((c + 1) * kRows, rows);
+    for (std::size_t i = c * kRows; i < end; ++i) {
+      const double got = dec.next(r);
+      ASSERT_EQ(bits_of(got), bits_of(vals[i])) << "reference decoder, row " << i;
+    }
+  }
+
+  std::vector<double> out(rows);
+  for (const simd::Variant v : compiled_variants()) {
+    const simd::Kernels& k = simd::kernels(v);
+    std::fill(out.begin(), out.end(), -7.25);
+    k.decode_xor_column(stream.data(), stream.size(), offsets.data(), offsets.size(), rows,
+                        out.data());
+    for (std::size_t i = 0; i < rows; ++i) {
+      ASSERT_EQ(bits_of(out[i]), bits_of(vals[i])) << simd::variant_name(v) << ", row " << i;
+    }
+    // Single-subchunk decode from a random restart offset.
+    const std::size_t c = rng.index(offsets.size());
+    const std::size_t begin = c * kRows;
+    const std::size_t n = std::min(begin + kRows, rows) - begin;
+    double chunk[kRows];
+    k.decode_xor_subchunk(stream.data(), stream.size(), offsets[c], n, chunk);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bits_of(chunk[i]), bits_of(vals[begin + i]))
+          << simd::variant_name(v) << ", subchunk " << c << ", lane " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Decode totality: garbage in, identical garbage out, no OOB
+// ---------------------------------------------------------------------
+
+ENVMON_PROP(PropCodec, GarbageDecodesIdenticallyOnAllVariants, 150) {
+  std::vector<std::uint8_t> stream(rng.index(160));
+  for (auto& b : stream) b = static_cast<std::uint8_t>(rng.u64());
+  const std::size_t rows = 1 + rng.index(4 * kRows);
+
+  // Garbage restart offsets too — including offsets past the end of the
+  // stream, which must decode as a zero-padded tail.
+  const std::size_t chunks = (rows + kRows - 1) / kRows;
+  std::vector<std::uint32_t> offsets(chunks);
+  for (auto& o : offsets) {
+    o = static_cast<std::uint32_t>(rng.range(0, stream.size() * 8 + 256));
+  }
+
+  std::vector<double> ref(rows);
+  BitReader r(stream);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    r.seek(offsets[c]);
+    XorDecoder dec;
+    const std::size_t end = std::min((c + 1) * kRows, rows);
+    for (std::size_t i = c * kRows; i < end; ++i) ref[i] = dec.next(r);
+  }
+
+  std::vector<double> out(rows);
+  for (const simd::Variant v : compiled_variants()) {
+    std::fill(out.begin(), out.end(), 0.0);
+    simd::kernels(v).decode_xor_column(stream.data(), stream.size(), offsets.data(), chunks,
+                                       rows, out.data());
+    for (std::size_t i = 0; i < rows; ++i) {
+      ASSERT_EQ(bits_of(out[i]), bits_of(ref[i])) << simd::variant_name(v) << ", row " << i;
+    }
+  }
+
+  BitReader dr(stream);
+  DeltaOfDeltaDecoder ddec;
+  std::vector<std::int64_t> dref(rows);
+  for (auto& v : dref) v = ddec.next(dr);
+  std::vector<std::int64_t> dout(rows);
+  for (const simd::Variant v : compiled_variants()) {
+    std::fill(dout.begin(), dout.end(), std::int64_t{0});
+    simd::kernels(v).decode_dod(stream.data(), stream.size(), rows, dout.data());
+    for (std::size_t i = 0; i < rows; ++i) {
+      ASSERT_EQ(dout[i], dref[i]) << simd::variant_name(v) << ", row " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Canonical fold grammar (simd.hpp): independent transcription
+// ---------------------------------------------------------------------
+
+constexpr std::uint64_t kCanonicalNan = 0x7ff8000000000000ull;
+
+double canonical(double d) { return d != d ? std::bit_cast<double>(kCanonicalNan) : d; }
+
+simd::SubchunkFold grammar_fold(const double* v, std::size_t n) {
+  simd::SubchunkFold out;
+  if (n == kRows) {
+    double lane[4] = {0.0, 0.0, 0.0, 0.0};
+    double lane_sq[4] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < kRows; ++i) {
+      lane[i % 4] += v[i];
+      lane_sq[i % 4] += v[i] * v[i];
+    }
+    out.sum = canonical((lane[0] + lane[1]) + (lane[2] + lane[3]));
+    out.sum_sq = canonical((lane_sq[0] + lane_sq[1]) + (lane_sq[2] + lane_sq[3]));
+  } else {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += v[i];
+      sum_sq += v[i] * v[i];
+    }
+    out.sum = canonical(sum);
+    out.sum_sq = canonical(sum_sq);
+  }
+  bool first = true;
+  bool neg_zero = false, pos_zero = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] != v[i]) continue;  // min/max skip NaN
+    if (first || v[i] < out.min) out.min = v[i];
+    if (first || v[i] > out.max) out.max = v[i];
+    first = false;
+    ++out.finite;
+    if (v[i] == 0.0) (std::signbit(v[i]) ? neg_zero : pos_zero) = true;
+  }
+  // Canonical zero signs make the fold order-independent when both
+  // zeros are present: min resolves to the -0.0 that was seen, max to
+  // the +0.0 — never a sign that was not in the input.
+  if (out.finite > 0) {
+    if (out.min == 0.0) out.min = neg_zero ? -0.0 : 0.0;
+    if (out.max == 0.0) out.max = pos_zero ? 0.0 : -0.0;
+  }
+  return out;
+}
+
+ENVMON_PROP(PropSimd, FoldsMatchGrammarBitwiseOnEveryLaneCount, 250) {
+  double v[kRows];
+  const std::size_t n = rng.index(kRows + 1);  // 0..16: tails and full chunks
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = rng.chance(50) ? rng.any_double()
+                          : static_cast<double>(rng.range(0, 4000)) * 0.125 - 250.0;
+  }
+  const simd::SubchunkFold want = grammar_fold(v, n);
+  for (const simd::Variant var : compiled_variants()) {
+    const simd::Kernels& k = simd::kernels(var);
+    simd::SubchunkFold got;
+    k.fold_subchunk(v, n, got);
+    const char* name = simd::variant_name(var);
+    expect_bits_eq(got.sum, want.sum, name);
+    expect_bits_eq(got.sum_sq, want.sum_sq, name);
+    EXPECT_EQ(got.finite, want.finite) << name;
+    if (want.finite > 0) {
+      expect_bits_eq(got.min, want.min, name);
+      expect_bits_eq(got.max, want.max, name);
+    }
+    expect_bits_eq(k.sum_subchunk(v, n), want.sum, name);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sealed blocks: compressed ≡ raw, ranges ≡ full decode
+// ---------------------------------------------------------------------
+
+ENVMON_PROP(PropBlock, CompressedAndRawSealsAgreeBitwise, 60) {
+  const std::size_t rows = 1 + rng.index(5 * kRows + 3);
+  std::vector<std::int64_t> ts(rows);
+  std::vector<double> values(rows);
+  std::vector<std::uint64_t> seq(rows);
+  std::int64_t t = static_cast<std::int64_t>(rng.range(0, 1'000'000));
+  for (std::size_t i = 0; i < rows; ++i) {
+    t += static_cast<std::int64_t>(rng.range(0, 1'000'000'000));  // ascending, dups allowed
+    ts[i] = t;
+    values[i] = rng.chance(30) ? rng.any_double()
+                               : static_cast<double>(rng.range(0, 100'000)) * 0.01;
+    seq[i] = 1000 + 3 * static_cast<std::uint64_t>(i);  // strictly ascending
+  }
+
+  const Block compressed = Block::seal(ts, values, seq, /*compress=*/true);
+  const Block raw = Block::seal(ts, values, seq, /*compress=*/false);
+
+  const BlockSummary& cs = compressed.summary();
+  const BlockSummary& rs = raw.summary();
+  EXPECT_EQ(cs.rows, rows);
+  EXPECT_EQ(cs.finite_rows, rs.finite_rows);
+  EXPECT_EQ(cs.ts_min, rs.ts_min);
+  EXPECT_EQ(cs.ts_max, rs.ts_max);
+  expect_bits_eq(cs.value_min, rs.value_min, "summary min");
+  expect_bits_eq(cs.value_max, rs.value_max, "summary max");
+  expect_bits_eq(cs.value_sum, rs.value_sum, "summary sum");
+  expect_bits_eq(cs.value_sum_sq, rs.value_sum_sq, "summary sum_sq");
+  ASSERT_EQ(compressed.subchunk_count(), raw.subchunk_count());
+
+  // Summaries and subchunk sums are exactly the canonical grammar over
+  // the input rows — recomputed here per variant via FoldCombine.
+  for (const simd::Variant var : compiled_variants()) {
+    const simd::Kernels& k = simd::kernels(var);
+    simd::FoldCombine combine;
+    for (std::size_t c = 0; c < compressed.subchunk_count(); ++c) {
+      const std::size_t n = compressed.subchunk_rows(c);
+      simd::SubchunkFold fold;
+      k.fold_subchunk(values.data() + c * kRows, n, fold);
+      expect_bits_eq(compressed.subchunk_sum(c), fold.sum, simd::variant_name(var));
+      combine.add(fold);
+    }
+    const simd::SubchunkFold total = combine.finish();
+    expect_bits_eq(cs.value_sum, total.sum, simd::variant_name(var));
+    expect_bits_eq(cs.value_sum_sq, total.sum_sq, simd::variant_name(var));
+    EXPECT_EQ(cs.finite_rows, total.finite) << simd::variant_name(var);
+    if (total.finite > 0) {
+      expect_bits_eq(cs.value_min, total.min, simd::variant_name(var));
+      expect_bits_eq(cs.value_max, total.max, simd::variant_name(var));
+    }
+  }
+
+  for (const Block* b : {&compressed, &raw}) {
+    std::vector<std::int64_t> got_ts;
+    std::vector<double> got_values;
+    std::vector<std::uint64_t> got_seq;
+    b->decode_timestamps(got_ts);
+    b->decode_values(got_values);
+    b->decode_seq(got_seq);
+    ASSERT_EQ(got_ts, ts);
+    ASSERT_EQ(got_seq, seq);
+    ASSERT_EQ(got_values.size(), rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      ASSERT_EQ(bits_of(got_values[i]), bits_of(values[i])) << "row " << i;
+    }
+
+    // Random [begin, end) range reads against the full decode, through
+    // both the one-shot range API and a reused cursor.
+    BlockValueCursor cursor(*b);
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::size_t begin = rng.index(rows + 1);
+      const std::size_t end = begin + rng.index(rows - begin + 1);
+      std::vector<double> range(end - begin, -1.0);
+      b->decode_values_range(begin, end, range.data());
+      for (std::size_t i = begin; i < end; ++i) {
+        ASSERT_EQ(bits_of(range[i - begin]), bits_of(values[i])) << "range row " << i;
+      }
+      std::vector<double> via_cursor(end - begin, -2.0);
+      cursor.read(begin, end, via_cursor.data());
+      for (std::size_t i = begin; i < end; ++i) {
+        ASSERT_EQ(bits_of(via_cursor[i - begin]), bits_of(values[i])) << "cursor row " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Engine oracle: three engines vs a flat mirror scan
+// ---------------------------------------------------------------------
+
+bool flat_matches(const Record& r, const QueryFilter& f) {
+  if (f.location_prefix && !f.location_prefix->contains(r.location)) return false;
+  if (f.metric && r.metric != *f.metric) return false;
+  if (f.from && r.timestamp < *f.from) return false;
+  if (f.to && r.timestamp > *f.to) return false;
+  return true;
+}
+
+Location random_location(Rng& rng) {
+  const int rack = static_cast<int>(rng.index(3));
+  const int midplane = static_cast<int>(rng.index(2));
+  const int board = static_cast<int>(rng.index(4));
+  switch (rng.index(3)) {
+    case 0: return rack_location(rack);
+    case 1: return midplane_location(rack, midplane);
+    default: return board_location(rack, midplane, board);
+  }
+}
+
+QueryFilter random_filter(Rng& rng, const char* const (&metrics)[3]) {
+  QueryFilter f;
+  if (rng.chance(70)) f.location_prefix = random_location(rng);
+  if (rng.chance(60)) f.metric = metrics[rng.index(3)];
+  if (rng.chance(10)) f.metric = "absent_metric";
+  if (rng.chance(60)) f.from = SimTime::from_seconds(static_cast<double>(rng.index(60)));
+  if (rng.chance(60)) {
+    f.to = SimTime::from_seconds(static_cast<double>(20 + rng.index(80)));
+  }
+  return f;
+}
+
+ENVMON_PROP(PropEngine, QueryDownsampleAggregateMatchFlatOracle, 6) {
+  DatabaseOptions ref_opts;
+  ref_opts.compress_blocks = false;
+  ref_opts.aggregation_pushdown = false;
+  DatabaseOptions mt_opts;
+  mt_opts.query_threads = 4;
+  mt_opts.parallel_query_min_rows = 1;
+  EnvDatabase db;
+  EnvDatabase ref(ref_opts);
+  EnvDatabase mt(mt_opts);
+
+  const char* metrics[3] = {"power_w", "temp_c", "flow_lpm"};
+  const std::size_t rows = 120 + rng.index(200);
+  const std::size_t seal_at = rng.index(rows);
+  std::vector<Record> mirror;
+  double t = 0.0;
+  double walk = 40.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    t += 0.05 * static_cast<double>(rng.index(5));  // duplicates and gaps
+    walk = rng.smooth_step(walk);
+    const Record r{SimTime::from_seconds(t), random_location(rng),
+                   metrics[rng.index(3)], walk};
+    ASSERT_TRUE(db.insert(r).is_ok());
+    ASSERT_TRUE(ref.insert(r).is_ok());
+    ASSERT_TRUE(mt.insert(r).is_ok());
+    mirror.push_back(r);
+    if (i == seal_at) {  // queries straddle sealed blocks and heads
+      db.seal_blocks();
+      ref.seal_blocks();
+      mt.seal_blocks();
+    }
+  }
+
+  for (int fi = 0; fi < 5; ++fi) {
+    const QueryFilter f = fi == 0 ? QueryFilter{} : random_filter(rng, metrics);
+    std::vector<Record> expected;
+    for (const auto& r : mirror) {
+      if (flat_matches(r, f)) expected.push_back(r);
+    }
+
+    const auto actual = db.query(f);
+    const auto from_ref = ref.query(f);
+    const auto from_mt = mt.query(f);
+    ASSERT_EQ(actual.size(), expected.size());
+    ASSERT_EQ(from_ref.size(), expected.size());
+    ASSERT_EQ(from_mt.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i].timestamp, expected[i].timestamp);
+      ASSERT_EQ(actual[i].location, expected[i].location);
+      ASSERT_EQ(actual[i].metric, expected[i].metric);
+      ASSERT_EQ(bits_of(actual[i].value), bits_of(expected[i].value));
+      ASSERT_EQ(from_ref[i].timestamp, actual[i].timestamp);
+      ASSERT_EQ(bits_of(from_ref[i].value), bits_of(actual[i].value));
+      ASSERT_EQ(from_mt[i].timestamp, actual[i].timestamp);
+      ASSERT_EQ(bits_of(from_mt[i].value), bits_of(actual[i].value));
+    }
+
+    const Duration width = Duration::seconds(static_cast<std::int64_t>(1 + rng.index(9)));
+    struct Want {
+      SimTime start;
+      double sum = 0.0;
+      std::size_t count = 0;
+    };
+    std::vector<Want> want;
+    for (const auto& r : expected) {
+      const std::int64_t ns = r.timestamp.ns(), wns = width.ns();
+      std::int64_t idx = ns / wns;
+      if (ns % wns != 0 && ns < 0) --idx;  // floor
+      const SimTime start = SimTime::from_ns(idx * wns);
+      if (want.empty() || want.back().start != start) want.push_back({start, 0.0, 0});
+      want.back().sum += r.value;
+      ++want.back().count;
+    }
+    const auto got = db.downsample(f, width);
+    const auto got_ref = ref.downsample(f, width);
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(got_ref.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].start, want[i].start);
+      ASSERT_EQ(got[i].count, want[i].count);
+      // The mean is defined at subchunk granularity, so the flat fold
+      // agrees only to rounding; bit-exactness is asserted between the
+      // pushdown engine and the raw-block reference engine.
+      EXPECT_NEAR(got[i].mean, want[i].sum / static_cast<double>(want[i].count), 1e-9);
+      ASSERT_EQ(got_ref[i].start, got[i].start);
+      ASSERT_EQ(got_ref[i].count, got[i].count);
+      ASSERT_EQ(bits_of(got_ref[i].mean), bits_of(got[i].mean));
+    }
+
+    const auto agg = db.aggregate(f);
+    const auto agg_ref = ref.aggregate(f);
+    EXPECT_EQ(agg.count, expected.size());
+    EXPECT_EQ(agg_ref.count, agg.count);
+    expect_bits_eq(agg_ref.sum, agg.sum, "aggregate sum");
+    expect_bits_eq(agg_ref.sum_sq, agg.sum_sq, "aggregate sum_sq");
+    expect_bits_eq(agg_ref.min, agg.min, "aggregate min");
+    expect_bits_eq(agg_ref.max, agg.max, "aggregate max");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Retention: exact cutoff, bit-preserved survivors, idempotent vacuum
+// ---------------------------------------------------------------------
+
+ENVMON_PROP(PropEngine, RetentionKeepsExactlyTheUnexpiredRowsBitwise, 12) {
+  const Duration retention =
+      Duration::from_seconds(0.5 + 0.25 * static_cast<double>(rng.index(200)));
+  DatabaseOptions opts;
+  opts.retention = retention;
+  EnvDatabase db(opts);
+  EnvDatabase unretained;
+
+  const char* metrics[3] = {"power_w", "temp_c", "flow_lpm"};
+  const std::size_t rows = 80 + rng.index(160);
+  std::vector<Record> mirror;
+  double t = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    t += 0.2 * static_cast<double>(rng.index(6));
+    const Record r{SimTime::from_seconds(t), random_location(rng), metrics[rng.index(3)],
+                   static_cast<double>(rng.range(0, 1000)) * 0.5};
+    ASSERT_TRUE(db.insert(r).is_ok());
+    ASSERT_TRUE(unretained.insert(r).is_ok());
+    mirror.push_back(r);
+    if (rng.chance(5)) db.seal_blocks();  // retention crosses sealed blocks too
+  }
+
+  // vacuum() drops rows strictly before newest - retention, so the
+  // survivor set is exactly computable from the mirror.
+  const std::int64_t cutoff = mirror.back().timestamp.ns() - retention.ns();
+  std::vector<Record> expected;
+  for (const auto& r : mirror) {
+    if (r.timestamp.ns() >= cutoff) expected.push_back(r);
+  }
+
+  const auto survivors = db.query({});
+  ASSERT_EQ(survivors.size(), expected.size());
+  ASSERT_EQ(db.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(survivors[i].timestamp, expected[i].timestamp);
+    ASSERT_EQ(survivors[i].location, expected[i].location);
+    ASSERT_EQ(survivors[i].metric, expected[i].metric);
+    ASSERT_EQ(bits_of(survivors[i].value), bits_of(expected[i].value));
+  }
+
+  // Survivors are untouched by retention: bit-identical to the same
+  // rows in the engine that never vacuumed.
+  const auto all = unretained.query({});
+  ASSERT_EQ(all.size(), mirror.size());
+  const std::size_t dropped = mirror.size() - expected.size();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(all[dropped + i].timestamp, survivors[i].timestamp);
+    ASSERT_EQ(bits_of(all[dropped + i].value), bits_of(survivors[i].value));
+  }
+
+  // Idempotence: vacuuming again with the same newest row drops nothing.
+  db.vacuum();
+  const auto again = db.query({});
+  ASSERT_EQ(again.size(), survivors.size());
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    ASSERT_EQ(again[i].timestamp, survivors[i].timestamp);
+    ASSERT_EQ(bits_of(again[i].value), bits_of(survivors[i].value));
+  }
+}
+
+}  // namespace
+}  // namespace envmon::tsdb
